@@ -1,0 +1,25 @@
+//! # eslev-baseline — comparator systems
+//!
+//! The two architectures the paper positions ESL-EV against, built so the
+//! benchmarks can quantify the comparison rather than assert it:
+//!
+//! * [`rceda`] — a standalone graph-based composite-event engine in the
+//!   style of the paper's reference \[23\] (RCEDA) and Snoop: bottom-up
+//!   instance propagation, consumption contexts instead of windows, all
+//!   timing constraints as post-hoc predicates.
+//! * [`naive_join`] — fixed-length sequence detection as a windowed
+//!   k-way self-join (footnote 3): semantically UNRESTRICTED, but paying
+//!   full enumeration per final-element arrival, and structurally unable
+//!   to express `a+ b` repetitions.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod naive_join;
+pub mod rceda;
+
+/// One-stop imports for the baselines.
+pub mod prelude {
+    pub use crate::naive_join::NaiveJoinSeq;
+    pub use crate::rceda::{Context, EventExpr, EventInstance, RcedaEngine, RootPredicate};
+}

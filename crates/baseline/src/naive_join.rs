@@ -1,0 +1,252 @@
+//! Fixed-length sequence detection via windowed k-way self-join — "what
+//! SQL can do today" (§2.2 and footnote 3 of the paper).
+//!
+//! For `SEQ(C1, ..., Ck)`: keep the full (windowed) history of each
+//! stream; when a `Ck` tuple arrives, join it against every combination
+//! of earlier tuples, applying the timestamp-ordering predicates and any
+//! equality condition per combination. This is semantically UNRESTRICTED
+//! detection, but pays the full enumeration cost per final-element
+//! arrival (no partitioned state, no incremental runs).
+//!
+//! Repeating patterns (`a+ b`, Example 4) are **inexpressible** — the
+//! number of joins would have to vary per match; [`NaiveJoinSeq::new`]
+//! only accepts fixed-length patterns, documenting the paper's central
+//! argument in the type system.
+
+use eslev_dsms::error::{DsmsError, Result};
+use eslev_dsms::time::{Duration, Timestamp};
+use eslev_dsms::tuple::Tuple;
+use eslev_dsms::window::WindowBuffer;
+
+/// The k-way self-join sequence detector.
+pub struct NaiveJoinSeq {
+    arity: usize,
+    /// Equality column applied across all streams (e.g. `tagid`), checked
+    /// per enumerated combination — the join-predicate way, not the
+    /// partitioned way.
+    key_column: Option<usize>,
+    /// `RANGE window PRECEDING` on every stream history.
+    window: Option<Duration>,
+    histories: Vec<WindowBuffer>,
+    emitted: u64,
+    /// Combinations enumerated (the work metric).
+    enumerated: u64,
+}
+
+impl NaiveJoinSeq {
+    /// Build a detector for a fixed-length `SEQ` over `arity` streams.
+    pub fn new(arity: usize, key_column: Option<usize>, window: Option<Duration>) -> Result<NaiveJoinSeq> {
+        if arity < 2 {
+            return Err(DsmsError::plan("join sequence needs at least 2 streams"));
+        }
+        Ok(NaiveJoinSeq {
+            arity,
+            key_column,
+            window,
+            histories: (0..arity).map(|_| WindowBuffer::new()).collect(),
+            emitted: 0,
+            enumerated: 0,
+        })
+    }
+
+    /// Number of input streams.
+    pub fn num_ports(&self) -> usize {
+        self.arity
+    }
+
+    /// Tuples retained across all histories.
+    pub fn retained(&self) -> usize {
+        self.histories.iter().map(|h| h.len()).sum()
+    }
+
+    /// Matches emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Combinations enumerated so far (includes rejected ones — the cost
+    /// the paper's modes avoid).
+    pub fn enumerated(&self) -> u64 {
+        self.enumerated
+    }
+
+    fn expire(&mut self, now: Timestamp) {
+        if let Some(w) = self.window {
+            let bound = now.saturating_sub(w);
+            for h in &mut self.histories {
+                h.expire_before(bound);
+            }
+        }
+    }
+
+    /// Feed one tuple. Arrivals on the final stream trigger the join and
+    /// return complete matches (each `Vec` has `arity` tuples in order).
+    pub fn on_tuple(&mut self, port: usize, t: &Tuple) -> Result<Vec<Vec<Tuple>>> {
+        if port >= self.arity {
+            return Err(DsmsError::plan(format!("port {port} out of range")));
+        }
+        self.expire(t.ts());
+        if port < self.arity - 1 {
+            self.histories[port].push(t.clone());
+            return Ok(Vec::new());
+        }
+        // Final stream: enumerate the cross product with predicates.
+        let mut out = Vec::new();
+        let mut combo: Vec<Tuple> = Vec::with_capacity(self.arity);
+        self.enumerate(0, t, &mut combo, &mut out);
+        self.emitted += out.len() as u64;
+        Ok(out)
+    }
+
+    fn enumerate(
+        &mut self,
+        depth: usize,
+        last: &Tuple,
+        combo: &mut Vec<Tuple>,
+        out: &mut Vec<Vec<Tuple>>,
+    ) {
+        if depth == self.arity - 1 {
+            self.enumerated += 1;
+            // Ordering predicate vs. the previous element, equality key
+            // vs. the first element — exactly the WHERE clause of the
+            // footnote-3 join.
+            let prev = combo.last().expect("depth > 0 here");
+            if !last.after(prev) {
+                return;
+            }
+            if let Some(k) = self.key_column {
+                if combo[0].value(k).sql_eq(last.value(k)) != Some(true) {
+                    return;
+                }
+            }
+            let mut m = combo.clone();
+            m.push(last.clone());
+            out.push(m);
+            return;
+        }
+        // Clone the candidate list to sidestep aliasing with &mut self —
+        // the copy is itself part of the naive cost.
+        let candidates: Vec<Tuple> = self.histories[depth].iter().cloned().collect();
+        for cand in candidates {
+            self.enumerated += 1;
+            if let Some(prev) = combo.last() {
+                if !cand.after(prev) {
+                    continue;
+                }
+            }
+            if depth > 0 {
+                if let Some(k) = self.key_column {
+                    if combo[0].value(k).sql_eq(cand.value(k)) != Some(true) {
+                        continue;
+                    }
+                }
+            }
+            // Every earlier element must precede the completing tuple.
+            if !last.after(&cand) {
+                continue;
+            }
+            combo.push(cand);
+            self.enumerate(depth + 1, last, combo, out);
+            combo.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eslev_dsms::value::Value;
+
+    fn t(secs: u64, seq: u64) -> Tuple {
+        Tuple::new(vec![Value::str("k")], Timestamp::from_secs(secs), seq)
+    }
+
+    fn tagged(tag: &str, secs: u64, seq: u64) -> Tuple {
+        Tuple::new(vec![Value::str(tag)], Timestamp::from_secs(secs), seq)
+    }
+
+    #[test]
+    fn worked_example_matches_unrestricted() {
+        let mut j = NaiveJoinSeq::new(4, None, None).unwrap();
+        let history = [
+            (0usize, 1u64),
+            (0, 2),
+            (1, 3),
+            (2, 4),
+            (2, 5),
+            (1, 6),
+            (3, 7),
+        ];
+        let mut matches = Vec::new();
+        for (i, (port, secs)) in history.iter().enumerate() {
+            matches.extend(j.on_tuple(*port, &t(*secs, i as u64)).unwrap());
+        }
+        assert_eq!(matches.len(), 4, "same events as UNRESTRICTED");
+        assert!(j.enumerated() > 4, "but with extra enumeration work");
+    }
+
+    #[test]
+    fn key_equality_applied_per_combination() {
+        let mut j = NaiveJoinSeq::new(2, Some(0), None).unwrap();
+        j.on_tuple(0, &tagged("a", 1, 0)).unwrap();
+        j.on_tuple(0, &tagged("b", 2, 1)).unwrap();
+        let m = j.on_tuple(1, &tagged("a", 3, 2)).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0][0].value(0), &Value::str("a"));
+        // Both candidates were enumerated even though one failed.
+        assert!(j.enumerated() >= 2);
+    }
+
+    #[test]
+    fn window_bounds_history() {
+        let mut j = NaiveJoinSeq::new(2, None, Some(Duration::from_secs(10))).unwrap();
+        for i in 0..100u64 {
+            j.on_tuple(0, &t(i, i)).unwrap();
+        }
+        assert!(j.retained() <= 11, "retained {}", j.retained());
+        let m = j.on_tuple(1, &t(100, 100)).unwrap();
+        // Only tuples in [90, 100] remain; all strictly precede t=100.
+        assert_eq!(m.len(), 10);
+    }
+
+    #[test]
+    fn unwindowed_history_grows() {
+        let mut j = NaiveJoinSeq::new(3, None, None).unwrap();
+        for i in 0..500u64 {
+            j.on_tuple((i % 2) as usize, &t(i, i)).unwrap();
+        }
+        assert_eq!(j.retained(), 500);
+    }
+
+    #[test]
+    fn cross_product_cost_is_quadratic() {
+        let mut j = NaiveJoinSeq::new(3, None, None).unwrap();
+        for i in 0..20u64 {
+            j.on_tuple(0, &t(i, i)).unwrap();
+        }
+        for i in 20..40u64 {
+            j.on_tuple(1, &t(i, i)).unwrap();
+        }
+        let m = j.on_tuple(2, &t(100, 100)).unwrap();
+        assert_eq!(m.len(), 400);
+        assert!(j.enumerated() >= 400);
+    }
+
+    #[test]
+    fn rejects_degenerate_patterns() {
+        assert!(NaiveJoinSeq::new(1, None, None).is_err());
+    }
+
+    #[test]
+    fn ordering_strictly_enforced() {
+        let mut j = NaiveJoinSeq::new(2, None, None).unwrap();
+        j.on_tuple(0, &t(5, 0)).unwrap();
+        // Simultaneous-but-later-seq counts as after; earlier seq does not.
+        let same_ts_later = Tuple::new(vec![Value::str("k")], Timestamp::from_secs(5), 1);
+        assert_eq!(j.on_tuple(1, &same_ts_later).unwrap().len(), 1);
+        let mut j = NaiveJoinSeq::new(2, None, None).unwrap();
+        j.on_tuple(0, &Tuple::new(vec![Value::str("k")], Timestamp::from_secs(5), 7)).unwrap();
+        let same_ts_earlier = Tuple::new(vec![Value::str("k")], Timestamp::from_secs(5), 3);
+        assert_eq!(j.on_tuple(1, &same_ts_earlier).unwrap().len(), 0);
+    }
+}

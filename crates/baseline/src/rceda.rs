@@ -1,0 +1,530 @@
+//! RCEDA-style graph-based composite event engine — the standalone
+//! comparator of the paper's §1 (reference \[23\], in the tradition of
+//! Snoop \[10\]).
+//!
+//! Architecture, reproduced deliberately including its weaknesses the
+//! paper calls out:
+//!
+//! * an **event graph**: primitive-event leaves feeding binary operator
+//!   nodes (`SEQ2`, `AND`, `OR`) and a unary `KLEENE` node, with event
+//!   instances propagated bottom-up;
+//! * **no native windows** — timing constraints are ordinary predicates
+//!   checked *post hoc* on fully assembled instances at the root ("could
+//!   require complex condition-checking", §1);
+//! * **consumption contexts** (unrestricted / recent) instead of window
+//!   purging: under the unrestricted context, node state grows without
+//!   bound — the memory behaviour experiment E9 measures.
+
+use eslev_dsms::error::{DsmsError, Result};
+use eslev_dsms::time::Timestamp;
+use eslev_dsms::tuple::Tuple;
+use std::sync::Arc;
+
+/// An assembled (partial or complete) composite event instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventInstance {
+    /// Constituent tuples in temporal order.
+    pub tuples: Vec<Tuple>,
+    /// Earliest constituent time.
+    pub start: Timestamp,
+    /// Latest constituent time.
+    pub end: Timestamp,
+}
+
+impl EventInstance {
+    fn from_tuple(t: &Tuple) -> EventInstance {
+        EventInstance {
+            tuples: vec![t.clone()],
+            start: t.ts(),
+            end: t.ts(),
+        }
+    }
+
+    fn combine(a: &EventInstance, b: &EventInstance) -> EventInstance {
+        let mut tuples = Vec::with_capacity(a.tuples.len() + b.tuples.len());
+        tuples.extend_from_slice(&a.tuples);
+        tuples.extend_from_slice(&b.tuples);
+        EventInstance {
+            tuples,
+            start: a.start.min(b.start),
+            end: a.end.max(b.end),
+        }
+    }
+}
+
+/// Event consumption context (Snoop terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Context {
+    /// Keep every instance; all combinations fire.
+    Unrestricted,
+    /// Keep only the most recent instance per operand.
+    Recent,
+    /// Consume instances on use (each participates once).
+    Chronicle,
+}
+
+/// Declarative event-graph node.
+#[derive(Debug, Clone)]
+pub enum EventExpr {
+    /// Arrival on an input port.
+    Primitive(usize),
+    /// `SEQ2(a, b)` — `b` strictly after `a`.
+    Seq(Box<EventExpr>, Box<EventExpr>),
+    /// Both occurred (any order).
+    And(Box<EventExpr>, Box<EventExpr>),
+    /// Either occurred.
+    Or(Box<EventExpr>, Box<EventExpr>),
+    /// One-or-more repetitions of the child, closed by the enclosing
+    /// `Seq`'s right operand.
+    Kleene(Box<EventExpr>),
+}
+
+impl EventExpr {
+    /// Left-deep `SEQ` chain over ports `0..n` — the shape the paper's
+    /// `SEQ(E1, ..., En)` compiles to in a binary-operator engine.
+    pub fn seq_chain(n: usize) -> EventExpr {
+        assert!(n >= 2, "sequence needs two events");
+        let mut e = EventExpr::Primitive(0);
+        for p in 1..n {
+            e = EventExpr::Seq(Box::new(e), Box::new(EventExpr::Primitive(p)));
+        }
+        e
+    }
+}
+
+/// Post-hoc predicate applied to root instances (where RCEDA-style
+/// engines express *all* timing constraints).
+pub type RootPredicate = Arc<dyn Fn(&EventInstance) -> bool + Send + Sync>;
+
+enum Node {
+    Primitive {
+        port: usize,
+    },
+    Seq {
+        left: usize,
+        right: usize,
+        left_store: Vec<EventInstance>,
+    },
+    And {
+        left: usize,
+        right: usize,
+        left_store: Vec<EventInstance>,
+        right_store: Vec<EventInstance>,
+    },
+    Or {
+        left: usize,
+        right: usize,
+    },
+    Kleene {
+        child: usize,
+        group: Vec<EventInstance>,
+    },
+}
+
+/// The graph engine.
+pub struct RcedaEngine {
+    nodes: Vec<Node>,
+    root: usize,
+    context: Context,
+    predicate: Option<RootPredicate>,
+    ports: usize,
+    emitted: u64,
+}
+
+impl RcedaEngine {
+    /// Compile an event expression into a graph.
+    pub fn new(expr: &EventExpr, context: Context, predicate: Option<RootPredicate>) -> Result<RcedaEngine> {
+        let mut nodes = Vec::new();
+        let mut ports = 0usize;
+        let root = build(expr, &mut nodes, &mut ports)?;
+        Ok(RcedaEngine {
+            nodes,
+            root,
+            context,
+            predicate,
+            ports,
+            emitted: 0,
+        })
+    }
+
+    /// Number of input ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Instances retained across all node stores (the unbounded-history
+    /// metric).
+    pub fn retained(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Primitive { .. } | Node::Or { .. } => 0,
+                Node::Seq { left_store, .. } => {
+                    left_store.iter().map(|i| i.tuples.len()).sum()
+                }
+                Node::And {
+                    left_store,
+                    right_store,
+                    ..
+                } => left_store
+                    .iter()
+                    .chain(right_store.iter())
+                    .map(|i| i.tuples.len())
+                    .sum(),
+                Node::Kleene { group, .. } => group.iter().map(|i| i.tuples.len()).sum(),
+            })
+            .sum()
+    }
+
+    /// Root events emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Feed one tuple; returns complete root events passing the post-hoc
+    /// predicate.
+    pub fn on_tuple(&mut self, port: usize, t: &Tuple) -> Vec<EventInstance> {
+        let instance = EventInstance::from_tuple(t);
+        let raw = self.propagate_from_leaves(port, instance);
+        let out: Vec<EventInstance> = raw
+            .into_iter()
+            .filter(|i| self.predicate.as_ref().is_none_or(|p| p(i)))
+            .collect();
+        self.emitted += out.len() as u64;
+        out
+    }
+
+    fn propagate_from_leaves(&mut self, port: usize, inst: EventInstance) -> Vec<EventInstance> {
+        // Find the leaf indexes for this port, then propagate upward
+        // level by level. The graph is a tree, so each node has a single
+        // parent; we walk nodes in index order (children are always built
+        // before parents) carrying per-node pending outputs.
+        let n = self.nodes.len();
+        let mut pending: Vec<Vec<EventInstance>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Primitive { port: p } = node {
+                if *p == port {
+                    pending[i].push(inst.clone());
+                }
+            }
+        }
+        for i in 0..n {
+            if pending[i].is_empty() {
+                continue;
+            }
+            let outs = std::mem::take(&mut pending[i]);
+            // Feed `outs` to the parent of node i (if any).
+            let Some((parent, is_left)) = self.parent_of(i) else {
+                pending[i] = outs; // root keeps them
+                continue;
+            };
+            let produced = self.feed(parent, is_left, outs);
+            pending[parent].extend(produced);
+            if parent == self.root && i != self.root {
+                // Parent outputs handled when we reach its index; since
+                // parents have larger indexes, the loop order suffices.
+            }
+        }
+        std::mem::take(&mut pending[self.root])
+    }
+
+    fn parent_of(&self, idx: usize) -> Option<(usize, bool)> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                Node::Seq { left, right, .. } | Node::And { left, right, .. } | Node::Or { left, right } => {
+                    if *left == idx {
+                        return Some((i, true));
+                    }
+                    if *right == idx {
+                        return Some((i, false));
+                    }
+                }
+                Node::Kleene { child, .. } => {
+                    if *child == idx {
+                        return Some((i, true));
+                    }
+                }
+                Node::Primitive { .. } => {}
+            }
+        }
+        None
+    }
+
+    fn feed(&mut self, node: usize, is_left: bool, insts: Vec<EventInstance>) -> Vec<EventInstance> {
+        let context = self.context;
+        match &mut self.nodes[node] {
+            Node::Primitive { .. } => insts,
+            Node::Or { .. } => insts,
+            Node::Kleene { group, .. } => {
+                // Accumulate; the enclosing Seq reads the group when its
+                // right operand fires (exposed via take_kleene_group).
+                group.extend(insts);
+                Vec::new()
+            }
+            Node::Seq { left_store, .. } => {
+                if is_left {
+                    match context {
+                        Context::Recent => {
+                            left_store.clear();
+                            if let Some(last) = insts.into_iter().next_back() {
+                                left_store.push(last);
+                            }
+                        }
+                        _ => left_store.extend(insts),
+                    }
+                    Vec::new()
+                } else {
+                    let mut out = Vec::new();
+                    let mut consumed: Option<usize> = None;
+                    for right in &insts {
+                        match context {
+                            Context::Unrestricted => {
+                                for left in left_store.iter() {
+                                    if right.start > left.end {
+                                        out.push(EventInstance::combine(left, right));
+                                    }
+                                }
+                            }
+                            Context::Recent => {
+                                if let Some(left) = left_store.last() {
+                                    if right.start > left.end {
+                                        out.push(EventInstance::combine(left, right));
+                                    }
+                                }
+                            }
+                            Context::Chronicle => {
+                                if let Some((i, left)) = left_store
+                                    .iter()
+                                    .enumerate()
+                                    .find(|(_, l)| right.start > l.end)
+                                {
+                                    out.push(EventInstance::combine(left, right));
+                                    consumed = Some(i);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(i) = consumed {
+                        left_store.remove(i);
+                    }
+                    out
+                }
+            }
+            Node::And {
+                left_store,
+                right_store,
+                ..
+            } => {
+                let (own, other): (&mut Vec<_>, &mut Vec<_>) = if is_left {
+                    (left_store, right_store)
+                } else {
+                    (right_store, left_store)
+                };
+                let mut out = Vec::new();
+                for inst in &insts {
+                    for sibling in other.iter() {
+                        out.push(EventInstance::combine(sibling, inst));
+                    }
+                }
+                match context {
+                    Context::Recent => {
+                        own.clear();
+                        own.extend(insts.into_iter().next_back());
+                    }
+                    _ => own.extend(insts),
+                }
+                out
+            }
+        }
+    }
+
+    /// Close and take the current group of a `Kleene` node feeding a
+    /// `Seq` (the caller decides when — typically on the closing event).
+    /// Exposed because the graph model has no native longest-match rule;
+    /// driving code must orchestrate it, which is itself part of the
+    /// architectural comparison.
+    pub fn take_kleene_group(&mut self) -> Option<EventInstance> {
+        for node in &mut self.nodes {
+            if let Node::Kleene { group, .. } = node {
+                if group.is_empty() {
+                    return None;
+                }
+                let taken = std::mem::take(group);
+                let mut tuples = Vec::new();
+                let (mut start, mut end) = (Timestamp::MAX, Timestamp::ZERO);
+                for i in taken {
+                    start = start.min(i.start);
+                    end = end.max(i.end);
+                    tuples.extend(i.tuples);
+                }
+                return Some(EventInstance { tuples, start, end });
+            }
+        }
+        None
+    }
+}
+
+fn build(expr: &EventExpr, nodes: &mut Vec<Node>, ports: &mut usize) -> Result<usize> {
+    let idx = match expr {
+        EventExpr::Primitive(p) => {
+            *ports = (*ports).max(p + 1);
+            nodes.push(Node::Primitive { port: *p });
+            nodes.len() - 1
+        }
+        EventExpr::Seq(a, b) => {
+            let left = build(a, nodes, ports)?;
+            let right = build(b, nodes, ports)?;
+            nodes.push(Node::Seq {
+                left,
+                right,
+                left_store: Vec::new(),
+            });
+            nodes.len() - 1
+        }
+        EventExpr::And(a, b) => {
+            let left = build(a, nodes, ports)?;
+            let right = build(b, nodes, ports)?;
+            nodes.push(Node::And {
+                left,
+                right,
+                left_store: Vec::new(),
+                right_store: Vec::new(),
+            });
+            nodes.len() - 1
+        }
+        EventExpr::Or(a, b) => {
+            let left = build(a, nodes, ports)?;
+            let right = build(b, nodes, ports)?;
+            nodes.push(Node::Or { left, right });
+            nodes.len() - 1
+        }
+        EventExpr::Kleene(c) => {
+            let child = build(c, nodes, ports)?;
+            nodes.push(Node::Kleene {
+                child,
+                group: Vec::new(),
+            });
+            nodes.len() - 1
+        }
+    };
+    if nodes.len() > 10_000 {
+        return Err(DsmsError::plan("event graph too large"));
+    }
+    Ok(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eslev_dsms::value::Value;
+
+    fn t(secs: u64, seq: u64) -> Tuple {
+        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+    }
+
+    #[test]
+    fn seq_chain_unrestricted_matches_worked_example() {
+        // Same §3.1.1 history as the core engines: 4 events.
+        let mut eng =
+            RcedaEngine::new(&EventExpr::seq_chain(4), Context::Unrestricted, None).unwrap();
+        let history = [
+            (0usize, 1u64),
+            (0, 2),
+            (1, 3),
+            (2, 4),
+            (2, 5),
+            (1, 6),
+            (3, 7),
+        ];
+        let mut events = Vec::new();
+        for (i, (port, secs)) in history.iter().enumerate() {
+            events.extend(eng.on_tuple(*port, &t(*secs, i as u64)));
+        }
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.tuples.len() == 4));
+    }
+
+    #[test]
+    fn recent_context_keeps_latest() {
+        let mut eng = RcedaEngine::new(&EventExpr::seq_chain(2), Context::Recent, None).unwrap();
+        eng.on_tuple(0, &t(1, 0));
+        eng.on_tuple(0, &t(2, 1));
+        let ev = eng.on_tuple(1, &t(3, 2));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].start, Timestamp::from_secs(2));
+        assert_eq!(eng.retained(), 1);
+    }
+
+    #[test]
+    fn chronicle_consumes() {
+        let mut eng =
+            RcedaEngine::new(&EventExpr::seq_chain(2), Context::Chronicle, None).unwrap();
+        eng.on_tuple(0, &t(1, 0));
+        assert_eq!(eng.on_tuple(1, &t(2, 1)).len(), 1);
+        assert_eq!(eng.on_tuple(1, &t(3, 2)).len(), 0, "left consumed");
+    }
+
+    #[test]
+    fn unrestricted_history_grows_without_bound() {
+        // The architectural weakness E9 measures: no windows, no purge.
+        let mut eng =
+            RcedaEngine::new(&EventExpr::seq_chain(2), Context::Unrestricted, None).unwrap();
+        for i in 0..1000u64 {
+            eng.on_tuple(0, &t(i, i));
+        }
+        assert_eq!(eng.retained(), 1000);
+    }
+
+    #[test]
+    fn post_hoc_time_predicate() {
+        // "within 10 s" as a root predicate — checked after assembly.
+        let pred: RootPredicate = Arc::new(|i| i.end - i.start <= eslev_dsms::time::Duration::from_secs(10));
+        let mut eng =
+            RcedaEngine::new(&EventExpr::seq_chain(2), Context::Unrestricted, Some(pred)).unwrap();
+        eng.on_tuple(0, &t(0, 0));
+        assert_eq!(eng.on_tuple(1, &t(5, 1)).len(), 1);
+        assert_eq!(eng.on_tuple(1, &t(50, 2)).len(), 0);
+        // The stale left instance is STILL retained — predicates don't purge.
+        assert_eq!(eng.retained(), 1);
+    }
+
+    #[test]
+    fn and_or_operators() {
+        let expr = EventExpr::And(
+            Box::new(EventExpr::Primitive(0)),
+            Box::new(EventExpr::Primitive(1)),
+        );
+        let mut eng = RcedaEngine::new(&expr, Context::Unrestricted, None).unwrap();
+        assert!(eng.on_tuple(0, &t(1, 0)).is_empty());
+        assert_eq!(eng.on_tuple(1, &t(2, 1)).len(), 1);
+        // AND is order-insensitive.
+        assert_eq!(eng.on_tuple(0, &t(3, 2)).len(), 1);
+
+        let expr = EventExpr::Or(
+            Box::new(EventExpr::Primitive(0)),
+            Box::new(EventExpr::Primitive(1)),
+        );
+        let mut eng = RcedaEngine::new(&expr, Context::Unrestricted, None).unwrap();
+        assert_eq!(eng.on_tuple(0, &t(1, 0)).len(), 1);
+        assert_eq!(eng.on_tuple(1, &t(2, 1)).len(), 1);
+    }
+
+    #[test]
+    fn kleene_group_is_manually_orchestrated() {
+        // SEQ(Kleene(P0), P1): driver must close the group by hand.
+        let expr = EventExpr::Seq(
+            Box::new(EventExpr::Kleene(Box::new(EventExpr::Primitive(0)))),
+            Box::new(EventExpr::Primitive(1)),
+        );
+        let mut eng = RcedaEngine::new(&expr, Context::Chronicle, None).unwrap();
+        eng.on_tuple(0, &t(1, 0));
+        eng.on_tuple(0, &t(2, 1));
+        // The closing event arrives; the engine itself produces nothing
+        // for the Kleene side — the caller assembles the event.
+        let direct = eng.on_tuple(1, &t(3, 2));
+        assert!(direct.is_empty());
+        let group = eng.take_kleene_group().expect("group accumulated");
+        assert_eq!(group.tuples.len(), 2);
+        assert!(eng.take_kleene_group().is_none());
+    }
+}

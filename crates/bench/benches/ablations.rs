@@ -1,0 +1,37 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! A1 — lifting equality conjuncts into partition keys vs residual
+//! filtering; A2 — the planner's specialized Dedup operator vs the
+//! generic windowed NOT EXISTS plan for Example 1.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eslev_bench::{a1_partitioning, a2_dedup_generic, a2_dedup_specialized, a2_workload, e9_feed};
+
+fn bench(c: &mut Criterion) {
+    let feed = e9_feed(60);
+    let mut g = c.benchmark_group("a1_partitioning");
+    g.throughput(Throughput::Elements(feed.len() as u64));
+    for partitioned in [true, false] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if partitioned { "partitioned" } else { "residual" }),
+            &partitioned,
+            |b, &p| b.iter(|| a1_partitioning(&feed, p)),
+        );
+    }
+    g.finish();
+
+    let w = a2_workload(2_000);
+    let mut g = c.benchmark_group("a2_dedup_plans");
+    g.throughput(Throughput::Elements(w.len() as u64));
+    g.bench_function("specialized_dedup", |b| b.iter(|| a2_dedup_specialized(&w)));
+    g.bench_function("generic_window_exists", |b| b.iter(|| a2_dedup_generic(&w)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench
+}
+criterion_main!(benches);

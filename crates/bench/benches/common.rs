@@ -1,0 +1,13 @@
+//! Shared Criterion configuration: experiments are deterministic, so a
+//! small sample budget keeps the full suite fast while still reporting
+//! stable medians.
+
+use criterion::Criterion;
+
+pub fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}

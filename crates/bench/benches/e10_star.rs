@@ -1,0 +1,28 @@
+//! E10 (§3.1.2): star-sequence semantics — longest match per run and
+//! online trailing-star emission, across run lengths.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eslev_bench::e10_star;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_star");
+    for run_len in [2usize, 10, 50] {
+        let runs = 500 / run_len;
+        g.throughput(Throughput::Elements((run_len * runs + runs) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("runlen{run_len}")),
+            &run_len,
+            |b, &l| b.iter(|| e10_star(l, 500 / l)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench
+}
+criterion_main!(benches);

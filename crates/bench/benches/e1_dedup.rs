@@ -1,0 +1,39 @@
+//! E1 (Example 1): duplicate-elimination throughput vs duplicate rate.
+//! Paper expectation: output ≈ physical presences; cost ~linear in input.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eslev_bench::e1_setup;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_dedup");
+    for dup_prob in [0.1f64, 0.5, 0.9] {
+        let (_, readings) = e1_setup(dup_prob, 2_000);
+        g.throughput(Throughput::Elements(readings.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("dup{dup_prob}")),
+            &dup_prob,
+            |b, &p| {
+                b.iter_batched(
+                    || e1_setup(p, 2_000),
+                    |(mut engine, readings)| {
+                        for r in &readings {
+                            engine.push("readings", r.to_values()).unwrap();
+                        }
+                        engine.stream_pushed("cleaned_readings").unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench
+}
+criterion_main!(benches);

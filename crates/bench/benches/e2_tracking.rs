@@ -1,0 +1,26 @@
+//! E2 (Example 2): location-tracking write reduction vs movement rate.
+//! Paper expectation: DB rows = location changes, not readings.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eslev_bench::e2_tracking;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_tracking");
+    for move_prob in [0.01f64, 0.1, 0.5] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("move{move_prob}")),
+            &move_prob,
+            |b, &p| b.iter(|| e2_tracking(p)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench
+}
+criterion_main!(benches);

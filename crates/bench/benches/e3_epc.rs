@@ -1,0 +1,56 @@
+//! E3 (Example 3): EPC-pattern aggregation — verbatim LIKE+UDF query vs
+//! the compiled epc_match pattern, plus the raw matcher microbenchmarks.
+//! Paper expectation: identical counts; compiled ≥ LIKE+UDF throughput.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eslev_bench::e3_setup;
+use eslev_rfid::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_epc");
+    let n = 5_000;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("like_plus_udf_query", |b| {
+        b.iter_batched(
+            || e3_setup(n, 0.3),
+            |(mut engine, readings, _, like, _)| {
+                for r in &readings {
+                    engine.push("readings", r.to_values()).unwrap();
+                }
+                like.take().len()
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    // Microbenchmarks of the two matching strategies on raw strings.
+    let pattern: EpcPattern = "20.*.[5000-9999]".parse().unwrap();
+    let epcs: Vec<String> = (0..n)
+        .map(|i| format!("{}.{}.{}", 15 + i % 10, i % 100, 4000 + i % 8000))
+        .collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("compiled_pattern_matcher", |b| {
+        b.iter(|| epcs.iter().filter(|e| pattern.matches_str(e)).count());
+    });
+    g.bench_function("parse_per_call_matcher", |b| {
+        b.iter(|| {
+            epcs.iter()
+                .filter(|e| {
+                    "20.*.[5000-9999]"
+                        .parse::<EpcPattern>()
+                        .unwrap()
+                        .matches_str(e)
+                })
+                .count()
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E4 (Figure 1 / Examples 4 & 7): containment detection throughput vs
+//! products-per-case, and accuracy across the gap-tightness sweep.
+//! Paper expectation: exact detection while gaps respect t0/t1.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eslev_bench::e4_containment;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_containment");
+    for (label, tight, overlap) in [
+        ("loose_gaps", 0.3f64, false),
+        ("near_threshold", 0.95, false),
+        ("overlapping_cases", 0.6, true),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(tight, overlap),
+            |b, &(t, o)| b.iter(|| e4_containment(t, o, 100)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E5 (Example 5 / §3.1.3): EXCEPTION_SEQ detection over the clinic
+//! workflow. Paper expectation: every violation detected exactly once,
+//! timeouts via active expiration.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eslev_bench::e5_clinic;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_exceptions");
+    for runs in [100usize, 400] {
+        g.bench_with_input(BenchmarkId::from_parameter(runs), &runs, |b, &n| {
+            b.iter(|| e5_clinic(n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench
+}
+criterion_main!(benches);

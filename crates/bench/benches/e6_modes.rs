@@ -1,0 +1,30 @@
+//! E6 (§3.1.1 worked example + Example 6): per-mode detection cost over
+//! the same interleaved QC feed. Paper expectation: UNRESTRICTED ≫
+//! RECENT ≈ CHRONICLE ≥ CONSECUTIVE in both events and history.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eslev_bench::{e6_feed, e6_mode};
+use eslev_core::prelude::PairingMode;
+
+fn bench(c: &mut Criterion) {
+    let feed = e6_feed(40);
+    let mut g = c.benchmark_group("e6_modes");
+    g.throughput(Throughput::Elements(feed.len() as u64));
+    for mode in PairingMode::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(mode.keyword()),
+            &mode,
+            |b, &m| b.iter(|| e6_mode(m, &feed)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench
+}
+criterion_main!(benches);

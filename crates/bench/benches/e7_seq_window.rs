@@ -1,0 +1,28 @@
+//! E7: sliding windows on the SEQ operator — match counts and history
+//! growth vs window size. Paper expectation: UNRESTRICTED grows with the
+//! window, RECENT stays flat.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eslev_bench::{e6_feed, e7_window};
+
+fn bench(c: &mut Criterion) {
+    let feed = e6_feed(40);
+    let mut g = c.benchmark_group("e7_seq_window");
+    for window_secs in [30u64, 120, 600] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{window_secs}s")),
+            &window_secs,
+            |b, &w| b.iter(|| e7_window(w, &feed)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench
+}
+criterion_main!(benches);

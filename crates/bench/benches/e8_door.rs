@@ -1,0 +1,26 @@
+//! E8 (Example 8): PRECEDING AND FOLLOWING theft detection. Paper
+//! expectation: exact alerts; latency fixed at the FOLLOWING half (τ).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eslev_bench::e8_door;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_door");
+    for theft in [0.01f64, 0.1, 0.5] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("theft{theft}")),
+            &theft,
+            |b, &t| b.iter(|| e8_door(t, 300)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench
+}
+criterion_main!(benches);

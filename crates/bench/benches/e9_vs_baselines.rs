@@ -1,0 +1,38 @@
+//! E9: ESL-EV vs the standalone event engine (RCEDA) and the naive
+//! k-way join on the same QC feed. Paper expectation: the DSMS-native
+//! operators sustain higher throughput with bounded memory.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eslev_bench::{
+    e9_eslev_chronicle, e9_eslev_recent, e9_feed, e9_naive_join, e9_rceda,
+};
+
+fn bench(c: &mut Criterion) {
+    let feed = e9_feed(60);
+    let mut g = c.benchmark_group("e9_vs_baselines");
+    g.throughput(Throughput::Elements(feed.len() as u64));
+    g.bench_with_input(BenchmarkId::from_parameter("eslev_recent"), &(), |b, _| {
+        b.iter(|| e9_eslev_recent(&feed))
+    });
+    g.bench_with_input(
+        BenchmarkId::from_parameter("eslev_chronicle"),
+        &(),
+        |b, _| b.iter(|| e9_eslev_chronicle(&feed)),
+    );
+    g.bench_with_input(BenchmarkId::from_parameter("rceda_graph"), &(), |b, _| {
+        b.iter(|| e9_rceda(&feed))
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("naive_join"), &(), |b, _| {
+        b.iter(|| e9_naive_join(&feed))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,267 @@
+//! The experiment harness: runs every experiment (E1–E10) and prints the
+//! tables recorded in EXPERIMENTS.md, including wall-clock throughput
+//! measured inline (best-of-N; use `cargo bench` for the rigorous
+//! Criterion numbers).
+//!
+//! Run with: `cargo run --release -p eslev-bench --bin harness`
+
+use eslev_bench::table::TextTable;
+use eslev_bench::*;
+use eslev_core::prelude::PairingMode;
+use std::time::Instant;
+
+fn timed<T>(f: impl Fn() -> T, reps: usize) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (result.expect("reps >= 1"), best)
+}
+
+fn main() {
+    println!("# ESL-EV experiment harness\n");
+
+    // ------------------------------------------------------------- E1
+    println!("## E1 — duplicate elimination (Example 1)\n");
+    let mut t = TextTable::new(&[
+        "dup_prob", "raw", "cleaned", "truth", "cleaned_err", "kreads/s",
+    ]);
+    for p in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let (row, secs) = timed(|| e1_dedup(p, 5_000), 3);
+        t.row(vec![
+            format!("{p:.1}"),
+            row.raw.to_string(),
+            row.cleaned.to_string(),
+            row.truth.to_string(),
+            format!("{:.4}", (row.cleaned as f64 - row.truth as f64).abs() / row.truth as f64),
+            format!("{:.0}", row.raw as f64 / secs / 1e3),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    // ------------------------------------------------------------- E2
+    println!("## E2 — location tracking (Example 2)\n");
+    let mut t = TextTable::new(&["move_prob", "readings", "persisted", "truth", "write_reduction"]);
+    for p in [0.01, 0.05, 0.1, 0.25, 0.5] {
+        let r = e2_tracking(p);
+        t.row(vec![
+            format!("{p:.2}"),
+            r.readings.to_string(),
+            r.persisted.to_string(),
+            r.truth.to_string(),
+            format!("{:.1}x", r.reduction),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    // ------------------------------------------------------------- E3
+    println!("## E3 — EPC pattern aggregation (Example 3)\n");
+    let mut t = TextTable::new(&[
+        "readings", "match_frac", "truth", "LIKE+UDF", "compiled", "kreads/s",
+    ]);
+    for frac in [0.1, 0.3, 0.7] {
+        let (row, secs) = timed(|| e3_epc(10_000, frac), 3);
+        t.row(vec![
+            row.readings.to_string(),
+            format!("{frac:.1}"),
+            row.truth.to_string(),
+            row.like_udf.to_string(),
+            row.compiled.to_string(),
+            format!("{:.0}", row.readings as f64 / secs / 1e3),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    // ------------------------------------------------------------- E4
+    println!("## E4 — containment detection (Figure 1, Examples 4/7)\n");
+    let mut t = TextTable::new(&[
+        "gap_tightness", "overlap", "cases", "detected", "exact", "accuracy",
+    ]);
+    for (tight, overlap) in [(0.3, false), (0.6, false), (0.95, false), (0.6, true), (0.95, true)] {
+        let r = e4_containment(tight, overlap, 200);
+        t.row(vec![
+            format!("{tight:.2}"),
+            overlap.to_string(),
+            r.cases.to_string(),
+            r.detected.to_string(),
+            r.exact.to_string(),
+            format!("{:.3}", r.exact as f64 / r.cases as f64),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    // ------------------------------------------------------------- E5
+    println!("## E5 — workflow exceptions (Example 5, §3.1.3)\n");
+    let mut t = TextTable::new(&[
+        "runs",
+        "violations",
+        "alerts",
+        "timeouts",
+        "expiry_alerts",
+        "expiry_without_heartbeat",
+    ]);
+    for runs in [100, 300, 1000] {
+        let r = e5_clinic(runs);
+        t.row(vec![
+            r.runs.to_string(),
+            r.violations.to_string(),
+            r.alerts.to_string(),
+            r.timeouts.to_string(),
+            r.expiry_alerts.to_string(),
+            r.expiry_alerts_without_expiration.to_string(),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    // ------------------------------------------------------------- E6
+    println!("## E6 — tuple pairing modes (§3.1.1 worked example + Example 6)\n");
+    let feed = e6_feed(40);
+    let mut t = TextTable::new(&[
+        "mode",
+        "worked_example_events",
+        "scaled_events",
+        "peak_retained",
+        "kelem/s",
+    ]);
+    for mode in PairingMode::ALL {
+        let (row, secs) = timed(|| e6_mode(mode, &feed), 3);
+        t.row(vec![
+            mode.keyword().to_string(),
+            row.worked_example.to_string(),
+            row.scaled_matches.to_string(),
+            row.peak_retained.to_string(),
+            format!("{:.1}", feed.len() as f64 / secs / 1e3),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    // ------------------------------------------------------------- E7
+    println!("## E7 — windows on SEQ (§3.1.1)\n");
+    let mut t = TextTable::new(&[
+        "window",
+        "unrestricted_matches",
+        "recent_matches",
+        "unrestricted_retained",
+        "recent_retained",
+    ]);
+    for w in [30, 60, 120, 300, 600] {
+        let r = e7_window(w, &feed);
+        t.row(vec![
+            format!("{w}s"),
+            r.unrestricted_matches.to_string(),
+            r.recent_matches.to_string(),
+            r.unrestricted_retained.to_string(),
+            r.recent_retained.to_string(),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    // ------------------------------------------------------------- E8
+    println!("## E8 — door security (Example 8, §3.2)\n");
+    let mut t = TextTable::new(&[
+        "theft_frac", "exits", "thefts", "alerts", "true_pos", "latency_s",
+    ]);
+    for frac in [0.01, 0.05, 0.1, 0.3] {
+        let r = e8_door(frac, 500);
+        t.row(vec![
+            format!("{frac:.2}"),
+            r.exits.to_string(),
+            r.thefts.to_string(),
+            r.alerts.to_string(),
+            r.true_positives.to_string(),
+            format!("{:.1}", r.mean_latency_secs),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    // ------------------------------------------------------------- E9
+    println!("## E9 — ESL-EV vs standalone engines (§1 claim)\n");
+    let mut t = TextTable::new(&["system", "events", "retained", "enumerated", "kelem/s"]);
+    let feed = e9_feed(60);
+    let runners: Vec<Box<dyn Fn() -> E9Row>> = vec![
+        Box::new({
+            let f = feed.clone();
+            move || e9_eslev_recent(&f)
+        }),
+        Box::new({
+            let f = feed.clone();
+            move || e9_eslev_chronicle(&f)
+        }),
+        Box::new({
+            let f = feed.clone();
+            move || e9_rceda(&f)
+        }),
+        Box::new({
+            let f = feed.clone();
+            move || e9_naive_join(&f)
+        }),
+    ];
+    for run in &runners {
+        let (row, secs) = timed(run, 3);
+        t.row(vec![
+            row.system.to_string(),
+            row.events.to_string(),
+            row.retained.to_string(),
+            row.enumerated.to_string(),
+            format!("{:.1}", feed.len() as f64 / secs / 1e3),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    // ------------------------------------------------------------ E10
+    println!("## E10 — star-sequence semantics (§3.1.2)\n");
+    let mut t = TextTable::new(&[
+        "run_len", "runs", "matches", "longest_match_exact", "trailing_online_emissions",
+    ]);
+    for len in [1usize, 5, 20, 100] {
+        let r = e10_star(len, 1000 / len.max(1));
+        t.row(vec![
+            r.run_len.to_string(),
+            r.runs.to_string(),
+            r.matches.to_string(),
+            r.groups_exact.to_string(),
+            r.trailing_emissions.to_string(),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    // ------------------------------------------------------ ablations
+    println!("## A1 — equality lifting: partition key vs residual filter\n");
+    let feed = e9_feed(60);
+    let mut t = TextTable::new(&["arm", "events", "retained", "kelem/s"]);
+    for partitioned in [true, false] {
+        let (row, secs) = timed(|| a1_partitioning(&feed, partitioned), 3);
+        t.row(vec![
+            if partitioned { "partition key" } else { "residual filter" }.to_string(),
+            row.events.to_string(),
+            row.retained.to_string(),
+            format!("{:.1}", feed.len() as f64 / secs / 1e3),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    println!("## A2 — Example 1 plans: specialized Dedup vs generic NOT EXISTS\n");
+    let w = a2_workload(5_000);
+    let mut t = TextTable::new(&["plan", "cleaned", "peak_retained", "kreads/s"]);
+    let (fast, fast_s) = timed(|| a2_dedup_specialized(&w), 3);
+    t.row(vec![
+        fast.plan.to_string(),
+        fast.cleaned.to_string(),
+        fast.peak_retained.to_string(),
+        format!("{:.0}", w.len() as f64 / fast_s / 1e3),
+    ]);
+    let (slow, slow_s) = timed(|| a2_dedup_generic(&w), 3);
+    t.row(vec![
+        slow.plan.to_string(),
+        slow.cleaned.to_string(),
+        slow.peak_retained.to_string(),
+        format!("{:.0}", w.len() as f64 / slow_s / 1e3),
+    ]);
+    println!("{}", t.to_markdown());
+
+    println!("(Wall-clock columns are best-of-3 inline timings; run `cargo bench` for Criterion medians.)");
+}

@@ -1,0 +1,1035 @@
+//! Experiment runners E1–E10 (see DESIGN.md §4 and EXPERIMENTS.md).
+//!
+//! Runners are deterministic (seeded workloads) and return correctness +
+//! state metrics; wall-clock numbers come from the Criterion benches that
+//! wrap these same functions.
+
+use eslev_baseline::prelude::*;
+use eslev_core::prelude::*;
+use eslev_dsms::prelude::*;
+use eslev_lang::prelude::*;
+use eslev_rfid::prelude::*;
+use eslev_rfid::scenario::{clinic, dedup, door, epc_population, packing, qc_line, tracking};
+
+// ------------------------------------------------------------------ E1
+
+/// E1 (Example 1): duplicate elimination.
+#[derive(Debug, Clone)]
+pub struct E1Row {
+    /// Duplicate probability of the simulated reader.
+    pub dup_prob: f64,
+    /// Raw readings fed.
+    pub raw: usize,
+    /// Cleaned readings emitted.
+    pub cleaned: usize,
+    /// Ground-truth physical presences.
+    pub truth: usize,
+    /// Keys retained by the dedup operator at the end.
+    pub retained: usize,
+}
+
+/// Build the E1 engine + query; returns the engine and the raw feed.
+pub fn e1_setup(dup_prob: f64, presences: usize) -> (Engine, Vec<Reading>) {
+    let w = dedup::generate(&dedup::DedupConfig {
+        presences,
+        duplicate_prob: dup_prob,
+        ..dedup::DedupConfig::default()
+    });
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+         CREATE STREAM cleaned_readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+         INSERT INTO cleaned_readings
+         SELECT * FROM readings AS r1
+         WHERE NOT EXISTS
+           (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+            WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);",
+    )
+    .expect("static script plans");
+    (engine, w.readings)
+}
+
+/// Run E1 for one duplicate probability.
+pub fn e1_dedup(dup_prob: f64, presences: usize) -> E1Row {
+    let (mut engine, readings) = e1_setup(dup_prob, presences);
+    let raw = readings.len();
+    for r in &readings {
+        engine.push("readings", r.to_values()).expect("feed");
+    }
+    E1Row {
+        dup_prob,
+        raw,
+        cleaned: engine.stream_pushed("cleaned_readings").expect("stream") as usize,
+        truth: presences,
+        retained: 0,
+    }
+}
+
+// ------------------------------------------------------------------ E2
+
+/// E2 (Example 2): location tracking into a persistent table.
+#[derive(Debug, Clone)]
+pub struct E2Row {
+    /// Probability of movement per reading.
+    pub move_prob: f64,
+    /// Location readings fed.
+    pub readings: usize,
+    /// Rows persisted by the query.
+    pub persisted: usize,
+    /// Ground truth: distinct (tag, location) pairs.
+    pub truth: usize,
+    /// Write amplification avoided: readings / persisted.
+    pub reduction: f64,
+}
+
+/// Run E2 for one movement probability.
+pub fn e2_tracking(move_prob: f64) -> E2Row {
+    let w = tracking::generate(&tracking::TrackingConfig {
+        move_prob,
+        ..tracking::TrackingConfig::default()
+    });
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM tag_locations (readerid VARCHAR, tid VARCHAR, tagtime TIMESTAMP, loc VARCHAR);
+         CREATE TABLE object_movement (tagid VARCHAR, location VARCHAR, start_time TIMESTAMP);
+         INSERT INTO object_movement
+         SELECT tid, loc, tagtime
+         FROM tag_locations WHERE NOT EXISTS
+           (SELECT tagid FROM object_movement
+            WHERE tagid = tid AND location = loc);",
+    )
+    .expect("static script plans");
+    for r in &w.readings {
+        engine.push("tag_locations", r.to_values()).expect("feed");
+    }
+    let persisted = engine.table("object_movement").expect("table").len();
+    E2Row {
+        move_prob,
+        readings: w.readings.len(),
+        persisted,
+        truth: w.distinct_pairs,
+        reduction: w.readings.len() as f64 / persisted.max(1) as f64,
+    }
+}
+
+// ------------------------------------------------------------------ E3
+
+/// E3 (Example 3): EPC-pattern aggregation, LIKE+UDF vs compiled.
+#[derive(Debug, Clone)]
+pub struct E3Row {
+    /// Readings fed.
+    pub readings: usize,
+    /// Ground-truth matches.
+    pub truth: usize,
+    /// Count from the verbatim LIKE + extract_serial query.
+    pub like_udf: i64,
+    /// Count from the compiled `epc_match` query.
+    pub compiled: i64,
+}
+
+/// The two E3 query variants, pre-planned over a shared engine.
+pub fn e3_setup(n: usize, fraction: f64) -> (Engine, Vec<Reading>, usize, Collector, Collector) {
+    let w = epc_population::generate(&epc_population::EpcConfig {
+        readings: n,
+        match_fraction: fraction,
+        pattern: "20.*.[5001-9998]".parse().expect("pattern"),
+        ..epc_population::EpcConfig::default()
+    });
+    let mut engine = Engine::new();
+    register_epc_udfs(engine.functions_mut());
+    register_epc_match_udf(engine.functions_mut());
+    execute(
+        &mut engine,
+        "CREATE STREAM readings (reader_id VARCHAR, tid VARCHAR, read_time TIMESTAMP)",
+    )
+    .expect("ddl");
+    let like = execute(
+        &mut engine,
+        "SELECT count(tid) FROM readings WHERE tid LIKE '20.%.%'
+         AND extract_serial(tid) > 5000
+         AND extract_serial(tid) < 9999",
+    )
+    .expect("like query");
+    let like_c = like.collector().expect("collector").clone();
+    let compiled = execute(
+        &mut engine,
+        "SELECT count(tid) FROM readings WHERE epc_match('20.*.[5001-9998]', tid)",
+    )
+    .expect("compiled query");
+    let compiled_c = compiled.collector().expect("collector").clone();
+    (engine, w.readings, w.matching, like_c, compiled_c)
+}
+
+/// Run E3 once.
+pub fn e3_epc(n: usize, fraction: f64) -> E3Row {
+    let (mut engine, readings, truth, like_c, compiled_c) = e3_setup(n, fraction);
+    for r in &readings {
+        engine.push("readings", r.to_values()).expect("feed");
+    }
+    let last = |c: &Collector| {
+        c.take()
+            .last()
+            .and_then(|t| t.value(0).as_int())
+            .unwrap_or(0)
+    };
+    E3Row {
+        readings: readings.len(),
+        truth,
+        like_udf: last(&like_c),
+        compiled: last(&compiled_c),
+    }
+}
+
+// ------------------------------------------------------------------ E4
+
+/// E4 (Figure 1 / Examples 4, 7): containment detection accuracy.
+#[derive(Debug, Clone)]
+pub struct E4Row {
+    /// Fraction of `t1` that intra-burst gaps may reach.
+    pub gap_tightness: f64,
+    /// Whether bursts overlap the previous case read (Figure 1(b)).
+    pub overlap: bool,
+    /// Cases in the workload.
+    pub cases: usize,
+    /// Containments detected.
+    pub detected: usize,
+    /// Detections with exact case tag + product count.
+    pub exact: usize,
+}
+
+/// Run E4 for one gap-tightness setting.
+pub fn e4_containment(gap_tightness: f64, overlap: bool, cases: usize) -> E4Row {
+    let cfg = packing::PackingConfig {
+        cases,
+        gap_tightness,
+        overlap,
+        ..packing::PackingConfig::default()
+    };
+    let w = packing::generate(&cfg);
+    let pat = SeqPattern::new(
+        vec![
+            Element::star(0).with_star_gap(cfg.t1),
+            Element::new(1).with_max_gap(cfg.t0),
+        ],
+        None,
+        PairingMode::Chronicle,
+    )
+    .expect("pattern");
+    let mut det = Detector::new(DetectorConfig::seq(pat)).expect("detector");
+    let feed = merge_feeds(vec![
+        ("p".into(), w.products.clone()),
+        ("c".into(), w.cases.clone()),
+    ]);
+    let mut detected = Vec::new();
+    for (i, item) in feed.iter().enumerate() {
+        let port = usize::from(item.stream == "c");
+        let t = Tuple::new(item.reading.to_values(), item.reading.ts, i as u64);
+        for o in det.on_tuple(port, &t).expect("detect") {
+            if let DetectorOutput::Match(m) = o {
+                detected.push((
+                    m.binding(1).first().value(1).as_str().expect("tag").to_string(),
+                    m.binding(0).count(),
+                ));
+            }
+        }
+    }
+    let exact = detected
+        .iter()
+        .zip(&w.truth)
+        .filter(|((tag, count), truth)| {
+            *tag == truth.case_tag && *count == truth.product_tags.len()
+        })
+        .count();
+    E4Row {
+        gap_tightness,
+        overlap,
+        cases: w.truth.len(),
+        detected: detected.len(),
+        exact,
+    }
+}
+
+// ------------------------------------------------------------------ E5
+
+/// E5 (Example 5 / §3.1.3): exception detection.
+#[derive(Debug, Clone)]
+pub struct E5Row {
+    /// Test runs simulated.
+    pub runs: usize,
+    /// Violations in the ground truth.
+    pub violations: usize,
+    /// Alerts raised with active expiration (punctuations on).
+    pub alerts: usize,
+    /// Alerts with the WindowExpiry cause — the timeouts, each detected
+    /// *at its deadline*.
+    pub expiry_alerts: usize,
+    /// WindowExpiry alerts when the engine never punctuates (ablation):
+    /// always 0 — without a heartbeat a timeout is only noticed (late,
+    /// and mislabeled as a wrong extension) at the next arrival, or never.
+    pub expiry_alerts_without_expiration: usize,
+    /// Ground-truth timeout violations.
+    pub timeouts: usize,
+}
+
+/// Run E5 (with and without active expiration).
+pub fn e5_clinic(runs: usize) -> E5Row {
+    let cfg = clinic::ClinicConfig {
+        runs,
+        ..clinic::ClinicConfig::default()
+    };
+    let w = clinic::generate(&cfg);
+    let run = |active_expiration: bool| -> (usize, usize) {
+        let pat = SeqPattern::new(
+            (0..clinic::OPS).map(Element::new).collect(),
+            Some(EventWindow::following(cfg.limit, 0)),
+            PairingMode::Consecutive,
+        )
+        .expect("pattern");
+        let mut det = Detector::new(DetectorConfig::exception(pat)).expect("detector");
+        let mut alerts = 0;
+        let mut expiries = 0;
+        let count = |outs: &[DetectorOutput], alerts: &mut usize, expiries: &mut usize| {
+            for o in outs {
+                if let Some(e) = o.as_exception() {
+                    *alerts += 1;
+                    if matches!(e.cause, ExceptionCause::WindowExpiry) {
+                        *expiries += 1;
+                    }
+                }
+            }
+        };
+        for (i, (port, reading)) in w.feed.iter().enumerate() {
+            let t = Tuple::new(
+                vec![
+                    Value::str(&reading.reader),
+                    Value::str(&reading.tag),
+                    Value::Ts(reading.ts),
+                ],
+                reading.ts,
+                i as u64,
+            );
+            if active_expiration {
+                let outs = det.on_punctuation(reading.ts).expect("punctuate");
+                count(&outs, &mut alerts, &mut expiries);
+            }
+            let outs = det.on_tuple(*port, &t).expect("detect");
+            count(&outs, &mut alerts, &mut expiries);
+        }
+        if active_expiration {
+            let horizon = w.feed.last().map(|(_, r)| r.ts).unwrap_or(Timestamp::ZERO)
+                + cfg.limit
+                + Duration::from_secs(1);
+            let outs = det.on_punctuation(horizon).expect("punctuate");
+            count(&outs, &mut alerts, &mut expiries);
+        }
+        (alerts, expiries)
+    };
+    let timeouts = w
+        .truth
+        .iter()
+        .filter(|r| r.kind == clinic::RunKind::Timeout)
+        .count();
+    let (alerts, expiry_alerts) = run(true);
+    let (_, expiry_without) = run(false);
+    E5Row {
+        runs,
+        violations: w.violations,
+        alerts,
+        expiry_alerts,
+        expiry_alerts_without_expiration: expiry_without,
+        timeouts,
+    }
+}
+
+// ------------------------------------------------------------------ E6
+
+/// E6 (§3.1.1 worked example + Example 6): pairing-mode comparison.
+#[derive(Debug, Clone)]
+pub struct E6Row {
+    /// The mode.
+    pub mode: PairingMode,
+    /// Events on the literal worked history (paper: 4 / 1 / 1 / 0).
+    pub worked_example: usize,
+    /// Events on a scaled interleaved QC feed (2-minute window).
+    pub scaled_matches: usize,
+    /// Peak tuples retained during the scaled run.
+    pub peak_retained: usize,
+}
+
+/// The scaled E6 feed: an interleaved QC line, single shared tag space,
+/// bounded by a 2-minute PRECEDING window so UNRESTRICTED stays finite.
+pub fn e6_feed(products: usize) -> Vec<(usize, Tuple)> {
+    let w = qc_line::generate(&qc_line::QcConfig {
+        products,
+        dropout_prob: 0.0,
+        ..qc_line::QcConfig::default()
+    });
+    let feeds: Vec<(String, Vec<Reading>)> = w
+        .feeds
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (format!("{i}"), f.clone()))
+        .collect();
+    merge_feeds(feeds)
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let port: usize = item.stream.parse().expect("port name");
+            (
+                port,
+                Tuple::new(item.reading.to_values(), item.reading.ts, i as u64),
+            )
+        })
+        .collect()
+}
+
+/// Run one mode over the worked history and the scaled feed.
+pub fn e6_mode(mode: PairingMode, feed: &[(usize, Tuple)]) -> E6Row {
+    // Worked history.
+    let pat = SeqPattern::new((0..4).map(Element::new).collect(), None, mode).expect("pattern");
+    let mut det = Detector::new(DetectorConfig::seq(pat)).expect("detector");
+    let mut worked = 0;
+    for (i, (port, reading)) in qc_line::worked_history().iter().enumerate() {
+        let t = Tuple::new(Vec::new(), reading.ts, i as u64);
+        worked += det
+            .on_tuple(*port, &t)
+            .expect("detect")
+            .iter()
+            .filter(|o| o.as_match().is_some())
+            .count();
+    }
+    // Scaled feed with a window to bound UNRESTRICTED.
+    let pat = SeqPattern::new(
+        (0..4).map(Element::new).collect(),
+        Some(EventWindow::preceding(Duration::from_mins(2), 3)),
+        mode,
+    )
+    .expect("pattern");
+    let mut det = Detector::new(DetectorConfig::seq(pat)).expect("detector");
+    let mut matches = 0;
+    let mut peak = 0;
+    for (port, t) in feed {
+        det.on_punctuation(t.ts()).expect("punctuate");
+        matches += det
+            .on_tuple(*port, t)
+            .expect("detect")
+            .iter()
+            .filter(|o| o.as_match().is_some())
+            .count();
+        peak = peak.max(det.retained());
+    }
+    E6Row {
+        mode,
+        worked_example: worked,
+        scaled_matches: matches,
+        peak_retained: peak,
+    }
+}
+
+// ------------------------------------------------------------------ E7
+
+/// E7: window sweep over the SEQ operator.
+#[derive(Debug, Clone)]
+pub struct E7Row {
+    /// Window length in seconds.
+    pub window_secs: u64,
+    /// UNRESTRICTED matches.
+    pub unrestricted_matches: usize,
+    /// RECENT matches.
+    pub recent_matches: usize,
+    /// UNRESTRICTED peak retained tuples.
+    pub unrestricted_retained: usize,
+    /// RECENT peak retained tuples.
+    pub recent_retained: usize,
+}
+
+/// Run E7 for one window length over a shared feed.
+pub fn e7_window(window_secs: u64, feed: &[(usize, Tuple)]) -> E7Row {
+    let run = |mode: PairingMode| -> (usize, usize) {
+        let pat = SeqPattern::new(
+            (0..4).map(Element::new).collect(),
+            Some(EventWindow::preceding(Duration::from_secs(window_secs), 3)),
+            mode,
+        )
+        .expect("pattern");
+        let mut det = Detector::new(DetectorConfig::seq(pat)).expect("detector");
+        let mut matches = 0;
+        let mut peak = 0;
+        for (port, t) in feed {
+            det.on_punctuation(t.ts()).expect("punctuate");
+            matches += det
+                .on_tuple(*port, t)
+                .expect("detect")
+                .iter()
+                .filter(|o| o.as_match().is_some())
+                .count();
+            peak = peak.max(det.retained());
+        }
+        (matches, peak)
+    };
+    let (u_m, u_r) = run(PairingMode::Unrestricted);
+    let (r_m, r_r) = run(PairingMode::Recent);
+    E7Row {
+        window_secs,
+        unrestricted_matches: u_m,
+        recent_matches: r_m,
+        unrestricted_retained: u_r,
+        recent_retained: r_r,
+    }
+}
+
+// ------------------------------------------------------------------ E8
+
+/// E8 (Example 8): door security.
+#[derive(Debug, Clone)]
+pub struct E8Row {
+    /// Theft fraction configured.
+    pub theft_fraction: f64,
+    /// Item exits.
+    pub exits: usize,
+    /// Ground-truth thefts.
+    pub thefts: usize,
+    /// Alerts raised.
+    pub alerts: usize,
+    /// Correct alerts.
+    pub true_positives: usize,
+    /// Mean alert latency in seconds (alert time − item time); the
+    /// FOLLOWING half of the window forces latency ≈ τ.
+    pub mean_latency_secs: f64,
+}
+
+/// Run E8 for one theft fraction.
+pub fn e8_door(theft_fraction: f64, exits: usize) -> E8Row {
+    let cfg = door::DoorConfig {
+        item_exits: exits,
+        theft_fraction,
+        ..door::DoorConfig::default()
+    };
+    let w = door::generate(&cfg);
+    let mut engine = Engine::new();
+    execute(
+        &mut engine,
+        "CREATE STREAM tag_readings (tagid VARCHAR, tagtype VARCHAR, tagtime TIMESTAMP)",
+    )
+    .expect("ddl");
+    let q = execute(
+        &mut engine,
+        "SELECT item.tagid, item.tagtime
+         FROM tag_readings AS item
+         WHERE item.tagtype = 'item' AND NOT EXISTS
+           (SELECT * FROM tag_readings AS person
+            OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+            WHERE person.tagtype = 'person')",
+    )
+    .expect("query");
+    let alerts = q.collector().expect("collector").clone();
+    for r in &w.readings {
+        engine.push("tag_readings", r.to_values()).expect("feed");
+    }
+    let horizon = w.readings.last().map(|r| r.ts).unwrap_or(Timestamp::ZERO)
+        + Duration::from_mins(5);
+    engine.advance_to(horizon).expect("punctuate");
+    let rows = alerts.take();
+    let truth: std::collections::BTreeSet<&str> = w.thefts.iter().map(|s| s.as_str()).collect();
+    let mut true_positives = 0;
+    let mut latency_sum = 0.0;
+    for r in &rows {
+        let tag = r.value(0).as_str().expect("tag");
+        if truth.contains(tag) {
+            true_positives += 1;
+        }
+        let item_ts = r.value(1).as_ts().expect("item time");
+        latency_sum += (r.ts() - item_ts).as_micros() as f64 / 1e6;
+    }
+    E8Row {
+        theft_fraction,
+        exits,
+        thefts: truth.len(),
+        alerts: rows.len(),
+        true_positives,
+        mean_latency_secs: if rows.is_empty() {
+            0.0
+        } else {
+            latency_sum / rows.len() as f64
+        },
+    }
+}
+
+// ------------------------------------------------------------------ E9
+
+/// E9: ESL-EV vs the baseline architectures on the fixed-length QC
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct E9Row {
+    /// System label.
+    pub system: &'static str,
+    /// Events produced.
+    pub events: usize,
+    /// Tuples/instances retained at the end of the run.
+    pub retained: usize,
+    /// Combinations enumerated (join) — 0 where not applicable.
+    pub enumerated: u64,
+}
+
+/// The E9 feed: an interleaved multi-product QC line with per-product
+/// tags (so partitioned detection has real work to do).
+pub fn e9_feed(products: usize) -> Vec<(usize, Tuple)> {
+    let w = qc_line::generate(&qc_line::QcConfig {
+        products,
+        dropout_prob: 0.0,
+        ..qc_line::QcConfig::default()
+    });
+    let feeds: Vec<(String, Vec<Reading>)> = w
+        .feeds
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (format!("{i}"), f.clone()))
+        .collect();
+    merge_feeds(feeds)
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let port: usize = item.stream.parse().expect("port");
+            (
+                port,
+                Tuple::new(item.reading.to_values(), item.reading.ts, i as u64),
+            )
+        })
+        .collect()
+}
+
+/// ESL-EV partitioned RECENT (the paper's recommended shape for Ex. 6).
+pub fn e9_eslev_recent(feed: &[(usize, Tuple)]) -> E9Row {
+    let pat = SeqPattern::new(
+        (0..4).map(Element::new).collect(),
+        None,
+        PairingMode::Recent,
+    )
+    .expect("pattern");
+    let cfg = DetectorConfig::seq(pat).with_partition(vec![Expr::col(1); 4]);
+    let mut det = Detector::new(cfg).expect("detector");
+    let mut events = 0;
+    for (port, t) in feed {
+        events += det.on_tuple(*port, t).expect("detect").len();
+    }
+    E9Row {
+        system: "eslev SEQ RECENT (partitioned)",
+        events,
+        retained: det.retained(),
+        enumerated: 0,
+    }
+}
+
+/// ESL-EV partitioned CHRONICLE.
+pub fn e9_eslev_chronicle(feed: &[(usize, Tuple)]) -> E9Row {
+    let pat = SeqPattern::new(
+        (0..4).map(Element::new).collect(),
+        None,
+        PairingMode::Chronicle,
+    )
+    .expect("pattern");
+    let cfg = DetectorConfig::seq(pat).with_partition(vec![Expr::col(1); 4]);
+    let mut det = Detector::new(cfg).expect("detector");
+    let mut events = 0;
+    for (port, t) in feed {
+        events += det.on_tuple(*port, t).expect("detect").len();
+    }
+    E9Row {
+        system: "eslev SEQ CHRONICLE (partitioned)",
+        events,
+        retained: det.retained(),
+        enumerated: 0,
+    }
+}
+
+/// RCEDA-style graph engine: equality as a post-hoc predicate, no
+/// partitioning, no windows.
+pub fn e9_rceda(feed: &[(usize, Tuple)]) -> E9Row {
+    let pred: RootPredicate = std::sync::Arc::new(|i: &EventInstance| {
+        let tag = i.tuples[0].value(1).clone();
+        i.tuples.iter().all(|t| t.value(1) == &tag)
+    });
+    let mut eng = RcedaEngine::new(
+        &EventExpr::seq_chain(4),
+        Context::Unrestricted,
+        Some(pred),
+    )
+    .expect("graph");
+    let mut events = 0;
+    for (port, t) in feed {
+        events += eng.on_tuple(*port, t).len();
+    }
+    E9Row {
+        system: "RCEDA graph (post-hoc predicate)",
+        events,
+        retained: eng.retained(),
+        enumerated: 0,
+    }
+}
+
+/// Naive 4-way self-join with the tag-equality predicate per combination.
+pub fn e9_naive_join(feed: &[(usize, Tuple)]) -> E9Row {
+    let mut nj = NaiveJoinSeq::new(4, Some(1), None).expect("join");
+    let mut events = 0;
+    for (port, t) in feed {
+        events += nj.on_tuple(*port, t).expect("join").len();
+    }
+    E9Row {
+        system: "naive 4-way join",
+        events,
+        retained: nj.retained(),
+        enumerated: nj.enumerated(),
+    }
+}
+
+/// All four E9 systems over a shared feed.
+pub fn e9_compare(products: usize) -> Vec<E9Row> {
+    let feed = e9_feed(products);
+    vec![
+        e9_eslev_recent(&feed),
+        e9_eslev_chronicle(&feed),
+        e9_rceda(&feed),
+        e9_naive_join(&feed),
+    ]
+}
+
+// ----------------------------------------------------------------- E10
+
+/// E10 (§3.1.2): star-sequence semantics.
+#[derive(Debug, Clone)]
+pub struct E10Row {
+    /// Length of each `a+` run.
+    pub run_len: usize,
+    /// Number of runs.
+    pub runs: usize,
+    /// Matches emitted (must equal `runs` — longest match only).
+    pub matches: usize,
+    /// All groups had exactly `run_len` tuples.
+    pub groups_exact: bool,
+    /// Online emissions from the trailing-star variant `SEQ(b, a*)`
+    /// (must equal `runs × run_len` — one per arrival).
+    pub trailing_emissions: usize,
+}
+
+/// Run E10 for one run length.
+pub fn e10_star(run_len: usize, runs: usize) -> E10Row {
+    // Closed star: SEQ(A*, B).
+    let pat = SeqPattern::new(
+        vec![Element::star(0), Element::new(1)],
+        None,
+        PairingMode::Chronicle,
+    )
+    .expect("pattern");
+    let mut det = Detector::new(DetectorConfig::seq(pat)).expect("detector");
+    let mut seq = 0u64;
+    let mut ts = 0u64;
+    let mut matches = 0;
+    let mut groups_exact = true;
+    for _ in 0..runs {
+        for _ in 0..run_len {
+            ts += 1;
+            det.on_tuple(0, &Tuple::new(vec![], Timestamp::from_secs(ts), seq))
+                .expect("detect");
+            seq += 1;
+        }
+        ts += 1;
+        for o in det
+            .on_tuple(1, &Tuple::new(vec![], Timestamp::from_secs(ts), seq))
+            .expect("detect")
+        {
+            if let DetectorOutput::Match(m) = o {
+                matches += 1;
+                groups_exact &= m.binding(0).count() == run_len;
+            }
+        }
+        seq += 1;
+    }
+    // Trailing star: SEQ(B, A*) — online emission per arrival.
+    let pat = SeqPattern::new(
+        vec![Element::new(1), Element::star(0)],
+        None,
+        PairingMode::Consecutive,
+    )
+    .expect("pattern");
+    let mut det = Detector::new(DetectorConfig::seq(pat)).expect("detector");
+    let mut trailing = 0;
+    let mut ts = 0u64;
+    let mut seq = 0u64;
+    for _ in 0..runs {
+        ts += 1;
+        det.on_tuple(1, &Tuple::new(vec![], Timestamp::from_secs(ts), seq))
+            .expect("detect");
+        seq += 1;
+        for _ in 0..run_len {
+            ts += 1;
+            trailing += det
+                .on_tuple(0, &Tuple::new(vec![], Timestamp::from_secs(ts), seq))
+                .expect("detect")
+                .len();
+            seq += 1;
+        }
+    }
+    E10Row {
+        run_len,
+        runs,
+        matches,
+        groups_exact,
+        trailing_emissions: trailing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_cleans_exactly() {
+        let r = e1_dedup(0.5, 300);
+        assert_eq!(r.cleaned, r.truth);
+        assert!(r.raw > r.truth);
+    }
+
+    #[test]
+    fn e2_persists_truth() {
+        let r = e2_tracking(0.1);
+        assert_eq!(r.persisted, r.truth);
+        assert!(r.reduction > 5.0);
+    }
+
+    #[test]
+    fn e3_counts_agree() {
+        let r = e3_epc(2000, 0.3);
+        assert_eq!(r.like_udf as usize, r.truth);
+        assert_eq!(r.compiled as usize, r.truth);
+    }
+
+    #[test]
+    fn e4_perfect_under_threshold() {
+        let r = e4_containment(0.6, false, 50);
+        assert_eq!(r.detected, r.cases);
+        assert_eq!(r.exact, r.cases);
+    }
+
+    #[test]
+    fn e5_alerts_match_and_ablation_misses_timeouts() {
+        let r = e5_clinic(80);
+        assert_eq!(r.alerts, r.violations);
+        assert_eq!(r.expiry_alerts, r.timeouts, "each timeout fires at its deadline");
+        assert_eq!(r.expiry_alerts_without_expiration, 0);
+        assert!(r.timeouts > 0, "workload must include timeouts");
+    }
+
+    #[test]
+    fn e6_worked_example_counts() {
+        let feed = e6_feed(20);
+        let rows: Vec<E6Row> = PairingMode::ALL.iter().map(|m| e6_mode(*m, &feed)).collect();
+        let worked: Vec<usize> = rows.iter().map(|r| r.worked_example).collect();
+        assert_eq!(worked, vec![4, 1, 1, 0]);
+        // History ordering claim: UNRESTRICTED retains the most.
+        assert!(rows[0].peak_retained >= rows[1].peak_retained);
+        assert!(rows[0].peak_retained >= rows[3].peak_retained);
+    }
+
+    #[test]
+    fn e7_monotone_in_window() {
+        let feed = e6_feed(30);
+        let narrow = e7_window(30, &feed);
+        let wide = e7_window(600, &feed);
+        assert!(wide.unrestricted_matches >= narrow.unrestricted_matches);
+        assert!(wide.unrestricted_retained >= narrow.unrestricted_retained);
+        assert!(wide.recent_retained <= 12, "RECENT state is O(pattern), got {}", wide.recent_retained);
+    }
+
+    #[test]
+    fn e8_exact_alerts_with_tau_latency() {
+        let r = e8_door(0.1, 150);
+        assert_eq!(r.alerts, r.thefts);
+        assert_eq!(r.true_positives, r.thefts);
+        assert!((r.mean_latency_secs - 60.0).abs() < 1.0, "latency {}", r.mean_latency_secs);
+    }
+
+    #[test]
+    fn e9_systems_agree_on_events_but_not_cost() {
+        let rows = e9_compare(40);
+        // Completion counts: partitioned RECENT/CHRONICLE find one event
+        // per product; RCEDA/naive (unrestricted semantics) find at least
+        // as many.
+        assert_eq!(rows[0].events, 40);
+        assert_eq!(rows[1].events, 40);
+        assert!(rows[2].events >= 40);
+        assert!(rows[3].events >= 40);
+        // Memory: the graph engine and join retain far more than the
+        // consuming/partitioned detectors.
+        assert!(rows[2].retained > rows[1].retained * 5);
+        assert!(rows[3].retained > rows[1].retained * 5);
+        assert!(rows[3].enumerated > 0);
+    }
+
+    #[test]
+    fn e10_longest_match_and_online() {
+        let r = e10_star(5, 20);
+        assert_eq!(r.matches, 20);
+        assert!(r.groups_exact);
+        assert_eq!(r.trailing_emissions, 100);
+    }
+}
+
+// ------------------------------------------------------------ ablations
+
+/// A1: partition lifting on/off — the same RECENT pattern over the E9
+/// feed with the tag-equality either lifted into the partition key (the
+/// planner's choice) or left as a residual filter over candidate
+/// matches.
+#[derive(Debug, Clone)]
+pub struct A1Row {
+    /// Whether equality was lifted into the partition key.
+    pub partitioned: bool,
+    /// Events emitted.
+    pub events: usize,
+    /// Final retained tuples.
+    pub retained: usize,
+}
+
+/// Run one arm of A1.
+pub fn a1_partitioning(feed: &[(usize, Tuple)], partitioned: bool) -> A1Row {
+    let pat = SeqPattern::new(
+        (0..4).map(Element::new).collect(),
+        None,
+        PairingMode::Recent,
+    )
+    .expect("pattern");
+    let cfg = if partitioned {
+        DetectorConfig::seq(pat).with_partition(vec![Expr::col(1); 4])
+    } else {
+        // Residual check: all four bound tuples carry the same tag.
+        DetectorConfig::seq(pat).with_filter(std::sync::Arc::new(|m: &SeqMatch| {
+            let tag = m.binding(0).first().value(1).clone();
+            Ok(m.bindings.iter().all(|b| b.first().value(1) == &tag))
+        }))
+    };
+    let mut det = Detector::new(cfg).expect("detector");
+    let mut events = 0;
+    for (port, t) in feed {
+        events += det.on_tuple(*port, t).expect("detect").len();
+    }
+    A1Row {
+        partitioned,
+        events,
+        retained: det.retained(),
+    }
+}
+
+/// A2: Example 1's two physical plans — the planner's specialized
+/// [`Dedup`] operator vs the generic windowed `NOT EXISTS`
+/// ([`WindowExists`]) that a naive planner would produce.
+#[derive(Debug, Clone)]
+pub struct A2Row {
+    /// Plan label.
+    pub plan: &'static str,
+    /// Cleaned readings emitted.
+    pub cleaned: usize,
+    /// Peak retained state.
+    pub peak_retained: usize,
+}
+
+/// Run the specialized-Dedup arm.
+pub fn a2_dedup_specialized(readings: &[Reading]) -> A2Row {
+    use eslev_dsms::ops::{Dedup, Operator};
+    let mut op = Dedup::new(vec![Expr::col(0), Expr::col(1)], Duration::from_secs(1));
+    let mut out = Vec::new();
+    let mut cleaned = 0;
+    let mut peak = 0;
+    for (i, r) in readings.iter().enumerate() {
+        out.clear();
+        let t = Tuple::new(r.to_values(), r.ts, i as u64);
+        op.on_tuple(0, &t, &mut out).expect("dedup");
+        cleaned += out.len();
+        peak = peak.max(op.retained());
+    }
+    A2Row {
+        plan: "specialized Dedup",
+        cleaned,
+        peak_retained: peak,
+    }
+}
+
+/// Run the generic-WindowExists arm (outer and inner are the same feed).
+pub fn a2_dedup_generic(readings: &[Reading]) -> A2Row {
+    use eslev_dsms::ops::{Operator, SemiJoinKind, WindowExists};
+    use eslev_dsms::window::WindowExtent;
+    let pred = Expr::and(
+        Expr::eq(Expr::qcol(1, 0), Expr::qcol(0, 0)),
+        Expr::eq(Expr::qcol(1, 1), Expr::qcol(0, 1)),
+    );
+    let mut op = WindowExists::new(
+        SemiJoinKind::NotExists,
+        WindowExtent::Preceding(Duration::from_secs(1)),
+        pred,
+        None,
+    );
+    let mut out = Vec::new();
+    let mut cleaned = 0;
+    let mut peak = 0;
+    for (i, r) in readings.iter().enumerate() {
+        out.clear();
+        let t = Tuple::new(r.to_values(), r.ts, i as u64);
+        op.on_tuple(0, &t, &mut out).expect("outer");
+        op.on_tuple(1, &t, &mut out).expect("inner");
+        cleaned += out.len();
+        peak = peak.max(op.retained());
+    }
+    // Close trailing windows.
+    if let Some(last) = readings.last() {
+        out.clear();
+        op.on_punctuation(last.ts + Duration::from_secs(2), &mut out)
+            .expect("punctuate");
+        cleaned += out.len();
+    }
+    A2Row {
+        plan: "generic WindowExists",
+        cleaned,
+        peak_retained: peak,
+    }
+}
+
+/// Shared A2 workload.
+pub fn a2_workload(presences: usize) -> Vec<Reading> {
+    dedup::generate(&dedup::DedupConfig {
+        presences,
+        duplicate_prob: 0.5,
+        ..dedup::DedupConfig::default()
+    })
+    .readings
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+
+    #[test]
+    fn a1_same_events_different_state() {
+        let feed = e9_feed(40);
+        let part = a1_partitioning(&feed, true);
+        let unpart = a1_partitioning(&feed, false);
+        // Partitioned RECENT finds one completion per product. The
+        // unpartitioned residual variant uses a single global chain, so
+        // cross-tag interleavings break chains and some completions are
+        // missed — the correctness argument for lifting equalities.
+        assert_eq!(part.events, 40);
+        assert!(unpart.events <= part.events);
+    }
+
+    #[test]
+    fn a2_plans_agree_on_output() {
+        let w = a2_workload(400);
+        let fast = a2_dedup_specialized(&w);
+        let slow = a2_dedup_generic(&w);
+        assert_eq!(fast.cleaned, 400);
+        assert_eq!(slow.cleaned, 400);
+        // The generic plan buffers pending outers + the inner window; the
+        // specialized one keeps a key map.
+        assert!(slow.peak_retained >= fast.peak_retained);
+    }
+}

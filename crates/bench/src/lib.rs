@@ -1,0 +1,20 @@
+//! # eslev-bench — the experiment harness
+//!
+//! One runner per experiment in `EXPERIMENTS.md` (E1–E10). Each runner
+//! builds its workload, executes the system under test, and returns a
+//! measured row: correctness numbers against ground truth plus work/state
+//! metrics. The Criterion benches (in `benches/`) wrap the same runners
+//! for wall-clock measurement; the `harness` binary prints the tables
+//! recorded in `EXPERIMENTS.md`.
+//!
+//! The paper itself is a language-design paper with worked examples
+//! rather than numeric tables; each experiment regenerates one example
+//! (or one claim) as a measurable artifact — see `DESIGN.md` §4.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

@@ -1,0 +1,256 @@
+//! Match bindings and detector outputs.
+//!
+//! A successful `SEQ` evaluation binds each pattern element to either one
+//! tuple or (for star elements) a non-empty group of tuples. The star
+//! aggregates of §3.1.2 — `FIRST`, `LAST`, `COUNT` — are accessors on the
+//! binding.
+
+use eslev_dsms::time::Timestamp;
+use eslev_dsms::tuple::Tuple;
+use std::fmt;
+
+/// What one pattern element matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Binding {
+    /// A plain element's single tuple.
+    Single(Tuple),
+    /// A star element's group, in arrival order (never empty).
+    Star(Vec<Tuple>),
+}
+
+impl Binding {
+    /// First tuple of the binding (the `FIRST(E*)` aggregate; identity for
+    /// single bindings).
+    pub fn first(&self) -> &Tuple {
+        match self {
+            Binding::Single(t) => t,
+            Binding::Star(g) => g.first().expect("star groups are non-empty"),
+        }
+    }
+
+    /// Last tuple of the binding (the `LAST(E*)` aggregate).
+    pub fn last(&self) -> &Tuple {
+        match self {
+            Binding::Single(t) => t,
+            Binding::Star(g) => g.last().expect("star groups are non-empty"),
+        }
+    }
+
+    /// Number of tuples (the `COUNT(E*)` aggregate; 1 for singles).
+    pub fn count(&self) -> usize {
+        match self {
+            Binding::Single(_) => 1,
+            Binding::Star(g) => g.len(),
+        }
+    }
+
+    /// All tuples of the binding, in order.
+    pub fn tuples(&self) -> &[Tuple] {
+        match self {
+            Binding::Single(t) => std::slice::from_ref(t),
+            Binding::Star(g) => g,
+        }
+    }
+}
+
+/// A complete sequence match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqMatch {
+    /// One binding per pattern element, in pattern order.
+    pub bindings: Vec<Binding>,
+}
+
+impl SeqMatch {
+    /// Binding of element `i`.
+    pub fn binding(&self, i: usize) -> &Binding {
+        &self.bindings[i]
+    }
+
+    /// The match's event time: the last tuple's timestamp (when the
+    /// pattern became fully matched).
+    pub fn ts(&self) -> Timestamp {
+        self.bindings
+            .last()
+            .expect("matches are non-empty")
+            .last()
+            .ts()
+    }
+
+    /// Timestamp of the first tuple in the match.
+    pub fn start_ts(&self) -> Timestamp {
+        self.bindings
+            .first()
+            .expect("matches are non-empty")
+            .first()
+            .ts()
+    }
+
+    /// End-to-end span of the match.
+    pub fn span(&self) -> eslev_dsms::time::Duration {
+        self.ts() - self.start_ts()
+    }
+
+    /// Evaluation row with one *representative* tuple per element — the
+    /// last tuple of star groups (the convention residual predicates and
+    /// SELECT lists use; `FIRST`/`COUNT` have dedicated accessors).
+    pub fn row_last(&self) -> Vec<&Tuple> {
+        self.bindings.iter().map(|b| b.last()).collect()
+    }
+
+    /// Total number of tuples across all bindings.
+    pub fn total_tuples(&self) -> usize {
+        self.bindings.iter().map(|b| b.count()).sum()
+    }
+}
+
+impl fmt::Display for SeqMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SeqMatch[")?;
+        for (i, b) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match b {
+                Binding::Single(t) => write!(f, "{}", t.ts())?,
+                Binding::Star(g) => write!(f, "{}×{}..{}", g.len(), g[0].ts(), g[g.len() - 1].ts())?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Why an `EXCEPTION_SEQ` violation fired (§3.1.3's three scenarios).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExceptionCause {
+    /// An arriving tuple made the current partial sequence unextendable.
+    WrongExtension {
+        /// The offending tuple.
+        tuple: Tuple,
+    },
+    /// An arriving tuple could not start a new sequence (completion
+    /// level 0).
+    WrongStart {
+        /// The offending tuple.
+        tuple: Tuple,
+    },
+    /// The operator's sliding window expired on a partial sequence.
+    WindowExpiry,
+}
+
+/// An exception event: a sequence stalled at `level − 1` completed
+/// elements, i.e. the *Sequence Completion Level* is `level − 1` and the
+/// exception occurs "at level `k + 1`" in the paper's wording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExceptionEvent {
+    /// `k + 1` where `k` is the stalled partial's completion level.
+    pub level: usize,
+    /// Bindings of the stalled partial sequence (length `level − 1`).
+    pub partial: Vec<Binding>,
+    /// Which of the three scenarios triggered it.
+    pub cause: ExceptionCause,
+    /// When the exception was detected.
+    pub ts: Timestamp,
+}
+
+impl ExceptionEvent {
+    /// The stalled partial's Sequence Completion Level (`level − 1`).
+    pub fn completion_level(&self) -> usize {
+        self.level - 1
+    }
+}
+
+/// Everything a detector can emit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectorOutput {
+    /// A complete sequence match (`SEQ` fired, or an `EXCEPTION_SEQ`
+    /// pattern completed normally — useful for `CLEVEL_SEQ = n` queries).
+    Match(SeqMatch),
+    /// A violation (`EXCEPTION_SEQ` fired).
+    Exception(ExceptionEvent),
+}
+
+impl DetectorOutput {
+    /// The match, if this is one.
+    pub fn as_match(&self) -> Option<&SeqMatch> {
+        match self {
+            DetectorOutput::Match(m) => Some(m),
+            DetectorOutput::Exception(_) => None,
+        }
+    }
+
+    /// The exception, if this is one.
+    pub fn as_exception(&self) -> Option<&ExceptionEvent> {
+        match self {
+            DetectorOutput::Exception(e) => Some(e),
+            DetectorOutput::Match(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eslev_dsms::value::Value;
+
+    fn t(secs: u64, seq: u64) -> Tuple {
+        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+    }
+
+    fn sample() -> SeqMatch {
+        SeqMatch {
+            bindings: vec![
+                Binding::Star(vec![t(1, 0), t(2, 1), t(3, 2)]),
+                Binding::Single(t(7, 3)),
+            ],
+        }
+    }
+
+    #[test]
+    fn star_aggregates() {
+        let m = sample();
+        assert_eq!(m.binding(0).first().ts(), Timestamp::from_secs(1));
+        assert_eq!(m.binding(0).last().ts(), Timestamp::from_secs(3));
+        assert_eq!(m.binding(0).count(), 3);
+        assert_eq!(m.binding(1).count(), 1);
+        assert_eq!(m.total_tuples(), 4);
+    }
+
+    #[test]
+    fn match_times() {
+        let m = sample();
+        assert_eq!(m.ts(), Timestamp::from_secs(7));
+        assert_eq!(m.start_ts(), Timestamp::from_secs(1));
+        assert_eq!(m.span(), eslev_dsms::time::Duration::from_secs(6));
+    }
+
+    #[test]
+    fn row_last_uses_group_tails() {
+        let m = sample();
+        let row = m.row_last();
+        assert_eq!(row[0].ts(), Timestamp::from_secs(3));
+        assert_eq!(row[1].ts(), Timestamp::from_secs(7));
+    }
+
+    #[test]
+    fn exception_levels() {
+        let e = ExceptionEvent {
+            level: 3,
+            partial: vec![Binding::Single(t(1, 0)), Binding::Single(t(2, 1))],
+            cause: ExceptionCause::WindowExpiry,
+            ts: Timestamp::from_secs(10),
+        };
+        assert_eq!(e.completion_level(), 2);
+    }
+
+    #[test]
+    fn output_accessors() {
+        let m = DetectorOutput::Match(sample());
+        assert!(m.as_match().is_some());
+        assert!(m.as_exception().is_none());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(sample().to_string(), "SeqMatch[3×1s..3s, 7s]");
+    }
+}

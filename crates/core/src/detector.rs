@@ -1,0 +1,365 @@
+//! The unified incremental sequence detector — the public entry point of
+//! the temporal-operator layer.
+//!
+//! A [`Detector`] wraps a [`SeqPattern`] with:
+//!
+//! * the per-mode engine (or the exception engine for `EXCEPTION_SEQ`),
+//! * optional **partitioning**: a key expression per input port; tuples
+//!   are detected independently per key. This is how equi-join conditions
+//!   like `C1.tagid = C2.tagid = ...` (Example 6) execute without
+//!   post-hoc filtering — the planner lifts them into the partition key;
+//! * an optional **post-filter** over complete matches, for residual
+//!   predicates the key/gap constraints cannot express.
+//!
+//! Feeding a detector: call [`Detector::on_tuple`] with the input port and
+//! tuple (per-port arrival must be timestamp-ordered; cross-port order is
+//! merged internally by `(ts, seq)`), and [`Detector::on_punctuation`]
+//! when stream time advances — window-expiry exceptions (§3.1.3's *active
+//! expiration*) fire only from punctuations.
+
+use crate::binding::{DetectorOutput, SeqMatch};
+use crate::modes::{engine_for, Exception, ModeEngine};
+use crate::pattern::SeqPattern;
+use eslev_dsms::error::{DsmsError, Result};
+use eslev_dsms::expr::Expr;
+use eslev_dsms::time::Timestamp;
+use eslev_dsms::tuple::Tuple;
+use eslev_dsms::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Residual predicate over a complete match.
+pub type MatchFilter = Arc<dyn Fn(&SeqMatch) -> Result<bool> + Send + Sync>;
+
+/// Whether the detector runs plain `SEQ` or `EXCEPTION_SEQ` semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectKind {
+    /// Emit matches only.
+    Seq,
+    /// Emit matches *and* exceptions (Sequence Completion Level events).
+    ExceptionSeq,
+}
+
+/// Builder/configuration for a [`Detector`].
+pub struct DetectorConfig {
+    /// The sequence pattern (elements, window, pairing mode).
+    pub pattern: SeqPattern,
+    /// SEQ vs EXCEPTION_SEQ.
+    pub kind: DetectKind,
+    /// Partition key expression per input port (all ports or none).
+    pub partition: Option<Vec<Expr>>,
+    /// Residual predicate on complete matches.
+    pub filter: Option<MatchFilter>,
+}
+
+impl DetectorConfig {
+    /// Plain SEQ over `pattern`, unpartitioned, unfiltered.
+    pub fn seq(pattern: SeqPattern) -> DetectorConfig {
+        DetectorConfig {
+            pattern,
+            kind: DetectKind::Seq,
+            partition: None,
+            filter: None,
+        }
+    }
+
+    /// EXCEPTION_SEQ over `pattern`.
+    pub fn exception(pattern: SeqPattern) -> DetectorConfig {
+        DetectorConfig {
+            kind: DetectKind::ExceptionSeq,
+            ..DetectorConfig::seq(pattern)
+        }
+    }
+
+    /// Partition by one key expression per input port.
+    pub fn with_partition(mut self, keys: Vec<Expr>) -> DetectorConfig {
+        self.partition = Some(keys);
+        self
+    }
+
+    /// Attach a residual match filter.
+    pub fn with_filter(mut self, f: MatchFilter) -> DetectorConfig {
+        self.filter = Some(f);
+        self
+    }
+}
+
+/// The incremental multi-stream sequence detector.
+pub struct Detector {
+    pattern: Arc<SeqPattern>,
+    kind: DetectKind,
+    partition: Option<Vec<Expr>>,
+    filter: Option<MatchFilter>,
+    states: HashMap<Vec<Value>, Box<dyn ModeEngine>>,
+    matches_emitted: u64,
+    exceptions_emitted: u64,
+}
+
+impl Detector {
+    /// Build a detector, validating the partition-key arity.
+    pub fn new(config: DetectorConfig) -> Result<Detector> {
+        if let Some(keys) = &config.partition {
+            if keys.len() != config.pattern.num_ports() {
+                return Err(DsmsError::plan(format!(
+                    "partition needs one key per port: pattern has {} ports, got {} keys",
+                    config.pattern.num_ports(),
+                    keys.len()
+                )));
+            }
+        }
+        Ok(Detector {
+            pattern: Arc::new(config.pattern),
+            kind: config.kind,
+            partition: config.partition,
+            filter: config.filter,
+            states: HashMap::new(),
+            matches_emitted: 0,
+            exceptions_emitted: 0,
+        })
+    }
+
+    /// The pattern being detected.
+    pub fn pattern(&self) -> &SeqPattern {
+        &self.pattern
+    }
+
+    /// Number of input ports (streams) the detector reads.
+    pub fn num_ports(&self) -> usize {
+        self.pattern.num_ports()
+    }
+
+    fn engine(&mut self, key: Vec<Value>) -> &mut Box<dyn ModeEngine> {
+        let (pattern, kind) = (&self.pattern, self.kind);
+        self.states.entry(key).or_insert_with(|| match kind {
+            DetectKind::Seq => engine_for(pattern.mode, pattern),
+            DetectKind::ExceptionSeq => Box::new(Exception::new()),
+        })
+    }
+
+    /// Process one tuple arriving on `port`.
+    pub fn on_tuple(&mut self, port: usize, t: &Tuple) -> Result<Vec<DetectorOutput>> {
+        if port >= self.pattern.num_ports() {
+            return Err(DsmsError::plan(format!(
+                "port {port} out of range ({} ports)",
+                self.pattern.num_ports()
+            )));
+        }
+        let key = match &self.partition {
+            None => Vec::new(),
+            Some(keys) => vec![keys[port].eval(&[t])?],
+        };
+        let pattern = self.pattern.clone();
+        let mut raw = Vec::new();
+        self.engine(key).on_tuple(&pattern, port, t, &mut raw)?;
+        self.postprocess(raw)
+    }
+
+    /// Advance stream time: purge state and fire window-expiry events.
+    pub fn on_punctuation(&mut self, ts: Timestamp) -> Result<Vec<DetectorOutput>> {
+        let pattern = self.pattern.clone();
+        let mut raw = Vec::new();
+        for eng in self.states.values_mut() {
+            eng.on_punctuation(&pattern, ts, &mut raw)?;
+        }
+        // Dead partitions hold nothing: drop them so long-lived detectors
+        // over high-cardinality keys do not leak.
+        self.states.retain(|_, e| e.retained() > 0);
+        self.postprocess(raw)
+    }
+
+    fn postprocess(&mut self, raw: Vec<DetectorOutput>) -> Result<Vec<DetectorOutput>> {
+        let mut out = Vec::with_capacity(raw.len());
+        for o in raw {
+            match &o {
+                DetectorOutput::Match(m) => {
+                    if let Some(f) = &self.filter {
+                        if !f(m)? {
+                            continue;
+                        }
+                    }
+                    self.matches_emitted += 1;
+                    out.push(o);
+                }
+                DetectorOutput::Exception(_) => {
+                    if self.kind == DetectKind::ExceptionSeq {
+                        self.exceptions_emitted += 1;
+                        out.push(o);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Tuples currently retained across all partitions — the history
+    /// metric the pairing modes bound.
+    pub fn retained(&self) -> usize {
+        self.states.values().map(|e| e.retained()).sum()
+    }
+
+    /// Live partition count.
+    pub fn partitions(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Matches emitted so far.
+    pub fn matches_emitted(&self) -> u64 {
+        self.matches_emitted
+    }
+
+    /// Exceptions emitted so far.
+    pub fn exceptions_emitted(&self) -> u64 {
+        self.exceptions_emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::PairingMode;
+    use crate::pattern::Element;
+    use eslev_dsms::time::Duration;
+
+    fn reading(tag: &str, secs: u64, seq: u64) -> Tuple {
+        Tuple::new(
+            vec![Value::str(tag), Value::Ts(Timestamp::from_secs(secs))],
+            Timestamp::from_secs(secs),
+            seq,
+        )
+    }
+
+    fn qc_pattern(mode: PairingMode) -> SeqPattern {
+        SeqPattern::new((0..4).map(Element::new).collect(), None, mode).unwrap()
+    }
+
+    /// Example 6: SEQ(C1, C2, C3, C4) with C1.tagid = C2.tagid = ... —
+    /// the equality conditions become the partition key.
+    #[test]
+    fn partitioned_detection_example6() {
+        let cfg = DetectorConfig::seq(qc_pattern(PairingMode::Recent))
+            .with_partition(vec![Expr::col(0); 4]);
+        let mut d = Detector::new(cfg).unwrap();
+        let mut matches = 0;
+        // Two products interleaved through the 4 checkpoints.
+        let feed = [
+            ("p1", 0usize),
+            ("p2", 0),
+            ("p1", 1),
+            ("p2", 1),
+            ("p1", 2),
+            ("p1", 3),
+            ("p2", 2),
+            ("p2", 3),
+        ];
+        for (i, (tag, port)) in feed.iter().enumerate() {
+            let outs = d.on_tuple(*port, &reading(tag, i as u64, i as u64)).unwrap();
+            matches += outs.iter().filter(|o| o.as_match().is_some()).count();
+        }
+        assert_eq!(matches, 2);
+        assert_eq!(d.partitions(), 2);
+        assert_eq!(d.matches_emitted(), 2);
+        // Without partitioning the interleaving would cross-pair tags.
+        let mut un = Detector::new(DetectorConfig::seq(qc_pattern(PairingMode::Recent))).unwrap();
+        let mut un_matches = Vec::new();
+        for (i, (tag, port)) in feed.iter().enumerate() {
+            un_matches.extend(un.on_tuple(*port, &reading(tag, i as u64, i as u64)).unwrap());
+        }
+        let mixed = un_matches.iter().filter_map(|o| o.as_match()).any(|m| {
+            let tags: Vec<&str> = m
+                .bindings
+                .iter()
+                .map(|b| b.first().value(0).as_str().unwrap())
+                .collect();
+            tags.windows(2).any(|w| w[0] != w[1])
+        });
+        assert!(mixed, "unpartitioned RECENT mixes tags, as the paper warns");
+    }
+
+    #[test]
+    fn partition_arity_validated() {
+        let cfg = DetectorConfig::seq(qc_pattern(PairingMode::Recent))
+            .with_partition(vec![Expr::col(0)]);
+        assert!(Detector::new(cfg).is_err());
+    }
+
+    #[test]
+    fn port_range_validated() {
+        let mut d = Detector::new(DetectorConfig::seq(qc_pattern(PairingMode::Recent))).unwrap();
+        assert!(d.on_tuple(9, &reading("x", 0, 0)).is_err());
+    }
+
+    #[test]
+    fn filter_drops_matches() {
+        let cfg = DetectorConfig::seq(qc_pattern(PairingMode::Chronicle)).with_filter(Arc::new(
+            |m: &SeqMatch| Ok(m.span() <= Duration::from_secs(3)),
+        ));
+        let mut d = Detector::new(cfg).unwrap();
+        let mut outs = Vec::new();
+        for (i, port) in (0..4).enumerate() {
+            outs.extend(d.on_tuple(port, &reading("p", i as u64 * 5, i as u64)).unwrap());
+        }
+        assert!(outs.is_empty(), "span 15 s filtered out");
+        for (i, port) in (0..4).enumerate() {
+            outs.extend(
+                d.on_tuple(port, &reading("p", 100 + i as u64, 10 + i as u64)).unwrap(),
+            );
+        }
+        assert_eq!(outs.len(), 1);
+    }
+
+    #[test]
+    fn seq_kind_suppresses_exceptions() {
+        // Consecutive SEQ never emits exceptions even on breaks.
+        let mut d =
+            Detector::new(DetectorConfig::seq(qc_pattern(PairingMode::Consecutive))).unwrap();
+        let outs = d.on_tuple(3, &reading("x", 0, 0)).unwrap();
+        assert!(outs.is_empty());
+    }
+
+    #[test]
+    fn exception_kind_counts_both() {
+        use crate::pattern::EventWindow;
+        let pat = SeqPattern::new(
+            (0..3).map(Element::new).collect(),
+            Some(EventWindow::following(Duration::from_secs(3600), 0)),
+            PairingMode::Consecutive,
+        )
+        .unwrap();
+        let mut d = Detector::new(DetectorConfig::exception(pat)).unwrap();
+        // Wrong start.
+        let outs = d.on_tuple(1, &reading("x", 0, 0)).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].as_exception().unwrap().level, 1);
+        // Partial then expiry via punctuation.
+        d.on_tuple(0, &reading("x", 10, 1)).unwrap();
+        let outs = d.on_punctuation(Timestamp::from_secs(4000)).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].as_exception().unwrap().level, 2);
+        assert_eq!(d.exceptions_emitted(), 2);
+        assert_eq!(d.retained(), 0);
+    }
+
+    #[test]
+    fn dead_partitions_are_dropped() {
+        let cfg = DetectorConfig::seq(qc_pattern(PairingMode::Chronicle))
+            .with_partition(vec![Expr::col(0); 4]);
+        let mut d = Detector::new(cfg).unwrap();
+        for i in 0..100u64 {
+            d.on_tuple(0, &reading(&format!("p{i}"), i, i)).unwrap();
+        }
+        assert_eq!(d.partitions(), 100);
+        // Chronicle without a window keeps history; complete the
+        // sequences so consumption empties each partition.
+        for i in 0..100u64 {
+            for port in 1..4usize {
+                d.on_tuple(
+                    port,
+                    &reading(&format!("p{i}"), 200 + i * 4 + port as u64, 1000 + i * 4 + port as u64),
+                )
+                .unwrap();
+            }
+        }
+        d.on_punctuation(Timestamp::from_secs(10_000)).unwrap();
+        assert_eq!(d.partitions(), 0);
+    }
+}

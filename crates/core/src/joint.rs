@@ -1,0 +1,98 @@
+//! Joint tuple history utilities (§3.1.1).
+//!
+//! The paper defines the *joint tuple history* of a set of streams as the
+//! timestamp-ordered union of their tuples — the structure CONSECUTIVE
+//! mode's adjacency is defined against, and the notation
+//! `[t1:C1, t2:C1, t3:C2, ...]` the worked example uses. This module
+//! provides that merged view for tests, the baseline comparators and the
+//! workload replayers: a deterministic merge of per-stream feeds by
+//! `(ts, seq)`.
+
+use eslev_dsms::tuple::Tuple;
+
+/// One entry of a joint history: which port it arrived on, plus the tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JointEntry {
+    /// Input port (stream) of the tuple.
+    pub port: usize,
+    /// The tuple itself.
+    pub tuple: Tuple,
+}
+
+/// Merge per-port feeds (each already in `(ts, seq)` order) into the
+/// joint tuple history. Stable across equal timestamps thanks to the
+/// global sequence-number tie-break.
+pub fn merge(feeds: Vec<Vec<Tuple>>) -> Vec<JointEntry> {
+    let mut all: Vec<JointEntry> = feeds
+        .into_iter()
+        .enumerate()
+        .flat_map(|(port, ts)| ts.into_iter().map(move |tuple| JointEntry { port, tuple }))
+        .collect();
+    all.sort_by_key(|e| e.tuple.order_key());
+    all
+}
+
+/// Render a joint history in the paper's `[t1:C1, t2:C1, ...]` notation
+/// (port `i` printed as `C{i+1}`, times in whole seconds). Used by tests
+/// and the experiment harness for readable diagnostics.
+pub fn notation(history: &[JointEntry]) -> String {
+    let parts: Vec<String> = history
+        .iter()
+        .map(|e| {
+            format!(
+                "t{}:C{}",
+                e.tuple.ts().as_micros() / 1_000_000,
+                e.port + 1
+            )
+        })
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+/// Build the worked example of §3.1.1:
+/// `[t1:C1, t2:C1, t3:C2, t4:C3, t5:C3, t6:C2, t7:C4]` over four ports.
+/// Returned as `(port, tuple)` pairs ready to feed a detector.
+pub fn worked_example() -> Vec<JointEntry> {
+    use eslev_dsms::time::Timestamp;
+    let spec: [(usize, u64); 7] = [(0, 1), (0, 2), (1, 3), (2, 4), (2, 5), (1, 6), (3, 7)];
+    spec.iter()
+        .enumerate()
+        .map(|(i, (port, secs))| JointEntry {
+            port: *port,
+            tuple: Tuple::new(Vec::new(), Timestamp::from_secs(*secs), i as u64),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eslev_dsms::time::Timestamp;
+
+    fn t(secs: u64, seq: u64) -> Tuple {
+        Tuple::new(vec![], Timestamp::from_secs(secs), seq)
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_seq() {
+        let merged = merge(vec![
+            vec![t(1, 0), t(5, 3)],
+            vec![t(2, 1), t(5, 2)],
+        ]);
+        let keys: Vec<(u64, u64)> = merged
+            .iter()
+            .map(|e| (e.tuple.ts().as_micros() / 1_000_000, e.tuple.seq()))
+            .collect();
+        assert_eq!(keys, vec![(1, 0), (2, 1), (5, 2), (5, 3)]);
+        assert_eq!(merged[2].port, 1, "seq 2 came from the second feed");
+    }
+
+    #[test]
+    fn worked_example_notation_matches_paper() {
+        let h = worked_example();
+        assert_eq!(
+            notation(&h),
+            "[t1:C1, t2:C1, t3:C2, t4:C3, t5:C3, t6:C2, t7:C4]"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! # eslev-core — ESL-EV temporal event operators
+//!
+//! The primary contribution of *RFID Data Processing with a Data Stream
+//! Query Language* (Bai, Wang, Liu, Zaniolo, Liu — ICDE 2007): temporal
+//! event detection integrated into a SQL-based stream system.
+//!
+//! * [`pattern::SeqPattern`] — `SEQ(E1, E2*, ..., En)` with per-element
+//!   predicates, the `previous`-operator gap constraints, and operator
+//!   windows (`OVER [d PRECEDING/FOLLOWING E_i]`).
+//! * [`mode::PairingMode`] — the four Tuple Pairing Modes
+//!   (UNRESTRICTED / RECENT / CHRONICLE / CONSECUTIVE).
+//! * [`detector::Detector`] — the incremental multi-stream detector, with
+//!   partitioning (equi-key conditions) and residual filters; in
+//!   `EXCEPTION_SEQ` form it reports *Sequence Completion Level*
+//!   violations including punctuation-driven window expiry.
+//! * [`op::DetectorOp`] — adapter that runs a detector as an operator of
+//!   the `eslev-dsms` engine.
+//!
+//! ```
+//! use eslev_core::prelude::*;
+//! use eslev_dsms::prelude::{Timestamp, Tuple, Duration};
+//!
+//! // SEQ(R1*, R2) MODE CHRONICLE — Example 7's containment pattern.
+//! let pattern = SeqPattern::new(
+//!     vec![
+//!         Element::star(0).with_star_gap(Duration::from_secs(1)),
+//!         Element::new(1).with_max_gap(Duration::from_secs(5)),
+//!     ],
+//!     None,
+//!     PairingMode::Chronicle,
+//! )
+//! .unwrap();
+//! let mut detector = Detector::new(DetectorConfig::seq(pattern)).unwrap();
+//! let at = |s: u64, q: u64| Tuple::new(vec![], Timestamp::from_secs(s), q);
+//! detector.on_tuple(0, &at(1, 0)).unwrap(); // product
+//! detector.on_tuple(0, &at(2, 1)).unwrap(); // product
+//! let outs = detector.on_tuple(1, &at(3, 2)).unwrap(); // packing case
+//! let m = outs[0].as_match().unwrap();
+//! assert_eq!(m.binding(0).count(), 2); // COUNT(R1*)
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod binding;
+pub mod detector;
+pub mod joint;
+pub mod mode;
+pub mod modes;
+pub mod op;
+pub mod pattern;
+pub mod runs;
+
+/// One-stop imports for the temporal-operator layer.
+pub mod prelude {
+    pub use crate::binding::{
+        Binding, DetectorOutput, ExceptionCause, ExceptionEvent, SeqMatch,
+    };
+    pub use crate::detector::{DetectKind, Detector, DetectorConfig, MatchFilter};
+    pub use crate::joint::{merge, JointEntry};
+    pub use crate::mode::PairingMode;
+    pub use crate::op::{DetectorOp, OutputProjection};
+    pub use crate::pattern::{Element, EventWindow, SeqPattern, WindowKind};
+}

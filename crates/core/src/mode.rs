@@ -1,0 +1,88 @@
+//! Tuple Pairing Modes (§3.1.1).
+//!
+//! The paper's four event-consumption policies, the first three modeled
+//! on Snoop's *event consumption modes*. They control (a) which tuple
+//! combinations generate events and (b) how much tuple history must be
+//! retained — the central systems claim of the paper is that RECENT /
+//! CHRONICLE / CONSECUTIVE bound history aggressively where UNRESTRICTED
+//! cannot.
+
+use std::fmt;
+
+/// How candidate tuples pair up to form sequence events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairingMode {
+    /// Every time-ordered combination is an event (the default when the
+    /// MODE clause is omitted). History: full window contents.
+    Unrestricted,
+    /// An incoming tuple matches the most recent qualifying tuple of each
+    /// other stream. History: one chain per element position.
+    Recent,
+    /// An incoming tuple matches the *earliest* qualifying tuples, and a
+    /// tuple participates in at most one event (consumed on match).
+    /// History: FIFO of unconsumed tuples.
+    Chronicle,
+    /// Tuples must be adjacent on the *joint tuple history* (the
+    /// timestamp-ordered union of all participating streams). History:
+    /// the single current run.
+    Consecutive,
+}
+
+impl PairingMode {
+    /// All modes, in the paper's presentation order (handy for sweeps).
+    pub const ALL: [PairingMode; 4] = [
+        PairingMode::Unrestricted,
+        PairingMode::Recent,
+        PairingMode::Chronicle,
+        PairingMode::Consecutive,
+    ];
+
+    /// The keyword used in ESL-EV query text.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            PairingMode::Unrestricted => "UNRESTRICTED",
+            PairingMode::Recent => "RECENT",
+            PairingMode::Chronicle => "CHRONICLE",
+            PairingMode::Consecutive => "CONSECUTIVE",
+        }
+    }
+
+    /// Parse the MODE keyword (case-insensitive).
+    pub fn from_keyword(s: &str) -> Option<PairingMode> {
+        match s.to_ascii_uppercase().as_str() {
+            "UNRESTRICTED" => Some(PairingMode::Unrestricted),
+            "RECENT" => Some(PairingMode::Recent),
+            "CHRONICLE" => Some(PairingMode::Chronicle),
+            "CONSECUTIVE" => Some(PairingMode::Consecutive),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PairingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for m in PairingMode::ALL {
+            assert_eq!(PairingMode::from_keyword(m.keyword()), Some(m));
+            assert_eq!(
+                PairingMode::from_keyword(&m.keyword().to_lowercase()),
+                Some(m)
+            );
+        }
+        assert_eq!(PairingMode::from_keyword("bogus"), None);
+    }
+
+    #[test]
+    fn display_matches_keyword() {
+        assert_eq!(PairingMode::Chronicle.to_string(), "CHRONICLE");
+    }
+}

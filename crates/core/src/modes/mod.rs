@@ -1,0 +1,61 @@
+//! Per-mode detection engines.
+//!
+//! Each engine holds the tuple history shape its mode permits and turns
+//! arriving tuples into [`DetectorOutput`]s. The [`Detector`] picks an
+//! engine per partition based on the pattern's [`PairingMode`] (or the
+//! exception engine for `EXCEPTION_SEQ`).
+//!
+//! [`Detector`]: crate::detector::Detector
+//! [`PairingMode`]: crate::mode::PairingMode
+
+mod chronicle;
+mod consecutive;
+mod exception;
+mod recent;
+mod unrestricted;
+
+pub use chronicle::Chronicle;
+pub use consecutive::Consecutive;
+pub use exception::Exception;
+pub use recent::Recent;
+pub use unrestricted::Unrestricted;
+
+use crate::binding::DetectorOutput;
+use crate::mode::PairingMode;
+use crate::pattern::SeqPattern;
+use eslev_dsms::error::Result;
+use eslev_dsms::time::Timestamp;
+use eslev_dsms::tuple::Tuple;
+
+/// The common engine interface.
+pub trait ModeEngine: Send {
+    /// Process a tuple arriving on `port`; append outputs.
+    fn on_tuple(
+        &mut self,
+        pat: &SeqPattern,
+        port: usize,
+        t: &Tuple,
+        out: &mut Vec<DetectorOutput>,
+    ) -> Result<()>;
+
+    /// Stream time advanced: purge expired state, fire expiry exceptions.
+    fn on_punctuation(
+        &mut self,
+        pat: &SeqPattern,
+        ts: Timestamp,
+        out: &mut Vec<DetectorOutput>,
+    ) -> Result<()>;
+
+    /// Tuples currently retained (the paper's history-size metric).
+    fn retained(&self) -> usize;
+}
+
+/// Instantiate the engine for a mode (SEQ detection).
+pub fn engine_for(mode: PairingMode, pat: &SeqPattern) -> Box<dyn ModeEngine> {
+    match mode {
+        PairingMode::Unrestricted => Box::new(Unrestricted::new()),
+        PairingMode::Recent => Box::new(Recent::new(pat)),
+        PairingMode::Chronicle => Box::new(Chronicle::new(pat)),
+        PairingMode::Consecutive => Box::new(Consecutive::new()),
+    }
+}

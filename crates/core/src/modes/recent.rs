@@ -1,0 +1,429 @@
+//! RECENT mode: an incoming tuple pairs with the most recent qualifying
+//! tuple of each other stream.
+//!
+//! Implemented as the paper's worked derivation (§3.1.1) suggests: one
+//! *chain node* per element position, holding that position's most recent
+//! qualifying binding plus a frozen pointer to the position-before chain
+//! it qualified against. A new arrival at position `k` replaces
+//! `latest[k]`; snapshots already captured by `latest[k+1..]` keep their
+//! (older) parents — exactly how the example picks `C3:t5`'s parent
+//! `C2:t3` even though `C2:t6` arrived later.
+//!
+//! History is O(pattern length) chains — the "aggressive purge" the paper
+//! credits this mode with.
+
+use super::ModeEngine;
+use crate::binding::{Binding, DetectorOutput, SeqMatch};
+use crate::pattern::{SeqPattern, WindowKind};
+use crate::runs::{gap_ok, matches_elem, window_satisfied};
+use eslev_dsms::error::Result;
+use eslev_dsms::time::Timestamp;
+use eslev_dsms::tuple::Tuple;
+use std::sync::Arc;
+
+struct ChainNode {
+    binding: Binding,
+    parent: Option<Arc<ChainNode>>,
+    /// Timestamp of the chain's first tuple (for PRECEDING windows).
+    first_ts: Timestamp,
+    /// Start of the window anchor, once the anchor position is in the
+    /// chain (for FOLLOWING windows).
+    anchor_start: Option<Timestamp>,
+    /// Instant past which this node can no longer complete in-window.
+    deadline: Option<Timestamp>,
+}
+
+/// The RECENT engine.
+pub struct Recent {
+    latest: Vec<Option<Arc<ChainNode>>>,
+}
+
+impl Recent {
+    /// Fresh engine for `pat`.
+    pub fn new(pat: &SeqPattern) -> Recent {
+        Recent {
+            latest: (0..pat.len()).map(|_| None).collect(),
+        }
+    }
+
+    fn node_for(
+        &self,
+        pat: &SeqPattern,
+        k: usize,
+        binding: Binding,
+        parent: Option<Arc<ChainNode>>,
+    ) -> ChainNode {
+        let first_ts = parent
+            .as_ref()
+            .map(|p| p.first_ts)
+            .unwrap_or_else(|| binding.first().ts());
+        let mut anchor_start = parent.as_ref().and_then(|p| p.anchor_start);
+        let mut deadline = None;
+        if let Some(w) = &pat.window {
+            if w.anchor == k {
+                anchor_start = Some(binding.first().ts());
+            }
+            deadline = match w.kind {
+                // Until the anchor is reached, everything must stay
+                // within d of the chain's first tuple.
+                WindowKind::Preceding if k < w.anchor => Some(first_ts + w.dur),
+                WindowKind::Following => anchor_start.map(|s| s + w.dur),
+                _ => None,
+            };
+        }
+        ChainNode {
+            binding,
+            parent,
+            first_ts,
+            anchor_start,
+            deadline,
+        }
+    }
+
+    /// Window admissibility of binding position `k` at time `ts` given
+    /// the parent chain.
+    fn window_ok(
+        &self,
+        pat: &SeqPattern,
+        k: usize,
+        ts: Timestamp,
+        parent: Option<&Arc<ChainNode>>,
+    ) -> bool {
+        let Some(w) = &pat.window else { return true };
+        match w.kind {
+            WindowKind::Preceding => {
+                if k == w.anchor {
+                    if let Some(p) = parent {
+                        return ts.since(p.first_ts).is_some_and(|g| g <= w.dur);
+                    }
+                }
+                true
+            }
+            WindowKind::Following => {
+                if k > w.anchor {
+                    if let Some(start) = parent.and_then(|p| p.anchor_start) {
+                        return ts.since(start).is_some_and(|g| g <= w.dur);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn chain_to_match(node: &Arc<ChainNode>) -> SeqMatch {
+        let mut bindings = Vec::new();
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            bindings.push(n.binding.clone());
+            cur = n.parent.as_ref();
+        }
+        bindings.reverse();
+        SeqMatch { bindings }
+    }
+}
+
+impl ModeEngine for Recent {
+    fn on_tuple(
+        &mut self,
+        pat: &SeqPattern,
+        port: usize,
+        t: &Tuple,
+        out: &mut Vec<DetectorOutput>,
+    ) -> Result<()> {
+        let n = pat.len();
+        // Process candidate positions from the back so that a tuple which
+        // fits several positions chains with *previous* state rather than
+        // with itself (SEQ(A, A): the second A completes via the first,
+        // then becomes the new latest[0]).
+        let candidates: Vec<usize> = pat.candidates(port).collect();
+        for &k in candidates.iter().rev() {
+            let elem = &pat.elements[k];
+            if !matches_elem(elem, t, port)? {
+                continue;
+            }
+            // The parent chain this binding would qualify against.
+            let parent: Option<Arc<ChainNode>> = if k == 0 {
+                None
+            } else {
+                match &self.latest[k - 1] {
+                    Some(p) => Some(p.clone()),
+                    None => continue, // nothing to follow yet
+                }
+            };
+            if let Some(p) = &parent {
+                // Strict progression + inter-element gap.
+                if !t.after(p.binding.last()) {
+                    continue;
+                }
+                if !gap_ok(elem.max_gap_from_prev, Some(p.binding.last()), t) {
+                    continue;
+                }
+            }
+            if !self.window_ok(pat, k, t.ts(), parent.as_ref()) {
+                continue;
+            }
+            let new_node = if elem.star {
+                // Extend the current group when the gap allows (copy-on-
+                // write: snapshots held as parents elsewhere are frozen);
+                // otherwise start a fresh group against the parent chain.
+                match &self.latest[k] {
+                    Some(cur)
+                        if t.after(cur.binding.last())
+                            && gap_ok(elem.star_gap, Some(cur.binding.last()), t) =>
+                    {
+                        let mut g = cur.binding.tuples().to_vec();
+                        g.push(t.clone());
+                        self.node_for(pat, k, Binding::Star(g), cur.parent.clone())
+                    }
+                    _ => {
+                        if k > 0 && parent.is_none() {
+                            continue;
+                        }
+                        self.node_for(pat, k, Binding::Star(vec![t.clone()]), parent)
+                    }
+                }
+            } else {
+                self.node_for(pat, k, Binding::Single(t.clone()), parent)
+            };
+            let arc = Arc::new(new_node);
+            self.latest[k] = Some(arc.clone());
+            if k == n - 1 {
+                // Completion (including online trailing-star snapshots).
+                let m = Self::chain_to_match(&arc);
+                if m.bindings.len() == n {
+                    debug_assert!(window_satisfied(&pat.window, &m.bindings));
+                    out.push(DetectorOutput::Match(m));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        _pat: &SeqPattern,
+        ts: Timestamp,
+        _out: &mut Vec<DetectorOutput>,
+    ) -> Result<()> {
+        for slot in &mut self.latest {
+            if slot
+                .as_ref()
+                .is_some_and(|node| node.deadline.is_some_and(|d| ts > d))
+            {
+                *slot = None;
+            }
+        }
+        Ok(())
+    }
+
+    fn retained(&self) -> usize {
+        // Shared parents counted once via the live heads.
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0;
+        for slot in self.latest.iter().flatten() {
+            let mut cur: Option<&Arc<ChainNode>> = Some(slot);
+            while let Some(node) = cur {
+                let key = Arc::as_ptr(node) as usize;
+                if seen.insert(key) {
+                    total += node.binding.count();
+                }
+                cur = node.parent.as_ref();
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::PairingMode;
+    use crate::pattern::{Element, EventWindow};
+    use eslev_dsms::time::Duration;
+    use eslev_dsms::value::Value;
+
+    fn t(secs: u64, seq: u64) -> Tuple {
+        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+    }
+
+    fn pat4() -> SeqPattern {
+        SeqPattern::new(
+            (0..4).map(Element::new).collect(),
+            None,
+            PairingMode::Recent,
+        )
+        .unwrap()
+    }
+
+    /// The paper's worked example: RECENT must return exactly
+    /// (t2:C1, t3:C2, t5:C3, t7:C4).
+    #[test]
+    fn worked_example_single_event() {
+        let pat = pat4();
+        let mut eng = Recent::new(&pat);
+        let mut out = Vec::new();
+        let history = [
+            (0usize, 1u64),
+            (0, 2),
+            (1, 3),
+            (2, 4),
+            (2, 5),
+            (1, 6),
+            (3, 7),
+        ];
+        for (i, (port, secs)) in history.iter().enumerate() {
+            eng.on_tuple(&pat, *port, &t(*secs, i as u64), &mut out).unwrap();
+        }
+        let matches: Vec<_> = out.iter().filter_map(|o| o.as_match()).collect();
+        assert_eq!(matches.len(), 1);
+        let secs: Vec<u64> = matches[0]
+            .bindings
+            .iter()
+            .map(|b| b.first().ts().as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(secs, vec![2, 3, 5, 7]);
+    }
+
+    /// The C2:t6 tuple is "not qualifying" (it follows C3:t5); the paper
+    /// explains the chain must keep C2:t3. Verify the frozen-parent rule
+    /// across a second completion.
+    #[test]
+    fn frozen_parents_survive_replacement() {
+        let pat = pat4();
+        let mut eng = Recent::new(&pat);
+        let mut out = Vec::new();
+        for (i, (port, secs)) in [(0usize, 1u64), (1, 3), (2, 4), (1, 6), (3, 7)]
+            .iter()
+            .enumerate()
+        {
+            eng.on_tuple(&pat, *port, &t(*secs, i as u64), &mut out).unwrap();
+        }
+        // latest[1] was replaced by t6 after latest[2] snapshotted t3;
+        // the match must use t3, not t6.
+        let m = out[0].as_match().unwrap();
+        assert_eq!(m.binding(1).first().ts(), Timestamp::from_secs(3));
+    }
+
+    #[test]
+    fn replacement_uses_most_recent() {
+        // SEQ(A, B): A1 A2 B → match is (A2, B).
+        let pat = SeqPattern::new(
+            vec![Element::new(0), Element::new(1)],
+            None,
+            PairingMode::Recent,
+        )
+        .unwrap();
+        let mut eng = Recent::new(&pat);
+        let mut out = Vec::new();
+        eng.on_tuple(&pat, 0, &t(1, 0), &mut out).unwrap();
+        eng.on_tuple(&pat, 0, &t(2, 1), &mut out).unwrap();
+        eng.on_tuple(&pat, 1, &t(3, 2), &mut out).unwrap();
+        let m = out[0].as_match().unwrap();
+        assert_eq!(m.binding(0).first().ts(), Timestamp::from_secs(2));
+        // Each later B re-fires against the same chain.
+        eng.on_tuple(&pat, 1, &t(4, 3), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn history_is_constant_size() {
+        let pat = pat4();
+        let mut eng = Recent::new(&pat);
+        let mut out = Vec::new();
+        for i in 0..1000u64 {
+            eng.on_tuple(&pat, (i % 3) as usize, &t(i, i), &mut out).unwrap();
+        }
+        // At most one (single-tuple) node per position, parents shared.
+        assert!(eng.retained() <= 8, "retained {}", eng.retained());
+    }
+
+    #[test]
+    fn self_aliased_stream_chains_without_self_pairing() {
+        // SEQ(A, A) on one port: two arrivals → one match (a1, a2).
+        let pat = SeqPattern::new(
+            vec![Element::new(0), Element::new(0)],
+            None,
+            PairingMode::Recent,
+        )
+        .unwrap();
+        let mut eng = Recent::new(&pat);
+        let mut out = Vec::new();
+        eng.on_tuple(&pat, 0, &t(1, 0), &mut out).unwrap();
+        assert!(out.is_empty(), "a single tuple must not pair with itself");
+        eng.on_tuple(&pat, 0, &t(2, 1), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        let m = out[0].as_match().unwrap();
+        assert_eq!(m.binding(0).first().ts(), Timestamp::from_secs(1));
+        assert_eq!(m.binding(1).first().ts(), Timestamp::from_secs(2));
+    }
+
+    #[test]
+    fn star_group_accumulates_and_emits() {
+        // SEQ(R1*, R2) RECENT: group grows, case closes it.
+        let pat = SeqPattern::new(
+            vec![
+                Element::star(0).with_star_gap(Duration::from_secs(1)),
+                Element::new(1).with_max_gap(Duration::from_secs(5)),
+            ],
+            None,
+            PairingMode::Recent,
+        )
+        .unwrap();
+        let mut eng = Recent::new(&pat);
+        let mut out = Vec::new();
+        let ms = |ms: u64, seq: u64| Tuple::new(vec![], Timestamp::from_millis(ms), seq);
+        eng.on_tuple(&pat, 0, &ms(0, 0), &mut out).unwrap();
+        eng.on_tuple(&pat, 0, &ms(500, 1), &mut out).unwrap();
+        eng.on_tuple(&pat, 0, &ms(900, 2), &mut out).unwrap();
+        eng.on_tuple(&pat, 1, &ms(1500, 3), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].as_match().unwrap().binding(0).count(), 3);
+        // Gap break starts a new group: next case pairs with it only.
+        eng.on_tuple(&pat, 0, &ms(10_000, 4), &mut out).unwrap();
+        eng.on_tuple(&pat, 1, &ms(10_500, 5), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].as_match().unwrap().binding(0).count(), 1);
+    }
+
+    #[test]
+    fn preceding_window_rejects_and_purges() {
+        // SEQ(A, B) OVER [10 s PRECEDING B].
+        let pat = SeqPattern::new(
+            vec![Element::new(0), Element::new(1)],
+            Some(EventWindow::preceding(Duration::from_secs(10), 1)),
+            PairingMode::Recent,
+        )
+        .unwrap();
+        let mut eng = Recent::new(&pat);
+        let mut out = Vec::new();
+        eng.on_tuple(&pat, 0, &t(0, 0), &mut out).unwrap();
+        eng.on_tuple(&pat, 1, &t(20, 1), &mut out).unwrap();
+        assert!(out.is_empty());
+        // Punctuation purges the stale A node.
+        assert!(eng.retained() > 0);
+        eng.on_punctuation(&pat, Timestamp::from_secs(30), &mut out).unwrap();
+        assert_eq!(eng.retained(), 0);
+    }
+
+    #[test]
+    fn following_window_bounds_completion() {
+        // SEQ(A, B, C) OVER [10 s FOLLOWING A].
+        let pat = SeqPattern::new(
+            vec![Element::new(0), Element::new(1), Element::new(2)],
+            Some(EventWindow::following(Duration::from_secs(10), 0)),
+            PairingMode::Recent,
+        )
+        .unwrap();
+        let mut eng = Recent::new(&pat);
+        let mut out = Vec::new();
+        eng.on_tuple(&pat, 0, &t(0, 0), &mut out).unwrap();
+        eng.on_tuple(&pat, 1, &t(5, 1), &mut out).unwrap();
+        eng.on_tuple(&pat, 2, &t(15, 2), &mut out).unwrap();
+        assert!(out.is_empty(), "C at 15 s violates FOLLOWING 10 s of A at 0");
+        // In-window completion works.
+        eng.on_tuple(&pat, 0, &t(20, 3), &mut out).unwrap();
+        eng.on_tuple(&pat, 1, &t(22, 4), &mut out).unwrap();
+        eng.on_tuple(&pat, 2, &t(28, 5), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Adapter that plugs a [`Detector`] into the DSMS engine as a query
+//! operator, so `SEQ`/`EXCEPTION_SEQ` predicates execute inside ordinary
+//! continuous queries (the whole point of the paper: one system for both
+//! SQL stream processing and temporal events).
+//!
+//! The projection closure turns each detector output into zero or more
+//! output tuples — this is where the planner realizes the SELECT list,
+//! including star aggregates (`FIRST`, `LAST`, `COUNT`) and the
+//! multi-return expansion of footnote 4 (one row per star participant).
+
+use crate::binding::DetectorOutput;
+use crate::detector::Detector;
+use eslev_dsms::error::Result;
+use eslev_dsms::ops::Operator;
+use eslev_dsms::time::Timestamp;
+use eslev_dsms::tuple::Tuple;
+
+/// Maps detector outputs to result rows.
+pub type OutputProjection = Box<dyn Fn(&DetectorOutput) -> Result<Vec<Tuple>> + Send>;
+
+/// A detector wrapped as a DSMS operator.
+pub struct DetectorOp {
+    detector: Detector,
+    project: OutputProjection,
+}
+
+impl DetectorOp {
+    /// Wrap `detector`; `project` renders each output.
+    pub fn new(detector: Detector, project: OutputProjection) -> DetectorOp {
+        DetectorOp { detector, project }
+    }
+
+    /// Shared access to the wrapped detector (stats).
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    fn render(&self, outs: Vec<DetectorOutput>, sink: &mut Vec<Tuple>) -> Result<()> {
+        for o in outs {
+            sink.extend((self.project)(&o)?);
+        }
+        Ok(())
+    }
+}
+
+impl Operator for DetectorOp {
+    fn on_tuple(&mut self, port: usize, t: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        let outs = self.detector.on_tuple(port, t)?;
+        self.render(outs, out)
+    }
+
+    fn on_punctuation(&mut self, ts: Timestamp, out: &mut Vec<Tuple>) -> Result<()> {
+        let outs = self.detector.on_punctuation(ts)?;
+        self.render(outs, out)
+    }
+
+    fn num_ports(&self) -> usize {
+        self.detector.num_ports()
+    }
+
+    fn name(&self) -> &str {
+        "seq-detector"
+    }
+
+    fn retained(&self) -> usize {
+        self.detector.retained()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorConfig;
+    use crate::mode::PairingMode;
+    use crate::pattern::{Element, SeqPattern};
+    use eslev_dsms::prelude::*;
+
+    /// End-to-end: Example 7's containment query inside the engine —
+    /// products and cases as streams, match rows into a collector.
+    #[test]
+    fn containment_inside_engine() {
+        let mut engine = Engine::new();
+        engine.create_stream(Schema::readings("r1")).unwrap();
+        engine.create_stream(Schema::readings("r2")).unwrap();
+
+        let pattern = SeqPattern::new(
+            vec![
+                Element::star(0).with_star_gap(Duration::from_secs(1)),
+                Element::new(1).with_max_gap(Duration::from_secs(5)),
+            ],
+            None,
+            PairingMode::Chronicle,
+        )
+        .unwrap();
+        let detector = Detector::new(DetectorConfig::seq(pattern)).unwrap();
+        // SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+        let op = DetectorOp::new(
+            detector,
+            Box::new(|o| {
+                let m = o.as_match().expect("SEQ emits matches only");
+                let star = m.binding(0);
+                let case = m.binding(1).first();
+                Ok(vec![Tuple::new(
+                    vec![
+                        Value::Ts(star.first().ts()),
+                        Value::Int(star.count() as i64),
+                        case.value(1).clone(),
+                        Value::Ts(case.ts()),
+                    ],
+                    m.ts(),
+                    case.seq(),
+                )])
+            }),
+        );
+        let (_, out) = engine
+            .register_collected("containment", vec!["r1", "r2"], Box::new(op))
+            .unwrap();
+
+        let reading = |ms: u64, tag: &str| {
+            vec![
+                Value::str("rdr"),
+                Value::str(tag),
+                Value::Ts(Timestamp::from_millis(ms)),
+            ]
+        };
+        for (ms, tag) in [(0u64, "p1"), (400, "p2"), (800, "p3")] {
+            engine.push("r1", reading(ms, tag)).unwrap();
+        }
+        engine.push("r2", reading(2000, "case9")).unwrap();
+
+        let rows = out.take();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].value(0), &Value::Ts(Timestamp::ZERO));
+        assert_eq!(rows[0].value(1), &Value::Int(3));
+        assert_eq!(rows[0].value(2), &Value::str("case9"));
+    }
+
+    /// Footnote 4: one output row per star participant.
+    #[test]
+    fn multi_return_expansion() {
+        let pattern = SeqPattern::new(
+            vec![Element::star(0), Element::new(1)],
+            None,
+            PairingMode::Chronicle,
+        )
+        .unwrap();
+        let detector = Detector::new(DetectorConfig::seq(pattern)).unwrap();
+        let mut op = DetectorOp::new(
+            detector,
+            Box::new(|o| {
+                let m = o.as_match().expect("match");
+                let case = m.binding(1).first().clone();
+                Ok(m.binding(0)
+                    .tuples()
+                    .iter()
+                    .map(|p| {
+                        Tuple::new(
+                            vec![p.value(1).clone(), case.value(1).clone()],
+                            m.ts(),
+                            p.seq(),
+                        )
+                    })
+                    .collect())
+            }),
+        );
+        let mut out = Vec::new();
+        let reading = |secs: u64, tag: &str, seq: u64| {
+            Tuple::new(
+                vec![
+                    Value::str("rdr"),
+                    Value::str(tag),
+                    Value::Ts(Timestamp::from_secs(secs)),
+                ],
+                Timestamp::from_secs(secs),
+                seq,
+            )
+        };
+        op.on_tuple(0, &reading(0, "p1", 0), &mut out).unwrap();
+        op.on_tuple(0, &reading(1, "p2", 1), &mut out).unwrap();
+        op.on_tuple(1, &reading(2, "case", 2), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value(0), &Value::str("p1"));
+        assert_eq!(out[1].value(0), &Value::str("p2"));
+        assert_eq!(out[0].value(1), &Value::str("case"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Property-based tests for the temporal-operator invariants.
+
+use eslev_core::prelude::*;
+use eslev_dsms::prelude::{Duration, Timestamp, Tuple, Value};
+use proptest::prelude::*;
+
+/// A random joint history over `ports` streams: increasing timestamps
+/// with occasional ties, port chosen per entry.
+fn history(ports: usize, len: usize) -> impl Strategy<Value = Vec<(usize, Tuple)>> {
+    proptest::collection::vec((0..ports, 0u64..4), 0..len).prop_map(|steps| {
+        let mut out = Vec::with_capacity(steps.len());
+        let mut ts = 0u64;
+        for (i, (port, gap)) in steps.into_iter().enumerate() {
+            ts += gap; // gap 0 => timestamp tie, broken by seq
+            out.push((
+                port,
+                Tuple::new(
+                    vec![Value::Int(ts as i64)],
+                    Timestamp::from_secs(ts),
+                    i as u64,
+                ),
+            ));
+        }
+        out
+    })
+}
+
+fn pattern(ports: usize, mode: PairingMode, star_first: bool) -> SeqPattern {
+    let mut elements: Vec<Element> = (0..ports).map(Element::new).collect();
+    if star_first {
+        elements[0] = Element::star(0);
+    }
+    SeqPattern::new(elements, None, mode).unwrap()
+}
+
+fn run_detector(
+    pat: SeqPattern,
+    feed: &[(usize, Tuple)],
+) -> (Vec<SeqMatch>, usize) {
+    let mut d = Detector::new(DetectorConfig::seq(pat)).unwrap();
+    let mut matches = Vec::new();
+    for (port, t) in feed {
+        for o in d.on_tuple(*port, t).unwrap() {
+            if let DetectorOutput::Match(m) = o {
+                matches.push(m);
+            }
+        }
+    }
+    let retained = d.retained();
+    (matches, retained)
+}
+
+proptest! {
+    /// Every match's tuples are strictly increasing in (ts, seq) and the
+    /// bindings appear in pattern order, in every mode.
+    #[test]
+    fn matches_are_strictly_ordered(
+        feed in history(3, 60),
+        mode_idx in 0usize..4,
+        star in any::<bool>(),
+    ) {
+        let mode = PairingMode::ALL[mode_idx];
+        let (matches, _) = run_detector(pattern(3, mode, star), &feed);
+        for m in &matches {
+            let tuples: Vec<&Tuple> = m
+                .bindings
+                .iter()
+                .flat_map(|b| b.tuples().iter())
+                .collect();
+            for w in tuples.windows(2) {
+                prop_assert!(w[1].after(w[0]), "match not strictly ordered: {m}");
+            }
+            prop_assert_eq!(m.bindings.len(), 3);
+        }
+    }
+
+    /// RECENT and CONSECUTIVE retain O(pattern) history; CONSECUTIVE at
+    /// most one partial run.
+    #[test]
+    fn bounded_history_modes(feed in history(3, 120)) {
+        let (_, recent) = run_detector(pattern(3, PairingMode::Recent, false), &feed);
+        prop_assert!(recent <= 6, "RECENT retained {recent}");
+        let (_, consec) = run_detector(pattern(3, PairingMode::Consecutive, false), &feed);
+        prop_assert!(consec <= 2, "CONSECUTIVE retained {consec}");
+    }
+
+    /// CHRONICLE: every tuple participates in at most one match
+    /// (identified by its global sequence number).
+    #[test]
+    fn chronicle_single_participation(feed in history(3, 80), star in any::<bool>()) {
+        let (matches, _) = run_detector(pattern(3, PairingMode::Chronicle, star), &feed);
+        let mut seen = std::collections::HashSet::new();
+        for m in &matches {
+            for b in &m.bindings {
+                for t in b.tuples() {
+                    prop_assert!(seen.insert(t.seq()), "tuple reused across matches");
+                }
+            }
+        }
+    }
+
+    /// RECENT and CHRONICLE each produce a subset of UNRESTRICTED's
+    /// matches (same pattern, same feed) for star-free patterns.
+    #[test]
+    fn restricted_modes_are_subsets(feed in history(2, 40)) {
+        let key = |m: &SeqMatch| -> Vec<u64> {
+            m.bindings.iter().flat_map(|b| b.tuples().iter().map(|t| t.seq())).collect()
+        };
+        let (unr, _) = run_detector(pattern(2, PairingMode::Unrestricted, false), &feed);
+        let all: std::collections::HashSet<Vec<u64>> = unr.iter().map(key).collect();
+        for mode in [PairingMode::Recent, PairingMode::Chronicle, PairingMode::Consecutive] {
+            let (ms, _) = run_detector(pattern(2, mode, false), &feed);
+            for m in &ms {
+                prop_assert!(all.contains(&key(m)), "{mode} emitted a non-UNRESTRICTED match");
+            }
+        }
+    }
+
+    /// CONSECUTIVE matches are adjacent on the joint history: the match's
+    /// tuples are exactly a contiguous slice of the feed.
+    #[test]
+    fn consecutive_matches_are_contiguous(feed in history(3, 60)) {
+        let (matches, _) = run_detector(pattern(3, PairingMode::Consecutive, false), &feed);
+        let seqs: Vec<u64> = feed.iter().map(|(_, t)| t.seq()).collect();
+        for m in &matches {
+            let used: Vec<u64> = m
+                .bindings
+                .iter()
+                .flat_map(|b| b.tuples().iter().map(|t| t.seq()))
+                .collect();
+            let start = seqs.iter().position(|s| *s == used[0]).unwrap();
+            prop_assert_eq!(&seqs[start..start + used.len()], &used[..]);
+        }
+    }
+
+    /// Windowed detection never emits a match violating its window, and
+    /// punctuation purges everything once the stream goes quiet.
+    #[test]
+    fn windows_are_respected(feed in history(2, 60), dur_secs in 1u64..20) {
+        let dur = Duration::from_secs(dur_secs);
+        let pat = SeqPattern::new(
+            vec![Element::new(0), Element::new(1)],
+            Some(EventWindow::preceding(dur, 1)),
+            PairingMode::Unrestricted,
+        )
+        .unwrap();
+        let mut d = Detector::new(DetectorConfig::seq(pat)).unwrap();
+        for (port, t) in &feed {
+            for o in d.on_tuple(*port, t).unwrap() {
+                if let DetectorOutput::Match(m) = o {
+                    prop_assert!(m.span() <= dur, "match span {} > window {dur}", m.span());
+                }
+            }
+        }
+        let horizon = feed.last().map(|(_, t)| t.ts()).unwrap_or(Timestamp::ZERO)
+            + dur + Duration::from_secs(1);
+        d.on_punctuation(horizon).unwrap();
+        prop_assert_eq!(d.retained(), 0);
+    }
+
+    /// Star groups obey their gap constraint and longest-match: within a
+    /// group consecutive gaps are ≤ the bound, and the tuple right before
+    /// the group (same port) is either absent or gap-violating.
+    #[test]
+    fn star_longest_match(feed in history(2, 60), gap_secs in 1u64..5) {
+        let gap = Duration::from_secs(gap_secs);
+        let pat = SeqPattern::new(
+            vec![Element::star(0).with_star_gap(gap), Element::new(1)],
+            None,
+            PairingMode::Chronicle,
+        )
+        .unwrap();
+        let (matches, _) = run_detector(pat, &feed);
+        for m in &matches {
+            let group = m.binding(0).tuples();
+            for w in group.windows(2) {
+                prop_assert!(w[1].ts() - w[0].ts() <= gap);
+            }
+            // Longest match: the port-0 tuple immediately before the
+            // group start (if any, and unconsumed) must be gap-violating.
+            let first = group.first().unwrap();
+            let prior = feed
+                .iter()
+                .filter(|(p, t)| *p == 0 && t.seq() < first.seq())
+                .map(|(_, t)| t)
+                .next_back();
+            if let Some(p) = prior {
+                // Either consumed by an earlier match or out of gap.
+                let consumed_earlier = matches
+                    .iter()
+                    .take_while(|mm| mm.ts() <= m.ts())
+                    .any(|mm| mm.binding(0).tuples().iter().any(|t| t.seq() == p.seq()));
+                prop_assert!(
+                    consumed_earlier || first.ts() - p.ts() > gap,
+                    "group is not maximal"
+                );
+            }
+        }
+    }
+
+    /// EXCEPTION_SEQ partitions arrivals: per partition-free feed, each
+    /// tuple causes at most one exception, and completion+exception
+    /// levels are within bounds.
+    #[test]
+    fn exception_levels_bounded(feed in history(3, 60)) {
+        let pat = pattern(3, PairingMode::Consecutive, false);
+        let mut d = Detector::new(DetectorConfig::exception(pat)).unwrap();
+        for (port, t) in &feed {
+            let outs = d.on_tuple(*port, t).unwrap();
+            let exceptions: Vec<_> = outs.iter().filter(|o| o.as_exception().is_some()).collect();
+            prop_assert!(exceptions.len() <= 1, "multiple exceptions for one tuple");
+            for o in outs {
+                if let DetectorOutput::Exception(e) = o {
+                    prop_assert!(e.level >= 1 && e.level <= 3);
+                    prop_assert_eq!(e.partial.len(), e.completion_level());
+                }
+            }
+        }
+    }
+}
+
+/// Brute-force reference for star-free UNRESTRICTED SEQ: every strictly
+/// increasing index combination whose ports match the pattern.
+fn reference_unrestricted(feed: &[(usize, Tuple)], ports: usize) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    let n = feed.len();
+    fn rec(
+        feed: &[(usize, Tuple)],
+        ports: usize,
+        depth: usize,
+        start: usize,
+        acc: &mut Vec<u64>,
+        out: &mut Vec<Vec<u64>>,
+    ) {
+        if depth == ports {
+            out.push(acc.clone());
+            return;
+        }
+        for i in start..feed.len() {
+            if feed[i].0 == depth {
+                acc.push(feed[i].1.seq());
+                rec(feed, ports, depth + 1, i + 1, acc, out);
+                acc.pop();
+            }
+        }
+    }
+    let mut acc = Vec::new();
+    rec(feed, ports, 0, 0, &mut acc, &mut out);
+    let _ = n;
+    out
+}
+
+proptest! {
+    /// The UNRESTRICTED engine agrees exactly with the brute-force
+    /// enumeration over the full history (small feeds).
+    #[test]
+    fn unrestricted_matches_brute_force(feed in history(3, 18)) {
+        let (matches, _) = run_detector(pattern(3, PairingMode::Unrestricted, false), &feed);
+        let mut got: Vec<Vec<u64>> = matches
+            .iter()
+            .map(|m| m.bindings.iter().map(|b| b.first().seq()).collect())
+            .collect();
+        got.sort();
+        let mut want = reference_unrestricted(&feed, 3);
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+}

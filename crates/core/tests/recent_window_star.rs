@@ -1,0 +1,120 @@
+//! RECENT-mode corner cases: star elements interacting with FOLLOWING
+//! windows, replacement semantics under windows, and chain freshness.
+
+use eslev_core::prelude::*;
+use eslev_dsms::prelude::{Duration, Timestamp, Tuple, Value};
+
+fn t(secs: u64, seq: u64) -> Tuple {
+    Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+}
+
+fn detect(pat: SeqPattern, feed: &[(usize, u64)]) -> Vec<SeqMatch> {
+    let mut d = Detector::new(DetectorConfig::seq(pat)).unwrap();
+    let mut out = Vec::new();
+    for (i, (port, secs)) in feed.iter().enumerate() {
+        for o in d.on_tuple(*port, &t(*secs, i as u64)).unwrap() {
+            if let DetectorOutput::Match(m) = o {
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+/// SEQ(A*, B) OVER [10 s FOLLOWING A] under RECENT: the window starts at
+/// the group's first tuple, so a long burst can push its own closure out
+/// of the window.
+#[test]
+fn following_window_anchored_at_star_start() {
+    let pat = SeqPattern::new(
+        vec![Element::star(0), Element::new(1)],
+        Some(EventWindow::following(Duration::from_secs(10), 0)),
+        PairingMode::Recent,
+    )
+    .unwrap();
+    // Burst starting at t=0; B at t=9 is in-window.
+    let m = detect(pat.clone(), &[(0, 0), (0, 4), (0, 8), (1, 9)]);
+    assert_eq!(m.len(), 1);
+    assert_eq!(m[0].binding(0).count(), 3);
+    // Same burst but B at t=11: outside 10 s of the group start.
+    let m = detect(pat, &[(0, 0), (0, 4), (0, 8), (1, 11)]);
+    assert!(m.is_empty());
+}
+
+/// Replacement under a PRECEDING window: a stale A chain is replaced by
+/// a fresh one, and only the fresh one completes.
+#[test]
+fn replacement_respects_window() {
+    let pat = SeqPattern::new(
+        vec![Element::new(0), Element::new(1)],
+        Some(EventWindow::preceding(Duration::from_secs(5), 1)),
+        PairingMode::Recent,
+    )
+    .unwrap();
+    let m = detect(
+        pat,
+        &[
+            (0, 0),  // stale A
+            (0, 20), // fresh A replaces it
+            (1, 23), // B: within 5 s of fresh A only
+        ],
+    );
+    assert_eq!(m.len(), 1);
+    assert_eq!(m[0].binding(0).first().ts(), Timestamp::from_secs(20));
+}
+
+/// A RECENT chain is frozen per completion: later replacements of early
+/// positions never rewrite history, even with stars in the middle.
+#[test]
+fn star_chain_freshness() {
+    // SEQ(A, B*, C).
+    let pat = SeqPattern::new(
+        vec![Element::new(0), Element::star(1), Element::new(2)],
+        None,
+        PairingMode::Recent,
+    )
+    .unwrap();
+    let m = detect(
+        pat,
+        &[
+            (0, 1),  // A@1
+            (1, 2),  // B@2
+            (1, 3),  // B@3
+            (0, 4),  // A@4 replaces latest[0] — but B-group keeps parent A@1
+            (2, 5),  // C closes: chain must be (A@1, B@2..3, C@5)
+        ],
+    );
+    assert_eq!(m.len(), 1);
+    assert_eq!(m[0].binding(0).first().ts(), Timestamp::from_secs(1));
+    assert_eq!(m[0].binding(1).count(), 2);
+    assert_eq!(m[0].binding(2).first().ts(), Timestamp::from_secs(5));
+}
+
+/// After a gap-broken star group restarts under RECENT, the new group
+/// chains against the *current* most recent predecessor.
+#[test]
+fn star_restart_uses_current_parent() {
+    let pat = SeqPattern::new(
+        vec![
+            Element::new(0),
+            Element::star(1).with_star_gap(Duration::from_secs(2)),
+            Element::new(2),
+        ],
+        None,
+        PairingMode::Recent,
+    )
+    .unwrap();
+    let m = detect(
+        pat,
+        &[
+            (0, 1),  // A@1
+            (1, 2),  // B@2 (group 1)
+            (0, 10), // fresh A@10
+            (1, 11), // B@11: gap from B@2 is 9 s > 2 s → new group, parent A@10
+            (2, 12), // C closes with the fresh chain
+        ],
+    );
+    assert_eq!(m.len(), 1);
+    assert_eq!(m[0].binding(0).first().ts(), Timestamp::from_secs(10));
+    assert_eq!(m[0].binding(1).count(), 1);
+}

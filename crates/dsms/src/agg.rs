@@ -1,0 +1,483 @@
+//! Aggregates and User-Defined Aggregates (UDAs).
+//!
+//! ESL's distinguishing feature (§2.1 of the paper) is that aggregation is
+//! extensible: built-ins plus UDAs defined by an INITIALIZE / ITERATE /
+//! TERMINATE triple. We model exactly that shape: an [`Aggregate`] is a
+//! factory for [`Accumulator`]s; built-ins implement the same trait the
+//! user-defined ones do.
+
+use crate::error::{DsmsError, Result};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// State-transition closure of a [`ClosureUda`]: `(state, input) -> state`.
+pub type UdaIterateFn = Arc<dyn Fn(&Value, &Value) -> Result<Value> + Send + Sync>;
+
+/// Incremental aggregate state: ITERATE folds values in, TERMINATE reads
+/// the result out. `retract` is optional and enables sliding-window
+/// aggregation without recompute.
+pub trait Accumulator: Send {
+    /// Fold one input value into the state (ESL `ITERATE`).
+    fn iterate(&mut self, v: &Value) -> Result<()>;
+    /// Produce the current aggregate value (ESL `TERMINATE`). May be called
+    /// repeatedly (continuous queries emit per tuple).
+    fn terminate(&self) -> Value;
+    /// Remove a previously-iterated value (window slide). Returns
+    /// `Err` when this accumulator cannot retract (MIN/MAX, custom UDAs),
+    /// in which case the caller recomputes from the window buffer.
+    fn retract(&mut self, _v: &Value) -> Result<()> {
+        Err(DsmsError::eval("aggregate does not support retraction"))
+    }
+}
+
+/// A named aggregate function: a factory for accumulators.
+pub trait Aggregate: Send + Sync {
+    /// Name as written in queries (`COUNT`, `SUM`, ...).
+    fn name(&self) -> &str;
+    /// Fresh state (ESL `INITIALIZE`).
+    fn init(&self) -> Box<dyn Accumulator>;
+}
+
+/// Shared aggregate handle.
+pub type AggregateRef = Arc<dyn Aggregate>;
+
+/// Registry of aggregates available to the planner, pre-populated with the
+/// SQL built-ins.
+#[derive(Clone)]
+pub struct AggregateRegistry {
+    aggs: HashMap<String, AggregateRef>,
+}
+
+impl Default for AggregateRegistry {
+    fn default() -> Self {
+        let mut r = AggregateRegistry {
+            aggs: HashMap::new(),
+        };
+        r.register(Arc::new(Count));
+        r.register(Arc::new(Sum));
+        r.register(Arc::new(Avg));
+        r.register(Arc::new(Min));
+        r.register(Arc::new(Max));
+        r
+    }
+}
+
+impl AggregateRegistry {
+    /// Registry with the five SQL built-ins.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a (possibly user-defined) aggregate; replaces same-named.
+    pub fn register(&mut self, agg: AggregateRef) {
+        self.aggs.insert(agg.name().to_ascii_lowercase(), agg);
+    }
+
+    /// Look up by case-insensitive name.
+    pub fn get(&self, name: &str) -> Option<AggregateRef> {
+        self.aggs.get(&name.to_ascii_lowercase()).cloned()
+    }
+}
+
+impl fmt::Debug for AggregateRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AggregateRegistry")
+            .field("aggs", &self.aggs.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------- built-ins
+
+/// `COUNT(x)` — counts non-NULL inputs.
+pub struct Count;
+
+struct CountAcc {
+    n: i64,
+}
+
+impl Aggregate for Count {
+    fn name(&self) -> &str {
+        "count"
+    }
+    fn init(&self) -> Box<dyn Accumulator> {
+        Box::new(CountAcc { n: 0 })
+    }
+}
+
+impl Accumulator for CountAcc {
+    fn iterate(&mut self, v: &Value) -> Result<()> {
+        if !v.is_null() {
+            self.n += 1;
+        }
+        Ok(())
+    }
+    fn terminate(&self) -> Value {
+        Value::Int(self.n)
+    }
+    fn retract(&mut self, v: &Value) -> Result<()> {
+        if !v.is_null() {
+            self.n -= 1;
+        }
+        Ok(())
+    }
+}
+
+/// `SUM(x)` — integer sum unless any float seen; NULL on empty input.
+pub struct Sum;
+
+struct SumAcc {
+    int: i64,
+    float: f64,
+    any_float: bool,
+    n: i64,
+}
+
+impl Aggregate for Sum {
+    fn name(&self) -> &str {
+        "sum"
+    }
+    fn init(&self) -> Box<dyn Accumulator> {
+        Box::new(SumAcc {
+            int: 0,
+            float: 0.0,
+            any_float: false,
+            n: 0,
+        })
+    }
+}
+
+impl SumAcc {
+    fn apply(&mut self, v: &Value, sign: i64) -> Result<()> {
+        match v {
+            Value::Null => Ok(()),
+            Value::Int(i) => {
+                self.int += sign * i;
+                self.float += (sign * i) as f64;
+                self.n += sign;
+                Ok(())
+            }
+            Value::Float(f) => {
+                self.any_float = true;
+                self.float += sign as f64 * f;
+                self.n += sign;
+                Ok(())
+            }
+            other => Err(DsmsError::eval(format!(
+                "SUM over non-numeric {}",
+                other.value_type()
+            ))),
+        }
+    }
+}
+
+impl Accumulator for SumAcc {
+    fn iterate(&mut self, v: &Value) -> Result<()> {
+        self.apply(v, 1)
+    }
+    fn terminate(&self) -> Value {
+        if self.n == 0 {
+            Value::Null
+        } else if self.any_float {
+            Value::Float(self.float)
+        } else {
+            Value::Int(self.int)
+        }
+    }
+    fn retract(&mut self, v: &Value) -> Result<()> {
+        self.apply(v, -1)
+    }
+}
+
+/// `AVG(x)` — float average; NULL on empty input.
+pub struct Avg;
+
+struct AvgAcc {
+    sum: f64,
+    n: i64,
+}
+
+impl Aggregate for Avg {
+    fn name(&self) -> &str {
+        "avg"
+    }
+    fn init(&self) -> Box<dyn Accumulator> {
+        Box::new(AvgAcc { sum: 0.0, n: 0 })
+    }
+}
+
+impl Accumulator for AvgAcc {
+    fn iterate(&mut self, v: &Value) -> Result<()> {
+        if let Some(f) = v.as_float() {
+            self.sum += f;
+            self.n += 1;
+        } else if !v.is_null() {
+            return Err(DsmsError::eval(format!(
+                "AVG over non-numeric {}",
+                v.value_type()
+            )));
+        }
+        Ok(())
+    }
+    fn terminate(&self) -> Value {
+        if self.n == 0 {
+            Value::Null
+        } else {
+            Value::Float(self.sum / self.n as f64)
+        }
+    }
+    fn retract(&mut self, v: &Value) -> Result<()> {
+        if let Some(f) = v.as_float() {
+            self.sum -= f;
+            self.n -= 1;
+        }
+        Ok(())
+    }
+}
+
+/// `MIN(x)` — smallest non-NULL input; no retraction (recompute on slide).
+pub struct Min;
+/// `MAX(x)` — largest non-NULL input; no retraction (recompute on slide).
+pub struct Max;
+
+struct ExtremumAcc {
+    best: Option<Value>,
+    want_min: bool,
+}
+
+impl Aggregate for Min {
+    fn name(&self) -> &str {
+        "min"
+    }
+    fn init(&self) -> Box<dyn Accumulator> {
+        Box::new(ExtremumAcc {
+            best: None,
+            want_min: true,
+        })
+    }
+}
+
+impl Aggregate for Max {
+    fn name(&self) -> &str {
+        "max"
+    }
+    fn init(&self) -> Box<dyn Accumulator> {
+        Box::new(ExtremumAcc {
+            best: None,
+            want_min: false,
+        })
+    }
+}
+
+impl Accumulator for ExtremumAcc {
+    fn iterate(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        let replace = match &self.best {
+            None => true,
+            Some(b) => match v.sql_cmp(b) {
+                Some(std::cmp::Ordering::Less) => self.want_min,
+                Some(std::cmp::Ordering::Greater) => !self.want_min,
+                Some(std::cmp::Ordering::Equal) => false,
+                None => {
+                    return Err(DsmsError::eval("MIN/MAX over mixed types"));
+                }
+            },
+        };
+        if replace {
+            self.best = Some(v.clone());
+        }
+        Ok(())
+    }
+    fn terminate(&self) -> Value {
+        self.best.clone().unwrap_or(Value::Null)
+    }
+}
+
+/// A UDA defined by three closures — the ESL `INITIALIZE` / `ITERATE` /
+/// `TERMINATE` shape, for aggregates written by end users in the host
+/// language rather than native SQL.
+pub struct ClosureUda {
+    name: String,
+    init: Arc<dyn Fn() -> Value + Send + Sync>,
+    iterate: UdaIterateFn,
+    terminate: Arc<dyn Fn(&Value) -> Value + Send + Sync>,
+}
+
+impl ClosureUda {
+    /// Build a UDA from its three parts. `init` produces the initial state
+    /// value, `iterate(state, input)` the next state, `terminate(state)`
+    /// the result.
+    pub fn new(
+        name: impl Into<String>,
+        init: impl Fn() -> Value + Send + Sync + 'static,
+        iterate: impl Fn(&Value, &Value) -> Result<Value> + Send + Sync + 'static,
+        terminate: impl Fn(&Value) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        ClosureUda {
+            name: name.into(),
+            init: Arc::new(init),
+            iterate: Arc::new(iterate),
+            terminate: Arc::new(terminate),
+        }
+    }
+}
+
+struct ClosureAcc {
+    state: Value,
+    iterate: UdaIterateFn,
+    terminate: Arc<dyn Fn(&Value) -> Value + Send + Sync>,
+}
+
+impl Aggregate for ClosureUda {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn init(&self) -> Box<dyn Accumulator> {
+        Box::new(ClosureAcc {
+            state: (self.init)(),
+            iterate: self.iterate.clone(),
+            terminate: self.terminate.clone(),
+        })
+    }
+}
+
+impl Accumulator for ClosureAcc {
+    fn iterate(&mut self, v: &Value) -> Result<()> {
+        self.state = (self.iterate)(&self.state, v)?;
+        Ok(())
+    }
+    fn terminate(&self) -> Value {
+        (self.terminate)(&self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(agg: &dyn Aggregate, vals: &[Value]) -> Value {
+        let mut acc = agg.init();
+        for v in vals {
+            acc.iterate(v).unwrap();
+        }
+        acc.terminate()
+    }
+
+    #[test]
+    fn count_skips_nulls() {
+        assert_eq!(
+            run(&Count, &[Value::Int(1), Value::Null, Value::Int(2)]),
+            Value::Int(2)
+        );
+        assert_eq!(run(&Count, &[]), Value::Int(0));
+    }
+
+    #[test]
+    fn sum_int_and_float() {
+        assert_eq!(run(&Sum, &[Value::Int(1), Value::Int(2)]), Value::Int(3));
+        assert_eq!(
+            run(&Sum, &[Value::Int(1), Value::Float(0.5)]),
+            Value::Float(1.5)
+        );
+        assert_eq!(run(&Sum, &[]), Value::Null);
+        assert_eq!(run(&Sum, &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let mut acc = Sum.init();
+        assert!(acc.iterate(&Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn avg() {
+        assert_eq!(
+            run(&Avg, &[Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Value::Float(2.0)
+        );
+        assert_eq!(run(&Avg, &[]), Value::Null);
+    }
+
+    #[test]
+    fn min_max() {
+        let vals = [Value::Int(5), Value::Int(1), Value::Null, Value::Int(3)];
+        assert_eq!(run(&Min, &vals), Value::Int(1));
+        assert_eq!(run(&Max, &vals), Value::Int(5));
+        assert_eq!(run(&Min, &[]), Value::Null);
+        // Strings order lexicographically (blood-pressure device ids etc.).
+        assert_eq!(
+            run(&Max, &[Value::str("a"), Value::str("c"), Value::str("b")]),
+            Value::str("c")
+        );
+    }
+
+    #[test]
+    fn retraction_for_sliding_windows() {
+        let mut acc = Sum.init();
+        for v in [Value::Int(10), Value::Int(20), Value::Int(30)] {
+            acc.iterate(&v).unwrap();
+        }
+        acc.retract(&Value::Int(10)).unwrap();
+        assert_eq!(acc.terminate(), Value::Int(50));
+        // MIN cannot retract.
+        let mut m = Min.init();
+        m.iterate(&Value::Int(1)).unwrap();
+        assert!(m.retract(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn closure_uda_geometric_style() {
+        // A "range" UDA: max - min, tracking state as a 2-element sum
+        // encoded in a string for simplicity of the Value-typed state.
+        let uda = ClosureUda::new(
+            "span",
+            || Value::str(""),
+            |state, v| {
+                let x = v.as_int().ok_or_else(|| DsmsError::eval("int expected"))?;
+                let s = state.as_str().unwrap_or("");
+                let (lo, hi) = if s.is_empty() {
+                    (x, x)
+                } else {
+                    let mut it = s.split(',');
+                    let lo: i64 = it.next().unwrap().parse().unwrap();
+                    let hi: i64 = it.next().unwrap().parse().unwrap();
+                    (lo.min(x), hi.max(x))
+                };
+                Ok(Value::str(format!("{lo},{hi}")))
+            },
+            |state| {
+                let s = state.as_str().unwrap_or("");
+                if s.is_empty() {
+                    return Value::Null;
+                }
+                let mut it = s.split(',');
+                let lo: i64 = it.next().unwrap().parse().unwrap();
+                let hi: i64 = it.next().unwrap().parse().unwrap();
+                Value::Int(hi - lo)
+            },
+        );
+        assert_eq!(
+            run(&uda, &[Value::Int(3), Value::Int(10), Value::Int(7)]),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn registry_has_builtins_and_registers_udas() {
+        let mut r = AggregateRegistry::new();
+        assert!(r.get("COUNT").is_some());
+        assert!(r.get("sum").is_some());
+        assert!(r.get("median").is_none());
+        r.register(Arc::new(ClosureUda::new(
+            "median",
+            || Value::Null,
+            |s, _| Ok(s.clone()),
+            |s| s.clone(),
+        )));
+        assert!(r.get("MEDIAN").is_some());
+    }
+}

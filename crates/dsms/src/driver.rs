@@ -1,0 +1,198 @@
+//! Concurrent front door for the engine.
+//!
+//! The core [`Engine`] is deliberately
+//! single-threaded and deterministic — the experiments need reproducible
+//! outputs. Real deployments have readers pushing from many threads, so
+//! this module provides a channel-based driver: one worker thread owns the
+//! engine, producers send rows through a bounded crossbeam channel, and a
+//! heartbeat generator can inject punctuations for active expiration.
+
+use crate::engine::Engine;
+use crate::error::{DsmsError, Result};
+use crate::time::Timestamp;
+use crate::value::Value;
+use crossbeam::channel::{bounded, Sender};
+use std::thread::JoinHandle;
+
+enum Command {
+    Push { stream: String, values: Vec<Value> },
+    Advance(Timestamp),
+    Flush(Sender<()>),
+    Stop(Sender<Engine>),
+}
+
+/// Handle for feeding an engine that runs on its own thread.
+///
+/// Cloneable; all clones feed the same engine. Errors inside the worker
+/// are returned by [`EngineDriver::stop`].
+pub struct EngineDriver {
+    tx: Sender<Command>,
+    handle: Option<JoinHandle<Result<()>>>,
+}
+
+/// Cloneable producer handle derived from a driver.
+#[derive(Clone)]
+pub struct EngineInput {
+    tx: Sender<Command>,
+}
+
+impl EngineDriver {
+    /// Move `engine` onto a worker thread. `queue` bounds the channel
+    /// (back-pressure for fast producers).
+    pub fn spawn(mut engine: Engine, queue: usize) -> EngineDriver {
+        let (tx, rx) = bounded::<Command>(queue.max(1));
+        let handle = std::thread::spawn(move || -> Result<()> {
+            let mut first_err: Option<DsmsError> = None;
+            for cmd in rx {
+                match cmd {
+                    Command::Push { stream, values } => {
+                        if first_err.is_none() {
+                            if let Err(e) = engine.push(&stream, values) {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                    Command::Advance(ts) => {
+                        if first_err.is_none() {
+                            if let Err(e) = engine.advance_to(ts) {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                    Command::Flush(ack) => {
+                        let _ = ack.send(());
+                    }
+                    Command::Stop(back) => {
+                        let _ = back.send(engine);
+                        return first_err.map_or(Ok(()), Err);
+                    }
+                }
+            }
+            first_err.map_or(Ok(()), Err)
+        });
+        EngineDriver {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// A cloneable producer handle.
+    pub fn input(&self) -> EngineInput {
+        EngineInput {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Block until every command sent so far has been processed.
+    pub fn flush(&self) -> Result<()> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Command::Flush(ack_tx))
+            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
+        ack_rx
+            .recv()
+            .map_err(|_| DsmsError::plan("engine worker terminated"))
+    }
+
+    /// Stop the worker and recover the engine (with all collectors and
+    /// stats intact). Returns the first error the worker hit, if any.
+    pub fn stop(mut self) -> Result<Engine> {
+        let (back_tx, back_rx) = bounded(1);
+        self.tx
+            .send(Command::Stop(back_tx))
+            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
+        let engine = back_rx
+            .recv()
+            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
+        let result = self
+            .handle
+            .take()
+            .expect("stop called once")
+            .join()
+            .map_err(|_| DsmsError::plan("engine worker panicked"))?;
+        result.map(|()| engine)
+    }
+}
+
+impl EngineInput {
+    /// Queue a row for a stream.
+    pub fn push(&self, stream: &str, values: Vec<Value>) -> Result<()> {
+        self.tx
+            .send(Command::Push {
+                stream: stream.to_string(),
+                values,
+            })
+            .map_err(|_| DsmsError::plan("engine worker terminated"))
+    }
+
+    /// Queue a punctuation.
+    pub fn advance_to(&self, ts: Timestamp) -> Result<()> {
+        self.tx
+            .send(Command::Advance(ts))
+            .map_err(|_| DsmsError::plan("engine worker terminated"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ops::Select;
+    use crate::schema::Schema;
+
+    fn reading(secs: u64, tag: &str) -> Vec<Value> {
+        vec![
+            Value::str("r1"),
+            Value::str(tag),
+            Value::Ts(Timestamp::from_secs(secs)),
+        ]
+    }
+
+    #[test]
+    fn concurrent_producers_feed_one_engine() {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        let (_, out) = e
+            .register_collected(
+                "all",
+                vec!["readings"],
+                Box::new(Select::new(Expr::lit(true))),
+            )
+            .unwrap();
+        // Single producer pushes in order (engine enforces per-stream
+        // order; multi-producer feeds would use one stream each).
+        let driver = EngineDriver::spawn(e, 64);
+        let input = driver.input();
+        let h = std::thread::spawn(move || {
+            for i in 0..100u64 {
+                input.push("readings", reading(i, &format!("t{i}"))).unwrap();
+            }
+        });
+        h.join().unwrap();
+        driver.flush().unwrap();
+        let engine = driver.stop().unwrap();
+        assert_eq!(out.len(), 100);
+        assert_eq!(engine.stream_pushed("readings").unwrap(), 100);
+    }
+
+    #[test]
+    fn worker_reports_first_error_on_stop() {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        let driver = EngineDriver::spawn(e, 8);
+        let input = driver.input();
+        input.push("nonexistent", reading(1, "t")).unwrap();
+        let err = driver.stop().err().expect("worker must surface the error");
+        assert!(err.to_string().contains("nonexistent"));
+    }
+
+    #[test]
+    fn advance_through_driver() {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        let driver = EngineDriver::spawn(e, 8);
+        driver.input().advance_to(Timestamp::from_secs(42)).unwrap();
+        let engine = driver.stop().unwrap();
+        assert_eq!(engine.now(), Timestamp::from_secs(42));
+    }
+}

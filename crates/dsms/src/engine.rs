@@ -1,0 +1,919 @@
+//! The continuous-query engine.
+//!
+//! The engine owns the catalog (streams, tables, functions, aggregates)
+//! and a set of registered continuous queries. Arriving tuples are pushed
+//! into named streams; the engine routes them to every query subscribed to
+//! that stream, routes each query's outputs to its sink, and cascades —
+//! a sink may itself be a stream feeding further queries (the paper's
+//! `cleaned_readings` pattern).
+//!
+//! # Time
+//!
+//! The engine maintains a global stream-time high-water mark. With
+//! `auto_watermark` enabled (the default), every pushed tuple also acts as
+//! a punctuation at its own timestamp — valid because the simulators (and
+//! any single merged RFID feed) deliver tuples in global timestamp order.
+//! Callers with multiple unsynchronized feeds should disable it and call
+//! [`Engine::advance_to`] from their own heartbeat, which is exactly the
+//! *active expiration* mechanism of ESL: window expiry must be detected
+//! even when no tuple arrives.
+
+use crate::agg::AggregateRegistry;
+use crate::error::{DsmsError, Result};
+use crate::expr::FunctionRegistry;
+use crate::ops::Operator;
+use crate::schema::SchemaRef;
+use crate::snapshot::{MaterializedWindow, SnapshotRef};
+use crate::table::{Table, TableRef};
+use crate::window::WindowExtent;
+use crate::time::Timestamp;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Where a query's output tuples go.
+pub enum Sink {
+    /// Re-inject into a named stream (validated against its schema).
+    Stream(String),
+    /// Insert into a named table.
+    Table(String),
+    /// Append to a shared collector (tests, harnesses, ad-hoc queries).
+    Collect(Collector),
+    /// Drop (the query is run for its side effects or its stats).
+    Discard,
+}
+
+/// Shared output buffer for collected queries.
+#[derive(Clone, Default)]
+pub struct Collector {
+    buf: Arc<Mutex<Vec<Tuple>>>,
+}
+
+impl Collector {
+    /// New empty collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// Drain all collected tuples.
+    pub fn take(&self) -> Vec<Tuple> {
+        std::mem::take(&mut self.buf.lock())
+    }
+
+    /// Snapshot without draining.
+    pub fn snapshot(&self) -> Vec<Tuple> {
+        self.buf.lock().clone()
+    }
+
+    /// Number of collected tuples.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, t: Tuple) {
+        self.buf.lock().push(t);
+    }
+}
+
+/// Identifier of a registered continuous query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(usize);
+
+/// One row of [`Engine::query_stats`].
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// The query's id.
+    pub id: QueryId,
+    /// Name given at registration.
+    pub name: String,
+    /// Whether it still receives input.
+    pub active: bool,
+    /// Tuples emitted so far.
+    pub emitted: u64,
+    /// Tuples retained in operator state.
+    pub retained: usize,
+}
+
+struct QueryState {
+    name: String,
+    op: Box<dyn Operator>,
+    sink: Sink,
+    emitted: u64,
+    active: bool,
+}
+
+struct StreamEntry {
+    schema: SchemaRef,
+    last_ts: Timestamp,
+    pushed: u64,
+    /// Bounded-disorder handling: arrivals buffer here and release in
+    /// timestamp order once the stream's high-water mark passes them by
+    /// `slack` (RFID readers timestamp with jitter; §2's model still
+    /// assumes ordered streams, so the engine restores order at the edge).
+    reorder: Option<ReorderState>,
+}
+
+struct ReorderState {
+    slack: crate::time::Duration,
+    /// Max event time seen (the pre-slack high-water mark).
+    max_seen: Timestamp,
+    /// Buffered arrivals, drained in (ts, seq) order.
+    pending: std::collections::BTreeMap<(Timestamp, u64), Tuple>,
+}
+
+/// The DSMS runtime. Single-threaded and deterministic; see
+/// [`crate::driver`] for the concurrent front door.
+pub struct Engine {
+    streams: HashMap<String, StreamEntry>,
+    tables: HashMap<String, TableRef>,
+    /// Materialized windows per stream (ad-hoc snapshot queries, §2.1).
+    materialized: HashMap<String, Vec<SnapshotRef>>,
+    funcs: FunctionRegistry,
+    aggs: AggregateRegistry,
+    queries: Vec<QueryState>,
+    /// stream name -> [(query index, input port)]
+    subs: HashMap<String, Vec<(usize, usize)>>,
+    next_seq: u64,
+    now: Timestamp,
+    auto_watermark: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Fresh engine with built-in aggregates, no streams or queries.
+    pub fn new() -> Engine {
+        Engine {
+            streams: HashMap::new(),
+            tables: HashMap::new(),
+            materialized: HashMap::new(),
+            funcs: FunctionRegistry::new(),
+            aggs: AggregateRegistry::new(),
+            queries: Vec::new(),
+            subs: HashMap::new(),
+            next_seq: 0,
+            now: Timestamp::ZERO,
+            auto_watermark: true,
+        }
+    }
+
+    /// Disable per-tuple watermarks (multiple unsynchronized feeds).
+    pub fn set_auto_watermark(&mut self, on: bool) {
+        self.auto_watermark = on;
+    }
+
+    /// Register a stream; errors on duplicate names.
+    pub fn create_stream(&mut self, schema: SchemaRef) -> Result<()> {
+        let name = schema.name.clone();
+        if schema.time_column.is_none() {
+            return Err(DsmsError::schema(format!(
+                "stream `{name}` must declare a time column"
+            )));
+        }
+        if self.streams.contains_key(&name) || self.tables.contains_key(&name) {
+            return Err(DsmsError::duplicate(name));
+        }
+        self.streams.insert(
+            name,
+            StreamEntry {
+                schema,
+                last_ts: Timestamp::ZERO,
+                pushed: 0,
+                reorder: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Register a table; errors on duplicate names.
+    pub fn create_table(&mut self, schema: SchemaRef) -> Result<TableRef> {
+        let name = schema.name.clone();
+        if self.streams.contains_key(&name) || self.tables.contains_key(&name) {
+            return Err(DsmsError::duplicate(name));
+        }
+        let t = Table::new(schema);
+        self.tables.insert(name, t.clone());
+        Ok(t)
+    }
+
+    /// Handle to a registered table.
+    pub fn table(&self, name: &str) -> Result<TableRef> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| DsmsError::unknown(format!("table `{name}`")))
+    }
+
+    /// Schema of a registered stream.
+    pub fn stream_schema(&self, name: &str) -> Result<SchemaRef> {
+        self.streams
+            .get(&name.to_ascii_lowercase())
+            .map(|e| e.schema.clone())
+            .ok_or_else(|| DsmsError::unknown(format!("stream `{name}`")))
+    }
+
+    /// Mutable access to the scalar-function registry.
+    pub fn functions_mut(&mut self) -> &mut FunctionRegistry {
+        &mut self.funcs
+    }
+
+    /// The scalar-function registry.
+    pub fn functions(&self) -> &FunctionRegistry {
+        &self.funcs
+    }
+
+    /// Mutable access to the aggregate registry.
+    pub fn aggregates_mut(&mut self) -> &mut AggregateRegistry {
+        &mut self.aggs
+    }
+
+    /// The aggregate registry.
+    pub fn aggregates(&self) -> &AggregateRegistry {
+        &self.aggs
+    }
+
+    /// Tolerate out-of-order arrivals on a stream up to `slack`: pushes
+    /// buffer inside the engine and release in timestamp order once the
+    /// stream's newest arrival is `slack` ahead of them. Tuples later
+    /// than that are rejected as [`DsmsError::OutOfOrder`]. Call
+    /// [`Engine::flush_disorder`] (or push something `slack` newer) to
+    /// drain the tail.
+    pub fn set_disorder_tolerance(
+        &mut self,
+        stream: &str,
+        slack: crate::time::Duration,
+    ) -> Result<()> {
+        let entry = self
+            .streams
+            .get_mut(&stream.to_ascii_lowercase())
+            .ok_or_else(|| DsmsError::unknown(format!("stream `{stream}`")))?;
+        entry.reorder = Some(ReorderState {
+            slack,
+            max_seen: Timestamp::ZERO,
+            pending: std::collections::BTreeMap::new(),
+        });
+        Ok(())
+    }
+
+    /// Drain every buffered out-of-order tuple on every stream (end of
+    /// feed); advances stream time to the newest drained arrival.
+    pub fn flush_disorder(&mut self) -> Result<()> {
+        let names: Vec<String> = self
+            .streams
+            .iter()
+            .filter(|(_, e)| e.reorder.is_some())
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in names {
+            let drained: Vec<Tuple> = {
+                let entry = self.streams.get_mut(&name).expect("name from map");
+                let Some(r) = entry.reorder.as_mut() else { continue };
+                let all: Vec<Tuple> = std::mem::take(&mut r.pending).into_values().collect();
+                all
+            };
+            for t in drained {
+                self.deliver_ordered(&name, t)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn deliver_ordered(&mut self, lower: &str, t: Tuple) -> Result<()> {
+        let entry = self.streams.get_mut(lower).expect("stream exists");
+        debug_assert!(t.ts() >= entry.last_ts, "reorder buffer releases in order");
+        entry.last_ts = t.ts();
+        entry.pushed += 1;
+        let ts = t.ts();
+        if self.auto_watermark && ts > self.now {
+            self.advance_to(ts)?;
+        }
+        if let Some(mats) = self.materialized.get(lower) {
+            for m in mats {
+                m.push(t.clone());
+            }
+        }
+        self.dispatch(lower.to_string(), t)
+    }
+
+    /// Maintain a materialized window over a stream for ad-hoc snapshot
+    /// queries (§2.1 of the paper: query the recent past of a stream
+    /// without persisting it). Returns the queryable handle.
+    pub fn materialize(&mut self, stream: &str, extent: WindowExtent) -> Result<SnapshotRef> {
+        let lower = stream.to_ascii_lowercase();
+        let schema = self.stream_schema(&lower)?;
+        let m = MaterializedWindow::new(schema, extent)?;
+        self.materialized.entry(lower).or_default().push(m.clone());
+        Ok(m)
+    }
+
+    /// The first materialized window registered over a stream, if any.
+    pub fn snapshot_of(&self, stream: &str) -> Option<SnapshotRef> {
+        self.materialized
+            .get(&stream.to_ascii_lowercase())
+            .and_then(|v| v.first())
+            .cloned()
+    }
+
+    /// Register a continuous query reading from `sources` (port i =
+    /// sources\[i\]) through `op` into `sink`.
+    pub fn register_query(
+        &mut self,
+        name: impl Into<String>,
+        sources: Vec<&str>,
+        op: Box<dyn Operator>,
+        sink: Sink,
+    ) -> Result<QueryId> {
+        if sources.len() != op.num_ports() {
+            return Err(DsmsError::plan(format!(
+                "operator `{}` expects {} inputs, got {}",
+                op.name(),
+                op.num_ports(),
+                sources.len()
+            )));
+        }
+        for s in &sources {
+            let lower = s.to_ascii_lowercase();
+            if !self.streams.contains_key(&lower) {
+                return Err(DsmsError::unknown(format!("stream `{s}`")));
+            }
+        }
+        if let Sink::Stream(s) = &sink {
+            if !self.streams.contains_key(&s.to_ascii_lowercase()) {
+                return Err(DsmsError::unknown(format!("sink stream `{s}`")));
+            }
+        }
+        if let Sink::Table(t) = &sink {
+            if !self.tables.contains_key(&t.to_ascii_lowercase()) {
+                return Err(DsmsError::unknown(format!("sink table `{t}`")));
+            }
+        }
+        let idx = self.queries.len();
+        for (port, s) in sources.iter().enumerate() {
+            self.subs
+                .entry(s.to_ascii_lowercase())
+                .or_default()
+                .push((idx, port));
+        }
+        self.queries.push(QueryState {
+            name: name.into(),
+            op,
+            sink,
+            emitted: 0,
+            active: true,
+        });
+        Ok(QueryId(idx))
+    }
+
+    /// Convenience: register a query whose outputs are collected.
+    pub fn register_collected(
+        &mut self,
+        name: impl Into<String>,
+        sources: Vec<&str>,
+        op: Box<dyn Operator>,
+    ) -> Result<(QueryId, Collector)> {
+        let c = Collector::new();
+        let id = self.register_query(name, sources, op, Sink::Collect(c.clone()))?;
+        Ok((id, c))
+    }
+
+    /// Push a row into a stream; cascades through all affected queries.
+    pub fn push(&mut self, stream: &str, values: Vec<Value>) -> Result<()> {
+        let lower = stream.to_ascii_lowercase();
+        let entry = self
+            .streams
+            .get_mut(&lower)
+            .ok_or_else(|| DsmsError::unknown(format!("stream `{stream}`")))?;
+        let seq = self.next_seq;
+        let t = Tuple::for_schema(&entry.schema, values, seq)?;
+        self.next_seq += 1;
+        if entry.reorder.is_some() {
+            // Buffer, then release everything older than the slack bound.
+            let releasable: Vec<Tuple> = {
+                let entry = self.streams.get_mut(&lower).expect("looked up above");
+                let r = entry.reorder.as_mut().expect("checked");
+                if t.ts() < entry.last_ts {
+                    return Err(DsmsError::OutOfOrder(format!(
+                        "stream `{stream}` tuple at {} is more than {} behind the newest arrival",
+                        t.ts(),
+                        r.slack
+                    )));
+                }
+                r.max_seen = r.max_seen.max(t.ts());
+                r.pending.insert((t.ts(), t.seq()), t);
+                let bound = r.max_seen.saturating_sub(r.slack);
+                let mut out = Vec::new();
+                while let Some(entry0) = r.pending.first_entry() {
+                    if entry0.key().0 <= bound {
+                        out.push(entry0.remove());
+                    } else {
+                        break;
+                    }
+                }
+                out
+            };
+            for rt in releasable {
+                self.deliver_ordered(&lower, rt)?;
+            }
+            return Ok(());
+        }
+        if t.ts() < entry.last_ts {
+            return Err(DsmsError::OutOfOrder(format!(
+                "stream `{stream}` regressed from {} to {}",
+                entry.last_ts,
+                t.ts()
+            )));
+        }
+        // Watermark semantics: this arrival proves no future tuple is
+        // earlier than `ts`, so windows and deadlines that closed before
+        // `ts` must fire BEFORE the tuple is processed (a timeout that
+        // elapsed during a silent period is detected at the next arrival,
+        // and is not masked by it).
+        self.deliver_ordered(&lower, t)
+    }
+
+    /// Push a whole batch (same validation as [`Engine::push`]).
+    pub fn push_batch(
+        &mut self,
+        rows: impl IntoIterator<Item = (String, Vec<Value>)>,
+    ) -> Result<()> {
+        for (stream, values) in rows {
+            self.push(&stream, values)?;
+        }
+        Ok(())
+    }
+
+    /// Advance stream time: delivers a punctuation to every query, which
+    /// releases window-close results and expires state (*active
+    /// expiration*). Monotone; earlier times are no-ops.
+    pub fn advance_to(&mut self, ts: Timestamp) -> Result<()> {
+        if ts <= self.now {
+            return Ok(());
+        }
+        self.now = ts;
+        for mats in self.materialized.values() {
+            for m in mats {
+                m.advance(ts);
+            }
+        }
+        let mut work: VecDeque<(String, Tuple)> = VecDeque::new();
+        for idx in 0..self.queries.len() {
+            if !self.queries[idx].active {
+                continue;
+            }
+            let mut outs = Vec::new();
+            self.queries[idx].op.on_punctuation(ts, &mut outs)?;
+            self.route(idx, outs, &mut work)?;
+        }
+        self.drain(work)
+    }
+
+    /// Current stream-time high-water mark.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    fn dispatch(&mut self, stream_lower: String, t: Tuple) -> Result<()> {
+        let mut work = VecDeque::new();
+        work.push_back((stream_lower, t));
+        self.drain(work)
+    }
+
+    fn drain(&mut self, mut work: VecDeque<(String, Tuple)>) -> Result<()> {
+        // Bounded cascade: a mis-wired query cycle would loop forever;
+        // cap the cascade generously and report instead.
+        let mut guard: u64 = 0;
+        while let Some((stream, t)) = work.pop_front() {
+            guard += 1;
+            if guard > 10_000_000 {
+                return Err(DsmsError::plan(
+                    "query cascade exceeded 10M steps; cyclic stream wiring?",
+                ));
+            }
+            let Some(subs) = self.subs.get(&stream) else {
+                continue;
+            };
+            let subs: Vec<(usize, usize)> = subs.clone();
+            for (idx, port) in subs {
+                if !self.queries[idx].active {
+                    continue;
+                }
+                let mut outs = Vec::new();
+                self.queries[idx].op.on_tuple(port, &t, &mut outs)?;
+                self.route(idx, outs, &mut work)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn route(
+        &mut self,
+        idx: usize,
+        outs: Vec<Tuple>,
+        work: &mut VecDeque<(String, Tuple)>,
+    ) -> Result<()> {
+        if outs.is_empty() {
+            return Ok(());
+        }
+        self.queries[idx].emitted += outs.len() as u64;
+        match &self.queries[idx].sink {
+            Sink::Discard => {}
+            Sink::Collect(c) => {
+                for t in outs {
+                    c.push(t);
+                }
+            }
+            Sink::Table(name) => {
+                let table = self.tables[&name.to_ascii_lowercase()].clone();
+                for t in outs {
+                    table.insert_tuple(&t)?;
+                }
+            }
+            Sink::Stream(name) => {
+                let lower = name.to_ascii_lowercase();
+                let schema = self.streams[&lower].schema.clone();
+                for t in outs {
+                    // Derived tuples are re-validated and re-sequenced so
+                    // downstream queries see a well-formed stream.
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let nt = Tuple::for_schema(&schema, t.values().to_vec(), seq)?;
+                    let e = self
+                        .streams
+                        .get_mut(&lower)
+                        .expect("validated at registration");
+                    // Derived streams may interleave slightly out of
+                    // order (e.g. window-close alerts); track the max.
+                    if nt.ts() > e.last_ts {
+                        e.last_ts = nt.ts();
+                    }
+                    e.pushed += 1;
+                    work.push_back((lower.clone(), nt));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stop a continuous query: it stops receiving tuples and
+    /// punctuations (its accumulated stats remain readable). Idempotent.
+    pub fn deregister_query(&mut self, id: QueryId) {
+        self.queries[id.0].active = false;
+    }
+
+    /// Whether a query is still receiving input.
+    pub fn is_active(&self, id: QueryId) -> bool {
+        self.queries[id.0].active
+    }
+
+    /// Introspection: `(id, name, active, emitted, retained)` for every
+    /// registered query, in registration order.
+    pub fn query_stats(&self) -> Vec<QueryStats> {
+        self.queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryStats {
+                id: QueryId(i),
+                name: q.name.clone(),
+                active: q.active,
+                emitted: q.emitted,
+                retained: q.op.retained(),
+            })
+            .collect()
+    }
+
+    /// Tuples emitted by a query so far.
+    pub fn emitted(&self, id: QueryId) -> u64 {
+        self.queries[id.0].emitted
+    }
+
+    /// Tuples retained in a query's operator state (the memory metric the
+    /// paper's pairing modes are about).
+    pub fn retained(&self, id: QueryId) -> usize {
+        self.queries[id.0].op.retained()
+    }
+
+    /// Tuples pushed into a stream so far.
+    pub fn stream_pushed(&self, name: &str) -> Result<u64> {
+        self.streams
+            .get(&name.to_ascii_lowercase())
+            .map(|e| e.pushed)
+            .ok_or_else(|| DsmsError::unknown(format!("stream `{name}`")))
+    }
+
+    /// Name of a registered query.
+    pub fn query_name(&self, id: QueryId) -> &str {
+        &self.queries[id.0].name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ops::{Chain, Dedup, Project, Select};
+    use crate::schema::Schema;
+    use crate::time::Duration;
+    use crate::value::ValueType;
+
+    fn engine_with_readings() -> Engine {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        e.create_stream(Schema::readings("cleaned_readings")).unwrap();
+        e
+    }
+
+    fn reading(secs: u64, reader: &str, tag: &str) -> Vec<Value> {
+        vec![
+            Value::str(reader),
+            Value::str(tag),
+            Value::Ts(Timestamp::from_secs(secs)),
+        ]
+    }
+
+    #[test]
+    fn example1_dedup_cascades_to_derived_stream() {
+        // readings -> dedup -> cleaned_readings -> collector.
+        let mut e = engine_with_readings();
+        let dedup = Dedup::new(vec![Expr::col(0), Expr::col(1)], Duration::from_secs(1));
+        e.register_query(
+            "dedup",
+            vec!["readings"],
+            Box::new(dedup),
+            Sink::Stream("cleaned_readings".into()),
+        )
+        .unwrap();
+        let ident = Chain::new(vec![Box::new(Select::new(Expr::lit(true)))]);
+        let (_, out) = e
+            .register_collected("consume", vec!["cleaned_readings"], Box::new(ident))
+            .unwrap();
+
+        e.push("readings", reading(0, "r1", "t1")).unwrap();
+        e.push("readings", reading(0, "r1", "t1")).unwrap(); // dup
+        e.push("readings", reading(5, "r1", "t1")).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(e.stream_pushed("cleaned_readings").unwrap(), 2);
+        assert_eq!(e.stream_pushed("readings").unwrap(), 3);
+    }
+
+    #[test]
+    fn push_validates_schema_and_order() {
+        let mut e = engine_with_readings();
+        assert!(e.push("readings", vec![Value::Int(1)]).is_err());
+        e.push("readings", reading(10, "r", "t")).unwrap();
+        let err = e.push("readings", reading(5, "r", "t")).unwrap_err();
+        assert!(matches!(err, DsmsError::OutOfOrder(_)));
+        assert!(e.push("nope", reading(1, "r", "t")).is_err());
+    }
+
+    #[test]
+    fn register_query_validates_wiring() {
+        let mut e = engine_with_readings();
+        let op = Select::new(Expr::lit(true));
+        assert!(e
+            .register_query("q", vec!["missing"], Box::new(op), Sink::Discard)
+            .is_err());
+        let op = Select::new(Expr::lit(true));
+        assert!(e
+            .register_query(
+                "q",
+                vec!["readings"],
+                Box::new(op),
+                Sink::Stream("missing".into())
+            )
+            .is_err());
+        let op = crate::ops::BinaryJoin::new(Duration::from_secs(1), Expr::lit(true));
+        assert!(e
+            .register_query("q", vec!["readings"], Box::new(op), Sink::Discard)
+            .is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut e = engine_with_readings();
+        assert!(e.create_stream(Schema::readings("readings")).is_err());
+        let tbl = Arc::new(Schema::new("readings", vec![("x", ValueType::Int)], None).unwrap());
+        assert!(e.create_table(tbl).is_err());
+    }
+
+    #[test]
+    fn table_sink_inserts() {
+        let mut e = engine_with_readings();
+        let tbl_schema = Arc::new(
+            Schema::new(
+                "log",
+                vec![
+                    ("reader_id", ValueType::Str),
+                    ("tag_id", ValueType::Str),
+                    ("read_time", ValueType::Ts),
+                ],
+                None,
+            )
+            .unwrap(),
+        );
+        let tbl = e.create_table(tbl_schema).unwrap();
+        e.register_query(
+            "persist",
+            vec!["readings"],
+            Box::new(Select::new(Expr::lit(true))),
+            Sink::Table("log".into()),
+        )
+        .unwrap();
+        e.push("readings", reading(1, "r", "t")).unwrap();
+        assert_eq!(tbl.len(), 1);
+    }
+
+    #[test]
+    fn auto_watermark_drives_punctuation() {
+        // An aggregate with punctuation emission reports as time passes.
+        use crate::ops::{AggSpec, Emission, WindowAggregate};
+        let mut e = engine_with_readings();
+        let agg = WindowAggregate::new(
+            vec![],
+            vec![AggSpec {
+                agg: e.aggregates().get("count").unwrap(),
+                arg: Expr::col(1),
+            }],
+            None,
+            Emission::OnPunctuation,
+        );
+        let (_, out) = e
+            .register_collected("counts", vec!["readings"], Box::new(agg))
+            .unwrap();
+        e.push("readings", reading(1, "r", "a")).unwrap();
+        e.push("readings", reading(2, "r", "b")).unwrap();
+        // The watermark accompanying the t=2 arrival fires BEFORE that
+        // tuple is delivered, so the report at t=2 counts only the first.
+        let col = out.take();
+        assert!(!col.is_empty());
+        assert_eq!(col.last().unwrap().value(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn deregister_stops_delivery_and_stats_survive() {
+        let mut e = engine_with_readings();
+        let (id, out) = e
+            .register_collected(
+                "all",
+                vec!["readings"],
+                Box::new(Select::new(Expr::lit(true))),
+            )
+            .unwrap();
+        e.push("readings", reading(1, "r", "a")).unwrap();
+        assert!(e.is_active(id));
+        e.deregister_query(id);
+        e.push("readings", reading(2, "r", "b")).unwrap();
+        assert_eq!(out.len(), 1, "no delivery after deregistration");
+        assert!(!e.is_active(id));
+        let stats = e.query_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "all");
+        assert_eq!(stats[0].emitted, 1);
+        assert!(!stats[0].active);
+        // Idempotent.
+        e.deregister_query(id);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut e = engine_with_readings();
+        e.advance_to(Timestamp::from_secs(10)).unwrap();
+        assert_eq!(e.now(), Timestamp::from_secs(10));
+        e.advance_to(Timestamp::from_secs(5)).unwrap();
+        assert_eq!(e.now(), Timestamp::from_secs(10));
+    }
+
+    #[test]
+    fn projection_chain_and_stats() {
+        let mut e = engine_with_readings();
+        let chain = Chain::new(vec![
+            Box::new(Select::new(Expr::eq(Expr::col(0), Expr::lit("r1")))),
+            Box::new(Project::new(vec![Expr::col(1), Expr::col(2)])),
+        ]);
+        let (id, out) = e
+            .register_collected("proj", vec!["readings"], Box::new(chain))
+            .unwrap();
+        e.push("readings", reading(1, "r1", "t1")).unwrap();
+        e.push("readings", reading(2, "r2", "t2")).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(e.emitted(id), 1);
+        assert_eq!(e.query_name(id), "proj");
+        assert_eq!(out.take()[0].arity(), 2);
+    }
+}
+
+#[cfg(test)]
+mod disorder_tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ops::Select;
+    use crate::schema::Schema;
+    use crate::time::Duration;
+
+    fn reading(ms: u64, tag: &str) -> Vec<Value> {
+        vec![
+            Value::str("r"),
+            Value::str(tag),
+            Value::Ts(Timestamp::from_millis(ms)),
+        ]
+    }
+
+    fn engine_with_collector() -> (Engine, crate::engine::Collector) {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        let (_, c) = e
+            .register_collected(
+                "all",
+                vec!["readings"],
+                Box::new(Select::new(Expr::lit(true))),
+            )
+            .unwrap();
+        (e, c)
+    }
+
+    #[test]
+    fn jittered_arrivals_are_reordered() {
+        let (mut e, out) = engine_with_collector();
+        e.set_disorder_tolerance("readings", Duration::from_millis(100))
+            .unwrap();
+        // Arrivals out of order by < 100 ms.
+        for (ms, tag) in [(50u64, "a"), (20, "b"), (70, "c"), (60, "d"), (400, "e")] {
+            e.push("readings", reading(ms, tag)).unwrap();
+        }
+        e.flush_disorder().unwrap();
+        let tags: Vec<String> = out
+            .take()
+            .iter()
+            .map(|t| t.value(1).as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(tags, vec!["b", "a", "d", "c", "e"]);
+    }
+
+    #[test]
+    fn matches_in_order_run_exactly() {
+        // Shuffled feed through the buffer == sorted feed without it.
+        let base: Vec<(u64, String)> = (0..200u64)
+            .map(|i| (i * 10 + (i * 7919) % 9, format!("t{i}")))
+            .collect();
+        let mut shuffled = base.clone();
+        // Deterministic local shuffle with displacement < 5 positions
+        // (< 50 ms of time).
+        for i in (1..shuffled.len()).step_by(2) {
+            shuffled.swap(i - 1, i);
+        }
+        let run = |feed: &[(u64, String)], tolerant: bool| -> Vec<u64> {
+            let (mut e, out) = engine_with_collector();
+            if tolerant {
+                e.set_disorder_tolerance("readings", Duration::from_millis(200))
+                    .unwrap();
+            }
+            for (ms, tag) in feed {
+                e.push("readings", reading(*ms, tag)).unwrap();
+            }
+            e.flush_disorder().unwrap();
+            out.take().iter().map(|t| t.ts().as_micros()).collect()
+        };
+        let mut sorted = base.clone();
+        sorted.sort();
+        assert_eq!(run(&shuffled, true), run(&sorted, false));
+    }
+
+    #[test]
+    fn beyond_slack_is_rejected() {
+        let (mut e, _) = engine_with_collector();
+        e.set_disorder_tolerance("readings", Duration::from_millis(100))
+            .unwrap();
+        e.push("readings", reading(1000, "a")).unwrap();
+        // 1000 - 100 = 900 released nothing yet; push at 2000 releases "a"
+        // (bound 1900).
+        e.push("readings", reading(2000, "b")).unwrap();
+        assert_eq!(e.stream_pushed("readings").unwrap(), 1);
+        // A tuple before the last delivered (1000) can no longer fit.
+        let err = e.push("readings", reading(500, "late")).unwrap_err();
+        assert!(matches!(err, DsmsError::OutOfOrder(_)));
+    }
+
+    #[test]
+    fn watermarks_follow_released_time_only() {
+        let (mut e, _) = engine_with_collector();
+        e.set_disorder_tolerance("readings", Duration::from_millis(100))
+            .unwrap();
+        e.push("readings", reading(1000, "a")).unwrap();
+        // Nothing released yet → stream time has not advanced to 1000.
+        assert!(e.now() < Timestamp::from_millis(1000));
+        e.push("readings", reading(2000, "b")).unwrap();
+        assert_eq!(e.now(), Timestamp::from_millis(1000));
+        e.flush_disorder().unwrap();
+        assert_eq!(e.now(), Timestamp::from_millis(2000));
+    }
+}

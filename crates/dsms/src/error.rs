@@ -1,0 +1,99 @@
+//! Error type shared across the DSMS substrate and layers built on it.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T, E = DsmsError> = std::result::Result<T, E>;
+
+/// All failure modes of the stream engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsmsError {
+    /// Schema construction or lookup failure.
+    Schema(String),
+    /// Unknown stream/table/function name.
+    Unknown(String),
+    /// Attempt to register a name twice.
+    Duplicate(String),
+    /// Expression evaluation failure (type error, bad arity, ...).
+    Eval(String),
+    /// Tuple arrived whose shape or types do not match its stream schema.
+    TupleShape(String),
+    /// Out-of-order arrival beyond the engine's tolerance.
+    OutOfOrder(String),
+    /// Query construction failure (invalid plan).
+    Plan(String),
+    /// Parse error from the language front-end (carried through so every
+    /// layer can share one error type).
+    Parse(String),
+}
+
+impl DsmsError {
+    /// Schema-category error.
+    pub fn schema(msg: impl Into<String>) -> Self {
+        DsmsError::Schema(msg.into())
+    }
+    /// Unknown-name error.
+    pub fn unknown(msg: impl Into<String>) -> Self {
+        DsmsError::Unknown(msg.into())
+    }
+    /// Duplicate-name error.
+    pub fn duplicate(msg: impl Into<String>) -> Self {
+        DsmsError::Duplicate(msg.into())
+    }
+    /// Evaluation error.
+    pub fn eval(msg: impl Into<String>) -> Self {
+        DsmsError::Eval(msg.into())
+    }
+    /// Malformed-tuple error.
+    pub fn tuple(msg: impl Into<String>) -> Self {
+        DsmsError::TupleShape(msg.into())
+    }
+    /// Planning error.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        DsmsError::Plan(msg.into())
+    }
+    /// Parse error.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        DsmsError::Parse(msg.into())
+    }
+}
+
+impl fmt::Display for DsmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmsError::Schema(m) => write!(f, "schema error: {m}"),
+            DsmsError::Unknown(m) => write!(f, "unknown name: {m}"),
+            DsmsError::Duplicate(m) => write!(f, "duplicate name: {m}"),
+            DsmsError::Eval(m) => write!(f, "evaluation error: {m}"),
+            DsmsError::TupleShape(m) => write!(f, "malformed tuple: {m}"),
+            DsmsError::OutOfOrder(m) => write!(f, "out-of-order arrival: {m}"),
+            DsmsError::Plan(m) => write!(f, "plan error: {m}"),
+            DsmsError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DsmsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_with_category() {
+        assert_eq!(
+            DsmsError::eval("bad arity").to_string(),
+            "evaluation error: bad arity"
+        );
+        assert_eq!(
+            DsmsError::unknown("stream s").to_string(),
+            "unknown name: stream s"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DsmsError::plan("x"));
+    }
+}

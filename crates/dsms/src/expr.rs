@@ -1,0 +1,608 @@
+//! Row expressions.
+//!
+//! Expressions are evaluated against an *evaluation row*: an ordered list
+//! of tuples, one per relation visible at that point of the query (one for
+//! single-stream transducers, two inside a join or correlated sub-query,
+//! one per sequence element inside a SEQ predicate). Column references are
+//! resolved to `(relation index, column index)` pairs at plan time, so
+//! evaluation never looks up names.
+
+use crate::error::{DsmsError, Result};
+use crate::time::Duration;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A user-defined scalar function: pure `fn(&[Value]) -> Result<Value>`.
+///
+/// ESL exposes UDFs to SQL (Example 3 uses `extract_serial`); we register
+/// them by name in a [`FunctionRegistry`].
+pub type ScalarFn = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
+/// Named registry of scalar UDFs, shared by the planner and the executor.
+#[derive(Clone, Default)]
+pub struct FunctionRegistry {
+    funcs: HashMap<String, ScalarFn>,
+}
+
+impl FunctionRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `f` under `name` (case-insensitive). Re-registration
+    /// replaces the previous definition.
+    pub fn register(&mut self, name: &str, f: ScalarFn) {
+        self.funcs.insert(name.to_ascii_lowercase(), f);
+    }
+
+    /// Look up a function.
+    pub fn get(&self, name: &str) -> Option<&ScalarFn> {
+        self.funcs.get(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all registered functions, for error messages.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.funcs.keys().map(|s| s.as_str())
+    }
+}
+
+impl fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FunctionRegistry")
+            .field("funcs", &self.funcs.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Binary arithmetic and comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-` (also timestamp difference, yielding an integer microsecond span)
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND` (three-valued)
+    And,
+    /// `OR` (three-valued)
+    Or,
+}
+
+/// A compiled row expression.
+#[derive(Clone)]
+pub enum Expr {
+    /// Literal constant.
+    Lit(Value),
+    /// Column `col` of relation `rel` in the evaluation row.
+    Col {
+        /// Index of the relation in the evaluation row.
+        rel: usize,
+        /// Column index within that relation's tuple.
+        col: usize,
+    },
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `NOT e` (three-valued).
+    Not(Box<Expr>),
+    /// `e IS NULL`.
+    IsNull(Box<Expr>),
+    /// SQL `LIKE` with `%` and `_` wildcards; pattern fixed at plan time.
+    Like(Box<Expr>, LikePattern),
+    /// Call of a registered scalar UDF.
+    Call {
+        /// Function name (for display).
+        name: String,
+        /// Resolved function.
+        func: ScalarFn,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// A duration literal (e.g. `5 SECONDS`), exposed as an Int of
+    /// microseconds so it can be compared with timestamp differences.
+    Dur(Duration),
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(v) => write!(f, "Lit({v:?})"),
+            Expr::Col { rel, col } => write!(f, "Col({rel}.{col})"),
+            Expr::Bin(op, a, b) => write!(f, "({a:?} {op:?} {b:?})"),
+            Expr::Not(e) => write!(f, "Not({e:?})"),
+            Expr::IsNull(e) => write!(f, "IsNull({e:?})"),
+            Expr::Like(e, p) => write!(f, "Like({e:?}, {:?})", p.raw()),
+            Expr::Call { name, args, .. } => write!(f, "{name}({args:?})"),
+            Expr::Dur(d) => write!(f, "Dur({d})"),
+        }
+    }
+}
+
+impl Expr {
+    /// Shorthand: column of the first (only) relation.
+    pub fn col(col: usize) -> Expr {
+        Expr::Col { rel: 0, col }
+    }
+
+    /// Shorthand: qualified column.
+    pub fn qcol(rel: usize, col: usize) -> Expr {
+        Expr::Col { rel, col }
+    }
+
+    /// Shorthand: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Shorthand: `a op b`.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand: equality.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, a, b)
+    }
+
+    /// Shorthand: conjunction.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::And, a, b)
+    }
+
+    /// Evaluate against an evaluation row.
+    ///
+    /// SQL three-valued logic: comparisons involving NULL yield NULL
+    /// (`Value::Null`); `AND`/`OR`/`NOT` follow Kleene logic.
+    pub fn eval(&self, row: &[&Tuple]) -> Result<Value> {
+        match self {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Dur(d) => Ok(Value::Int(d.as_micros() as i64)),
+            Expr::Col { rel, col } => {
+                let t = row.get(*rel).ok_or_else(|| {
+                    DsmsError::eval(format!("relation {rel} not bound in evaluation row"))
+                })?;
+                t.get(*col)
+                    .cloned()
+                    .ok_or_else(|| DsmsError::eval(format!("column {col} out of range")))
+            }
+            Expr::Not(e) => match e.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(DsmsError::eval(format!(
+                    "NOT applied to non-boolean {other}"
+                ))),
+            },
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval(row)?.is_null())),
+            Expr::Like(e, pat) => match e.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Bool(pat.matches(&s))),
+                other => Err(DsmsError::eval(format!(
+                    "LIKE applied to non-string {other}"
+                ))),
+            },
+            Expr::Call { func, args, name } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(row)?);
+                }
+                func(&vals).map_err(|e| DsmsError::eval(format!("in {name}(): {e}")))
+            }
+            Expr::Bin(op, a, b) => {
+                let op = *op;
+                if op == BinOp::And || op == BinOp::Or {
+                    return eval_logic(op, a, b, row);
+                }
+                let av = a.eval(row)?;
+                let bv = b.eval(row)?;
+                eval_bin(op, &av, &bv)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: NULL counts as false (SQL WHERE semantics).
+    pub fn eval_bool(&self, row: &[&Tuple]) -> Result<bool> {
+        match self.eval(row)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(DsmsError::eval(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
+        }
+    }
+}
+
+fn eval_logic(op: BinOp, a: &Expr, b: &Expr, row: &[&Tuple]) -> Result<Value> {
+    let av = a.eval(row)?;
+    // Short circuit where three-valued logic allows it.
+    match (op, &av) {
+        (BinOp::And, Value::Bool(false)) => return Ok(Value::Bool(false)),
+        (BinOp::Or, Value::Bool(true)) => return Ok(Value::Bool(true)),
+        _ => {}
+    }
+    let bv = b.eval(row)?;
+    let as_tri = |v: &Value| -> Result<Option<bool>> {
+        match v {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(*b)),
+            other => Err(DsmsError::eval(format!(
+                "logic operator applied to non-boolean {other}"
+            ))),
+        }
+    };
+    let (x, y) = (as_tri(&av)?, as_tri(&bv)?);
+    let r = match op {
+        BinOp::And => match (x, y) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        BinOp::Or => match (x, y) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        _ => unreachable!(),
+    };
+    Ok(r.map_or(Value::Null, Value::Bool))
+}
+
+fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let cmp = a.sql_cmp(b);
+            Ok(match cmp {
+                None => {
+                    if a.is_null() || b.is_null() {
+                        Value::Null
+                    } else {
+                        return Err(DsmsError::eval(format!(
+                            "cannot compare {} with {}",
+                            a.value_type(),
+                            b.value_type()
+                        )));
+                    }
+                }
+                Some(o) => Value::Bool(match op {
+                    Eq => o == Ordering::Equal,
+                    Ne => o != Ordering::Equal,
+                    Lt => o == Ordering::Less,
+                    Le => o != Ordering::Greater,
+                    Gt => o == Ordering::Greater,
+                    Ge => o != Ordering::Less,
+                    _ => unreachable!(),
+                }),
+            })
+        }
+        Add | Sub | Mul | Div | Mod => {
+            if a.is_null() || b.is_null() {
+                return Ok(Value::Null);
+            }
+            // Timestamp arithmetic: ts - ts = Int micros; ts ± Int micros = ts.
+            match (a, b, op) {
+                (Value::Ts(x), Value::Ts(y), Sub) => {
+                    return Ok(Value::Int(x.as_micros() as i64 - y.as_micros() as i64));
+                }
+                (Value::Ts(x), Value::Int(d), Add) => {
+                    return Ok(Value::Ts(crate::time::Timestamp(
+                        (x.as_micros() as i64 + d) as u64,
+                    )));
+                }
+                (Value::Ts(x), Value::Int(d), Sub) => {
+                    return Ok(Value::Ts(crate::time::Timestamp(
+                        (x.as_micros() as i64 - d) as u64,
+                    )));
+                }
+                _ => {}
+            }
+            match (a, b) {
+                (Value::Int(x), Value::Int(y)) => match op {
+                    Add => Ok(Value::Int(x.wrapping_add(*y))),
+                    Sub => Ok(Value::Int(x.wrapping_sub(*y))),
+                    Mul => Ok(Value::Int(x.wrapping_mul(*y))),
+                    Div => {
+                        if *y == 0 {
+                            Err(DsmsError::eval("integer division by zero"))
+                        } else {
+                            Ok(Value::Int(x / y))
+                        }
+                    }
+                    Mod => {
+                        if *y == 0 {
+                            Err(DsmsError::eval("integer modulo by zero"))
+                        } else {
+                            Ok(Value::Int(x % y))
+                        }
+                    }
+                    _ => unreachable!(),
+                },
+                _ => {
+                    let (x, y) = (
+                        a.as_float().ok_or_else(|| {
+                            DsmsError::eval(format!("arithmetic on {}", a.value_type()))
+                        })?,
+                        b.as_float().ok_or_else(|| {
+                            DsmsError::eval(format!("arithmetic on {}", b.value_type()))
+                        })?,
+                    );
+                    Ok(Value::Float(match op {
+                        Add => x + y,
+                        Sub => x - y,
+                        Mul => x * y,
+                        Div => x / y,
+                        Mod => x % y,
+                        _ => unreachable!(),
+                    }))
+                }
+            }
+        }
+        And | Or => unreachable!("handled in eval_logic"),
+    }
+}
+
+/// A compiled SQL `LIKE` pattern (`%` = any run, `_` = any single char).
+///
+/// Compiled once at plan time; matching is a standard two-pointer
+/// backtracking scan with no allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LikePattern {
+    raw: String,
+    parts: Vec<LikePart>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LikePart {
+    Literal(String),
+    AnyRun,    // %
+    AnySingle, // _
+}
+
+impl LikePattern {
+    /// Compile a pattern. No escape syntax (the paper's examples use none).
+    pub fn compile(pattern: &str) -> LikePattern {
+        let mut parts = Vec::new();
+        let mut lit = String::new();
+        for ch in pattern.chars() {
+            match ch {
+                '%' => {
+                    if !lit.is_empty() {
+                        parts.push(LikePart::Literal(std::mem::take(&mut lit)));
+                    }
+                    // Collapse consecutive % into one.
+                    if parts.last() != Some(&LikePart::AnyRun) {
+                        parts.push(LikePart::AnyRun);
+                    }
+                }
+                '_' => {
+                    if !lit.is_empty() {
+                        parts.push(LikePart::Literal(std::mem::take(&mut lit)));
+                    }
+                    parts.push(LikePart::AnySingle);
+                }
+                c => lit.push(c),
+            }
+        }
+        if !lit.is_empty() {
+            parts.push(LikePart::Literal(lit));
+        }
+        LikePattern {
+            raw: pattern.to_string(),
+            parts,
+        }
+    }
+
+    /// The original pattern text.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// Match `s` against the pattern (whole-string match, like SQL).
+    pub fn matches(&self, s: &str) -> bool {
+        fn rec(parts: &[LikePart], s: &str) -> bool {
+            match parts.first() {
+                None => s.is_empty(),
+                Some(LikePart::Literal(l)) => s
+                    .strip_prefix(l.as_str())
+                    .is_some_and(|rest| rec(&parts[1..], rest)),
+                Some(LikePart::AnySingle) => {
+                    let mut cs = s.chars();
+                    cs.next().is_some() && rec(&parts[1..], cs.as_str())
+                }
+                Some(LikePart::AnyRun) => {
+                    // Try every split point, shortest first.
+                    if rec(&parts[1..], s) {
+                        return true;
+                    }
+                    let mut cs = s.chars();
+                    while cs.next().is_some() {
+                        if rec(&parts[1..], cs.as_str()) {
+                            return true;
+                        }
+                    }
+                    false
+                }
+            }
+        }
+        rec(&self.parts, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn t(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals, Timestamp::ZERO, 0)
+    }
+
+    #[test]
+    fn literals_and_columns() {
+        let tup = t(vec![Value::Int(7), Value::str("x")]);
+        assert_eq!(Expr::lit(3i64).eval(&[&tup]).unwrap(), Value::Int(3));
+        assert_eq!(Expr::col(0).eval(&[&tup]).unwrap(), Value::Int(7));
+        assert_eq!(Expr::col(1).eval(&[&tup]).unwrap(), Value::str("x"));
+        assert!(Expr::col(9).eval(&[&tup]).is_err());
+    }
+
+    #[test]
+    fn qualified_columns_use_relation_index() {
+        let a = t(vec![Value::Int(1)]);
+        let b = t(vec![Value::Int(2)]);
+        let e = Expr::bin(BinOp::Add, Expr::qcol(0, 0), Expr::qcol(1, 0));
+        assert_eq!(e.eval(&[&a, &b]).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let tup = t(vec![]);
+        let e = Expr::bin(BinOp::Mul, Expr::lit(6i64), Expr::lit(7i64));
+        assert_eq!(e.eval(&[&tup]).unwrap(), Value::Int(42));
+        let e = Expr::bin(BinOp::Div, Expr::lit(1.0), Expr::lit(4.0));
+        assert_eq!(e.eval(&[&tup]).unwrap(), Value::Float(0.25));
+        let e = Expr::bin(BinOp::Div, Expr::lit(1i64), Expr::lit(0i64));
+        assert!(e.eval(&[&tup]).is_err());
+        let e = Expr::bin(BinOp::Mod, Expr::lit(7i64), Expr::lit(4i64));
+        assert_eq!(e.eval(&[&tup]).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn timestamp_difference_is_micros() {
+        let tup = t(vec![
+            Value::Ts(Timestamp::from_secs(10)),
+            Value::Ts(Timestamp::from_secs(4)),
+        ]);
+        let e = Expr::bin(BinOp::Sub, Expr::col(0), Expr::col(1));
+        assert_eq!(e.eval(&[&tup]).unwrap(), Value::Int(6_000_000));
+        // Comparable against a Dur literal.
+        let cmp = Expr::bin(BinOp::Le, e, Expr::Dur(Duration::from_secs(6)));
+        assert_eq!(cmp.eval(&[&tup]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let tup = t(vec![Value::Null]);
+        let null = Expr::col(0);
+        let tru = Expr::lit(true);
+        let fal = Expr::lit(false);
+        // NULL AND false = false; NULL OR true = true; NULL AND true = NULL.
+        let is_null_cmp = Expr::eq(null.clone(), Expr::lit(1i64));
+        assert_eq!(is_null_cmp.eval(&[&tup]).unwrap(), Value::Null);
+        let e = Expr::and(is_null_cmp.clone(), fal);
+        assert_eq!(e.eval(&[&tup]).unwrap(), Value::Bool(false));
+        let e = Expr::bin(BinOp::Or, is_null_cmp.clone(), tru);
+        assert_eq!(e.eval(&[&tup]).unwrap(), Value::Bool(true));
+        let e = Expr::and(is_null_cmp, Expr::lit(true));
+        assert_eq!(e.eval(&[&tup]).unwrap(), Value::Null);
+        // WHERE semantics: NULL is false.
+        assert!(!Expr::eq(null.clone(), Expr::lit(1i64))
+            .eval_bool(&[&tup])
+            .unwrap());
+        // NOT NULL = NULL, IS NULL works.
+        assert_eq!(
+            Expr::Not(Box::new(Expr::eq(null.clone(), Expr::lit(1i64))))
+                .eval(&[&tup])
+                .unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            Expr::IsNull(Box::new(null)).eval(&[&tup]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let tup = t(vec![]);
+        for (op, want) in [
+            (BinOp::Lt, true),
+            (BinOp::Le, true),
+            (BinOp::Gt, false),
+            (BinOp::Ge, false),
+            (BinOp::Ne, true),
+            (BinOp::Eq, false),
+        ] {
+            let e = Expr::bin(op, Expr::lit(1i64), Expr::lit(2i64));
+            assert_eq!(e.eval(&[&tup]).unwrap(), Value::Bool(want), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn udf_call() {
+        let mut reg = FunctionRegistry::new();
+        reg.register(
+            "extract_serial",
+            Arc::new(|args: &[Value]| {
+                let s = args[0]
+                    .as_str()
+                    .ok_or_else(|| DsmsError::eval("expected string"))?;
+                let serial = s.rsplit('.').next().unwrap_or("");
+                serial
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|e| DsmsError::eval(e.to_string()))
+            }),
+        );
+        let f = reg.get("EXTRACT_SERIAL").unwrap().clone();
+        let e = Expr::Call {
+            name: "extract_serial".into(),
+            func: f,
+            args: vec![Expr::lit("20.17.5001")],
+        };
+        let tup = t(vec![]);
+        assert_eq!(e.eval(&[&tup]).unwrap(), Value::Int(5001));
+    }
+
+    #[test]
+    fn like_patterns() {
+        let cases = [
+            ("20.%.%", "20.17.5001", true),
+            ("20.%.%", "21.17.5001", false),
+            ("20.%", "20.", true),
+            ("20.%", "20", false),
+            ("%abc", "xyzabc", true),
+            ("%abc%", "abc", true),
+            ("a_c", "abc", true),
+            ("a_c", "ac", false),
+            ("a%%c", "axyzc", true),
+            ("", "", true),
+            ("%", "", true),
+            ("_", "", false),
+        ];
+        for (pat, s, want) in cases {
+            assert_eq!(
+                LikePattern::compile(pat).matches(s),
+                want,
+                "pattern {pat:?} on {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn like_on_null_is_null() {
+        let tup = t(vec![Value::Null]);
+        let e = Expr::Like(Box::new(Expr::col(0)), LikePattern::compile("a%"));
+        assert_eq!(e.eval(&[&tup]).unwrap(), Value::Null);
+    }
+}

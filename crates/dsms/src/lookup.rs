@@ -1,0 +1,274 @@
+//! Stream-to-table context retrieval (§2.1 of the paper).
+//!
+//! RFID tags carry only an EPC; business meaning (product, owner,
+//! authorization, ...) lives in database tables. A context-lookup
+//! continuous query enriches each arriving reading with the matching
+//! table row, producing a wider stream for downstream queries.
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::ops::Operator;
+use crate::table::TableRef;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// How a reading with no matching context row is handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissPolicy {
+    /// Drop the reading (inner-join semantics).
+    Drop,
+    /// Emit with NULLs in the context columns (left-outer semantics).
+    NullPad,
+}
+
+/// Enriches stream tuples with columns from a table row found by key.
+///
+/// For each input tuple, evaluates `key` and looks up `table` rows where
+/// `table_key_column == key`; emits `input ++ row` per match (multiple
+/// matches fan out).
+pub struct TableLookup {
+    table: TableRef,
+    key: Expr,
+    table_key_column: String,
+    miss: MissPolicy,
+}
+
+impl TableLookup {
+    /// Build the lookup; create an index on `table_key_column` for O(1)
+    /// probes (done here so callers can't forget).
+    pub fn new(
+        table: TableRef,
+        key: Expr,
+        table_key_column: &str,
+        miss: MissPolicy,
+    ) -> Result<TableLookup> {
+        table.create_index(table_key_column)?;
+        Ok(TableLookup {
+            table,
+            key,
+            table_key_column: table_key_column.to_string(),
+            miss,
+        })
+    }
+}
+
+impl Operator for TableLookup {
+    fn on_tuple(&mut self, _port: usize, t: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        let key = self.key.eval(&[t])?;
+        let rows = self.table.lookup(&self.table_key_column, &key)?;
+        if rows.is_empty() {
+            if self.miss == MissPolicy::NullPad {
+                let mut vals = t.values().to_vec();
+                vals.extend(std::iter::repeat_n(Value::Null, self.table.schema().arity()));
+                out.push(Tuple::new(vals, t.ts(), t.seq()));
+            }
+            return Ok(());
+        }
+        for row in rows {
+            let mut vals = Vec::with_capacity(t.arity() + row.arity());
+            vals.extend_from_slice(t.values());
+            vals.extend_from_slice(row.values());
+            out.push(Tuple::new(vals, t.ts(), t.seq()));
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "table-lookup"
+    }
+}
+
+/// Stream-to-table `[NOT] EXISTS` (Example 2's location tracking).
+///
+/// For each input tuple, checks whether any table row satisfies the
+/// correlated predicate (evaluated over the row `[stream tuple, table
+/// row]`); emits the input tuple when the check matches the polarity.
+/// Tables are current-state relations, so the check happens at arrival
+/// time — no windowing is involved.
+pub struct TableExists {
+    table: TableRef,
+    /// Predicate over `[outer, table_row]`.
+    pred: Expr,
+    negated: bool,
+    /// Fast path: `(table_column, outer key expr)` equality lifted out of
+    /// the predicate so the probe uses a hash index instead of a scan.
+    index_probe: Option<(String, Expr)>,
+}
+
+impl TableExists {
+    /// Build the operator. When `index_probe` is provided, an index is
+    /// created on the table column and only rows with
+    /// `table.column == key(outer)` are tested against `pred`.
+    pub fn new(
+        table: TableRef,
+        pred: Expr,
+        negated: bool,
+        index_probe: Option<(String, Expr)>,
+    ) -> Result<TableExists> {
+        if let Some((col, _)) = &index_probe {
+            table.create_index(col)?;
+        }
+        Ok(TableExists {
+            table,
+            pred,
+            negated,
+            index_probe,
+        })
+    }
+}
+
+impl Operator for TableExists {
+    fn on_tuple(&mut self, _port: usize, t: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        let rows = match &self.index_probe {
+            Some((col, key)) => self.table.lookup(col, &key.eval(&[t])?)?,
+            None => self.table.scan(),
+        };
+        let mut found = false;
+        for row in &rows {
+            if self.pred.eval_bool(&[t, row])? {
+                found = true;
+                break;
+            }
+        }
+        if found != self.negated {
+            out.push(t.clone());
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        if self.negated {
+            "table-not-exists"
+        } else {
+            "table-exists"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::Table;
+    use crate::time::Timestamp;
+    use crate::value::ValueType;
+    use std::sync::Arc;
+
+    fn context_table() -> TableRef {
+        let t = Table::new(Arc::new(
+            Schema::new(
+                "tag_context",
+                vec![
+                    ("tagid", ValueType::Str),
+                    ("product", ValueType::Str),
+                    ("authorized", ValueType::Bool),
+                ],
+                None,
+            )
+            .unwrap(),
+        ));
+        t.insert(vec![Value::str("t1"), Value::str("pump"), Value::Bool(true)])
+            .unwrap();
+        t.insert(vec![Value::str("t2"), Value::str("valve"), Value::Bool(false)])
+            .unwrap();
+        t
+    }
+
+    fn reading(tag: &str) -> Tuple {
+        Tuple::new(vec![Value::str(tag)], Timestamp::from_secs(1), 0)
+    }
+
+    #[test]
+    fn enriches_with_context() {
+        let mut op =
+            TableLookup::new(context_table(), Expr::col(0), "tagid", MissPolicy::Drop).unwrap();
+        let mut out = Vec::new();
+        op.on_tuple(0, &reading("t1"), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value(2), &Value::str("pump"));
+        assert_eq!(out[0].value(3), &Value::Bool(true));
+    }
+
+    #[test]
+    fn miss_drop_vs_nullpad() {
+        let mut drop_op =
+            TableLookup::new(context_table(), Expr::col(0), "tagid", MissPolicy::Drop).unwrap();
+        let mut out = Vec::new();
+        drop_op.on_tuple(0, &reading("unknown"), &mut out).unwrap();
+        assert!(out.is_empty());
+
+        let mut pad_op =
+            TableLookup::new(context_table(), Expr::col(0), "tagid", MissPolicy::NullPad)
+                .unwrap();
+        pad_op.on_tuple(0, &reading("unknown"), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].arity(), 4);
+        assert!(out[0].value(1).is_null());
+    }
+
+    #[test]
+    fn table_not_exists_gates_inserts() {
+        // Example 2's shape: pass the reading only when (tag, loc) is not
+        // already recorded.
+        let table = Table::new(Arc::new(
+            Schema::new(
+                "object_movement",
+                vec![("tagid", ValueType::Str), ("location", ValueType::Str)],
+                None,
+            )
+            .unwrap(),
+        ));
+        table
+            .insert(vec![Value::str("t1"), Value::str("dock")])
+            .unwrap();
+        // pred: table.tagid = outer.tag AND table.location = outer.loc
+        let pred = Expr::and(
+            Expr::eq(Expr::qcol(1, 0), Expr::qcol(0, 0)),
+            Expr::eq(Expr::qcol(1, 1), Expr::qcol(0, 1)),
+        );
+        let mut op = TableExists::new(
+            table.clone(),
+            pred,
+            true,
+            Some(("tagid".into(), Expr::col(0))),
+        )
+        .unwrap();
+        let mk = |tag: &str, loc: &str| {
+            Tuple::new(vec![Value::str(tag), Value::str(loc)], Timestamp::from_secs(1), 0)
+        };
+        let mut out = Vec::new();
+        op.on_tuple(0, &mk("t1", "dock"), &mut out).unwrap(); // already known
+        assert!(out.is_empty());
+        op.on_tuple(0, &mk("t1", "aisle"), &mut out).unwrap(); // moved
+        assert_eq!(out.len(), 1);
+        op.on_tuple(0, &mk("t2", "dock"), &mut out).unwrap(); // new object
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn table_exists_positive_polarity() {
+        let table = context_table();
+        let pred = Expr::and(
+            Expr::eq(Expr::qcol(1, 0), Expr::qcol(0, 0)),
+            Expr::eq(Expr::qcol(1, 2), Expr::lit(true)),
+        );
+        let mut op = TableExists::new(table, pred, false, None).unwrap();
+        let mut out = Vec::new();
+        op.on_tuple(0, &reading("t1"), &mut out).unwrap(); // authorized
+        op.on_tuple(0, &reading("t2"), &mut out).unwrap(); // not authorized
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value(0), &Value::str("t1"));
+    }
+
+    #[test]
+    fn fan_out_on_multiple_matches() {
+        let table = context_table();
+        table
+            .insert(vec![Value::str("t1"), Value::str("spare"), Value::Bool(true)])
+            .unwrap();
+        let mut op = TableLookup::new(table, Expr::col(0), "tagid", MissPolicy::Drop).unwrap();
+        let mut out = Vec::new();
+        op.on_tuple(0, &reading("t1"), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Duplicate elimination (Example 1 of the paper).
+//!
+//! The paper's criterion: identical readings (same key columns) within a
+//! time threshold are the same physical observation; only the first of
+//! each burst passes. Note that duplicates *chain*: a reading suppressed
+//! as a duplicate still extends the suppression window for later readings
+//! (it is still "in the stream" that the sub-query of Example 1 ranges
+//! over). This matches the NOT EXISTS formulation:
+//!
+//! ```sql
+//! INSERT INTO cleaned_readings
+//! SELECT * FROM readings AS r1 WHERE NOT EXISTS
+//!   (SELECT * FROM TABLE(readings OVER (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+//!    WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id)
+//! ```
+
+use super::Operator;
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::time::{Duration, Timestamp};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Streaming duplicate filter keyed by arbitrary expressions.
+///
+/// State is one timestamp per live key — the paper's point that a DSMS
+/// does this with a 1-second window rather than unbounded history.
+pub struct Dedup {
+    key: Vec<Expr>,
+    window: Duration,
+    last_seen: HashMap<Vec<Value>, Timestamp>,
+    /// Keys are purged lazily when stream time has moved a full window
+    /// past them; this counter avoids rescanning the map on every tuple.
+    last_purge: Timestamp,
+}
+
+impl Dedup {
+    /// Suppress tuples whose `key` was seen within `window` before them.
+    pub fn new(key: Vec<Expr>, window: Duration) -> Dedup {
+        Dedup {
+            key,
+            window,
+            last_seen: HashMap::new(),
+            last_purge: Timestamp::ZERO,
+        }
+    }
+
+    fn key_of(&self, t: &Tuple) -> Result<Vec<Value>> {
+        self.key.iter().map(|e| e.eval(&[t])).collect()
+    }
+
+    fn purge(&mut self, now: Timestamp) {
+        let bound = now.saturating_sub(self.window);
+        self.last_seen.retain(|_, &mut seen| seen >= bound);
+        self.last_purge = now;
+    }
+}
+
+impl Operator for Dedup {
+    fn on_tuple(&mut self, _port: usize, t: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        let key = self.key_of(t)?;
+        let now = t.ts();
+        let dup = match self.last_seen.get(&key) {
+            // Window is RANGE w PRECEDING (inclusive): a prior reading
+            // exactly w old still counts as a duplicate.
+            Some(&seen) => now.since(seen).is_some_and(|gap| gap <= self.window),
+            None => false,
+        };
+        // Duplicates still refresh the suppression window (chained bursts).
+        self.last_seen.insert(key, now);
+        if !dup {
+            out.push(t.clone());
+        }
+        // Amortized purge: once stream time has advanced 2 windows past
+        // the last purge, sweep dead keys.
+        if now.saturating_sub(self.window) > self.last_purge.saturating_add(self.window) {
+            self.purge(now);
+        }
+        Ok(())
+    }
+
+    fn on_punctuation(&mut self, ts: Timestamp, _out: &mut Vec<Tuple>) -> Result<()> {
+        self.purge(ts);
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "dedup"
+    }
+
+    fn retained(&self) -> usize {
+        self.last_seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading(reader: &str, tag: &str, millis: u64, seq: u64) -> Tuple {
+        Tuple::new(
+            vec![
+                Value::str(reader),
+                Value::str(tag),
+                Value::Ts(Timestamp::from_millis(millis)),
+            ],
+            Timestamp::from_millis(millis),
+            seq,
+        )
+    }
+
+    fn dedup_1s() -> Dedup {
+        Dedup::new(vec![Expr::col(0), Expr::col(1)], Duration::from_secs(1))
+    }
+
+    #[test]
+    fn suppresses_within_window() {
+        let mut d = dedup_1s();
+        let mut out = Vec::new();
+        d.on_tuple(0, &reading("r", "t", 0, 0), &mut out).unwrap();
+        d.on_tuple(0, &reading("r", "t", 500, 1), &mut out).unwrap();
+        d.on_tuple(0, &reading("r", "t", 2000, 2), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ts(), Timestamp::ZERO);
+        assert_eq!(out[1].ts(), Timestamp::from_secs(2));
+    }
+
+    #[test]
+    fn window_boundary_is_inclusive() {
+        let mut d = dedup_1s();
+        let mut out = Vec::new();
+        d.on_tuple(0, &reading("r", "t", 0, 0), &mut out).unwrap();
+        // Exactly 1s later: still inside RANGE 1s PRECEDING.
+        d.on_tuple(0, &reading("r", "t", 1000, 1), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        // 1s + 1ms after the *duplicate* (which refreshed the window).
+        d.on_tuple(0, &reading("r", "t", 2001, 2), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_chain() {
+        // Readings every 600ms: each is a duplicate of the previous, so
+        // only the first passes — matching the NOT EXISTS semantics where
+        // the sub-query ranges over the *raw* stream.
+        let mut d = dedup_1s();
+        let mut out = Vec::new();
+        for i in 0..5u64 {
+            d.on_tuple(0, &reading("r", "t", i * 600, i), &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_pass() {
+        let mut d = dedup_1s();
+        let mut out = Vec::new();
+        d.on_tuple(0, &reading("r1", "t", 0, 0), &mut out).unwrap();
+        d.on_tuple(0, &reading("r2", "t", 1, 1), &mut out).unwrap();
+        d.on_tuple(0, &reading("r1", "u", 2, 2), &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn punctuation_purges_state() {
+        let mut d = dedup_1s();
+        let mut out = Vec::new();
+        for i in 0..100u64 {
+            d.on_tuple(0, &reading("r", &format!("t{i}"), i, i), &mut out)
+                .unwrap();
+        }
+        assert_eq!(d.retained(), 100);
+        d.on_punctuation(Timestamp::from_secs(10), &mut out).unwrap();
+        assert_eq!(d.retained(), 0);
+    }
+
+    #[test]
+    fn amortized_purge_bounds_state() {
+        let mut d = dedup_1s();
+        let mut out = Vec::new();
+        // Each key appears once; state must not grow to 10_000.
+        for i in 0..10_000u64 {
+            d.on_tuple(0, &reading("r", &format!("t{i}"), i * 10, i), &mut out)
+                .unwrap();
+        }
+        // Keys older than the window get swept every ~2 windows: retained
+        // state stays within a small multiple of rate × window (100/s × 1s).
+        assert!(d.retained() <= 350, "retained {} keys", d.retained());
+    }
+}

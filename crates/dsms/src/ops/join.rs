@@ -1,0 +1,179 @@
+//! Windowed binary stream join.
+//!
+//! The symmetric hash-free join every DSMS provides: each side keeps a
+//! sliding window; an arrival on one side probes the other side's window
+//! with the join predicate and emits concatenated rows. Footnote 3 of the
+//! paper points out that a fixed-length `SEQ` is expressible this way —
+//! the `naive_join` baseline builds on this operator.
+
+use super::Operator;
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::time::{Duration, Timestamp};
+use crate::tuple::Tuple;
+use crate::window::WindowBuffer;
+
+/// Two-input windowed join. Output rows are `left ++ right` with event
+/// time = the newer side's time (the instant the pair became known).
+pub struct BinaryJoin {
+    window: Duration,
+    /// Predicate over the evaluation row `[left, right]`.
+    pred: Expr,
+    left: WindowBuffer,
+    right: WindowBuffer,
+}
+
+impl BinaryJoin {
+    /// Join the two inputs over a `RANGE window PRECEDING` on each side.
+    pub fn new(window: Duration, pred: Expr) -> BinaryJoin {
+        BinaryJoin {
+            window,
+            pred,
+            left: WindowBuffer::new(),
+            right: WindowBuffer::new(),
+        }
+    }
+
+    fn emit(pred: &Expr, l: &Tuple, r: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        if pred.eval_bool(&[l, r])? {
+            let mut vals = Vec::with_capacity(l.arity() + r.arity());
+            vals.extend_from_slice(l.values());
+            vals.extend_from_slice(r.values());
+            let (ts, seq) = if r.after(l) {
+                (r.ts(), r.seq())
+            } else {
+                (l.ts(), l.seq())
+            };
+            out.push(Tuple::new(vals, ts, seq));
+        }
+        Ok(())
+    }
+}
+
+impl Operator for BinaryJoin {
+    fn on_tuple(&mut self, port: usize, t: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        let bound = t.ts().saturating_sub(self.window);
+        self.left.expire_before(bound);
+        self.right.expire_before(bound);
+        match port {
+            0 => {
+                for r in self.right.iter() {
+                    Self::emit(&self.pred, t, r, out)?;
+                }
+                self.left.push(t.clone());
+            }
+            1 => {
+                for l in self.left.iter() {
+                    Self::emit(&self.pred, l, t, out)?;
+                }
+                self.right.push(t.clone());
+            }
+            _ => unreachable!("binary join has two ports"),
+        }
+        Ok(())
+    }
+
+    fn on_punctuation(&mut self, ts: Timestamp, _out: &mut Vec<Tuple>) -> Result<()> {
+        let bound = ts.saturating_sub(self.window);
+        self.left.expire_before(bound);
+        self.right.expire_before(bound);
+        Ok(())
+    }
+
+    fn num_ports(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &str {
+        "join"
+    }
+
+    fn retained(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t(tag: &str, secs: u64, seq: u64) -> Tuple {
+        Tuple::new(
+            vec![Value::str(tag), Value::Ts(Timestamp::from_secs(secs))],
+            Timestamp::from_secs(secs),
+            seq,
+        )
+    }
+
+    fn equi_tag_join(window_secs: u64) -> BinaryJoin {
+        BinaryJoin::new(
+            Duration::from_secs(window_secs),
+            Expr::eq(Expr::qcol(0, 0), Expr::qcol(1, 0)),
+        )
+    }
+
+    #[test]
+    fn matches_within_window() {
+        let mut j = equi_tag_join(10);
+        let mut out = Vec::new();
+        j.on_tuple(0, &t("a", 0, 0), &mut out).unwrap();
+        j.on_tuple(1, &t("a", 5, 1), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].arity(), 4);
+        assert_eq!(out[0].ts(), Timestamp::from_secs(5));
+    }
+
+    #[test]
+    fn expired_tuples_do_not_match() {
+        let mut j = equi_tag_join(10);
+        let mut out = Vec::new();
+        j.on_tuple(0, &t("a", 0, 0), &mut out).unwrap();
+        j.on_tuple(1, &t("a", 20, 1), &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(j.retained(), 1); // only the fresh right tuple
+    }
+
+    #[test]
+    fn predicate_filters_pairs() {
+        let mut j = equi_tag_join(10);
+        let mut out = Vec::new();
+        j.on_tuple(0, &t("a", 0, 0), &mut out).unwrap();
+        j.on_tuple(1, &t("b", 1, 1), &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn symmetric_probing() {
+        let mut j = equi_tag_join(10);
+        let mut out = Vec::new();
+        // Right first, then left — still pairs.
+        j.on_tuple(1, &t("x", 1, 0), &mut out).unwrap();
+        j.on_tuple(0, &t("x", 2, 1), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn many_to_many_within_window() {
+        let mut j = equi_tag_join(100);
+        let mut out = Vec::new();
+        for i in 0..3 {
+            j.on_tuple(0, &t("k", i, i), &mut out).unwrap();
+        }
+        for i in 3..5 {
+            j.on_tuple(1, &t("k", i, i), &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 6); // 3 × 2
+    }
+
+    #[test]
+    fn punctuation_expires_both_sides() {
+        let mut j = equi_tag_join(10);
+        let mut out = Vec::new();
+        j.on_tuple(0, &t("a", 0, 0), &mut out).unwrap();
+        j.on_tuple(1, &t("b", 0, 1), &mut out).unwrap();
+        assert_eq!(j.retained(), 2);
+        j.on_punctuation(Timestamp::from_secs(100), &mut out).unwrap();
+        assert_eq!(j.retained(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Stream and table schemas.
+//!
+//! A schema names the columns of a stream or table and fixes their types.
+//! Every registered stream additionally designates one `Ts` column as its
+//! *event-time* column; window semantics and the temporal operators order
+//! tuples by that column.
+
+use crate::error::{DsmsError, Result};
+use crate::value::ValueType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (case-insensitive lookup, stored lower-case).
+    pub name: String,
+    /// Static type.
+    pub ty: ValueType,
+}
+
+/// A named, ordered set of typed columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Relation (stream or table) name, stored lower-case.
+    pub name: String,
+    /// Ordered columns.
+    pub columns: Vec<Column>,
+    /// Index of the event-time column, if any. Streams must have one;
+    /// tables need not.
+    pub time_column: Option<usize>,
+}
+
+/// Shared schema handle; schemas are immutable after registration.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema. Column and relation names are lower-cased. The
+    /// event-time column, when named, must exist and have type `Ts`.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<(&str, ValueType)>,
+        time_column: Option<&str>,
+    ) -> Result<Schema> {
+        let name = name.into().to_ascii_lowercase();
+        let columns: Vec<Column> = columns
+            .into_iter()
+            .map(|(n, ty)| Column {
+                name: n.to_ascii_lowercase(),
+                ty,
+            })
+            .collect();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(DsmsError::schema(format!(
+                    "duplicate column `{}` in `{}`",
+                    c.name, name
+                )));
+            }
+        }
+        let time_column = match time_column {
+            None => None,
+            Some(tc) => {
+                let tc = tc.to_ascii_lowercase();
+                let idx = columns.iter().position(|c| c.name == tc).ok_or_else(|| {
+                    DsmsError::schema(format!("time column `{tc}` not found in `{name}`"))
+                })?;
+                if columns[idx].ty != ValueType::Ts {
+                    return Err(DsmsError::schema(format!(
+                        "time column `{tc}` of `{name}` must be TIMESTAMP, found {}",
+                        columns[idx].ty
+                    )));
+                }
+                Some(idx)
+            }
+        };
+        Ok(Schema {
+            name,
+            columns,
+            time_column,
+        })
+    }
+
+    /// Convenience constructor for the ubiquitous RFID reading shape
+    /// `(reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP)` used by
+    /// the paper's `readings` stream.
+    pub fn readings(name: impl Into<String>) -> SchemaRef {
+        Arc::new(
+            Schema::new(
+                name,
+                vec![
+                    ("reader_id", ValueType::Str),
+                    ("tag_id", ValueType::Str),
+                    ("read_time", ValueType::Ts),
+                ],
+                Some("read_time"),
+            )
+            .expect("static schema is valid"),
+        )
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// Look up a column index, erroring with context when absent.
+    pub fn require_column(&self, name: &str) -> Result<usize> {
+        self.column_index(name).ok_or_else(|| {
+            DsmsError::schema(format!("no column `{}` in `{}`", name, self.name))
+        })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether two schemas have identical column types (names may differ),
+    /// which is the requirement for `INSERT INTO s SELECT ...`.
+    pub fn layout_compatible(&self, other: &Schema) -> bool {
+        self.columns.len() == other.columns.len()
+            && self
+                .columns
+                .iter()
+                .zip(&other.columns)
+                .all(|(a, b)| b.ty.coercible_to(a.ty))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_lowercases() {
+        let s = Schema::new(
+            "Readings",
+            vec![("Reader_ID", ValueType::Str), ("T", ValueType::Ts)],
+            Some("T"),
+        )
+        .unwrap();
+        assert_eq!(s.name, "readings");
+        assert_eq!(s.column_index("READER_id"), Some(0));
+        assert_eq!(s.time_column, Some(1));
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let err = Schema::new(
+            "s",
+            vec![("a", ValueType::Int), ("A", ValueType::Str)],
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate column"));
+    }
+
+    #[test]
+    fn rejects_missing_time_column() {
+        let err = Schema::new("s", vec![("a", ValueType::Int)], Some("t")).unwrap_err();
+        assert!(err.to_string().contains("not found"));
+    }
+
+    #[test]
+    fn rejects_non_ts_time_column() {
+        let err = Schema::new("s", vec![("t", ValueType::Int)], Some("t")).unwrap_err();
+        assert!(err.to_string().contains("must be TIMESTAMP"));
+    }
+
+    #[test]
+    fn readings_shape() {
+        let s = Schema::readings("r1");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.time_column, Some(2));
+        assert_eq!(s.to_string(), "r1(reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP)");
+    }
+
+    #[test]
+    fn layout_compatibility() {
+        let a = Schema::new("a", vec![("x", ValueType::Float)], None).unwrap();
+        let b = Schema::new("b", vec![("y", ValueType::Int)], None).unwrap();
+        // Int coerces into Float column, not vice versa.
+        assert!(a.layout_compatible(&b));
+        assert!(!b.layout_compatible(&a));
+    }
+}

@@ -1,0 +1,392 @@
+//! Persistent in-memory tables.
+//!
+//! The paper's stream-DB spanning queries (Example 2: location tracking;
+//! context retrieval in §2.1) read and update database tables from
+//! continuous queries. We provide an in-memory table with optional hash
+//! indexes — durable storage is out of scope for the reproduction, and the
+//! experiments only measure row counts and lookup behaviour.
+
+use crate::error::{DsmsError, Result};
+use crate::expr::Expr;
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A mutable, optionally-indexed relational table.
+#[derive(Debug)]
+pub struct Table {
+    schema: SchemaRef,
+    inner: RwLock<TableInner>,
+}
+
+#[derive(Debug, Default)]
+struct TableInner {
+    rows: Vec<Tuple>,
+    /// Hash indexes: column index -> (value -> row positions).
+    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    next_seq: u64,
+}
+
+/// Shared table handle.
+pub type TableRef = Arc<Table>;
+
+impl Table {
+    /// Empty table with the given schema.
+    pub fn new(schema: SchemaRef) -> TableRef {
+        Arc::new(Table {
+            schema,
+            inner: RwLock::new(TableInner::default()),
+        })
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Create a hash index on a column (by name). Indexing an already
+    /// indexed column is a no-op.
+    pub fn create_index(&self, column: &str) -> Result<()> {
+        let col = self.schema.require_column(column)?;
+        let mut inner = self.inner.write();
+        if inner.indexes.contains_key(&col) {
+            return Ok(());
+        }
+        let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (i, row) in inner.rows.iter().enumerate() {
+            idx.entry(row.value(col).clone()).or_default().push(i);
+        }
+        inner.indexes.insert(col, idx);
+        Ok(())
+    }
+
+    /// Insert a row (validated against the schema).
+    pub fn insert(&self, values: Vec<Value>) -> Result<()> {
+        let mut inner = self.inner.write();
+        let seq = inner.next_seq;
+        let t = Tuple::for_schema(&self.schema, values, seq)?;
+        inner.next_seq += 1;
+        let pos = inner.rows.len();
+        // Borrow dance: collect index keys first, then update.
+        let keys: Vec<(usize, Value)> = inner
+            .indexes
+            .keys()
+            .map(|&c| (c, t.value(c).clone()))
+            .collect();
+        for (c, v) in keys {
+            inner
+                .indexes
+                .get_mut(&c)
+                .expect("index exists")
+                .entry(v)
+                .or_default()
+                .push(pos);
+        }
+        inner.rows.push(t);
+        Ok(())
+    }
+
+    /// Insert a pre-built tuple (used by INSERT INTO table SELECT ...).
+    pub fn insert_tuple(&self, t: &Tuple) -> Result<()> {
+        self.insert(t.values().to_vec())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.inner.read().rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Full scan snapshot.
+    pub fn scan(&self) -> Vec<Tuple> {
+        self.inner.read().rows.clone()
+    }
+
+    /// Rows where column `col` equals `key`; uses the hash index when one
+    /// exists, otherwise scans.
+    pub fn lookup(&self, column: &str, key: &Value) -> Result<Vec<Tuple>> {
+        let col = self.schema.require_column(column)?;
+        let inner = self.inner.read();
+        if let Some(idx) = inner.indexes.get(&col) {
+            Ok(idx
+                .get(key)
+                .map(|ps| ps.iter().map(|&p| inner.rows[p].clone()).collect())
+                .unwrap_or_default())
+        } else {
+            Ok(inner
+                .rows
+                .iter()
+                .filter(|r| r.value(col) == key)
+                .cloned()
+                .collect())
+        }
+    }
+
+    /// Rows satisfying `pred` (evaluated with the row as relation 0).
+    pub fn select(&self, pred: &Expr) -> Result<Vec<Tuple>> {
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        for r in &inner.rows {
+            if pred.eval_bool(&[r])? {
+                out.push(r.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether any row satisfies `pred`.
+    pub fn exists(&self, pred: &Expr) -> Result<bool> {
+        let inner = self.inner.read();
+        for r in &inner.rows {
+            if pred.eval_bool(&[r])? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Update: set column `set_col` to `set_val` on every row satisfying
+    /// `pred`. Returns the number of rows changed. Indexes on the updated
+    /// column are maintained.
+    pub fn update(&self, pred: &Expr, set_col: &str, set_val: &Value) -> Result<usize> {
+        let col = self.schema.require_column(set_col)?;
+        if !set_val
+            .value_type()
+            .coercible_to(self.schema.columns[col].ty)
+        {
+            return Err(DsmsError::tuple(format!(
+                "UPDATE sets `{set_col}` to incompatible {}",
+                set_val.value_type()
+            )));
+        }
+        let mut inner = self.inner.write();
+        let mut changed = Vec::new();
+        for (i, r) in inner.rows.iter().enumerate() {
+            if pred.eval_bool(&[r])? {
+                changed.push(i);
+            }
+        }
+        for &i in &changed {
+            let old = inner.rows[i].clone();
+            let mut vals = old.values().to_vec();
+            let old_val = vals[col].clone();
+            vals[col] = set_val.clone();
+            let new = Tuple::new(vals, old.ts(), old.seq());
+            inner.rows[i] = new;
+            if let Some(idx) = inner.indexes.get_mut(&col) {
+                if let Some(ps) = idx.get_mut(&old_val) {
+                    ps.retain(|&p| p != i);
+                }
+                idx.entry(set_val.clone()).or_default().push(i);
+            }
+        }
+        Ok(changed.len())
+    }
+
+    /// Update with a computed value: set `set_col` to `f(row)` on every
+    /// row satisfying `pred` (`UPDATE t SET c = <expr> WHERE ...`).
+    /// Returns the number of rows changed.
+    pub fn update_map(
+        &self,
+        pred: &Expr,
+        set_col: &str,
+        f: impl Fn(&Tuple) -> Result<Value>,
+    ) -> Result<usize> {
+        let col = self.schema.require_column(set_col)?;
+        let mut inner = self.inner.write();
+        let mut changed = Vec::new();
+        for (i, r) in inner.rows.iter().enumerate() {
+            if pred.eval_bool(&[r])? {
+                changed.push((i, f(r)?));
+            }
+        }
+        for (i, new_val) in &changed {
+            if !new_val
+                .value_type()
+                .coercible_to(self.schema.columns[col].ty)
+            {
+                return Err(DsmsError::tuple(format!(
+                    "UPDATE sets `{set_col}` to incompatible {}",
+                    new_val.value_type()
+                )));
+            }
+            let old = inner.rows[*i].clone();
+            let mut vals = old.values().to_vec();
+            let old_val = vals[col].clone();
+            vals[col] = new_val.clone();
+            inner.rows[*i] = Tuple::new(vals, old.ts(), old.seq());
+            if let Some(idx) = inner.indexes.get_mut(&col) {
+                if let Some(ps) = idx.get_mut(&old_val) {
+                    ps.retain(|&p| p != *i);
+                }
+                idx.entry(new_val.clone()).or_default().push(*i);
+            }
+        }
+        Ok(changed.len())
+    }
+
+    /// Delete rows satisfying `pred`. Rebuilds indexes (deletes are rare in
+    /// the paper's workloads). Returns the number of rows removed.
+    pub fn delete(&self, pred: &Expr) -> Result<usize> {
+        let mut inner = self.inner.write();
+        let before = inner.rows.len();
+        let mut kept = Vec::with_capacity(before);
+        for r in inner.rows.drain(..) {
+            if !pred.eval_bool(&[&r])? {
+                kept.push(r);
+            }
+        }
+        inner.rows = kept;
+        let removed = before - inner.rows.len();
+        if removed > 0 {
+            let cols: Vec<usize> = inner.indexes.keys().copied().collect();
+            for c in cols {
+                let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
+                for (i, row) in inner.rows.iter().enumerate() {
+                    idx.entry(row.value(c).clone()).or_default().push(i);
+                }
+                inner.indexes.insert(c, idx);
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn movement_table() -> TableRef {
+        // The paper's object_movement(tagid, location, start_time).
+        Table::new(Arc::new(
+            Schema::new(
+                "object_movement",
+                vec![
+                    ("tagid", ValueType::Str),
+                    ("location", ValueType::Str),
+                    ("start_time", ValueType::Ts),
+                ],
+                None,
+            )
+            .unwrap(),
+        ))
+    }
+
+    fn row(tag: &str, loc: &str, secs: u64) -> Vec<Value> {
+        vec![
+            Value::str(tag),
+            Value::str(loc),
+            Value::Ts(crate::time::Timestamp::from_secs(secs)),
+        ]
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let t = movement_table();
+        t.insert(row("t1", "dock", 0)).unwrap();
+        t.insert(row("t2", "aisle", 5)).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.scan()[1].value(1).as_str(), Some("aisle"));
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let t = movement_table();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn lookup_with_and_without_index() {
+        let t = movement_table();
+        for i in 0..100 {
+            t.insert(row(&format!("t{}", i % 10), "loc", i)).unwrap();
+        }
+        let unindexed = t.lookup("tagid", &Value::str("t3")).unwrap();
+        assert_eq!(unindexed.len(), 10);
+        t.create_index("tagid").unwrap();
+        let indexed = t.lookup("tagid", &Value::str("t3")).unwrap();
+        assert_eq!(indexed.len(), 10);
+        assert_eq!(t.lookup("tagid", &Value::str("nope")).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn index_tracks_inserts() {
+        let t = movement_table();
+        t.create_index("tagid").unwrap();
+        t.insert(row("a", "x", 1)).unwrap();
+        t.insert(row("a", "y", 2)).unwrap();
+        assert_eq!(t.lookup("tagid", &Value::str("a")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn exists_and_select() {
+        let t = movement_table();
+        t.insert(row("a", "gate", 1)).unwrap();
+        let pred = Expr::eq(Expr::col(1), Expr::lit("gate"));
+        assert!(t.exists(&pred).unwrap());
+        assert_eq!(t.select(&pred).unwrap().len(), 1);
+        let pred2 = Expr::eq(Expr::col(1), Expr::lit("dock"));
+        assert!(!t.exists(&pred2).unwrap());
+    }
+
+    #[test]
+    fn update_maintains_index() {
+        let t = movement_table();
+        t.create_index("location").unwrap();
+        t.insert(row("a", "gate", 1)).unwrap();
+        t.insert(row("b", "gate", 2)).unwrap();
+        let pred = Expr::eq(Expr::col(0), Expr::lit("a"));
+        let n = t.update(&pred, "location", &Value::str("dock")).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(t.lookup("location", &Value::str("dock")).unwrap().len(), 1);
+        assert_eq!(t.lookup("location", &Value::str("gate")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_rejects_bad_type() {
+        let t = movement_table();
+        t.insert(row("a", "gate", 1)).unwrap();
+        let pred = Expr::lit(true);
+        assert!(t.update(&pred, "location", &Value::Int(3)).is_err());
+    }
+
+    #[test]
+    fn update_map_computes_per_row() {
+        let t = movement_table();
+        t.insert(row("a", "gate", 1)).unwrap();
+        t.insert(row("b", "dock", 2)).unwrap();
+        // Append a suffix to every location.
+        let n = t
+            .update_map(&Expr::lit(true), "location", |r| {
+                Ok(Value::str(format!("{}-x", r.value(1).as_str().unwrap())))
+            })
+            .unwrap();
+        assert_eq!(n, 2);
+        let rows = t.scan();
+        assert_eq!(rows[0].value(1).as_str(), Some("gate-x"));
+        assert_eq!(rows[1].value(1).as_str(), Some("dock-x"));
+    }
+
+    #[test]
+    fn delete_rebuilds_index() {
+        let t = movement_table();
+        t.create_index("tagid").unwrap();
+        for i in 0..10 {
+            t.insert(row(&format!("t{i}"), "loc", i)).unwrap();
+        }
+        let pred = Expr::eq(Expr::col(0), Expr::lit("t4"));
+        assert_eq!(t.delete(&pred).unwrap(), 1);
+        assert_eq!(t.len(), 9);
+        assert!(t.lookup("tagid", &Value::str("t4")).unwrap().is_empty());
+        assert_eq!(t.lookup("tagid", &Value::str("t9")).unwrap().len(), 1);
+    }
+}

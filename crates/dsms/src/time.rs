@@ -1,0 +1,228 @@
+//! Discrete time model shared by the whole system.
+//!
+//! RFID observations are timestamped at the reader with bounded clock skew;
+//! the paper's semantics only require a total order on timestamps plus
+//! arithmetic for window bounds. We model time as microseconds since an
+//! arbitrary epoch, which keeps all window math exact (no floating point)
+//! and makes simulated workloads perfectly reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in time, in microseconds since the stream epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Timestamp(pub u64);
+
+/// A span of time, in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl Timestamp {
+    /// The smallest representable timestamp (the stream epoch).
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The largest representable timestamp; used as "never expires".
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Timestamp(s * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Timestamp(ms * 1_000)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Timestamp(us)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction of a duration (clamps at the epoch).
+    pub fn saturating_sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// Saturating addition of a duration (clamps at `Timestamp::MAX`).
+    pub fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// The duration elapsed since `earlier`, or `None` if `earlier > self`.
+    pub fn since(self, earlier: Timestamp) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration)
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable span; used as "unbounded window".
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
+    /// Construct from whole minutes.
+    pub fn from_mins(m: u64) -> Self {
+        Duration(m * 60 * 1_000_000)
+    }
+
+    /// Construct from whole hours.
+    pub fn from_hours(h: u64) -> Self {
+        Duration(h * 3_600 * 1_000_000)
+    }
+
+    /// Microseconds in this span.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds in this span (truncating).
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 - d.0)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, other: Timestamp) -> Duration {
+        Duration(self.0 - other.0)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, d: Duration) -> Duration {
+        Duration(self.0 + d.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.0 / 1_000_000;
+        let us = self.0 % 1_000_000;
+        if us == 0 {
+            write!(f, "{secs}s")
+        } else {
+            write!(f, "{secs}.{us:06}s")
+        }
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.0 / 1_000_000;
+        let us = self.0 % 1_000_000;
+        if us == 0 {
+            write!(f, "{secs}s")
+        } else {
+            write!(f, "{secs}.{us:06}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(Timestamp::from_secs(3), Timestamp(3_000_000));
+        assert_eq!(Timestamp::from_millis(3), Timestamp(3_000));
+        assert_eq!(Duration::from_mins(2), Duration::from_secs(120));
+        assert_eq!(Duration::from_hours(1), Duration::from_mins(60));
+        assert_eq!(Duration::from_secs(5).as_secs(), 5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(10);
+        assert_eq!(t + Duration::from_secs(5), Timestamp::from_secs(15));
+        assert_eq!(t - Duration::from_secs(5), Timestamp::from_secs(5));
+        assert_eq!(
+            Timestamp::from_secs(15) - Timestamp::from_secs(10),
+            Duration::from_secs(5)
+        );
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let t = Timestamp::from_secs(1);
+        assert_eq!(t.saturating_sub(Duration::from_secs(10)), Timestamp::ZERO);
+        assert_eq!(Timestamp::MAX.saturating_add(Duration(1)), Timestamp::MAX);
+    }
+
+    #[test]
+    fn since() {
+        let a = Timestamp::from_secs(5);
+        let b = Timestamp::from_secs(8);
+        assert_eq!(b.since(a), Some(Duration::from_secs(3)));
+        assert_eq!(a.since(b), None);
+        assert_eq!(a.since(a), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            Timestamp::from_secs(3),
+            Timestamp::ZERO,
+            Timestamp::from_millis(1),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Timestamp::ZERO,
+                Timestamp::from_millis(1),
+                Timestamp::from_secs(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Timestamp::from_secs(7).to_string(), "7s");
+        assert_eq!(Duration::from_micros(1_500_000).to_string(), "1.500000s");
+    }
+}

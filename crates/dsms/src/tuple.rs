@@ -1,0 +1,251 @@
+//! Stream tuples.
+//!
+//! A tuple is an immutable row plus its event timestamp and a global
+//! arrival sequence number. Values live behind an `Arc` so that window
+//! buffers, tuple histories and match bindings can all hold the same row
+//! without copying; cloning a `Tuple` is two pointer-sized copies and one
+//! refcount bump.
+
+use crate::error::{DsmsError, Result};
+use crate::schema::Schema;
+use crate::time::Timestamp;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// One immutable stream row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+    ts: Timestamp,
+    seq: u64,
+}
+
+impl Tuple {
+    /// Build a tuple with an explicit timestamp and sequence number.
+    ///
+    /// The sequence number breaks timestamp ties: the *joint tuple history*
+    /// of §3.1.1 of the paper is ordered by `(ts, seq)`, which makes the
+    /// union of several streams a stable total order.
+    pub fn new(values: Vec<Value>, ts: Timestamp, seq: u64) -> Tuple {
+        Tuple {
+            values: values.into(),
+            ts,
+            seq,
+        }
+    }
+
+    /// Build a tuple validated against `schema`, reading the timestamp out
+    /// of the schema's event-time column.
+    pub fn for_schema(schema: &Schema, values: Vec<Value>, seq: u64) -> Result<Tuple> {
+        if values.len() != schema.arity() {
+            return Err(DsmsError::tuple(format!(
+                "`{}` expects {} columns, got {}",
+                schema.name,
+                schema.arity(),
+                values.len()
+            )));
+        }
+        for (i, (v, c)) in values.iter().zip(&schema.columns).enumerate() {
+            if !v.value_type().coercible_to(c.ty) {
+                return Err(DsmsError::tuple(format!(
+                    "column {i} (`{}`) of `{}` expects {}, got {}",
+                    c.name,
+                    schema.name,
+                    c.ty,
+                    v.value_type()
+                )));
+            }
+        }
+        let ts = match schema.time_column {
+            Some(i) => values[i].as_ts().ok_or_else(|| {
+                DsmsError::tuple(format!("time column of `{}` is NULL", schema.name))
+            })?,
+            None => Timestamp::ZERO,
+        };
+        Ok(Tuple::new(values, ts, seq))
+    }
+
+    /// The row values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value of column `i` (panics when out of range — callers index via
+    /// bound schemas, so a miss is a planner bug, not a data error).
+    pub fn value(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Value of column `i`, or `None` when out of range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Event timestamp.
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Global arrival sequence number (tie-breaker for equal timestamps).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(ts, seq)` — the total order used by joint tuple histories.
+    pub fn order_key(&self) -> (Timestamp, u64) {
+        (self.ts, self.seq)
+    }
+
+    /// Strictly-after comparison on the joint-history order.
+    pub fn after(&self, other: &Tuple) -> bool {
+        self.order_key() > other.order_key()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")@{}", self.ts)
+    }
+}
+
+/// Messages flowing through a stream: data tuples interleaved with
+/// punctuations (watermarks).
+///
+/// A punctuation `P(t)` promises that no future tuple on the stream has
+/// event time `< t`. Punctuations drive *active expiration* (§3.1.3): the
+/// `EXCEPTION_SEQ` operator must detect window expiry even when no further
+/// tuples arrive, so the engine emits punctuations on a heartbeat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamItem {
+    /// A data tuple.
+    Tuple(Tuple),
+    /// A watermark: no later arrival will carry an earlier event time.
+    Punctuation(Timestamp),
+}
+
+impl StreamItem {
+    /// The event time of this item.
+    pub fn ts(&self) -> Timestamp {
+        match self {
+            StreamItem::Tuple(t) => t.ts(),
+            StreamItem::Punctuation(t) => *t,
+        }
+    }
+
+    /// The tuple, if this is a data item.
+    pub fn as_tuple(&self) -> Option<&Tuple> {
+        match self {
+            StreamItem::Tuple(t) => Some(t),
+            StreamItem::Punctuation(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn readings_schema() -> Schema {
+        Schema::new(
+            "readings",
+            vec![
+                ("reader_id", ValueType::Str),
+                ("tag_id", ValueType::Str),
+                ("read_time", ValueType::Ts),
+            ],
+            Some("read_time"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn for_schema_extracts_timestamp() {
+        let s = readings_schema();
+        let t = Tuple::for_schema(
+            &s,
+            vec![
+                Value::str("r1"),
+                Value::str("tag9"),
+                Value::Ts(Timestamp::from_secs(5)),
+            ],
+            7,
+        )
+        .unwrap();
+        assert_eq!(t.ts(), Timestamp::from_secs(5));
+        assert_eq!(t.seq(), 7);
+        assert_eq!(t.value(1).as_str(), Some("tag9"));
+    }
+
+    #[test]
+    fn for_schema_rejects_wrong_arity() {
+        let s = readings_schema();
+        let err = Tuple::for_schema(&s, vec![Value::str("r1")], 0).unwrap_err();
+        assert!(err.to_string().contains("expects 3 columns"));
+    }
+
+    #[test]
+    fn for_schema_rejects_wrong_type() {
+        let s = readings_schema();
+        let err = Tuple::for_schema(
+            &s,
+            vec![
+                Value::Int(1),
+                Value::str("t"),
+                Value::Ts(Timestamp::ZERO),
+            ],
+            0,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("expects VARCHAR"));
+    }
+
+    #[test]
+    fn for_schema_rejects_null_time() {
+        let s = readings_schema();
+        let err =
+            Tuple::for_schema(&s, vec![Value::str("r"), Value::str("t"), Value::Null], 0)
+                .unwrap_err();
+        assert!(err.to_string().contains("time column"));
+    }
+
+    #[test]
+    fn order_key_breaks_ties_by_seq() {
+        let a = Tuple::new(vec![], Timestamp::from_secs(1), 0);
+        let b = Tuple::new(vec![], Timestamp::from_secs(1), 1);
+        assert!(b.after(&a));
+        assert!(!a.after(&b));
+        assert!(!a.after(&a));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let t = Tuple::new(vec![Value::str("x")], Timestamp::ZERO, 0);
+        let u = t.clone();
+        assert!(Arc::ptr_eq(&t.values, &u.values));
+    }
+
+    #[test]
+    fn stream_item_accessors() {
+        let t = Tuple::new(vec![], Timestamp::from_secs(2), 0);
+        let item = StreamItem::Tuple(t.clone());
+        assert_eq!(item.ts(), Timestamp::from_secs(2));
+        assert_eq!(item.as_tuple(), Some(&t));
+        let p = StreamItem::Punctuation(Timestamp::from_secs(9));
+        assert_eq!(p.ts(), Timestamp::from_secs(9));
+        assert_eq!(p.as_tuple(), None);
+    }
+}

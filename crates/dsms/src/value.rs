@@ -1,0 +1,304 @@
+//! Dynamically typed column values.
+//!
+//! RFID readings and their derived streams carry a small set of scalar
+//! types: tag/reader identifiers (strings), counters (integers), sensor
+//! measurements (floats), flags (booleans) and observation timestamps.
+//! `Value` is the runtime representation of one column of one tuple.
+
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single column value.
+///
+/// Strings are reference-counted so that cloning tuples (which happens on
+/// every window insert and match binding) never copies string bytes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (sensor measurements).
+    Float(f64),
+    /// Interned immutable string (tag ids, reader ids, EPCs, locations).
+    Str(Arc<str>),
+    /// Boolean flag.
+    Bool(bool),
+    /// Observation timestamp.
+    Ts(Timestamp),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True iff this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, widening integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a timestamp, if it is one.
+    pub fn as_ts(&self) -> Option<Timestamp> {
+        match self {
+            Value::Ts(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// The runtime type of this value, for error reporting and binding.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Null => ValueType::Null,
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Ts(_) => ValueType::Ts,
+        }
+    }
+
+    /// SQL-style three-valued comparison: `None` when either side is NULL
+    /// or the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Ts(a), Value::Ts(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: NULL never equals anything.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+}
+
+/// Equality used for grouping keys and test assertions: NULL == NULL here
+/// (unlike SQL comparison semantics), and floats compare bitwise.
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Ts(a), Value::Ts(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Bool(b) => b.hash(state),
+            Value::Ts(t) => t.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Ts(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<Timestamp> for Value {
+    fn from(v: Timestamp) -> Self {
+        Value::Ts(v)
+    }
+}
+
+/// The static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// The type of NULL literals before coercion.
+    Null,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Timestamp.
+    Ts,
+}
+
+impl ValueType {
+    /// Whether a value of type `self` can be stored in a column of type
+    /// `target` (NULL is storable anywhere; Int widens to Float).
+    pub fn coercible_to(self, target: ValueType) -> bool {
+        self == target || self == ValueType::Null || (self == ValueType::Int && target == ValueType::Float)
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Null => "NULL",
+            ValueType::Int => "INT",
+            ValueType::Float => "FLOAT",
+            ValueType::Str => "VARCHAR",
+            ValueType::Bool => "BOOLEAN",
+            ValueType::Ts => "TIMESTAMP",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(
+            Value::Ts(Timestamp::from_secs(1)).as_ts(),
+            Some(Timestamp::from_secs(1))
+        );
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn sql_comparison_null_propagates() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_comparison_numeric_widening() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Float(2.0).sql_eq(&Value::Int(2)), Some(true));
+    }
+
+    #[test]
+    fn sql_comparison_mismatched_types() {
+        assert_eq!(Value::str("1").sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn grouping_equality_treats_null_equal() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Value::str("a"));
+        s.insert(Value::str("a"));
+        s.insert(Value::Int(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn coercions() {
+        assert!(ValueType::Int.coercible_to(ValueType::Float));
+        assert!(ValueType::Null.coercible_to(ValueType::Str));
+        assert!(!ValueType::Float.coercible_to(ValueType::Int));
+        assert!(ValueType::Str.coercible_to(ValueType::Str));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::str("abc").to_string(), "abc");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+    }
+}

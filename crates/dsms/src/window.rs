@@ -1,0 +1,247 @@
+//! Sliding windows.
+//!
+//! Two families from SQL:2003 / ESL, plus the paper's extensions (§3.2):
+//!
+//! * `RANGE d PRECEDING` — time-based: tuples with `ts ∈ [now − d, now]`.
+//! * `ROWS n PRECEDING` — count-based: the last `n + 1` tuples.
+//! * `RANGE d FOLLOWING` — time *after* an anchor; the paper needs this for
+//!   `EXCEPTION_SEQ ... OVER [1 HOURS FOLLOWING A1]`.
+//! * `RANGE d PRECEDING AND FOLLOWING` — symmetric window around an anchor
+//!   tuple, synchronized across a sub-query boundary (Example 8).
+//!
+//! [`WindowBuffer`] is the shared physical structure: an append-ordered
+//! deque with eager front expiry. Because streams are append-only and
+//! (per-stream) timestamp-ordered, expiry is always a prefix drop.
+
+use crate::time::{Duration, Timestamp};
+use crate::tuple::Tuple;
+use std::collections::VecDeque;
+
+/// How far a window extends relative to its reference point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowExtent {
+    /// `RANGE d PRECEDING`: covers `[anchor − d, anchor]`.
+    Preceding(Duration),
+    /// `RANGE d FOLLOWING`: covers `[anchor, anchor + d]`.
+    Following(Duration),
+    /// `RANGE d PRECEDING AND FOLLOWING`: covers `[anchor − d, anchor + d]`.
+    PrecedingAndFollowing(Duration),
+    /// `ROWS n PRECEDING`: the most recent `n + 1` tuples.
+    Rows(usize),
+    /// No bound (whole history) — used by tables and for testing.
+    Unbounded,
+}
+
+impl WindowExtent {
+    /// Lowest event time that can still fall inside a window anchored at
+    /// `anchor` (inclusive).
+    pub fn lower_bound(&self, anchor: Timestamp) -> Timestamp {
+        match self {
+            WindowExtent::Preceding(d) | WindowExtent::PrecedingAndFollowing(d) => {
+                anchor.saturating_sub(*d)
+            }
+            WindowExtent::Following(_) => anchor,
+            WindowExtent::Rows(_) | WindowExtent::Unbounded => Timestamp::ZERO,
+        }
+    }
+
+    /// Highest event time that can still fall inside a window anchored at
+    /// `anchor` (inclusive).
+    pub fn upper_bound(&self, anchor: Timestamp) -> Timestamp {
+        match self {
+            WindowExtent::Preceding(_) | WindowExtent::Rows(_) => anchor,
+            WindowExtent::Following(d) | WindowExtent::PrecedingAndFollowing(d) => {
+                anchor.saturating_add(*d)
+            }
+            WindowExtent::Unbounded => Timestamp::MAX,
+        }
+    }
+
+    /// Whether a tuple at `ts` is inside a window anchored at `anchor`.
+    pub fn contains(&self, anchor: Timestamp, ts: Timestamp) -> bool {
+        ts >= self.lower_bound(anchor) && ts <= self.upper_bound(anchor)
+    }
+
+    /// The latest watermark at which a window anchored at `anchor` can
+    /// still gain new tuples: once stream time passes this, the window's
+    /// contents are final. Used for FOLLOWING windows, whose answers may
+    /// only be emitted after the future part of the window has closed.
+    pub fn closes_at(&self, anchor: Timestamp) -> Timestamp {
+        self.upper_bound(anchor)
+    }
+}
+
+/// An append-ordered buffer of tuples with window-driven expiry.
+///
+/// Invariant: tuples are in nondecreasing `(ts, seq)` order (enforced by
+/// the engine's per-stream ordering), so expiring the window is a prefix
+/// pop. `expire_before(t)` removes everything with `ts < t`.
+#[derive(Debug, Clone, Default)]
+pub struct WindowBuffer {
+    buf: VecDeque<Tuple>,
+}
+
+impl WindowBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a tuple (must not be older than the newest buffered tuple;
+    /// debug-asserted since the engine guarantees per-stream order).
+    pub fn push(&mut self, t: Tuple) {
+        debug_assert!(
+            self.buf.back().is_none_or(|b| !b.after(&t)),
+            "window buffer requires per-stream arrival order"
+        );
+        self.buf.push_back(t);
+    }
+
+    /// Drop every tuple with event time strictly before `bound`.
+    /// Returns how many were dropped.
+    pub fn expire_before(&mut self, bound: Timestamp) -> usize {
+        let mut n = 0;
+        while self.buf.front().is_some_and(|t| t.ts() < bound) {
+            self.buf.pop_front();
+            n += 1;
+        }
+        n
+    }
+
+    /// Keep only the most recent `n` tuples (ROWS window maintenance).
+    pub fn truncate_rows(&mut self, n: usize) {
+        while self.buf.len() > n {
+            self.buf.pop_front();
+        }
+    }
+
+    /// Iterate over buffered tuples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.buf.iter()
+    }
+
+    /// Iterate over the tuples inside the window anchored at `anchor`.
+    pub fn in_window<'a>(
+        &'a self,
+        extent: &'a WindowExtent,
+        anchor: Timestamp,
+    ) -> impl Iterator<Item = &'a Tuple> + 'a {
+        let lo = extent.lower_bound(anchor);
+        let hi = extent.upper_bound(anchor);
+        self.buf
+            .iter()
+            .skip_while(move |t| t.ts() < lo)
+            .take_while(move |t| t.ts() <= hi)
+    }
+
+    /// Number of buffered tuples.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Oldest buffered tuple.
+    pub fn front(&self) -> Option<&Tuple> {
+        self.buf.front()
+    }
+
+    /// Newest buffered tuple.
+    pub fn back(&self) -> Option<&Tuple> {
+        self.buf.back()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t(secs: u64, seq: u64) -> Tuple {
+        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+    }
+
+    #[test]
+    fn extent_bounds() {
+        let anchor = Timestamp::from_secs(100);
+        let d = Duration::from_secs(10);
+        let p = WindowExtent::Preceding(d);
+        assert_eq!(p.lower_bound(anchor), Timestamp::from_secs(90));
+        assert_eq!(p.upper_bound(anchor), anchor);
+        let f = WindowExtent::Following(d);
+        assert_eq!(f.lower_bound(anchor), anchor);
+        assert_eq!(f.upper_bound(anchor), Timestamp::from_secs(110));
+        let pf = WindowExtent::PrecedingAndFollowing(d);
+        assert_eq!(pf.lower_bound(anchor), Timestamp::from_secs(90));
+        assert_eq!(pf.upper_bound(anchor), Timestamp::from_secs(110));
+        assert!(pf.contains(anchor, Timestamp::from_secs(95)));
+        assert!(pf.contains(anchor, Timestamp::from_secs(105)));
+        assert!(!pf.contains(anchor, Timestamp::from_secs(111)));
+    }
+
+    #[test]
+    fn extent_saturates_at_epoch() {
+        let p = WindowExtent::Preceding(Duration::from_secs(10));
+        assert_eq!(p.lower_bound(Timestamp::from_secs(3)), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn buffer_expiry_is_prefix() {
+        let mut b = WindowBuffer::new();
+        for (i, s) in [1u64, 2, 3, 5, 8].iter().enumerate() {
+            b.push(t(*s, i as u64));
+        }
+        assert_eq!(b.len(), 5);
+        let dropped = b.expire_before(Timestamp::from_secs(3));
+        assert_eq!(dropped, 2);
+        assert_eq!(b.front().unwrap().ts(), Timestamp::from_secs(3));
+        // Idempotent.
+        assert_eq!(b.expire_before(Timestamp::from_secs(3)), 0);
+    }
+
+    #[test]
+    fn buffer_rows_truncation() {
+        let mut b = WindowBuffer::new();
+        for i in 0..10u64 {
+            b.push(t(i, i));
+        }
+        b.truncate_rows(3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.front().unwrap().ts(), Timestamp::from_secs(7));
+    }
+
+    #[test]
+    fn in_window_selects_range() {
+        let mut b = WindowBuffer::new();
+        for i in 0..10u64 {
+            b.push(t(i, i));
+        }
+        let ext = WindowExtent::PrecedingAndFollowing(Duration::from_secs(2));
+        let got: Vec<u64> = b
+            .in_window(&ext, Timestamp::from_secs(5))
+            .map(|t| t.ts().as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(got, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn closes_at_for_following() {
+        let f = WindowExtent::Following(Duration::from_secs(60));
+        assert_eq!(
+            f.closes_at(Timestamp::from_secs(100)),
+            Timestamp::from_secs(160)
+        );
+        let p = WindowExtent::Preceding(Duration::from_secs(60));
+        assert_eq!(p.closes_at(Timestamp::from_secs(100)), Timestamp::from_secs(100));
+    }
+
+    #[test]
+    fn unbounded_contains_everything() {
+        let u = WindowExtent::Unbounded;
+        assert!(u.contains(Timestamp::ZERO, Timestamp::MAX));
+        assert!(u.contains(Timestamp::MAX, Timestamp::ZERO));
+    }
+}

@@ -1,0 +1,185 @@
+//! Engine-level integration: multi-stage cascades through derived
+//! streams, cycle protection, sink validation, and disorder-tolerance
+//! properties.
+
+use eslev_dsms::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn readings_engine(streams: &[&str]) -> Engine {
+    let mut e = Engine::new();
+    for s in streams {
+        e.create_stream(Schema::readings(*s)).unwrap();
+    }
+    e
+}
+
+fn reading(secs: u64, tag: &str) -> Vec<Value> {
+    vec![
+        Value::str("r"),
+        Value::str(tag),
+        Value::Ts(Timestamp::from_secs(secs)),
+    ]
+}
+
+#[test]
+fn three_stage_cascade() {
+    // raw -> (dedup) -> clean -> (filter) -> hot -> (project) -> collect.
+    let mut e = readings_engine(&["raw", "clean", "hot"]);
+    e.register_query(
+        "dedup",
+        vec!["raw"],
+        Box::new(Dedup::new(vec![Expr::col(1)], Duration::from_secs(1))),
+        Sink::Stream("clean".into()),
+    )
+    .unwrap();
+    e.register_query(
+        "filter",
+        vec!["clean"],
+        Box::new(Select::new(Expr::eq(Expr::col(1), Expr::lit("hot-tag")))),
+        Sink::Stream("hot".into()),
+    )
+    .unwrap();
+    let (_, out) = e
+        .register_collected(
+            "proj",
+            vec!["hot"],
+            Box::new(Project::new(vec![Expr::col(1), Expr::col(2)])),
+        )
+        .unwrap();
+    for (s, tag) in [(0u64, "hot-tag"), (0, "cold"), (10, "hot-tag"), (10, "hot-tag")] {
+        // Same-second duplicates collapse at stage 1.
+        e.push("raw", reading(s, tag)).unwrap();
+    }
+    let rows = out.take();
+    assert_eq!(rows.len(), 2);
+    assert!(rows.iter().all(|r| r.arity() == 2));
+}
+
+#[test]
+fn self_cycle_is_caught_not_hung() {
+    // A query that echoes a stream into itself must hit the cascade
+    // guard, not loop forever.
+    let mut e = readings_engine(&["loopy"]);
+    e.register_query(
+        "echo",
+        vec!["loopy"],
+        Box::new(Select::new(Expr::lit(true))),
+        Sink::Stream("loopy".into()),
+    )
+    .unwrap();
+    let err = e.push("loopy", reading(1, "t")).unwrap_err();
+    assert!(err.to_string().contains("cyclic"), "{err}");
+}
+
+#[test]
+fn fan_out_one_stream_many_queries() {
+    let mut e = readings_engine(&["raw"]);
+    let mut outs = Vec::new();
+    for i in 0..10 {
+        let (_, c) = e
+            .register_collected(
+                format!("q{i}"),
+                vec!["raw"],
+                Box::new(Select::new(Expr::lit(true))),
+            )
+            .unwrap();
+        outs.push(c);
+    }
+    e.push("raw", reading(1, "t")).unwrap();
+    assert!(outs.iter().all(|c| c.len() == 1));
+    let stats = e.query_stats();
+    assert_eq!(stats.len(), 10);
+    assert!(stats.iter().all(|s| s.emitted == 1 && s.active));
+}
+
+#[test]
+fn table_sink_validates_against_table_schema() {
+    let mut e = readings_engine(&["raw"]);
+    let schema = Arc::new(
+        Schema::new(
+            "narrow",
+            vec![("tag", ValueType::Str)],
+            None,
+        )
+        .unwrap(),
+    );
+    e.create_table(schema).unwrap();
+    e.register_query(
+        "persist",
+        vec!["raw"],
+        Box::new(Select::new(Expr::lit(true))),
+        Sink::Table("narrow".into()),
+    )
+    .unwrap();
+    let err = e.push("raw", reading(1, "t")).unwrap_err();
+    assert!(err.to_string().contains("columns"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Disorder tolerance: any feed whose displacement stays within the
+    /// slack produces exactly the sorted feed's output.
+    #[test]
+    fn reorder_equals_sorted(
+        gaps in proptest::collection::vec(0u64..5, 1..60),
+        swaps in proptest::collection::vec((0usize..59, 0usize..59), 0..30),
+    ) {
+        // Build an increasing base feed (100 ms steps scaled by gaps).
+        let mut ts = 0u64;
+        let mut base: Vec<u64> = Vec::new();
+        for g in &gaps {
+            ts += 100 + g * 10;
+            base.push(ts);
+        }
+        // Apply swaps, then keep only shuffles the 500 ms slack can
+        // absorb: at every arrival, the tuple must be within slack of
+        // the running maximum (otherwise the engine rightfully rejects).
+        let mut shuffled = base.clone();
+        for (a, b) in swaps {
+            let (a, b) = (a % shuffled.len(), b % shuffled.len());
+            let (lo, hi) = (a.min(b), a.max(b));
+            if shuffled[hi].saturating_sub(shuffled[lo]) < 500 {
+                shuffled.swap(lo, hi);
+            }
+        }
+        let mut running_max = 0u64;
+        let valid = shuffled.iter().all(|&ms| {
+            running_max = running_max.max(ms);
+            running_max - ms <= 500
+        });
+        if !valid {
+            shuffled = base.clone();
+            shuffled.sort_unstable();
+        }
+        let run = |feed: &[u64], tolerant: bool| -> Vec<u64> {
+            let mut e = readings_engine(&["raw"]);
+            if tolerant {
+                e.set_disorder_tolerance("raw", Duration::from_millis(500)).unwrap();
+            }
+            let (_, out) = e
+                .register_collected(
+                    "all",
+                    vec!["raw"],
+                    Box::new(Select::new(Expr::lit(true))),
+                )
+                .unwrap();
+            for ms in feed {
+                e.push(
+                    "raw",
+                    vec![
+                        Value::str("r"),
+                        Value::str("t"),
+                        Value::Ts(Timestamp::from_millis(*ms)),
+                    ],
+                )
+                .unwrap();
+            }
+            e.flush_disorder().unwrap();
+            out.take().iter().map(|t| t.ts().as_micros()).collect()
+        };
+        let mut sorted = base.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(run(&shuffled, true), run(&sorted, false));
+    }
+}

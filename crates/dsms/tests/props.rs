@@ -1,0 +1,215 @@
+//! Property-based tests for the DSMS substrate invariants.
+
+use eslev_dsms::prelude::*;
+use proptest::prelude::*;
+
+fn tuples(len: usize) -> impl Strategy<Value = Vec<Tuple>> {
+    proptest::collection::vec((0u64..5, -10i64..10), 0..len).prop_map(|steps| {
+        let mut ts = 0u64;
+        steps
+            .into_iter()
+            .enumerate()
+            .map(|(i, (gap, v))| {
+                ts += gap;
+                Tuple::new(vec![Value::Int(v)], Timestamp::from_secs(ts), i as u64)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The window buffer never retains a tuple older than the expiry
+    /// bound, and never drops one inside it.
+    #[test]
+    fn window_buffer_expiry_is_exact(ts_list in tuples(100), bound_secs in 0u64..120) {
+        let mut buf = WindowBuffer::new();
+        for t in &ts_list {
+            buf.push(t.clone());
+        }
+        let bound = Timestamp::from_secs(bound_secs);
+        let dropped = buf.expire_before(bound);
+        let expect_kept = ts_list.iter().filter(|t| t.ts() >= bound).count();
+        prop_assert_eq!(buf.len(), expect_kept);
+        prop_assert_eq!(dropped, ts_list.len() - expect_kept);
+        prop_assert!(buf.iter().all(|t| t.ts() >= bound));
+    }
+
+    /// in_window returns exactly the tuples inside the extent.
+    #[test]
+    fn in_window_is_exact(ts_list in tuples(80), anchor in 0u64..120, d in 0u64..30) {
+        let mut buf = WindowBuffer::new();
+        for t in &ts_list {
+            buf.push(t.clone());
+        }
+        let ext = WindowExtent::PrecedingAndFollowing(Duration::from_secs(d));
+        let anchor = Timestamp::from_secs(anchor);
+        let got: Vec<u64> = buf.in_window(&ext, anchor).map(|t| t.seq()).collect();
+        let want: Vec<u64> = ts_list
+            .iter()
+            .filter(|t| ext.contains(anchor, t.ts()))
+            .map(|t| t.seq())
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Dedup output contains no two same-key tuples within the window,
+    /// and passes a tuple iff the NOT EXISTS formulation would.
+    #[test]
+    fn dedup_matches_not_exists_semantics(
+        readings in proptest::collection::vec((0u64..3, 0usize..3), 0..80),
+        window_secs in 1u64..5,
+    ) {
+        let window = Duration::from_secs(window_secs);
+        let mut d = Dedup::new(vec![Expr::col(0)], window);
+        let mut ts = 0u64;
+        let mut all: Vec<Tuple> = Vec::new();
+        let mut out = Vec::new();
+        for (i, (gap, key)) in readings.iter().enumerate() {
+            ts += gap;
+            let t = Tuple::new(
+                vec![Value::Int(*key as i64)],
+                Timestamp::from_secs(ts),
+                i as u64,
+            );
+            // Reference: does any earlier same-key reading fall within
+            // [t - window, t)?  (NOT EXISTS over the raw stream.)
+            let dup = all.iter().any(|p| {
+                p.value(0) == t.value(0)
+                    && p.ts() >= t.ts().saturating_sub(window)
+            });
+            let before = out.len();
+            d.on_tuple(0, &t, &mut out).unwrap();
+            let emitted = out.len() > before;
+            prop_assert_eq!(emitted, !dup, "dedup disagrees with NOT EXISTS at seq {}", i);
+            all.push(t);
+        }
+    }
+
+    /// Windowed SUM with retraction equals recomputation from scratch.
+    #[test]
+    fn sliding_sum_equals_recompute(
+        vals in proptest::collection::vec((0u64..4, -100i64..100), 0..60),
+        window_secs in 1u64..10,
+    ) {
+        let reg = AggregateRegistry::new();
+        let window = Duration::from_secs(window_secs);
+        let mut agg = WindowAggregate::new(
+            vec![],
+            vec![AggSpec { agg: reg.get("sum").unwrap(), arg: Expr::col(0) }],
+            Some(AggWindow::Range(window)),
+            Emission::PerArrival,
+        );
+        let mut ts = 0u64;
+        let mut history: Vec<(u64, i64)> = Vec::new();
+        let mut out = Vec::new();
+        for (i, (gap, v)) in vals.iter().enumerate() {
+            ts += gap;
+            history.push((ts, *v));
+            let t = Tuple::new(vec![Value::Int(*v)], Timestamp::from_secs(ts), i as u64);
+            out.clear();
+            agg.on_tuple(0, &t, &mut out).unwrap();
+            let expect: i64 = history
+                .iter()
+                .filter(|(hts, _)| Timestamp::from_secs(*hts) >= Timestamp::from_secs(ts).saturating_sub(window))
+                .map(|(_, v)| v)
+                .sum();
+            prop_assert_eq!(out[0].value(0), &Value::Int(expect));
+        }
+    }
+
+    /// LIKE compilation agrees with a straightforward regex-free oracle
+    /// on %-only patterns: contains/starts/ends semantics.
+    #[test]
+    fn like_oracle(s in "[a-c]{0,8}", prefix in "[a-c]{0,3}", suffix in "[a-c]{0,3}") {
+        // %X% , X% , %X
+        let contains = LikePattern::compile(&format!("%{prefix}%"));
+        prop_assert_eq!(contains.matches(&s), s.contains(&prefix));
+        let starts = LikePattern::compile(&format!("{prefix}%"));
+        prop_assert_eq!(starts.matches(&s), s.starts_with(&prefix));
+        let ends = LikePattern::compile(&format!("%{suffix}"));
+        prop_assert_eq!(ends.matches(&s), s.ends_with(&suffix));
+    }
+
+    /// Expression evaluation is deterministic and three-valued logic
+    /// never panics on NULL-heavy rows.
+    #[test]
+    fn expr_eval_total_on_nulls(
+        a in prop_oneof![Just(Value::Null), any::<i64>().prop_map(Value::Int)],
+        b in prop_oneof![Just(Value::Null), any::<i64>().prop_map(Value::Int)],
+    ) {
+        let t = Tuple::new(vec![a, b], Timestamp::ZERO, 0);
+        let exprs = [
+            Expr::eq(Expr::col(0), Expr::col(1)),
+            Expr::bin(BinOp::Lt, Expr::col(0), Expr::col(1)),
+            Expr::and(
+                Expr::eq(Expr::col(0), Expr::col(1)),
+                Expr::bin(BinOp::Ge, Expr::col(1), Expr::lit(0i64)),
+            ),
+            Expr::IsNull(Box::new(Expr::col(0))),
+        ];
+        for e in &exprs {
+            let v1 = e.eval(&[&t]).unwrap();
+            let v2 = e.eval(&[&t]).unwrap();
+            prop_assert_eq!(v1, v2);
+            // WHERE semantics never error for these shapes.
+            e.eval_bool(&[&t]).unwrap();
+        }
+    }
+
+    /// WindowExists (NOT EXISTS, ± window) agrees with a brute-force
+    /// oracle over the full feed.
+    #[test]
+    fn window_not_exists_oracle(
+        feed in proptest::collection::vec((0u64..4, any::<bool>()), 0..50),
+        tau in 1u64..5,
+    ) {
+        let tau_d = Duration::from_secs(tau);
+        let mut op = WindowExists::new(
+            SemiJoinKind::NotExists,
+            WindowExtent::PrecedingAndFollowing(tau_d),
+            // inner must be a person.
+            Expr::eq(Expr::qcol(1, 0), Expr::lit("person")),
+            Some(Expr::eq(Expr::col(0), Expr::lit("item"))),
+        );
+        let mut ts = 0u64;
+        let tuples: Vec<Tuple> = feed
+            .iter()
+            .enumerate()
+            .map(|(i, (gap, is_person))| {
+                ts += gap + 1; // strictly increasing
+                Tuple::new(
+                    vec![Value::str(if *is_person { "person" } else { "item" }),
+                         Value::Int(i as i64)],
+                    Timestamp::from_secs(ts),
+                    i as u64,
+                )
+            })
+            .collect();
+        let mut out = Vec::new();
+        for t in &tuples {
+            op.on_tuple(0, t, &mut out).unwrap();
+            op.on_tuple(1, t, &mut out).unwrap();
+        }
+        let horizon = tuples.last().map(|t| t.ts()).unwrap_or(Timestamp::ZERO)
+            + tau_d + Duration::from_secs(1);
+        op.on_punctuation(horizon, &mut out).unwrap();
+
+        let expected: Vec<i64> = tuples
+            .iter()
+            .filter(|t| t.value(0) == &Value::str("item"))
+            .filter(|item| {
+                !tuples.iter().any(|p| {
+                    p.value(0) == &Value::str("person")
+                        && p.ts() >= item.ts().saturating_sub(tau_d)
+                        && p.ts() <= item.ts() + tau_d
+                })
+            })
+            .map(|t| t.value(1).as_int().unwrap())
+            .collect();
+        let mut got: Vec<i64> = out.iter().map(|t| t.value(1).as_int().unwrap()).collect();
+        got.sort_unstable();
+        let mut expected = expected;
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}

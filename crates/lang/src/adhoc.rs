@@ -1,0 +1,460 @@
+//! Ad-hoc snapshot queries (§2.1 of the paper).
+//!
+//! A one-shot `SELECT` evaluated *now*, against a table or against a
+//! stream's [materialized window] — the paper's example is a physician
+//! querying a patient's current location directly from the location
+//! stream, with no persistent store in the loop.
+//!
+//! Supported shape: single-relation `SELECT` with WHERE, projection,
+//! GROUP BY and aggregates. The relation is a table, or a stream with a
+//! materialized window registered via [`Engine::materialize`].
+//!
+//! [materialized window]: eslev_dsms::snapshot::MaterializedWindow
+
+use crate::ast::{AstExpr, SelectItem, SelectStmt, Statement};
+use crate::scope::{compile_scalar, Scope};
+use eslev_dsms::agg::Accumulator;
+use eslev_dsms::engine::Engine;
+use eslev_dsms::error::{DsmsError, Result};
+use eslev_dsms::expr::Expr;
+use eslev_dsms::tuple::Tuple;
+use eslev_dsms::value::Value;
+use std::collections::HashMap;
+
+/// Parse and run an ad-hoc snapshot query; returns the result rows.
+pub fn ad_hoc(engine: &Engine, sql: &str) -> Result<Vec<Tuple>> {
+    let stmt = crate::parser::parse_statement(sql)?;
+    let Statement::Select(sel) = stmt else {
+        return Err(DsmsError::plan("ad-hoc queries are SELECT statements"));
+    };
+    run_select(engine, &sel)
+}
+
+fn source_rows(engine: &Engine, name: &str) -> Result<(Vec<Tuple>, eslev_dsms::schema::SchemaRef)> {
+    if let Ok(table) = engine.table(name) {
+        return Ok((table.scan(), table.schema().clone()));
+    }
+    if let Some(snap) = engine.snapshot_of(name) {
+        return Ok((snap.snapshot(), snap.schema().clone()));
+    }
+    if engine.stream_schema(name).is_ok() {
+        return Err(DsmsError::plan(format!(
+            "stream `{name}` has no materialized window; call Engine::materialize first"
+        )));
+    }
+    Err(DsmsError::unknown(format!("relation `{name}`")))
+}
+
+fn run_select(engine: &Engine, sel: &SelectStmt) -> Result<Vec<Tuple>> {
+    if sel.from.len() != 1 {
+        return Err(DsmsError::plan("ad-hoc queries read one relation"));
+    }
+    let mut rows = run_core(engine, sel)?;
+    if !sel.order_by.is_empty() {
+        let item = &sel.from[0];
+        // ORDER BY keys are evaluated over the *output* rows when they
+        // are plain positions in the select list, else over the source
+        // schema — keep it simple and correct: order by output column
+        // name resolution against the select aliases is out of scope;
+        // we sort on expressions over the source rows only for `*`
+        // projections, and on output column indexes (1-based integers)
+        // otherwise, matching classic SQL positional ORDER BY.
+        let positional: Option<Vec<(usize, bool)>> = sel
+            .order_by
+            .iter()
+            .map(|(e, desc)| match e {
+                AstExpr::Lit(Value::Int(i)) if *i >= 1 => Some((*i as usize - 1, *desc)),
+                _ => None,
+            })
+            .collect();
+        match positional {
+            Some(keys) => {
+                rows.sort_by(|a, b| {
+                    for (i, desc) in &keys {
+                        let ord = match (a.get(*i), b.get(*i)) {
+                            (Some(x), Some(y)) => {
+                                x.sql_cmp(y).unwrap_or(std::cmp::Ordering::Equal)
+                            }
+                            (None, None) => std::cmp::Ordering::Equal,
+                            (None, Some(_)) => std::cmp::Ordering::Less,
+                            (Some(_), None) => std::cmp::Ordering::Greater,
+                        };
+                        let ord = if *desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+            }
+            None => {
+                // Expression keys over the source schema: only valid for
+                // `SELECT *` (output row = source row).
+                if !matches!(sel.items[..], [SelectItem::Wildcard]) {
+                    return Err(DsmsError::plan(
+                        "ORDER BY expressions require `SELECT *`; use positional ORDER BY (1, 2, ...) otherwise",
+                    ));
+                }
+                let (_, schema) = source_rows(engine, &item.name)?;
+                let scope = Scope::new(vec![(item.binding().to_string(), schema)]);
+                let keys: Vec<(Expr, bool)> = sel
+                    .order_by
+                    .iter()
+                    .map(|(e, d)| Ok((compile_scalar(e, &scope, engine.functions())?, *d)))
+                    .collect::<Result<_>>()?;
+                let mut err = None;
+                rows.sort_by(|a, b| {
+                    for (e, desc) in &keys {
+                        let (x, y) = match (e.eval(&[a]), e.eval(&[b])) {
+                            (Ok(x), Ok(y)) => (x, y),
+                            (Err(e), _) | (_, Err(e)) => {
+                                err.get_or_insert(e);
+                                return std::cmp::Ordering::Equal;
+                            }
+                        };
+                        let ord = x
+                            .sql_cmp(&y)
+                            .unwrap_or(std::cmp::Ordering::Equal);
+                        let ord = if *desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    if let Some(n) = sel.limit {
+        rows.truncate(n);
+    }
+    Ok(rows)
+}
+
+fn run_core(engine: &Engine, sel: &SelectStmt) -> Result<Vec<Tuple>> {
+    let item = &sel.from[0];
+    let (rows, schema) = source_rows(engine, &item.name)?;
+    let scope = Scope::new(vec![(item.binding().to_string(), schema)]);
+
+    // Filter.
+    let filtered: Vec<Tuple> = match &sel.where_clause {
+        None => rows,
+        Some(w) => {
+            let pred = compile_scalar(w, &scope, engine.functions())?;
+            let mut kept = Vec::new();
+            for r in rows {
+                if pred.eval_bool(&[&r])? {
+                    kept.push(r);
+                }
+            }
+            kept
+        }
+    };
+
+    // Split the select list into group columns and aggregates.
+    enum Col {
+        Group(Expr),
+        Agg(eslev_dsms::agg::AggregateRef, Expr),
+    }
+    let mut cols = Vec::new();
+    let mut has_agg = false;
+    for it in &sel.items {
+        match it {
+            SelectItem::Wildcard => {
+                if sel.items.len() != 1 {
+                    return Err(DsmsError::plan("mixed `*` and columns"));
+                }
+                return Ok(filtered);
+            }
+            SelectItem::Expr { expr, .. } => match expr {
+                AstExpr::Call { name, args }
+                    if engine.aggregates().get(name).is_some()
+                        && engine.functions().get(name).is_none()
+                        && args.len() == 1 =>
+                {
+                    has_agg = true;
+                    cols.push(Col::Agg(
+                        engine.aggregates().get(name).expect("checked"),
+                        compile_scalar(&args[0], &scope, engine.functions())?,
+                    ));
+                }
+                other => {
+                    cols.push(Col::Group(compile_scalar(other, &scope, engine.functions())?))
+                }
+            },
+        }
+    }
+
+    if !has_agg {
+        // Plain projection.
+        let mut out = Vec::with_capacity(filtered.len());
+        for r in &filtered {
+            let mut vals = Vec::with_capacity(cols.len());
+            for c in &cols {
+                let Col::Group(e) = c else { unreachable!() };
+                vals.push(e.eval(&[r])?);
+            }
+            out.push(Tuple::new(vals, r.ts(), r.seq()));
+        }
+        return Ok(out);
+    }
+
+    // Grouped (or scalar) aggregation over the snapshot.
+    let group_compiled: Vec<Expr> = sel
+        .group_by
+        .iter()
+        .map(|g| compile_scalar(g, &scope, engine.functions()))
+        .collect::<Result<Vec<_>>>()?;
+    // When GROUP BY is absent, non-aggregate select items act as the
+    // grouping, matching the continuous planner's behaviour.
+    let groups: Vec<&Expr> = if !sel.group_by.is_empty() {
+        group_compiled.iter().collect()
+    } else {
+        cols.iter()
+            .filter_map(|c| match c {
+                Col::Group(e) => Some(e),
+                Col::Agg(..) => None,
+            })
+            .collect()
+    };
+
+    type GroupAcc = (Vec<Box<dyn Accumulator>>, Tuple);
+    let mut acc: HashMap<Vec<Value>, GroupAcc> = HashMap::new();
+    for r in &filtered {
+        let key: Vec<Value> = groups.iter().map(|e| e.eval(&[r])).collect::<Result<_>>()?;
+        let entry = acc.entry(key).or_insert_with(|| {
+            (
+                cols.iter()
+                    .filter_map(|c| match c {
+                        Col::Agg(a, _) => Some(a.init()),
+                        Col::Group(_) => None,
+                    })
+                    .collect(),
+                r.clone(),
+            )
+        });
+        let mut ai = 0;
+        for c in &cols {
+            if let Col::Agg(_, arg) = c {
+                entry.0[ai].iterate(&arg.eval(&[r])?)?;
+                ai += 1;
+            }
+        }
+    }
+    // Scalar aggregation over zero rows still yields one row.
+    if acc.is_empty() && groups.is_empty() {
+        let accs: Vec<Box<dyn Accumulator>> = cols
+            .iter()
+            .filter_map(|c| match c {
+                Col::Agg(a, _) => Some(a.init()),
+                Col::Group(_) => None,
+            })
+            .collect();
+        let vals: Vec<Value> = accs.iter().map(|a| a.terminate()).collect();
+        return Ok(vec![Tuple::new(vals, eslev_dsms::time::Timestamp::ZERO, 0)]);
+    }
+    let mut out: Vec<Tuple> = Vec::with_capacity(acc.len());
+    for (_, (accs, repr)) in acc {
+        let mut vals = Vec::with_capacity(cols.len());
+        let mut ai = 0;
+        for c in &cols {
+            match c {
+                Col::Group(e) => vals.push(e.eval(&[&repr])?),
+                Col::Agg(..) => {
+                    vals.push(accs[ai].terminate());
+                    ai += 1;
+                }
+            }
+        }
+        out.push(Tuple::new(vals, repr.ts(), repr.seq()));
+    }
+    out.sort_by_key(|t| (t.ts(), t.seq()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eslev_dsms::prelude::*;
+
+    fn setup() -> Engine {
+        let mut e = Engine::new();
+        crate::planner::execute_script(
+            &mut e,
+            "CREATE STREAM tag_locations (readerid VARCHAR, tid VARCHAR, tagtime TIMESTAMP, loc VARCHAR)",
+        )
+        .unwrap();
+        e.materialize("tag_locations", WindowExtent::Preceding(Duration::from_mins(10)))
+            .unwrap();
+        let row = |tid: &str, loc: &str, secs: u64| {
+            vec![
+                Value::str("r"),
+                Value::str(tid),
+                Value::Ts(Timestamp::from_secs(secs)),
+                Value::str(loc),
+            ]
+        };
+        let mut push = |tid, loc, secs| {
+            e.push("tag_locations", row(tid, loc, secs)).unwrap();
+        };
+        push("patient-7", "ward-2", 10);
+        push("patient-9", "icu", 30);
+        push("patient-7", "radiology", 400);
+        e
+    }
+
+    #[test]
+    fn snapshot_filter_and_project() {
+        let e = setup();
+        // "Where is patient 7 right now?"
+        let rows = ad_hoc(
+            &e,
+            "SELECT loc, tagtime FROM tag_locations WHERE tid = 'patient-7'",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.last().unwrap().value(0), &Value::str("radiology"));
+    }
+
+    #[test]
+    fn snapshot_respects_window_expiry() {
+        let mut e = setup();
+        // Advance far: the 10-minute window drops everything.
+        e.advance_to(Timestamp::from_secs(10_000)).unwrap();
+        let rows = ad_hoc(&e, "SELECT * FROM tag_locations").unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn scalar_and_grouped_aggregates() {
+        let e = setup();
+        let rows = ad_hoc(&e, "SELECT count(tid) FROM tag_locations").unwrap();
+        assert_eq!(rows[0].value(0), &Value::Int(3));
+        let rows = ad_hoc(
+            &e,
+            "SELECT tid, count(loc) FROM tag_locations GROUP BY tid",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        let seven = rows
+            .iter()
+            .find(|r| r.value(0) == &Value::str("patient-7"))
+            .unwrap();
+        assert_eq!(seven.value(1), &Value::Int(2));
+    }
+
+    #[test]
+    fn scalar_aggregate_over_empty_snapshot() {
+        let mut e = Engine::new();
+        crate::planner::execute_script(
+            &mut e,
+            "CREATE STREAM s (tid VARCHAR, t TIMESTAMP)",
+        )
+        .unwrap();
+        e.materialize("s", WindowExtent::Unbounded).unwrap();
+        let rows = ad_hoc(&e, "SELECT count(tid) FROM s").unwrap();
+        assert_eq!(rows[0].value(0), &Value::Int(0));
+    }
+
+    #[test]
+    fn tables_are_queryable_too() {
+        let mut e = Engine::new();
+        crate::planner::execute_script(
+            &mut e,
+            "CREATE TABLE ctx (tagid VARCHAR, product VARCHAR)",
+        )
+        .unwrap();
+        e.table("ctx")
+            .unwrap()
+            .insert(vec![Value::str("t1"), Value::str("pump")])
+            .unwrap();
+        let rows = ad_hoc(&e, "SELECT product FROM ctx WHERE tagid = 't1'").unwrap();
+        assert_eq!(rows[0].value(0), &Value::str("pump"));
+    }
+
+    #[test]
+    fn unmaterialized_stream_is_a_clear_error() {
+        let mut e = Engine::new();
+        crate::planner::execute_script(&mut e, "CREATE STREAM s (tid VARCHAR, t TIMESTAMP)")
+            .unwrap();
+        let err = ad_hoc(&e, "SELECT * FROM s").unwrap_err();
+        assert!(err.to_string().contains("materialize"));
+        let err = ad_hoc(&e, "SELECT * FROM nothere").unwrap_err();
+        assert!(err.to_string().contains("relation"));
+    }
+}
+
+#[cfg(test)]
+mod order_limit_tests {
+    use super::*;
+    use eslev_dsms::prelude::*;
+
+    fn setup() -> Engine {
+        let mut e = Engine::new();
+        crate::planner::execute_script(
+            &mut e,
+            "CREATE STREAM vitals (patient VARCHAR, bp INT, t TIMESTAMP)",
+        )
+        .unwrap();
+        e.materialize("vitals", WindowExtent::Unbounded).unwrap();
+        for (i, (p, bp)) in [("a", 120i64), ("b", 180), ("a", 95), ("c", 140)]
+            .iter()
+            .enumerate()
+        {
+            e.push(
+                "vitals",
+                vec![
+                    Value::str(*p),
+                    Value::Int(*bp),
+                    Value::Ts(Timestamp::from_secs(i as u64)),
+                ],
+            )
+            .unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn order_by_expression_with_wildcard() {
+        let e = setup();
+        // The physician's "latest reading first".
+        let rows = ad_hoc(&e, "SELECT * FROM vitals ORDER BY bp DESC LIMIT 2").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].value(1), &Value::Int(180));
+        assert_eq!(rows[1].value(1), &Value::Int(140));
+    }
+
+    #[test]
+    fn positional_order_by_on_projection() {
+        let e = setup();
+        let rows = ad_hoc(
+            &e,
+            "SELECT patient, bp FROM vitals ORDER BY 2 DESC LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(rows[0].value(0), &Value::str("b"));
+        // Numeric, not lexicographic: 95 sorts below 140.
+        let rows = ad_hoc(&e, "SELECT patient, bp FROM vitals ORDER BY 2").unwrap();
+        assert_eq!(rows[0].value(1), &Value::Int(95));
+    }
+
+    #[test]
+    fn expression_order_requires_wildcard() {
+        let e = setup();
+        let err = ad_hoc(&e, "SELECT patient FROM vitals ORDER BY bp").unwrap_err();
+        assert!(err.to_string().contains("positional"));
+    }
+
+    #[test]
+    fn continuous_queries_reject_order_by() {
+        let mut e = setup();
+        let err =
+            crate::planner::execute(&mut e, "SELECT patient FROM vitals ORDER BY 1")
+                .err()
+                .expect("continuous ORDER BY must be rejected");
+        assert!(err.to_string().contains("ad-hoc"));
+    }
+}

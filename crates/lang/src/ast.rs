@@ -1,0 +1,483 @@
+//! Abstract syntax of ESL-EV statements.
+//!
+//! The AST mirrors the paper's concrete syntax: standard SQL statements
+//! plus event-operator terms (`SEQ`, `EXCEPTION_SEQ`, `CLEVEL_SEQ` with
+//! `OVER [...]` windows and `MODE` clauses), star aggregates
+//! (`FIRST(R1*).tagtime`), the `previous` operator, duration literals,
+//! and window specs attached to FROM items (including the §3.2
+//! cross-sub-query windows of Example 8).
+
+use eslev_core::mode::PairingMode;
+use eslev_dsms::time::Duration;
+use eslev_dsms::value::{Value, ValueType};
+use std::fmt;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE STREAM name (col type, ...)`.
+    CreateStream {
+        /// Stream name.
+        name: String,
+        /// Columns.
+        columns: Vec<(String, ValueType)>,
+    },
+    /// `CREATE TABLE name (col type, ...)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Columns.
+        columns: Vec<(String, ValueType)>,
+    },
+    /// `INSERT INTO target SELECT ...` — a continuous query whose output
+    /// feeds a stream or table.
+    InsertInto {
+        /// Target stream or table.
+        target: String,
+        /// The query.
+        select: SelectStmt,
+    },
+    /// A bare continuous `SELECT` (results collected for the caller).
+    Select(SelectStmt),
+    /// `UPDATE table SET col = expr [, ...] [WHERE pred]` — one-shot.
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, value expression)` assignments.
+        sets: Vec<(String, AstExpr)>,
+        /// Row filter.
+        where_clause: Option<AstExpr>,
+    },
+    /// `DELETE FROM table [WHERE pred]` — one-shot.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row filter.
+        where_clause: Option<AstExpr>,
+    },
+}
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Select list (empty means `*`).
+    pub items: Vec<SelectItem>,
+    /// FROM items.
+    pub from: Vec<FromItem>,
+    /// WHERE predicate.
+    pub where_clause: Option<AstExpr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<AstExpr>,
+    /// ORDER BY items (`true` = DESC); only meaningful for ad-hoc
+    /// snapshot queries — continuous streams have no final order.
+    pub order_by: Vec<(AstExpr, bool)>,
+    /// LIMIT row count (ad-hoc only).
+    pub limit: Option<usize>,
+}
+
+/// One select-list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: AstExpr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// One FROM entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// Relation (stream or table) name.
+    pub name: String,
+    /// `AS alias`.
+    pub alias: Option<String>,
+    /// Window attached to the item (`TABLE(s OVER (RANGE ...))` in
+    /// Example 1, `s AS item OVER [... PRECEDING AND FOLLOWING person]`
+    /// in Example 8).
+    pub window: Option<AstWindow>,
+}
+
+impl FromItem {
+    /// The name this item binds in scope.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Direction of a window spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstWindowKind {
+    /// `d PRECEDING anchor`.
+    Preceding,
+    /// `d FOLLOWING anchor`.
+    Following,
+    /// `d PRECEDING AND FOLLOWING anchor` (§3.2).
+    PrecedingAndFollowing,
+}
+
+/// How a window is measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowLength {
+    /// Time-based: `RANGE 30 MINUTES ...`.
+    Time(Duration),
+    /// Count-based: `ROWS 10 ...`.
+    Rows(usize),
+}
+
+impl WindowLength {
+    /// The duration, when time-based.
+    pub fn as_time(self) -> Option<Duration> {
+        match self {
+            WindowLength::Time(d) => Some(d),
+            WindowLength::Rows(_) => None,
+        }
+    }
+}
+
+/// A window spec: `[30 MINUTES PRECEDING C4]`,
+/// `(RANGE 1 SECONDS PRECEDING CURRENT)`, `(ROWS 10 PRECEDING CURRENT)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstWindow {
+    /// Window length (time or rows).
+    pub length: WindowLength,
+    /// Direction.
+    pub kind: AstWindowKind,
+    /// Anchor: an alias, or `None` for `CURRENT` (the carrying tuple).
+    pub anchor: Option<String>,
+}
+
+impl AstWindow {
+    /// The duration, when time-based (errors are the planner's job).
+    pub fn dur(&self) -> Option<Duration> {
+        self.length.as_time()
+    }
+}
+
+/// Which event operator a [`AstExpr::Seq`] term is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqKind {
+    /// `SEQ(...)` — boolean: a sequence completed.
+    Seq,
+    /// `EXCEPTION_SEQ(...)` — boolean: a violation occurred.
+    ExceptionSeq,
+    /// `CLEVEL_SEQ(...)` — integer: the Sequence Completion Level.
+    ClevelSeq,
+}
+
+/// One argument of a `SEQ` operator: an alias, optionally starred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqArg {
+    /// FROM alias the argument refers to.
+    pub alias: String,
+    /// `alias*` — repeating element.
+    pub star: bool,
+}
+
+/// Star-aggregate functions over a star element (§3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StarAggKind {
+    /// `FIRST(R1*)` — the first tuple of the group.
+    First,
+    /// `LAST(R1*)` — the last tuple.
+    Last,
+    /// `COUNT(R1*)` — group size.
+    Count,
+}
+
+/// Binary operators (parser-level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Literal value.
+    Lit(Value),
+    /// Duration literal (`5 SECONDS`).
+    Dur(Duration),
+    /// Column reference, optionally qualified (`r2.tag_id` / `tag_id`).
+    Col {
+        /// Alias qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// `alias.previous.column` — the star-sequence `previous` operator.
+    PrevCol {
+        /// Star-element alias.
+        qualifier: String,
+        /// Column name.
+        name: String,
+    },
+    /// `FIRST(R1*).col` / `LAST(R1*).col` / `COUNT(R1*)`.
+    StarAgg {
+        /// Which aggregate.
+        kind: StarAggKind,
+        /// Star-element alias.
+        alias: String,
+        /// Projected column (`None` for COUNT).
+        column: Option<String>,
+    },
+    /// Ordinary aggregate call (`COUNT(x)`, `SUM(x)`, UDAs).
+    Agg {
+        /// Aggregate name.
+        name: String,
+        /// Argument.
+        arg: Box<AstExpr>,
+    },
+    /// Scalar function call.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<AstExpr>,
+    },
+    /// Binary operation.
+    Bin(AstBinOp, Box<AstExpr>, Box<AstExpr>),
+    /// `NOT e`.
+    Not(Box<AstExpr>),
+    /// `e IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `e LIKE 'pattern'`.
+    Like(Box<AstExpr>, String),
+    /// `[NOT] EXISTS (subquery)`.
+    Exists {
+        /// `NOT EXISTS`.
+        negated: bool,
+        /// The correlated sub-select.
+        subquery: Box<SelectStmt>,
+    },
+    /// Event-operator term.
+    Seq {
+        /// Operator kind.
+        kind: SeqKind,
+        /// Arguments in sequence order.
+        args: Vec<SeqArg>,
+        /// `OVER [...]`.
+        window: Option<AstWindow>,
+        /// `MODE ...`.
+        mode: Option<PairingMode>,
+    },
+}
+
+impl fmt::Display for AstExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstExpr::Lit(Value::Str(s)) => write!(f, "'{s}'"),
+            AstExpr::Lit(v) => write!(f, "{v}"),
+            AstExpr::Dur(d) => write!(f, "{} MICROSECONDS", d.as_micros()),
+            AstExpr::Col { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            AstExpr::PrevCol { qualifier, name } => write!(f, "{qualifier}.previous.{name}"),
+            AstExpr::StarAgg {
+                kind,
+                alias,
+                column,
+            } => {
+                let kw = match kind {
+                    StarAggKind::First => "FIRST",
+                    StarAggKind::Last => "LAST",
+                    StarAggKind::Count => "COUNT",
+                };
+                match column {
+                    Some(c) => write!(f, "{kw}({alias}*).{c}"),
+                    None => write!(f, "{kw}({alias}*)"),
+                }
+            }
+            AstExpr::Agg { name, arg } => write!(f, "{name}({arg})"),
+            AstExpr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            AstExpr::Bin(op, a, b) => {
+                let sym = match op {
+                    AstBinOp::Add => "+",
+                    AstBinOp::Sub => "-",
+                    AstBinOp::Mul => "*",
+                    AstBinOp::Div => "/",
+                    AstBinOp::Mod => "%",
+                    AstBinOp::Eq => "=",
+                    AstBinOp::Ne => "<>",
+                    AstBinOp::Lt => "<",
+                    AstBinOp::Le => "<=",
+                    AstBinOp::Gt => ">",
+                    AstBinOp::Ge => ">=",
+                    AstBinOp::And => "AND",
+                    AstBinOp::Or => "OR",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            AstExpr::Not(e) => write!(f, "(NOT {e})"),
+            AstExpr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            AstExpr::Like(e, p) => write!(f, "({e} LIKE '{p}')"),
+            AstExpr::Exists { negated, .. } => {
+                write!(f, "{}EXISTS (...)", if *negated { "NOT " } else { "" })
+            }
+            AstExpr::Seq {
+                kind,
+                args,
+                window,
+                mode,
+            } => {
+                let kw = match kind {
+                    SeqKind::Seq => "SEQ",
+                    SeqKind::ExceptionSeq => "EXCEPTION_SEQ",
+                    SeqKind::ClevelSeq => "CLEVEL_SEQ",
+                };
+                write!(f, "{kw}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}{}", a.alias, if a.star { "*" } else { "" })?;
+                }
+                write!(f, ")")?;
+                if let Some(w) = window {
+                    let k = match w.kind {
+                        AstWindowKind::Preceding => "PRECEDING",
+                        AstWindowKind::Following => "FOLLOWING",
+                        AstWindowKind::PrecedingAndFollowing => "PRECEDING AND FOLLOWING",
+                    };
+                    let len = match w.length {
+                        WindowLength::Time(d) => format!("{} MICROSECONDS", d.as_micros()),
+                        WindowLength::Rows(n) => format!("ROWS {n}"),
+                    };
+                    write!(
+                        f,
+                        " OVER [{len} {k} {}]",
+                        w.anchor.as_deref().unwrap_or("CURRENT")
+                    )?;
+                }
+                if let Some(m) = mode {
+                    write!(f, " MODE {m}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Split a conjunction into its conjuncts (for the planner's predicate
+/// classification).
+pub fn split_conjuncts(e: &AstExpr) -> Vec<&AstExpr> {
+    match e {
+        AstExpr::Bin(AstBinOp::And, a, b) => {
+            let mut v = split_conjuncts(a);
+            v.extend(split_conjuncts(b));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_shape() {
+        let e = AstExpr::Bin(
+            AstBinOp::And,
+            Box::new(AstExpr::Like(
+                Box::new(AstExpr::Col {
+                    qualifier: None,
+                    name: "tid".into(),
+                }),
+                "20.%.%".into(),
+            )),
+            Box::new(AstExpr::Bin(
+                AstBinOp::Gt,
+                Box::new(AstExpr::Call {
+                    name: "extract_serial".into(),
+                    args: vec![AstExpr::Col {
+                        qualifier: None,
+                        name: "tid".into(),
+                    }],
+                }),
+                Box::new(AstExpr::Lit(Value::Int(5000))),
+            )),
+        );
+        assert_eq!(
+            e.to_string(),
+            "((tid LIKE '20.%.%') AND (extract_serial(tid) > 5000))"
+        );
+    }
+
+    #[test]
+    fn split_conjuncts_flattens() {
+        let c = |n: &str| AstExpr::Col {
+            qualifier: None,
+            name: n.into(),
+        };
+        let e = AstExpr::Bin(
+            AstBinOp::And,
+            Box::new(AstExpr::Bin(AstBinOp::And, Box::new(c("a")), Box::new(c("b")))),
+            Box::new(c("c")),
+        );
+        assert_eq!(split_conjuncts(&e).len(), 3);
+        assert_eq!(split_conjuncts(&c("x")).len(), 1);
+    }
+
+    #[test]
+    fn from_item_binding() {
+        let f = FromItem {
+            name: "readings".into(),
+            alias: Some("r1".into()),
+            window: None,
+        };
+        assert_eq!(f.binding(), "r1");
+        let f = FromItem {
+            name: "readings".into(),
+            alias: None,
+            window: None,
+        };
+        assert_eq!(f.binding(), "readings");
+    }
+}

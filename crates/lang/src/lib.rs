@@ -1,0 +1,54 @@
+//! # eslev-lang — the ESL-EV query language front-end
+//!
+//! Parses and plans the SQL-based stream language of the paper: standard
+//! continuous SQL (transducers, windowed aggregation, stream-DB spanning
+//! queries) extended with the temporal event operators `SEQ`,
+//! `EXCEPTION_SEQ` and `CLEVEL_SEQ`, star sequences with `FIRST` / `LAST`
+//! / `COUNT` aggregates and the `previous` operator, `MODE` clauses, and
+//! the §3.2 window extensions (`FOLLOWING`, `PRECEDING AND FOLLOWING`,
+//! windows synchronized across sub-query boundaries).
+//!
+//! Every example query in the paper parses and runs verbatim (modulo
+//! whitespace); see the crate tests and `tests/` at the workspace root.
+//!
+//! ```
+//! use eslev_dsms::prelude::*;
+//! use eslev_lang::execute_script;
+//!
+//! let mut engine = Engine::new();
+//! let outcomes = execute_script(
+//!     &mut engine,
+//!     "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+//!      SELECT tag_id FROM readings WHERE reader_id = 'dock-1';",
+//! )
+//! .unwrap();
+//! let rows = outcomes[1].collector().unwrap().clone();
+//! engine
+//!     .push(
+//!         "readings",
+//!         vec![Value::str("dock-1"), Value::str("tag-7"), Value::Ts(Timestamp::from_secs(1))],
+//!     )
+//!     .unwrap();
+//! assert_eq!(rows.take()[0].value(0), &Value::str("tag-7"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adhoc;
+pub mod ast;
+pub mod parser;
+pub mod planner;
+pub mod scope;
+pub mod token;
+
+pub use adhoc::ad_hoc;
+pub use planner::{execute, execute_script, explain, ExecOutcome};
+
+/// One-stop imports for the language layer.
+pub mod prelude {
+    pub use crate::adhoc::ad_hoc;
+    pub use crate::ast::{SelectStmt, Statement};
+    pub use crate::parser::{parse_script, parse_statement};
+    pub use crate::planner::{execute, execute_script, explain, ExecOutcome};
+}

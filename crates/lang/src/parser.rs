@@ -1,0 +1,1139 @@
+//! Recursive-descent parser for ESL-EV.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! script     := statement (';' statement)* [';']
+//! statement  := create_stream | create_table | insert | select
+//! create_*   := CREATE (STREAM|TABLE) name '(' col type (',' col type)* ')'
+//! insert     := INSERT INTO name select
+//! select     := SELECT items FROM from_items [WHERE expr] [GROUP BY exprs]
+//! from_item  := TABLE '(' name OVER window ')' [AS alias]
+//!             | name [AS alias] [OVER window]
+//! window     := '[' dur dir anchor ']' | '(' [RANGE] dur dir anchor ')'
+//! dir        := PRECEDING [AND FOLLOWING] | FOLLOWING
+//! anchor     := ident | CURRENT
+//! dur        := INT unit        (unit := SECONDS | MINUTES | ...)
+//! expr       := or-precedence expression with NOT/comparison/LIKE/IS NULL,
+//!               EXISTS '(' select ')', SEQ-family terms, star aggregates,
+//!               `alias.previous.col`, function calls, literals
+//! ```
+
+use crate::ast::*;
+use crate::token::{lex, Token, TokenKind};
+use eslev_core::mode::PairingMode;
+use eslev_dsms::error::{DsmsError, Result};
+use eslev_dsms::time::Duration;
+use eslev_dsms::value::{Value, ValueType};
+
+/// Parse a script of one or more `;`-separated statements.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semi) {}
+        if p.at_eof() {
+            break;
+        }
+        stmts.push(p.statement()?);
+        if !p.eat(&TokenKind::Semi) && !p.at_eof() {
+            return Err(p.unexpected("`;` or end of input"));
+        }
+    }
+    Ok(stmts)
+}
+
+/// Parse exactly one statement.
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let mut stmts = parse_script(input)?;
+    match stmts.len() {
+        1 => Ok(stmts.remove(0)),
+        n => Err(DsmsError::parse(format!("expected one statement, got {n}"))),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&kind.to_string()))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> DsmsError {
+        DsmsError::parse(format!(
+            "expected {wanted}, found {} at offset {}",
+            self.peek(),
+            self.tokens[self.pos].offset
+        ))
+    }
+
+    /// Is the current token the given (case-folded) keyword?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{}`", kw.to_uppercase())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    // ------------------------------------------------------- statements
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.at_kw("create") {
+            return self.create();
+        }
+        if self.at_kw("insert") {
+            return self.insert();
+        }
+        if self.at_kw("select") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.at_kw("update") {
+            return self.update();
+        }
+        if self.at_kw("delete") {
+            return self.delete();
+        }
+        Err(self.unexpected("CREATE, INSERT, SELECT, UPDATE or DELETE"))
+    }
+
+    fn create(&mut self) -> Result<Statement> {
+        self.expect_kw("create")?;
+        let is_stream = if self.eat_kw("stream") {
+            true
+        } else if self.eat_kw("table") {
+            false
+        } else {
+            return Err(self.unexpected("STREAM or TABLE"));
+        };
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.type_name()?;
+            columns.push((col, ty));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(if is_stream {
+            Statement::CreateStream { name, columns }
+        } else {
+            Statement::CreateTable { name, columns }
+        })
+    }
+
+    fn type_name(&mut self) -> Result<ValueType> {
+        let t = self.ident()?;
+        let ty = match t.as_str() {
+            "int" | "integer" | "bigint" | "smallint" => ValueType::Int,
+            "float" | "double" | "real" | "numeric" | "decimal" => ValueType::Float,
+            "varchar" | "char" | "text" | "string" => ValueType::Str,
+            "boolean" | "bool" => ValueType::Bool,
+            "timestamp" | "time" | "datetime" => ValueType::Ts,
+            other => return Err(DsmsError::parse(format!("unknown type `{other}`"))),
+        };
+        // Optional length/precision suffix, e.g. VARCHAR(32).
+        if self.eat(&TokenKind::LParen) {
+            while !self.eat(&TokenKind::RParen) {
+                self.bump();
+            }
+        }
+        Ok(ty)
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let target = self.ident()?;
+        let select = self.select()?;
+        Ok(Statement::InsertInto { target, select })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_kw("update")?;
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let expr = self.expr()?;
+            sets.push((col, expr));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            where_clause,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let mut items = Vec::new();
+        if self.eat(&TokenKind::Star) {
+            items.push(SelectItem::Wildcard);
+        } else {
+            loop {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("from")?;
+        let mut from = Vec::new();
+        loop {
+            from.push(self.from_item()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.bump() {
+                TokenKind::Int(i) if i >= 0 => Some(i as usize),
+                other => {
+                    return Err(DsmsError::parse(format!(
+                        "LIMIT expects a non-negative integer, found {other}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    #[allow(clippy::wrong_self_convention)] // parses a FROM item; not a conversion
+    fn from_item(&mut self) -> Result<FromItem> {
+        // TABLE( stream OVER (...) ) AS alias — Example 1's windowed
+        // table function.
+        if self.at_kw("table") && self.peek2() == &TokenKind::LParen {
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let name = self.ident()?;
+            self.expect_kw("over")?;
+            let window = self.window_spec()?;
+            self.expect(&TokenKind::RParen)?;
+            let alias = if self.eat_kw("as") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(FromItem {
+                name,
+                alias,
+                window: Some(window),
+            });
+        }
+        let name = self.ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let window = if self.eat_kw("over") {
+            Some(self.window_spec()?)
+        } else {
+            None
+        };
+        Ok(FromItem {
+            name,
+            alias,
+            window,
+        })
+    }
+
+    /// `[dur dir anchor]` or `(RANGE dur dir anchor)`.
+    fn window_spec(&mut self) -> Result<AstWindow> {
+        let bracketed = if self.eat(&TokenKind::LBracket) {
+            true
+        } else if self.eat(&TokenKind::LParen) {
+            false
+        } else {
+            return Err(self.unexpected("`[` or `(` window spec"));
+        };
+        let length = if self.eat_kw("rows") {
+            let n = match self.bump() {
+                TokenKind::Int(i) if i >= 0 => i as usize,
+                other => {
+                    return Err(DsmsError::parse(format!(
+                        "ROWS window expects a non-negative count, found {other}"
+                    )))
+                }
+            };
+            WindowLength::Rows(n)
+        } else {
+            self.eat_kw("range"); // optional RANGE keyword
+            WindowLength::Time(self.duration()?)
+        };
+        let kind = if self.eat_kw("preceding") {
+            if self.eat_kw("and") {
+                self.expect_kw("following")?;
+                AstWindowKind::PrecedingAndFollowing
+            } else {
+                AstWindowKind::Preceding
+            }
+        } else if self.eat_kw("following") {
+            AstWindowKind::Following
+        } else {
+            return Err(self.unexpected("PRECEDING or FOLLOWING"));
+        };
+        let anchor = if self.eat_kw("current") {
+            None
+        } else {
+            Some(self.ident()?)
+        };
+        self.expect(if bracketed {
+            &TokenKind::RBracket
+        } else {
+            &TokenKind::RParen
+        })?;
+        Ok(AstWindow {
+            length,
+            kind,
+            anchor,
+        })
+    }
+
+    fn duration(&mut self) -> Result<Duration> {
+        let n = match self.bump() {
+            TokenKind::Int(i) if i >= 0 => i as u64,
+            other => {
+                return Err(DsmsError::parse(format!(
+                    "expected a non-negative duration count, found {other}"
+                )))
+            }
+        };
+        let unit = self.ident()?;
+        duration_from_unit(n, &unit)
+    }
+
+    // ------------------------------------------------------ expressions
+
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            e = AstExpr::Bin(AstBinOp::Or, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut e = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            e = AstExpr::Bin(AstBinOp::And, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.at_kw("not") && !matches!(self.peek2(), TokenKind::Ident(s) if s == "exists") {
+            self.bump();
+            let inner = self.not_expr()?;
+            return Ok(AstExpr::Not(Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<AstExpr> {
+        // NOT EXISTS / EXISTS as a comparison-level primary.
+        if self.at_kw("not") {
+            if let TokenKind::Ident(s) = self.peek2() {
+                if s == "exists" {
+                    self.bump();
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    let sub = self.select()?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(AstExpr::Exists {
+                        negated: true,
+                        subquery: Box::new(sub),
+                    });
+                }
+            }
+        }
+        if self.at_kw("exists") && self.peek2() == &TokenKind::LParen {
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let sub = self.select()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(AstExpr::Exists {
+                negated: false,
+                subquery: Box::new(sub),
+            });
+        }
+
+        let lhs = self.additive()?;
+
+        // LIKE / IS NULL postfix forms.
+        if self.eat_kw("like") {
+            let pat = match self.bump() {
+                TokenKind::Str(s) => s,
+                other => {
+                    return Err(DsmsError::parse(format!(
+                        "LIKE expects a string pattern, found {other}"
+                    )))
+                }
+            };
+            return Ok(AstExpr::Like(Box::new(lhs), pat));
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(AstExpr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+
+        let op = match self.peek() {
+            TokenKind::Eq => AstBinOp::Eq,
+            TokenKind::Ne => AstBinOp::Ne,
+            TokenKind::Lt => AstBinOp::Lt,
+            TokenKind::Le => AstBinOp::Le,
+            TokenKind::Gt => AstBinOp::Gt,
+            TokenKind::Ge => AstBinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.additive()?;
+        Ok(AstExpr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn additive(&mut self) -> Result<AstExpr> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => AstBinOp::Add,
+                TokenKind::Minus => AstBinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            e = AstExpr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr> {
+        let mut e = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => AstBinOp::Mul,
+                TokenKind::Slash => AstBinOp::Div,
+                TokenKind::Percent => AstBinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.primary()?;
+            e = AstExpr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                // `5 SECONDS` → duration literal.
+                if let TokenKind::Ident(u) = self.peek() {
+                    if is_time_unit(u) {
+                        let unit = self.ident()?;
+                        return Ok(AstExpr::Dur(duration_from_unit(i.max(0) as u64, &unit)?));
+                    }
+                }
+                Ok(AstExpr::Lit(Value::Int(i)))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(AstExpr::Lit(Value::Float(x)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(AstExpr::Lit(Value::str(s)))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                let inner = self.primary()?;
+                Ok(AstExpr::Bin(
+                    AstBinOp::Sub,
+                    Box::new(AstExpr::Lit(Value::Int(0))),
+                    Box::new(inner),
+                ))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => self.ident_led(name),
+            other => Err(DsmsError::parse(format!(
+                "expected an expression, found {other}"
+            ))),
+        }
+    }
+
+    /// Expressions led by an identifier: literals (`true`), SEQ family,
+    /// star aggregates, calls, and (qualified / previous) columns.
+    fn ident_led(&mut self, name: String) -> Result<AstExpr> {
+        match name.as_str() {
+            "true" => {
+                self.bump();
+                return Ok(AstExpr::Lit(Value::Bool(true)));
+            }
+            "false" => {
+                self.bump();
+                return Ok(AstExpr::Lit(Value::Bool(false)));
+            }
+            "null" => {
+                self.bump();
+                return Ok(AstExpr::Lit(Value::Null));
+            }
+            "seq" | "exception_seq" | "clevel_seq" if self.peek2() == &TokenKind::LParen => {
+                return self.seq_term();
+            }
+            "first" | "last" | "count" if self.peek2() == &TokenKind::LParen => {
+                // Could be a star aggregate FIRST(a*)[.col] or a plain
+                // call COUNT(x); look ahead for `ident *` inside.
+                if let Some(e) = self.try_star_agg()? {
+                    return Ok(e);
+                }
+            }
+            _ => {}
+        }
+        self.bump(); // consume the identifier
+        if self.peek() == &TokenKind::LParen {
+            // Function / aggregate call.
+            self.bump();
+            let mut args = Vec::new();
+            if self.peek() != &TokenKind::RParen {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(AstExpr::Call { name, args });
+        }
+        if self.eat(&TokenKind::Dot) {
+            let second = self.ident()?;
+            if second == "previous" && self.eat(&TokenKind::Dot) {
+                let col = self.ident()?;
+                return Ok(AstExpr::PrevCol {
+                    qualifier: name,
+                    name: col,
+                });
+            }
+            return Ok(AstExpr::Col {
+                qualifier: Some(name),
+                name: second,
+            });
+        }
+        Ok(AstExpr::Col {
+            qualifier: None,
+            name,
+        })
+    }
+
+    /// `FIRST(a*)[.col]` / `LAST(a*)[.col]` / `COUNT(a*)`; returns `None`
+    /// (without consuming) when the parenthesized body is not `ident *`.
+    fn try_star_agg(&mut self) -> Result<Option<AstExpr>> {
+        let save = self.pos;
+        let func = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let alias = match self.peek().clone() {
+            TokenKind::Ident(a) => {
+                self.bump();
+                a
+            }
+            _ => {
+                self.pos = save;
+                return Ok(None);
+            }
+        };
+        if !self.eat(&TokenKind::Star) {
+            self.pos = save;
+            return Ok(None);
+        }
+        self.expect(&TokenKind::RParen)?;
+        let kind = match func.as_str() {
+            "first" => StarAggKind::First,
+            "last" => StarAggKind::Last,
+            "count" => StarAggKind::Count,
+            _ => unreachable!("guarded by caller"),
+        };
+        let column = if self.eat(&TokenKind::Dot) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        if kind == StarAggKind::Count && column.is_some() {
+            return Err(DsmsError::parse("COUNT(a*) takes no column projection"));
+        }
+        if kind != StarAggKind::Count && column.is_none() {
+            return Err(DsmsError::parse(format!(
+                "{}(a*) needs a `.column` projection",
+                if kind == StarAggKind::First {
+                    "FIRST"
+                } else {
+                    "LAST"
+                }
+            )));
+        }
+        Ok(Some(AstExpr::StarAgg {
+            kind,
+            alias,
+            column,
+        }))
+    }
+
+    fn seq_term(&mut self) -> Result<AstExpr> {
+        let kw = self.ident()?;
+        let kind = match kw.as_str() {
+            "seq" => SeqKind::Seq,
+            "exception_seq" => SeqKind::ExceptionSeq,
+            "clevel_seq" => SeqKind::ClevelSeq,
+            _ => unreachable!("guarded by caller"),
+        };
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        loop {
+            let alias = self.ident()?;
+            let star = self.eat(&TokenKind::Star);
+            args.push(SeqArg { alias, star });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let window = if self.eat_kw("over") {
+            Some(self.window_spec()?)
+        } else {
+            None
+        };
+        let mode = if self.eat_kw("mode") {
+            let m = self.ident()?;
+            Some(PairingMode::from_keyword(&m).ok_or_else(|| {
+                DsmsError::parse(format!("unknown pairing mode `{m}`"))
+            })?)
+        } else {
+            None
+        };
+        Ok(AstExpr::Seq {
+            kind,
+            args,
+            window,
+            mode,
+        })
+    }
+}
+
+fn is_time_unit(s: &str) -> bool {
+    matches!(
+        s,
+        "microsecond"
+            | "microseconds"
+            | "millisecond"
+            | "milliseconds"
+            | "second"
+            | "seconds"
+            | "minute"
+            | "minutes"
+            | "hour"
+            | "hours"
+            | "day"
+            | "days"
+    )
+}
+
+fn duration_from_unit(n: u64, unit: &str) -> Result<Duration> {
+    let d = match unit {
+        "microsecond" | "microseconds" => Duration::from_micros(n),
+        "millisecond" | "milliseconds" => Duration::from_millis(n),
+        "second" | "seconds" => Duration::from_secs(n),
+        "minute" | "minutes" => Duration::from_mins(n),
+        "hour" | "hours" => Duration::from_hours(n),
+        "day" | "days" => Duration::from_hours(n * 24),
+        other => {
+            return Err(DsmsError::parse(format!("unknown time unit `{other}`")));
+        }
+    };
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_statements() {
+        let s = parse_statement(
+            "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP)",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateStream { name, columns } => {
+                assert_eq!(name, "readings");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[2], ("read_time".into(), ValueType::Ts));
+            }
+            _ => panic!("wrong statement"),
+        }
+        let s = parse_statement(
+            "CREATE TABLE object_movement (tagid VARCHAR(32), location VARCHAR, start_time TIMESTAMP)",
+        )
+        .unwrap();
+        assert!(matches!(s, Statement::CreateTable { .. }));
+    }
+
+    /// Example 1 parses verbatim.
+    #[test]
+    fn example1_duplicate_filtering() {
+        let sql = "
+            INSERT INTO cleaned_readings
+            SELECT * FROM readings AS r1
+            WHERE NOT EXISTS
+              (SELECT * FROM TABLE( readings OVER
+                 (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+               WHERE r2.reader_id = r1.reader_id
+               AND r2.tag_id = r1.tag_id)";
+        let s = parse_statement(sql).unwrap();
+        let Statement::InsertInto { target, select } = s else {
+            panic!("expected insert");
+        };
+        assert_eq!(target, "cleaned_readings");
+        assert_eq!(select.from[0].binding(), "r1");
+        let Some(AstExpr::Exists { negated, subquery }) = select.where_clause else {
+            panic!("expected NOT EXISTS");
+        };
+        assert!(negated);
+        let w = subquery.from[0].window.as_ref().unwrap();
+        assert_eq!(w.dur(), Some(Duration::from_secs(1)));
+        assert_eq!(w.kind, AstWindowKind::Preceding);
+        assert_eq!(w.anchor, None);
+        assert_eq!(subquery.from[0].binding(), "r2");
+    }
+
+    /// Example 2 parses verbatim.
+    #[test]
+    fn example2_location_tracking() {
+        let sql = "
+            INSERT INTO object_movement
+            SELECT tid, loc, tagtime
+            FROM tag_locations WHERE NOT EXISTS
+              (SELECT tagid FROM object_movement
+               WHERE tagid = tid AND location = loc)";
+        let s = parse_statement(sql).unwrap();
+        assert!(matches!(s, Statement::InsertInto { .. }));
+    }
+
+    /// Example 3 parses verbatim.
+    #[test]
+    fn example3_epc_aggregation() {
+        let sql = "
+            SELECT count(tid) FROM readings WHERE tid LIKE '20.%.%'
+            AND extract_serial(tid) > 5000
+            AND extract_serial(tid) < 9999";
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(sel.items.len(), 1);
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
+        assert!(matches!(expr, AstExpr::Call { name, .. } if name == "count"));
+        let conjuncts = split_conjuncts(sel.where_clause.as_ref().unwrap());
+        assert_eq!(conjuncts.len(), 3);
+        assert!(matches!(conjuncts[0], AstExpr::Like(..)));
+    }
+
+    /// Example 6 parses verbatim.
+    #[test]
+    fn example6_seq() {
+        let sql = "
+            SELECT C1.tagid, C1.tagtime, C2.tagtime, C3.tagtime, C4.tagtime
+            FROM C1, C2, C3, C4
+            WHERE SEQ(C1, C2, C3, C4)
+            AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid";
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let conj = split_conjuncts(sel.where_clause.as_ref().unwrap());
+        let AstExpr::Seq { kind, args, window, mode } = conj[0] else {
+            panic!("first conjunct is SEQ")
+        };
+        assert_eq!(*kind, SeqKind::Seq);
+        assert_eq!(args.len(), 4);
+        assert!(!args[0].star);
+        assert!(window.is_none());
+        assert!(mode.is_none());
+    }
+
+    /// The windowed SEQ variant from §3.1.1 parses.
+    #[test]
+    fn seq_with_window_and_mode() {
+        let sql = "
+            SELECT C4.tagid FROM C1, C2, C3, C4
+            WHERE SEQ(C1, C2, C3, C4)
+              OVER [30 MINUTES PRECEDING C4]
+              MODE CONSECUTIVE
+            AND C1.tagid=C4.tagid";
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let conj = split_conjuncts(sel.where_clause.as_ref().unwrap());
+        let AstExpr::Seq { window, mode, .. } = conj[0] else {
+            panic!()
+        };
+        let w = window.as_ref().unwrap();
+        assert_eq!(w.dur(), Some(Duration::from_mins(30)));
+        assert_eq!(w.anchor.as_deref(), Some("c4"));
+        assert_eq!(*mode, Some(PairingMode::Consecutive));
+    }
+
+    /// Example 7 parses verbatim (star sequence, star aggregates,
+    /// `previous` operator, ≤ sign).
+    #[test]
+    fn example7_star_sequence() {
+        let sql = "
+            SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+            FROM R1, R2
+            WHERE SEQ(R1*, R2) MODE CHRONICLE
+            AND R2.tagtime - LAST(R1*).tagtime ≤ 5 SECONDS
+            AND R1.tagtime - R1.previous.tagtime ≤ 1 SECONDS";
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(
+            &sel.items[0],
+            SelectItem::Expr {
+                expr: AstExpr::StarAgg {
+                    kind: StarAggKind::First,
+                    ..
+                },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &sel.items[1],
+            SelectItem::Expr {
+                expr: AstExpr::StarAgg {
+                    kind: StarAggKind::Count,
+                    column: None,
+                    ..
+                },
+                ..
+            }
+        ));
+        let conj = split_conjuncts(sel.where_clause.as_ref().unwrap());
+        assert_eq!(conj.len(), 3);
+        let AstExpr::Seq { args, mode, .. } = conj[0] else {
+            panic!()
+        };
+        assert!(args[0].star);
+        assert!(!args[1].star);
+        assert_eq!(*mode, Some(PairingMode::Chronicle));
+        // Gap constraint with LAST(R1*).
+        let AstExpr::Bin(AstBinOp::Le, lhs, rhs) = conj[1] else {
+            panic!()
+        };
+        assert!(matches!(**rhs, AstExpr::Dur(d) if d == Duration::from_secs(5)));
+        assert!(matches!(**lhs, AstExpr::Bin(AstBinOp::Sub, ..)));
+        // previous-operator constraint.
+        let AstExpr::Bin(AstBinOp::Le, lhs, _) = conj[2] else {
+            panic!()
+        };
+        let AstExpr::Bin(AstBinOp::Sub, _, prev) = &**lhs else {
+            panic!()
+        };
+        assert!(matches!(**prev, AstExpr::PrevCol { .. }));
+    }
+
+    /// The EXCEPTION_SEQ query of §3.1.3 parses verbatim.
+    #[test]
+    fn exception_seq_query() {
+        let sql = "
+            SELECT A1.tagid, A2.tagid, A3.tagid
+            FROM A1, A2, A3
+            WHERE EXCEPTION_SEQ(A1, A2, A3)
+            OVER [1 HOURS FOLLOWING A1]";
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let Some(AstExpr::Seq { kind, window, .. }) = sel.where_clause else {
+            panic!()
+        };
+        assert_eq!(kind, SeqKind::ExceptionSeq);
+        let w = window.unwrap();
+        assert_eq!(w.kind, AstWindowKind::Following);
+        assert_eq!(w.dur(), Some(Duration::from_hours(1)));
+        assert_eq!(w.anchor.as_deref(), Some("a1"));
+    }
+
+    /// The CLEVEL_SEQ equivalent parses verbatim.
+    #[test]
+    fn clevel_seq_query() {
+        let sql = "
+            SELECT A1.tagid, A2.tagid, A3.tagid
+            FROM A1, A2, A3
+            WHERE (CLEVEL_SEQ(A1, A2, A3)
+            OVER [1 HOURS FOLLOWING A1]) < 3";
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let Some(AstExpr::Bin(AstBinOp::Lt, lhs, rhs)) = sel.where_clause else {
+            panic!()
+        };
+        assert!(matches!(*lhs, AstExpr::Seq { kind: SeqKind::ClevelSeq, .. }));
+        assert!(matches!(*rhs, AstExpr::Lit(Value::Int(3))));
+    }
+
+    /// Example 8 parses verbatim (cross-sub-query window, PRECEDING AND
+    /// FOLLOWING).
+    #[test]
+    fn example8_door_security() {
+        let sql = "
+            SELECT person.tagid
+            FROM tag_readings AS person
+            WHERE person.tagtype = 'person' AND NOT EXISTS
+              (SELECT * FROM tag_readings AS item
+               OVER [1 MINUTES PRECEDING AND FOLLOWING person]
+               WHERE item.tagtype = 'item')";
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let conj = split_conjuncts(sel.where_clause.as_ref().unwrap());
+        assert_eq!(conj.len(), 2);
+        let AstExpr::Exists { negated, subquery } = conj[1] else {
+            panic!()
+        };
+        assert!(negated);
+        let w = subquery.from[0].window.as_ref().unwrap();
+        assert_eq!(w.kind, AstWindowKind::PrecedingAndFollowing);
+        assert_eq!(w.anchor.as_deref(), Some("person"));
+        assert_eq!(w.dur(), Some(Duration::from_mins(1)));
+    }
+
+    #[test]
+    fn script_splits_statements() {
+        let stmts = parse_script(
+            "CREATE STREAM s (t TIMESTAMP); SELECT * FROM s; SELECT * FROM s;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn error_reporting_mentions_offset() {
+        let err = parse_statement("SELECT FROM").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+        let err = parse_statement("SELECT * FRM s").unwrap_err();
+        assert!(err.to_string().contains("from") || err.to_string().contains("FROM"));
+    }
+
+    #[test]
+    fn rows_window_parses() {
+        let Statement::Select(sel) = parse_statement(
+            "SELECT avg(v) FROM s OVER (ROWS 10 PRECEDING CURRENT)",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let w = sel.from[0].window.as_ref().unwrap();
+        assert_eq!(w.length, WindowLength::Rows(10));
+        assert_eq!(w.anchor, None);
+    }
+
+    #[test]
+    fn group_by_parses() {
+        let Statement::Select(sel) =
+            parse_statement("SELECT loc, count(tid) FROM s GROUP BY loc").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(sel.group_by.len(), 1);
+    }
+
+    #[test]
+    fn negative_numbers_and_precedence() {
+        let Statement::Select(sel) =
+            parse_statement("SELECT a + b * 2 FROM s WHERE x > -5").unwrap()
+        else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
+        // a + (b * 2), not (a + b) * 2.
+        assert_eq!(expr.to_string(), "(a + (b * 2))");
+    }
+
+    #[test]
+    fn star_agg_vs_plain_count() {
+        let Statement::Select(sel) =
+            parse_statement("SELECT count(tid), COUNT(R1*) FROM r1").unwrap()
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            &sel.items[0],
+            SelectItem::Expr {
+                expr: AstExpr::Call { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &sel.items[1],
+            SelectItem::Expr {
+                expr: AstExpr::StarAgg { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn star_agg_projection_rules() {
+        assert!(parse_statement("SELECT FIRST(a*) FROM a, b WHERE SEQ(a*, b)").is_err());
+        assert!(parse_statement("SELECT COUNT(a*).x FROM a, b WHERE SEQ(a*, b)").is_err());
+    }
+}

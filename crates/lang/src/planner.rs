@@ -1,0 +1,1226 @@
+//! The planner: compiles parsed ESL-EV statements into engine state —
+//! schemas for DDL, operator pipelines + sinks for continuous queries.
+//!
+//! Planning is pattern-directed, mirroring how the paper's examples use
+//! the language:
+//!
+//! * a `WHERE` containing a `SEQ` / `EXCEPTION_SEQ` / `CLEVEL_SEQ` term
+//!   becomes a [`DetectorOp`]; equality conjuncts spanning all arguments
+//!   are lifted into the detector's partition key, gap conjuncts
+//!   (`b.t − LAST(a*).t ≤ d`, `a.t − a.previous.t ≤ d`) into the
+//!   pattern's timing constraints, per-argument conjuncts into element
+//!   predicates, and anything left into a residual match filter;
+//! * `NOT EXISTS` over a *windowed stream* sub-query becomes a
+//!   [`WindowExists`] (or the dedicated [`Dedup`] when it has Example 1's
+//!   self-stream equality shape);
+//! * `NOT EXISTS` over a *table* sub-query becomes a [`TableExists`]
+//!   (Example 2);
+//! * aggregate select lists become [`WindowAggregate`]s (Example 3);
+//! * everything else is a select/project transducer.
+
+use crate::ast::*;
+use crate::scope::{compile_scalar, referenced_rels, Scope};
+use eslev_core::binding::DetectorOutput;
+use eslev_core::detector::{Detector, DetectorConfig};
+use eslev_core::mode::PairingMode;
+use eslev_core::op::DetectorOp;
+use eslev_core::pattern::{Element, EventWindow, SeqPattern, WindowKind};
+use eslev_dsms::engine::{Collector, Engine, QueryId, Sink};
+use eslev_dsms::error::{DsmsError, Result};
+use eslev_dsms::expr::Expr;
+use eslev_dsms::lookup::TableExists;
+use eslev_dsms::ops::{
+    AggSpec, AggWindow, Chain, Dedup, Emission, Operator, Project, Select, SemiJoinKind,
+    WindowAggregate, WindowExists,
+};
+use eslev_dsms::schema::{Schema, SchemaRef};
+use eslev_dsms::tuple::Tuple;
+use eslev_dsms::value::{Value, ValueType};
+use eslev_dsms::window::WindowExtent;
+use std::sync::Arc;
+
+/// Result of executing one statement.
+pub enum ExecOutcome {
+    /// DDL applied.
+    Created,
+    /// One-shot UPDATE/DELETE applied to this many rows.
+    Modified(usize),
+    /// Continuous query registered with a stream/table sink.
+    Registered(QueryId),
+    /// Bare SELECT registered; results accumulate in the collector.
+    Collected(QueryId, Collector),
+}
+
+impl ExecOutcome {
+    /// The collector, when this outcome has one.
+    pub fn collector(&self) -> Option<&Collector> {
+        match self {
+            ExecOutcome::Collected(_, c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Parse and execute a whole `;`-separated script.
+pub fn execute_script(engine: &mut Engine, sql: &str) -> Result<Vec<ExecOutcome>> {
+    let stmts = crate::parser::parse_script(sql)?;
+    let mut outcomes = Vec::with_capacity(stmts.len());
+    for stmt in &stmts {
+        outcomes.push(apply(engine, stmt)?);
+    }
+    Ok(outcomes)
+}
+
+/// Parse and execute exactly one statement.
+pub fn execute(engine: &mut Engine, sql: &str) -> Result<ExecOutcome> {
+    let stmt = crate::parser::parse_statement(sql)?;
+    apply(engine, &stmt)
+}
+
+/// Plan a statement without registering it and describe the physical
+/// plan — which operators the planner chose and which streams feed them.
+/// DDL statements describe the schema they would create.
+pub fn explain(engine: &Engine, sql: &str) -> Result<String> {
+    let stmt = crate::parser::parse_statement(sql)?;
+    Ok(match &stmt {
+        Statement::CreateStream { name, columns } => {
+            format!("CREATE STREAM {name} ({} columns)", columns.len())
+        }
+        Statement::CreateTable { name, columns } => {
+            format!("CREATE TABLE {name} ({} columns)", columns.len())
+        }
+        Statement::InsertInto { target, select } => {
+            let plan = plan_select(engine, select)?;
+            format!(
+                "{} <- [{}] {} -> INSERT INTO {target}",
+                plan.name,
+                plan.sources.join(", "),
+                plan.op.name(),
+            )
+        }
+        Statement::Select(select) => {
+            let plan = plan_select(engine, select)?;
+            format!(
+                "{} <- [{}] {} -> collect",
+                plan.name,
+                plan.sources.join(", "),
+                plan.op.name(),
+            )
+        }
+        Statement::Update { table, sets, .. } => {
+            format!("UPDATE {table} ({} assignments)", sets.len())
+        }
+        Statement::Delete { table, .. } => format!("DELETE FROM {table}"),
+    })
+}
+
+fn apply(engine: &mut Engine, stmt: &Statement) -> Result<ExecOutcome> {
+    match stmt {
+        Statement::CreateStream { name, columns } => {
+            let time_col = columns
+                .iter()
+                .find(|(_, ty)| *ty == ValueType::Ts)
+                .map(|(n, _)| n.clone())
+                .ok_or_else(|| {
+                    DsmsError::schema(format!(
+                        "stream `{name}` needs a TIMESTAMP column for event time"
+                    ))
+                })?;
+            let cols: Vec<(&str, ValueType)> =
+                columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            let schema = Arc::new(Schema::new(name.clone(), cols, Some(&time_col))?);
+            engine.create_stream(schema)?;
+            Ok(ExecOutcome::Created)
+        }
+        Statement::CreateTable { name, columns } => {
+            let cols: Vec<(&str, ValueType)> =
+                columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            let schema = Arc::new(Schema::new(name.clone(), cols, None)?);
+            engine.create_table(schema)?;
+            Ok(ExecOutcome::Created)
+        }
+        Statement::InsertInto { target, select } => {
+            let plan = plan_select(engine, select)?;
+            let sink = if engine.stream_schema(target).is_ok() {
+                Sink::Stream(target.clone())
+            } else if engine.table(target).is_ok() {
+                Sink::Table(target.clone())
+            } else {
+                return Err(DsmsError::unknown(format!("insert target `{target}`")));
+            };
+            let sources: Vec<&str> = plan.sources.iter().map(|s| s.as_str()).collect();
+            let id = engine.register_query(plan.name, sources, plan.op, sink)?;
+            Ok(ExecOutcome::Registered(id))
+        }
+        Statement::Select(select) => {
+            let plan = plan_select(engine, select)?;
+            let sources: Vec<&str> = plan.sources.iter().map(|s| s.as_str()).collect();
+            let (id, c) = engine.register_collected(plan.name, sources, plan.op)?;
+            Ok(ExecOutcome::Collected(id, c))
+        }
+        Statement::Update {
+            table,
+            sets,
+            where_clause,
+        } => {
+            let t = engine.table(table)?;
+            let scope = Scope::new(vec![(table.clone(), t.schema().clone())]);
+            let pred = match where_clause {
+                None => Expr::lit(true),
+                Some(w) => compile_scalar(w, &scope, engine.functions())?,
+            };
+            let mut total = 0;
+            for (col, expr) in sets {
+                let value = compile_scalar(expr, &scope, engine.functions())?;
+                total = t.update_map(&pred, col, |row| value.eval(&[row]))?;
+            }
+            Ok(ExecOutcome::Modified(total))
+        }
+        Statement::Delete {
+            table,
+            where_clause,
+        } => {
+            let t = engine.table(table)?;
+            let scope = Scope::new(vec![(table.clone(), t.schema().clone())]);
+            let pred = match where_clause {
+                None => Expr::lit(true),
+                Some(w) => compile_scalar(w, &scope, engine.functions())?,
+            };
+            Ok(ExecOutcome::Modified(t.delete(&pred)?))
+        }
+    }
+}
+
+struct Plan {
+    name: String,
+    sources: Vec<String>,
+    op: Box<dyn Operator>,
+}
+
+fn plan_select(engine: &Engine, sel: &SelectStmt) -> Result<Plan> {
+    if sel.from.is_empty() {
+        return Err(DsmsError::plan("FROM clause is required"));
+    }
+    if !sel.order_by.is_empty() || sel.limit.is_some() {
+        return Err(DsmsError::plan(
+            "ORDER BY / LIMIT apply to ad-hoc snapshot queries (eslev_lang::ad_hoc),              not continuous ones — a stream has no final order",
+        ));
+    }
+    let conjuncts: Vec<&AstExpr> = sel
+        .where_clause
+        .as_ref()
+        .map(split_conjuncts)
+        .unwrap_or_default();
+
+    // SEQ-family term anywhere in the conjuncts?
+    if conjuncts.iter().any(|c| contains_seq(c)) {
+        return plan_seq(engine, sel, &conjuncts);
+    }
+    // EXISTS sub-query?
+    if let Some(pos) = conjuncts
+        .iter()
+        .position(|c| matches!(c, AstExpr::Exists { .. }))
+    {
+        let AstExpr::Exists { negated, subquery } = conjuncts[pos] else {
+            unreachable!()
+        };
+        let rest: Vec<&AstExpr> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != pos)
+            .map(|(_, c)| *c)
+            .collect();
+        let inner = &subquery.from[0];
+        if engine.table(&inner.name).is_ok() {
+            return plan_table_exists(engine, sel, *negated, subquery, &rest);
+        }
+        return plan_window_exists(engine, sel, *negated, subquery, &rest);
+    }
+    // Aggregation?
+    if sel.items.iter().any(|i| is_aggregate_item(engine, i)) {
+        return plan_aggregate(engine, sel, &conjuncts);
+    }
+    plan_transducer(engine, sel, &conjuncts)
+}
+
+fn contains_seq(e: &AstExpr) -> bool {
+    match e {
+        AstExpr::Seq { .. } => true,
+        AstExpr::Bin(_, a, b) => contains_seq(a) || contains_seq(b),
+        AstExpr::Not(i) => contains_seq(i),
+        _ => false,
+    }
+}
+
+fn is_aggregate_item(engine: &Engine, item: &SelectItem) -> bool {
+    match item {
+        SelectItem::Expr {
+            expr: AstExpr::Call { name, args },
+            ..
+        } => {
+            // A name registered as an aggregate and not shadowed by a UDF.
+            engine.aggregates().get(name).is_some()
+                && engine.functions().get(name).is_none()
+                && args.len() == 1
+        }
+        _ => false,
+    }
+}
+
+fn stream_schema_for(engine: &Engine, item: &FromItem) -> Result<SchemaRef> {
+    engine.stream_schema(&item.name)
+}
+
+// --------------------------------------------------------- simple shapes
+
+fn plan_transducer(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result<Plan> {
+    if sel.from.len() != 1 {
+        return Err(DsmsError::plan(
+            "multi-stream FROM without SEQ is not supported (use SEQ or a sub-query)",
+        ));
+    }
+    let schema = stream_schema_for(engine, &sel.from[0])?;
+    let scope = Scope::new(vec![(sel.from[0].binding().to_string(), schema.clone())]);
+    let mut stages: Vec<Box<dyn Operator>> = Vec::new();
+    if !conjuncts.is_empty() {
+        let pred = compile_conjunction(conjuncts, &scope, engine)?;
+        stages.push(Box::new(Select::new(pred)));
+    }
+    if !matches!(sel.items[..], [SelectItem::Wildcard]) {
+        let exprs = sel
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Wildcard => Err(DsmsError::plan("mixed `*` and columns")),
+                SelectItem::Expr { expr, .. } => compile_scalar(expr, &scope, engine.functions()),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        stages.push(Box::new(Project::new(exprs)));
+    }
+    if stages.is_empty() {
+        stages.push(Box::new(Select::new(Expr::lit(true))));
+    }
+    Ok(Plan {
+        name: format!("select:{}", sel.from[0].name),
+        sources: vec![sel.from[0].name.clone()],
+        op: Box::new(Chain::new(stages)),
+    })
+}
+
+fn compile_conjunction(conjuncts: &[&AstExpr], scope: &Scope, engine: &Engine) -> Result<Expr> {
+    let mut it = conjuncts.iter();
+    let first = it
+        .next()
+        .ok_or_else(|| DsmsError::plan("empty conjunction"))?;
+    let mut e = compile_scalar(first, scope, engine.functions())?;
+    for c in it {
+        e = Expr::and(e, compile_scalar(c, scope, engine.functions())?);
+    }
+    Ok(e)
+}
+
+fn plan_aggregate(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result<Plan> {
+    if sel.from.len() != 1 {
+        return Err(DsmsError::plan("aggregation reads a single stream"));
+    }
+    let schema = stream_schema_for(engine, &sel.from[0])?;
+    let scope = Scope::new(vec![(sel.from[0].binding().to_string(), schema)]);
+    let mut stages: Vec<Box<dyn Operator>> = Vec::new();
+    if !conjuncts.is_empty() {
+        stages.push(Box::new(Select::new(compile_conjunction(
+            conjuncts, &scope, engine,
+        )?)));
+    }
+    // Grouping: explicit GROUP BY, else the non-aggregate select items.
+    let mut group_by: Vec<Expr> = sel
+        .group_by
+        .iter()
+        .map(|g| compile_scalar(g, &scope, engine.functions()))
+        .collect::<Result<_>>()?;
+    let mut specs = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Expr { expr, .. } if is_aggregate_item(engine, item) => {
+                let AstExpr::Call { name, args } = expr else {
+                    unreachable!()
+                };
+                let agg = engine
+                    .aggregates()
+                    .get(name)
+                    .ok_or_else(|| DsmsError::unknown(format!("aggregate `{name}`")))?;
+                let arg = compile_scalar(&args[0], &scope, engine.functions())?;
+                specs.push(AggSpec { agg, arg });
+            }
+            SelectItem::Expr { expr, .. } => {
+                if sel.group_by.is_empty() {
+                    group_by.push(compile_scalar(expr, &scope, engine.functions())?);
+                }
+            }
+            SelectItem::Wildcard => {
+                return Err(DsmsError::plan("`*` is not valid with aggregates"));
+            }
+        }
+    }
+    // Sliding window from the FROM item's OVER clause.
+    let window = match &sel.from[0].window {
+        None => None,
+        Some(w) if w.kind == AstWindowKind::Preceding && w.anchor.is_none() => {
+            Some(match w.length {
+                WindowLength::Time(d) => AggWindow::Range(d),
+                WindowLength::Rows(n) => AggWindow::Rows(n),
+            })
+        }
+        Some(_) => {
+            return Err(DsmsError::plan(
+                "aggregation windows must be `RANGE d|ROWS n PRECEDING CURRENT`",
+            ))
+        }
+    };
+    stages.push(Box::new(WindowAggregate::new(
+        group_by,
+        specs,
+        window,
+        Emission::PerArrival,
+    )));
+    Ok(Plan {
+        name: format!("aggregate:{}", sel.from[0].name),
+        sources: vec![sel.from[0].name.clone()],
+        op: Box::new(Chain::new(stages)),
+    })
+}
+
+// ---------------------------------------------------------------- EXISTS
+
+fn plan_table_exists(
+    engine: &Engine,
+    sel: &SelectStmt,
+    negated: bool,
+    sub: &SelectStmt,
+    outer_conjuncts: &[&AstExpr],
+) -> Result<Plan> {
+    if sel.from.len() != 1 || sub.from.len() != 1 {
+        return Err(DsmsError::plan("correlated EXISTS joins one stream to one table"));
+    }
+    let outer_schema = stream_schema_for(engine, &sel.from[0])?;
+    let table = engine.table(&sub.from[0].name)?;
+    let outer_binding = sel.from[0].binding().to_string();
+    let inner_binding = sub.from[0].binding().to_string();
+    let outer_scope = Scope::new(vec![(outer_binding.clone(), outer_schema.clone())]);
+    // Correlated scope: outer = rel 0, table = rel 1; unqualified names
+    // resolve inner-first.
+    let scope = Scope::new(vec![
+        (outer_binding, outer_schema.clone()),
+        (inner_binding, table.schema().clone()),
+    ])
+    .with_search_order(vec![1, 0]);
+
+    let mut stages: Vec<Box<dyn Operator>> = Vec::new();
+    if !outer_conjuncts.is_empty() {
+        stages.push(Box::new(Select::new(compile_conjunction(
+            outer_conjuncts,
+            &outer_scope,
+            engine,
+        )?)));
+    }
+    let sub_conjuncts: Vec<&AstExpr> = sub
+        .where_clause
+        .as_ref()
+        .map(split_conjuncts)
+        .unwrap_or_default();
+    let pred = if sub_conjuncts.is_empty() {
+        Expr::lit(true)
+    } else {
+        compile_conjunction(&sub_conjuncts, &scope, engine)?
+    };
+    // Index probe: an equality `table.col = outer-expr` conjunct.
+    let mut probe = None;
+    for c in &sub_conjuncts {
+        if let AstExpr::Bin(AstBinOp::Eq, a, b) = c {
+            for (x, y) in [(a, b), (b, a)] {
+                let mut xr = std::collections::BTreeSet::new();
+                referenced_rels(x, &scope, &mut xr);
+                let mut yr = std::collections::BTreeSet::new();
+                referenced_rels(y, &scope, &mut yr);
+                if xr.iter().eq([&1]) && yr.iter().all(|r| *r == 0) {
+                    if let AstExpr::Col { qualifier, name } = &**x {
+                        if scope.resolve_column(qualifier.as_deref(), name)?.0 == 1 {
+                            let key = compile_scalar(y, &outer_scope, engine.functions())?;
+                            probe = Some((name.clone(), key));
+                        }
+                    }
+                }
+            }
+        }
+        if probe.is_some() {
+            break;
+        }
+    }
+    stages.push(Box::new(TableExists::new(table, pred, negated, probe)?));
+    if !matches!(sel.items[..], [SelectItem::Wildcard]) {
+        let exprs = sel
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Wildcard => Err(DsmsError::plan("mixed `*` and columns")),
+                SelectItem::Expr { expr, .. } => {
+                    compile_scalar(expr, &outer_scope, engine.functions())
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        stages.push(Box::new(Project::new(exprs)));
+    }
+    Ok(Plan {
+        name: format!("table-exists:{}", sel.from[0].name),
+        sources: vec![sel.from[0].name.clone()],
+        op: Box::new(Chain::new(stages)),
+    })
+}
+
+fn to_extent(w: &AstWindow) -> Result<WindowExtent> {
+    match w.length {
+        WindowLength::Rows(n) => {
+            if w.kind == AstWindowKind::Preceding {
+                Ok(WindowExtent::Rows(n))
+            } else {
+                Err(DsmsError::plan("ROWS windows only support PRECEDING"))
+            }
+        }
+        WindowLength::Time(d) => Ok(match w.kind {
+            AstWindowKind::Preceding => WindowExtent::Preceding(d),
+            AstWindowKind::Following => WindowExtent::Following(d),
+            AstWindowKind::PrecedingAndFollowing => WindowExtent::PrecedingAndFollowing(d),
+        }),
+    }
+}
+
+fn plan_window_exists(
+    engine: &Engine,
+    sel: &SelectStmt,
+    negated: bool,
+    sub: &SelectStmt,
+    outer_conjuncts: &[&AstExpr],
+) -> Result<Plan> {
+    if sel.from.len() != 1 || sub.from.len() != 1 {
+        return Err(DsmsError::plan(
+            "windowed EXISTS correlates one outer stream with one inner stream",
+        ));
+    }
+    let outer_item = &sel.from[0];
+    let inner_item = &sub.from[0];
+    let outer_schema = stream_schema_for(engine, outer_item)?;
+    let inner_schema = stream_schema_for(engine, inner_item)?;
+    let window = inner_item.window.as_ref().ok_or_else(|| {
+        DsmsError::plan("the EXISTS sub-query's stream needs an OVER window")
+    })?;
+    // The window must anchor at the outer tuple (CURRENT or its alias) —
+    // that is exactly the §3.2 "window synchronized across the sub-query
+    // boundary".
+    if let Some(anchor) = &window.anchor {
+        if anchor != outer_item.binding() {
+            return Err(DsmsError::plan(format!(
+                "sub-query window anchors at `{anchor}`, expected outer alias `{}`",
+                outer_item.binding()
+            )));
+        }
+    }
+    let outer_binding = outer_item.binding().to_string();
+    let inner_binding = inner_item.binding().to_string();
+    let outer_scope = Scope::new(vec![(outer_binding.clone(), outer_schema.clone())]);
+    let pair_scope = Scope::new(vec![
+        (outer_binding, outer_schema.clone()),
+        (inner_binding, inner_schema.clone()),
+    ])
+    .with_search_order(vec![1, 0]);
+
+    let sub_conjuncts: Vec<&AstExpr> = sub
+        .where_clause
+        .as_ref()
+        .map(split_conjuncts)
+        .unwrap_or_default();
+
+    // Example 1 specialization: same stream, NOT EXISTS, PRECEDING
+    // CURRENT, equality conjuncts, SELECT * → the dedicated Dedup
+    // operator (O(1) state per key instead of pending-outer probing).
+    if negated
+        && outer_item.name == inner_item.name
+        && window.kind == AstWindowKind::Preceding
+        && matches!(sel.items[..], [SelectItem::Wildcard])
+        && outer_conjuncts.is_empty()
+    {
+        if let (Some(key), Some(dur)) = (dedup_key(&sub_conjuncts, &pair_scope)?, window.dur()) {
+            let dedup = Dedup::new(key, dur);
+            return Ok(Plan {
+                name: format!("dedup:{}", outer_item.name),
+                sources: vec![outer_item.name.clone()],
+                op: Box::new(dedup),
+            });
+        }
+    }
+
+    let pred = if sub_conjuncts.is_empty() {
+        Expr::lit(true)
+    } else {
+        compile_conjunction(&sub_conjuncts, &pair_scope, engine)?
+    };
+    let outer_filter = if outer_conjuncts.is_empty() {
+        None
+    } else {
+        Some(compile_conjunction(outer_conjuncts, &outer_scope, engine)?)
+    };
+    let kind = if negated {
+        SemiJoinKind::NotExists
+    } else {
+        SemiJoinKind::Exists
+    };
+    let exists = WindowExists::new(kind, to_extent(window)?, pred, outer_filter);
+    let mut stages: Vec<Box<dyn Operator>> = Vec::new();
+    if !matches!(sel.items[..], [SelectItem::Wildcard]) {
+        let exprs = sel
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Wildcard => Err(DsmsError::plan("mixed `*` and columns")),
+                SelectItem::Expr { expr, .. } => {
+                    compile_scalar(expr, &outer_scope, engine.functions())
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        stages.push(Box::new(Project::new(exprs)));
+    }
+    let op: Box<dyn Operator> = if stages.is_empty() {
+        Box::new(exists)
+    } else {
+        Box::new(TwoPortChain::new(Box::new(exists), Chain::new(stages)))
+    };
+    Ok(Plan {
+        name: format!("window-exists:{}", outer_item.name),
+        sources: vec![outer_item.name.clone(), inner_item.name.clone()],
+        op,
+    })
+}
+
+/// Detect Example 1's key shape: every sub-query conjunct is
+/// `inner.col = outer.col` for the *same* column; returns the key
+/// expressions over the (single) stream.
+fn dedup_key(conjuncts: &[&AstExpr], pair_scope: &Scope) -> Result<Option<Vec<Expr>>> {
+    if conjuncts.is_empty() {
+        return Ok(None);
+    }
+    let mut keys = Vec::new();
+    for c in conjuncts {
+        let AstExpr::Bin(AstBinOp::Eq, a, b) = c else {
+            return Ok(None);
+        };
+        let (AstExpr::Col { qualifier: qa, name: na }, AstExpr::Col { qualifier: qb, name: nb }) =
+            (&**a, &**b)
+        else {
+            return Ok(None);
+        };
+        let (ra, ca) = pair_scope.resolve_column(qa.as_deref(), na)?;
+        let (rb, cb) = pair_scope.resolve_column(qb.as_deref(), nb)?;
+        if ra == rb || ca != cb {
+            return Ok(None);
+        }
+        keys.push(Expr::col(ca));
+    }
+    Ok(Some(keys))
+}
+
+/// A two-input head operator followed by a single-input chain; needed
+/// because [`Chain`] itself is single-input.
+struct TwoPortChain {
+    head: Box<dyn Operator>,
+    tail: Chain,
+    name: String,
+}
+
+impl TwoPortChain {
+    fn new(head: Box<dyn Operator>, tail: Chain) -> TwoPortChain {
+        let name = format!("{} -> {}", head.name(), tail.name());
+        TwoPortChain { head, tail, name }
+    }
+
+    fn run_tail(&mut self, produced: Vec<Tuple>, out: &mut Vec<Tuple>) -> Result<()> {
+        for t in produced {
+            self.tail.on_tuple(0, &t, out)?;
+        }
+        Ok(())
+    }
+}
+
+impl Operator for TwoPortChain {
+    fn on_tuple(&mut self, port: usize, t: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        let mut produced = Vec::new();
+        self.head.on_tuple(port, t, &mut produced)?;
+        self.run_tail(produced, out)
+    }
+
+    fn on_punctuation(
+        &mut self,
+        ts: eslev_dsms::time::Timestamp,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        let mut produced = Vec::new();
+        self.head.on_punctuation(ts, &mut produced)?;
+        self.run_tail(produced, out)?;
+        self.tail.on_punctuation(ts, out)
+    }
+
+    fn num_ports(&self) -> usize {
+        self.head.num_ports()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn retained(&self) -> usize {
+        self.head.retained() + self.tail.retained()
+    }
+}
+
+// ------------------------------------------------------------------- SEQ
+
+/// Projection instructions for SEQ-query outputs.
+enum ProjItem {
+    /// `alias.col` for a non-star element (last = only tuple).
+    LastCol {
+        elem: usize,
+        col: usize,
+    },
+    /// `FIRST(a*).col`.
+    FirstCol {
+        elem: usize,
+        col: usize,
+    },
+    /// `COUNT(a*)`.
+    Count {
+        elem: usize,
+    },
+    /// `alias.col` on a star element: expands to one row per group tuple
+    /// (footnote 4's multi-return).
+    PerStar {
+        elem: usize,
+        col: usize,
+    },
+}
+
+fn plan_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result<Plan> {
+    // Locate the SEQ term (possibly inside a CLEVEL comparison).
+    let mut seq_term: Option<&AstExpr> = None;
+    let mut level_cmp: Option<(AstBinOp, i64)> = None;
+    let mut rest: Vec<&AstExpr> = Vec::new();
+    for c in conjuncts {
+        match c {
+            AstExpr::Seq { .. } => {
+                if seq_term.replace(c).is_some() {
+                    return Err(DsmsError::plan("one SEQ term per query"));
+                }
+            }
+            AstExpr::Bin(op, lhs, rhs)
+                if matches!(&**lhs, AstExpr::Seq { kind: SeqKind::ClevelSeq, .. }) =>
+            {
+                let AstExpr::Lit(Value::Int(n)) = &**rhs else {
+                    return Err(DsmsError::plan("CLEVEL_SEQ compares against an integer"));
+                };
+                if seq_term.replace(lhs).is_some() {
+                    return Err(DsmsError::plan("one SEQ term per query"));
+                }
+                level_cmp = Some((*op, *n));
+            }
+            other => rest.push(other),
+        }
+    }
+    let Some(AstExpr::Seq {
+        kind,
+        args,
+        window,
+        mode,
+    }) = seq_term
+    else {
+        return Err(DsmsError::plan("SEQ term must be a top-level conjunct"));
+    };
+
+    // FROM bindings: each SEQ argument names a distinct FROM item; the
+    // detector's port i = FROM position i.
+    let mut rels = Vec::new();
+    for f in &sel.from {
+        rels.push((f.binding().to_string(), stream_schema_for(engine, f)?));
+    }
+    let from_scope = Scope::new(rels.clone());
+    let mut elements = Vec::new();
+    let mut elem_alias: Vec<String> = Vec::new();
+    for a in args {
+        let port = from_scope.rel_of(&a.alias).ok_or_else(|| {
+            DsmsError::unknown(format!("SEQ argument `{}` is not in FROM", a.alias))
+        })?;
+        if elem_alias.contains(&a.alias) {
+            return Err(DsmsError::plan(format!(
+                "SEQ argument `{}` used twice; alias the stream instead",
+                a.alias
+            )));
+        }
+        elements.push(if a.star {
+            Element::star(port)
+        } else {
+            Element::new(port)
+        });
+        elem_alias.push(a.alias.clone());
+    }
+    if elem_alias.len() != sel.from.len() {
+        return Err(DsmsError::plan(
+            "every FROM item must appear exactly once as a SEQ argument",
+        ));
+    }
+    // Element-ordered scope for residuals/projections: rel i = element i.
+    let elem_scope = Scope::new(
+        elem_alias
+            .iter()
+            .map(|a| {
+                let port = from_scope.rel_of(a).expect("validated above");
+                (a.clone(), rels[port].1.clone())
+            })
+            .collect(),
+    );
+    let elem_of = |alias: &str| elem_alias.iter().position(|a| a == alias);
+
+    // Event window.
+    let ev_window = match window {
+        None => None,
+        Some(w) => {
+            let anchor_alias = w.anchor.as_ref().ok_or_else(|| {
+                DsmsError::plan("SEQ windows anchor at a sequence argument, not CURRENT")
+            })?;
+            let anchor = elem_of(anchor_alias).ok_or_else(|| {
+                DsmsError::unknown(format!("window anchor `{anchor_alias}`"))
+            })?;
+            let kind = match w.kind {
+                AstWindowKind::Preceding => WindowKind::Preceding,
+                AstWindowKind::Following => WindowKind::Following,
+                AstWindowKind::PrecedingAndFollowing => {
+                    return Err(DsmsError::plan(
+                        "PRECEDING AND FOLLOWING applies to sub-query windows, not SEQ",
+                    ))
+                }
+            };
+            let dur = w.dur().ok_or_else(|| {
+                DsmsError::plan("SEQ operator windows are time-based (RANGE), not ROWS")
+            })?;
+            Some(EventWindow { dur, anchor, kind })
+        }
+    };
+
+    // Classify the remaining conjuncts.
+    type ElemCol = (usize, usize);
+    let mut equalities: Vec<((ElemCol, ElemCol), &AstExpr)> = Vec::new();
+    let mut residual: Vec<&AstExpr> = Vec::new();
+    for c in rest {
+        if let Some(pair) = as_equality(c, &elem_scope) {
+            equalities.push((pair, c));
+            continue;
+        }
+        if apply_gap_constraint(c, &elem_scope, &elem_alias, &mut elements)? {
+            continue;
+        }
+        // Single-element predicate?
+        let mut rels_used = std::collections::BTreeSet::new();
+        referenced_rels(c, &elem_scope, &mut rels_used);
+        if rels_used.len() == 1 && !matches!(c, AstExpr::Exists { .. }) {
+            let elem = *rels_used.iter().next().expect("len 1");
+            let single =
+                Scope::new(vec![(elem_alias[elem].clone(), elem_scope.schema(elem).clone())]);
+            if let Ok(p) = compile_scalar(c, &single, engine.functions()) {
+                let existing = elements[elem].predicate.take();
+                elements[elem].predicate = Some(match existing {
+                    None => p,
+                    Some(prev) => Expr::and(prev, p),
+                });
+                continue;
+            }
+        }
+        residual.push(c);
+    }
+
+    // Partition keys: one equality class covering every element on a
+    // single column each. Unlifted equalities fall back to the residual
+    // filter so nothing is silently dropped.
+    let pairs: Vec<ElemColPair> = equalities.iter().map(|(p, _)| *p).collect();
+    let partition = partition_by_port(&pairs, &elements);
+    if partition.is_none() {
+        residual.extend(equalities.iter().map(|(_, c)| *c));
+    }
+    let residual_filter = if residual.is_empty() {
+        None
+    } else {
+        // Residuals evaluate over the last-tuple row; rewrite LAST(a*).c
+        // to a plain column first.
+        let rewritten: Vec<AstExpr> = residual
+            .iter()
+            .map(|c| rewrite_last_to_col(c))
+            .collect::<Result<Vec<_>>>()?;
+        let refs: Vec<&AstExpr> = rewritten.iter().collect();
+        let expr = compile_conjunction(&refs, &elem_scope, engine)?;
+        Some(Arc::new(move |m: &eslev_core::binding::SeqMatch| {
+            expr.eval_bool(&m.row_last())
+        }) as eslev_core::detector::MatchFilter)
+    };
+
+    let pairing = mode.unwrap_or(match kind {
+        SeqKind::Seq => PairingMode::Unrestricted,
+        // Completion levels are defined against the single-run reading.
+        _ => PairingMode::Consecutive,
+    });
+    let pattern = SeqPattern::new(elements, ev_window, pairing)?;
+    let n = pattern.len();
+    let star_count = pattern.star_count();
+
+    // Projection.
+    let mut proj: Vec<ProjItem> = Vec::new();
+    for item in &sel.items {
+        let SelectItem::Expr { expr, .. } = item else {
+            return Err(DsmsError::plan("`SELECT *` is not supported with SEQ"));
+        };
+        match expr {
+            AstExpr::Col { qualifier, name } => {
+                let (elem, col) = resolve_seq_col(qualifier.as_deref(), name, &elem_scope)?;
+                if pattern.elements[elem].star {
+                    if star_count > 1 {
+                        return Err(DsmsError::plan(
+                            "per-tuple star columns need a single star argument (footnote 4)",
+                        ));
+                    }
+                    proj.push(ProjItem::PerStar { elem, col });
+                } else {
+                    proj.push(ProjItem::LastCol { elem, col });
+                }
+            }
+            AstExpr::StarAgg {
+                kind: agg,
+                alias,
+                column,
+            } => {
+                let elem = elem_of(alias).ok_or_else(|| {
+                    DsmsError::unknown(format!("star aggregate over unknown `{alias}`"))
+                })?;
+                if !pattern.elements[elem].star {
+                    return Err(DsmsError::plan(format!(
+                        "`{alias}` is not a star argument"
+                    )));
+                }
+                match agg {
+                    StarAggKind::Count => proj.push(ProjItem::Count { elem }),
+                    StarAggKind::First | StarAggKind::Last => {
+                        let col_name = column.as_ref().expect("enforced by parser");
+                        let col = elem_scope.schema(elem).require_column(col_name)?;
+                        proj.push(if *agg == StarAggKind::First {
+                            ProjItem::FirstCol { elem, col }
+                        } else {
+                            ProjItem::LastCol { elem, col }
+                        });
+                    }
+                }
+            }
+            other => {
+                return Err(DsmsError::plan(format!(
+                    "unsupported SEQ select item `{other}`"
+                )))
+            }
+        }
+    }
+
+    let mut config = match kind {
+        SeqKind::Seq => DetectorConfig::seq(pattern),
+        SeqKind::ExceptionSeq | SeqKind::ClevelSeq => DetectorConfig::exception(pattern),
+    };
+    if let Some(keys) = partition {
+        config = config.with_partition(keys);
+    }
+    if let Some(f) = residual_filter {
+        config = config.with_filter(f);
+    }
+    let detector = Detector::new(config)?;
+    let stmt_kind = *kind;
+    let project: eslev_core::op::OutputProjection = Box::new(move |o: &DetectorOutput| {
+        let rows = match (o, stmt_kind) {
+            // SEQ emits completed matches only (exceptions never reach
+            // here: the detector runs in Seq kind).
+            (DetectorOutput::Match(m), SeqKind::Seq) => {
+                project_bindings(&proj, Some(&m.bindings), m.ts())
+            }
+            // EXCEPTION_SEQ is true exactly when a violation occurred.
+            (DetectorOutput::Match(_), SeqKind::ExceptionSeq) => Vec::new(),
+            (DetectorOutput::Exception(e), SeqKind::ExceptionSeq) => {
+                project_bindings(&proj, Some(&e.partial), e.ts)
+            }
+            // CLEVEL_SEQ filters both by the level comparison: a
+            // completed sequence has level n, a stalled one its
+            // completion level.
+            (DetectorOutput::Match(m), SeqKind::ClevelSeq) => {
+                match level_cmp {
+                    Some((op, lit)) if level_passes(op, n as i64, lit) => {
+                        project_bindings(&proj, Some(&m.bindings), m.ts())
+                    }
+                    _ => Vec::new(),
+                }
+            }
+            (DetectorOutput::Exception(e), SeqKind::ClevelSeq) => match level_cmp {
+                Some((op, lit)) if level_passes(op, e.completion_level() as i64, lit) => {
+                    project_bindings(&proj, Some(&e.partial), e.ts)
+                }
+                _ => Vec::new(),
+            },
+            (DetectorOutput::Exception(_), SeqKind::Seq) => Vec::new(),
+        };
+        Ok(rows)
+    });
+    let op = DetectorOp::new(detector, project);
+    Ok(Plan {
+        name: format!("seq:{}", elem_alias.join(",")),
+        sources: sel.from.iter().map(|f| f.name.clone()).collect(),
+        op: Box::new(op),
+    })
+}
+
+fn level_passes(op: AstBinOp, level: i64, lit: i64) -> bool {
+    match op {
+        AstBinOp::Lt => level < lit,
+        AstBinOp::Le => level <= lit,
+        AstBinOp::Gt => level > lit,
+        AstBinOp::Ge => level >= lit,
+        AstBinOp::Eq => level == lit,
+        AstBinOp::Ne => level != lit,
+        _ => false,
+    }
+}
+
+fn project_bindings(
+    proj: &[ProjItem],
+    bindings: Option<&[eslev_core::binding::Binding]>,
+    ts: eslev_dsms::time::Timestamp,
+) -> Vec<Tuple> {
+    let bindings = bindings.unwrap_or(&[]);
+    let value_of = |item: &ProjItem, star_idx: Option<usize>| -> Value {
+        match item {
+            ProjItem::LastCol { elem, col } => bindings
+                .get(*elem)
+                .map(|b| b.last().value(*col).clone())
+                .unwrap_or(Value::Null),
+            ProjItem::FirstCol { elem, col } => bindings
+                .get(*elem)
+                .map(|b| b.first().value(*col).clone())
+                .unwrap_or(Value::Null),
+            ProjItem::Count { elem } => bindings
+                .get(*elem)
+                .map(|b| Value::Int(b.count() as i64))
+                .unwrap_or(Value::Null),
+            ProjItem::PerStar { elem, col } => match (bindings.get(*elem), star_idx) {
+                (Some(b), Some(i)) => b.tuples()[i].value(*col).clone(),
+                (Some(b), None) => b.last().value(*col).clone(),
+                (None, _) => Value::Null,
+            },
+        }
+    };
+    // Multi-return expansion when a PerStar item exists and the star
+    // element is bound.
+    let star_elem = proj.iter().find_map(|p| match p {
+        ProjItem::PerStar { elem, .. } => Some(*elem),
+        _ => None,
+    });
+    let rows: Vec<Option<usize>> = match star_elem.and_then(|e| bindings.get(e)) {
+        Some(b) => (0..b.count()).map(Some).collect(),
+        None => vec![None],
+    };
+    rows.into_iter()
+        .map(|idx| {
+            let vals: Vec<Value> = proj.iter().map(|p| value_of(p, idx)).collect();
+            Tuple::new(vals, ts, 0)
+        })
+        .collect()
+}
+
+fn resolve_seq_col(
+    qualifier: Option<&str>,
+    name: &str,
+    elem_scope: &Scope,
+) -> Result<(usize, usize)> {
+    elem_scope.resolve_column(qualifier, name)
+}
+
+/// `X.col = Y.col` between two different elements.
+fn as_equality(c: &AstExpr, elem_scope: &Scope) -> Option<((usize, usize), (usize, usize))> {
+    let AstExpr::Bin(AstBinOp::Eq, a, b) = c else {
+        return None;
+    };
+    let col = |e: &AstExpr| -> Option<(usize, usize)> {
+        let AstExpr::Col { qualifier, name } = e else {
+            return None;
+        };
+        elem_scope.resolve_column(qualifier.as_deref(), name).ok()
+    };
+    let (x, y) = (col(a)?, col(b)?);
+    if x.0 == y.0 {
+        return None;
+    }
+    Some((x, y))
+}
+
+/// Recognize the two gap-constraint shapes and fold them into the
+/// elements; returns whether the conjunct was consumed.
+fn apply_gap_constraint(
+    c: &AstExpr,
+    elem_scope: &Scope,
+    elem_alias: &[String],
+    elements: &mut [Element],
+) -> Result<bool> {
+    let AstExpr::Bin(op, lhs, rhs) = c else {
+        return Ok(false);
+    };
+    if !matches!(op, AstBinOp::Le | AstBinOp::Lt) {
+        return Ok(false);
+    }
+    let AstExpr::Dur(d) = &**rhs else {
+        return Ok(false);
+    };
+    let AstExpr::Bin(AstBinOp::Sub, newer, older) = &**lhs else {
+        return Ok(false);
+    };
+    let elem_of = |alias: &str| elem_alias.iter().position(|a| a == alias);
+    // b.t − a.previous.t is nonsense; a.t − a.previous.t ≤ d → star gap.
+    if let (AstExpr::Col { qualifier: Some(q), .. }, AstExpr::PrevCol { qualifier: pq, .. }) =
+        (&**newer, &**older)
+    {
+        if q == pq {
+            let elem = elem_of(q)
+                .ok_or_else(|| DsmsError::unknown(format!("`{q}` in gap constraint")))?;
+            if !elements[elem].star {
+                return Err(DsmsError::plan(format!(
+                    "`{q}.previous` needs `{q}` to be a star argument"
+                )));
+            }
+            elements[elem].star_gap = Some(*d);
+            return Ok(true);
+        }
+    }
+    // b.t − LAST(a*).t ≤ d or b.t − a.t ≤ d with a immediately before b.
+    let newer_elem = match &**newer {
+        AstExpr::Col { qualifier: Some(q), .. } => elem_of(q),
+        _ => None,
+    };
+    let older_elem = match &**older {
+        AstExpr::StarAgg {
+            kind: StarAggKind::Last,
+            alias,
+            ..
+        } => elem_of(alias),
+        AstExpr::Col { qualifier: Some(q), .. } => elem_of(q),
+        _ => None,
+    };
+    if let (Some(b), Some(a)) = (newer_elem, older_elem) {
+        if a + 1 == b {
+            // Sanity: the subtraction should be over timestamp columns.
+            let _ = elem_scope; // columns validated at residual compile otherwise
+            elements[b].max_gap_from_prev = Some(*d);
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Lift a single equality class covering every element (one column per
+/// element) into per-port partition keys; `None` when no class covers
+/// the whole pattern (the caller keeps the equalities as residuals).
+type ElemColPair = ((usize, usize), (usize, usize));
+
+fn partition_by_port(
+    equalities: &[ElemColPair],
+    elements: &[Element],
+) -> Option<Vec<Expr>> {
+    if equalities.is_empty() {
+        return None;
+    }
+    let n = elements.len();
+    // Union-find over (elem, col).
+    let mut groups: Vec<std::collections::BTreeSet<(usize, usize)>> = Vec::new();
+    for (x, y) in equalities {
+        let gx = groups.iter().position(|g| g.contains(x));
+        let gy = groups.iter().position(|g| g.contains(y));
+        match (gx, gy) {
+            (Some(i), Some(j)) if i != j => {
+                let merged = groups.remove(j.max(i).max(j));
+                let keep = i.min(j);
+                groups[keep].extend(merged);
+            }
+            (Some(i), None) => {
+                groups[i].insert(*y);
+            }
+            (None, Some(j)) => {
+                groups[j].insert(*x);
+            }
+            (None, None) => {
+                groups.push([*x, *y].into_iter().collect());
+            }
+            _ => {}
+        }
+    }
+    for g in &groups {
+        let elems: std::collections::BTreeSet<usize> = g.iter().map(|(e, _)| *e).collect();
+        if elems.len() == n && g.len() == n {
+            // One key per detector port (element -> port).
+            let num_ports = elements.iter().map(|e| e.port).max().unwrap_or(0) + 1;
+            let mut keys: Vec<Option<Expr>> = vec![None; num_ports];
+            for (e, c) in g {
+                let port = elements[*e].port;
+                // First writer wins; two elements on one port share the
+                // key column or the class simply fails the all-ports
+                // check below.
+                if keys[port].is_none() {
+                    keys[port] = Some(Expr::col(*c));
+                }
+            }
+            if keys.iter().all(|k| k.is_some()) {
+                return Some(keys.into_iter().map(|k| k.expect("checked")).collect());
+            }
+        }
+    }
+    None
+}
+
+/// Rewrite `LAST(a*).col` to `a.col` (the last-tuple row convention used
+/// by residual filters); rejects FIRST/COUNT, which have no row-level
+/// equivalent.
+fn rewrite_last_to_col(c: &AstExpr) -> Result<AstExpr> {
+    Ok(match c {
+        AstExpr::StarAgg {
+            kind: StarAggKind::Last,
+            alias,
+            column,
+        } => AstExpr::Col {
+            qualifier: Some(alias.clone()),
+            name: column.clone().expect("parser enforces projection"),
+        },
+        AstExpr::StarAgg { .. } => {
+            return Err(DsmsError::plan(
+                "FIRST/COUNT star aggregates are not supported in residual predicates",
+            ))
+        }
+        AstExpr::Bin(op, a, b) => AstExpr::Bin(
+            *op,
+            Box::new(rewrite_last_to_col(a)?),
+            Box::new(rewrite_last_to_col(b)?),
+        ),
+        AstExpr::Not(e) => AstExpr::Not(Box::new(rewrite_last_to_col(e)?)),
+        AstExpr::IsNull { expr, negated } => AstExpr::IsNull {
+            expr: Box::new(rewrite_last_to_col(expr)?),
+            negated: *negated,
+        },
+        AstExpr::Like(e, p) => AstExpr::Like(Box::new(rewrite_last_to_col(e)?), p.clone()),
+        AstExpr::Call { name, args } => AstExpr::Call {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(rewrite_last_to_col)
+                .collect::<Result<Vec<_>>>()?,
+        },
+        other => other.clone(),
+    })
+}

@@ -1,0 +1,289 @@
+//! Name resolution: FROM bindings → relation indexes, column names →
+//! `(rel, col)` pairs, function calls → registered UDFs.
+
+use crate::ast::{AstBinOp, AstExpr};
+use eslev_dsms::error::{DsmsError, Result};
+use eslev_dsms::expr::{BinOp, Expr, FunctionRegistry, LikePattern};
+use eslev_dsms::schema::SchemaRef;
+
+/// The relations visible to an expression, in evaluation-row order.
+/// `search_order` lists relation indexes in name-resolution priority
+/// (inner scope before outer scope for correlated sub-queries).
+pub struct Scope {
+    rels: Vec<(String, SchemaRef)>,
+    search_order: Vec<usize>,
+}
+
+impl Scope {
+    /// Scope over relations in evaluation-row order, resolved
+    /// first-to-last for unqualified names.
+    pub fn new(rels: Vec<(String, SchemaRef)>) -> Scope {
+        let search_order = (0..rels.len()).collect();
+        Scope { rels, search_order }
+    }
+
+    /// Override the unqualified-name search order (e.g. sub-query scope
+    /// searches the inner relation before the correlated outer one).
+    pub fn with_search_order(mut self, order: Vec<usize>) -> Scope {
+        debug_assert_eq!(order.len(), self.rels.len());
+        self.search_order = order;
+        self
+    }
+
+    /// Relation index of a binding name.
+    pub fn rel_of(&self, binding: &str) -> Option<usize> {
+        let lower = binding.to_ascii_lowercase();
+        self.rels.iter().position(|(n, _)| *n == lower)
+    }
+
+    /// Number of relations.
+    pub fn arity(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Schema of relation `i`.
+    pub fn schema(&self, i: usize) -> &SchemaRef {
+        &self.rels[i].1
+    }
+
+    /// Resolve a column reference to `(rel, col)`.
+    pub fn resolve_column(&self, qualifier: Option<&str>, name: &str) -> Result<(usize, usize)> {
+        match qualifier {
+            Some(q) => {
+                let rel = self.rel_of(q).ok_or_else(|| {
+                    DsmsError::unknown(format!("relation alias `{q}`"))
+                })?;
+                let col = self.rels[rel].1.require_column(name)?;
+                Ok((rel, col))
+            }
+            None => {
+                let mut found = None;
+                for &rel in &self.search_order {
+                    if let Some(col) = self.rels[rel].1.column_index(name) {
+                        if found.is_some() {
+                            // Inner-before-outer search: the first hit in
+                            // priority order wins (SQL's correlated-name
+                            // shadowing), so stop at one.
+                            break;
+                        }
+                        found = Some((rel, col));
+                    }
+                }
+                found.ok_or_else(|| DsmsError::unknown(format!("column `{name}`")))
+            }
+        }
+    }
+}
+
+/// Compile a scalar AST expression against a scope. Rejects sub-queries,
+/// SEQ terms, aggregates and star aggregates — those are structural and
+/// handled by the planner before this is called.
+pub fn compile_scalar(ast: &AstExpr, scope: &Scope, funcs: &FunctionRegistry) -> Result<Expr> {
+    Ok(match ast {
+        AstExpr::Lit(v) => Expr::Lit(v.clone()),
+        AstExpr::Dur(d) => Expr::Dur(*d),
+        AstExpr::Col { qualifier, name } => {
+            let (rel, col) = scope.resolve_column(qualifier.as_deref(), name)?;
+            Expr::qcol(rel, col)
+        }
+        AstExpr::Bin(op, a, b) => Expr::bin(
+            compile_binop(*op),
+            compile_scalar(a, scope, funcs)?,
+            compile_scalar(b, scope, funcs)?,
+        ),
+        AstExpr::Not(e) => Expr::Not(Box::new(compile_scalar(e, scope, funcs)?)),
+        AstExpr::IsNull { expr, negated } => {
+            let inner = Expr::IsNull(Box::new(compile_scalar(expr, scope, funcs)?));
+            if *negated {
+                Expr::Not(Box::new(inner))
+            } else {
+                inner
+            }
+        }
+        AstExpr::Like(e, pat) => Expr::Like(
+            Box::new(compile_scalar(e, scope, funcs)?),
+            LikePattern::compile(pat),
+        ),
+        AstExpr::Call { name, args } => {
+            let func = funcs
+                .get(name)
+                .ok_or_else(|| DsmsError::unknown(format!("function `{name}`")))?
+                .clone();
+            let args = args
+                .iter()
+                .map(|a| compile_scalar(a, scope, funcs))
+                .collect::<Result<Vec<_>>>()?;
+            Expr::Call {
+                name: name.clone(),
+                func,
+                args,
+            }
+        }
+        AstExpr::PrevCol { .. } => {
+            return Err(DsmsError::plan(
+                "`previous` is only meaningful inside a star-sequence gap constraint",
+            ))
+        }
+        AstExpr::StarAgg { .. } => {
+            return Err(DsmsError::plan(
+                "star aggregates (FIRST/LAST/COUNT over a*) are only valid in SEQ queries",
+            ))
+        }
+        AstExpr::Agg { name, .. } => {
+            return Err(DsmsError::plan(format!(
+                "aggregate `{name}` not valid in a scalar context"
+            )))
+        }
+        AstExpr::Exists { .. } => {
+            return Err(DsmsError::plan(
+                "EXISTS sub-queries are structural; this shape is not supported here",
+            ))
+        }
+        AstExpr::Seq { .. } => {
+            return Err(DsmsError::plan(
+                "SEQ operators are structural; this shape is not supported here",
+            ))
+        }
+    })
+}
+
+/// Map an AST binary operator to the runtime one.
+pub fn compile_binop(op: AstBinOp) -> BinOp {
+    match op {
+        AstBinOp::Add => BinOp::Add,
+        AstBinOp::Sub => BinOp::Sub,
+        AstBinOp::Mul => BinOp::Mul,
+        AstBinOp::Div => BinOp::Div,
+        AstBinOp::Mod => BinOp::Mod,
+        AstBinOp::Eq => BinOp::Eq,
+        AstBinOp::Ne => BinOp::Ne,
+        AstBinOp::Lt => BinOp::Lt,
+        AstBinOp::Le => BinOp::Le,
+        AstBinOp::Gt => BinOp::Gt,
+        AstBinOp::Ge => BinOp::Ge,
+        AstBinOp::And => BinOp::And,
+        AstBinOp::Or => BinOp::Or,
+    }
+}
+
+/// Which relations an expression mentions (by binding name); used by the
+/// planner to classify conjuncts. Unqualified names are resolved through
+/// the scope.
+pub fn referenced_rels(ast: &AstExpr, scope: &Scope, out: &mut std::collections::BTreeSet<usize>) {
+    match ast {
+        AstExpr::Col { qualifier, name } => {
+            if let Ok((rel, _)) = scope.resolve_column(qualifier.as_deref(), name) {
+                out.insert(rel);
+            }
+        }
+        AstExpr::PrevCol { qualifier, .. } | AstExpr::StarAgg { alias: qualifier, .. } => {
+            if let Some(rel) = scope.rel_of(qualifier) {
+                out.insert(rel);
+            }
+        }
+        AstExpr::Bin(_, a, b) => {
+            referenced_rels(a, scope, out);
+            referenced_rels(b, scope, out);
+        }
+        AstExpr::Not(e) | AstExpr::IsNull { expr: e, .. } | AstExpr::Like(e, _) => {
+            referenced_rels(e, scope, out)
+        }
+        AstExpr::Call { args, .. } => {
+            for a in args {
+                referenced_rels(a, scope, out);
+            }
+        }
+        AstExpr::Agg { arg, .. } => referenced_rels(arg, scope, out),
+        AstExpr::Lit(_) | AstExpr::Dur(_) | AstExpr::Exists { .. } | AstExpr::Seq { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eslev_dsms::schema::Schema;
+    use eslev_dsms::time::Timestamp;
+    use eslev_dsms::tuple::Tuple;
+    use eslev_dsms::value::Value;
+
+    fn scope2() -> Scope {
+        Scope::new(vec![
+            ("r1".into(), Schema::readings("readings")),
+            ("r2".into(), Schema::readings("readings")),
+        ])
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let s = scope2();
+        assert_eq!(s.resolve_column(Some("r2"), "tag_id").unwrap(), (1, 1));
+        assert!(s.resolve_column(Some("zz"), "tag_id").is_err());
+        assert!(s.resolve_column(Some("r1"), "nope").is_err());
+    }
+
+    #[test]
+    fn unqualified_uses_search_order() {
+        let s = scope2().with_search_order(vec![1, 0]);
+        assert_eq!(s.resolve_column(None, "tag_id").unwrap(), (1, 1));
+        let s = scope2();
+        assert_eq!(s.resolve_column(None, "tag_id").unwrap(), (0, 1));
+    }
+
+    #[test]
+    fn compile_and_eval() {
+        let s = scope2();
+        let funcs = FunctionRegistry::new();
+        // r2.tag_id = r1.tag_id
+        let ast = AstExpr::Bin(
+            AstBinOp::Eq,
+            Box::new(AstExpr::Col {
+                qualifier: Some("r2".into()),
+                name: "tag_id".into(),
+            }),
+            Box::new(AstExpr::Col {
+                qualifier: Some("r1".into()),
+                name: "tag_id".into(),
+            }),
+        );
+        let e = compile_scalar(&ast, &s, &funcs).unwrap();
+        let mk = |tag: &str| {
+            Tuple::new(
+                vec![Value::str("r"), Value::str(tag), Value::Ts(Timestamp::ZERO)],
+                Timestamp::ZERO,
+                0,
+            )
+        };
+        let (a, b) = (mk("x"), mk("x"));
+        assert!(e.eval_bool(&[&a, &b]).unwrap());
+        let c = mk("y");
+        assert!(!e.eval_bool(&[&a, &c]).unwrap());
+    }
+
+    #[test]
+    fn structural_terms_rejected() {
+        let s = scope2();
+        let funcs = FunctionRegistry::new();
+        let bad = AstExpr::StarAgg {
+            kind: crate::ast::StarAggKind::Count,
+            alias: "r1".into(),
+            column: None,
+        };
+        assert!(compile_scalar(&bad, &s, &funcs).is_err());
+    }
+
+    #[test]
+    fn referenced_rels_walks_tree() {
+        let s = scope2();
+        let ast = AstExpr::Bin(
+            AstBinOp::Eq,
+            Box::new(AstExpr::Col {
+                qualifier: Some("r2".into()),
+                name: "tag_id".into(),
+            }),
+            Box::new(AstExpr::Lit(Value::Int(1))),
+        );
+        let mut rels = std::collections::BTreeSet::new();
+        referenced_rels(&ast, &s, &mut rels);
+        assert_eq!(rels.into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+}

@@ -1,0 +1,412 @@
+//! Tokens and the lexer for ESL-EV query text.
+//!
+//! The token set is classic SQL plus the ESL-EV additions: bracketed
+//! window specs (`OVER [30 MINUTES PRECEDING C4]`), the `MODE` clause,
+//! star arguments inside `SEQ(...)`, and time-unit suffixed numbers.
+//! Keywords are case-insensitive; identifiers are lower-cased at lexing
+//! time (SQL folding).
+
+use eslev_dsms::error::{DsmsError, Result};
+use std::fmt;
+
+/// One lexed token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub kind: TokenKind,
+    /// Byte offset in the query text.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (lower-cased; keyword-ness is contextual).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=` (also accepts the paper's typeset `≤`)
+    Le,
+    /// `>`
+    Gt,
+    /// `>=` (also accepts `≥`)
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lex a full query text into tokens (with a trailing `Eof`).
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    // Track byte offset separately from char index for error reporting.
+    let mut offset = 0usize;
+    macro_rules! push {
+        ($kind:expr, $start:expr) => {
+            tokens.push(Token {
+                kind: $kind,
+                offset: $start,
+            })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = offset;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+                offset += c.len_utf8();
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != '\n' {
+                    offset += bytes[i].len_utf8();
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(TokenKind::LParen, start);
+                i += 1;
+                offset += 1;
+            }
+            ')' => {
+                push!(TokenKind::RParen, start);
+                i += 1;
+                offset += 1;
+            }
+            '[' => {
+                push!(TokenKind::LBracket, start);
+                i += 1;
+                offset += 1;
+            }
+            ']' => {
+                push!(TokenKind::RBracket, start);
+                i += 1;
+                offset += 1;
+            }
+            ',' => {
+                push!(TokenKind::Comma, start);
+                i += 1;
+                offset += 1;
+            }
+            '.' => {
+                push!(TokenKind::Dot, start);
+                i += 1;
+                offset += 1;
+            }
+            ';' => {
+                push!(TokenKind::Semi, start);
+                i += 1;
+                offset += 1;
+            }
+            '*' => {
+                push!(TokenKind::Star, start);
+                i += 1;
+                offset += 1;
+            }
+            '+' => {
+                push!(TokenKind::Plus, start);
+                i += 1;
+                offset += 1;
+            }
+            '-' => {
+                push!(TokenKind::Minus, start);
+                i += 1;
+                offset += 1;
+            }
+            '/' => {
+                push!(TokenKind::Slash, start);
+                i += 1;
+                offset += 1;
+            }
+            '%' => {
+                push!(TokenKind::Percent, start);
+                i += 1;
+                offset += 1;
+            }
+            '=' => {
+                push!(TokenKind::Eq, start);
+                i += 1;
+                offset += 1;
+            }
+            '≤' => {
+                push!(TokenKind::Le, start);
+                i += 1;
+                offset += c.len_utf8();
+            }
+            '≥' => {
+                push!(TokenKind::Ge, start);
+                i += 1;
+                offset += c.len_utf8();
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
+                push!(TokenKind::Ne, start);
+                i += 2;
+                offset += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push!(TokenKind::Le, start);
+                    i += 2;
+                    offset += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                    push!(TokenKind::Ne, start);
+                    i += 2;
+                    offset += 2;
+                } else {
+                    push!(TokenKind::Lt, start);
+                    i += 1;
+                    offset += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push!(TokenKind::Ge, start);
+                    i += 2;
+                    offset += 2;
+                } else {
+                    push!(TokenKind::Gt, start);
+                    i += 1;
+                    offset += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                offset += 1;
+                let mut closed = false;
+                while i < bytes.len() {
+                    if bytes[i] == '\'' {
+                        // '' escapes a quote.
+                        if i + 1 < bytes.len() && bytes[i + 1] == '\'' {
+                            s.push('\'');
+                            i += 2;
+                            offset += 2;
+                        } else {
+                            i += 1;
+                            offset += 1;
+                            closed = true;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i]);
+                        offset += bytes[i].len_utf8();
+                        i += 1;
+                    }
+                }
+                if !closed {
+                    return Err(DsmsError::parse(format!(
+                        "unterminated string literal at offset {start}"
+                    )));
+                }
+                push!(TokenKind::Str(s), start);
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    text.push(bytes[i]);
+                    i += 1;
+                    offset += 1;
+                }
+                // Float only when a digit follows the dot (so `20.%` and
+                // EPC-ish literals lex as Int Dot ...).
+                if i + 1 < bytes.len() && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+                    text.push('.');
+                    i += 1;
+                    offset += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        text.push(bytes[i]);
+                        i += 1;
+                        offset += 1;
+                    }
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| DsmsError::parse(format!("bad float `{text}`")))?;
+                    push!(TokenKind::Float(v), start);
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| DsmsError::parse(format!("bad integer `{text}`")))?;
+                    push!(TokenKind::Int(v), start);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    text.push(bytes[i]);
+                    offset += bytes[i].len_utf8();
+                    i += 1;
+                }
+                push!(TokenKind::Ident(text.to_ascii_lowercase()), start);
+            }
+            other => {
+                return Err(DsmsError::parse(format!(
+                    "unexpected character `{other}` at offset {start}"
+                )));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        lex(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_select() {
+        let k = kinds("SELECT * FROM readings;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Star,
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("readings".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_unicode_le() {
+        let k = kinds("a <= b ≤ c <> d != e >= f ≥ g");
+        let ops: Vec<&TokenKind> = k
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t,
+                    TokenKind::Le | TokenKind::Ne | TokenKind::Ge
+                )
+            })
+            .collect();
+        assert_eq!(ops.len(), 6);
+    }
+
+    #[test]
+    fn string_literals_with_escape() {
+        let k = kinds("'20.%.%' 'it''s'");
+        assert_eq!(k[0], TokenKind::Str("20.%.%".into()));
+        assert_eq!(k[1], TokenKind::Str("it's".into()));
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("4.25")[0], TokenKind::Float(4.25));
+        // `1.%` is Int Dot Percent (EPC-pattern-ish), not a float.
+        assert_eq!(
+            kinds("1.%")[..3],
+            [TokenKind::Int(1), TokenKind::Dot, TokenKind::Percent]
+        );
+    }
+
+    #[test]
+    fn window_brackets() {
+        let k = kinds("OVER [30 MINUTES PRECEDING C4]");
+        assert_eq!(k[1], TokenKind::LBracket);
+        assert_eq!(k[2], TokenKind::Int(30));
+        assert_eq!(k[3], TokenKind::Ident("minutes".into()));
+        assert_eq!(k[6], TokenKind::RBracket);
+    }
+
+    #[test]
+    fn identifiers_fold_case() {
+        assert_eq!(kinds("SeQ")[0], TokenKind::Ident("seq".into()));
+        assert_eq!(kinds("Tag_ID")[0], TokenKind::Ident("tag_id".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("SELECT -- the whole row\n *");
+        assert_eq!(k.len(), 3);
+        assert_eq!(k[1], TokenKind::Star);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("SELECT @").is_err());
+    }
+
+    #[test]
+    fn offsets_track_source() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! Adversarial coverage of parse and plan errors: every rejection should
+//! be a clean `Err` with a message a user can act on — never a panic,
+//! never a silently wrong plan.
+
+use eslev_dsms::prelude::*;
+use eslev_lang::parser::parse_statement;
+use eslev_lang::{execute, execute_script};
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    execute_script(
+        &mut e,
+        "CREATE STREAM r1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM r2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE TABLE ctx (tagid VARCHAR, info VARCHAR);",
+    )
+    .unwrap();
+    e
+}
+
+fn plan_err(e: &mut Engine, sql: &str) -> String {
+    match execute(e, sql) {
+        Err(err) => err.to_string(),
+        Ok(_) => panic!("expected `{sql}` to fail"),
+    }
+}
+
+#[test]
+fn parse_errors_are_clean() {
+    for sql in [
+        "",
+        ";",
+        "SELEC * FROM s",
+        "SELECT FROM s",
+        "SELECT * FROM",
+        "SELECT * FROM s WHERE",
+        "SELECT * FROM s GROUP",
+        "CREATE STREAM s",
+        "CREATE STREAM s (a)",
+        "CREATE STREAM s (a SERIAL)",
+        "INSERT INTO",
+        "INSERT INTO t",
+        "SELECT a FROM s WHERE SEQ()",
+        "SELECT a FROM s WHERE SEQ(a,) ",
+        "SELECT a FROM s WHERE SEQ(a, b) OVER",
+        "SELECT a FROM s WHERE SEQ(a, b) OVER [5 PRECEDING b]", // missing unit
+        "SELECT a FROM s WHERE SEQ(a, b) OVER [5 PARSECS PRECEDING b]",
+        "SELECT a FROM s WHERE SEQ(a, b) MODE SIDEWAYS",
+        "SELECT a FROM s WHERE a LIKE 5",
+        "SELECT FIRST(a*) FROM a, b WHERE SEQ(a*, b)", // FIRST needs .col
+        "SELECT COUNT(a*).x FROM a, b WHERE SEQ(a*, b)",
+        "SELECT * FROM s LIMIT x",
+        "SELECT * FROM s ORDER",
+        "SELECT 'unterminated FROM s",
+    ] {
+        match parse_statement(sql) {
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(!msg.is_empty(), "{sql}");
+            }
+            Ok(_) => {
+                // A few of these are parse-OK but must then fail to plan.
+                let mut eng = engine();
+                assert!(
+                    execute(&mut eng, sql).is_err(),
+                    "`{sql}` parsed and planned — should have failed somewhere"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_errors_name_the_problem() {
+    let mut e = engine();
+    assert!(plan_err(&mut e, "SELECT * FROM ghost").contains("ghost"));
+    assert!(plan_err(&mut e, "SELECT ghostcol FROM r1").contains("ghostcol"));
+    assert!(plan_err(&mut e, "SELECT ghost_fn(tagid) FROM r1").contains("ghost_fn"));
+    assert!(
+        plan_err(&mut e, "INSERT INTO ghost SELECT * FROM r1").contains("ghost")
+    );
+    // SEQ arg not in FROM.
+    assert!(plan_err(
+        &mut e,
+        "SELECT r1.tagid FROM r1, r2 WHERE SEQ(r1, r3)"
+    )
+    .contains("r3"));
+    // FROM item unused by SEQ.
+    assert!(plan_err(
+        &mut e,
+        "SELECT r1.tagid FROM r1, r2 WHERE SEQ(r1, r1)"
+    )
+    .contains("twice"));
+    // Window anchored at an unknown alias.
+    assert!(plan_err(
+        &mut e,
+        "SELECT r1.tagid FROM r1, r2 WHERE SEQ(r1, r2) OVER [5 SECONDS PRECEDING zz]"
+    )
+    .contains("zz"));
+    // Multi-stream FROM without SEQ.
+    assert!(plan_err(&mut e, "SELECT r1.tagid FROM r1, r2").contains("SEQ"));
+    // Star column with two stars (footnote 4).
+    assert!(plan_err(
+        &mut e,
+        "SELECT r1.tagid FROM r1, r2 WHERE SEQ(r1*, r2*)"
+    )
+    .contains("ambiguous") // adjacent same-port stars? no: different ports...
+        || plan_err(
+            &mut e,
+            "SELECT r1.tagid FROM r1, r2 WHERE SEQ(r1*, r2*)"
+        )
+        .contains("star"));
+    // Duplicate stream creation.
+    assert!(execute(&mut e, "CREATE STREAM r1 (x TIMESTAMP)").is_err());
+    // Stream without a timestamp column.
+    assert!(plan_err(&mut e, "CREATE STREAM nots (x INT)").contains("TIMESTAMP"));
+}
+
+#[test]
+fn seq_query_rejects_wildcard_select() {
+    let mut e = engine();
+    let msg = plan_err(&mut e, "SELECT * FROM r1, r2 WHERE SEQ(r1, r2)");
+    assert!(msg.contains("*"), "{msg}");
+}
+
+#[test]
+fn insert_schema_mismatch_is_runtime_checked() {
+    let mut e = engine();
+    // cleaned has 2 columns; r1 has 3 → the projection arity mismatches
+    // at registration-time validation of the sink schema... the engine
+    // re-validates per tuple; pushing surfaces the error.
+    execute(&mut e, "CREATE STREAM narrow (tagid VARCHAR, t TIMESTAMP)").unwrap();
+    execute(&mut e, "INSERT INTO narrow SELECT * FROM r1").unwrap();
+    let err = e
+        .push(
+            "r1",
+            vec![
+                Value::str("rdr"),
+                Value::str("tag"),
+                Value::Ts(Timestamp::from_secs(1)),
+            ],
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("columns"), "{err}");
+}
+
+#[test]
+fn exists_subquery_shape_errors() {
+    let mut e = engine();
+    // Sub-query stream without a window is rejected for windowed EXISTS.
+    let msg = plan_err(
+        &mut e,
+        "SELECT r1.tagid FROM r1 WHERE NOT EXISTS (SELECT * FROM r2)",
+    );
+    assert!(msg.contains("window"), "{msg}");
+    // Window anchored at the wrong alias.
+    let msg = plan_err(
+        &mut e,
+        "SELECT a.tagid FROM r1 AS a WHERE NOT EXISTS
+           (SELECT * FROM r2 OVER [1 MINUTES PRECEDING AND FOLLOWING zz])",
+    );
+    assert!(msg.contains("zz"), "{msg}");
+}
+
+#[test]
+fn mixed_case_and_whitespace_robustness() {
+    let mut e = engine();
+    // Keywords and identifiers in any case, odd whitespace, trailing ;.
+    let out = execute(
+        &mut e,
+        "sElEcT   TAGID\n\tFROM   R1\n WHERE\treaderid  =  'x'  ;",
+    )
+    .unwrap();
+    assert!(out.collector().is_some());
+}
+
+#[test]
+fn update_and_delete_statements() {
+    use eslev_lang::ExecOutcome;
+    let mut e = engine();
+    e.table("ctx")
+        .unwrap()
+        .insert(vec![Value::str("t1"), Value::str("old")])
+        .unwrap();
+    e.table("ctx")
+        .unwrap()
+        .insert(vec![Value::str("t2"), Value::str("old")])
+        .unwrap();
+    // Targeted update.
+    let o = execute(&mut e, "UPDATE ctx SET info = 'new' WHERE tagid = 't1'").unwrap();
+    assert!(matches!(o, ExecOutcome::Modified(1)));
+    // Computed update over all rows.
+    let o = execute(&mut e, "UPDATE ctx SET info = tagid").unwrap();
+    assert!(matches!(o, ExecOutcome::Modified(2)));
+    let rows = e.table("ctx").unwrap().scan();
+    assert_eq!(rows[0].value(1).as_str(), Some("t1"));
+    // Delete with predicate, then delete all.
+    let o = execute(&mut e, "DELETE FROM ctx WHERE tagid = 't1'").unwrap();
+    assert!(matches!(o, ExecOutcome::Modified(1)));
+    let o = execute(&mut e, "DELETE FROM ctx").unwrap();
+    assert!(matches!(o, ExecOutcome::Modified(1)));
+    assert!(e.table("ctx").unwrap().is_empty());
+    // Errors: unknown table / column, streams are not updatable.
+    assert!(execute(&mut e, "UPDATE ghost SET x = 1").is_err());
+    assert!(execute(&mut e, "UPDATE ctx SET ghost = 1").is_err());
+    assert!(execute(&mut e, "DELETE FROM r1").is_err());
+}

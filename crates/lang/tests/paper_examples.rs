@@ -1,0 +1,467 @@
+//! Every worked example of the paper, executed verbatim through the
+//! language front-end against the engine.
+
+use eslev_dsms::prelude::*;
+use eslev_lang::{execute, execute_script, ExecOutcome};
+use eslev_rfid::prelude::*;
+
+fn reading_row(reader: &str, tag: &str, ms: u64) -> Vec<Value> {
+    vec![
+        Value::str(reader),
+        Value::str(tag),
+        Value::Ts(Timestamp::from_millis(ms)),
+    ]
+}
+
+/// Example 1: duplicate filtering with a self-referential windowed
+/// NOT EXISTS — the planner lowers it to the Dedup operator.
+#[test]
+fn example1_duplicate_filtering() {
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+         CREATE STREAM cleaned_readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);",
+    )
+    .unwrap();
+    execute(
+        &mut engine,
+        "INSERT INTO cleaned_readings
+         SELECT * FROM readings AS r1
+         WHERE NOT EXISTS
+           (SELECT * FROM TABLE( readings OVER
+              (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+            WHERE r2.reader_id = r1.reader_id
+            AND r2.tag_id = r1.tag_id)",
+    )
+    .unwrap();
+    let out = execute(&mut engine, "SELECT * FROM cleaned_readings")
+        .unwrap();
+    let rows = out.collector().unwrap().clone();
+
+    engine.push("readings", reading_row("r1", "t1", 0)).unwrap();
+    engine.push("readings", reading_row("r1", "t1", 400)).unwrap(); // dup
+    engine.push("readings", reading_row("r1", "t1", 900)).unwrap(); // chained dup
+    engine.push("readings", reading_row("r1", "t2", 950)).unwrap(); // different tag
+    engine.push("readings", reading_row("r1", "t1", 2500)).unwrap(); // fresh
+    assert_eq!(rows.len(), 3);
+}
+
+/// Example 2: location tracking via a stream-to-table NOT EXISTS.
+#[test]
+fn example2_location_tracking() {
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM tag_locations (readerid VARCHAR, tid VARCHAR, tagtime TIMESTAMP, loc VARCHAR);
+         CREATE TABLE object_movement (tagid VARCHAR, location VARCHAR, start_time TIMESTAMP);",
+    )
+    .unwrap();
+    execute(
+        &mut engine,
+        "INSERT INTO object_movement
+         SELECT tid, loc, tagtime
+         FROM tag_locations WHERE NOT EXISTS
+           (SELECT tagid FROM object_movement
+            WHERE tagid = tid AND location = loc)",
+    )
+    .unwrap();
+    let row = |tid: &str, loc: &str, secs: u64| {
+        vec![
+            Value::str("rdr"),
+            Value::str(tid),
+            Value::Ts(Timestamp::from_secs(secs)),
+            Value::str(loc),
+        ]
+    };
+    engine.push("tag_locations", row("obj1", "dock", 1)).unwrap();
+    engine.push("tag_locations", row("obj1", "dock", 2)).unwrap(); // unchanged
+    engine.push("tag_locations", row("obj1", "aisle", 3)).unwrap(); // moved
+    engine.push("tag_locations", row("obj2", "dock", 4)).unwrap(); // new object
+    engine.push("tag_locations", row("obj1", "aisle", 5)).unwrap(); // unchanged
+    let table = engine.table("object_movement").unwrap();
+    assert_eq!(table.len(), 3);
+    // The paper's literal query keys on (tag, location) pairs: a return
+    // to a previously-seen location does not insert.
+    engine.push("tag_locations", row("obj1", "dock", 6)).unwrap();
+    assert_eq!(table.len(), 3);
+}
+
+/// Example 3: EPC-pattern aggregation with LIKE and the extract_serial
+/// UDF.
+#[test]
+fn example3_epc_aggregation() {
+    let mut engine = Engine::new();
+    register_epc_udfs(engine.functions_mut());
+    execute(
+        &mut engine,
+        "CREATE STREAM readings (reader_id VARCHAR, tid VARCHAR, read_time TIMESTAMP)",
+    )
+    .unwrap();
+    let out = execute(
+        &mut engine,
+        "SELECT count(tid) FROM readings WHERE tid LIKE '20.%.%'
+         AND extract_serial(tid) > 5000
+         AND extract_serial(tid) < 9999",
+    )
+    .unwrap();
+    let rows = out.collector().unwrap().clone();
+    for (i, tid) in ["20.17.6000", "21.17.6000", "20.3.100", "20.9.7000"]
+        .iter()
+        .enumerate()
+    {
+        engine
+            .push(
+                "readings",
+                vec![
+                    Value::str("r"),
+                    Value::str(*tid),
+                    Value::Ts(Timestamp::from_secs(i as u64)),
+                ],
+            )
+            .unwrap();
+    }
+    // Continuous emission: the last report carries the running count (2
+    // of the 4 EPCs match).
+    let all = rows.take();
+    assert_eq!(all.last().unwrap().value(0), &Value::Int(2));
+}
+
+/// Example 6: SEQ over the four checkpoint streams with tagid equality
+/// (lifted into the partition key).
+#[test]
+fn example6_seq_detection() {
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM C3 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM C4 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+    )
+    .unwrap();
+    let out = execute(
+        &mut engine,
+        "SELECT C1.tagid, C1.tagtime, C2.tagtime, C3.tagtime, C4.tagtime
+         FROM C1, C2, C3, C4
+         WHERE SEQ(C1, C2, C3, C4) MODE RECENT
+         AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid",
+    )
+    .unwrap();
+    let rows = out.collector().unwrap().clone();
+    // Two products interleaved; both complete.
+    let feed = [
+        ("c1", "p1", 0u64),
+        ("c1", "p2", 1),
+        ("c2", "p1", 2),
+        ("c2", "p2", 3),
+        ("c3", "p1", 4),
+        ("c4", "p1", 5),
+        ("c3", "p2", 6),
+        ("c4", "p2", 7),
+    ];
+    for (stream, tag, secs) in feed {
+        engine
+            .push(stream, reading_row("rdr", tag, secs * 1000))
+            .unwrap();
+    }
+    let all = rows.take();
+    assert_eq!(all.len(), 2);
+    assert_eq!(all[0].value(0), &Value::str("p1"));
+    assert_eq!(all[1].value(0), &Value::str("p2"));
+    // Columns: tagid + the four checkpoint times, in order.
+    assert_eq!(all[0].arity(), 5);
+    assert_eq!(all[0].value(4), &Value::Ts(Timestamp::from_secs(5)));
+}
+
+/// §3.1.1's windowed SEQ: the sequence must finish within the window.
+#[test]
+fn seq_with_preceding_window() {
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+    )
+    .unwrap();
+    let out = execute(
+        &mut engine,
+        "SELECT C2.tagid, C1.tagtime FROM C1, C2
+         WHERE SEQ(C1, C2) OVER [30 MINUTES PRECEDING C2] MODE RECENT
+         AND C1.tagid=C2.tagid",
+    )
+    .unwrap();
+    let rows = out.collector().unwrap().clone();
+    engine.push("c1", reading_row("r", "slow", 0)).unwrap();
+    // 40 minutes later: outside the window.
+    engine
+        .push("c2", reading_row("r", "slow", 40 * 60 * 1000))
+        .unwrap();
+    assert_eq!(rows.len(), 0);
+    engine
+        .push("c1", reading_row("r", "fast", 50 * 60 * 1000))
+        .unwrap();
+    engine
+        .push("c2", reading_row("r", "fast", 60 * 60 * 1000))
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+}
+
+/// Example 7: star-sequence containment with both gap constraints and
+/// star aggregates in the select list.
+#[test]
+fn example7_containment() {
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM R2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+    )
+    .unwrap();
+    let out = execute(
+        &mut engine,
+        "SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+         FROM R1, R2
+         WHERE SEQ(R1*, R2) MODE CHRONICLE
+         AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+         AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS",
+    )
+    .unwrap();
+    let rows = out.collector().unwrap().clone();
+    for (tag, ms) in [("p1", 0u64), ("p2", 400), ("p3", 800)] {
+        engine.push("r1", reading_row("rdr", tag, ms)).unwrap();
+    }
+    engine.push("r2", reading_row("rdr", "case1", 2000)).unwrap();
+    let all = rows.take();
+    assert_eq!(all.len(), 1);
+    assert_eq!(all[0].value(0), &Value::Ts(Timestamp::ZERO)); // FIRST(R1*).tagtime
+    assert_eq!(all[0].value(1), &Value::Int(3)); // COUNT(R1*)
+    assert_eq!(all[0].value(2), &Value::str("case1"));
+}
+
+/// Footnote 4: the multi-return variant of Example 7 — one row per
+/// packed product.
+#[test]
+fn example7_multi_return() {
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM R2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+    )
+    .unwrap();
+    let out = execute(
+        &mut engine,
+        "SELECT R1.tagid, R1.tagtime, R2.tagid, R2.tagtime
+         FROM R1, R2
+         WHERE SEQ(R1*, R2) MODE CHRONICLE
+         AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+         AND R1.tagtime - R1.previous.tagtime < 1 SECONDS",
+    )
+    .unwrap();
+    let rows = out.collector().unwrap().clone();
+    for (tag, ms) in [("p1", 0u64), ("p2", 400)] {
+        engine.push("r1", reading_row("rdr", tag, ms)).unwrap();
+    }
+    engine.push("r2", reading_row("rdr", "case1", 2000)).unwrap();
+    let all = rows.take();
+    assert_eq!(all.len(), 2, "one row per star participant");
+    assert_eq!(all[0].value(0), &Value::str("p1"));
+    assert_eq!(all[1].value(0), &Value::str("p2"));
+    assert!(all.iter().all(|r| r.value(2) == &Value::str("case1")));
+}
+
+/// §3.1.3: EXCEPTION_SEQ with a FOLLOWING window — the clinic workflow
+/// of Example 5, including a timeout detected purely by punctuation.
+#[test]
+fn exception_seq_clinic() {
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM A1 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM A2 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM A3 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+    )
+    .unwrap();
+    let out = execute(
+        &mut engine,
+        "SELECT A1.tagid, A2.tagid, A3.tagid
+         FROM A1, A2, A3
+         WHERE EXCEPTION_SEQ(A1, A2, A3)
+         OVER [1 HOURS FOLLOWING A1]",
+    )
+    .unwrap();
+    let rows = out.collector().unwrap().clone();
+    let op = |secs: u64, equip: &str| {
+        vec![
+            Value::str("staff-1"),
+            Value::str(equip),
+            Value::Ts(Timestamp::from_secs(secs)),
+        ]
+    };
+    // Correct run: no exception.
+    engine.push("a1", op(0, "equip-A")).unwrap();
+    engine.push("a2", op(600, "equip-B")).unwrap();
+    engine.push("a3", op(1200, "equip-C")).unwrap();
+    assert_eq!(rows.len(), 0);
+    // Wrong order: A then C.
+    engine.push("a1", op(10_000, "equip-A")).unwrap();
+    engine.push("a3", op(10_100, "equip-C")).unwrap();
+    assert_eq!(rows.len(), 1);
+    let r = rows.snapshot();
+    assert_eq!(r[0].value(0), &Value::str("equip-A"));
+    assert!(r[0].value(2).is_null(), "missing elements project as NULL");
+    // Timeout: A then silence past the hour; detected by watermark.
+    engine.push("a1", op(20_000, "equip-A")).unwrap();
+    engine.advance_to(Timestamp::from_secs(20_000 + 3601)).unwrap();
+    assert_eq!(rows.len(), 2);
+}
+
+/// §3.1.3's CLEVEL_SEQ formulation is equivalent to EXCEPTION_SEQ.
+#[test]
+fn clevel_seq_equivalent() {
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM A1 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM A2 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM A3 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+    )
+    .unwrap();
+    let out = execute(
+        &mut engine,
+        "SELECT A1.tagid, A2.tagid, A3.tagid
+         FROM A1, A2, A3
+         WHERE (CLEVEL_SEQ(A1, A2, A3)
+         OVER [1 HOURS FOLLOWING A1]) < 3",
+    )
+    .unwrap();
+    let rows = out.collector().unwrap().clone();
+    let op = |secs: u64, equip: &str| {
+        vec![
+            Value::str("s"),
+            Value::str(equip),
+            Value::Ts(Timestamp::from_secs(secs)),
+        ]
+    };
+    engine.push("a1", op(0, "A")).unwrap();
+    engine.push("a2", op(10, "B")).unwrap();
+    engine.push("a2", op(20, "B")).unwrap(); // replacement violation
+    assert_eq!(rows.len(), 1);
+    // A completed sequence has level 3 and is filtered out by `< 3`.
+    engine.push("a1", op(100, "A")).unwrap();
+    engine.push("a2", op(110, "B")).unwrap();
+    engine.push("a3", op(120, "C")).unwrap();
+    assert_eq!(rows.len(), 1);
+}
+
+/// Example 8: theft detection with a PRECEDING AND FOLLOWING window
+/// synchronized across the sub-query boundary.
+#[test]
+fn example8_door_security() {
+    let mut engine = Engine::new();
+    execute(
+        &mut engine,
+        "CREATE STREAM tag_readings (tagid VARCHAR, tagtype VARCHAR, tagtime TIMESTAMP)",
+    )
+    .unwrap();
+    // The harness's item-anchored variant: alert for items with no
+    // person nearby (the paper's text describes this intent).
+    let out = execute(
+        &mut engine,
+        "SELECT item.tagid
+         FROM tag_readings AS item
+         WHERE item.tagtype = 'item' AND NOT EXISTS
+           (SELECT * FROM tag_readings AS person
+            OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+            WHERE person.tagtype = 'person')",
+    )
+    .unwrap();
+    let rows = out.collector().unwrap().clone();
+    let r = |tag: &str, ty: &str, secs: u64| {
+        vec![
+            Value::str(tag),
+            Value::str(ty),
+            Value::Ts(Timestamp::from_secs(secs)),
+        ]
+    };
+    // Legit exit: person 30 s after item.
+    engine.push("tag_readings", r("item-1", "item", 100)).unwrap();
+    engine.push("tag_readings", r("alice", "person", 130)).unwrap();
+    // Theft: no person within ±60 s.
+    engine.push("tag_readings", r("item-2", "item", 500)).unwrap();
+    engine.push("tag_readings", r("bob", "person", 700)).unwrap();
+    engine.advance_to(Timestamp::from_secs(1000)).unwrap();
+    let all = rows.take();
+    assert_eq!(all.len(), 1);
+    assert_eq!(all[0].value(0), &Value::str("item-2"));
+}
+
+/// The paper's literal person-anchored Example 8 also plans and runs.
+#[test]
+fn example8_verbatim_person_anchor() {
+    let mut engine = Engine::new();
+    execute(
+        &mut engine,
+        "CREATE STREAM tag_readings (tagid VARCHAR, tagtype VARCHAR, tagtime TIMESTAMP)",
+    )
+    .unwrap();
+    let out = execute(
+        &mut engine,
+        "SELECT person.tagid
+         FROM tag_readings AS person
+         WHERE person.tagtype = 'person' AND NOT EXISTS
+           (SELECT * FROM tag_readings AS item
+            OVER [1 MINUTES
+            PRECEDING AND FOLLOWING person]
+            WHERE item.tagtype = 'item')",
+    )
+    .unwrap();
+    let rows = out.collector().unwrap().clone();
+    let r = |tag: &str, ty: &str, secs: u64| {
+        vec![
+            Value::str(tag),
+            Value::str(ty),
+            Value::Ts(Timestamp::from_secs(secs)),
+        ]
+    };
+    engine.push("tag_readings", r("alice", "person", 100)).unwrap(); // item at 130: suppressed
+    engine.push("tag_readings", r("item-1", "item", 130)).unwrap();
+    engine.push("tag_readings", r("bob", "person", 500)).unwrap(); // no item nearby
+    engine.advance_to(Timestamp::from_secs(1000)).unwrap();
+    let all = rows.take();
+    assert_eq!(all.len(), 1);
+    assert_eq!(all[0].value(0), &Value::str("bob"));
+}
+
+/// Errors surface with context rather than panicking.
+#[test]
+fn planning_errors_are_reported() {
+    let mut engine = Engine::new();
+    execute(
+        &mut engine,
+        "CREATE STREAM s (tagid VARCHAR, t TIMESTAMP)",
+    )
+    .unwrap();
+    // Unknown stream.
+    assert!(execute(&mut engine, "SELECT * FROM nope").is_err());
+    // Unknown column.
+    assert!(execute(&mut engine, "SELECT zzz FROM s").is_err());
+    // SEQ argument not in FROM.
+    assert!(execute(&mut engine, "SELECT s.tagid FROM s WHERE SEQ(s, other)").is_err());
+    // Stream without timestamp column.
+    assert!(execute(&mut engine, "CREATE STREAM bad (x INT)").is_err());
+    // Unknown function.
+    assert!(execute(&mut engine, "SELECT nope(tagid) FROM s").is_err());
+}
+
+/// ExecOutcome variants behave as documented.
+#[test]
+fn outcome_shapes() {
+    let mut engine = Engine::new();
+    let o = execute(&mut engine, "CREATE STREAM s (tagid VARCHAR, t TIMESTAMP)").unwrap();
+    assert!(matches!(o, ExecOutcome::Created));
+    assert!(o.collector().is_none());
+    let o = execute(&mut engine, "SELECT * FROM s").unwrap();
+    assert!(o.collector().is_some());
+}

@@ -1,0 +1,139 @@
+//! Windowed aggregation through the language: `RANGE d PRECEDING` and
+//! `ROWS n PRECEDING` on the FROM item, grouped and scalar — the §2.1
+//! "count the products passing through the door every hour / monitor the
+//! max blood pressure" tasks.
+
+use eslev_dsms::prelude::*;
+use eslev_lang::{execute, execute_script};
+
+fn sensor_row(patient: &str, v: i64, secs: u64) -> Vec<Value> {
+    vec![
+        Value::str(patient),
+        Value::Int(v),
+        Value::Ts(Timestamp::from_secs(secs)),
+    ]
+}
+
+fn setup() -> Engine {
+    let mut e = Engine::new();
+    execute_script(
+        &mut e,
+        "CREATE STREAM vitals (patient VARCHAR, bp INT, t TIMESTAMP)",
+    )
+    .unwrap();
+    e
+}
+
+#[test]
+fn range_windowed_max_per_patient() {
+    let mut engine = setup();
+    let q = execute(
+        &mut engine,
+        "SELECT patient, max(bp) FROM vitals OVER (RANGE 60 SECONDS PRECEDING CURRENT)
+         GROUP BY patient",
+    )
+    .unwrap();
+    let rows = q.collector().unwrap().clone();
+    engine.push("vitals", sensor_row("p1", 120, 0)).unwrap();
+    engine.push("vitals", sensor_row("p1", 180, 10)).unwrap();
+    // 100 s later the spike is out of the window.
+    engine.push("vitals", sensor_row("p1", 130, 110)).unwrap();
+    let all = rows.take();
+    assert_eq!(all[1].value(1), &Value::Int(180));
+    assert_eq!(all[2].value(1), &Value::Int(130), "spike expired");
+}
+
+#[test]
+fn rows_windowed_average() {
+    let mut engine = setup();
+    let q = execute(
+        &mut engine,
+        "SELECT avg(bp) FROM vitals OVER (ROWS 1 PRECEDING CURRENT)",
+    )
+    .unwrap();
+    let rows = q.collector().unwrap().clone();
+    for (i, v) in [100i64, 200, 300].iter().enumerate() {
+        engine.push("vitals", sensor_row("p", *v, i as u64)).unwrap();
+    }
+    let all = rows.take();
+    // Moving average over the last 2 readings.
+    assert_eq!(all[0].value(0), &Value::Float(100.0));
+    assert_eq!(all[1].value(0), &Value::Float(150.0));
+    assert_eq!(all[2].value(0), &Value::Float(250.0));
+}
+
+#[test]
+fn custom_uda_through_sql() {
+    // Register a UDA (bp range = max - min) and call it from a query —
+    // the ESL extensibility story of §2.1.
+    let mut engine = setup();
+    engine.aggregates_mut().register(std::sync::Arc::new(ClosureUda::new(
+        "bp_range",
+        || Value::Null,
+        |state, v| {
+            let x = v.as_int().ok_or_else(|| DsmsError::eval("int expected"))?;
+            Ok(match state.as_str() {
+                None => Value::str(format!("{x},{x}")),
+                Some(s) => {
+                    let (lo, hi) = s.split_once(',').expect("state shape");
+                    let (lo, hi): (i64, i64) = (lo.parse().unwrap(), hi.parse().unwrap());
+                    Value::str(format!("{},{}", lo.min(x), hi.max(x)))
+                }
+            })
+        },
+        |state| match state.as_str() {
+            None => Value::Null,
+            Some(s) => {
+                let (lo, hi) = s.split_once(',').expect("state shape");
+                Value::Int(hi.parse::<i64>().unwrap() - lo.parse::<i64>().unwrap())
+            }
+        },
+    )));
+    let q = execute(&mut engine, "SELECT bp_range(bp) FROM vitals").unwrap();
+    let rows = q.collector().unwrap().clone();
+    for (i, v) in [120i64, 95, 160].iter().enumerate() {
+        engine.push("vitals", sensor_row("p", *v, i as u64)).unwrap();
+    }
+    assert_eq!(rows.take().last().unwrap().value(0), &Value::Int(65));
+}
+
+#[test]
+fn rejects_following_aggregate_window() {
+    let mut engine = setup();
+    let err = execute(
+        &mut engine,
+        "SELECT max(bp) FROM vitals OVER (RANGE 10 SECONDS FOLLOWING CURRENT)",
+    )
+    .err()
+    .expect("FOLLOWING aggregate windows must be rejected");
+    assert!(err.to_string().contains("PRECEDING"));
+}
+
+#[test]
+fn explain_describes_plans_without_registering() {
+    use eslev_lang::explain;
+    let mut engine = setup();
+    eslev_lang::execute(
+        &mut engine,
+        "CREATE STREAM r2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP)",
+    )
+    .unwrap();
+    eslev_lang::execute(
+        &mut engine,
+        "CREATE STREAM r1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP)",
+    )
+    .unwrap();
+    let before = engine.query_stats().len();
+    let text = explain(
+        &engine,
+        "SELECT COUNT(R1*), R2.tagid FROM R1, R2 WHERE SEQ(R1*, R2) MODE CHRONICLE",
+    )
+    .unwrap();
+    assert!(text.contains("seq:"), "{text}");
+    assert!(text.contains("seq-detector"), "{text}");
+    assert!(text.contains("r1, r2"), "{text}");
+    let text = explain(&engine, "SELECT max(bp) FROM vitals").unwrap();
+    assert!(text.contains("aggregate"), "{text}");
+    // Nothing was registered.
+    assert_eq!(engine.query_stats().len(), before);
+}

@@ -1,0 +1,215 @@
+//! ALE-style EPC patterns — `20.*.[5000-9999]`.
+//!
+//! The ALE standard (and Example 3 of the paper) filters and aggregates
+//! readings by EPC patterns: each dotted field is an exact number, a `*`
+//! wildcard, or an inclusive `[lo-hi]` range. The paper implements this
+//! with `LIKE` plus the `extract_serial` UDF; we provide both that path
+//! (see `register_epc_udfs`) and a compiled matcher — experiment E3
+//! compares them.
+
+use crate::epc::Epc;
+use eslev_dsms::error::{DsmsError, Result};
+use eslev_dsms::expr::FunctionRegistry;
+use eslev_dsms::value::Value;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// One field of an EPC pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldPattern {
+    /// Exact value.
+    Exact(u64),
+    /// `*` — any value.
+    Any,
+    /// `[lo-hi]` — inclusive range.
+    Range(u64, u64),
+}
+
+impl FieldPattern {
+    fn matches(&self, v: u64) -> bool {
+        match self {
+            FieldPattern::Exact(x) => v == *x,
+            FieldPattern::Any => true,
+            FieldPattern::Range(lo, hi) => (*lo..=*hi).contains(&v),
+        }
+    }
+}
+
+impl fmt::Display for FieldPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldPattern::Exact(x) => write!(f, "{x}"),
+            FieldPattern::Any => write!(f, "*"),
+            FieldPattern::Range(lo, hi) => write!(f, "[{lo}-{hi}]"),
+        }
+    }
+}
+
+/// A compiled three-field EPC pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpcPattern {
+    /// Company field.
+    pub company: FieldPattern,
+    /// Product field.
+    pub product: FieldPattern,
+    /// Serial field.
+    pub serial: FieldPattern,
+}
+
+impl EpcPattern {
+    /// Whether a parsed EPC matches.
+    pub fn matches(&self, e: &Epc) -> bool {
+        self.company.matches(e.company as u64)
+            && self.product.matches(e.product as u64)
+            && self.serial.matches(e.serial)
+    }
+
+    /// Whether a dotted EPC string matches (non-EPC strings never match).
+    pub fn matches_str(&self, s: &str) -> bool {
+        s.parse::<Epc>().map(|e| self.matches(&e)).unwrap_or(false)
+    }
+}
+
+impl fmt::Display for EpcPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.company, self.product, self.serial)
+    }
+}
+
+fn parse_field(s: &str, whole: &str) -> Result<FieldPattern> {
+    if s == "*" {
+        return Ok(FieldPattern::Any);
+    }
+    if let Some(body) = s.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let (lo, hi) = body.split_once('-').ok_or_else(|| {
+            DsmsError::parse(format!("range `{s}` in pattern `{whole}` needs lo-hi"))
+        })?;
+        let lo: u64 = lo
+            .trim()
+            .parse()
+            .map_err(|_| DsmsError::parse(format!("bad range start in `{whole}`")))?;
+        let hi: u64 = hi
+            .trim()
+            .parse()
+            .map_err(|_| DsmsError::parse(format!("bad range end in `{whole}`")))?;
+        if lo > hi {
+            return Err(DsmsError::parse(format!(
+                "empty range [{lo}-{hi}] in `{whole}`"
+            )));
+        }
+        return Ok(FieldPattern::Range(lo, hi));
+    }
+    s.parse()
+        .map(FieldPattern::Exact)
+        .map_err(|_| DsmsError::parse(format!("bad field `{s}` in pattern `{whole}`")))
+}
+
+impl FromStr for EpcPattern {
+    type Err = DsmsError;
+
+    fn from_str(s: &str) -> Result<EpcPattern> {
+        let fields: Vec<&str> = s.split('.').collect();
+        if fields.len() != 3 {
+            return Err(DsmsError::parse(format!(
+                "EPC pattern `{s}` must have three dot-separated fields"
+            )));
+        }
+        Ok(EpcPattern {
+            company: parse_field(fields[0], s)?,
+            product: parse_field(fields[1], s)?,
+            serial: parse_field(fields[2], s)?,
+        })
+    }
+}
+
+/// Register `epc_match(pattern, epc) -> BOOLEAN` so queries can use
+/// compiled patterns directly (the fast path of experiment E3). The
+/// pattern argument is parsed per call when dynamic; the planner folds
+/// constant patterns at plan time via [`EpcPattern::from_str`].
+pub fn register_epc_match_udf(reg: &mut FunctionRegistry) {
+    reg.register(
+        "epc_match",
+        Arc::new(|args: &[Value]| {
+            let (pat, epc) = match args {
+                [Value::Str(p), Value::Str(e)] => (p, e),
+                _ => {
+                    return Err(DsmsError::eval(
+                        "epc_match expects (pattern VARCHAR, epc VARCHAR)",
+                    ))
+                }
+            };
+            let pat: EpcPattern = pat.parse()?;
+            Ok(Value::Bool(pat.matches_str(epc)))
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_pattern() {
+        // 20.*.[5000-9999] from the ALE example in §1 and Example 3.
+        let p: EpcPattern = "20.*.[5000-9999]".parse().unwrap();
+        assert_eq!(p.company, FieldPattern::Exact(20));
+        assert_eq!(p.product, FieldPattern::Any);
+        assert_eq!(p.serial, FieldPattern::Range(5000, 9999));
+        assert_eq!(p.to_string(), "20.*.[5000-9999]");
+    }
+
+    #[test]
+    fn matching_semantics() {
+        let p: EpcPattern = "20.*.[5000-9999]".parse().unwrap();
+        assert!(p.matches_str("20.17.5000"));
+        assert!(p.matches_str("20.1.9999"));
+        assert!(p.matches_str("20.999.7500"));
+        assert!(!p.matches_str("21.17.7500")); // wrong company
+        assert!(!p.matches_str("20.17.4999")); // below range
+        assert!(!p.matches_str("20.17.10000")); // above range
+        assert!(!p.matches_str("garbage"));
+    }
+
+    #[test]
+    fn exact_and_any_fields() {
+        let p: EpcPattern = "*.*.*".parse().unwrap();
+        assert!(p.matches_str("1.2.3"));
+        let p: EpcPattern = "1.2.3".parse().unwrap();
+        assert!(p.matches_str("1.2.3"));
+        assert!(!p.matches_str("1.2.4"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("20.*".parse::<EpcPattern>().is_err());
+        assert!("20.*.[9999-5000]".parse::<EpcPattern>().is_err());
+        assert!("20.*.[x-y]".parse::<EpcPattern>().is_err());
+        assert!("20.*.[5000]".parse::<EpcPattern>().is_err());
+        assert!("20.foo.3".parse::<EpcPattern>().is_err());
+    }
+
+    #[test]
+    fn range_bounds_inclusive() {
+        let p: EpcPattern = "*.*.[10-10]".parse().unwrap();
+        assert!(p.matches_str("1.1.10"));
+        assert!(!p.matches_str("1.1.9"));
+        assert!(!p.matches_str("1.1.11"));
+    }
+
+    #[test]
+    fn udf_matches() {
+        let mut reg = FunctionRegistry::new();
+        register_epc_match_udf(&mut reg);
+        let f = reg.get("epc_match").unwrap();
+        assert_eq!(
+            f(&[Value::str("20.*.[5000-9999]"), Value::str("20.3.6000")]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            f(&[Value::str("20.*.[5000-9999]"), Value::str("9.3.6000")]).unwrap(),
+            Value::Bool(false)
+        );
+        assert!(f(&[Value::Int(1), Value::Int(2)]).is_err());
+    }
+}

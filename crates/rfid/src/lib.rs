@@ -1,0 +1,31 @@
+//! # eslev-rfid — the RFID substrate
+//!
+//! Everything the paper's experiments need from the physical world,
+//! simulated deterministically: EPC identifiers and ALE patterns
+//! (`20.*.[5000-9999]`), noisy readers (duplicates, misses, jitter), and
+//! one seeded workload generator per paper scenario — each with explicit
+//! ground truth so experiments measure correctness, not just speed.
+//!
+//! The paper used live RFID deployments; the generators replace them with
+//! synthetic feeds whose *statistical shape* (burst gaps, duplication,
+//! interleaving, violation mixes) is what the queries actually consume —
+//! see DESIGN.md §2 for the substitution argument.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod epc;
+pub mod epc_pattern;
+pub mod reader;
+pub mod reading;
+pub mod replay;
+pub mod scenario;
+
+/// One-stop imports for the RFID substrate.
+pub mod prelude {
+    pub use crate::epc::{register_epc_udfs, Epc};
+    pub use crate::epc_pattern::{register_epc_match_udf, EpcPattern, FieldPattern};
+    pub use crate::reader::{ReaderProfile, SimReader};
+    pub use crate::reading::{merge_feeds, FeedItem, Reading};
+    pub use crate::replay::{replay, ReplayOptions, ReplayStats};
+}

@@ -1,0 +1,203 @@
+//! Simulated RFID reader.
+//!
+//! Physical readers are noisy: they re-read tags that linger in the RF
+//! field (duplicates — the reason Example 1 exists), miss reads entirely,
+//! and timestamp with jitter. [`SimReader`] models those three effects
+//! with a seeded RNG so every experiment is reproducible.
+
+use crate::reading::Reading;
+use eslev_dsms::time::{Duration, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise profile of a simulated reader.
+#[derive(Debug, Clone, Copy)]
+pub struct ReaderProfile {
+    /// Probability that a physical presence produces an extra (duplicate)
+    /// read; applied repeatedly, so duplicates chain geometrically.
+    pub duplicate_prob: f64,
+    /// Probability a physical presence is missed entirely.
+    pub miss_prob: f64,
+    /// Gap between chained duplicate reads.
+    pub reread_period: Duration,
+    /// Max absolute timestamp jitter applied to each read.
+    pub jitter: Duration,
+}
+
+impl Default for ReaderProfile {
+    fn default() -> Self {
+        ReaderProfile {
+            duplicate_prob: 0.3,
+            miss_prob: 0.02,
+            reread_period: Duration::from_millis(200),
+            jitter: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ReaderProfile {
+    /// A noiseless profile (exactly one read per presence, no jitter).
+    pub fn ideal() -> ReaderProfile {
+        ReaderProfile {
+            duplicate_prob: 0.0,
+            miss_prob: 0.0,
+            reread_period: Duration::ZERO,
+            jitter: Duration::ZERO,
+        }
+    }
+}
+
+/// A deterministic simulated reader.
+pub struct SimReader {
+    /// Reader identifier reported in readings.
+    pub id: String,
+    profile: ReaderProfile,
+    rng: StdRng,
+}
+
+impl SimReader {
+    /// Build a reader with its own RNG stream derived from `seed`.
+    pub fn new(id: impl Into<String>, profile: ReaderProfile, seed: u64) -> SimReader {
+        let id = id.into();
+        // Mix the id into the seed so same-seed readers differ.
+        let mix = id.bytes().fold(seed, |acc, b| {
+            acc.wrapping_mul(0x100000001b3).wrapping_add(b as u64)
+        });
+        SimReader {
+            id,
+            profile,
+            rng: StdRng::seed_from_u64(mix),
+        }
+    }
+
+    fn jittered(&mut self, ts: Timestamp) -> Timestamp {
+        let j = self.profile.jitter.as_micros();
+        if j == 0 {
+            return ts;
+        }
+        let offset = self.rng.gen_range(0..=2 * j) as i64 - j as i64;
+        if offset >= 0 {
+            ts.saturating_add(Duration::from_micros(offset as u64))
+        } else {
+            ts.saturating_sub(Duration::from_micros((-offset) as u64))
+        }
+    }
+
+    /// Observe a tag physically present at `ts`: zero (missed) or more
+    /// (duplicated) readings, in time order.
+    pub fn observe(&mut self, tag: &str, ts: Timestamp) -> Vec<Reading> {
+        if self.rng.gen_bool(self.profile.miss_prob) {
+            return Vec::new();
+        }
+        let first = self.jittered(ts);
+        let mut reads = vec![Reading::new(&self.id, tag, first)];
+        let mut t = ts;
+        while self.rng.gen_bool(self.profile.duplicate_prob) {
+            t = t.saturating_add(self.profile.reread_period);
+            let jt = self.jittered(t);
+            reads.push(Reading::new(&self.id, tag, jt));
+        }
+        reads.sort_by_key(|r| r.ts);
+        reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_reader_is_exact() {
+        let mut r = SimReader::new("r1", ReaderProfile::ideal(), 42);
+        let reads = r.observe("tag", Timestamp::from_secs(5));
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].ts, Timestamp::from_secs(5));
+        assert_eq!(reads[0].reader, "r1");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut r = SimReader::new("r1", ReaderProfile::default(), 7);
+            (0..100)
+                .flat_map(|i| r.observe("t", Timestamp::from_secs(i)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn same_seed_different_ids_diverge() {
+        let collect = |id: &str| {
+            let mut r = SimReader::new(
+                id,
+                ReaderProfile {
+                    duplicate_prob: 0.5,
+                    ..ReaderProfile::default()
+                },
+                7,
+            );
+            (0..50)
+                .map(|i| r.observe("t", Timestamp::from_secs(i)).len())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(collect("a"), collect("b"));
+    }
+
+    #[test]
+    fn duplicate_rate_tracks_probability() {
+        let mut r = SimReader::new(
+            "r1",
+            ReaderProfile {
+                duplicate_prob: 0.5,
+                miss_prob: 0.0,
+                reread_period: Duration::from_millis(100),
+                jitter: Duration::ZERO,
+            },
+            1,
+        );
+        let total: usize = (0..2000)
+            .map(|i| r.observe("t", Timestamp::from_secs(i)).len())
+            .sum();
+        // Geometric with p=0.5 → mean 2 reads per presence.
+        let mean = total as f64 / 2000.0;
+        assert!((1.8..=2.2).contains(&mean), "mean reads {mean}");
+    }
+
+    #[test]
+    fn miss_rate_tracks_probability() {
+        let mut r = SimReader::new(
+            "r1",
+            ReaderProfile {
+                duplicate_prob: 0.0,
+                miss_prob: 0.2,
+                reread_period: Duration::ZERO,
+                jitter: Duration::ZERO,
+            },
+            1,
+        );
+        let missed = (0..2000)
+            .filter(|i| r.observe("t", Timestamp::from_secs(*i)).is_empty())
+            .count();
+        let rate = missed as f64 / 2000.0;
+        assert!((0.15..=0.25).contains(&rate), "miss rate {rate}");
+    }
+
+    #[test]
+    fn reads_are_time_ordered() {
+        let mut r = SimReader::new(
+            "r1",
+            ReaderProfile {
+                duplicate_prob: 0.7,
+                miss_prob: 0.0,
+                reread_period: Duration::from_millis(50),
+                jitter: Duration::from_millis(40),
+            },
+            3,
+        );
+        for i in 0..200 {
+            let reads = r.observe("t", Timestamp::from_secs(i));
+            assert!(reads.windows(2).all(|w| w[0].ts <= w[1].ts));
+        }
+    }
+}

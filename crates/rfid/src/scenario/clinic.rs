@@ -1,0 +1,314 @@
+//! Example 5 workload: the clinic-laboratory workflow.
+//!
+//! A staff member's wrist-band reader detects operations A → B → C on lab
+//! equipment; each test must run the operations in order and finish
+//! within a time limit. The generator emits a joint feed of operations
+//! with injected violations — wrong order, wrong start, timeout — and the
+//! per-test ground truth the EXCEPTION_SEQ experiment scores against.
+
+use crate::reading::Reading;
+use eslev_dsms::time::{Duration, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of operations in the workflow (A, B, C).
+pub const OPS: usize = 3;
+
+/// What a generated test run does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunKind {
+    /// A → B → C within the limit.
+    Normal,
+    /// A correct prefix, then the wrong next operation (e.g. A then C).
+    WrongOrder,
+    /// The run begins with an operation other than A.
+    WrongStart,
+    /// A correct prefix that never completes within the limit.
+    Timeout,
+}
+
+/// Ground truth for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunTruth {
+    /// The run's kind.
+    pub kind: RunKind,
+    /// Sequence Completion Level the run stalls at (equals [`OPS`] for
+    /// normal runs).
+    pub completion_level: usize,
+    /// When the run's outcome is decidable (last arrival, or window
+    /// expiry for timeouts).
+    pub decidable_at: Timestamp,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct ClinicConfig {
+    /// Number of test runs.
+    pub runs: usize,
+    /// Workflow deadline (the paper's 1 hour).
+    pub limit: Duration,
+    /// Gap between operations inside a run: uniform within this range
+    /// (kept well inside the limit for normal runs).
+    pub op_gap: (Duration, Duration),
+    /// Idle gap between runs (also how long past the limit a timeout run
+    /// stays silent).
+    pub inter_run_gap: Duration,
+    /// Probability of each violation kind (rest are normal).
+    pub wrong_order_prob: f64,
+    /// Probability of a wrong-start run.
+    pub wrong_start_prob: f64,
+    /// Probability of a timeout run.
+    pub timeout_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClinicConfig {
+    fn default() -> Self {
+        ClinicConfig {
+            runs: 100,
+            limit: Duration::from_hours(1),
+            op_gap: (Duration::from_mins(2), Duration::from_mins(15)),
+            inter_run_gap: Duration::from_hours(2),
+            wrong_order_prob: 0.1,
+            wrong_start_prob: 0.05,
+            timeout_prob: 0.1,
+            seed: 1,
+        }
+    }
+}
+
+/// Generated workload: a joint feed of `(port, reading)` pairs — port 0 =
+/// operation A's equipment, 1 = B, 2 = C — plus per-run ground truth.
+#[derive(Debug)]
+pub struct ClinicWorkload {
+    /// The joint feed, time-ordered.
+    pub feed: Vec<(usize, Reading)>,
+    /// Ground truth per run, in run order.
+    pub truth: Vec<RunTruth>,
+    /// Total violations (runs that are not Normal).
+    pub violations: usize,
+}
+
+/// Generate the workload.
+pub fn generate(cfg: &ClinicConfig) -> ClinicWorkload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut feed = Vec::new();
+    let mut truth = Vec::new();
+    let mut t = Timestamp::from_secs(60);
+    let equipment = ["equip-A", "equip-B", "equip-C"];
+    let gap = {
+        let lo = cfg.op_gap.0.as_micros();
+        let hi = cfg.op_gap.1.as_micros().max(lo + 1);
+        move |rng: &mut StdRng| Duration::from_micros(rng.gen_range(lo..hi))
+    };
+    for run in 0..cfg.runs {
+        let staff = format!("staff-{}", run % 5);
+        let roll: f64 = rng.gen();
+        let kind = if roll < cfg.wrong_order_prob {
+            RunKind::WrongOrder
+        } else if roll < cfg.wrong_order_prob + cfg.wrong_start_prob {
+            RunKind::WrongStart
+        } else if roll < cfg.wrong_order_prob + cfg.wrong_start_prob + cfg.timeout_prob {
+            RunKind::Timeout
+        } else {
+            RunKind::Normal
+        };
+        let push = |feed: &mut Vec<(usize, Reading)>, port: usize, ts: Timestamp| {
+            feed.push((port, Reading::new(&staff, equipment[port], ts)));
+        };
+        let start = t;
+        match kind {
+            RunKind::Normal => {
+                push(&mut feed, 0, t);
+                for port in 1..OPS {
+                    t += gap(&mut rng);
+                    push(&mut feed, port, t);
+                }
+                truth.push(RunTruth {
+                    kind,
+                    completion_level: OPS,
+                    decidable_at: t,
+                });
+            }
+            RunKind::WrongOrder => {
+                // Correct prefix of length 1 or 2, then a wrong op.
+                let prefix = rng.gen_range(1..OPS);
+                push(&mut feed, 0, t);
+                for port in 1..prefix {
+                    t += gap(&mut rng);
+                    push(&mut feed, port, t);
+                }
+                t += gap(&mut rng);
+                // The wrong operation: anything but the expected one and
+                // not A (A would silently restart rather than violate).
+                let wrong = if prefix == 1 { 2 } else { 1 };
+                push(&mut feed, wrong, t);
+                truth.push(RunTruth {
+                    kind,
+                    completion_level: prefix,
+                    decidable_at: t,
+                });
+            }
+            RunKind::WrongStart => {
+                let port = rng.gen_range(1..OPS);
+                push(&mut feed, port, t);
+                truth.push(RunTruth {
+                    kind,
+                    completion_level: 0,
+                    decidable_at: t,
+                });
+            }
+            RunKind::Timeout => {
+                let prefix = rng.gen_range(1..OPS);
+                push(&mut feed, 0, t);
+                for port in 1..prefix {
+                    t += gap(&mut rng);
+                    push(&mut feed, port, t);
+                }
+                // Nothing more until past the deadline.
+                truth.push(RunTruth {
+                    kind,
+                    completion_level: prefix,
+                    decidable_at: start + cfg.limit,
+                });
+            }
+        }
+        t = start + cfg.limit + cfg.inter_run_gap;
+    }
+    let violations = truth.iter().filter(|r| r.kind != RunKind::Normal).count();
+    ClinicWorkload {
+        feed,
+        truth,
+        violations,
+    }
+}
+
+/// Generate `staff` independent, time-overlapping copies of the workload
+/// merged into one feed — the realistic form of Example 5, where several
+/// staff members run tests concurrently and the detector must keep them
+/// apart by partitioning on the staff id (`A1.staff = A2.staff = ...`).
+///
+/// Each reading's `reader` field carries a unique staff id; per-staff
+/// ground truth is concatenated (total violations = sum over staff).
+pub fn generate_concurrent(cfg: &ClinicConfig, staff: usize) -> ClinicWorkload {
+    let mut feed: Vec<(usize, Reading)> = Vec::new();
+    let mut truth = Vec::new();
+    let mut violations = 0;
+    for s in 0..staff.max(1) {
+        let sub = generate(&ClinicConfig {
+            seed: cfg.seed.wrapping_add(s as u64).wrapping_mul(0x9E3779B97F4A7C15 | 1),
+            ..cfg.clone()
+        });
+        let offset = Duration::from_mins(7 * s as u64); // interleave staff
+        for (port, r) in sub.feed {
+            feed.push((
+                port,
+                Reading::new(format!("staff-{s}"), r.tag, r.ts + offset),
+            ));
+        }
+        truth.extend(sub.truth);
+        violations += sub.violations;
+    }
+    feed.sort_by_key(|(_, r)| r.ts);
+    ClinicWorkload {
+        feed,
+        truth,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_adds_up() {
+        let w = generate(&ClinicConfig::default());
+        assert_eq!(w.truth.len(), 100);
+        let normals = w.truth.iter().filter(|r| r.kind == RunKind::Normal).count();
+        assert_eq!(normals + w.violations, 100);
+        assert!(w.violations >= 10, "expected ~25 violations, got {}", w.violations);
+    }
+
+    #[test]
+    fn all_violations_when_forced() {
+        let w = generate(&ClinicConfig {
+            wrong_order_prob: 1.0,
+            wrong_start_prob: 0.0,
+            timeout_prob: 0.0,
+            runs: 20,
+            ..ClinicConfig::default()
+        });
+        assert!(w.truth.iter().all(|r| r.kind == RunKind::WrongOrder));
+        assert!(w
+            .truth
+            .iter()
+            .all(|r| r.completion_level >= 1 && r.completion_level < OPS));
+    }
+
+    #[test]
+    fn normal_runs_fit_the_limit() {
+        let cfg = ClinicConfig::default();
+        let w = generate(&cfg);
+        // Max normal span = 2 × 15 min < 1 h.
+        for (i, r) in w.truth.iter().enumerate() {
+            if r.kind == RunKind::Normal {
+                assert_eq!(r.completion_level, OPS, "run {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn feed_is_time_ordered_and_runs_dont_overlap() {
+        let w = generate(&ClinicConfig::default());
+        assert!(w.feed.windows(2).all(|p| p[0].1.ts <= p[1].1.ts));
+    }
+
+    #[test]
+    fn timeout_runs_have_late_decision() {
+        let cfg = ClinicConfig {
+            timeout_prob: 1.0,
+            wrong_order_prob: 0.0,
+            wrong_start_prob: 0.0,
+            runs: 5,
+            ..ClinicConfig::default()
+        };
+        let w = generate(&cfg);
+        for r in &w.truth {
+            assert_eq!(r.kind, RunKind::Timeout);
+            // Decidable exactly at window expiry.
+            assert!(r.decidable_at >= Timestamp::from_secs(60) + cfg.limit);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ClinicConfig::default();
+        assert_eq!(generate(&cfg).feed, generate(&cfg).feed);
+    }
+
+    #[test]
+    fn concurrent_staff_interleave() {
+        let cfg = ClinicConfig {
+            runs: 20,
+            ..ClinicConfig::default()
+        };
+        let w = generate_concurrent(&cfg, 4);
+        assert_eq!(w.truth.len(), 80);
+        // Globally time-ordered...
+        assert!(w.feed.windows(2).all(|p| p[0].1.ts <= p[1].1.ts));
+        // ...with at least one point where staff feeds actually overlap
+        // (adjacent readings from different staff).
+        assert!(w
+            .feed
+            .windows(2)
+            .any(|p| p[0].1.reader != p[1].1.reader));
+        // Violations sum over staff.
+        let per_staff = generate(&ClinicConfig {
+            seed: cfg.seed.wrapping_mul(0x9E3779B97F4A7C15 | 1),
+            ..cfg.clone()
+        });
+        assert!(w.violations >= per_staff.violations);
+    }
+}

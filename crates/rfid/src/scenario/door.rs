@@ -1,0 +1,179 @@
+//! Example 8 workload: door security (theft detection).
+//!
+//! A door reader sees items and people leave. An item exit is legitimate
+//! when some person is detected within ±τ of it; otherwise it is a
+//! potential theft and must raise an alert. The generator emits the
+//! single `tag_readings(tagid, tagtype, tagtime)` feed and the exact set
+//! of theft items.
+
+use eslev_dsms::time::{Duration, Timestamp};
+use eslev_dsms::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One reading of the `tag_readings(tagid, tagtype, tagtime)` stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoorReading {
+    /// Tag id.
+    pub tag: String,
+    /// `"person"` or `"item"`.
+    pub tagtype: &'static str,
+    /// Observation time.
+    pub ts: Timestamp,
+}
+
+impl DoorReading {
+    /// Row for the `tag_readings` schema.
+    pub fn to_values(&self) -> Vec<Value> {
+        vec![
+            Value::str(&self.tag),
+            Value::str(self.tagtype),
+            Value::Ts(self.ts),
+        ]
+    }
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct DoorConfig {
+    /// Number of item exits.
+    pub item_exits: usize,
+    /// The ±τ window (the paper's 1 minute).
+    pub tau: Duration,
+    /// Fraction of item exits that are thefts (no person within ±τ).
+    pub theft_fraction: f64,
+    /// Gap between exit events (must exceed 2τ so events are separable).
+    pub event_gap: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DoorConfig {
+    fn default() -> Self {
+        DoorConfig {
+            item_exits: 200,
+            tau: Duration::from_mins(1),
+            theft_fraction: 0.1,
+            event_gap: Duration::from_mins(5),
+            seed: 1,
+        }
+    }
+}
+
+/// Generated workload.
+#[derive(Debug)]
+pub struct DoorWorkload {
+    /// The merged feed, time-ordered.
+    pub readings: Vec<DoorReading>,
+    /// Item tags that are thefts (no person within ±τ).
+    pub thefts: Vec<String>,
+}
+
+/// Generate the workload. Legitimate exits place a person uniformly
+/// within ±τ (before or after) of the item; thefts guarantee no person
+/// within ±τ.
+pub fn generate(cfg: &DoorConfig) -> DoorWorkload {
+    assert!(
+        cfg.event_gap > cfg.tau + cfg.tau,
+        "event gap must exceed 2τ so exits are separable"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut readings = Vec::new();
+    let mut thefts = Vec::new();
+    let mut t = Timestamp::from_secs(1) + cfg.event_gap;
+    for i in 0..cfg.item_exits {
+        let item_tag = format!("item-{i}");
+        let is_theft = rng.gen_bool(cfg.theft_fraction);
+        readings.push(DoorReading {
+            tag: item_tag.clone(),
+            tagtype: "item",
+            ts: t,
+        });
+        if is_theft {
+            thefts.push(item_tag);
+        } else {
+            // Person within ±τ (never exactly on the boundary).
+            let tau = cfg.tau.as_micros();
+            let offset = rng.gen_range(1..tau) as i64 * if rng.gen_bool(0.5) { 1 } else { -1 };
+            let pts = if offset >= 0 {
+                t + Duration::from_micros(offset as u64)
+            } else {
+                t - Duration::from_micros((-offset) as u64)
+            };
+            readings.push(DoorReading {
+                tag: format!("person-{i}"),
+                tagtype: "person",
+                ts: pts,
+            });
+        }
+        t += cfg.event_gap;
+    }
+    readings.sort_by_key(|r| r.ts);
+    DoorWorkload { readings, thefts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recompute_thefts(cfg: &DoorConfig, w: &DoorWorkload) -> Vec<String> {
+        let persons: Vec<Timestamp> = w
+            .readings
+            .iter()
+            .filter(|r| r.tagtype == "person")
+            .map(|r| r.ts)
+            .collect();
+        w.readings
+            .iter()
+            .filter(|r| r.tagtype == "item")
+            .filter(|item| {
+                !persons.iter().any(|p| {
+                    *p >= item.ts.saturating_sub(cfg.tau) && *p <= item.ts + cfg.tau
+                })
+            })
+            .map(|r| r.tag.clone())
+            .collect()
+    }
+
+    #[test]
+    fn truth_matches_window_definition() {
+        let cfg = DoorConfig::default();
+        let w = generate(&cfg);
+        assert_eq!(recompute_thefts(&cfg, &w), w.thefts);
+        assert!(!w.thefts.is_empty());
+        assert!(w.thefts.len() < 50);
+    }
+
+    #[test]
+    fn all_theft_and_no_theft() {
+        let all = generate(&DoorConfig {
+            theft_fraction: 1.0,
+            item_exits: 30,
+            ..DoorConfig::default()
+        });
+        assert_eq!(all.thefts.len(), 30);
+        let none = generate(&DoorConfig {
+            theft_fraction: 0.0,
+            item_exits: 30,
+            ..DoorConfig::default()
+        });
+        assert!(none.thefts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "event gap must exceed")]
+    fn rejects_ambiguous_spacing() {
+        generate(&DoorConfig {
+            event_gap: Duration::from_secs(90),
+            ..DoorConfig::default()
+        });
+    }
+
+    #[test]
+    fn feed_time_ordered_and_deterministic() {
+        let cfg = DoorConfig::default();
+        let w = generate(&cfg);
+        assert!(w.readings.windows(2).all(|p| p[0].ts <= p[1].ts));
+        assert_eq!(w.readings, generate(&cfg).readings);
+    }
+}

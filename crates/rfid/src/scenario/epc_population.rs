@@ -1,0 +1,196 @@
+//! Example 3 workload: EPC populations for pattern-based aggregation.
+//!
+//! Generates reading streams whose tag ids are dotted EPCs drawn from a
+//! mix of companies/products/serials, with a controllable fraction
+//! matching a target pattern (default the paper's `20.*.[5000-9999]`).
+//! Ground truth is the exact match count.
+
+use crate::epc::Epc;
+use crate::epc_pattern::{EpcPattern, FieldPattern};
+use crate::reading::Reading;
+use eslev_dsms::time::{Duration, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct EpcConfig {
+    /// Number of readings.
+    pub readings: usize,
+    /// Fraction of readings that must match the target pattern.
+    pub match_fraction: f64,
+    /// The target pattern (defaults to the paper's). Must not be
+    /// `*.*.*` — a pattern matching everything has no complement to draw
+    /// non-matching EPCs from.
+    pub pattern: EpcPattern,
+    /// Gap between consecutive readings.
+    pub period: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EpcConfig {
+    fn default() -> Self {
+        EpcConfig {
+            readings: 10_000,
+            match_fraction: 0.3,
+            pattern: "20.*.[5000-9999]".parse().expect("static pattern"),
+            period: Duration::from_millis(10),
+            seed: 1,
+        }
+    }
+}
+
+/// Generated workload.
+#[derive(Debug)]
+pub struct EpcWorkload {
+    /// Time-ordered readings with EPC tag ids.
+    pub readings: Vec<Reading>,
+    /// Exact number of readings matching the pattern.
+    pub matching: usize,
+}
+
+/// Draw a field value satisfying `p`.
+fn draw_in(rng: &mut StdRng, p: FieldPattern, default_hi: u64) -> u64 {
+    match p {
+        FieldPattern::Exact(x) => x,
+        FieldPattern::Any => rng.gen_range(1..default_hi),
+        FieldPattern::Range(lo, hi) => rng.gen_range(lo..=hi),
+    }
+}
+
+/// Draw a field value violating `p`; `None` when `p` is `Any`.
+fn draw_out(rng: &mut StdRng, p: FieldPattern, default_hi: u64) -> Option<u64> {
+    match p {
+        FieldPattern::Any => None,
+        FieldPattern::Exact(x) => {
+            let mut v = rng.gen_range(0..default_hi);
+            if v == x {
+                v = x + 1;
+            }
+            Some(v)
+        }
+        FieldPattern::Range(lo, hi) => {
+            // Below or above the range, whichever exists.
+            let below = lo > 0;
+            let above = hi < u64::MAX / 2;
+            Some(if below && (!above || rng.gen_bool(0.5)) {
+                rng.gen_range(0..lo)
+            } else {
+                rng.gen_range(hi + 1..=hi + default_hi)
+            })
+        }
+    }
+}
+
+/// Generate the workload. Matching EPCs draw every field inside the
+/// pattern; non-matching EPCs violate at least one non-wildcard field.
+pub fn generate(cfg: &EpcConfig) -> EpcWorkload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut readings = Vec::with_capacity(cfg.readings);
+    let mut matching = 0;
+    let mut t = Timestamp::from_secs(1);
+    let fields = [cfg.pattern.company, cfg.pattern.product, cfg.pattern.serial];
+    let violatable: Vec<usize> = (0..3)
+        .filter(|&i| !matches!(fields[i], FieldPattern::Any))
+        .collect();
+    assert!(
+        !violatable.is_empty(),
+        "pattern `{}` matches every EPC; no complement to draw from",
+        cfg.pattern
+    );
+    for _ in 0..cfg.readings {
+        let is_match = rng.gen_bool(cfg.match_fraction);
+        let mut vals = [0u64; 3];
+        if is_match {
+            matching += 1;
+            for (i, f) in fields.iter().enumerate() {
+                vals[i] = draw_in(&mut rng, *f, 100);
+            }
+        } else {
+            // Start inside the pattern, then force one field out.
+            for (i, f) in fields.iter().enumerate() {
+                vals[i] = draw_in(&mut rng, *f, 100);
+            }
+            let flip = violatable[rng.gen_range(0..violatable.len())];
+            vals[flip] =
+                draw_out(&mut rng, fields[flip], 1000).expect("violatable field is not Any");
+        }
+        let epc = Epc::new(vals[0] as u32, vals[1] as u32, vals[2]);
+        debug_assert_eq!(cfg.pattern.matches(&epc), is_match, "epc {epc}");
+        readings.push(Reading::new("agg-reader", epc.to_string(), t));
+        t += cfg.period;
+    }
+    EpcWorkload { readings, matching }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_matches_pattern_exactly() {
+        let cfg = EpcConfig {
+            readings: 2000,
+            ..EpcConfig::default()
+        };
+        let w = generate(&cfg);
+        let recount = w
+            .readings
+            .iter()
+            .filter(|r| cfg.pattern.matches_str(&r.tag))
+            .count();
+        assert_eq!(recount, w.matching);
+        let frac = w.matching as f64 / w.readings.len() as f64;
+        assert!((0.25..=0.35).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn custom_patterns_respected() {
+        let cfg = EpcConfig {
+            readings: 1000,
+            pattern: "7.[3-9].*".parse().unwrap(),
+            match_fraction: 0.5,
+            ..EpcConfig::default()
+        };
+        let w = generate(&cfg);
+        let recount = w
+            .readings
+            .iter()
+            .filter(|r| cfg.pattern.matches_str(&r.tag))
+            .count();
+        assert_eq!(recount, w.matching);
+        assert!(w.matching > 300 && w.matching < 700);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let all = generate(&EpcConfig {
+            readings: 100,
+            match_fraction: 1.0,
+            ..EpcConfig::default()
+        });
+        assert_eq!(all.matching, 100);
+        let none = generate(&EpcConfig {
+            readings: 100,
+            match_fraction: 0.0,
+            ..EpcConfig::default()
+        });
+        assert_eq!(none.matching, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matches every EPC")]
+    fn rejects_universal_pattern() {
+        generate(&EpcConfig {
+            pattern: "*.*.*".parse().unwrap(),
+            ..EpcConfig::default()
+        });
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = EpcConfig::default();
+        assert_eq!(generate(&cfg).readings, generate(&cfg).readings);
+    }
+}

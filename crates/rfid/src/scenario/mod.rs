@@ -1,0 +1,25 @@
+//! Scenario workload generators — one per experiment of the paper's
+//! worked examples, each with explicit ground truth so the experiments
+//! can score precision/recall, not just throughput.
+//!
+//! | Module | Paper source | Shape |
+//! |---|---|---|
+//! | [`dedup`] | Example 1 | duplicate-heavy raw readings |
+//! | [`tracking`] | Example 2 | tag movement across locations |
+//! | [`vitals`] | §2.1 | RFID-associated sensor streams (blood pressure) |
+//! | [`epc_population`] | Example 3 | EPC populations for pattern aggregation |
+//! | [`packing`] | Fig. 1, Examples 4/7 | product bursts then a packing case |
+//! | [`qc_line`] | Example 6 | four-checkpoint quality-control line |
+//! | [`clinic`] | Example 5 | A→B→C workflows with injected violations |
+//! | [`door`] | Example 8 | door exits with authorized/theft truth |
+//!
+//! All generators are deterministic in their seed.
+
+pub mod clinic;
+pub mod dedup;
+pub mod door;
+pub mod epc_population;
+pub mod packing;
+pub mod qc_line;
+pub mod tracking;
+pub mod vitals;

@@ -1,0 +1,234 @@
+//! Figure 1 / Examples 4 & 7 workload: warehouse packing.
+//!
+//! Reader `r1` scans products being packed; reader `r2` scans packing
+//! cases. Products of one case are read in a burst (consecutive gaps
+//! ≤ `t1`); the case is read within `t0` of the last product; the next
+//! case's products may start before the previous case is read (the paper
+//! explicitly allows this overlap — Figure 1(b)). Ground truth is the
+//! exact product set of each case.
+
+use crate::reading::Reading;
+use eslev_dsms::time::{Duration, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct PackingConfig {
+    /// Number of cases to pack.
+    pub cases: usize,
+    /// Products per case: uniform in `products_per_case`.
+    pub products_per_case: (usize, usize),
+    /// Threshold `t1`: intra-burst gaps are drawn well below it.
+    pub t1: Duration,
+    /// Threshold `t0`: case read lands within it after the last product.
+    pub t0: Duration,
+    /// Fraction of `t1` that intra-burst gaps may reach (0.0–1.0); raising
+    /// it toward 1.0 stresses the threshold (experiment E4's noise sweep).
+    pub gap_tightness: f64,
+    /// Gap between one case's read and the next burst's first product
+    /// (must exceed `t1` so bursts are separable).
+    pub inter_case_gap: Duration,
+    /// Whether the next case's products may start before the previous
+    /// case is read (Figure 1(b)'s overlap).
+    pub overlap: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PackingConfig {
+    fn default() -> Self {
+        PackingConfig {
+            cases: 100,
+            products_per_case: (2, 10),
+            t1: Duration::from_secs(1),
+            t0: Duration::from_secs(5),
+            gap_tightness: 0.6,
+            inter_case_gap: Duration::from_secs(4),
+            overlap: false,
+            seed: 1,
+        }
+    }
+}
+
+/// Ground truth for one case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseTruth {
+    /// The case's tag id.
+    pub case_tag: String,
+    /// Product tag ids packed into it, in read order.
+    pub product_tags: Vec<String>,
+    /// When the case was read.
+    pub case_ts: Timestamp,
+}
+
+/// Generated workload.
+#[derive(Debug)]
+pub struct PackingWorkload {
+    /// Product readings (reader r1), time-ordered.
+    pub products: Vec<Reading>,
+    /// Case readings (reader r2), time-ordered.
+    pub cases: Vec<Reading>,
+    /// Per-case ground truth, in case-read order.
+    pub truth: Vec<CaseTruth>,
+}
+
+/// Generate the workload.
+pub fn generate(cfg: &PackingConfig) -> PackingWorkload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut products = Vec::new();
+    let mut cases = Vec::new();
+    let mut truth = Vec::new();
+    let mut t = Timestamp::from_secs(1);
+    let gap_cap = ((cfg.t1.as_micros() as f64) * cfg.gap_tightness.clamp(0.0, 1.0)) as u64;
+    for c in 0..cfg.cases {
+        let count = rng.gen_range(cfg.products_per_case.0..=cfg.products_per_case.1.max(cfg.products_per_case.0));
+        let mut tags = Vec::with_capacity(count);
+        let mut last_product_ts = t;
+        for p in 0..count {
+            if p > 0 {
+                t += Duration::from_micros(rng.gen_range(1..=gap_cap.max(1)));
+            }
+            let tag = format!("prod-{c}-{p}");
+            products.push(Reading::new("r1", &tag, t));
+            tags.push(tag);
+            last_product_ts = t;
+        }
+        // Case read within t0 of the last product. Case reads must stay
+        // mutually ordered (CHRONICLE pairs the earliest unconsumed burst
+        // with the next case read, so reordered cases would mispair —
+        // genuinely ambiguous data we choose not to generate).
+        let case_delay = rng.gen_range(1..=cfg.t0.as_micros().max(2) / 2);
+        let mut case_ts = last_product_ts + Duration::from_micros(case_delay);
+        if let Some(prev) = cases.last() {
+            let prev: &Reading = prev;
+            if case_ts <= prev.ts {
+                case_ts = prev.ts + Duration::from_micros(1);
+            }
+        }
+        debug_assert!(case_ts - last_product_ts <= cfg.t0);
+        let case_tag = format!("case-{c}");
+        cases.push(Reading::new("r2", &case_tag, case_ts));
+        truth.push(CaseTruth {
+            case_tag,
+            product_tags: tags,
+            case_ts,
+        });
+        // The next burst must start > t1 after this burst's last product
+        // so bursts are separable. With overlap enabled it may begin
+        // before the case read (Figure 1(b)).
+        t = if cfg.overlap {
+            last_product_ts
+                + cfg.t1
+                + Duration::from_micros(rng.gen_range(1..=cfg.t1.as_micros().max(2)))
+        } else {
+            case_ts + cfg.inter_case_gap
+        };
+    }
+    products.sort_by_key(|r| r.ts);
+    cases.sort_by_key(|r| r.ts);
+    PackingWorkload {
+        products,
+        cases,
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_thresholds(cfg: &PackingConfig, w: &PackingWorkload) {
+        // Intra-burst gaps ≤ t1; case within t0 of last product; bursts
+        // separated by > t1.
+        for truth in &w.truth {
+            let times: Vec<Timestamp> = truth
+                .product_tags
+                .iter()
+                .map(|tag| {
+                    w.products
+                        .iter()
+                        .find(|r| &r.tag == tag)
+                        .expect("truth tags exist")
+                        .ts
+                })
+                .collect();
+            for pair in times.windows(2) {
+                assert!(pair[1] - pair[0] <= cfg.t1, "burst gap exceeds t1");
+            }
+            let last = *times.last().unwrap();
+            assert!(truth.case_ts - last <= cfg.t0, "case outside t0");
+        }
+        for pair in w.truth.windows(2) {
+            let prev_last = w
+                .products
+                .iter()
+                .find(|r| r.tag == *pair[0].product_tags.last().unwrap())
+                .unwrap()
+                .ts;
+            let next_first = w
+                .products
+                .iter()
+                .find(|r| r.tag == pair[1].product_tags[0])
+                .unwrap()
+                .ts;
+            assert!(next_first - prev_last > cfg.t1, "bursts not separated");
+        }
+    }
+
+    #[test]
+    fn thresholds_hold_without_overlap() {
+        let cfg = PackingConfig::default();
+        let w = generate(&cfg);
+        assert_eq!(w.truth.len(), 100);
+        assert_eq!(w.cases.len(), 100);
+        check_thresholds(&cfg, &w);
+    }
+
+    #[test]
+    fn thresholds_hold_with_overlap() {
+        let cfg = PackingConfig {
+            overlap: true,
+            cases: 50,
+            ..PackingConfig::default()
+        };
+        let w = generate(&cfg);
+        check_thresholds(&cfg, &w);
+        // Overlap actually happens: some burst starts before the prior
+        // case read.
+        let mut overlapped = false;
+        for pair in w.truth.windows(2) {
+            let next_first = w
+                .products
+                .iter()
+                .find(|r| r.tag == pair[1].product_tags[0])
+                .unwrap()
+                .ts;
+            if next_first < pair[0].case_ts {
+                overlapped = true;
+            }
+        }
+        assert!(overlapped, "overlap config should interleave bursts and cases");
+    }
+
+    #[test]
+    fn product_counts_in_range() {
+        let cfg = PackingConfig {
+            products_per_case: (3, 3),
+            cases: 10,
+            ..PackingConfig::default()
+        };
+        let w = generate(&cfg);
+        assert!(w.truth.iter().all(|t| t.product_tags.len() == 3));
+        assert_eq!(w.products.len(), 30);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = PackingConfig::default();
+        let (a, b) = (generate(&cfg), generate(&cfg));
+        assert_eq!(a.products, b.products);
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.truth, b.truth);
+    }
+}

@@ -1,0 +1,186 @@
+//! Example 6 workload: the four-checkpoint quality-control line.
+//!
+//! Every product passes RFID readers C1 → C2 → C3 → C4 with random
+//! per-stage delays; a configurable fraction drops out mid-line (fails a
+//! check and leaves). Ground truth is the set of products that completed
+//! all four checks. Also provides the literal §3.1.1 worked history
+//! `[t1:C1, t2:C1, t3:C2, t4:C3, t5:C3, t6:C2, t7:C4]` as a fixture.
+
+use crate::reading::Reading;
+use eslev_dsms::time::{Duration, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of checkpoints on the line.
+pub const STAGES: usize = 4;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct QcConfig {
+    /// Number of products entering the line.
+    pub products: usize,
+    /// Gap between consecutive product entries.
+    pub entry_period: Duration,
+    /// Per-stage transit delay: uniform in `stage_delay`.
+    pub stage_delay: (Duration, Duration),
+    /// Probability a product drops out after each stage.
+    pub dropout_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QcConfig {
+    fn default() -> Self {
+        QcConfig {
+            products: 200,
+            entry_period: Duration::from_secs(2),
+            stage_delay: (Duration::from_secs(5), Duration::from_secs(30)),
+            dropout_prob: 0.05,
+            seed: 1,
+        }
+    }
+}
+
+/// Generated workload.
+#[derive(Debug)]
+pub struct QcWorkload {
+    /// Per-checkpoint reading feeds (`feeds[i]` = stream Ci+1), each
+    /// time-ordered.
+    pub feeds: [Vec<Reading>; STAGES],
+    /// Tags that completed all four checks, with their completion times.
+    pub completed: Vec<(String, Timestamp)>,
+    /// End-to-end spans of completed products (for window sweeps: a
+    /// window shorter than a product's span must reject it).
+    pub spans: Vec<Duration>,
+}
+
+/// Generate the workload.
+pub fn generate(cfg: &QcConfig) -> QcWorkload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut feeds: [Vec<Reading>; STAGES] = Default::default();
+    let mut completed = Vec::new();
+    let mut spans = Vec::new();
+    for p in 0..cfg.products {
+        let tag = format!("prod-{p}");
+        let start = Timestamp::from_secs(1) + Duration::from_micros(
+            p as u64 * cfg.entry_period.as_micros(),
+        );
+        let mut t = start;
+        let mut done = 0;
+        for (stage, feed) in feeds.iter_mut().enumerate() {
+            feed.push(Reading::new(format!("C{}", stage + 1), &tag, t));
+            done += 1;
+            if stage + 1 < STAGES {
+                if rng.gen_bool(cfg.dropout_prob) {
+                    break;
+                }
+                let lo = cfg.stage_delay.0.as_micros();
+                let hi = cfg.stage_delay.1.as_micros().max(lo + 1);
+                t += Duration::from_micros(rng.gen_range(lo..hi));
+            }
+        }
+        if done == STAGES {
+            completed.push((tag, t));
+            spans.push(t - start);
+        }
+    }
+    for feed in &mut feeds {
+        feed.sort_by_key(|r| r.ts);
+    }
+    QcWorkload {
+        feeds,
+        completed,
+        spans,
+    }
+}
+
+/// The worked joint history of §3.1.1 as `(port, reading)` pairs:
+/// `[t1:C1, t2:C1, t3:C2, t4:C3, t5:C3, t6:C2, t7:C4]`, all for one tag.
+pub fn worked_history() -> Vec<(usize, Reading)> {
+    let spec: [(usize, u64); 7] = [(0, 1), (0, 2), (1, 3), (2, 4), (2, 5), (1, 6), (3, 7)];
+    spec.iter()
+        .map(|(port, secs)| {
+            (
+                *port,
+                Reading::new(
+                    format!("C{}", port + 1),
+                    "prod-x",
+                    Timestamp::from_secs(*secs),
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_truth_consistent() {
+        let cfg = QcConfig::default();
+        let w = generate(&cfg);
+        // Every completed tag appears exactly once in each feed.
+        for (tag, _) in &w.completed {
+            for feed in &w.feeds {
+                assert_eq!(feed.iter().filter(|r| &r.tag == tag).count(), 1);
+            }
+        }
+        // Dropouts are visible: feed sizes strictly decrease in
+        // expectation with 5% dropout over 200 products.
+        assert_eq!(w.feeds[0].len(), 200);
+        assert!(w.feeds[3].len() < 200);
+        assert_eq!(w.feeds[3].len(), w.completed.len());
+        assert_eq!(w.spans.len(), w.completed.len());
+    }
+
+    #[test]
+    fn zero_dropout_completes_all() {
+        let w = generate(&QcConfig {
+            dropout_prob: 0.0,
+            products: 50,
+            ..QcConfig::default()
+        });
+        assert_eq!(w.completed.len(), 50);
+    }
+
+    #[test]
+    fn stage_order_per_product() {
+        let w = generate(&QcConfig::default());
+        for (tag, _) in &w.completed {
+            let times: Vec<Timestamp> = w
+                .feeds
+                .iter()
+                .map(|f| f.iter().find(|r| &r.tag == tag).unwrap().ts)
+                .collect();
+            assert!(times.windows(2).all(|p| p[0] < p[1]), "stages ordered");
+        }
+    }
+
+    #[test]
+    fn spans_within_configured_bounds() {
+        let cfg = QcConfig::default();
+        let w = generate(&cfg);
+        for s in &w.spans {
+            assert!(*s >= Duration::from_secs(15)); // 3 × 5 s minimum
+            assert!(*s <= Duration::from_secs(90)); // 3 × 30 s maximum
+        }
+    }
+
+    #[test]
+    fn worked_history_shape() {
+        let h = worked_history();
+        assert_eq!(h.len(), 7);
+        assert_eq!(h[0].1.reader, "C1");
+        assert_eq!(h[6].0, 3);
+        assert_eq!(h[6].1.ts, Timestamp::from_secs(7));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = QcConfig::default();
+        let (a, b) = (generate(&cfg), generate(&cfg));
+        assert_eq!(a.feeds[0], b.feeds[0]);
+        assert_eq!(a.completed, b.completed);
+    }
+}

@@ -1,0 +1,200 @@
+//! §2.1 sensor workload: patient vital signs associated with RFID
+//! identification.
+//!
+//! "We may need to ... monitor the max/min blood pressure of a patient
+//! throughout the day. (The blood pressure itself is not RFID data, but
+//! it can be sensor data that are associated with the RFID
+//! identifications.)" — the generator produces per-patient blood-pressure
+//! streams with injected hypertensive episodes as ground truth.
+
+use eslev_dsms::time::{Duration, Timestamp};
+use eslev_dsms::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One sensor reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VitalsReading {
+    /// Patient's wristband tag.
+    pub patient: String,
+    /// Systolic blood pressure (mmHg).
+    pub bp: i64,
+    /// Measurement time.
+    pub ts: Timestamp,
+}
+
+impl VitalsReading {
+    /// Row for a `vitals(patient VARCHAR, bp INT, t TIMESTAMP)` stream.
+    pub fn to_values(&self) -> Vec<Value> {
+        vec![
+            Value::str(&self.patient),
+            Value::Int(self.bp),
+            Value::Ts(self.ts),
+        ]
+    }
+}
+
+/// A ground-truth hypertensive episode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Episode {
+    /// Which patient.
+    pub patient: String,
+    /// First reading above the threshold.
+    pub start: Timestamp,
+    /// Readings in the episode.
+    pub readings: usize,
+    /// Peak pressure reached.
+    pub peak: i64,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct VitalsConfig {
+    /// Number of patients.
+    pub patients: usize,
+    /// Readings per patient.
+    pub readings_per_patient: usize,
+    /// Gap between a patient's consecutive readings.
+    pub period: Duration,
+    /// Baseline systolic pressure range (uniform).
+    pub baseline: (i64, i64),
+    /// Episode threshold: readings ≥ this count as hypertensive.
+    pub threshold: i64,
+    /// Probability a reading starts an episode.
+    pub episode_prob: f64,
+    /// Episode length range (readings).
+    pub episode_len: (usize, usize),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VitalsConfig {
+    fn default() -> Self {
+        VitalsConfig {
+            patients: 5,
+            readings_per_patient: 500,
+            period: Duration::from_secs(60),
+            baseline: (100, 135),
+            threshold: 160,
+            episode_prob: 0.01,
+            episode_len: (3, 8),
+            seed: 1,
+        }
+    }
+}
+
+/// Generated workload.
+#[derive(Debug)]
+pub struct VitalsWorkload {
+    /// Time-ordered readings across all patients.
+    pub readings: Vec<VitalsReading>,
+    /// Ground-truth episodes, in start order.
+    pub episodes: Vec<Episode>,
+}
+
+/// Generate the workload.
+pub fn generate(cfg: &VitalsConfig) -> VitalsWorkload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut readings = Vec::new();
+    let mut episodes = Vec::new();
+    for p in 0..cfg.patients {
+        let patient = format!("patient-{p}");
+        // Stagger patients so the merged feed interleaves.
+        let mut t = Timestamp::from_secs(1) + Duration::from_secs(7 * p as u64);
+        let mut i = 0;
+        while i < cfg.readings_per_patient {
+            if rng.gen_bool(cfg.episode_prob)
+                && i + cfg.episode_len.1 < cfg.readings_per_patient
+            {
+                // An episode: pressures above threshold, then recovery.
+                let len = rng.gen_range(cfg.episode_len.0..=cfg.episode_len.1);
+                let mut peak = 0;
+                let start = t;
+                for _ in 0..len {
+                    let bp = rng.gen_range(cfg.threshold..cfg.threshold + 40);
+                    peak = peak.max(bp);
+                    readings.push(VitalsReading {
+                        patient: patient.clone(),
+                        bp,
+                        ts: t,
+                    });
+                    t += cfg.period;
+                    i += 1;
+                }
+                episodes.push(Episode {
+                    patient: patient.clone(),
+                    start,
+                    readings: len,
+                    peak,
+                });
+            } else {
+                readings.push(VitalsReading {
+                    patient: patient.clone(),
+                    bp: rng.gen_range(cfg.baseline.0..=cfg.baseline.1),
+                    ts: t,
+                });
+                t += cfg.period;
+                i += 1;
+            }
+        }
+    }
+    readings.sort_by_key(|r| r.ts);
+    episodes.sort_by_key(|e| e.start);
+    VitalsWorkload { readings, episodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episodes_are_exactly_the_above_threshold_runs() {
+        let cfg = VitalsConfig::default();
+        let w = generate(&cfg);
+        // Recount per patient: consecutive ≥-threshold runs.
+        let mut recount = 0;
+        for p in 0..cfg.patients {
+            let patient = format!("patient-{p}");
+            let mut in_run = false;
+            for r in w.readings.iter().filter(|r| r.patient == patient) {
+                let high = r.bp >= cfg.threshold;
+                if high && !in_run {
+                    recount += 1;
+                }
+                in_run = high;
+            }
+        }
+        assert_eq!(recount, w.episodes.len());
+        assert!(!w.episodes.is_empty(), "default config produces episodes");
+        // Baseline readings never cross the threshold.
+        assert!(w
+            .episodes
+            .iter()
+            .all(|e| e.peak >= cfg.threshold && e.readings >= cfg.episode_len.0));
+    }
+
+    #[test]
+    fn feed_ordered_and_deterministic() {
+        let cfg = VitalsConfig::default();
+        let w = generate(&cfg);
+        assert!(w.readings.windows(2).all(|p| p[0].ts <= p[1].ts));
+        assert_eq!(w.readings, generate(&cfg).readings);
+    }
+
+    #[test]
+    fn per_patient_counts() {
+        let cfg = VitalsConfig {
+            patients: 3,
+            readings_per_patient: 100,
+            ..VitalsConfig::default()
+        };
+        let w = generate(&cfg);
+        for p in 0..3 {
+            let patient = format!("patient-{p}");
+            assert_eq!(
+                w.readings.iter().filter(|r| r.patient == patient).count(),
+                100
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Patient monitoring (§2.1's data aggregation + ad-hoc query tasks):
+//! RFID-associated blood-pressure streams, a windowed MAX per patient, a
+//! hypertension alert transducer, and the physician's *ad-hoc snapshot
+//! query* against a materialized window — no persistent store involved.
+//!
+//! Run with: `cargo run --example patient_monitoring`
+
+use eslev::prelude::*;
+use eslev::rfid::scenario::vitals::{self, VitalsConfig};
+
+fn main() -> Result<(), DsmsError> {
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM vitals (patient VARCHAR, bp INT, t TIMESTAMP);
+         CREATE STREAM hypertension_alerts (patient VARCHAR, bp INT, t TIMESTAMP);",
+    )?;
+
+    // Continuous alerting: raise a row whenever a reading crosses 160.
+    execute(
+        &mut engine,
+        "INSERT INTO hypertension_alerts
+         SELECT patient, bp, t FROM vitals WHERE bp >= 160",
+    )?;
+
+    // Rolling per-patient maximum over the last 10 minutes.
+    let rolling = execute(
+        &mut engine,
+        "SELECT patient, max(bp) FROM vitals OVER (RANGE 10 MINUTES PRECEDING CURRENT)
+         GROUP BY patient",
+    )?;
+    let rolling_rows = rolling.collector().expect("collected").clone();
+
+    // Materialize the last 30 minutes for ad-hoc questions.
+    engine.materialize("vitals", WindowExtent::Preceding(Duration::from_mins(30)))?;
+
+    // Feed the simulated ward.
+    let cfg = VitalsConfig::default();
+    let w = vitals::generate(&cfg);
+    for r in &w.readings {
+        engine.push("vitals", r.to_values())?;
+    }
+
+    let alerts = engine.stream_pushed("hypertension_alerts")?;
+    let truth_high: usize = w.episodes.iter().map(|e| e.readings).sum();
+    println!("patients                  : {}", cfg.patients);
+    println!("readings                  : {}", w.readings.len());
+    println!("hypertensive episodes     : {}", w.episodes.len());
+    println!("readings above threshold  : {truth_high}");
+    println!("alert rows emitted        : {alerts}");
+    assert_eq!(alerts as usize, truth_high);
+
+    // The physician asks, right now: what's patient-2's recent picture?
+    let snapshot = ad_hoc(
+        &engine,
+        "SELECT count(bp), max(bp), avg(bp) FROM vitals WHERE patient = 'patient-2'",
+    )?;
+    let row = &snapshot[0];
+    println!(
+        "ad-hoc patient-2 (last 30 min): {} readings, max {}, avg {:.1}",
+        row.value(0),
+        row.value(1),
+        row.value(2).as_float().unwrap_or(0.0)
+    );
+    assert!(row.value(0).as_int().unwrap_or(0) > 0);
+
+    // And the rolling MAX stream saw every episode peak.
+    let peaks: std::collections::HashMap<String, i64> = rolling_rows
+        .take()
+        .iter()
+        .filter_map(|r| {
+            Some((
+                r.value(0).as_str()?.to_string(),
+                r.value(1).as_int()?,
+            ))
+        })
+        .fold(std::collections::HashMap::new(), |mut m, (p, v)| {
+            let e = m.entry(p).or_insert(0);
+            *e = (*e).max(v);
+            m
+        });
+    let global_peak_truth = w.episodes.iter().map(|e| e.peak).max().unwrap_or(0);
+    let global_peak_seen = peaks.values().copied().max().unwrap_or(0);
+    println!("episode peak (truth/seen) : {global_peak_truth} / {global_peak_seen}");
+    assert_eq!(global_peak_truth, global_peak_seen);
+
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! The ESL-EV interactive shell.
+//!
+//! ```text
+//! $ cargo run --bin eslev
+//! eslev> CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+//! eslev> .scenario packing 50
+//! eslev> SELECT COUNT(R1*), R2.tagid FROM R1, R2 WHERE SEQ(R1*, R2) MODE CHRONICLE;
+//! eslev> .poll 0
+//! ```
+//!
+//! All logic lives in [`eslev::repl`]; this binary is the stdin loop.
+
+use eslev::repl::Repl;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut repl = Repl::new();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!("ESL-EV shell — .help for commands, .quit to exit");
+    print!("eslev> ");
+    let _ = stdout.flush();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if trimmed == ".quit" || trimmed == ".exit" {
+            println!("bye.");
+            break;
+        }
+        let out = repl.line(&line);
+        if !out.is_empty() {
+            print!("{out}");
+            if !out.ends_with('\n') {
+                println!();
+            }
+        }
+        print!("eslev> ");
+        let _ = stdout.flush();
+    }
+}

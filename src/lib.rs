@@ -1,0 +1,68 @@
+//! # eslev — ESL-EV: RFID stream processing with temporal event detection
+//!
+//! A full reproduction of *RFID Data Processing with a Data Stream Query
+//! Language* (Bai, Wang, Liu, Zaniolo, Liu — ICDE 2007): a DSMS with a
+//! SQL-based continuous query language extended with the ESL-EV temporal
+//! event operators — `SEQ`, star sequences, `EXCEPTION_SEQ` /
+//! `CLEVEL_SEQ`, Tuple Pairing Modes, and the paper's sliding-window
+//! extensions.
+//!
+//! This crate is the facade: it re-exports the workspace layers.
+//!
+//! | Layer | Crate | What it is |
+//! |---|---|---|
+//! | [`dsms`] | `eslev-dsms` | the stream engine substrate (tuples, windows, operators, tables, UDAs/UDFs) |
+//! | [`core`] | `eslev-core` | the paper's contribution: temporal event detection |
+//! | [`rfid`] | `eslev-rfid` | EPC codec, ALE patterns, simulated readers, scenario workloads |
+//! | [`lang`] | `eslev-lang` | the ESL-EV SQL dialect: parser + planner |
+//! | [`baseline`] | `eslev-baseline` | RCEDA-style event-graph engine and naive-join comparators |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eslev::prelude::*;
+//!
+//! let mut engine = Engine::new();
+//! eslev::rfid::epc::register_epc_udfs(engine.functions_mut());
+//! execute_script(
+//!     &mut engine,
+//!     "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);",
+//! )
+//! .unwrap();
+//! let query = execute(
+//!     &mut engine,
+//!     "SELECT count(tag_id) FROM readings WHERE tag_id LIKE '20.%.%'",
+//! )
+//! .unwrap();
+//! let rows = query.collector().unwrap().clone();
+//! engine
+//!     .push(
+//!         "readings",
+//!         vec![
+//!             Value::str("dock-1"),
+//!             Value::str("20.17.5001"),
+//!             Value::Ts(Timestamp::from_secs(1)),
+//!         ],
+//!     )
+//!     .unwrap();
+//! assert_eq!(rows.take()[0].value(0), &Value::Int(1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod repl;
+
+pub use eslev_baseline as baseline;
+pub use eslev_core as core;
+pub use eslev_dsms as dsms;
+pub use eslev_lang as lang;
+pub use eslev_rfid as rfid;
+
+/// Everything a typical application needs.
+pub mod prelude {
+    pub use eslev_core::prelude::*;
+    pub use eslev_dsms::prelude::*;
+    pub use eslev_lang::prelude::*;
+    pub use eslev_rfid::prelude::*;
+}

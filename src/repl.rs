@@ -1,0 +1,604 @@
+//! The interactive ESL-EV shell (see `src/bin/eslev.rs`).
+//!
+//! A line-oriented REPL over one [`Engine`]: SQL statements end with `;`
+//! and execute through the language front-end; `?`-prefixed queries run
+//! as ad-hoc snapshot queries; `.`-commands drive simulation — feeding
+//! scenario workloads, advancing stream time, materializing windows and
+//! inspecting query state. The logic lives here (library) so tests can
+//! drive the shell without a subprocess.
+
+use crate::prelude::*;
+use eslev_dsms::engine::QueryStats;
+use std::fmt::Write as _;
+
+/// REPL state: the engine plus collectors of registered SELECTs.
+pub struct Repl {
+    engine: Engine,
+    /// `(query name, collector)` for bare SELECTs, in registration order.
+    collectors: Vec<(String, Collector)>,
+    /// Partial statement buffer (until `;`).
+    pending: String,
+}
+
+impl Default for Repl {
+    fn default() -> Self {
+        Repl::new()
+    }
+}
+
+impl Repl {
+    /// Fresh shell with EPC UDFs pre-registered.
+    pub fn new() -> Repl {
+        let mut engine = Engine::new();
+        register_epc_udfs(engine.functions_mut());
+        register_epc_match_udf(engine.functions_mut());
+        Repl {
+            engine,
+            collectors: Vec::new(),
+            pending: String::new(),
+        }
+    }
+
+    /// Access to the underlying engine (tests).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Feed one input line; returns the text to print (possibly empty,
+    /// e.g. while a multi-line statement is still open).
+    pub fn line(&mut self, input: &str) -> String {
+        let trimmed = input.trim();
+        if trimmed.is_empty() {
+            return String::new();
+        }
+        if self.pending.is_empty() {
+            if let Some(cmd) = trimmed.strip_prefix('.') {
+                return self.command(cmd);
+            }
+            if let Some(q) = trimmed.strip_prefix('?') {
+                return self.ad_hoc(q);
+            }
+        }
+        self.pending.push_str(input);
+        self.pending.push('\n');
+        if !trimmed.ends_with(';') {
+            return String::new();
+        }
+        let stmt = std::mem::take(&mut self.pending);
+        self.execute(&stmt)
+    }
+
+    fn execute(&mut self, sql: &str) -> String {
+        match execute_script(&mut self.engine, sql) {
+            Err(e) => format!("error: {e}"),
+            Ok(outcomes) => {
+                let mut out = String::new();
+                for o in outcomes {
+                    match o {
+                        ExecOutcome::Created => out.push_str("created.\n"),
+                        ExecOutcome::Modified(n) => {
+                            let _ = writeln!(out, "{n} rows modified.");
+                        }
+                        ExecOutcome::Registered(_) => {
+                            out.push_str("continuous query registered.\n")
+                        }
+                        ExecOutcome::Collected(id, c) => {
+                            let name = self.engine.query_name(id).to_string();
+                            let _ = writeln!(
+                                out,
+                                "collecting query #{} ({name}); read it with .poll {}",
+                                self.collectors.len(),
+                                self.collectors.len()
+                            );
+                            self.collectors.push((name, c));
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    fn ad_hoc(&mut self, sql: &str) -> String {
+        match ad_hoc(&self.engine, sql) {
+            Err(e) => format!("error: {e}"),
+            Ok(rows) => render_rows(&rows),
+        }
+    }
+
+    fn command(&mut self, cmd: &str) -> String {
+        let mut parts = cmd.split_whitespace();
+        let verb = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        match verb {
+            "help" => HELP.to_string(),
+            "stats" => render_stats(&self.engine.query_stats()),
+            "advance" => match args.first().and_then(|s| s.parse::<u64>().ok()) {
+                Some(secs) => {
+                    let target = self.engine.now() + Duration::from_secs(secs);
+                    match self.engine.advance_to(target) {
+                        Ok(()) => format!("stream time advanced to {target}"),
+                        Err(e) => format!("error: {e}"),
+                    }
+                }
+                None => "usage: .advance <seconds>".to_string(),
+            },
+            "materialize" => match (args.first(), args.get(1).and_then(|s| s.parse::<u64>().ok())) {
+                (Some(stream), Some(secs)) => match self
+                    .engine
+                    .materialize(stream, WindowExtent::Preceding(Duration::from_secs(secs)))
+                {
+                    Ok(_) => format!("materialized `{stream}` over the last {secs} s; query it with ?SELECT ..."),
+                    Err(e) => format!("error: {e}"),
+                },
+                _ => "usage: .materialize <stream> <seconds>".to_string(),
+            },
+            "poll" => {
+                let idx = args.first().and_then(|s| s.parse::<usize>().ok());
+                match idx {
+                    Some(i) => match self.collectors.get(i) {
+                        Some((name, c)) => {
+                            let rows = c.take();
+                            format!("{name}: {} new rows\n{}", rows.len(), render_rows(&rows))
+                        }
+                        None => format!("no collected query #{i}"),
+                    },
+                    None => {
+                        let mut out = String::new();
+                        for (i, (name, c)) in self.collectors.iter().enumerate() {
+                            let _ = writeln!(out, "#{i} {name}: {} rows pending", c.len());
+                        }
+                        if out.is_empty() {
+                            out.push_str("no collected queries.\n");
+                        }
+                        out
+                    }
+                }
+            }
+            "feed" => match (args.first(), args.get(1)) {
+                (Some(stream), Some(path)) => self.feed_csv(stream, path),
+                _ => "usage: .feed <stream> <file.csv>   (columns in schema order;                       TIMESTAMP columns as seconds, e.g. 12.5)"
+                    .to_string(),
+            },
+            "scenario" => self.scenario(&args),
+            "quit" | "exit" => "bye.".to_string(),
+            other => format!("unknown command `.{other}` — try .help"),
+        }
+    }
+
+    /// Generate and feed a named scenario workload; creates the streams
+    /// the scenario needs when absent.
+    fn scenario(&mut self, args: &[&str]) -> String {
+        use crate::rfid::scenario as sc;
+        let Some(name) = args.first() else {
+            return "usage: .scenario <dedup|packing|clinic|door|qc|tracking|vitals> [n]"
+                .to_string();
+        };
+        let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+        // Re-running a scenario must not rewind stream time: shift every
+        // generated timestamp past the engine's current high-water mark.
+        let base = Duration::from_micros(self.engine.now().as_micros());
+        let shift = move |ts: Timestamp| ts + base;
+        let ensure = |engine: &mut Engine, ddl: &str| -> Result<(), DsmsError> {
+            for stmt in ddl.split(';').filter(|s| !s.trim().is_empty()) {
+                // Ignore duplicate-name errors so scenarios re-run.
+                match execute(engine, stmt) {
+                    Ok(_) => {}
+                    Err(DsmsError::Duplicate(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        };
+        let result: Result<String, DsmsError> = (|| match *name {
+            "dedup" => {
+                ensure(
+                    &mut self.engine,
+                    "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP)",
+                )?;
+                let w = sc::dedup::generate(&sc::dedup::DedupConfig {
+                    presences: n,
+                    ..Default::default()
+                });
+                for r in &w.readings {
+                    self.engine.push(
+                        "readings",
+                        vec![
+                            Value::str(&r.reader),
+                            Value::str(&r.tag),
+                            Value::Ts(shift(r.ts)),
+                        ],
+                    )?;
+                }
+                Ok(format!(
+                    "fed {} raw readings ({} physical presences) into `readings`",
+                    w.readings.len(),
+                    w.unique_presences
+                ))
+            }
+            "packing" => {
+                ensure(
+                    &mut self.engine,
+                    "CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+                     CREATE STREAM R2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP)",
+                )?;
+                let w = sc::packing::generate(&sc::packing::PackingConfig {
+                    cases: n,
+                    ..Default::default()
+                });
+                let feed = merge_feeds(vec![
+                    ("r1".into(), w.products.clone()),
+                    ("r2".into(), w.cases.clone()),
+                ]);
+                for item in &feed {
+                    self.engine.push(
+                        &item.stream,
+                        vec![
+                            Value::str(&item.reading.reader),
+                            Value::str(&item.reading.tag),
+                            Value::Ts(shift(item.reading.ts)),
+                        ],
+                    )?;
+                }
+                Ok(format!(
+                    "fed {} product + {} case readings into `R1`/`R2` ({} cases of truth)",
+                    w.products.len(),
+                    w.cases.len(),
+                    w.truth.len()
+                ))
+            }
+            "clinic" => {
+                ensure(
+                    &mut self.engine,
+                    "CREATE STREAM A1 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+                     CREATE STREAM A2 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+                     CREATE STREAM A3 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP)",
+                )?;
+                let w = sc::clinic::generate(&sc::clinic::ClinicConfig {
+                    runs: n,
+                    ..Default::default()
+                });
+                let streams = ["a1", "a2", "a3"];
+                for (port, r) in &w.feed {
+                    self.engine.push(
+                        streams[*port],
+                        vec![
+                            Value::str(&r.reader),
+                            Value::str(&r.tag),
+                            Value::Ts(shift(r.ts)),
+                        ],
+                    )?;
+                }
+                Ok(format!(
+                    "fed {} operations ({} runs, {} violations) into `A1`/`A2`/`A3`; \
+                     .advance past the deadline to flush timeouts",
+                    w.feed.len(),
+                    w.truth.len(),
+                    w.violations
+                ))
+            }
+            "door" => {
+                ensure(
+                    &mut self.engine,
+                    "CREATE STREAM tag_readings (tagid VARCHAR, tagtype VARCHAR, tagtime TIMESTAMP)",
+                )?;
+                let w = sc::door::generate(&sc::door::DoorConfig {
+                    item_exits: n,
+                    ..Default::default()
+                });
+                for r in &w.readings {
+                    self.engine.push(
+                        "tag_readings",
+                        vec![
+                            Value::str(&r.tag),
+                            Value::str(r.tagtype),
+                            Value::Ts(shift(r.ts)),
+                        ],
+                    )?;
+                }
+                Ok(format!(
+                    "fed {} door readings ({} thefts of truth) into `tag_readings`",
+                    w.readings.len(),
+                    w.thefts.len()
+                ))
+            }
+            "qc" => {
+                ensure(
+                    &mut self.engine,
+                    "CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+                     CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+                     CREATE STREAM C3 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+                     CREATE STREAM C4 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP)",
+                )?;
+                let w = sc::qc_line::generate(&sc::qc_line::QcConfig {
+                    products: n,
+                    ..Default::default()
+                });
+                let feeds: Vec<(String, Vec<Reading>)> = w
+                    .feeds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| (format!("c{}", i + 1), f.clone()))
+                    .collect();
+                for item in merge_feeds(feeds) {
+                    self.engine.push(
+                        &item.stream,
+                        vec![
+                            Value::str(&item.reading.reader),
+                            Value::str(&item.reading.tag),
+                            Value::Ts(shift(item.reading.ts)),
+                        ],
+                    )?;
+                }
+                Ok(format!(
+                    "fed the QC line ({} products, {} completed) into `C1`..`C4`",
+                    n,
+                    w.completed.len()
+                ))
+            }
+            "tracking" => {
+                ensure(
+                    &mut self.engine,
+                    "CREATE STREAM tag_locations (readerid VARCHAR, tid VARCHAR, tagtime TIMESTAMP, loc VARCHAR)",
+                )?;
+                let w = sc::tracking::generate(&sc::tracking::TrackingConfig::default());
+                for r in &w.readings {
+                    self.engine.push(
+                        "tag_locations",
+                        vec![
+                            Value::str(&r.reader),
+                            Value::str(&r.tag),
+                            Value::Ts(shift(r.ts)),
+                            Value::str(&r.location),
+                        ],
+                    )?;
+                }
+                Ok(format!(
+                    "fed {} location readings ({} distinct pairs) into `tag_locations`",
+                    w.readings.len(),
+                    w.distinct_pairs
+                ))
+            }
+            "vitals" => {
+                ensure(
+                    &mut self.engine,
+                    "CREATE STREAM vitals (patient VARCHAR, bp INT, t TIMESTAMP)",
+                )?;
+                let w = sc::vitals::generate(&sc::vitals::VitalsConfig::default());
+                for r in &w.readings {
+                    self.engine.push(
+                        "vitals",
+                        vec![
+                            Value::str(&r.patient),
+                            Value::Int(r.bp),
+                            Value::Ts(shift(r.ts)),
+                        ],
+                    )?;
+                }
+                Ok(format!(
+                    "fed {} vitals readings ({} episodes) into `vitals`",
+                    w.readings.len(),
+                    w.episodes.len()
+                ))
+            }
+            other => Ok(format!("unknown scenario `{other}` — try .help")),
+        })();
+        match result {
+            Ok(s) => s,
+            Err(e) => format!("error: {e}"),
+        }
+    }
+}
+
+impl Repl {
+    /// Feed a headerless CSV file into a stream: one reading per line,
+    /// columns in schema order, TIMESTAMP columns given in (fractional)
+    /// seconds. Lines starting with `#` are skipped.
+    fn feed_csv(&mut self, stream: &str, path: &str) -> String {
+        let schema = match self.engine.stream_schema(stream) {
+            Ok(s) => s,
+            Err(e) => return format!("error: {e}"),
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return format!("error: cannot read `{path}`: {e}"),
+        };
+        let mut pushed = 0usize;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            if fields.len() != schema.arity() {
+                return format!(
+                    "error: line {}: expected {} fields, got {} (pushed {pushed} rows)",
+                    lineno + 1,
+                    schema.arity(),
+                    fields.len()
+                );
+            }
+            let mut values = Vec::with_capacity(fields.len());
+            for (f, col) in fields.iter().zip(&schema.columns) {
+                let v = match col.ty {
+                    ValueType::Str => Ok(Value::str(*f)),
+                    ValueType::Int => f.parse::<i64>().map(Value::Int).map_err(|e| e.to_string()),
+                    ValueType::Float => {
+                        f.parse::<f64>().map(Value::Float).map_err(|e| e.to_string())
+                    }
+                    ValueType::Bool => f.parse::<bool>().map(Value::Bool).map_err(|e| e.to_string()),
+                    ValueType::Ts => f
+                        .parse::<f64>()
+                        .map(|secs| Value::Ts(Timestamp::from_micros((secs * 1e6) as u64)))
+                        .map_err(|e| e.to_string()),
+                    ValueType::Null => Ok(Value::Null),
+                };
+                match v {
+                    Ok(v) => values.push(v),
+                    Err(e) => {
+                        return format!(
+                            "error: line {}: bad `{}` for column {}: {e} (pushed {pushed} rows)",
+                            lineno + 1,
+                            f,
+                            col.name
+                        )
+                    }
+                }
+            }
+            if let Err(e) = self.engine.push(stream, values) {
+                return format!(
+                    "error: line {}: {e} (pushed {pushed} rows)",
+                    lineno + 1
+                );
+            }
+            pushed += 1;
+        }
+        format!("fed {pushed} rows from `{path}` into `{stream}`")
+    }
+}
+
+fn render_rows(rows: &[Tuple]) -> String {
+    let mut out = String::new();
+    for r in rows.iter().take(50) {
+        let _ = writeln!(out, "{r}");
+    }
+    if rows.len() > 50 {
+        let _ = writeln!(out, "... ({} more rows)", rows.len() - 50);
+    }
+    out
+}
+
+fn render_stats(stats: &[QueryStats]) -> String {
+    let mut out = String::new();
+    for s in stats {
+        let _ = writeln!(
+            out,
+            "{} {:<32} emitted={:<8} retained={}",
+            if s.active { "live" } else { "dead" },
+            s.name,
+            s.emitted,
+            s.retained
+        );
+    }
+    if out.is_empty() {
+        out.push_str("no queries registered.\n");
+    }
+    out
+}
+
+const HELP: &str = r#"ESL-EV shell:
+  <SQL statement>;           run a CREATE / INSERT INTO / SELECT statement
+                             (bare SELECTs collect; read them with .poll)
+  ?SELECT ...                one-shot ad-hoc snapshot query
+                             (needs a table or a .materialize'd stream)
+  .feed <stream> <file.csv>  feed a headerless CSV (cols in schema order,
+                             TIMESTAMP columns as fractional seconds)
+  .scenario <name> [n]       feed a simulated workload:
+                             dedup | packing | clinic | door | qc | tracking | vitals
+  .advance <seconds>         advance stream time (fires window expirations)
+  .materialize <stream> <s>  keep the last <s> seconds queryable via ?SELECT
+  .poll [i]                  drain collected rows of query i (or list all)
+  .stats                     per-query emitted/retained counters
+  .help                      this text
+  .quit                      exit
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let mut r = Repl::new();
+        assert!(r.line(".help").contains(".scenario"));
+        assert!(r.line(".bogus").contains("unknown command"));
+        assert!(r.line("").is_empty());
+    }
+
+    #[test]
+    fn ddl_query_feed_poll_cycle() {
+        let mut r = Repl::new();
+        let out = r.line(
+            "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);",
+        );
+        assert!(out.contains("created"), "{out}");
+        // Multi-line statement.
+        assert!(r.line("SELECT tag_id FROM readings").is_empty());
+        let out = r.line("WHERE reader_id = 'gate-reader';");
+        assert!(out.contains(".poll 0"), "{out}");
+        let out = r.line(".scenario dedup 50");
+        assert!(out.contains("physical presences"), "{out}");
+        let out = r.line(".poll 0");
+        assert!(out.contains("new rows"), "{out}");
+        assert!(out.contains("tag-"), "{out}");
+    }
+
+    #[test]
+    fn adhoc_and_materialize() {
+        let mut r = Repl::new();
+        r.line("CREATE STREAM vitals (patient VARCHAR, bp INT, t TIMESTAMP);");
+        let out = r.line("?SELECT * FROM vitals");
+        assert!(out.contains("materialize"), "{out}");
+        let out = r.line(".materialize vitals 3600");
+        assert!(out.contains("materialized"), "{out}");
+        r.line(".scenario vitals");
+        let out = r.line("?SELECT count(bp) FROM vitals");
+        assert!(!out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn scenario_reruns_without_duplicate_errors() {
+        let mut r = Repl::new();
+        assert!(!r.line(".scenario packing 10").contains("error"));
+        assert!(!r.line(".scenario packing 10").contains("error"));
+    }
+
+    #[test]
+    fn advance_and_stats() {
+        let mut r = Repl::new();
+        r.line("CREATE STREAM s (tagid VARCHAR, t TIMESTAMP);");
+        r.line("SELECT tagid FROM s;");
+        let out = r.line(".advance 60");
+        assert!(out.contains("advanced"), "{out}");
+        let out = r.line(".stats");
+        assert!(out.contains("live"), "{out}");
+    }
+
+    #[test]
+    fn feed_csv_round_trip() {
+        let mut r = Repl::new();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        r.line("SELECT tag_id FROM readings;");
+        let dir = std::env::temp_dir().join("eslev-test-feed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("readings.csv");
+        std::fs::write(
+            &path,
+            "# reader, tag, seconds\ngate,tag-1,1.5\ngate,tag-2,2.25\n",
+        )
+        .unwrap();
+        let out = r.line(&format!(".feed readings {}", path.display()));
+        assert!(out.contains("fed 2 rows"), "{out}");
+        let out = r.line(".poll 0");
+        assert!(out.contains("tag-1") && out.contains("tag-2"), "{out}");
+        // Bad arity reported with line number.
+        std::fs::write(&path, "only-two,fields\n").unwrap();
+        let out = r.line(&format!(".feed readings {}", path.display()));
+        assert!(out.contains("line 1"), "{out}");
+        // Missing file / unknown stream.
+        assert!(r.line(".feed readings /no/such/file.csv").contains("error"));
+        assert!(r
+            .line(&format!(".feed ghost {}", path.display()))
+            .contains("error"));
+    }
+
+    #[test]
+    fn sql_errors_are_reported_inline() {
+        let mut r = Repl::new();
+        let out = r.line("SELECT * FROM missing;");
+        assert!(out.starts_with("error:"), "{out}");
+        // The shell recovers for the next statement.
+        let out = r.line("CREATE STREAM s (tagid VARCHAR, t TIMESTAMP);");
+        assert!(out.contains("created"), "{out}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Differential testing: the same detection computed through the
+//! language front-end and through the direct core API must agree, across
+//! randomized workloads (seed sweep — deterministic per seed).
+
+use eslev::prelude::*;
+use eslev::rfid::scenario::{packing, qc_line};
+
+/// Containment (Example 7): SQL plan vs hand-built detector.
+#[test]
+fn containment_sql_equals_direct_api() {
+    for seed in 1..=8u64 {
+        let cfg = packing::PackingConfig {
+            cases: 60,
+            overlap: seed % 2 == 0,
+            seed,
+            ..packing::PackingConfig::default()
+        };
+        let w = packing::generate(&cfg);
+        let feed = merge_feeds(vec![
+            ("r1".into(), w.products.clone()),
+            ("r2".into(), w.cases.clone()),
+        ]);
+
+        // Through SQL.
+        let mut engine = Engine::new();
+        execute_script(
+            &mut engine,
+            "CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+             CREATE STREAM R2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+        )
+        .unwrap();
+        let q = execute(
+            &mut engine,
+            "SELECT COUNT(R1*), R2.tagid FROM R1, R2
+             WHERE SEQ(R1*, R2) MODE CHRONICLE
+             AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+             AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS",
+        )
+        .unwrap();
+        let collected = q.collector().unwrap().clone();
+        for item in &feed {
+            engine.push(&item.stream, item.reading.to_values()).unwrap();
+        }
+        let via_sql: Vec<(i64, String)> = collected
+            .take()
+            .iter()
+            .map(|r| {
+                (
+                    r.value(0).as_int().unwrap(),
+                    r.value(1).as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+
+        // Through the core API.
+        let pat = SeqPattern::new(
+            vec![
+                Element::star(0).with_star_gap(Duration::from_secs(1)),
+                Element::new(1).with_max_gap(Duration::from_secs(5)),
+            ],
+            None,
+            PairingMode::Chronicle,
+        )
+        .unwrap();
+        let mut det = Detector::new(DetectorConfig::seq(pat)).unwrap();
+        let mut via_api = Vec::new();
+        for (i, item) in feed.iter().enumerate() {
+            let port = usize::from(item.stream == "r2");
+            let t = Tuple::new(item.reading.to_values(), item.reading.ts, i as u64);
+            for o in det.on_tuple(port, &t).unwrap() {
+                if let DetectorOutput::Match(m) = o {
+                    via_api.push((
+                        m.binding(0).count() as i64,
+                        m.binding(1).first().value(1).as_str().unwrap().to_string(),
+                    ));
+                }
+            }
+        }
+        assert_eq!(via_sql, via_api, "seed {seed}");
+        assert_eq!(via_sql.len(), w.truth.len(), "seed {seed}");
+    }
+}
+
+/// QC-line completion (Example 6): SQL plan (partitioned RECENT) vs a
+/// hand-built partitioned detector.
+#[test]
+fn qc_sql_equals_direct_api() {
+    for seed in 1..=5u64 {
+        let cfg = qc_line::QcConfig {
+            products: 80,
+            seed,
+            ..qc_line::QcConfig::default()
+        };
+        let w = qc_line::generate(&cfg);
+        let feeds: Vec<(String, Vec<Reading>)> = w
+            .feeds
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (format!("c{}", i + 1), f.clone()))
+            .collect();
+        let feed = merge_feeds(feeds);
+
+        let mut engine = Engine::new();
+        execute_script(
+            &mut engine,
+            "CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+             CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+             CREATE STREAM C3 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+             CREATE STREAM C4 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+        )
+        .unwrap();
+        let q = execute(
+            &mut engine,
+            "SELECT C1.tagid FROM C1, C2, C3, C4
+             WHERE SEQ(C1, C2, C3, C4) MODE RECENT
+             AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid",
+        )
+        .unwrap();
+        let collected = q.collector().unwrap().clone();
+        for item in &feed {
+            engine.push(&item.stream, item.reading.to_values()).unwrap();
+        }
+        let via_sql: Vec<String> = collected
+            .take()
+            .iter()
+            .map(|r| r.value(0).as_str().unwrap().to_string())
+            .collect();
+
+        let pat = SeqPattern::new(
+            (0..4).map(Element::new).collect(),
+            None,
+            PairingMode::Recent,
+        )
+        .unwrap();
+        let cfg2 = DetectorConfig::seq(pat).with_partition(vec![Expr::col(1); 4]);
+        let mut det = Detector::new(cfg2).unwrap();
+        let mut via_api = Vec::new();
+        for (i, item) in feed.iter().enumerate() {
+            let port: usize = item.stream[1..].parse::<usize>().unwrap() - 1;
+            let t = Tuple::new(item.reading.to_values(), item.reading.ts, i as u64);
+            for o in det.on_tuple(port, &t).unwrap() {
+                if let DetectorOutput::Match(m) = o {
+                    via_api
+                        .push(m.binding(0).first().value(1).as_str().unwrap().to_string());
+                }
+            }
+        }
+        assert_eq!(via_sql, via_api, "seed {seed}");
+        // And both equal the generator's ground truth (as sets).
+        let truth: std::collections::BTreeSet<&str> =
+            w.completed.iter().map(|(t, _)| t.as_str()).collect();
+        let got: std::collections::BTreeSet<&str> =
+            via_sql.iter().map(|s| s.as_str()).collect();
+        assert_eq!(got, truth, "seed {seed}");
+    }
+}

@@ -1,0 +1,527 @@
+//! Cross-crate integration tests: language → engine → temporal operators
+//! → RFID workloads, checked against scenario ground truth.
+
+use eslev::prelude::*;
+use eslev::rfid::scenario::{clinic, dedup, door, packing, qc_line};
+
+/// Raw readings are cleaned by Example 1's transducer, and the *cleaned*
+/// stream feeds Example 7's containment query — a two-stage cascade
+/// through a derived stream, exactly the composition §2 of the paper
+/// advocates.
+#[test]
+fn dedup_then_containment_cascade() {
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM R1_RAW (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM R2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         INSERT INTO R1
+         SELECT * FROM R1_RAW AS a
+         WHERE NOT EXISTS
+           (SELECT * FROM TABLE( R1_RAW OVER (RANGE 200 MILLISECONDS PRECEDING CURRENT)) AS b
+            WHERE b.readerid = a.readerid AND b.tagid = a.tagid);",
+    )
+    .unwrap();
+    let q = execute(
+        &mut engine,
+        "SELECT COUNT(R1*), R2.tagid
+         FROM R1, R2
+         WHERE SEQ(R1*, R2) MODE CHRONICLE
+         AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+         AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS",
+    )
+    .unwrap();
+    let out = q.collector().unwrap().clone();
+
+    // One packing round with duplicated product reads (each product read
+    // twice, 100 ms apart — inside the dedup window, outside nothing).
+    let reading = |tag: &str, ms: u64| {
+        vec![
+            Value::str("rdr"),
+            Value::str(tag),
+            Value::Ts(Timestamp::from_millis(ms)),
+        ]
+    };
+    for (tag, ms) in [("p1", 0u64), ("p1", 100), ("p2", 500), ("p2", 600), ("p3", 900)] {
+        engine.push("r1_raw", reading(tag, ms)).unwrap();
+    }
+    engine.push("r2", reading("case", 2000)).unwrap();
+    let rows = out.take();
+    assert_eq!(rows.len(), 1);
+    // Without dedup the count would be 5; the cascade yields 3.
+    assert_eq!(rows[0].value(0), &Value::Int(3));
+    assert_eq!(rows[0].value(1), &Value::str("case"));
+}
+
+/// The §3.1.1 worked example across all four modes *through the language
+/// front-end*, matching the paper's table of results exactly.
+#[test]
+fn worked_example_all_modes_via_sql() {
+    let counts: Vec<(PairingMode, usize)> = PairingMode::ALL
+        .iter()
+        .map(|mode| {
+            let mut engine = Engine::new();
+            execute_script(
+                &mut engine,
+                "CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+                 CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+                 CREATE STREAM C3 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+                 CREATE STREAM C4 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+            )
+            .unwrap();
+            let q = execute(
+                &mut engine,
+                &format!(
+                    "SELECT C1.tagtime, C2.tagtime, C3.tagtime, C4.tagtime
+                     FROM C1, C2, C3, C4
+                     WHERE SEQ(C1, C2, C3, C4) MODE {mode}"
+                ),
+            )
+            .unwrap();
+            let rows = q.collector().unwrap().clone();
+            for (port, reading) in qc_line::worked_history() {
+                let stream = format!("c{}", port + 1);
+                engine
+                    .push(
+                        &stream,
+                        vec![
+                            Value::str(&reading.reader),
+                            Value::str(&reading.tag),
+                            Value::Ts(reading.ts),
+                        ],
+                    )
+                    .unwrap();
+            }
+            (*mode, rows.len())
+        })
+        .collect();
+    assert_eq!(
+        counts,
+        vec![
+            (PairingMode::Unrestricted, 4),
+            (PairingMode::Recent, 1),
+            (PairingMode::Chronicle, 1),
+            (PairingMode::Consecutive, 0),
+        ]
+    );
+}
+
+/// The QC line with dropouts: partitioned RECENT detection finds exactly
+/// the completed products.
+#[test]
+fn qc_line_completions_match_truth() {
+    let cfg = qc_line::QcConfig {
+        products: 150,
+        ..qc_line::QcConfig::default()
+    };
+    let w = qc_line::generate(&cfg);
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM C3 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM C4 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+    )
+    .unwrap();
+    let q = execute(
+        &mut engine,
+        "SELECT C1.tagid, C4.tagtime FROM C1, C2, C3, C4
+         WHERE SEQ(C1, C2, C3, C4) MODE RECENT
+         AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid",
+    )
+    .unwrap();
+    let rows = q.collector().unwrap().clone();
+    // Merge the four feeds into one global replay.
+    let feeds: Vec<(String, Vec<Reading>)> = w
+        .feeds
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (format!("c{}", i + 1), f.clone()))
+        .collect();
+    for item in merge_feeds(feeds) {
+        engine
+            .push(
+                &item.stream,
+                vec![
+                    Value::str(&item.reading.reader),
+                    Value::str(&item.reading.tag),
+                    Value::Ts(item.reading.ts),
+                ],
+            )
+            .unwrap();
+    }
+    let got: std::collections::BTreeSet<String> = rows
+        .take()
+        .iter()
+        .map(|t| t.value(0).as_str().unwrap().to_string())
+        .collect();
+    let want: std::collections::BTreeSet<String> =
+        w.completed.iter().map(|(tag, _)| tag.clone()).collect();
+    assert_eq!(got, want);
+}
+
+/// Clinic violations through the language equal the generator's truth,
+/// including punctuation-driven timeouts (active expiration).
+#[test]
+fn clinic_violations_match_truth() {
+    let cfg = clinic::ClinicConfig {
+        runs: 120,
+        ..clinic::ClinicConfig::default()
+    };
+    let w = clinic::generate(&cfg);
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM A1 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM A2 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM A3 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+    )
+    .unwrap();
+    let q = execute(
+        &mut engine,
+        "SELECT A1.tagid, A2.tagid, A3.tagid
+         FROM A1, A2, A3
+         WHERE EXCEPTION_SEQ(A1, A2, A3)
+         OVER [1 HOURS FOLLOWING A1]",
+    )
+    .unwrap();
+    let alerts = q.collector().unwrap().clone();
+    let streams = ["a1", "a2", "a3"];
+    for (port, reading) in &w.feed {
+        engine
+            .push(
+                streams[*port],
+                vec![
+                    Value::str(&reading.reader),
+                    Value::str(&reading.tag),
+                    Value::Ts(reading.ts),
+                ],
+            )
+            .unwrap();
+    }
+    let horizon = w.feed.last().unwrap().1.ts + Duration::from_hours(2);
+    engine.advance_to(horizon).unwrap();
+    assert_eq!(alerts.len(), w.violations);
+}
+
+/// The concurrent driver produces byte-identical results to the
+/// single-threaded engine on the door-security workload.
+#[test]
+fn driver_matches_inline_results() {
+    let cfg = door::DoorConfig {
+        item_exits: 120,
+        ..door::DoorConfig::default()
+    };
+    let w = door::generate(&cfg);
+
+    let build = |engine: &mut Engine| -> Collector {
+        execute(
+            engine,
+            "CREATE STREAM tag_readings (tagid VARCHAR, tagtype VARCHAR, tagtime TIMESTAMP)",
+        )
+        .unwrap();
+        let q = execute(
+            engine,
+            "SELECT item.tagid
+             FROM tag_readings AS item
+             WHERE item.tagtype = 'item' AND NOT EXISTS
+               (SELECT * FROM tag_readings AS person
+                OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+                WHERE person.tagtype = 'person')",
+        )
+        .unwrap();
+        q.collector().unwrap().clone()
+    };
+
+    // Inline.
+    let mut inline = Engine::new();
+    let inline_out = build(&mut inline);
+    for r in &w.readings {
+        inline.push("tag_readings", r.to_values()).unwrap();
+    }
+    let horizon = w.readings.last().unwrap().ts + Duration::from_mins(5);
+    inline.advance_to(horizon).unwrap();
+
+    // Through the threaded driver.
+    let mut threaded = Engine::new();
+    let threaded_out = build(&mut threaded);
+    let driver = EngineDriver::spawn(threaded, 256);
+    let input = driver.input();
+    for r in &w.readings {
+        input.push("tag_readings", r.to_values()).unwrap();
+    }
+    input.advance_to(horizon).unwrap();
+    driver.stop().unwrap();
+
+    let a: Vec<String> = inline_out
+        .take()
+        .iter()
+        .map(|t| t.value(0).as_str().unwrap().to_string())
+        .collect();
+    let b: Vec<String> = threaded_out
+        .take()
+        .iter()
+        .map(|t| t.value(0).as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(a, b);
+    assert_eq!(a.len(), w.thefts.len());
+}
+
+/// Packing detection at scale: CHRONICLE containment reproduces every
+/// case's product count, including under Figure 1(b) overlap.
+#[test]
+fn packing_detection_is_exact() {
+    for overlap in [false, true] {
+        let cfg = packing::PackingConfig {
+            cases: 120,
+            overlap,
+            seed: 9,
+            ..packing::PackingConfig::default()
+        };
+        let w = packing::generate(&cfg);
+        let mut detector = Detector::new(DetectorConfig::seq(
+            SeqPattern::new(
+                vec![
+                    Element::star(0).with_star_gap(cfg.t1),
+                    Element::new(1).with_max_gap(cfg.t0),
+                ],
+                None,
+                PairingMode::Chronicle,
+            )
+            .unwrap(),
+        ))
+        .unwrap();
+        let feed = merge_feeds(vec![
+            ("p".into(), w.products.clone()),
+            ("c".into(), w.cases.clone()),
+        ]);
+        let mut detected: Vec<(String, usize)> = Vec::new();
+        for (seq, item) in feed.into_iter().enumerate() {
+            let port = usize::from(item.stream == "c");
+            let t = Tuple::new(item.reading.to_values(), item.reading.ts, seq as u64);
+            for o in detector.on_tuple(port, &t).unwrap() {
+                if let DetectorOutput::Match(m) = o {
+                    detected.push((
+                        m.binding(1).first().value(1).as_str().unwrap().to_string(),
+                        m.binding(0).count(),
+                    ));
+                }
+            }
+        }
+        let want: Vec<(String, usize)> = w
+            .truth
+            .iter()
+            .map(|t| (t.case_tag.clone(), t.product_tags.len()))
+            .collect();
+        assert_eq!(detected, want, "overlap={overlap}");
+    }
+}
+
+/// Dedup at scale through the language front-end matches the generator's
+/// presence count exactly.
+#[test]
+fn dedup_scale_matches_truth() {
+    let w = dedup::generate(&dedup::DedupConfig {
+        presences: 3000,
+        duplicate_prob: 0.6,
+        ..dedup::DedupConfig::default()
+    });
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+         CREATE STREAM cleaned_readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+         INSERT INTO cleaned_readings
+         SELECT * FROM readings AS r1
+         WHERE NOT EXISTS
+           (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+            WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);",
+    )
+    .unwrap();
+    for r in &w.readings {
+        engine.push("readings", r.to_values()).unwrap();
+    }
+    assert_eq!(
+        engine.stream_pushed("cleaned_readings").unwrap() as usize,
+        w.unique_presences
+    );
+}
+
+/// Concurrent multi-staff clinic runs: the equality conjuncts
+/// `A1.staff = A2.staff = A3.staff` partition the exception detector so
+/// interleaved staff workflows don't break each other.
+#[test]
+fn partitioned_exception_detection_multi_staff() {
+    let cfg = clinic::ClinicConfig {
+        runs: 40,
+        ..clinic::ClinicConfig::default()
+    };
+    let w = clinic::generate_concurrent(&cfg, 5);
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM A1 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM A2 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM A3 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+    )
+    .unwrap();
+    let q = execute(
+        &mut engine,
+        "SELECT A1.staff, A1.tagid, A2.tagid, A3.tagid
+         FROM A1, A2, A3
+         WHERE EXCEPTION_SEQ(A1, A2, A3)
+         OVER [1 HOURS FOLLOWING A1]
+         AND A1.staff = A2.staff AND A1.staff = A3.staff",
+    )
+    .unwrap();
+    let alerts = q.collector().unwrap().clone();
+    let streams = ["a1", "a2", "a3"];
+    for (port, reading) in &w.feed {
+        engine
+            .push(
+                streams[*port],
+                vec![
+                    Value::str(&reading.reader),
+                    Value::str(&reading.tag),
+                    Value::Ts(reading.ts),
+                ],
+            )
+            .unwrap();
+    }
+    engine
+        .advance_to(w.feed.last().unwrap().1.ts + Duration::from_hours(2))
+        .unwrap();
+    assert_eq!(alerts.len(), w.violations);
+
+    // Control: WITHOUT the staff equality, interleaved staff break each
+    // other's runs and the alert count is wrong (demonstrating why the
+    // partition matters).
+    let mut engine2 = Engine::new();
+    execute_script(
+        &mut engine2,
+        "CREATE STREAM A1 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM A2 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM A3 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);",
+    )
+    .unwrap();
+    let q2 = execute(
+        &mut engine2,
+        "SELECT A1.tagid, A2.tagid, A3.tagid
+         FROM A1, A2, A3
+         WHERE EXCEPTION_SEQ(A1, A2, A3)
+         OVER [1 HOURS FOLLOWING A1]",
+    )
+    .unwrap();
+    let alerts2 = q2.collector().unwrap().clone();
+    for (port, reading) in &w.feed {
+        engine2
+            .push(
+                streams[*port],
+                vec![
+                    Value::str(&reading.reader),
+                    Value::str(&reading.tag),
+                    Value::Ts(reading.ts),
+                ],
+            )
+            .unwrap();
+    }
+    engine2
+        .advance_to(w.feed.last().unwrap().1.ts + Duration::from_hours(2))
+        .unwrap();
+    assert_ne!(
+        alerts2.len(),
+        w.violations,
+        "unpartitioned detection must misfire on interleaved staff"
+    );
+}
+
+/// Ad-hoc snapshot queries (§2.1): the physician's "where is the patient
+/// now" question against a materialized stream window — no persistent
+/// table involved.
+#[test]
+fn ad_hoc_snapshot_patient_location() {
+    let mut engine = Engine::new();
+    execute(
+        &mut engine,
+        "CREATE STREAM tag_locations (readerid VARCHAR, tid VARCHAR, tagtime TIMESTAMP, loc VARCHAR)",
+    )
+    .unwrap();
+    engine
+        .materialize(
+            "tag_locations",
+            WindowExtent::Preceding(Duration::from_mins(30)),
+        )
+        .unwrap();
+    let w = eslev::rfid::scenario::tracking::generate(&Default::default());
+    for r in &w.readings {
+        engine.push("tag_locations", r.to_values()).unwrap();
+    }
+    // Ask about a specific object's latest sightings.
+    let rows = ad_hoc(
+        &engine,
+        "SELECT loc, tagtime FROM tag_locations WHERE tid = 'obj-3'",
+    )
+    .unwrap();
+    assert!(!rows.is_empty());
+    // The snapshot only holds the last 30 minutes.
+    let now = engine.now();
+    assert!(rows
+        .iter()
+        .all(|r| r.ts() >= now.saturating_sub(Duration::from_mins(30))));
+    // And a grouped ad-hoc aggregate over the same snapshot.
+    let counts = ad_hoc(
+        &engine,
+        "SELECT loc, count(tid) FROM tag_locations GROUP BY loc",
+    )
+    .unwrap();
+    let total: i64 = counts.iter().map(|r| r.value(1).as_int().unwrap()).sum();
+    let all = ad_hoc(&engine, "SELECT * FROM tag_locations").unwrap();
+    assert_eq!(total as usize, all.len());
+}
+
+/// Reader timestamp jitter produces out-of-order arrivals; the engine's
+/// bounded-disorder tolerance restores order at the edge so Example 1's
+/// dedup still computes the exact answer.
+#[test]
+fn jittered_readers_with_disorder_tolerance() {
+    use eslev::rfid::prelude::*;
+    let mut reader = SimReader::new(
+        "gate",
+        ReaderProfile {
+            duplicate_prob: 0.4,
+            miss_prob: 0.0,
+            reread_period: Duration::from_millis(250),
+            jitter: Duration::from_millis(40),
+        },
+        11,
+    );
+    // Physical presences 2 s apart; each burst's reads carry ±40 ms
+    // jitter, so consecutive bursts can interleave at the edges.
+    let mut feed: Vec<Reading> = Vec::new();
+    for i in 0..500u64 {
+        feed.extend(reader.observe(&format!("tag-{}", i % 25), Timestamp::from_millis(1000 + i * 2000)));
+    }
+    // NOT sorted: deliver in generation order (jitter leaks through).
+    let mut engine = Engine::new();
+    execute_script(
+        &mut engine,
+        "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+         CREATE STREAM cleaned_readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+         INSERT INTO cleaned_readings
+         SELECT * FROM readings AS r1
+         WHERE NOT EXISTS
+           (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+            WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);",
+    )
+    .unwrap();
+    engine
+        .set_disorder_tolerance("readings", Duration::from_millis(200))
+        .unwrap();
+    for r in &feed {
+        engine.push("readings", r.to_values()).unwrap();
+    }
+    engine.flush_disorder().unwrap();
+    assert_eq!(engine.stream_pushed("cleaned_readings").unwrap(), 500);
+}
