@@ -35,7 +35,11 @@ pub struct NaiveJoinSeq {
 
 impl NaiveJoinSeq {
     /// Build a detector for a fixed-length `SEQ` over `arity` streams.
-    pub fn new(arity: usize, key_column: Option<usize>, window: Option<Duration>) -> Result<NaiveJoinSeq> {
+    pub fn new(
+        arity: usize,
+        key_column: Option<usize>,
+        window: Option<Duration>,
+    ) -> Result<NaiveJoinSeq> {
         if arity < 2 {
             return Err(DsmsError::plan("join sequence needs at least 2 streams"));
         }
@@ -245,7 +249,11 @@ mod tests {
         let same_ts_later = Tuple::new(vec![Value::str("k")], Timestamp::from_secs(5), 1);
         assert_eq!(j.on_tuple(1, &same_ts_later).unwrap().len(), 1);
         let mut j = NaiveJoinSeq::new(2, None, None).unwrap();
-        j.on_tuple(0, &Tuple::new(vec![Value::str("k")], Timestamp::from_secs(5), 7)).unwrap();
+        j.on_tuple(
+            0,
+            &Tuple::new(vec![Value::str("k")], Timestamp::from_secs(5), 7),
+        )
+        .unwrap();
         let same_ts_earlier = Tuple::new(vec![Value::str("k")], Timestamp::from_secs(5), 3);
         assert_eq!(j.on_tuple(1, &same_ts_earlier).unwrap().len(), 0);
     }

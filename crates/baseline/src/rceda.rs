@@ -133,7 +133,11 @@ pub struct RcedaEngine {
 
 impl RcedaEngine {
     /// Compile an event expression into a graph.
-    pub fn new(expr: &EventExpr, context: Context, predicate: Option<RootPredicate>) -> Result<RcedaEngine> {
+    pub fn new(
+        expr: &EventExpr,
+        context: Context,
+        predicate: Option<RootPredicate>,
+    ) -> Result<RcedaEngine> {
         let mut nodes = Vec::new();
         let mut ports = 0usize;
         let root = build(expr, &mut nodes, &mut ports)?;
@@ -159,9 +163,7 @@ impl RcedaEngine {
             .iter()
             .map(|n| match n {
                 Node::Primitive { .. } | Node::Or { .. } => 0,
-                Node::Seq { left_store, .. } => {
-                    left_store.iter().map(|i| i.tuples.len()).sum()
-                }
+                Node::Seq { left_store, .. } => left_store.iter().map(|i| i.tuples.len()).sum(),
                 Node::And {
                     left_store,
                     right_store,
@@ -231,7 +233,9 @@ impl RcedaEngine {
     fn parent_of(&self, idx: usize) -> Option<(usize, bool)> {
         for (i, node) in self.nodes.iter().enumerate() {
             match node {
-                Node::Seq { left, right, .. } | Node::And { left, right, .. } | Node::Or { left, right } => {
+                Node::Seq { left, right, .. }
+                | Node::And { left, right, .. }
+                | Node::Or { left, right } => {
                     if *left == idx {
                         return Some((i, true));
                     }
@@ -250,7 +254,12 @@ impl RcedaEngine {
         None
     }
 
-    fn feed(&mut self, node: usize, is_left: bool, insts: Vec<EventInstance>) -> Vec<EventInstance> {
+    fn feed(
+        &mut self,
+        node: usize,
+        is_left: bool,
+        insts: Vec<EventInstance>,
+    ) -> Vec<EventInstance> {
         let context = self.context;
         match &mut self.nodes[node] {
             Node::Primitive { .. } => insts,
@@ -419,7 +428,11 @@ mod tests {
     use eslev_dsms::value::Value;
 
     fn t(secs: u64, seq: u64) -> Tuple {
-        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+        Tuple::new(
+            vec![Value::Int(secs as i64)],
+            Timestamp::from_secs(secs),
+            seq,
+        )
     }
 
     #[test]
@@ -457,8 +470,7 @@ mod tests {
 
     #[test]
     fn chronicle_consumes() {
-        let mut eng =
-            RcedaEngine::new(&EventExpr::seq_chain(2), Context::Chronicle, None).unwrap();
+        let mut eng = RcedaEngine::new(&EventExpr::seq_chain(2), Context::Chronicle, None).unwrap();
         eng.on_tuple(0, &t(1, 0));
         assert_eq!(eng.on_tuple(1, &t(2, 1)).len(), 1);
         assert_eq!(eng.on_tuple(1, &t(3, 2)).len(), 0, "left consumed");
@@ -478,7 +490,8 @@ mod tests {
     #[test]
     fn post_hoc_time_predicate() {
         // "within 10 s" as a root predicate — checked after assembly.
-        let pred: RootPredicate = Arc::new(|i| i.end - i.start <= eslev_dsms::time::Duration::from_secs(10));
+        let pred: RootPredicate =
+            Arc::new(|i| i.end - i.start <= eslev_dsms::time::Duration::from_secs(10));
         let mut eng =
             RcedaEngine::new(&EventExpr::seq_chain(2), Context::Unrestricted, Some(pred)).unwrap();
         eng.on_tuple(0, &t(0, 0));

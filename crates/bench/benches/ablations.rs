@@ -14,7 +14,11 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Elements(feed.len() as u64));
     for partitioned in [true, false] {
         g.bench_with_input(
-            BenchmarkId::from_parameter(if partitioned { "partitioned" } else { "residual" }),
+            BenchmarkId::from_parameter(if partitioned {
+                "partitioned"
+            } else {
+                "residual"
+            }),
             &partitioned,
             |b, &p| b.iter(|| a1_partitioning(&feed, p)),
         );

@@ -5,9 +5,7 @@
 mod common;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use eslev_bench::{
-    e9_eslev_chronicle, e9_eslev_recent, e9_feed, e9_naive_join, e9_rceda,
-};
+use eslev_bench::{e9_eslev_chronicle, e9_eslev_recent, e9_feed, e9_naive_join, e9_rceda};
 
 fn bench(c: &mut Criterion) {
     let feed = e9_feed(60);

@@ -4,10 +4,17 @@
 //! Criterion numbers).
 //!
 //! Run with: `cargo run --release -p eslev-bench --bin harness`
+//!
+//! With `--json <path>` the harness additionally writes every table as a
+//! machine-readable JSON document — per-row fields plus best-of-N wall
+//! seconds, the engine's full metrics snapshot for a representative E1
+//! run, and the detector match/prune counters for E6/E10. If `<path>` is
+//! a directory the file is named `BENCH_<yyyy-mm-dd>.json` inside it.
 
 use eslev_bench::table::TextTable;
 use eslev_bench::*;
 use eslev_core::prelude::PairingMode;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 fn timed<T>(f: impl Fn() -> T, reps: usize) -> (T, f64) {
@@ -22,14 +29,109 @@ fn timed<T>(f: impl Fn() -> T, reps: usize) -> (T, f64) {
     (result.expect("reps >= 1"), best)
 }
 
+// ------------------------------------------------------- JSON plumbing
+
+/// Minimal JSON object from pre-rendered values (no external deps; the
+/// same approach as `MetricsSnapshot::to_json` in eslev-dsms).
+fn obj(fields: &[(&str, String)]) -> String {
+    let mut s = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{k}\":{v}");
+    }
+    s.push('}');
+    s
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::from("\"");
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn arr(items: Vec<String>) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// Today's UTC civil date from the system clock (no date crate in the
+/// tree; this is the standard days-to-civil conversion).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let z = secs.div_euclid(86_400) + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+fn parse_args() -> Option<std::path::PathBuf> {
+    let mut json_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}\nusage: harness [--json <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    json_path
+}
+
 fn main() {
+    let json_path = parse_args();
+    // (experiment key, JSON value) — filled as each table is printed.
+    let mut sections: Vec<(&str, String)> = Vec::new();
+
     println!("# ESL-EV experiment harness\n");
 
     // ------------------------------------------------------------- E1
     println!("## E1 — duplicate elimination (Example 1)\n");
     let mut t = TextTable::new(&[
-        "dup_prob", "raw", "cleaned", "truth", "cleaned_err", "kreads/s",
+        "dup_prob",
+        "raw",
+        "cleaned",
+        "truth",
+        "cleaned_err",
+        "kreads/s",
     ]);
+    let mut rows = Vec::new();
     for p in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let (row, secs) = timed(|| e1_dedup(p, 5_000), 3);
         t.row(vec![
@@ -37,15 +139,46 @@ fn main() {
             row.raw.to_string(),
             row.cleaned.to_string(),
             row.truth.to_string(),
-            format!("{:.4}", (row.cleaned as f64 - row.truth as f64).abs() / row.truth as f64),
+            format!(
+                "{:.4}",
+                (row.cleaned as f64 - row.truth as f64).abs() / row.truth as f64
+            ),
             format!("{:.0}", row.raw as f64 / secs / 1e3),
         ]);
+        rows.push(obj(&[
+            ("dup_prob", jf(p)),
+            ("raw", row.raw.to_string()),
+            ("cleaned", row.cleaned.to_string()),
+            ("truth", row.truth.to_string()),
+            ("best_secs", jf(secs)),
+        ]));
     }
     println!("{}", t.to_markdown());
+    // One representative instrumented run: the engine's own metrics
+    // snapshot (per-stream, per-query and per-stage counters +
+    // latency histograms) embedded verbatim.
+    let (mut engine, readings) = e1_setup(0.5, 5_000);
+    for r in &readings {
+        engine.push("readings", r.to_values()).expect("feed");
+    }
+    sections.push((
+        "E1",
+        obj(&[
+            ("rows", arr(rows)),
+            ("metrics", engine.metrics_snapshot().to_json()),
+        ]),
+    ));
 
     // ------------------------------------------------------------- E2
     println!("## E2 — location tracking (Example 2)\n");
-    let mut t = TextTable::new(&["move_prob", "readings", "persisted", "truth", "write_reduction"]);
+    let mut t = TextTable::new(&[
+        "move_prob",
+        "readings",
+        "persisted",
+        "truth",
+        "write_reduction",
+    ]);
+    let mut rows = Vec::new();
     for p in [0.01, 0.05, 0.1, 0.25, 0.5] {
         let r = e2_tracking(p);
         t.row(vec![
@@ -55,14 +188,28 @@ fn main() {
             r.truth.to_string(),
             format!("{:.1}x", r.reduction),
         ]);
+        rows.push(obj(&[
+            ("move_prob", jf(p)),
+            ("readings", r.readings.to_string()),
+            ("persisted", r.persisted.to_string()),
+            ("truth", r.truth.to_string()),
+            ("write_reduction", jf(r.reduction)),
+        ]));
     }
     println!("{}", t.to_markdown());
+    sections.push(("E2", obj(&[("rows", arr(rows))])));
 
     // ------------------------------------------------------------- E3
     println!("## E3 — EPC pattern aggregation (Example 3)\n");
     let mut t = TextTable::new(&[
-        "readings", "match_frac", "truth", "LIKE+UDF", "compiled", "kreads/s",
+        "readings",
+        "match_frac",
+        "truth",
+        "LIKE+UDF",
+        "compiled",
+        "kreads/s",
     ]);
+    let mut rows = Vec::new();
     for frac in [0.1, 0.3, 0.7] {
         let (row, secs) = timed(|| e3_epc(10_000, frac), 3);
         t.row(vec![
@@ -73,15 +220,36 @@ fn main() {
             row.compiled.to_string(),
             format!("{:.0}", row.readings as f64 / secs / 1e3),
         ]);
+        rows.push(obj(&[
+            ("readings", row.readings.to_string()),
+            ("match_frac", jf(frac)),
+            ("truth", row.truth.to_string()),
+            ("like_udf", row.like_udf.to_string()),
+            ("compiled", row.compiled.to_string()),
+            ("best_secs", jf(secs)),
+        ]));
     }
     println!("{}", t.to_markdown());
+    sections.push(("E3", obj(&[("rows", arr(rows))])));
 
     // ------------------------------------------------------------- E4
     println!("## E4 — containment detection (Figure 1, Examples 4/7)\n");
     let mut t = TextTable::new(&[
-        "gap_tightness", "overlap", "cases", "detected", "exact", "accuracy",
+        "gap_tightness",
+        "overlap",
+        "cases",
+        "detected",
+        "exact",
+        "accuracy",
     ]);
-    for (tight, overlap) in [(0.3, false), (0.6, false), (0.95, false), (0.6, true), (0.95, true)] {
+    let mut rows = Vec::new();
+    for (tight, overlap) in [
+        (0.3, false),
+        (0.6, false),
+        (0.95, false),
+        (0.6, true),
+        (0.95, true),
+    ] {
         let r = e4_containment(tight, overlap, 200);
         t.row(vec![
             format!("{tight:.2}"),
@@ -91,8 +259,16 @@ fn main() {
             r.exact.to_string(),
             format!("{:.3}", r.exact as f64 / r.cases as f64),
         ]);
+        rows.push(obj(&[
+            ("gap_tightness", jf(tight)),
+            ("overlap", overlap.to_string()),
+            ("cases", r.cases.to_string()),
+            ("detected", r.detected.to_string()),
+            ("exact", r.exact.to_string()),
+        ]));
     }
     println!("{}", t.to_markdown());
+    sections.push(("E4", obj(&[("rows", arr(rows))])));
 
     // ------------------------------------------------------------- E5
     println!("## E5 — workflow exceptions (Example 5, §3.1.3)\n");
@@ -104,6 +280,7 @@ fn main() {
         "expiry_alerts",
         "expiry_without_heartbeat",
     ]);
+    let mut rows = Vec::new();
     for runs in [100, 300, 1000] {
         let r = e5_clinic(runs);
         t.row(vec![
@@ -114,8 +291,20 @@ fn main() {
             r.expiry_alerts.to_string(),
             r.expiry_alerts_without_expiration.to_string(),
         ]);
+        rows.push(obj(&[
+            ("runs", r.runs.to_string()),
+            ("violations", r.violations.to_string()),
+            ("alerts", r.alerts.to_string()),
+            ("timeouts", r.timeouts.to_string()),
+            ("expiry_alerts", r.expiry_alerts.to_string()),
+            (
+                "expiry_without_heartbeat",
+                r.expiry_alerts_without_expiration.to_string(),
+            ),
+        ]));
     }
     println!("{}", t.to_markdown());
+    sections.push(("E5", obj(&[("rows", arr(rows))])));
 
     // ------------------------------------------------------------- E6
     println!("## E6 — tuple pairing modes (§3.1.1 worked example + Example 6)\n");
@@ -125,8 +314,10 @@ fn main() {
         "worked_example_events",
         "scaled_events",
         "peak_retained",
+        "prunes",
         "kelem/s",
     ]);
+    let mut rows = Vec::new();
     for mode in PairingMode::ALL {
         let (row, secs) = timed(|| e6_mode(mode, &feed), 3);
         t.row(vec![
@@ -134,10 +325,21 @@ fn main() {
             row.worked_example.to_string(),
             row.scaled_matches.to_string(),
             row.peak_retained.to_string(),
+            row.prunes.to_string(),
             format!("{:.1}", feed.len() as f64 / secs / 1e3),
         ]);
+        rows.push(obj(&[
+            ("mode", jstr(mode.keyword())),
+            ("worked_example_events", row.worked_example.to_string()),
+            ("scaled_events", row.scaled_matches.to_string()),
+            ("peak_retained", row.peak_retained.to_string()),
+            ("matches_emitted", row.matches_emitted.to_string()),
+            ("prunes", row.prunes.to_string()),
+            ("best_secs", jf(secs)),
+        ]));
     }
     println!("{}", t.to_markdown());
+    sections.push(("E6", obj(&[("rows", arr(rows))])));
 
     // ------------------------------------------------------------- E7
     println!("## E7 — windows on SEQ (§3.1.1)\n");
@@ -148,6 +350,7 @@ fn main() {
         "unrestricted_retained",
         "recent_retained",
     ]);
+    let mut rows = Vec::new();
     for w in [30, 60, 120, 300, 600] {
         let r = e7_window(w, &feed);
         t.row(vec![
@@ -157,14 +360,28 @@ fn main() {
             r.unrestricted_retained.to_string(),
             r.recent_retained.to_string(),
         ]);
+        rows.push(obj(&[
+            ("window_secs", w.to_string()),
+            ("unrestricted_matches", r.unrestricted_matches.to_string()),
+            ("recent_matches", r.recent_matches.to_string()),
+            ("unrestricted_retained", r.unrestricted_retained.to_string()),
+            ("recent_retained", r.recent_retained.to_string()),
+        ]));
     }
     println!("{}", t.to_markdown());
+    sections.push(("E7", obj(&[("rows", arr(rows))])));
 
     // ------------------------------------------------------------- E8
     println!("## E8 — door security (Example 8, §3.2)\n");
     let mut t = TextTable::new(&[
-        "theft_frac", "exits", "thefts", "alerts", "true_pos", "latency_s",
+        "theft_frac",
+        "exits",
+        "thefts",
+        "alerts",
+        "true_pos",
+        "latency_s",
     ]);
+    let mut rows = Vec::new();
     for frac in [0.01, 0.05, 0.1, 0.3] {
         let r = e8_door(frac, 500);
         t.row(vec![
@@ -175,8 +392,17 @@ fn main() {
             r.true_positives.to_string(),
             format!("{:.1}", r.mean_latency_secs),
         ]);
+        rows.push(obj(&[
+            ("theft_frac", jf(frac)),
+            ("exits", r.exits.to_string()),
+            ("thefts", r.thefts.to_string()),
+            ("alerts", r.alerts.to_string()),
+            ("true_positives", r.true_positives.to_string()),
+            ("mean_latency_secs", jf(r.mean_latency_secs)),
+        ]));
     }
     println!("{}", t.to_markdown());
+    sections.push(("E8", obj(&[("rows", arr(rows))])));
 
     // ------------------------------------------------------------- E9
     println!("## E9 — ESL-EV vs standalone engines (§1 claim)\n");
@@ -200,6 +426,7 @@ fn main() {
             move || e9_naive_join(&f)
         }),
     ];
+    let mut rows = Vec::new();
     for run in &runners {
         let (row, secs) = timed(run, 3);
         t.row(vec![
@@ -209,14 +436,28 @@ fn main() {
             row.enumerated.to_string(),
             format!("{:.1}", feed.len() as f64 / secs / 1e3),
         ]);
+        rows.push(obj(&[
+            ("system", jstr(row.system)),
+            ("events", row.events.to_string()),
+            ("retained", row.retained.to_string()),
+            ("enumerated", row.enumerated.to_string()),
+            ("best_secs", jf(secs)),
+        ]));
     }
     println!("{}", t.to_markdown());
+    sections.push(("E9", obj(&[("rows", arr(rows))])));
 
     // ------------------------------------------------------------ E10
     println!("## E10 — star-sequence semantics (§3.1.2)\n");
     let mut t = TextTable::new(&[
-        "run_len", "runs", "matches", "longest_match_exact", "trailing_online_emissions",
+        "run_len",
+        "runs",
+        "matches",
+        "longest_match_exact",
+        "trailing_online_emissions",
+        "trailing_prunes",
     ]);
+    let mut rows = Vec::new();
     for len in [1usize, 5, 20, 100] {
         let r = e10_star(len, 1000 / len.max(1));
         t.row(vec![
@@ -225,43 +466,99 @@ fn main() {
             r.matches.to_string(),
             r.groups_exact.to_string(),
             r.trailing_emissions.to_string(),
+            r.trailing_prunes.to_string(),
         ]);
+        rows.push(obj(&[
+            ("run_len", r.run_len.to_string()),
+            ("runs", r.runs.to_string()),
+            ("matches", r.matches.to_string()),
+            ("longest_match_exact", r.groups_exact.to_string()),
+            (
+                "trailing_online_emissions",
+                r.trailing_emissions.to_string(),
+            ),
+            ("matches_emitted", r.matches_emitted.to_string()),
+            ("trailing_prunes", r.trailing_prunes.to_string()),
+        ]));
     }
     println!("{}", t.to_markdown());
+    sections.push(("E10", obj(&[("rows", arr(rows))])));
 
     // ------------------------------------------------------ ablations
     println!("## A1 — equality lifting: partition key vs residual filter\n");
     let feed = e9_feed(60);
     let mut t = TextTable::new(&["arm", "events", "retained", "kelem/s"]);
+    let mut rows = Vec::new();
     for partitioned in [true, false] {
         let (row, secs) = timed(|| a1_partitioning(&feed, partitioned), 3);
+        let arm = if partitioned {
+            "partition key"
+        } else {
+            "residual filter"
+        };
         t.row(vec![
-            if partitioned { "partition key" } else { "residual filter" }.to_string(),
+            arm.to_string(),
             row.events.to_string(),
             row.retained.to_string(),
             format!("{:.1}", feed.len() as f64 / secs / 1e3),
         ]);
+        rows.push(obj(&[
+            ("arm", jstr(arm)),
+            ("events", row.events.to_string()),
+            ("retained", row.retained.to_string()),
+            ("best_secs", jf(secs)),
+        ]));
     }
     println!("{}", t.to_markdown());
+    sections.push(("A1", obj(&[("rows", arr(rows))])));
 
     println!("## A2 — Example 1 plans: specialized Dedup vs generic NOT EXISTS\n");
     let w = a2_workload(5_000);
     let mut t = TextTable::new(&["plan", "cleaned", "peak_retained", "kreads/s"]);
-    let (fast, fast_s) = timed(|| a2_dedup_specialized(&w), 3);
-    t.row(vec![
-        fast.plan.to_string(),
-        fast.cleaned.to_string(),
-        fast.peak_retained.to_string(),
-        format!("{:.0}", w.len() as f64 / fast_s / 1e3),
-    ]);
-    let (slow, slow_s) = timed(|| a2_dedup_generic(&w), 3);
-    t.row(vec![
-        slow.plan.to_string(),
-        slow.cleaned.to_string(),
-        slow.peak_retained.to_string(),
-        format!("{:.0}", w.len() as f64 / slow_s / 1e3),
-    ]);
+    let mut rows = Vec::new();
+    for (r, secs) in [
+        timed(|| a2_dedup_specialized(&w), 3),
+        timed(|| a2_dedup_generic(&w), 3),
+    ] {
+        t.row(vec![
+            r.plan.to_string(),
+            r.cleaned.to_string(),
+            r.peak_retained.to_string(),
+            format!("{:.0}", w.len() as f64 / secs / 1e3),
+        ]);
+        rows.push(obj(&[
+            ("plan", jstr(r.plan)),
+            ("cleaned", r.cleaned.to_string()),
+            ("peak_retained", r.peak_retained.to_string()),
+            ("best_secs", jf(secs)),
+        ]));
+    }
     println!("{}", t.to_markdown());
+    sections.push(("A2", obj(&[("rows", arr(rows))])));
 
     println!("(Wall-clock columns are best-of-3 inline timings; run `cargo bench` for Criterion medians.)");
+
+    if let Some(path) = json_path {
+        let experiments = obj(&sections
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect::<Vec<_>>());
+        let doc = obj(&[
+            ("generated", jstr(&today_utc())),
+            ("best_of", "3".to_string()),
+            ("experiments", experiments),
+        ]);
+        let file = if path.is_dir() {
+            path.join(format!("BENCH_{}.json", today_utc()))
+        } else {
+            path
+        };
+        match std::fs::write(&file, doc + "\n") {
+            Ok(()) => println!("\nJSON results written to {}", file.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", file.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

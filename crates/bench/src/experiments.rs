@@ -229,7 +229,12 @@ pub fn e4_containment(gap_tightness: f64, overlap: bool, cases: usize) -> E4Row 
         for o in det.on_tuple(port, &t).expect("detect") {
             if let DetectorOutput::Match(m) = o {
                 detected.push((
-                    m.binding(1).first().value(1).as_str().expect("tag").to_string(),
+                    m.binding(1)
+                        .first()
+                        .value(1)
+                        .as_str()
+                        .expect("tag")
+                        .to_string(),
                     m.binding(0).count(),
                 ));
             }
@@ -356,6 +361,11 @@ pub struct E6Row {
     pub scaled_matches: usize,
     /// Peak tuples retained during the scaled run.
     pub peak_retained: usize,
+    /// Matches the scaled detector counted (== `scaled_matches`).
+    pub matches_emitted: u64,
+    /// Runs/bindings pruned during the scaled run — the per-mode
+    /// operational signature the observability layer surfaces.
+    pub prunes: u64,
 }
 
 /// The scaled E6 feed: an interleaved QC line, single shared tag space,
@@ -425,6 +435,8 @@ pub fn e6_mode(mode: PairingMode, feed: &[(usize, Tuple)]) -> E6Row {
         worked_example: worked,
         scaled_matches: matches,
         peak_retained: peak,
+        matches_emitted: det.matches_emitted(),
+        prunes: det.prunes(),
     }
 }
 
@@ -528,8 +540,8 @@ pub fn e8_door(theft_fraction: f64, exits: usize) -> E8Row {
     for r in &w.readings {
         engine.push("tag_readings", r.to_values()).expect("feed");
     }
-    let horizon = w.readings.last().map(|r| r.ts).unwrap_or(Timestamp::ZERO)
-        + Duration::from_mins(5);
+    let horizon =
+        w.readings.last().map(|r| r.ts).unwrap_or(Timestamp::ZERO) + Duration::from_mins(5);
     engine.advance_to(horizon).expect("punctuate");
     let rows = alerts.take();
     let truth: std::collections::BTreeSet<&str> = w.thefts.iter().map(|s| s.as_str()).collect();
@@ -651,12 +663,8 @@ pub fn e9_rceda(feed: &[(usize, Tuple)]) -> E9Row {
         let tag = i.tuples[0].value(1).clone();
         i.tuples.iter().all(|t| t.value(1) == &tag)
     });
-    let mut eng = RcedaEngine::new(
-        &EventExpr::seq_chain(4),
-        Context::Unrestricted,
-        Some(pred),
-    )
-    .expect("graph");
+    let mut eng = RcedaEngine::new(&EventExpr::seq_chain(4), Context::Unrestricted, Some(pred))
+        .expect("graph");
     let mut events = 0;
     for (port, t) in feed {
         events += eng.on_tuple(*port, t).len();
@@ -711,6 +719,11 @@ pub struct E10Row {
     /// Online emissions from the trailing-star variant `SEQ(b, a*)`
     /// (must equal `runs × run_len` — one per arrival).
     pub trailing_emissions: usize,
+    /// Matches counted by the closed-star detector.
+    pub matches_emitted: u64,
+    /// Runs pruned by the trailing-star (CONSECUTIVE) detector — each
+    /// new `b` breaks the previous open group.
+    pub trailing_prunes: u64,
 }
 
 /// Run E10 for one run length.
@@ -746,6 +759,7 @@ pub fn e10_star(run_len: usize, runs: usize) -> E10Row {
         }
         seq += 1;
     }
+    let closed_matches = det.matches_emitted();
     // Trailing star: SEQ(B, A*) — online emission per arrival.
     let pat = SeqPattern::new(
         vec![Element::new(1), Element::star(0)],
@@ -777,6 +791,8 @@ pub fn e10_star(run_len: usize, runs: usize) -> E10Row {
         matches,
         groups_exact,
         trailing_emissions: trailing,
+        matches_emitted: closed_matches,
+        trailing_prunes: det.prunes(),
     }
 }
 
@@ -816,7 +832,10 @@ mod tests {
     fn e5_alerts_match_and_ablation_misses_timeouts() {
         let r = e5_clinic(80);
         assert_eq!(r.alerts, r.violations);
-        assert_eq!(r.expiry_alerts, r.timeouts, "each timeout fires at its deadline");
+        assert_eq!(
+            r.expiry_alerts, r.timeouts,
+            "each timeout fires at its deadline"
+        );
         assert_eq!(r.expiry_alerts_without_expiration, 0);
         assert!(r.timeouts > 0, "workload must include timeouts");
     }
@@ -824,7 +843,10 @@ mod tests {
     #[test]
     fn e6_worked_example_counts() {
         let feed = e6_feed(20);
-        let rows: Vec<E6Row> = PairingMode::ALL.iter().map(|m| e6_mode(*m, &feed)).collect();
+        let rows: Vec<E6Row> = PairingMode::ALL
+            .iter()
+            .map(|m| e6_mode(*m, &feed))
+            .collect();
         let worked: Vec<usize> = rows.iter().map(|r| r.worked_example).collect();
         assert_eq!(worked, vec![4, 1, 1, 0]);
         // History ordering claim: UNRESTRICTED retains the most.
@@ -839,7 +861,11 @@ mod tests {
         let wide = e7_window(600, &feed);
         assert!(wide.unrestricted_matches >= narrow.unrestricted_matches);
         assert!(wide.unrestricted_retained >= narrow.unrestricted_retained);
-        assert!(wide.recent_retained <= 12, "RECENT state is O(pattern), got {}", wide.recent_retained);
+        assert!(
+            wide.recent_retained <= 12,
+            "RECENT state is O(pattern), got {}",
+            wide.recent_retained
+        );
     }
 
     #[test]
@@ -847,7 +873,11 @@ mod tests {
         let r = e8_door(0.1, 150);
         assert_eq!(r.alerts, r.thefts);
         assert_eq!(r.true_positives, r.thefts);
-        assert!((r.mean_latency_secs - 60.0).abs() < 1.0, "latency {}", r.mean_latency_secs);
+        assert!(
+            (r.mean_latency_secs - 60.0).abs() < 1.0,
+            "latency {}",
+            r.mean_latency_secs
+        );
     }
 
     #[test]

@@ -112,7 +112,9 @@ impl fmt::Display for SeqMatch {
             }
             match b {
                 Binding::Single(t) => write!(f, "{}", t.ts())?,
-                Binding::Star(g) => write!(f, "{}×{}..{}", g.len(), g[0].ts(), g[g.len() - 1].ts())?,
+                Binding::Star(g) => {
+                    write!(f, "{}×{}..{}", g.len(), g[0].ts(), g[g.len() - 1].ts())?
+                }
             }
         }
         write!(f, "]")
@@ -193,7 +195,11 @@ mod tests {
     use eslev_dsms::value::Value;
 
     fn t(secs: u64, seq: u64) -> Tuple {
-        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+        Tuple::new(
+            vec![Value::Int(secs as i64)],
+            Timestamp::from_secs(secs),
+            seq,
+        )
     }
 
     fn sample() -> SeqMatch {

@@ -93,6 +93,10 @@ pub struct Detector {
     states: HashMap<Vec<Value>, Box<dyn ModeEngine>>,
     matches_emitted: u64,
     exceptions_emitted: u64,
+    partitions_created: u64,
+    /// Prunes carried over from partitions already dropped, so the total
+    /// survives the dead-partition sweep in [`Detector::on_punctuation`].
+    prunes_carry: u64,
 }
 
 impl Detector {
@@ -115,6 +119,8 @@ impl Detector {
             states: HashMap::new(),
             matches_emitted: 0,
             exceptions_emitted: 0,
+            partitions_created: 0,
+            prunes_carry: 0,
         })
     }
 
@@ -130,9 +136,13 @@ impl Detector {
 
     fn engine(&mut self, key: Vec<Value>) -> &mut Box<dyn ModeEngine> {
         let (pattern, kind) = (&self.pattern, self.kind);
-        self.states.entry(key).or_insert_with(|| match kind {
-            DetectKind::Seq => engine_for(pattern.mode, pattern),
-            DetectKind::ExceptionSeq => Box::new(Exception::new()),
+        let created = &mut self.partitions_created;
+        self.states.entry(key).or_insert_with(|| {
+            *created += 1;
+            match kind {
+                DetectKind::Seq => engine_for(pattern.mode, pattern),
+                DetectKind::ExceptionSeq => Box::new(Exception::new()),
+            }
         })
     }
 
@@ -162,8 +172,17 @@ impl Detector {
             eng.on_punctuation(&pattern, ts, &mut raw)?;
         }
         // Dead partitions hold nothing: drop them so long-lived detectors
-        // over high-cardinality keys do not leak.
-        self.states.retain(|_, e| e.retained() > 0);
+        // over high-cardinality keys do not leak. Their prune totals move
+        // into the carry first so the detector-wide count is monotonic.
+        let carry = &mut self.prunes_carry;
+        self.states.retain(|_, e| {
+            if e.retained() > 0 {
+                true
+            } else {
+                *carry += e.prunes();
+                false
+            }
+        });
         self.postprocess(raw)
     }
 
@@ -211,6 +230,19 @@ impl Detector {
     pub fn exceptions_emitted(&self) -> u64 {
         self.exceptions_emitted
     }
+
+    /// Partitions created over the detector's lifetime (≥ live count).
+    pub fn partitions_created(&self) -> u64 {
+        self.partitions_created
+    }
+
+    /// Runs/bindings pruned across all partitions, including partitions
+    /// already swept away. The operational signature of the pairing mode:
+    /// RECENT overwrites constantly, CHRONICLE only on window expiry,
+    /// CONSECUTIVE on every adjacency break.
+    pub fn prunes(&self) -> u64 {
+        self.prunes_carry + self.states.values().map(|e| e.prunes()).sum::<u64>()
+    }
 }
 
 #[cfg(test)]
@@ -252,7 +284,9 @@ mod tests {
             ("p2", 3),
         ];
         for (i, (tag, port)) in feed.iter().enumerate() {
-            let outs = d.on_tuple(*port, &reading(tag, i as u64, i as u64)).unwrap();
+            let outs = d
+                .on_tuple(*port, &reading(tag, i as u64, i as u64))
+                .unwrap();
             matches += outs.iter().filter(|o| o.as_match().is_some()).count();
         }
         assert_eq!(matches, 2);
@@ -262,7 +296,10 @@ mod tests {
         let mut un = Detector::new(DetectorConfig::seq(qc_pattern(PairingMode::Recent))).unwrap();
         let mut un_matches = Vec::new();
         for (i, (tag, port)) in feed.iter().enumerate() {
-            un_matches.extend(un.on_tuple(*port, &reading(tag, i as u64, i as u64)).unwrap());
+            un_matches.extend(
+                un.on_tuple(*port, &reading(tag, i as u64, i as u64))
+                    .unwrap(),
+            );
         }
         let mixed = un_matches.iter().filter_map(|o| o.as_match()).any(|m| {
             let tags: Vec<&str> = m
@@ -277,8 +314,8 @@ mod tests {
 
     #[test]
     fn partition_arity_validated() {
-        let cfg = DetectorConfig::seq(qc_pattern(PairingMode::Recent))
-            .with_partition(vec![Expr::col(0)]);
+        let cfg =
+            DetectorConfig::seq(qc_pattern(PairingMode::Recent)).with_partition(vec![Expr::col(0)]);
         assert!(Detector::new(cfg).is_err());
     }
 
@@ -296,12 +333,16 @@ mod tests {
         let mut d = Detector::new(cfg).unwrap();
         let mut outs = Vec::new();
         for (i, port) in (0..4).enumerate() {
-            outs.extend(d.on_tuple(port, &reading("p", i as u64 * 5, i as u64)).unwrap());
+            outs.extend(
+                d.on_tuple(port, &reading("p", i as u64 * 5, i as u64))
+                    .unwrap(),
+            );
         }
         assert!(outs.is_empty(), "span 15 s filtered out");
         for (i, port) in (0..4).enumerate() {
             outs.extend(
-                d.on_tuple(port, &reading("p", 100 + i as u64, 10 + i as u64)).unwrap(),
+                d.on_tuple(port, &reading("p", 100 + i as u64, 10 + i as u64))
+                    .unwrap(),
             );
         }
         assert_eq!(outs.len(), 1);
@@ -354,12 +395,65 @@ mod tests {
             for port in 1..4usize {
                 d.on_tuple(
                     port,
-                    &reading(&format!("p{i}"), 200 + i * 4 + port as u64, 1000 + i * 4 + port as u64),
+                    &reading(
+                        &format!("p{i}"),
+                        200 + i * 4 + port as u64,
+                        1000 + i * 4 + port as u64,
+                    ),
                 )
                 .unwrap();
             }
         }
         d.on_punctuation(Timestamp::from_secs(10_000)).unwrap();
         assert_eq!(d.partitions(), 0);
+    }
+
+    /// The four pairing modes leave pairwise-distinct prune counts on the
+    /// same feed — the operational fingerprint the observability layer
+    /// surfaces (RECENT overwrites slots, CONSECUTIVE breaks adjacency,
+    /// UNRESTRICTED expires whole run sets, CHRONICLE consumes in order).
+    #[test]
+    fn prune_signatures_differ_per_mode() {
+        use crate::pattern::EventWindow;
+        // SEQ(A, B) with a 10s window preceding B. A-runs of different
+        // lengths; the doubled B at the end consumes one more queued A
+        // under CHRONICLE (fewer expiry prunes) but cannot break the
+        // already-empty CONSECUTIVE run.
+        let feed: [(usize, u64); 10] = [
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (0, 4),
+            (0, 5),
+            (1, 6),
+            (0, 7),
+            (1, 8),
+            (1, 9),
+        ];
+        let mut prunes = Vec::new();
+        for mode in PairingMode::ALL {
+            let pat = SeqPattern::new(
+                vec![Element::new(0), Element::new(1)],
+                Some(EventWindow::preceding(Duration::from_secs(10), 1)),
+                mode,
+            )
+            .unwrap();
+            let mut d = Detector::new(DetectorConfig::seq(pat)).unwrap();
+            for (i, (port, secs)) in feed.iter().enumerate() {
+                d.on_tuple(*port, &reading("t", *secs, i as u64)).unwrap();
+            }
+            d.on_punctuation(Timestamp::from_secs(100)).unwrap();
+            prunes.push((mode.keyword(), d.prunes()));
+        }
+        for a in 0..prunes.len() {
+            for b in (a + 1)..prunes.len() {
+                assert_ne!(
+                    prunes[a].1, prunes[b].1,
+                    "{} and {} should leave different prune counts: {prunes:?}",
+                    prunes[a].0, prunes[b].0
+                );
+            }
+        }
     }
 }

@@ -38,13 +38,7 @@ pub fn merge(feeds: Vec<Vec<Tuple>>) -> Vec<JointEntry> {
 pub fn notation(history: &[JointEntry]) -> String {
     let parts: Vec<String> = history
         .iter()
-        .map(|e| {
-            format!(
-                "t{}:C{}",
-                e.tuple.ts().as_micros() / 1_000_000,
-                e.port + 1
-            )
-        })
+        .map(|e| format!("t{}:C{}", e.tuple.ts().as_micros() / 1_000_000, e.port + 1))
         .collect();
     format!("[{}]", parts.join(", "))
 }
@@ -75,10 +69,7 @@ mod tests {
 
     #[test]
     fn merge_orders_by_time_then_seq() {
-        let merged = merge(vec![
-            vec![t(1, 0), t(5, 3)],
-            vec![t(2, 1), t(5, 2)],
-        ]);
+        let merged = merge(vec![vec![t(1, 0), t(5, 3)], vec![t(2, 1), t(5, 2)]]);
         let keys: Vec<(u64, u64)> = merged
             .iter()
             .map(|e| (e.tuple.ts().as_micros() / 1_000_000, e.tuple.seq()))

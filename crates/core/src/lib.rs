@@ -53,9 +53,7 @@ pub mod runs;
 
 /// One-stop imports for the temporal-operator layer.
 pub mod prelude {
-    pub use crate::binding::{
-        Binding, DetectorOutput, ExceptionCause, ExceptionEvent, SeqMatch,
-    };
+    pub use crate::binding::{Binding, DetectorOutput, ExceptionCause, ExceptionEvent, SeqMatch};
     pub use crate::detector::{DetectKind, Detector, DetectorConfig, MatchFilter};
     pub use crate::joint::{merge, JointEntry};
     pub use crate::mode::PairingMode;

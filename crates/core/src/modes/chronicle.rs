@@ -26,6 +26,7 @@ pub struct Chronicle {
     queues: Vec<VecDeque<Binding>>,
     /// Active trailing-star run (consumed prefix + growing group).
     trailing: Option<Run>,
+    prunes: u64,
 }
 
 impl Chronicle {
@@ -34,6 +35,7 @@ impl Chronicle {
         Chronicle {
             queues: (0..pat.len()).map(|_| VecDeque::new()).collect(),
             trailing: None,
+            prunes: 0,
         }
     }
 
@@ -168,8 +170,7 @@ impl ModeEngine for Chronicle {
                     if let Some(run) = &mut self.trailing {
                         let tail = run.group.last().cloned();
                         if tail.as_ref().is_some_and(|tail| {
-                            t.after(tail)
-                                && gap_ok(pat.elements[k].star_gap, Some(tail), t)
+                            t.after(tail) && gap_ok(pat.elements[k].star_gap, Some(tail), t)
                         }) {
                             run.group.push(t.clone());
                             let snap = run.snapshot_match();
@@ -180,6 +181,7 @@ impl ModeEngine for Chronicle {
                         }
                         // Gap broke: the run is finished; drop it.
                         self.trailing = None;
+                        self.prunes += 1;
                     }
                     if let Some(chosen) = self.search_prefix(pat, n - 1, t) {
                         let mut bindings = self.consume(&chosen);
@@ -225,6 +227,7 @@ impl ModeEngine for Chronicle {
                     for q in &mut self.queues {
                         while q.front().is_some_and(|b| b.last().ts() < bound) {
                             q.pop_front();
+                            self.prunes += 1;
                         }
                     }
                 }
@@ -232,11 +235,9 @@ impl ModeEngine for Chronicle {
                     // Anchor candidates whose window already closed can
                     // never head a completing chain.
                     let q = &mut self.queues[w.anchor];
-                    while q
-                        .front()
-                        .is_some_and(|b| b.first().ts() + w.dur < ts)
-                    {
+                    while q.front().is_some_and(|b| b.first().ts() + w.dur < ts) {
                         q.pop_front();
+                        self.prunes += 1;
                     }
                 }
                 _ => {}
@@ -245,6 +246,7 @@ impl ModeEngine for Chronicle {
         if let Some(run) = &self.trailing {
             if run.deadline(pat).is_some_and(|d| ts > d) {
                 self.trailing = None;
+                self.prunes += 1;
             }
         }
         Ok(())
@@ -258,6 +260,10 @@ impl ModeEngine for Chronicle {
             .sum::<usize>()
             + self.trailing.as_ref().map_or(0, |r| r.total_tuples())
     }
+
+    fn prunes(&self) -> u64 {
+        self.prunes
+    }
 }
 
 #[cfg(test)]
@@ -269,7 +275,11 @@ mod tests {
     use eslev_dsms::value::Value;
 
     fn t(secs: u64, seq: u64) -> Tuple {
-        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+        Tuple::new(
+            vec![Value::Int(secs as i64)],
+            Timestamp::from_secs(secs),
+            seq,
+        )
     }
 
     fn pat4() -> SeqPattern {
@@ -298,7 +308,8 @@ mod tests {
             (3, 7),
         ];
         for (i, (port, secs)) in history.iter().enumerate() {
-            eng.on_tuple(&pat, *port, &t(*secs, i as u64), &mut out).unwrap();
+            eng.on_tuple(&pat, *port, &t(*secs, i as u64), &mut out)
+                .unwrap();
         }
         assert_eq!(out.len(), 1);
         let secs: Vec<u64> = out[0]
@@ -449,7 +460,8 @@ mod tests {
         for i in 0..50u64 {
             eng.on_tuple(&pat, 0, &t(i, i), &mut out).unwrap();
         }
-        eng.on_punctuation(&pat, Timestamp::from_secs(100), &mut out).unwrap();
+        eng.on_punctuation(&pat, Timestamp::from_secs(100), &mut out)
+            .unwrap();
         assert_eq!(eng.retained(), 0);
     }
 
@@ -464,7 +476,8 @@ mod tests {
         let mut eng = Chronicle::new(&pat);
         let mut out = Vec::new();
         eng.on_tuple(&pat, 0, &t(0, 0), &mut out).unwrap();
-        eng.on_punctuation(&pat, Timestamp::from_secs(11), &mut out).unwrap();
+        eng.on_punctuation(&pat, Timestamp::from_secs(11), &mut out)
+            .unwrap();
         assert_eq!(eng.retained(), 0);
         // And the in-window path still matches.
         eng.on_tuple(&pat, 0, &t(20, 1), &mut out).unwrap();

@@ -21,6 +21,7 @@ use eslev_dsms::tuple::Tuple;
 #[derive(Default)]
 pub struct Consecutive {
     run: Run,
+    prunes: u64,
 }
 
 impl Consecutive {
@@ -75,6 +76,9 @@ impl ModeEngine for Consecutive {
             None => {
                 // Adjacency broken: the partial is dead; the offending
                 // tuple may start a fresh sequence.
+                if self.run.total_tuples() > 0 {
+                    self.prunes += 1;
+                }
                 self.restart_with(pat, t, port)?;
             }
         }
@@ -89,12 +93,17 @@ impl ModeEngine for Consecutive {
     ) -> Result<()> {
         if self.run.deadline(pat).is_some_and(|d| ts > d) {
             self.run = Run::new();
+            self.prunes += 1;
         }
         Ok(())
     }
 
     fn retained(&self) -> usize {
         self.run.total_tuples()
+    }
+
+    fn prunes(&self) -> u64 {
+        self.prunes
     }
 }
 
@@ -107,7 +116,11 @@ mod tests {
     use eslev_dsms::value::Value;
 
     fn t(secs: u64, seq: u64) -> Tuple {
-        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+        Tuple::new(
+            vec![Value::Int(secs as i64)],
+            Timestamp::from_secs(secs),
+            seq,
+        )
     }
 
     fn pat4() -> SeqPattern {
@@ -136,7 +149,8 @@ mod tests {
             (3, 7),
         ];
         for (i, (port, secs)) in history.iter().enumerate() {
-            eng.on_tuple(&pat, *port, &t(*secs, i as u64), &mut out).unwrap();
+            eng.on_tuple(&pat, *port, &t(*secs, i as u64), &mut out)
+                .unwrap();
         }
         assert!(out.is_empty());
     }
@@ -154,7 +168,8 @@ mod tests {
         let mut eng = Consecutive::new();
         let mut out = Vec::new();
         for (i, port) in [0usize, 1, 2, 0, 1, 2].iter().enumerate() {
-            eng.on_tuple(&pat, *port, &t(i as u64, i as u64), &mut out).unwrap();
+            eng.on_tuple(&pat, *port, &t(i as u64, i as u64), &mut out)
+                .unwrap();
         }
         assert_eq!(out.len(), 2);
         assert_eq!(eng.retained(), 0);
@@ -173,7 +188,8 @@ mod tests {
         let mut eng = Consecutive::new();
         let mut out = Vec::new();
         for (i, port) in [0usize, 1, 0, 1, 2].iter().enumerate() {
-            eng.on_tuple(&pat, *port, &t(i as u64, i as u64), &mut out).unwrap();
+            eng.on_tuple(&pat, *port, &t(i as u64, i as u64), &mut out)
+                .unwrap();
         }
         assert_eq!(out.len(), 1);
         assert_eq!(
@@ -233,7 +249,8 @@ mod tests {
         eng.on_tuple(&pat, 0, &t(0, 0), &mut out).unwrap();
         eng.on_tuple(&pat, 1, &t(5, 1), &mut out).unwrap();
         assert_eq!(eng.retained(), 2);
-        eng.on_punctuation(&pat, Timestamp::from_secs(11), &mut out).unwrap();
+        eng.on_punctuation(&pat, Timestamp::from_secs(11), &mut out)
+            .unwrap();
         assert_eq!(eng.retained(), 0);
         // Late C cannot complete the expired run.
         eng.on_tuple(&pat, 2, &t(12, 2), &mut out).unwrap();

@@ -31,6 +31,7 @@ use eslev_dsms::tuple::Tuple;
 #[derive(Default)]
 pub struct Exception {
     run: Run,
+    prunes: u64,
 }
 
 impl Exception {
@@ -39,12 +40,7 @@ impl Exception {
         Exception::default()
     }
 
-    fn raise(
-        &mut self,
-        cause: ExceptionCause,
-        ts: Timestamp,
-        out: &mut Vec<DetectorOutput>,
-    ) {
+    fn raise(&mut self, cause: ExceptionCause, ts: Timestamp, out: &mut Vec<DetectorOutput>) {
         let level = self.run.completion_level() + 1;
         let partial = self.run.partial_bindings();
         out.push(DetectorOutput::Exception(ExceptionEvent {
@@ -53,6 +49,9 @@ impl Exception {
             cause,
             ts,
         }));
+        if self.run.total_tuples() > 0 {
+            self.prunes += 1;
+        }
         self.run = Run::new();
     }
 }
@@ -120,6 +119,10 @@ impl ModeEngine for Exception {
     fn retained(&self) -> usize {
         self.run.total_tuples()
     }
+
+    fn prunes(&self) -> u64 {
+        self.prunes
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +134,11 @@ mod tests {
     use eslev_dsms::value::Value;
 
     fn t(secs: u64, seq: u64) -> Tuple {
-        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+        Tuple::new(
+            vec![Value::Int(secs as i64)],
+            Timestamp::from_secs(secs),
+            seq,
+        )
     }
 
     /// SEQ(A, B, C) — the clinic pattern of Example 5.
@@ -159,7 +166,8 @@ mod tests {
         let mut eng = Exception::new();
         let mut out = Vec::new();
         for (i, port) in [0usize, 1, 2].iter().enumerate() {
-            eng.on_tuple(&pat, *port, &t(i as u64, i as u64), &mut out).unwrap();
+            eng.on_tuple(&pat, *port, &t(i as u64, i as u64), &mut out)
+                .unwrap();
         }
         assert_eq!(out.len(), 1);
         assert!(out[0].as_match().is_some());
@@ -191,7 +199,8 @@ mod tests {
         let mut eng = Exception::new();
         let mut out = Vec::new();
         for (i, port) in [0usize, 1, 2].iter().enumerate() {
-            eng.on_tuple(&pat, *port, &t(i as u64, i as u64), &mut out).unwrap();
+            eng.on_tuple(&pat, *port, &t(i as u64, i as u64), &mut out)
+                .unwrap();
         }
         out.clear();
         eng.on_tuple(&pat, 2, &t(10, 3), &mut out).unwrap();
@@ -232,7 +241,8 @@ mod tests {
         let mut out = Vec::new();
         eng.on_tuple(&pat, 0, &t(0, 0), &mut out).unwrap();
         eng.on_tuple(&pat, 1, &t(600, 1), &mut out).unwrap();
-        eng.on_punctuation(&pat, Timestamp::from_secs(3601), &mut out).unwrap();
+        eng.on_punctuation(&pat, Timestamp::from_secs(3601), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1);
         let e = out[0].as_exception().unwrap();
         assert_eq!(e.level, 3);
@@ -240,7 +250,8 @@ mod tests {
         assert_eq!(e.ts, Timestamp::from_secs(3601));
         assert_eq!(eng.retained(), 0);
         // No repeated exception on further punctuation.
-        eng.on_punctuation(&pat, Timestamp::from_secs(4000), &mut out).unwrap();
+        eng.on_punctuation(&pat, Timestamp::from_secs(4000), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1);
     }
 
@@ -252,7 +263,8 @@ mod tests {
         eng.on_tuple(&pat, 0, &t(0, 0), &mut out).unwrap();
         eng.on_tuple(&pat, 1, &t(1200, 1), &mut out).unwrap();
         eng.on_tuple(&pat, 2, &t(2400, 2), &mut out).unwrap();
-        eng.on_punctuation(&pat, Timestamp::from_secs(10_000), &mut out).unwrap();
+        eng.on_punctuation(&pat, Timestamp::from_secs(10_000), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert!(out[0].as_match().is_some());
     }
@@ -284,7 +296,11 @@ mod star_tests {
     use eslev_dsms::value::Value;
 
     fn t(secs: u64, seq: u64) -> Tuple {
-        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+        Tuple::new(
+            vec![Value::Int(secs as i64)],
+            Timestamp::from_secs(secs),
+            seq,
+        )
     }
 
     /// §3.1.3's closing remark: EXCEPTION_SEQ also allows star sequences.

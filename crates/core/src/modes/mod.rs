@@ -48,6 +48,14 @@ pub trait ModeEngine: Send {
 
     /// Tuples currently retained (the paper's history-size metric).
     fn retained(&self) -> usize;
+
+    /// Bindings or runs discarded so far — by window expiry, adjacency
+    /// breaks or mode-specific overwrites. The per-mode pruning rate is
+    /// what differentiates the four pairing modes operationally, so it is
+    /// surfaced as an observability counter. Default: never prunes.
+    fn prunes(&self) -> u64 {
+        0
+    }
 }
 
 /// Instantiate the engine for a mode (SEQ detection).

@@ -36,6 +36,7 @@ struct ChainNode {
 /// The RECENT engine.
 pub struct Recent {
     latest: Vec<Option<Arc<ChainNode>>>,
+    prunes: u64,
 }
 
 impl Recent {
@@ -43,6 +44,7 @@ impl Recent {
     pub fn new(pat: &SeqPattern) -> Recent {
         Recent {
             latest: (0..pat.len()).map(|_| None).collect(),
+            prunes: 0,
         }
     }
 
@@ -162,6 +164,7 @@ impl ModeEngine for Recent {
             if !self.window_ok(pat, k, t.ts(), parent.as_ref()) {
                 continue;
             }
+            let mut grew_group = false;
             let new_node = if elem.star {
                 // Extend the current group when the gap allows (copy-on-
                 // write: snapshots held as parents elsewhere are frozen);
@@ -173,6 +176,7 @@ impl ModeEngine for Recent {
                     {
                         let mut g = cur.binding.tuples().to_vec();
                         g.push(t.clone());
+                        grew_group = true;
                         self.node_for(pat, k, Binding::Star(g), cur.parent.clone())
                     }
                     _ => {
@@ -186,6 +190,13 @@ impl ModeEngine for Recent {
                 self.node_for(pat, k, Binding::Single(t.clone()), parent)
             };
             let arc = Arc::new(new_node);
+            // Replacing an occupied slot is RECENT's "aggressive purge":
+            // the old head is discarded (snapshots held as parents stay
+            // alive). Growing a star group keeps its tuples, so it does
+            // not count.
+            if self.latest[k].is_some() && !grew_group {
+                self.prunes += 1;
+            }
             self.latest[k] = Some(arc.clone());
             if k == n - 1 {
                 // Completion (including online trailing-star snapshots).
@@ -211,6 +222,7 @@ impl ModeEngine for Recent {
                 .is_some_and(|node| node.deadline.is_some_and(|d| ts > d))
             {
                 *slot = None;
+                self.prunes += 1;
             }
         }
         Ok(())
@@ -232,6 +244,10 @@ impl ModeEngine for Recent {
         }
         total
     }
+
+    fn prunes(&self) -> u64 {
+        self.prunes
+    }
 }
 
 #[cfg(test)]
@@ -243,7 +259,11 @@ mod tests {
     use eslev_dsms::value::Value;
 
     fn t(secs: u64, seq: u64) -> Tuple {
-        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+        Tuple::new(
+            vec![Value::Int(secs as i64)],
+            Timestamp::from_secs(secs),
+            seq,
+        )
     }
 
     fn pat4() -> SeqPattern {
@@ -272,7 +292,8 @@ mod tests {
             (3, 7),
         ];
         for (i, (port, secs)) in history.iter().enumerate() {
-            eng.on_tuple(&pat, *port, &t(*secs, i as u64), &mut out).unwrap();
+            eng.on_tuple(&pat, *port, &t(*secs, i as u64), &mut out)
+                .unwrap();
         }
         let matches: Vec<_> = out.iter().filter_map(|o| o.as_match()).collect();
         assert_eq!(matches.len(), 1);
@@ -296,7 +317,8 @@ mod tests {
             .iter()
             .enumerate()
         {
-            eng.on_tuple(&pat, *port, &t(*secs, i as u64), &mut out).unwrap();
+            eng.on_tuple(&pat, *port, &t(*secs, i as u64), &mut out)
+                .unwrap();
         }
         // latest[1] was replaced by t6 after latest[2] snapshotted t3;
         // the match must use t3, not t6.
@@ -331,7 +353,8 @@ mod tests {
         let mut eng = Recent::new(&pat);
         let mut out = Vec::new();
         for i in 0..1000u64 {
-            eng.on_tuple(&pat, (i % 3) as usize, &t(i, i), &mut out).unwrap();
+            eng.on_tuple(&pat, (i % 3) as usize, &t(i, i), &mut out)
+                .unwrap();
         }
         // At most one (single-tuple) node per position, parents shared.
         assert!(eng.retained() <= 8, "retained {}", eng.retained());
@@ -401,7 +424,8 @@ mod tests {
         assert!(out.is_empty());
         // Punctuation purges the stale A node.
         assert!(eng.retained() > 0);
-        eng.on_punctuation(&pat, Timestamp::from_secs(30), &mut out).unwrap();
+        eng.on_punctuation(&pat, Timestamp::from_secs(30), &mut out)
+            .unwrap();
         assert_eq!(eng.retained(), 0);
     }
 
@@ -419,7 +443,10 @@ mod tests {
         eng.on_tuple(&pat, 0, &t(0, 0), &mut out).unwrap();
         eng.on_tuple(&pat, 1, &t(5, 1), &mut out).unwrap();
         eng.on_tuple(&pat, 2, &t(15, 2), &mut out).unwrap();
-        assert!(out.is_empty(), "C at 15 s violates FOLLOWING 10 s of A at 0");
+        assert!(
+            out.is_empty(),
+            "C at 15 s violates FOLLOWING 10 s of A at 0"
+        );
         // In-window completion works.
         eng.on_tuple(&pat, 0, &t(20, 3), &mut out).unwrap();
         eng.on_tuple(&pat, 1, &t(22, 4), &mut out).unwrap();

@@ -24,6 +24,7 @@ use eslev_dsms::tuple::Tuple;
 #[derive(Default)]
 pub struct Unrestricted {
     runs: Vec<Run>,
+    prunes: u64,
 }
 
 impl Unrestricted {
@@ -98,7 +99,9 @@ impl ModeEngine for Unrestricted {
                     if pat.len() == 1 {
                         unreachable!("patterns have >= 2 elements");
                     }
-                    if run.next_elem() == pat.len() - 1 && pat.trailing_star() && !run.group.is_empty()
+                    if run.next_elem() == pat.len() - 1
+                        && pat.trailing_star()
+                        && !run.group.is_empty()
                     {
                         emit(pat, run.snapshot_match(), out);
                     }
@@ -116,13 +119,19 @@ impl ModeEngine for Unrestricted {
         ts: Timestamp,
         _out: &mut Vec<DetectorOutput>,
     ) -> Result<()> {
+        let before = self.runs.len();
         self.runs
             .retain(|r| r.deadline(pat).is_none_or(|d| ts <= d));
+        self.prunes += (before - self.runs.len()) as u64;
         Ok(())
     }
 
     fn retained(&self) -> usize {
         self.runs.iter().map(|r| r.total_tuples()).sum()
+    }
+
+    fn prunes(&self) -> u64 {
+        self.prunes
     }
 }
 
@@ -139,7 +148,11 @@ mod tests {
     use eslev_dsms::value::Value;
 
     fn t(secs: u64, seq: u64) -> Tuple {
-        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+        Tuple::new(
+            vec![Value::Int(secs as i64)],
+            Timestamp::from_secs(secs),
+            seq,
+        )
     }
 
     fn pat4() -> SeqPattern {
@@ -169,7 +182,8 @@ mod tests {
             (3, 7),
         ];
         for (i, (port, secs)) in history.iter().enumerate() {
-            eng.on_tuple(&pat, *port, &t(*secs, i as u64), &mut out).unwrap();
+            eng.on_tuple(&pat, *port, &t(*secs, i as u64), &mut out)
+                .unwrap();
         }
         let matches: Vec<_> = out.iter().filter_map(|o| o.as_match()).collect();
         assert_eq!(matches.len(), 4);
@@ -271,7 +285,8 @@ mod tests {
         let mut out = Vec::new();
         eng.on_tuple(&pat, 0, &t(0, 0), &mut out).unwrap();
         assert_eq!(eng.run_count(), 1);
-        eng.on_punctuation(&pat, Timestamp::from_secs(11), &mut out).unwrap();
+        eng.on_punctuation(&pat, Timestamp::from_secs(11), &mut out)
+            .unwrap();
         assert_eq!(eng.run_count(), 0);
         assert_eq!(eng.retained(), 0);
         // A late second element finds nothing.

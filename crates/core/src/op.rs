@@ -11,7 +11,7 @@
 use crate::binding::DetectorOutput;
 use crate::detector::Detector;
 use eslev_dsms::error::Result;
-use eslev_dsms::ops::Operator;
+use eslev_dsms::ops::{OpReport, Operator};
 use eslev_dsms::time::Timestamp;
 use eslev_dsms::tuple::Tuple;
 
@@ -64,6 +64,19 @@ impl Operator for DetectorOp {
 
     fn retained(&self) -> usize {
         self.detector.retained()
+    }
+
+    fn report(&self) -> OpReport {
+        let d = &self.detector;
+        let mut r = OpReport::leaf(self.name(), d.retained());
+        r.counters = vec![
+            ("matches".to_string(), d.matches_emitted()),
+            ("exceptions".to_string(), d.exceptions_emitted()),
+            ("partitions".to_string(), d.partitions() as u64),
+            ("partitions_created".to_string(), d.partitions_created()),
+            ("prunes".to_string(), d.prunes()),
+        ];
+        r
     }
 }
 

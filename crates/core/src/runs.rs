@@ -215,7 +215,8 @@ impl Run {
             Ext::Advance { idx } => {
                 if !self.group.is_empty() {
                     debug_assert_eq!(idx, self.bindings.len() + 1);
-                    self.bindings.push(Binding::Star(std::mem::take(&mut self.group)));
+                    self.bindings
+                        .push(Binding::Star(std::mem::take(&mut self.group)));
                 }
                 debug_assert_eq!(idx, self.bindings.len());
                 if pat.elements[idx].star {
@@ -270,11 +271,7 @@ pub fn matches_elem(e: &Element, t: &Tuple, port: usize) -> Result<bool> {
 
 /// Gap check: `t` within `limit` after `prev` (vacuously true without a
 /// limit or predecessor).
-pub fn gap_ok(
-    limit: Option<eslev_dsms::time::Duration>,
-    prev: Option<&Tuple>,
-    t: &Tuple,
-) -> bool {
+pub fn gap_ok(limit: Option<eslev_dsms::time::Duration>, prev: Option<&Tuple>, t: &Tuple) -> bool {
     match (limit, prev) {
         (Some(d), Some(p)) => t.ts().since(p.ts()).is_some_and(|g| g <= d),
         _ => true,
@@ -318,7 +315,11 @@ mod tests {
     use eslev_dsms::value::Value;
 
     fn t(secs: u64, seq: u64) -> Tuple {
-        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+        Tuple::new(
+            vec![Value::Int(secs as i64)],
+            Timestamp::from_secs(secs),
+            seq,
+        )
     }
 
     fn seq2() -> SeqPattern {
@@ -383,8 +384,7 @@ mod tests {
     fn star_group_absorbs_until_gap_breaks() {
         let pat = star_then_case();
         let mut run = Run::new();
-        let millis =
-            |ms: u64, seq: u64| Tuple::new(vec![], Timestamp::from_millis(ms), seq);
+        let millis = |ms: u64, seq: u64| Tuple::new(vec![], Timestamp::from_millis(ms), seq);
         let p1 = millis(0, 0);
         let p2 = millis(800, 1);
         let p3 = millis(3000, 2); // gap 2.2 s > star_gap 1 s
@@ -500,10 +500,8 @@ mod tests {
     fn predicate_gates_matching() {
         let pat = SeqPattern::new(
             vec![
-                Element::new(0).with_predicate(Expr::eq(
-                    eslev_dsms::expr::Expr::col(0),
-                    Expr::lit(7i64),
-                )),
+                Element::new(0)
+                    .with_predicate(Expr::eq(eslev_dsms::expr::Expr::col(0), Expr::lit(7i64))),
                 Element::new(1),
             ],
             None,

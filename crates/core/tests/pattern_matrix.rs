@@ -7,13 +7,14 @@ use eslev_dsms::expr::Expr;
 use eslev_dsms::prelude::{Duration, Timestamp, Tuple, Value};
 
 fn t(secs: u64, seq: u64) -> Tuple {
-    Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+    Tuple::new(
+        vec![Value::Int(secs as i64)],
+        Timestamp::from_secs(secs),
+        seq,
+    )
 }
 
-fn run(
-    pat: SeqPattern,
-    feed: &[(usize, u64)],
-) -> (Vec<SeqMatch>, usize) {
+fn run(pat: SeqPattern, feed: &[(usize, u64)]) -> (Vec<SeqMatch>, usize) {
     let mut d = Detector::new(DetectorConfig::seq(pat)).unwrap();
     let mut out = Vec::new();
     for (i, (port, secs)) in feed.iter().enumerate() {
@@ -93,12 +94,7 @@ fn two_star_pattern_recent() {
 #[test]
 fn unclosed_star_never_fires() {
     for mode in PairingMode::ALL {
-        let pat = SeqPattern::new(
-            vec![Element::star(0), Element::new(1)],
-            None,
-            mode,
-        )
-        .unwrap();
+        let pat = SeqPattern::new(vec![Element::star(0), Element::new(1)], None, mode).unwrap();
         let feed: Vec<(usize, u64)> = (1..20).map(|i| (0usize, i)).collect();
         let (matches, _) = run(pat, &feed);
         assert!(matches.is_empty(), "{mode}");
@@ -118,11 +114,7 @@ fn window_and_partition_interact() {
     let cfg = DetectorConfig::seq(pat).with_partition(vec![Expr::col(0); 3]);
     let mut d = Detector::new(cfg).unwrap();
     let reading = |tag: &str, secs: u64, seq: u64| {
-        Tuple::new(
-            vec![Value::str(tag)],
-            Timestamp::from_secs(secs),
-            seq,
-        )
+        Tuple::new(vec![Value::str(tag)], Timestamp::from_secs(secs), seq)
     };
     let mut matches = 0;
     // fast: 0 → 10 → 20 (within 30 s); slow: 0 → 10 → 50 (outside).
@@ -191,10 +183,7 @@ fn element_predicates_filter_participants() {
     use eslev_dsms::expr::BinOp;
     let hot = Expr::bin(BinOp::Ge, Expr::col(0), Expr::lit(100i64));
     let pat = SeqPattern::new(
-        vec![
-            Element::star(0).with_predicate(hot),
-            Element::new(1),
-        ],
+        vec![Element::star(0).with_predicate(hot), Element::new(1)],
         None,
         PairingMode::Consecutive,
     )

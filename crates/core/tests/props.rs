@@ -33,10 +33,7 @@ fn pattern(ports: usize, mode: PairingMode, star_first: bool) -> SeqPattern {
     SeqPattern::new(elements, None, mode).unwrap()
 }
 
-fn run_detector(
-    pat: SeqPattern,
-    feed: &[(usize, Tuple)],
-) -> (Vec<SeqMatch>, usize) {
+fn run_detector(pat: SeqPattern, feed: &[(usize, Tuple)]) -> (Vec<SeqMatch>, usize) {
     let mut d = Detector::new(DetectorConfig::seq(pat)).unwrap();
     let mut matches = Vec::new();
     for (port, t) in feed {

@@ -5,7 +5,11 @@ use eslev_core::prelude::*;
 use eslev_dsms::prelude::{Duration, Timestamp, Tuple, Value};
 
 fn t(secs: u64, seq: u64) -> Tuple {
-    Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+    Tuple::new(
+        vec![Value::Int(secs as i64)],
+        Timestamp::from_secs(secs),
+        seq,
+    )
 }
 
 fn detect(pat: SeqPattern, feed: &[(usize, u64)]) -> Vec<SeqMatch> {
@@ -77,11 +81,11 @@ fn star_chain_freshness() {
     let m = detect(
         pat,
         &[
-            (0, 1),  // A@1
-            (1, 2),  // B@2
-            (1, 3),  // B@3
-            (0, 4),  // A@4 replaces latest[0] — but B-group keeps parent A@1
-            (2, 5),  // C closes: chain must be (A@1, B@2..3, C@5)
+            (0, 1), // A@1
+            (1, 2), // B@2
+            (1, 3), // B@3
+            (0, 4), // A@4 replaces latest[0] — but B-group keeps parent A@1
+            (2, 5), // C closes: chain must be (A@1, B@2..3, C@5)
         ],
     );
     assert_eq!(m.len(), 1);

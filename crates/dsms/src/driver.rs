@@ -9,6 +9,7 @@
 
 use crate::engine::Engine;
 use crate::error::{DsmsError, Result};
+use crate::obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use crate::time::Timestamp;
 use crate::value::Value;
 use crossbeam::channel::{bounded, Sender};
@@ -25,25 +26,43 @@ enum Command {
 ///
 /// Cloneable; all clones feed the same engine. Errors inside the worker
 /// are returned by [`EngineDriver::stop`].
+///
+/// The driver registers its own instruments in the engine's
+/// [`Registry`]: `eslev_driver_queue_depth` (commands in flight),
+/// `eslev_driver_commands_total` (commands processed by the worker) and
+/// `eslev_driver_flush_ns` (round-trip latency of [`EngineDriver::flush`]).
+/// A registry clone survives the engine moving onto the worker thread, so
+/// [`EngineDriver::metrics`] reads live values concurrently.
 pub struct EngineDriver {
     tx: Sender<Command>,
     handle: Option<JoinHandle<Result<()>>>,
+    obs: Registry,
+    queue_depth: Gauge,
+    flush_ns: Histogram,
 }
 
 /// Cloneable producer handle derived from a driver.
 #[derive(Clone)]
 pub struct EngineInput {
     tx: Sender<Command>,
+    queue_depth: Gauge,
 }
 
 impl EngineDriver {
     /// Move `engine` onto a worker thread. `queue` bounds the channel
     /// (back-pressure for fast producers).
     pub fn spawn(mut engine: Engine, queue: usize) -> EngineDriver {
+        let obs = engine.registry();
+        let queue_depth = obs.gauge("eslev_driver_queue_depth", &[]);
+        let flush_ns = obs.histogram("eslev_driver_flush_ns", &[]);
+        let commands: Counter = obs.counter("eslev_driver_commands_total", &[]);
+        let depth = queue_depth.clone();
         let (tx, rx) = bounded::<Command>(queue.max(1));
         let handle = std::thread::spawn(move || -> Result<()> {
             let mut first_err: Option<DsmsError> = None;
             for cmd in rx {
+                depth.add(-1);
+                commands.inc();
                 match cmd {
                     Command::Push { stream, values } => {
                         if first_err.is_none() {
@@ -73,6 +92,9 @@ impl EngineDriver {
         EngineDriver {
             tx,
             handle: Some(handle),
+            obs,
+            queue_depth,
+            flush_ns,
         }
     }
 
@@ -80,18 +102,35 @@ impl EngineDriver {
     pub fn input(&self) -> EngineInput {
         EngineInput {
             tx: self.tx.clone(),
+            queue_depth: self.queue_depth.clone(),
         }
     }
 
-    /// Block until every command sent so far has been processed.
+    /// Live snapshot of every instrument the engine (and this driver)
+    /// registered — safe to call while the worker is processing.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// The shared instrument registry.
+    pub fn registry(&self) -> Registry {
+        self.obs.clone()
+    }
+
+    /// Block until every command sent so far has been processed. The
+    /// round-trip time lands in `eslev_driver_flush_ns`.
     pub fn flush(&self) -> Result<()> {
+        let started = std::time::Instant::now();
         let (ack_tx, ack_rx) = bounded(1);
         self.tx
             .send(Command::Flush(ack_tx))
             .map_err(|_| DsmsError::plan("engine worker terminated"))?;
-        ack_rx
+        self.queue_depth.add(1);
+        let res = ack_rx
             .recv()
-            .map_err(|_| DsmsError::plan("engine worker terminated"))
+            .map_err(|_| DsmsError::plan("engine worker terminated"));
+        self.flush_ns.record_duration(started.elapsed());
+        res
     }
 
     /// Stop the worker and recover the engine (with all collectors and
@@ -122,14 +161,18 @@ impl EngineInput {
                 stream: stream.to_string(),
                 values,
             })
-            .map_err(|_| DsmsError::plan("engine worker terminated"))
+            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
+        self.queue_depth.add(1);
+        Ok(())
     }
 
     /// Queue a punctuation.
     pub fn advance_to(&self, ts: Timestamp) -> Result<()> {
         self.tx
             .send(Command::Advance(ts))
-            .map_err(|_| DsmsError::plan("engine worker terminated"))
+            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
+        self.queue_depth.add(1);
+        Ok(())
     }
 }
 
@@ -165,7 +208,9 @@ mod tests {
         let input = driver.input();
         let h = std::thread::spawn(move || {
             for i in 0..100u64 {
-                input.push("readings", reading(i, &format!("t{i}"))).unwrap();
+                input
+                    .push("readings", reading(i, &format!("t{i}")))
+                    .unwrap();
             }
         });
         h.join().unwrap();
@@ -184,6 +229,60 @@ mod tests {
         input.push("nonexistent", reading(1, "t")).unwrap();
         let err = driver.stop().err().expect("worker must surface the error");
         assert!(err.to_string().contains("nonexistent"));
+    }
+
+    #[test]
+    fn metrics_record_under_concurrency() {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("s1")).unwrap();
+        e.create_stream(Schema::readings("s2")).unwrap();
+        for s in ["s1", "s2"] {
+            e.register_collected(
+                format!("q_{s}"),
+                vec![s],
+                Box::new(Select::new(Expr::lit(true))),
+            )
+            .unwrap();
+        }
+        let driver = EngineDriver::spawn(e, 64);
+        // One producer thread per stream (per-stream order still holds).
+        let handles: Vec<_> = ["s1", "s2"]
+            .into_iter()
+            .map(|s| {
+                let input = driver.input();
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        input.push(s, reading(i, &format!("t{i}"))).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        driver.flush().unwrap();
+        // Live metrics while the worker thread still owns the engine:
+        // 400 pushes + 1 flush, all drained by the time flush acks.
+        let m = driver.metrics();
+        assert_eq!(m.counter("eslev_driver_commands_total", &[]), Some(401));
+        assert_eq!(m.gauge("eslev_driver_queue_depth", &[]), Some(0));
+        let flush = m
+            .histogram("eslev_driver_flush_ns", &[])
+            .expect("registered");
+        assert!(flush.count >= 1, "flush round-trip must be recorded");
+        for q in ["q_s1", "q_s2"] {
+            let wall = m
+                .histogram("eslev_query_wall_ns", &[("query", q)])
+                .expect("registered");
+            assert!(
+                wall.count >= 1,
+                "{q} wall histogram sampled under concurrency"
+            );
+            assert!(wall.sum > 0, "{q} wall samples must be non-zero");
+        }
+        let engine = driver.stop().unwrap();
+        assert_eq!(engine.stream_pushed("s1").unwrap(), 200);
+        assert_eq!(engine.stream_pushed("s2").unwrap(), 200);
     }
 
     #[test]

@@ -21,17 +21,22 @@
 use crate::agg::AggregateRegistry;
 use crate::error::{DsmsError, Result};
 use crate::expr::FunctionRegistry;
-use crate::ops::Operator;
+use crate::obs::{Counter, Histogram, MetricValue, MetricsSnapshot, Registry};
+use crate::ops::{OpReport, Operator};
 use crate::schema::SchemaRef;
 use crate::snapshot::{MaterializedWindow, SnapshotRef};
 use crate::table::{Table, TableRef};
-use crate::window::WindowExtent;
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
 use crate::value::Value;
+use crate::window::WindowExtent;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// 1-in-64 sampling for the per-query wall-clock histograms: cheap
+/// enough to leave on, frequent enough to fill the buckets quickly.
+const WALL_SAMPLE_MASK: u64 = 63;
 
 /// Where a query's output tuples go.
 pub enum Sink {
@@ -99,6 +104,10 @@ pub struct QueryStats {
     pub emitted: u64,
     /// Tuples retained in operator state.
     pub retained: usize,
+    /// Tuples delivered to the query across all ports.
+    pub tuples_in: u64,
+    /// Tuples routed to the query's sink.
+    pub tuples_out: u64,
 }
 
 struct QueryState {
@@ -107,12 +116,22 @@ struct QueryState {
     sink: Sink,
     emitted: u64,
     active: bool,
+    /// Tuples delivered to the query (all ports).
+    tuples_in: Counter,
+    /// Tuples the query emitted to its sink.
+    tuples_out: Counter,
+    /// Sampled wall-clock per operator invocation, nanoseconds.
+    wall: Histogram,
 }
 
 struct StreamEntry {
     schema: SchemaRef,
     last_ts: Timestamp,
     pushed: u64,
+    /// Registry twin of `pushed` (readable from snapshots).
+    pushed_ctr: Counter,
+    /// Out-of-order arrivals rejected on this stream.
+    rejected_ctr: Counter,
     /// Bounded-disorder handling: arrivals buffer here and release in
     /// timestamp order once the stream's high-water mark passes them by
     /// `slack` (RFID readers timestamp with jitter; §2's model still
@@ -126,6 +145,10 @@ struct ReorderState {
     max_seen: Timestamp,
     /// Buffered arrivals, drained in (ts, seq) order.
     pending: std::collections::BTreeMap<(Timestamp, u64), Tuple>,
+    /// Arrivals that entered the buffer.
+    buffered_ctr: Counter,
+    /// Tuples released from the buffer (slack release or explicit flush).
+    flushed_ctr: Counter,
 }
 
 /// The DSMS runtime. Single-threaded and deterministic; see
@@ -143,6 +166,10 @@ pub struct Engine {
     next_seq: u64,
     now: Timestamp,
     auto_watermark: bool,
+    /// Shared instrument registry (cloneable; see [`Engine::registry`]).
+    obs: Registry,
+    /// Punctuations delivered via [`Engine::advance_to`].
+    punctuations: Counter,
 }
 
 impl Default for Engine {
@@ -154,6 +181,8 @@ impl Default for Engine {
 impl Engine {
     /// Fresh engine with built-in aggregates, no streams or queries.
     pub fn new() -> Engine {
+        let obs = Registry::new();
+        let punctuations = obs.counter("eslev_punctuations_total", &[]);
         Engine {
             streams: HashMap::new(),
             tables: HashMap::new(),
@@ -165,7 +194,16 @@ impl Engine {
             next_seq: 0,
             now: Timestamp::ZERO,
             auto_watermark: true,
+            obs,
+            punctuations,
         }
+    }
+
+    /// The engine's instrument registry. Clones share the underlying
+    /// instruments, so a clone taken before handing the engine to a
+    /// [`crate::driver::EngineDriver`] keeps reading live values.
+    pub fn registry(&self) -> Registry {
+        self.obs.clone()
     }
 
     /// Disable per-tuple watermarks (multiple unsynchronized feeds).
@@ -184,12 +222,17 @@ impl Engine {
         if self.streams.contains_key(&name) || self.tables.contains_key(&name) {
             return Err(DsmsError::duplicate(name));
         }
+        let labels = [("stream", name.as_str())];
+        let pushed_ctr = self.obs.counter("eslev_stream_pushed_total", &labels);
+        let rejected_ctr = self.obs.counter("eslev_stream_rejected_total", &labels);
         self.streams.insert(
             name,
             StreamEntry {
                 schema,
                 last_ts: Timestamp::ZERO,
                 pushed: 0,
+                pushed_ctr,
+                rejected_ctr,
                 reorder: None,
             },
         );
@@ -254,14 +297,20 @@ impl Engine {
         stream: &str,
         slack: crate::time::Duration,
     ) -> Result<()> {
+        let lower = stream.to_ascii_lowercase();
+        let labels = [("stream", lower.as_str())];
+        let buffered_ctr = self.obs.counter("eslev_disorder_buffered_total", &labels);
+        let flushed_ctr = self.obs.counter("eslev_disorder_flushed_total", &labels);
         let entry = self
             .streams
-            .get_mut(&stream.to_ascii_lowercase())
+            .get_mut(&lower)
             .ok_or_else(|| DsmsError::unknown(format!("stream `{stream}`")))?;
         entry.reorder = Some(ReorderState {
             slack,
             max_seen: Timestamp::ZERO,
             pending: std::collections::BTreeMap::new(),
+            buffered_ctr,
+            flushed_ctr,
         });
         Ok(())
     }
@@ -278,8 +327,11 @@ impl Engine {
         for name in names {
             let drained: Vec<Tuple> = {
                 let entry = self.streams.get_mut(&name).expect("name from map");
-                let Some(r) = entry.reorder.as_mut() else { continue };
+                let Some(r) = entry.reorder.as_mut() else {
+                    continue;
+                };
                 let all: Vec<Tuple> = std::mem::take(&mut r.pending).into_values().collect();
+                r.flushed_ctr.add(all.len() as u64);
                 all
             };
             for t in drained {
@@ -294,14 +346,10 @@ impl Engine {
         debug_assert!(t.ts() >= entry.last_ts, "reorder buffer releases in order");
         entry.last_ts = t.ts();
         entry.pushed += 1;
+        entry.pushed_ctr.inc();
         let ts = t.ts();
         if self.auto_watermark && ts > self.now {
             self.advance_to(ts)?;
-        }
-        if let Some(mats) = self.materialized.get(lower) {
-            for m in mats {
-                m.push(t.clone());
-            }
         }
         self.dispatch(lower.to_string(), t)
     }
@@ -365,12 +413,21 @@ impl Engine {
                 .or_default()
                 .push((idx, port));
         }
+        let name = name.into();
+        let id = idx.to_string();
+        let labels = [("query", name.as_str()), ("id", id.as_str())];
+        let tuples_in = self.obs.counter("eslev_query_tuples_in_total", &labels);
+        let tuples_out = self.obs.counter("eslev_query_tuples_out_total", &labels);
+        let wall = self.obs.histogram("eslev_query_wall_ns", &labels);
         self.queries.push(QueryState {
-            name: name.into(),
+            name,
             op,
             sink,
             emitted: 0,
             active: true,
+            tuples_in,
+            tuples_out,
+            wall,
         });
         Ok(QueryId(idx))
     }
@@ -403,6 +460,7 @@ impl Engine {
                 let entry = self.streams.get_mut(&lower).expect("looked up above");
                 let r = entry.reorder.as_mut().expect("checked");
                 if t.ts() < entry.last_ts {
+                    entry.rejected_ctr.inc();
                     return Err(DsmsError::OutOfOrder(format!(
                         "stream `{stream}` tuple at {} is more than {} behind the newest arrival",
                         t.ts(),
@@ -411,6 +469,7 @@ impl Engine {
                 }
                 r.max_seen = r.max_seen.max(t.ts());
                 r.pending.insert((t.ts(), t.seq()), t);
+                r.buffered_ctr.inc();
                 let bound = r.max_seen.saturating_sub(r.slack);
                 let mut out = Vec::new();
                 while let Some(entry0) = r.pending.first_entry() {
@@ -420,6 +479,7 @@ impl Engine {
                         break;
                     }
                 }
+                r.flushed_ctr.add(out.len() as u64);
                 out
             };
             for rt in releasable {
@@ -428,6 +488,7 @@ impl Engine {
             return Ok(());
         }
         if t.ts() < entry.last_ts {
+            entry.rejected_ctr.inc();
             return Err(DsmsError::OutOfOrder(format!(
                 "stream `{stream}` regressed from {} to {}",
                 entry.last_ts,
@@ -461,6 +522,10 @@ impl Engine {
             return Ok(());
         }
         self.now = ts;
+        // Sample punctuation latency on the same 1-in-64 schedule as
+        // tuples (auto-watermark turns every push into a punctuation, so
+        // this path is just as hot).
+        let sampled = self.punctuations.inc_get() & WALL_SAMPLE_MASK == 0;
         for mats in self.materialized.values() {
             for m in mats {
                 m.advance(ts);
@@ -472,7 +537,14 @@ impl Engine {
                 continue;
             }
             let mut outs = Vec::new();
-            self.queries[idx].op.on_punctuation(ts, &mut outs)?;
+            {
+                let q = &mut self.queries[idx];
+                let started = sampled.then(std::time::Instant::now);
+                q.op.on_punctuation(ts, &mut outs)?;
+                if let Some(s) = started {
+                    q.wall.record_duration(s.elapsed());
+                }
+            }
             self.route(idx, outs, &mut work)?;
         }
         self.drain(work)
@@ -500,6 +572,13 @@ impl Engine {
                     "query cascade exceeded 10M steps; cyclic stream wiring?",
                 ));
             }
+            // Materialized windows track every tuple entering the stream,
+            // whether pushed externally or derived from a query sink.
+            if let Some(mats) = self.materialized.get(&stream) {
+                for m in mats {
+                    m.push(t.clone());
+                }
+            }
             let Some(subs) = self.subs.get(&stream) else {
                 continue;
             };
@@ -509,7 +588,15 @@ impl Engine {
                     continue;
                 }
                 let mut outs = Vec::new();
-                self.queries[idx].op.on_tuple(port, &t, &mut outs)?;
+                {
+                    let q = &mut self.queries[idx];
+                    let n = q.tuples_in.inc_get();
+                    let started = (n & WALL_SAMPLE_MASK == 0).then(std::time::Instant::now);
+                    q.op.on_tuple(port, &t, &mut outs)?;
+                    if let Some(s) = started {
+                        q.wall.record_duration(s.elapsed());
+                    }
+                }
                 self.route(idx, outs, &mut work)?;
             }
         }
@@ -526,6 +613,7 @@ impl Engine {
             return Ok(());
         }
         self.queries[idx].emitted += outs.len() as u64;
+        self.queries[idx].tuples_out.add(outs.len() as u64);
         match &self.queries[idx].sink {
             Sink::Discard => {}
             Sink::Collect(c) => {
@@ -558,6 +646,7 @@ impl Engine {
                         e.last_ts = nt.ts();
                     }
                     e.pushed += 1;
+                    e.pushed_ctr.inc();
                     work.push_back((lower.clone(), nt));
                 }
             }
@@ -588,6 +677,8 @@ impl Engine {
                 active: q.active,
                 emitted: q.emitted,
                 retained: q.op.retained(),
+                tuples_in: q.tuples_in.get(),
+                tuples_out: q.tuples_out.get(),
             })
             .collect()
     }
@@ -615,6 +706,109 @@ impl Engine {
     pub fn query_name(&self, id: QueryId) -> &str {
         &self.queries[id.0].name
     }
+
+    /// Per-stream introspection, sorted by stream name.
+    pub fn stream_stats(&self) -> Vec<StreamInfo> {
+        let mut rows: Vec<StreamInfo> = self
+            .streams
+            .iter()
+            .map(|(name, e)| StreamInfo {
+                name: name.clone(),
+                pushed: e.pushed,
+                last_ts: e.last_ts,
+                buffered: e.reorder.as_ref().map_or(0, |r| r.pending.len()),
+                disorder_slack: e.reorder.as_ref().map(|r| r.slack),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+
+    /// Observability report for a query: the operator tree's per-stage
+    /// counters with the engine-level flow totals filled in at the root.
+    pub fn query_report(&self, id: QueryId) -> OpReport {
+        let q = &self.queries[id.0];
+        let mut r = q.op.report();
+        r.tuples_in = q.tuples_in.get();
+        r.tuples_out = q.tuples_out.get();
+        r
+    }
+
+    /// [`Engine::query_report`] looked up by name (first registration
+    /// wins when names repeat).
+    pub fn query_report_by_name(&self, name: &str) -> Option<OpReport> {
+        self.queries
+            .iter()
+            .position(|q| q.name == name)
+            .map(|i| self.query_report(QueryId(i)))
+    }
+
+    /// Export every metric: the registered instruments (stream/query
+    /// counters, latency histograms, driver instruments when driven)
+    /// plus derived per-stage operator samples and retention gauges.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.snapshot();
+        for (i, q) in self.queries.iter().enumerate() {
+            let id = i.to_string();
+            snap.push(
+                "eslev_query_retained",
+                &[("query", q.name.as_str()), ("id", id.as_str())],
+                MetricValue::Gauge(q.op.retained() as i64),
+            );
+            let r = self.query_report(QueryId(i));
+            Self::append_report(&mut snap, &q.name, &r);
+        }
+        snap
+    }
+
+    fn append_report(snap: &mut MetricsSnapshot, query: &str, r: &OpReport) {
+        let labels = [("query", query), ("stage", r.name.as_str())];
+        snap.push(
+            "eslev_stage_tuples_in_total",
+            &labels,
+            MetricValue::Counter(r.tuples_in),
+        );
+        snap.push(
+            "eslev_stage_tuples_out_total",
+            &labels,
+            MetricValue::Counter(r.tuples_out),
+        );
+        snap.push(
+            "eslev_stage_retained",
+            &labels,
+            MetricValue::Gauge(r.retained as i64),
+        );
+        if let Some(w) = &r.wall_ns {
+            if w.count > 0 {
+                snap.push(
+                    "eslev_stage_wall_ns",
+                    &labels,
+                    MetricValue::Histogram(w.clone()),
+                );
+            }
+        }
+        for (k, v) in &r.counters {
+            snap.push(format!("eslev_op_{k}"), &labels, MetricValue::Counter(*v));
+        }
+        for child in &r.children {
+            Self::append_report(snap, query, child);
+        }
+    }
+}
+
+/// One row of [`Engine::stream_stats`].
+#[derive(Debug, Clone)]
+pub struct StreamInfo {
+    /// Stream name (lowercased registry key).
+    pub name: String,
+    /// Tuples that entered the stream (pushed or derived).
+    pub pushed: u64,
+    /// Newest delivered event time.
+    pub last_ts: Timestamp,
+    /// Tuples waiting in the disorder buffer.
+    pub buffered: usize,
+    /// Disorder tolerance, when enabled.
+    pub disorder_slack: Option<crate::time::Duration>,
 }
 
 #[cfg(test)]
@@ -629,7 +823,8 @@ mod tests {
     fn engine_with_readings() -> Engine {
         let mut e = Engine::new();
         e.create_stream(Schema::readings("readings")).unwrap();
-        e.create_stream(Schema::readings("cleaned_readings")).unwrap();
+        e.create_stream(Schema::readings("cleaned_readings"))
+            .unwrap();
         e
     }
 
@@ -809,6 +1004,47 @@ mod tests {
         assert_eq!(e.emitted(id), 1);
         assert_eq!(e.query_name(id), "proj");
         assert_eq!(out.take()[0].arity(), 2);
+    }
+
+    #[test]
+    fn metrics_survive_deregistration() {
+        let mut e = engine_with_readings();
+        let (id, _out) = e
+            .register_collected(
+                "all",
+                vec!["readings"],
+                Box::new(Select::new(Expr::lit(true))),
+            )
+            .unwrap();
+        e.push("readings", reading(1, "r", "a")).unwrap();
+        e.push("readings", reading(2, "r", "b")).unwrap();
+        let before = e.metrics_snapshot();
+        assert_eq!(
+            before.counter("eslev_query_tuples_in_total", &[("query", "all")]),
+            Some(2)
+        );
+        e.deregister_query(id);
+        // Pushes after deregistration must not advance the query's
+        // counters — but must not erase them either.
+        e.push("readings", reading(3, "r", "c")).unwrap();
+        let after = e.metrics_snapshot();
+        assert_eq!(
+            after.counter("eslev_query_tuples_in_total", &[("query", "all")]),
+            Some(2),
+            "deregistered query keeps its accumulated counters"
+        );
+        assert_eq!(
+            after.counter("eslev_query_tuples_out_total", &[("query", "all")]),
+            Some(2)
+        );
+        assert_eq!(
+            after.counter("eslev_stream_pushed_total", &[("stream", "readings")]),
+            Some(3)
+        );
+        let stats = e.query_stats();
+        assert!(!stats[0].active);
+        assert_eq!(stats[0].tuples_in, 2);
+        assert_eq!(stats[0].tuples_out, 2);
     }
 }
 

@@ -46,6 +46,7 @@ pub mod engine;
 pub mod error;
 pub mod expr;
 pub mod lookup;
+pub mod obs;
 pub mod ops;
 pub mod schema;
 pub mod snapshot;
@@ -59,13 +60,17 @@ pub mod window;
 pub mod prelude {
     pub use crate::agg::{Aggregate, AggregateRegistry, ClosureUda};
     pub use crate::driver::{EngineDriver, EngineInput};
-    pub use crate::engine::{Collector, Engine, QueryId, QueryStats, Sink};
+    pub use crate::engine::{Collector, Engine, QueryId, QueryStats, Sink, StreamInfo};
     pub use crate::error::{DsmsError, Result};
     pub use crate::expr::{BinOp, Expr, FunctionRegistry, LikePattern};
     pub use crate::lookup::{MissPolicy, TableExists, TableLookup};
+    pub use crate::obs::{
+        Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue, MetricsSnapshot,
+        Registry,
+    };
     pub use crate::ops::{
-        AggSpec, AggWindow, BinaryJoin, Chain, Dedup, Emission, Operator, Project, Select, SemiJoinKind,
-        WindowAggregate, WindowExists,
+        AggSpec, AggWindow, BinaryJoin, Chain, Dedup, Emission, OpReport, Operator, Project,
+        Select, SemiJoinKind, WindowAggregate, WindowExists,
     };
     pub use crate::schema::{Column, Schema, SchemaRef};
     pub use crate::snapshot::{MaterializedWindow, SnapshotRef};

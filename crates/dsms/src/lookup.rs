@@ -59,7 +59,10 @@ impl Operator for TableLookup {
         if rows.is_empty() {
             if self.miss == MissPolicy::NullPad {
                 let mut vals = t.values().to_vec();
-                vals.extend(std::iter::repeat_n(Value::Null, self.table.schema().arity()));
+                vals.extend(std::iter::repeat_n(
+                    Value::Null,
+                    self.table.schema().arity(),
+                ));
                 out.push(Tuple::new(vals, t.ts(), t.seq()));
             }
             return Ok(());
@@ -167,10 +170,18 @@ mod tests {
             )
             .unwrap(),
         ));
-        t.insert(vec![Value::str("t1"), Value::str("pump"), Value::Bool(true)])
-            .unwrap();
-        t.insert(vec![Value::str("t2"), Value::str("valve"), Value::Bool(false)])
-            .unwrap();
+        t.insert(vec![
+            Value::str("t1"),
+            Value::str("pump"),
+            Value::Bool(true),
+        ])
+        .unwrap();
+        t.insert(vec![
+            Value::str("t2"),
+            Value::str("valve"),
+            Value::Bool(false),
+        ])
+        .unwrap();
         t
     }
 
@@ -198,8 +209,7 @@ mod tests {
         assert!(out.is_empty());
 
         let mut pad_op =
-            TableLookup::new(context_table(), Expr::col(0), "tagid", MissPolicy::NullPad)
-                .unwrap();
+            TableLookup::new(context_table(), Expr::col(0), "tagid", MissPolicy::NullPad).unwrap();
         pad_op.on_tuple(0, &reading("unknown"), &mut out).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].arity(), 4);
@@ -234,7 +244,11 @@ mod tests {
         )
         .unwrap();
         let mk = |tag: &str, loc: &str| {
-            Tuple::new(vec![Value::str(tag), Value::str(loc)], Timestamp::from_secs(1), 0)
+            Tuple::new(
+                vec![Value::str(tag), Value::str(loc)],
+                Timestamp::from_secs(1),
+                0,
+            )
         };
         let mut out = Vec::new();
         op.on_tuple(0, &mk("t1", "dock"), &mut out).unwrap(); // already known
@@ -264,7 +278,11 @@ mod tests {
     fn fan_out_on_multiple_matches() {
         let table = context_table();
         table
-            .insert(vec![Value::str("t1"), Value::str("spare"), Value::Bool(true)])
+            .insert(vec![
+                Value::str("t1"),
+                Value::str("spare"),
+                Value::Bool(true),
+            ])
             .unwrap();
         let mut op = TableLookup::new(table, Expr::col(0), "tagid", MissPolicy::Drop).unwrap();
         let mut out = Vec::new();

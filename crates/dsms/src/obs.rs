@@ -1,0 +1,708 @@
+//! Self-contained observability: counters, gauges, log-bucketed
+//! histograms, a process-local registry, and text exporters.
+//!
+//! Everything here is hand-rolled on `std::sync::atomic` so the engine
+//! stays dependency-free and builds offline. Instruments are cheap,
+//! cloneable handles around shared atomics: the single-threaded
+//! [`Engine`](crate::engine::Engine) and the concurrent
+//! [`EngineDriver`](crate::driver::EngineDriver) use the same types, and
+//! a [`Registry`] clone held outside the driver's worker thread reads
+//! live values without any coordination beyond relaxed atomic loads.
+//!
+//! The exporters produce the Prometheus text exposition format
+//! ([`MetricsSnapshot::to_prometheus`]) and a stable JSON rendering
+//! ([`MetricsSnapshot::to_json`]) without any serialization crate.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of power-of-two histogram buckets (bucket `i` holds values `v`
+/// with `2^(i-1) <= v < 2^i`; bucket 0 holds zero).
+const HIST_BUCKETS: usize = 65;
+
+/// Monotonically increasing event count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    v: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one and return the value *before* the increment — one atomic
+    /// op where hot paths would otherwise pair [`Counter::get`] with
+    /// [`Counter::inc`] (e.g. the engine's wall-clock sampling decision).
+    #[inline]
+    pub fn inc_get(&self) -> u64 {
+        self.v.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depths, retained state, ...).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    v: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Shift the level by `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.v.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// Log-bucketed distribution of `u64` observations (typically
+/// nanoseconds). Power-of-two buckets trade precision for a fixed
+/// footprint and a branch-free record path.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(f, "Histogram(count={}, sum={})", s.count, s.sum)
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else position of the highest set bit
+/// plus one (so `2^(i-1) <= v < 2^i` lands in bucket `i`).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Fresh empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds (saturating past ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough copy of the current state (buckets are read
+    /// without a global lock; concurrent recording may skew totals by the
+    /// in-flight handful).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.inner.count.load(Ordering::Relaxed);
+        let sum = self.inner.sum.load(Ordering::Relaxed);
+        let mut buckets = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            // Inclusive upper bound of bucket i is 2^i - 1 (bucket 0: 0).
+            let le = if i >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << i).saturating_sub(1)
+            };
+            buckets.push((le, cumulative));
+        }
+        HistogramSnapshot {
+            count,
+            sum,
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive upper bound, cumulative count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`
+    /// (within a factor of two of the true value; 0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        for &(le, cumulative) in &self.buckets {
+            if cumulative >= rank {
+                return le;
+            }
+        }
+        self.buckets.last().map(|&(le, _)| le).unwrap_or(0)
+    }
+}
+
+/// The value part of one exported metric.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Monotone count.
+    Counter(u64),
+    /// Signed level.
+    Gauge(i64),
+    /// Distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One exported metric: name, labels, value.
+#[derive(Clone, Debug)]
+pub struct MetricSample {
+    /// Metric name (`snake_case`, conventionally `eslev_`-prefixed).
+    pub name: String,
+    /// Label key/value pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The observed value.
+    pub value: MetricValue,
+}
+
+impl MetricSample {
+    fn matches(&self, name: &str, labels: &[(&str, &str)]) -> bool {
+        self.name == name
+            && labels
+                .iter()
+                .all(|(k, v)| self.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+    }
+}
+
+/// A point-in-time export of every registered instrument (plus any
+/// samples appended by the caller, e.g. per-operator stage metrics).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// All samples, in registration/append order.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Append a sample (used by the engine for derived metrics that have
+    /// no registered instrument, like per-stage operator reports).
+    pub fn push(&mut self, name: impl Into<String>, labels: &[(&str, &str)], value: MetricValue) {
+        self.samples.push(MetricSample {
+            name: name.into(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        });
+    }
+
+    /// First counter matching `name` whose labels include all of
+    /// `labels`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.samples.iter().find_map(|s| match s.value {
+            MetricValue::Counter(v) if s.matches(name, labels) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// First gauge matching `name` whose labels include all of `labels`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.samples.iter().find_map(|s| match s.value {
+            MetricValue::Gauge(v) if s.matches(name, labels) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// First histogram matching `name` whose labels include all of
+    /// `labels`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.samples.iter().find_map(|s| match &s.value {
+            MetricValue::Histogram(h) if s.matches(name, labels) => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Render in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            match &s.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        s.name,
+                        prom_labels(&s.labels, None),
+                        v
+                    ));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        s.name,
+                        prom_labels(&s.labels, None),
+                        v
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    for &(le, cumulative) in &h.buckets {
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            s.name,
+                            prom_labels(&s.labels, Some(&le.to_string())),
+                            cumulative
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        s.name,
+                        prom_labels(&s.labels, Some("+Inf")),
+                        h.count
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        s.name,
+                        prom_labels(&s.labels, None),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        s.name,
+                        prom_labels(&s.labels, None),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as JSON: `{"metrics": [{"name", "labels", "type", ...}]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json_string(&mut out, &s.name);
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in s.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, k);
+                out.push(':');
+                json_string(&mut out, v);
+            }
+            out.push('}');
+            match &s.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!(",\"type\":\"counter\",\"value\":{v}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(",\"type\":\"gauge\",\"value\":{v}"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        ",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count, h.sum
+                    ));
+                    for (j, (le, cumulative)) in h.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("[{le},{cumulative}]"));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Render a Prometheus label set, optionally with an extra `le` label.
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{}=\"{}\"", k, prom_escape(v)));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("le=\"{le}\""));
+    }
+    out.push('}');
+    out
+}
+
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Append a JSON string literal (quotes and control chars escaped).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// A shared, cloneable collection of named instruments.
+///
+/// Registration is idempotent: asking for the same `(name, labels)` again
+/// returns a handle to the same underlying atomics, so callers can
+/// re-derive handles instead of threading them through.
+#[derive(Clone, Default)]
+pub struct Registry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        write!(f, "Registry({n} instruments)")
+    }
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn with_entries<R>(&self, f: impl FnOnce(&mut Vec<Entry>) -> R) -> R {
+        let mut guard = self
+            .entries
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        f(&mut guard)
+    }
+
+    /// Register (or re-fetch) a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.with_entries(|entries| {
+            for e in entries.iter() {
+                if let Instrument::Counter(c) = &e.instrument {
+                    if e.name == name && label_eq(&e.labels, labels) {
+                        return c.clone();
+                    }
+                }
+            }
+            let c = Counter::new();
+            entries.push(Entry {
+                name: name.to_string(),
+                labels: own_labels(labels),
+                instrument: Instrument::Counter(c.clone()),
+            });
+            c
+        })
+    }
+
+    /// Register (or re-fetch) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.with_entries(|entries| {
+            for e in entries.iter() {
+                if let Instrument::Gauge(g) = &e.instrument {
+                    if e.name == name && label_eq(&e.labels, labels) {
+                        return g.clone();
+                    }
+                }
+            }
+            let g = Gauge::new();
+            entries.push(Entry {
+                name: name.to_string(),
+                labels: own_labels(labels),
+                instrument: Instrument::Gauge(g.clone()),
+            });
+            g
+        })
+    }
+
+    /// Register (or re-fetch) a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.with_entries(|entries| {
+            for e in entries.iter() {
+                if let Instrument::Histogram(h) = &e.instrument {
+                    if e.name == name && label_eq(&e.labels, labels) {
+                        return h.clone();
+                    }
+                }
+            }
+            let h = Histogram::new();
+            entries.push(Entry {
+                name: name.to_string(),
+                labels: own_labels(labels),
+                instrument: Instrument::Histogram(h.clone()),
+            });
+            h
+        })
+    }
+
+    /// Point-in-time copy of every registered instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.with_entries(|entries| {
+            let samples = entries
+                .iter()
+                .map(|e| MetricSample {
+                    name: e.name.clone(),
+                    labels: e.labels.clone(),
+                    value: match &e.instrument {
+                        Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                        Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect();
+            MetricsSnapshot { samples }
+        })
+    }
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn label_eq(owned: &[(String, String)], borrowed: &[(&str, &str)]) -> bool {
+    owned.len() == borrowed.len()
+        && owned
+            .iter()
+            .zip(borrowed)
+            .all(|((ak, av), (bk, bv))| ak == bk && av == bv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1105);
+        // Zero lands in bucket 0 with upper bound 0.
+        assert_eq!(s.buckets[0], (0, 1));
+        // Everything is within the largest bucket's bound.
+        assert!(s.quantile(1.0) >= 1000);
+        assert!(s.quantile(0.5) <= 3);
+        assert!((s.mean() - 1105.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_of_is_monotone_and_tight() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("hits", &[("q", "one")]);
+        let b = r.counter("hits", &[("q", "one")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let other = r.counter("hits", &[("q", "two")]);
+        other.inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("hits", &[("q", "one")]), Some(2));
+        assert_eq!(snap.counter("hits", &[("q", "two")]), Some(1));
+        assert_eq!(snap.counter("hits", &[("q", "three")]), None);
+    }
+
+    #[test]
+    fn registry_clones_share_instruments() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter("n", &[]).add(3);
+        assert_eq!(r2.snapshot().counter("n", &[]), Some(3));
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let r = Registry::new();
+        r.counter("eslev_pushed_total", &[("stream", "r1")]).add(5);
+        r.gauge("eslev_depth", &[]).set(-2);
+        let h = r.histogram("eslev_lat_ns", &[("q", "dedup")]);
+        h.record(3);
+        h.record(100);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("eslev_pushed_total{stream=\"r1\"} 5"));
+        assert!(text.contains("eslev_depth -2"));
+        assert!(text.contains("eslev_lat_ns_bucket{q=\"dedup\",le=\"3\"} 1"));
+        assert!(text.contains("eslev_lat_ns_bucket{q=\"dedup\",le=\"+Inf\"} 2"));
+        assert!(text.contains("eslev_lat_ns_sum{q=\"dedup\"} 103"));
+        assert!(text.contains("eslev_lat_ns_count{q=\"dedup\"} 2"));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let mut snap = MetricsSnapshot::default();
+        snap.push("m", &[("q", "we\"ird\nname")], MetricValue::Counter(1));
+        let json = snap.to_json();
+        assert!(json.contains("\"we\\\"ird\\nname\""));
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let h = Histogram::new();
+        let c = Counter::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let h = h.clone();
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for v in 0..1000u64 {
+                    h.record(v);
+                    c.inc();
+                }
+            }));
+        }
+        for jh in handles {
+            jh.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.buckets.last().unwrap().1, 4000);
+    }
+}

@@ -123,7 +123,8 @@ impl WindowAggregate {
             g.accs = Self::fresh_accs(specs);
             for (_, vals) in &g.window {
                 for (acc, v) in g.accs.iter_mut().zip(vals) {
-                    acc.iterate(v).expect("re-iterate of previously accepted value");
+                    acc.iterate(v)
+                        .expect("re-iterate of previously accepted value");
                 }
             }
             g.dirty = false;
@@ -256,13 +257,22 @@ mod tests {
         agg.on_tuple(0, &t("b", 7, 2, 2), &mut out).unwrap();
         assert_eq!(out.len(), 3);
         // key, count, sum
-        assert_eq!(out[1].values(), &[Value::str("a"), Value::Int(2), Value::Int(15)]);
-        assert_eq!(out[2].values(), &[Value::str("b"), Value::Int(1), Value::Int(7)]);
+        assert_eq!(
+            out[1].values(),
+            &[Value::str("a"), Value::Int(2), Value::Int(15)]
+        );
+        assert_eq!(
+            out[2].values(),
+            &[Value::str("b"), Value::Int(1), Value::Int(7)]
+        );
     }
 
     #[test]
     fn sliding_window_retracts() {
-        let mut agg = count_sum(Some(AggWindow::Range(Duration::from_secs(10))), Emission::PerArrival);
+        let mut agg = count_sum(
+            Some(AggWindow::Range(Duration::from_secs(10))),
+            Emission::PerArrival,
+        );
         let mut out = Vec::new();
         agg.on_tuple(0, &t("a", 1, 0, 0), &mut out).unwrap();
         agg.on_tuple(0, &t("a", 2, 5, 1), &mut out).unwrap();
@@ -303,12 +313,14 @@ mod tests {
         agg.on_tuple(0, &t("a", 1, 0, 0), &mut out).unwrap();
         agg.on_tuple(0, &t("b", 2, 1, 1), &mut out).unwrap();
         assert!(out.is_empty());
-        agg.on_punctuation(Timestamp::from_secs(60), &mut out).unwrap();
+        agg.on_punctuation(Timestamp::from_secs(60), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 2);
         // Next period starts fresh (tumbling).
         out.clear();
         agg.on_tuple(0, &t("a", 9, 61, 2), &mut out).unwrap();
-        agg.on_punctuation(Timestamp::from_secs(120), &mut out).unwrap();
+        agg.on_punctuation(Timestamp::from_secs(120), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(
             out[0].values(),
@@ -335,17 +347,22 @@ mod tests {
             &[Value::str("b"), Value::Int(1), Value::Int(7)]
         );
         // Time never expires a ROWS window.
-        agg.on_punctuation(Timestamp::from_secs(1_000_000), &mut out).unwrap();
+        agg.on_punctuation(Timestamp::from_secs(1_000_000), &mut out)
+            .unwrap();
         assert!(agg.retained() > 0);
     }
 
     #[test]
     fn punctuation_prunes_expired_sliding_groups() {
-        let mut agg = count_sum(Some(AggWindow::Range(Duration::from_secs(1))), Emission::PerArrival);
+        let mut agg = count_sum(
+            Some(AggWindow::Range(Duration::from_secs(1))),
+            Emission::PerArrival,
+        );
         let mut out = Vec::new();
         agg.on_tuple(0, &t("a", 1, 0, 0), &mut out).unwrap();
         assert_eq!(agg.retained(), 1);
-        agg.on_punctuation(Timestamp::from_secs(100), &mut out).unwrap();
+        agg.on_punctuation(Timestamp::from_secs(100), &mut out)
+            .unwrap();
         assert_eq!(agg.retained(), 0);
     }
 }

@@ -14,7 +14,7 @@
 //!    WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id)
 //! ```
 
-use super::Operator;
+use super::{OpReport, Operator};
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::time::{Duration, Timestamp};
@@ -33,6 +33,7 @@ pub struct Dedup {
     /// Keys are purged lazily when stream time has moved a full window
     /// past them; this counter avoids rescanning the map on every tuple.
     last_purge: Timestamp,
+    suppressed: u64,
 }
 
 impl Dedup {
@@ -43,7 +44,13 @@ impl Dedup {
             window,
             last_seen: HashMap::new(),
             last_purge: Timestamp::ZERO,
+            suppressed: 0,
         }
+    }
+
+    /// Duplicates suppressed so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
     }
 
     fn key_of(&self, t: &Tuple) -> Result<Vec<Value>> {
@@ -69,7 +76,9 @@ impl Operator for Dedup {
         };
         // Duplicates still refresh the suppression window (chained bursts).
         self.last_seen.insert(key, now);
-        if !dup {
+        if dup {
+            self.suppressed += 1;
+        } else {
             out.push(t.clone());
         }
         // Amortized purge: once stream time has advanced 2 windows past
@@ -91,6 +100,12 @@ impl Operator for Dedup {
 
     fn retained(&self) -> usize {
         self.last_seen.len()
+    }
+
+    fn report(&self) -> OpReport {
+        let mut r = OpReport::leaf(self.name(), self.retained());
+        r.counters = vec![("suppressed".to_string(), self.suppressed)];
+        r
     }
 }
 
@@ -120,7 +135,8 @@ mod tests {
         let mut out = Vec::new();
         d.on_tuple(0, &reading("r", "t", 0, 0), &mut out).unwrap();
         d.on_tuple(0, &reading("r", "t", 500, 1), &mut out).unwrap();
-        d.on_tuple(0, &reading("r", "t", 2000, 2), &mut out).unwrap();
+        d.on_tuple(0, &reading("r", "t", 2000, 2), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].ts(), Timestamp::ZERO);
         assert_eq!(out[1].ts(), Timestamp::from_secs(2));
@@ -132,10 +148,12 @@ mod tests {
         let mut out = Vec::new();
         d.on_tuple(0, &reading("r", "t", 0, 0), &mut out).unwrap();
         // Exactly 1s later: still inside RANGE 1s PRECEDING.
-        d.on_tuple(0, &reading("r", "t", 1000, 1), &mut out).unwrap();
+        d.on_tuple(0, &reading("r", "t", 1000, 1), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1);
         // 1s + 1ms after the *duplicate* (which refreshed the window).
-        d.on_tuple(0, &reading("r", "t", 2001, 2), &mut out).unwrap();
+        d.on_tuple(0, &reading("r", "t", 2001, 2), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 2);
     }
 
@@ -147,7 +165,8 @@ mod tests {
         let mut d = dedup_1s();
         let mut out = Vec::new();
         for i in 0..5u64 {
-            d.on_tuple(0, &reading("r", "t", i * 600, i), &mut out).unwrap();
+            d.on_tuple(0, &reading("r", "t", i * 600, i), &mut out)
+                .unwrap();
         }
         assert_eq!(out.len(), 1);
     }
@@ -171,7 +190,8 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(d.retained(), 100);
-        d.on_punctuation(Timestamp::from_secs(10), &mut out).unwrap();
+        d.on_punctuation(Timestamp::from_secs(10), &mut out)
+            .unwrap();
         assert_eq!(d.retained(), 0);
     }
 

@@ -90,11 +90,7 @@ impl WindowExists {
                 }
                 SemiJoinKind::NotExists => {
                     if !p.witnessed {
-                        out.push(Tuple::new(
-                            p.outer.values().to_vec(),
-                            close,
-                            p.outer.seq(),
-                        ));
+                        out.push(Tuple::new(p.outer.values().to_vec(), close, p.outer.seq()));
                     }
                 }
             }
@@ -130,7 +126,11 @@ impl WindowExists {
             p.witnessed = true;
             if self.kind == SemiJoinKind::Exists {
                 let emit_ts = p.outer.ts().max(self.now);
-                out.push(Tuple::new(p.outer.values().to_vec(), emit_ts, p.outer.seq()));
+                out.push(Tuple::new(
+                    p.outer.values().to_vec(),
+                    emit_ts,
+                    p.outer.seq(),
+                ));
             }
         }
         Ok(())
@@ -257,10 +257,12 @@ mod tests {
     fn not_exists_alerts_when_unaccompanied() {
         let mut op = theft_detector();
         let mut out = Vec::new();
-        op.on_tuple(0, &reading("item1", "item", 100, 0), &mut out).unwrap();
+        op.on_tuple(0, &reading("item1", "item", 100, 0), &mut out)
+            .unwrap();
         assert!(out.is_empty(), "decision requires window close");
         // Advance time past 100+60.
-        op.on_punctuation(Timestamp::from_secs(161), &mut out).unwrap();
+        op.on_punctuation(Timestamp::from_secs(161), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].value(0), &Value::str("item1"));
         assert_eq!(out[0].ts(), Timestamp::from_secs(160)); // close time
@@ -270,9 +272,12 @@ mod tests {
     fn not_exists_suppressed_by_preceding_person() {
         let mut op = theft_detector();
         let mut out = Vec::new();
-        op.on_tuple(1, &reading("alice", "person", 80, 0), &mut out).unwrap();
-        op.on_tuple(0, &reading("item1", "item", 100, 1), &mut out).unwrap();
-        op.on_punctuation(Timestamp::from_secs(200), &mut out).unwrap();
+        op.on_tuple(1, &reading("alice", "person", 80, 0), &mut out)
+            .unwrap();
+        op.on_tuple(0, &reading("item1", "item", 100, 1), &mut out)
+            .unwrap();
+        op.on_punctuation(Timestamp::from_secs(200), &mut out)
+            .unwrap();
         assert!(out.is_empty());
     }
 
@@ -280,9 +285,12 @@ mod tests {
     fn not_exists_suppressed_by_following_person() {
         let mut op = theft_detector();
         let mut out = Vec::new();
-        op.on_tuple(0, &reading("item1", "item", 100, 0), &mut out).unwrap();
-        op.on_tuple(1, &reading("alice", "person", 150, 1), &mut out).unwrap();
-        op.on_punctuation(Timestamp::from_secs(200), &mut out).unwrap();
+        op.on_tuple(0, &reading("item1", "item", 100, 0), &mut out)
+            .unwrap();
+        op.on_tuple(1, &reading("alice", "person", 150, 1), &mut out)
+            .unwrap();
+        op.on_punctuation(Timestamp::from_secs(200), &mut out)
+            .unwrap();
         assert!(out.is_empty());
     }
 
@@ -290,19 +298,29 @@ mod tests {
     fn person_outside_window_does_not_suppress() {
         let mut op = theft_detector();
         let mut out = Vec::new();
-        op.on_tuple(1, &reading("alice", "person", 10, 0), &mut out).unwrap();
-        op.on_tuple(0, &reading("item1", "item", 100, 1), &mut out).unwrap();
-        op.on_tuple(1, &reading("bob", "person", 170, 2), &mut out).unwrap();
-        op.on_punctuation(Timestamp::from_secs(300), &mut out).unwrap();
-        assert_eq!(out.len(), 1, "persons at 10 and 170 are both outside ±60 of 100");
+        op.on_tuple(1, &reading("alice", "person", 10, 0), &mut out)
+            .unwrap();
+        op.on_tuple(0, &reading("item1", "item", 100, 1), &mut out)
+            .unwrap();
+        op.on_tuple(1, &reading("bob", "person", 170, 2), &mut out)
+            .unwrap();
+        op.on_punctuation(Timestamp::from_secs(300), &mut out)
+            .unwrap();
+        assert_eq!(
+            out.len(),
+            1,
+            "persons at 10 and 170 are both outside ±60 of 100"
+        );
     }
 
     #[test]
     fn outer_filter_ignores_non_items() {
         let mut op = theft_detector();
         let mut out = Vec::new();
-        op.on_tuple(0, &reading("alice", "person", 100, 0), &mut out).unwrap();
-        op.on_punctuation(Timestamp::from_secs(500), &mut out).unwrap();
+        op.on_tuple(0, &reading("alice", "person", 100, 0), &mut out)
+            .unwrap();
+        op.on_punctuation(Timestamp::from_secs(500), &mut out)
+            .unwrap();
         assert!(out.is_empty());
         assert_eq!(op.retained(), 0);
     }
@@ -316,13 +334,16 @@ mod tests {
             Some(Expr::eq(Expr::col(1), Expr::lit("item"))),
         );
         let mut out = Vec::new();
-        op.on_tuple(0, &reading("item1", "item", 100, 0), &mut out).unwrap();
+        op.on_tuple(0, &reading("item1", "item", 100, 0), &mut out)
+            .unwrap();
         assert!(out.is_empty());
-        op.on_tuple(1, &reading("alice", "person", 120, 1), &mut out).unwrap();
+        op.on_tuple(1, &reading("alice", "person", 120, 1), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].ts(), Timestamp::from_secs(120));
         // No duplicate emission at close.
-        op.on_punctuation(Timestamp::from_secs(500), &mut out).unwrap();
+        op.on_punctuation(Timestamp::from_secs(500), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1);
     }
 
@@ -335,8 +356,10 @@ mod tests {
             None,
         );
         let mut out = Vec::new();
-        op.on_tuple(1, &reading("alice", "person", 90, 0), &mut out).unwrap();
-        op.on_tuple(0, &reading("item1", "item", 100, 1), &mut out).unwrap();
+        op.on_tuple(1, &reading("alice", "person", 90, 0), &mut out)
+            .unwrap();
+        op.on_tuple(0, &reading("item1", "item", 100, 1), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].ts(), Timestamp::from_secs(100));
     }
@@ -345,11 +368,15 @@ mod tests {
     fn multiple_pending_outers_finalize_in_order() {
         let mut op = theft_detector();
         let mut out = Vec::new();
-        op.on_tuple(0, &reading("i1", "item", 100, 0), &mut out).unwrap();
-        op.on_tuple(0, &reading("i2", "item", 110, 1), &mut out).unwrap();
-        op.on_tuple(1, &reading("p", "person", 165, 2), &mut out).unwrap();
+        op.on_tuple(0, &reading("i1", "item", 100, 0), &mut out)
+            .unwrap();
+        op.on_tuple(0, &reading("i2", "item", 110, 1), &mut out)
+            .unwrap();
+        op.on_tuple(1, &reading("p", "person", 165, 2), &mut out)
+            .unwrap();
         // i1 closes at 160 (person at 165 outside); i2 covered (165 ≤ 170).
-        op.on_punctuation(Timestamp::from_secs(400), &mut out).unwrap();
+        op.on_punctuation(Timestamp::from_secs(400), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].value(0), &Value::str("i1"));
     }
@@ -359,7 +386,8 @@ mod tests {
         let mut op = theft_detector();
         let mut out = Vec::new();
         for i in 0..100u64 {
-            op.on_tuple(1, &reading("p", "person", i * 10, i), &mut out).unwrap();
+            op.on_tuple(1, &reading("p", "person", i * 10, i), &mut out)
+                .unwrap();
         }
         // Window reach is 60 s; at now=990 only inner ≥ 930 are retained.
         assert!(op.retained() <= 8, "retained {}", op.retained());

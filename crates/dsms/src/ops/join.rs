@@ -173,7 +173,8 @@ mod tests {
         j.on_tuple(0, &t("a", 0, 0), &mut out).unwrap();
         j.on_tuple(1, &t("b", 0, 1), &mut out).unwrap();
         assert_eq!(j.retained(), 2);
-        j.on_punctuation(Timestamp::from_secs(100), &mut out).unwrap();
+        j.on_punctuation(Timestamp::from_secs(100), &mut out)
+            .unwrap();
         assert_eq!(j.retained(), 0);
     }
 }

@@ -23,8 +23,80 @@ pub use project::Project;
 pub use select::Select;
 
 use crate::error::Result;
+use crate::obs::{Histogram, HistogramSnapshot};
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
+
+/// How often per-stage wall-clock samples are taken: every tuple whose
+/// per-stage input ordinal is a multiple of this power of two. Sampling
+/// keeps the two `Instant::now` calls off the hot path while still
+/// filling the latency histograms quickly.
+const WALL_SAMPLE_MASK: u64 = 63;
+
+/// Per-operator observability report: what flowed through, what is held,
+/// and (when the operator is driven by an instrumented parent such as
+/// [`Chain`] or the engine) how long invocations took.
+#[derive(Clone, Debug, Default)]
+pub struct OpReport {
+    /// Operator name as shown in plans.
+    pub name: String,
+    /// Tuples fed into the operator.
+    pub tuples_in: u64,
+    /// Tuples the operator produced.
+    pub tuples_out: u64,
+    /// Tuples currently retained in operator state.
+    pub retained: usize,
+    /// Operator-specific counters (e.g. `suppressed`, `matches`).
+    pub counters: Vec<(String, u64)>,
+    /// Sampled wall-clock per invocation, in nanoseconds.
+    pub wall_ns: Option<HistogramSnapshot>,
+    /// Sub-operator reports (chain stages, detector internals).
+    pub children: Vec<OpReport>,
+}
+
+impl OpReport {
+    /// A report with only name and retention filled in — what an
+    /// uninstrumented operator can say about itself.
+    pub fn leaf(name: &str, retained: usize) -> OpReport {
+        OpReport {
+            name: name.to_string(),
+            retained,
+            ..OpReport::default()
+        }
+    }
+
+    /// Indented multi-line rendering for plan/EXPLAIN display.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!(
+            "{indent}{}  in={} out={} retained={}",
+            self.name, self.tuples_in, self.tuples_out, self.retained
+        ));
+        for (k, v) in &self.counters {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        if let Some(w) = &self.wall_ns {
+            if w.count > 0 {
+                out.push_str(&format!(
+                    " wall_mean={:.0}ns wall_p99<={}ns samples={}",
+                    w.mean(),
+                    w.quantile(0.99),
+                    w.count
+                ));
+            }
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
 
 /// A push-based streaming operator.
 pub trait Operator: Send {
@@ -50,12 +122,41 @@ pub trait Operator: Send {
     fn retained(&self) -> usize {
         0
     }
+
+    /// Observability report. The default covers name and retention;
+    /// composite operators override it to expose per-stage flow counts,
+    /// latency histograms and operator-specific counters.
+    fn report(&self) -> OpReport {
+        OpReport::leaf(self.name(), self.retained())
+    }
+}
+
+/// Flow counters and sampled latency for one chain stage.
+struct StageStats {
+    tuples_in: u64,
+    tuples_out: u64,
+    wall: Histogram,
+}
+
+impl StageStats {
+    fn new() -> StageStats {
+        StageStats {
+            tuples_in: 0,
+            tuples_out: 0,
+            wall: Histogram::new(),
+        }
+    }
 }
 
 /// A single-input chain of operators: the output of each stage feeds the
 /// next. This is the shape of every transducer in the paper's examples.
+///
+/// The chain is the pipeline's instrumentation point: it counts tuples
+/// into and out of every stage and keeps a sampled wall-clock histogram
+/// per stage, surfaced through [`Operator::report`].
 pub struct Chain {
     stages: Vec<Box<dyn Operator>>,
+    stats: Vec<StageStats>,
     name: String,
 }
 
@@ -68,18 +169,33 @@ impl Chain {
             .map(|s| s.name().to_string())
             .collect::<Vec<_>>()
             .join(" -> ");
-        Chain { stages, name }
+        let stats = stages.iter().map(|_| StageStats::new()).collect();
+        Chain {
+            stages,
+            stats,
+            name,
+        }
     }
 
     fn run_from(&mut self, start: usize, input: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
         // Depth-first through the remaining stages without recursion on
         // the engine side; each stage may fan out (e.g. nothing or many).
         let mut current = vec![input.clone()];
-        for stage in &mut self.stages[start..] {
+        for (stage, stats) in self.stages[start..]
+            .iter_mut()
+            .zip(&mut self.stats[start..])
+        {
             let mut next = Vec::new();
+            let sampled = stats.tuples_in & WALL_SAMPLE_MASK == 0;
+            stats.tuples_in += current.len() as u64;
+            let started = sampled.then(std::time::Instant::now);
             for t in &current {
                 stage.on_tuple(0, t, &mut next)?;
             }
+            if let Some(s) = started {
+                stats.wall.record_duration(s.elapsed());
+            }
+            stats.tuples_out += next.len() as u64;
             current = next;
             if current.is_empty() {
                 break;
@@ -102,6 +218,7 @@ impl Operator for Chain {
         for i in 0..self.stages.len() {
             let mut released = Vec::new();
             self.stages[i].on_punctuation(ts, &mut released)?;
+            self.stats[i].tuples_out += released.len() as u64;
             for t in released {
                 if i + 1 < self.stages.len() {
                     self.run_from(i + 1, &t, out)?;
@@ -120,6 +237,27 @@ impl Operator for Chain {
     fn retained(&self) -> usize {
         self.stages.iter().map(|s| s.retained()).sum()
     }
+
+    fn report(&self) -> OpReport {
+        let children = self
+            .stages
+            .iter()
+            .zip(&self.stats)
+            .map(|(stage, stats)| {
+                let mut r = stage.report();
+                r.tuples_in = stats.tuples_in;
+                r.tuples_out = stats.tuples_out;
+                r.wall_ns = Some(stats.wall.snapshot());
+                r
+            })
+            .collect();
+        OpReport {
+            name: "chain".to_string(),
+            retained: self.retained(),
+            children,
+            ..OpReport::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -137,11 +275,7 @@ mod tests {
         // select v > 2 then project v*10.
         use crate::expr::BinOp;
         let sel = Select::new(Expr::bin(BinOp::Gt, Expr::col(0), Expr::lit(2i64)));
-        let proj = Project::new(vec![Expr::bin(
-            BinOp::Mul,
-            Expr::col(0),
-            Expr::lit(10i64),
-        )]);
+        let proj = Project::new(vec![Expr::bin(BinOp::Mul, Expr::col(0), Expr::lit(10i64))]);
         let mut chain = Chain::new(vec![Box::new(sel), Box::new(proj)]);
         let mut out = Vec::new();
         chain.on_tuple(0, &t(1, 1), &mut out).unwrap();
@@ -149,5 +283,31 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].value(0), &Value::Int(50));
         assert!(chain.name().contains("select"));
+    }
+
+    #[test]
+    fn chain_report_tracks_per_stage_flow() {
+        use crate::expr::BinOp;
+        let sel = Select::new(Expr::bin(BinOp::Gt, Expr::col(0), Expr::lit(2i64)));
+        let proj = Project::new(vec![Expr::col(0)]);
+        let mut chain = Chain::new(vec![Box::new(sel), Box::new(proj)]);
+        let mut out = Vec::new();
+        for v in [1i64, 3, 5, 0] {
+            chain
+                .on_tuple(0, &t(v, v.unsigned_abs()), &mut out)
+                .unwrap();
+        }
+        let r = chain.report();
+        assert_eq!(r.children.len(), 2);
+        // Stage 0 (select) saw all 4, passed 2; stage 1 saw those 2.
+        assert_eq!(r.children[0].tuples_in, 4);
+        assert_eq!(r.children[0].tuples_out, 2);
+        assert_eq!(r.children[1].tuples_in, 2);
+        assert_eq!(r.children[1].tuples_out, 2);
+        // The first invocation of each stage is always wall-sampled.
+        assert!(r.children[0].wall_ns.as_ref().unwrap().count >= 1);
+        let text = r.render();
+        assert!(text.contains("select"));
+        assert!(text.contains("in=4 out=2"));
     }
 }

@@ -108,9 +108,8 @@ impl Schema {
 
     /// Look up a column index, erroring with context when absent.
     pub fn require_column(&self, name: &str) -> Result<usize> {
-        self.column_index(name).ok_or_else(|| {
-            DsmsError::schema(format!("no column `{}` in `{}`", name, self.name))
-        })
+        self.column_index(name)
+            .ok_or_else(|| DsmsError::schema(format!("no column `{}` in `{}`", name, self.name)))
     }
 
     /// Number of columns.
@@ -188,7 +187,10 @@ mod tests {
         let s = Schema::readings("r1");
         assert_eq!(s.arity(), 3);
         assert_eq!(s.time_column, Some(2));
-        assert_eq!(s.to_string(), "r1(reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP)");
+        assert_eq!(
+            s.to_string(),
+            "r1(reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP)"
+        );
     }
 
     #[test]

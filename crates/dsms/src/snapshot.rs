@@ -116,13 +116,15 @@ mod tests {
         m.advance(Timestamp::from_secs(180));
         // Retained: ts >= 120 → 120, 140, 160, 180.
         assert_eq!(m.len(), 4);
-        assert!(m.snapshot().iter().all(|t| t.ts() >= Timestamp::from_secs(120)));
+        assert!(m
+            .snapshot()
+            .iter()
+            .all(|t| t.ts() >= Timestamp::from_secs(120)));
     }
 
     #[test]
     fn row_bounded_retention() {
-        let m =
-            MaterializedWindow::new(Schema::readings("s"), WindowExtent::Rows(2)).unwrap();
+        let m = MaterializedWindow::new(Schema::readings("s"), WindowExtent::Rows(2)).unwrap();
         for i in 0..10u64 {
             m.push(reading("t", i, i));
         }
@@ -132,8 +134,7 @@ mod tests {
 
     #[test]
     fn unbounded_keeps_all() {
-        let m =
-            MaterializedWindow::new(Schema::readings("s"), WindowExtent::Unbounded).unwrap();
+        let m = MaterializedWindow::new(Schema::readings("s"), WindowExtent::Unbounded).unwrap();
         for i in 0..5u64 {
             m.push(reading("t", i, i));
         }

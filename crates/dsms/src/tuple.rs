@@ -202,11 +202,7 @@ mod tests {
         let s = readings_schema();
         let err = Tuple::for_schema(
             &s,
-            vec![
-                Value::Int(1),
-                Value::str("t"),
-                Value::Ts(Timestamp::ZERO),
-            ],
+            vec![Value::Int(1), Value::str("t"), Value::Ts(Timestamp::ZERO)],
             0,
         )
         .unwrap_err();
@@ -216,9 +212,8 @@ mod tests {
     #[test]
     fn for_schema_rejects_null_time() {
         let s = readings_schema();
-        let err =
-            Tuple::for_schema(&s, vec![Value::str("r"), Value::str("t"), Value::Null], 0)
-                .unwrap_err();
+        let err = Tuple::for_schema(&s, vec![Value::str("r"), Value::str("t"), Value::Null], 0)
+            .unwrap_err();
         assert!(err.to_string().contains("time column"));
     }
 

@@ -214,7 +214,9 @@ impl ValueType {
     /// Whether a value of type `self` can be stored in a column of type
     /// `target` (NULL is storable anywhere; Int widens to Float).
     pub fn coercible_to(self, target: ValueType) -> bool {
-        self == target || self == ValueType::Null || (self == ValueType::Int && target == ValueType::Float)
+        self == target
+            || self == ValueType::Null
+            || (self == ValueType::Int && target == ValueType::Float)
     }
 }
 

@@ -161,7 +161,11 @@ mod tests {
     use crate::value::Value;
 
     fn t(secs: u64, seq: u64) -> Tuple {
-        Tuple::new(vec![Value::Int(secs as i64)], Timestamp::from_secs(secs), seq)
+        Tuple::new(
+            vec![Value::Int(secs as i64)],
+            Timestamp::from_secs(secs),
+            seq,
+        )
     }
 
     #[test]
@@ -235,7 +239,10 @@ mod tests {
             Timestamp::from_secs(160)
         );
         let p = WindowExtent::Preceding(Duration::from_secs(60));
-        assert_eq!(p.closes_at(Timestamp::from_secs(100)), Timestamp::from_secs(100));
+        assert_eq!(
+            p.closes_at(Timestamp::from_secs(100)),
+            Timestamp::from_secs(100)
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ fn three_stage_cascade() {
             Box::new(Project::new(vec![Expr::col(1), Expr::col(2)])),
         )
         .unwrap();
-    for (s, tag) in [(0u64, "hot-tag"), (0, "cold"), (10, "hot-tag"), (10, "hot-tag")] {
+    for (s, tag) in [
+        (0u64, "hot-tag"),
+        (0, "cold"),
+        (10, "hot-tag"),
+        (10, "hot-tag"),
+    ] {
         // Same-second duplicates collapse at stage 1.
         e.push("raw", reading(s, tag)).unwrap();
     }
@@ -96,14 +101,7 @@ fn fan_out_one_stream_many_queries() {
 #[test]
 fn table_sink_validates_against_table_schema() {
     let mut e = readings_engine(&["raw"]);
-    let schema = Arc::new(
-        Schema::new(
-            "narrow",
-            vec![("tag", ValueType::Str)],
-            None,
-        )
-        .unwrap(),
-    );
+    let schema = Arc::new(Schema::new("narrow", vec![("tag", ValueType::Str)], None).unwrap());
     e.create_table(schema).unwrap();
     e.register_query(
         "persist",

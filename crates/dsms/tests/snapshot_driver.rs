@@ -15,9 +15,7 @@ fn reading(ms: u64, tag: &str) -> Vec<Value> {
 fn snapshot_readable_while_driver_feeds() {
     let mut e = Engine::new();
     e.create_stream(Schema::readings("readings")).unwrap();
-    let snap = e
-        .materialize("readings", WindowExtent::Rows(9))
-        .unwrap();
+    let snap = e.materialize("readings", WindowExtent::Rows(9)).unwrap();
     let driver = EngineDriver::spawn(e, 64);
     let input = driver.input();
     let feeder = std::thread::spawn(move || {
@@ -54,7 +52,8 @@ fn multiple_windows_over_one_stream() {
         .unwrap();
     let unbounded = e.materialize("readings", WindowExtent::Unbounded).unwrap();
     for i in 0..20u64 {
-        e.push("readings", reading(i * 400, &format!("t{i}"))).unwrap();
+        e.push("readings", reading(i * 400, &format!("t{i}")))
+            .unwrap();
     }
     assert_eq!(by_rows.len(), 3);
     // 1 s window at now=7.6 s: readings at 6.8, 7.2, 7.6.

@@ -72,9 +72,7 @@ fn run_select(engine: &Engine, sel: &SelectStmt) -> Result<Vec<Tuple>> {
                 rows.sort_by(|a, b| {
                     for (i, desc) in &keys {
                         let ord = match (a.get(*i), b.get(*i)) {
-                            (Some(x), Some(y)) => {
-                                x.sql_cmp(y).unwrap_or(std::cmp::Ordering::Equal)
-                            }
+                            (Some(x), Some(y)) => x.sql_cmp(y).unwrap_or(std::cmp::Ordering::Equal),
                             (None, None) => std::cmp::Ordering::Equal,
                             (None, Some(_)) => std::cmp::Ordering::Less,
                             (Some(_), None) => std::cmp::Ordering::Greater,
@@ -112,9 +110,7 @@ fn run_select(engine: &Engine, sel: &SelectStmt) -> Result<Vec<Tuple>> {
                                 return std::cmp::Ordering::Equal;
                             }
                         };
-                        let ord = x
-                            .sql_cmp(&y)
-                            .unwrap_or(std::cmp::Ordering::Equal);
+                        let ord = x.sql_cmp(&y).unwrap_or(std::cmp::Ordering::Equal);
                         let ord = if *desc { ord.reverse() } else { ord };
                         if ord != std::cmp::Ordering::Equal {
                             return ord;
@@ -181,9 +177,11 @@ fn run_core(engine: &Engine, sel: &SelectStmt) -> Result<Vec<Tuple>> {
                         compile_scalar(&args[0], &scope, engine.functions())?,
                     ));
                 }
-                other => {
-                    cols.push(Col::Group(compile_scalar(other, &scope, engine.functions())?))
-                }
+                other => cols.push(Col::Group(compile_scalar(
+                    other,
+                    &scope,
+                    engine.functions(),
+                )?)),
             },
         }
     }
@@ -287,8 +285,11 @@ mod tests {
             "CREATE STREAM tag_locations (readerid VARCHAR, tid VARCHAR, tagtime TIMESTAMP, loc VARCHAR)",
         )
         .unwrap();
-        e.materialize("tag_locations", WindowExtent::Preceding(Duration::from_mins(10)))
-            .unwrap();
+        e.materialize(
+            "tag_locations",
+            WindowExtent::Preceding(Duration::from_mins(10)),
+        )
+        .unwrap();
         let row = |tid: &str, loc: &str, secs: u64| {
             vec![
                 Value::str("r"),
@@ -333,11 +334,7 @@ mod tests {
         let e = setup();
         let rows = ad_hoc(&e, "SELECT count(tid) FROM tag_locations").unwrap();
         assert_eq!(rows[0].value(0), &Value::Int(3));
-        let rows = ad_hoc(
-            &e,
-            "SELECT tid, count(loc) FROM tag_locations GROUP BY tid",
-        )
-        .unwrap();
+        let rows = ad_hoc(&e, "SELECT tid, count(loc) FROM tag_locations GROUP BY tid").unwrap();
         assert_eq!(rows.len(), 2);
         let seven = rows
             .iter()
@@ -349,11 +346,8 @@ mod tests {
     #[test]
     fn scalar_aggregate_over_empty_snapshot() {
         let mut e = Engine::new();
-        crate::planner::execute_script(
-            &mut e,
-            "CREATE STREAM s (tid VARCHAR, t TIMESTAMP)",
-        )
-        .unwrap();
+        crate::planner::execute_script(&mut e, "CREATE STREAM s (tid VARCHAR, t TIMESTAMP)")
+            .unwrap();
         e.materialize("s", WindowExtent::Unbounded).unwrap();
         let rows = ad_hoc(&e, "SELECT count(tid) FROM s").unwrap();
         assert_eq!(rows[0].value(0), &Value::Int(0));
@@ -362,11 +356,8 @@ mod tests {
     #[test]
     fn tables_are_queryable_too() {
         let mut e = Engine::new();
-        crate::planner::execute_script(
-            &mut e,
-            "CREATE TABLE ctx (tagid VARCHAR, product VARCHAR)",
-        )
-        .unwrap();
+        crate::planner::execute_script(&mut e, "CREATE TABLE ctx (tagid VARCHAR, product VARCHAR)")
+            .unwrap();
         e.table("ctx")
             .unwrap()
             .insert(vec![Value::str("t1"), Value::str("pump")])
@@ -430,11 +421,7 @@ mod order_limit_tests {
     #[test]
     fn positional_order_by_on_projection() {
         let e = setup();
-        let rows = ad_hoc(
-            &e,
-            "SELECT patient, bp FROM vitals ORDER BY 2 DESC LIMIT 1",
-        )
-        .unwrap();
+        let rows = ad_hoc(&e, "SELECT patient, bp FROM vitals ORDER BY 2 DESC LIMIT 1").unwrap();
         assert_eq!(rows[0].value(0), &Value::str("b"));
         // Numeric, not lexicographic: 95 sorts below 140.
         let rows = ad_hoc(&e, "SELECT patient, bp FROM vitals ORDER BY 2").unwrap();
@@ -451,10 +438,9 @@ mod order_limit_tests {
     #[test]
     fn continuous_queries_reject_order_by() {
         let mut e = setup();
-        let err =
-            crate::planner::execute(&mut e, "SELECT patient FROM vitals ORDER BY 1")
-                .err()
-                .expect("continuous ORDER BY must be rejected");
+        let err = crate::planner::execute(&mut e, "SELECT patient FROM vitals ORDER BY 1")
+            .err()
+            .expect("continuous ORDER BY must be rejected");
         assert!(err.to_string().contains("ad-hoc"));
     }
 }

@@ -458,7 +458,11 @@ mod tests {
         };
         let e = AstExpr::Bin(
             AstBinOp::And,
-            Box::new(AstExpr::Bin(AstBinOp::And, Box::new(c("a")), Box::new(c("b")))),
+            Box::new(AstExpr::Bin(
+                AstBinOp::And,
+                Box::new(c("a")),
+                Box::new(c("b")),
+            )),
             Box::new(c("c")),
         );
         assert_eq!(split_conjuncts(&e).len(), 3);

@@ -753,9 +753,10 @@ impl Parser {
         };
         let mode = if self.eat_kw("mode") {
             let m = self.ident()?;
-            Some(PairingMode::from_keyword(&m).ok_or_else(|| {
-                DsmsError::parse(format!("unknown pairing mode `{m}`"))
-            })?)
+            Some(
+                PairingMode::from_keyword(&m)
+                    .ok_or_else(|| DsmsError::parse(format!("unknown pairing mode `{m}`")))?,
+            )
         } else {
             None
         };
@@ -899,7 +900,13 @@ mod tests {
             panic!()
         };
         let conj = split_conjuncts(sel.where_clause.as_ref().unwrap());
-        let AstExpr::Seq { kind, args, window, mode } = conj[0] else {
+        let AstExpr::Seq {
+            kind,
+            args,
+            window,
+            mode,
+        } = conj[0]
+        else {
             panic!("first conjunct is SEQ")
         };
         assert_eq!(*kind, SeqKind::Seq);
@@ -1024,7 +1031,13 @@ mod tests {
         let Some(AstExpr::Bin(AstBinOp::Lt, lhs, rhs)) = sel.where_clause else {
             panic!()
         };
-        assert!(matches!(*lhs, AstExpr::Seq { kind: SeqKind::ClevelSeq, .. }));
+        assert!(matches!(
+            *lhs,
+            AstExpr::Seq {
+                kind: SeqKind::ClevelSeq,
+                ..
+            }
+        ));
         assert!(matches!(*rhs, AstExpr::Lit(Value::Int(3))));
     }
 
@@ -1056,10 +1069,9 @@ mod tests {
 
     #[test]
     fn script_splits_statements() {
-        let stmts = parse_script(
-            "CREATE STREAM s (t TIMESTAMP); SELECT * FROM s; SELECT * FROM s;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("CREATE STREAM s (t TIMESTAMP); SELECT * FROM s; SELECT * FROM s;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -1073,10 +1085,9 @@ mod tests {
 
     #[test]
     fn rows_window_parses() {
-        let Statement::Select(sel) = parse_statement(
-            "SELECT avg(v) FROM s OVER (ROWS 10 PRECEDING CURRENT)",
-        )
-        .unwrap() else {
+        let Statement::Select(sel) =
+            parse_statement("SELECT avg(v) FROM s OVER (ROWS 10 PRECEDING CURRENT)").unwrap()
+        else {
             panic!()
         };
         let w = sel.from[0].window.as_ref().unwrap();

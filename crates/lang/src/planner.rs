@@ -399,7 +399,9 @@ fn plan_table_exists(
     outer_conjuncts: &[&AstExpr],
 ) -> Result<Plan> {
     if sel.from.len() != 1 || sub.from.len() != 1 {
-        return Err(DsmsError::plan("correlated EXISTS joins one stream to one table"));
+        return Err(DsmsError::plan(
+            "correlated EXISTS joins one stream to one table",
+        ));
     }
     let outer_schema = stream_schema_for(engine, &sel.from[0])?;
     let table = engine.table(&sub.from[0].name)?;
@@ -509,9 +511,10 @@ fn plan_window_exists(
     let inner_item = &sub.from[0];
     let outer_schema = stream_schema_for(engine, outer_item)?;
     let inner_schema = stream_schema_for(engine, inner_item)?;
-    let window = inner_item.window.as_ref().ok_or_else(|| {
-        DsmsError::plan("the EXISTS sub-query's stream needs an OVER window")
-    })?;
+    let window = inner_item
+        .window
+        .as_ref()
+        .ok_or_else(|| DsmsError::plan("the EXISTS sub-query's stream needs an OVER window"))?;
     // The window must anchor at the outer tuple (CURRENT or its alias) —
     // that is exactly the §3.2 "window synchronized across the sub-query
     // boundary".
@@ -611,8 +614,16 @@ fn dedup_key(conjuncts: &[&AstExpr], pair_scope: &Scope) -> Result<Option<Vec<Ex
         let AstExpr::Bin(AstBinOp::Eq, a, b) = c else {
             return Ok(None);
         };
-        let (AstExpr::Col { qualifier: qa, name: na }, AstExpr::Col { qualifier: qb, name: nb }) =
-            (&**a, &**b)
+        let (
+            AstExpr::Col {
+                qualifier: qa,
+                name: na,
+            },
+            AstExpr::Col {
+                qualifier: qb,
+                name: nb,
+            },
+        ) = (&**a, &**b)
         else {
             return Ok(None);
         };
@@ -684,25 +695,14 @@ impl Operator for TwoPortChain {
 /// Projection instructions for SEQ-query outputs.
 enum ProjItem {
     /// `alias.col` for a non-star element (last = only tuple).
-    LastCol {
-        elem: usize,
-        col: usize,
-    },
+    LastCol { elem: usize, col: usize },
     /// `FIRST(a*).col`.
-    FirstCol {
-        elem: usize,
-        col: usize,
-    },
+    FirstCol { elem: usize, col: usize },
     /// `COUNT(a*)`.
-    Count {
-        elem: usize,
-    },
+    Count { elem: usize },
     /// `alias.col` on a star element: expands to one row per group tuple
     /// (footnote 4's multi-return).
-    PerStar {
-        elem: usize,
-        col: usize,
-    },
+    PerStar { elem: usize, col: usize },
 }
 
 fn plan_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result<Plan> {
@@ -718,7 +718,13 @@ fn plan_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result
                 }
             }
             AstExpr::Bin(op, lhs, rhs)
-                if matches!(&**lhs, AstExpr::Seq { kind: SeqKind::ClevelSeq, .. }) =>
+                if matches!(
+                    &**lhs,
+                    AstExpr::Seq {
+                        kind: SeqKind::ClevelSeq,
+                        ..
+                    }
+                ) =>
             {
                 let AstExpr::Lit(Value::Int(n)) = &**rhs else {
                     return Err(DsmsError::plan("CLEVEL_SEQ compares against an integer"));
@@ -791,9 +797,8 @@ fn plan_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result
             let anchor_alias = w.anchor.as_ref().ok_or_else(|| {
                 DsmsError::plan("SEQ windows anchor at a sequence argument, not CURRENT")
             })?;
-            let anchor = elem_of(anchor_alias).ok_or_else(|| {
-                DsmsError::unknown(format!("window anchor `{anchor_alias}`"))
-            })?;
+            let anchor = elem_of(anchor_alias)
+                .ok_or_else(|| DsmsError::unknown(format!("window anchor `{anchor_alias}`")))?;
             let kind = match w.kind {
                 AstWindowKind::Preceding => WindowKind::Preceding,
                 AstWindowKind::Following => WindowKind::Following,
@@ -827,8 +832,10 @@ fn plan_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result
         referenced_rels(c, &elem_scope, &mut rels_used);
         if rels_used.len() == 1 && !matches!(c, AstExpr::Exists { .. }) {
             let elem = *rels_used.iter().next().expect("len 1");
-            let single =
-                Scope::new(vec![(elem_alias[elem].clone(), elem_scope.schema(elem).clone())]);
+            let single = Scope::new(vec![(
+                elem_alias[elem].clone(),
+                elem_scope.schema(elem).clone(),
+            )]);
             if let Ok(p) = compile_scalar(c, &single, engine.functions()) {
                 let existing = elements[elem].predicate.take();
                 elements[elem].predicate = Some(match existing {
@@ -860,9 +867,10 @@ fn plan_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result
             .collect::<Result<Vec<_>>>()?;
         let refs: Vec<&AstExpr> = rewritten.iter().collect();
         let expr = compile_conjunction(&refs, &elem_scope, engine)?;
-        Some(Arc::new(move |m: &eslev_core::binding::SeqMatch| {
-            expr.eval_bool(&m.row_last())
-        }) as eslev_core::detector::MatchFilter)
+        Some(
+            Arc::new(move |m: &eslev_core::binding::SeqMatch| expr.eval_bool(&m.row_last()))
+                as eslev_core::detector::MatchFilter,
+        )
     };
 
     let pairing = mode.unwrap_or(match kind {
@@ -903,9 +911,7 @@ fn plan_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result
                     DsmsError::unknown(format!("star aggregate over unknown `{alias}`"))
                 })?;
                 if !pattern.elements[elem].star {
-                    return Err(DsmsError::plan(format!(
-                        "`{alias}` is not a star argument"
-                    )));
+                    return Err(DsmsError::plan(format!("`{alias}` is not a star argument")));
                 }
                 match agg {
                     StarAggKind::Count => proj.push(ProjItem::Count { elem }),
@@ -955,14 +961,12 @@ fn plan_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result
             // CLEVEL_SEQ filters both by the level comparison: a
             // completed sequence has level n, a stalled one its
             // completion level.
-            (DetectorOutput::Match(m), SeqKind::ClevelSeq) => {
-                match level_cmp {
-                    Some((op, lit)) if level_passes(op, n as i64, lit) => {
-                        project_bindings(&proj, Some(&m.bindings), m.ts())
-                    }
-                    _ => Vec::new(),
+            (DetectorOutput::Match(m), SeqKind::ClevelSeq) => match level_cmp {
+                Some((op, lit)) if level_passes(op, n as i64, lit) => {
+                    project_bindings(&proj, Some(&m.bindings), m.ts())
                 }
-            }
+                _ => Vec::new(),
+            },
             (DetectorOutput::Exception(e), SeqKind::ClevelSeq) => match level_cmp {
                 Some((op, lit)) if level_passes(op, e.completion_level() as i64, lit) => {
                     project_bindings(&proj, Some(&e.partial), e.ts)
@@ -1086,12 +1090,16 @@ fn apply_gap_constraint(
     };
     let elem_of = |alias: &str| elem_alias.iter().position(|a| a == alias);
     // b.t − a.previous.t is nonsense; a.t − a.previous.t ≤ d → star gap.
-    if let (AstExpr::Col { qualifier: Some(q), .. }, AstExpr::PrevCol { qualifier: pq, .. }) =
-        (&**newer, &**older)
+    if let (
+        AstExpr::Col {
+            qualifier: Some(q), ..
+        },
+        AstExpr::PrevCol { qualifier: pq, .. },
+    ) = (&**newer, &**older)
     {
         if q == pq {
-            let elem = elem_of(q)
-                .ok_or_else(|| DsmsError::unknown(format!("`{q}` in gap constraint")))?;
+            let elem =
+                elem_of(q).ok_or_else(|| DsmsError::unknown(format!("`{q}` in gap constraint")))?;
             if !elements[elem].star {
                 return Err(DsmsError::plan(format!(
                     "`{q}.previous` needs `{q}` to be a star argument"
@@ -1103,7 +1111,9 @@ fn apply_gap_constraint(
     }
     // b.t − LAST(a*).t ≤ d or b.t − a.t ≤ d with a immediately before b.
     let newer_elem = match &**newer {
-        AstExpr::Col { qualifier: Some(q), .. } => elem_of(q),
+        AstExpr::Col {
+            qualifier: Some(q), ..
+        } => elem_of(q),
         _ => None,
     };
     let older_elem = match &**older {
@@ -1112,7 +1122,9 @@ fn apply_gap_constraint(
             alias,
             ..
         } => elem_of(alias),
-        AstExpr::Col { qualifier: Some(q), .. } => elem_of(q),
+        AstExpr::Col {
+            qualifier: Some(q), ..
+        } => elem_of(q),
         _ => None,
     };
     if let (Some(b), Some(a)) = (newer_elem, older_elem) {
@@ -1131,10 +1143,7 @@ fn apply_gap_constraint(
 /// the whole pattern (the caller keeps the equalities as residuals).
 type ElemColPair = ((usize, usize), (usize, usize));
 
-fn partition_by_port(
-    equalities: &[ElemColPair],
-    elements: &[Element],
-) -> Option<Vec<Expr>> {
+fn partition_by_port(equalities: &[ElemColPair], elements: &[Element]) -> Option<Vec<Expr>> {
     if equalities.is_empty() {
         return None;
     }

@@ -50,9 +50,9 @@ impl Scope {
     pub fn resolve_column(&self, qualifier: Option<&str>, name: &str) -> Result<(usize, usize)> {
         match qualifier {
             Some(q) => {
-                let rel = self.rel_of(q).ok_or_else(|| {
-                    DsmsError::unknown(format!("relation alias `{q}`"))
-                })?;
+                let rel = self
+                    .rel_of(q)
+                    .ok_or_else(|| DsmsError::unknown(format!("relation alias `{q}`")))?;
                 let col = self.rels[rel].1.require_column(name)?;
                 Ok((rel, col))
             }
@@ -176,7 +176,10 @@ pub fn referenced_rels(ast: &AstExpr, scope: &Scope, out: &mut std::collections:
                 out.insert(rel);
             }
         }
-        AstExpr::PrevCol { qualifier, .. } | AstExpr::StarAgg { alias: qualifier, .. } => {
+        AstExpr::PrevCol { qualifier, .. }
+        | AstExpr::StarAgg {
+            alias: qualifier, ..
+        } => {
             if let Some(rel) = scope.rel_of(qualifier) {
                 out.insert(rel);
             }

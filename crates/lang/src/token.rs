@@ -347,12 +347,7 @@ mod tests {
         let k = kinds("a <= b ≤ c <> d != e >= f ≥ g");
         let ops: Vec<&TokenKind> = k
             .iter()
-            .filter(|t| {
-                matches!(
-                    t,
-                    TokenKind::Le | TokenKind::Ne | TokenKind::Ge
-                )
-            })
+            .filter(|t| matches!(t, TokenKind::Le | TokenKind::Ne | TokenKind::Ge))
             .collect();
         assert_eq!(ops.len(), 6);
     }

@@ -76,21 +76,11 @@ fn plan_errors_name_the_problem() {
     assert!(plan_err(&mut e, "SELECT * FROM ghost").contains("ghost"));
     assert!(plan_err(&mut e, "SELECT ghostcol FROM r1").contains("ghostcol"));
     assert!(plan_err(&mut e, "SELECT ghost_fn(tagid) FROM r1").contains("ghost_fn"));
-    assert!(
-        plan_err(&mut e, "INSERT INTO ghost SELECT * FROM r1").contains("ghost")
-    );
+    assert!(plan_err(&mut e, "INSERT INTO ghost SELECT * FROM r1").contains("ghost"));
     // SEQ arg not in FROM.
-    assert!(plan_err(
-        &mut e,
-        "SELECT r1.tagid FROM r1, r2 WHERE SEQ(r1, r3)"
-    )
-    .contains("r3"));
+    assert!(plan_err(&mut e, "SELECT r1.tagid FROM r1, r2 WHERE SEQ(r1, r3)").contains("r3"));
     // FROM item unused by SEQ.
-    assert!(plan_err(
-        &mut e,
-        "SELECT r1.tagid FROM r1, r2 WHERE SEQ(r1, r1)"
-    )
-    .contains("twice"));
+    assert!(plan_err(&mut e, "SELECT r1.tagid FROM r1, r2 WHERE SEQ(r1, r1)").contains("twice"));
     // Window anchored at an unknown alias.
     assert!(plan_err(
         &mut e,
@@ -100,7 +90,8 @@ fn plan_errors_name_the_problem() {
     // Multi-stream FROM without SEQ.
     assert!(plan_err(&mut e, "SELECT r1.tagid FROM r1, r2").contains("SEQ"));
     // Star column with two stars (footnote 4).
-    assert!(plan_err(
+    assert!(
+        plan_err(
         &mut e,
         "SELECT r1.tagid FROM r1, r2 WHERE SEQ(r1*, r2*)"
     )
@@ -109,7 +100,8 @@ fn plan_errors_name_the_problem() {
             &mut e,
             "SELECT r1.tagid FROM r1, r2 WHERE SEQ(r1*, r2*)"
         )
-        .contains("star"));
+        .contains("star")
+    );
     // Duplicate stream creation.
     assert!(execute(&mut e, "CREATE STREAM r1 (x TIMESTAMP)").is_err());
     // Stream without a timestamp column.

@@ -35,15 +35,22 @@ fn example1_duplicate_filtering() {
             AND r2.tag_id = r1.tag_id)",
     )
     .unwrap();
-    let out = execute(&mut engine, "SELECT * FROM cleaned_readings")
-        .unwrap();
+    let out = execute(&mut engine, "SELECT * FROM cleaned_readings").unwrap();
     let rows = out.collector().unwrap().clone();
 
     engine.push("readings", reading_row("r1", "t1", 0)).unwrap();
-    engine.push("readings", reading_row("r1", "t1", 400)).unwrap(); // dup
-    engine.push("readings", reading_row("r1", "t1", 900)).unwrap(); // chained dup
-    engine.push("readings", reading_row("r1", "t2", 950)).unwrap(); // different tag
-    engine.push("readings", reading_row("r1", "t1", 2500)).unwrap(); // fresh
+    engine
+        .push("readings", reading_row("r1", "t1", 400))
+        .unwrap(); // dup
+    engine
+        .push("readings", reading_row("r1", "t1", 900))
+        .unwrap(); // chained dup
+    engine
+        .push("readings", reading_row("r1", "t2", 950))
+        .unwrap(); // different tag
+    engine
+        .push("readings", reading_row("r1", "t1", 2500))
+        .unwrap(); // fresh
     assert_eq!(rows.len(), 3);
 }
 
@@ -74,16 +81,28 @@ fn example2_location_tracking() {
             Value::str(loc),
         ]
     };
-    engine.push("tag_locations", row("obj1", "dock", 1)).unwrap();
-    engine.push("tag_locations", row("obj1", "dock", 2)).unwrap(); // unchanged
-    engine.push("tag_locations", row("obj1", "aisle", 3)).unwrap(); // moved
-    engine.push("tag_locations", row("obj2", "dock", 4)).unwrap(); // new object
-    engine.push("tag_locations", row("obj1", "aisle", 5)).unwrap(); // unchanged
+    engine
+        .push("tag_locations", row("obj1", "dock", 1))
+        .unwrap();
+    engine
+        .push("tag_locations", row("obj1", "dock", 2))
+        .unwrap(); // unchanged
+    engine
+        .push("tag_locations", row("obj1", "aisle", 3))
+        .unwrap(); // moved
+    engine
+        .push("tag_locations", row("obj2", "dock", 4))
+        .unwrap(); // new object
+    engine
+        .push("tag_locations", row("obj1", "aisle", 5))
+        .unwrap(); // unchanged
     let table = engine.table("object_movement").unwrap();
     assert_eq!(table.len(), 3);
     // The paper's literal query keys on (tag, location) pairs: a return
     // to a previously-seen location does not insert.
-    engine.push("tag_locations", row("obj1", "dock", 6)).unwrap();
+    engine
+        .push("tag_locations", row("obj1", "dock", 6))
+        .unwrap();
     assert_eq!(table.len(), 3);
 }
 
@@ -231,7 +250,9 @@ fn example7_containment() {
     for (tag, ms) in [("p1", 0u64), ("p2", 400), ("p3", 800)] {
         engine.push("r1", reading_row("rdr", tag, ms)).unwrap();
     }
-    engine.push("r2", reading_row("rdr", "case1", 2000)).unwrap();
+    engine
+        .push("r2", reading_row("rdr", "case1", 2000))
+        .unwrap();
     let all = rows.take();
     assert_eq!(all.len(), 1);
     assert_eq!(all[0].value(0), &Value::Ts(Timestamp::ZERO)); // FIRST(R1*).tagtime
@@ -263,7 +284,9 @@ fn example7_multi_return() {
     for (tag, ms) in [("p1", 0u64), ("p2", 400)] {
         engine.push("r1", reading_row("rdr", tag, ms)).unwrap();
     }
-    engine.push("r2", reading_row("rdr", "case1", 2000)).unwrap();
+    engine
+        .push("r2", reading_row("rdr", "case1", 2000))
+        .unwrap();
     let all = rows.take();
     assert_eq!(all.len(), 2, "one row per star participant");
     assert_eq!(all[0].value(0), &Value::str("p1"));
@@ -313,7 +336,9 @@ fn exception_seq_clinic() {
     assert!(r[0].value(2).is_null(), "missing elements project as NULL");
     // Timeout: A then silence past the hour; detected by watermark.
     engine.push("a1", op(20_000, "equip-A")).unwrap();
-    engine.advance_to(Timestamp::from_secs(20_000 + 3601)).unwrap();
+    engine
+        .advance_to(Timestamp::from_secs(20_000 + 3601))
+        .unwrap();
     assert_eq!(rows.len(), 2);
 }
 
@@ -386,11 +411,19 @@ fn example8_door_security() {
         ]
     };
     // Legit exit: person 30 s after item.
-    engine.push("tag_readings", r("item-1", "item", 100)).unwrap();
-    engine.push("tag_readings", r("alice", "person", 130)).unwrap();
+    engine
+        .push("tag_readings", r("item-1", "item", 100))
+        .unwrap();
+    engine
+        .push("tag_readings", r("alice", "person", 130))
+        .unwrap();
     // Theft: no person within ±60 s.
-    engine.push("tag_readings", r("item-2", "item", 500)).unwrap();
-    engine.push("tag_readings", r("bob", "person", 700)).unwrap();
+    engine
+        .push("tag_readings", r("item-2", "item", 500))
+        .unwrap();
+    engine
+        .push("tag_readings", r("bob", "person", 700))
+        .unwrap();
     engine.advance_to(Timestamp::from_secs(1000)).unwrap();
     let all = rows.take();
     assert_eq!(all.len(), 1);
@@ -425,9 +458,15 @@ fn example8_verbatim_person_anchor() {
             Value::Ts(Timestamp::from_secs(secs)),
         ]
     };
-    engine.push("tag_readings", r("alice", "person", 100)).unwrap(); // item at 130: suppressed
-    engine.push("tag_readings", r("item-1", "item", 130)).unwrap();
-    engine.push("tag_readings", r("bob", "person", 500)).unwrap(); // no item nearby
+    engine
+        .push("tag_readings", r("alice", "person", 100))
+        .unwrap(); // item at 130: suppressed
+    engine
+        .push("tag_readings", r("item-1", "item", 130))
+        .unwrap();
+    engine
+        .push("tag_readings", r("bob", "person", 500))
+        .unwrap(); // no item nearby
     engine.advance_to(Timestamp::from_secs(1000)).unwrap();
     let all = rows.take();
     assert_eq!(all.len(), 1);
@@ -438,11 +477,7 @@ fn example8_verbatim_person_anchor() {
 #[test]
 fn planning_errors_are_reported() {
     let mut engine = Engine::new();
-    execute(
-        &mut engine,
-        "CREATE STREAM s (tagid VARCHAR, t TIMESTAMP)",
-    )
-    .unwrap();
+    execute(&mut engine, "CREATE STREAM s (tagid VARCHAR, t TIMESTAMP)").unwrap();
     // Unknown stream.
     assert!(execute(&mut engine, "SELECT * FROM nope").is_err());
     // Unknown column.

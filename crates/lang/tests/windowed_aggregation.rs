@@ -53,7 +53,9 @@ fn rows_windowed_average() {
     .unwrap();
     let rows = q.collector().unwrap().clone();
     for (i, v) in [100i64, 200, 300].iter().enumerate() {
-        engine.push("vitals", sensor_row("p", *v, i as u64)).unwrap();
+        engine
+            .push("vitals", sensor_row("p", *v, i as u64))
+            .unwrap();
     }
     let all = rows.take();
     // Moving average over the last 2 readings.
@@ -67,32 +69,36 @@ fn custom_uda_through_sql() {
     // Register a UDA (bp range = max - min) and call it from a query —
     // the ESL extensibility story of §2.1.
     let mut engine = setup();
-    engine.aggregates_mut().register(std::sync::Arc::new(ClosureUda::new(
-        "bp_range",
-        || Value::Null,
-        |state, v| {
-            let x = v.as_int().ok_or_else(|| DsmsError::eval("int expected"))?;
-            Ok(match state.as_str() {
-                None => Value::str(format!("{x},{x}")),
+    engine
+        .aggregates_mut()
+        .register(std::sync::Arc::new(ClosureUda::new(
+            "bp_range",
+            || Value::Null,
+            |state, v| {
+                let x = v.as_int().ok_or_else(|| DsmsError::eval("int expected"))?;
+                Ok(match state.as_str() {
+                    None => Value::str(format!("{x},{x}")),
+                    Some(s) => {
+                        let (lo, hi) = s.split_once(',').expect("state shape");
+                        let (lo, hi): (i64, i64) = (lo.parse().unwrap(), hi.parse().unwrap());
+                        Value::str(format!("{},{}", lo.min(x), hi.max(x)))
+                    }
+                })
+            },
+            |state| match state.as_str() {
+                None => Value::Null,
                 Some(s) => {
                     let (lo, hi) = s.split_once(',').expect("state shape");
-                    let (lo, hi): (i64, i64) = (lo.parse().unwrap(), hi.parse().unwrap());
-                    Value::str(format!("{},{}", lo.min(x), hi.max(x)))
+                    Value::Int(hi.parse::<i64>().unwrap() - lo.parse::<i64>().unwrap())
                 }
-            })
-        },
-        |state| match state.as_str() {
-            None => Value::Null,
-            Some(s) => {
-                let (lo, hi) = s.split_once(',').expect("state shape");
-                Value::Int(hi.parse::<i64>().unwrap() - lo.parse::<i64>().unwrap())
-            }
-        },
-    )));
+            },
+        )));
     let q = execute(&mut engine, "SELECT bp_range(bp) FROM vitals").unwrap();
     let rows = q.collector().unwrap().clone();
     for (i, v) in [120i64, 95, 160].iter().enumerate() {
-        engine.push("vitals", sensor_row("p", *v, i as u64)).unwrap();
+        engine
+            .push("vitals", sensor_row("p", *v, i as u64))
+            .unwrap();
     }
     assert_eq!(rows.take().last().unwrap().value(0), &Value::Int(65));
 }

@@ -101,11 +101,7 @@ impl FromStr for Epc {
 /// * `extract_company(epc) -> INT`,
 /// * `extract_product(epc) -> INT`.
 pub fn register_epc_udfs(reg: &mut FunctionRegistry) {
-    fn part(
-        args: &[Value],
-        pick: impl Fn(&Epc) -> i64,
-        name: &str,
-    ) -> Result<Value> {
+    fn part(args: &[Value], pick: impl Fn(&Epc) -> i64, name: &str) -> Result<Value> {
         let s = args
             .first()
             .and_then(|v| v.as_str())
@@ -162,10 +158,7 @@ mod tests {
         let mut reg = FunctionRegistry::new();
         register_epc_udfs(&mut reg);
         let f = reg.get("extract_serial").unwrap();
-        assert_eq!(
-            f(&[Value::str("20.17.5001")]).unwrap(),
-            Value::Int(5001)
-        );
+        assert_eq!(f(&[Value::str("20.17.5001")]).unwrap(), Value::Int(5001));
         let f = reg.get("extract_company").unwrap();
         assert_eq!(f(&[Value::str("20.17.5001")]).unwrap(), Value::Int(20));
         let f = reg.get("extract_product").unwrap();

@@ -197,7 +197,10 @@ pub fn generate_concurrent(cfg: &ClinicConfig, staff: usize) -> ClinicWorkload {
     let mut violations = 0;
     for s in 0..staff.max(1) {
         let sub = generate(&ClinicConfig {
-            seed: cfg.seed.wrapping_add(s as u64).wrapping_mul(0x9E3779B97F4A7C15 | 1),
+            seed: cfg
+                .seed
+                .wrapping_add(s as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15 | 1),
             ..cfg.clone()
         });
         let offset = Duration::from_mins(7 * s as u64); // interleave staff
@@ -228,7 +231,11 @@ mod tests {
         assert_eq!(w.truth.len(), 100);
         let normals = w.truth.iter().filter(|r| r.kind == RunKind::Normal).count();
         assert_eq!(normals + w.violations, 100);
-        assert!(w.violations >= 10, "expected ~25 violations, got {}", w.violations);
+        assert!(
+            w.violations >= 10,
+            "expected ~25 violations, got {}",
+            w.violations
+        );
     }
 
     #[test]
@@ -300,10 +307,7 @@ mod tests {
         assert!(w.feed.windows(2).all(|p| p[0].1.ts <= p[1].1.ts));
         // ...with at least one point where staff feeds actually overlap
         // (adjacent readings from different staff).
-        assert!(w
-            .feed
-            .windows(2)
-            .any(|p| p[0].1.reader != p[1].1.reader));
+        assert!(w.feed.windows(2).any(|p| p[0].1.reader != p[1].1.reader));
         // Violations sum over staff.
         let per_staff = generate(&ClinicConfig {
             seed: cfg.seed.wrapping_mul(0x9E3779B97F4A7C15 | 1),

@@ -127,9 +127,9 @@ mod tests {
             .iter()
             .filter(|r| r.tagtype == "item")
             .filter(|item| {
-                !persons.iter().any(|p| {
-                    *p >= item.ts.saturating_sub(cfg.tau) && *p <= item.ts + cfg.tau
-                })
+                !persons
+                    .iter()
+                    .any(|p| *p >= item.ts.saturating_sub(cfg.tau) && *p <= item.ts + cfg.tau)
             })
             .map(|r| r.tag.clone())
             .collect()

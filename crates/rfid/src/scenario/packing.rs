@@ -82,7 +82,9 @@ pub fn generate(cfg: &PackingConfig) -> PackingWorkload {
     let mut t = Timestamp::from_secs(1);
     let gap_cap = ((cfg.t1.as_micros() as f64) * cfg.gap_tightness.clamp(0.0, 1.0)) as u64;
     for c in 0..cfg.cases {
-        let count = rng.gen_range(cfg.products_per_case.0..=cfg.products_per_case.1.max(cfg.products_per_case.0));
+        let count = rng.gen_range(
+            cfg.products_per_case.0..=cfg.products_per_case.1.max(cfg.products_per_case.0),
+        );
         let mut tags = Vec::with_capacity(count);
         let mut last_product_ts = t;
         for p in 0..count {
@@ -208,7 +210,10 @@ mod tests {
                 overlapped = true;
             }
         }
-        assert!(overlapped, "overlap config should interleave bursts and cases");
+        assert!(
+            overlapped,
+            "overlap config should interleave bursts and cases"
+        );
     }
 
     #[test]

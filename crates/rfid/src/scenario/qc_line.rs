@@ -62,9 +62,8 @@ pub fn generate(cfg: &QcConfig) -> QcWorkload {
     let mut spans = Vec::new();
     for p in 0..cfg.products {
         let tag = format!("prod-{p}");
-        let start = Timestamp::from_secs(1) + Duration::from_micros(
-            p as u64 * cfg.entry_period.as_micros(),
-        );
+        let start = Timestamp::from_secs(1)
+            + Duration::from_micros(p as u64 * cfg.entry_period.as_micros());
         let mut t = start;
         let mut done = 0;
         for (stage, feed) in feeds.iter_mut().enumerate() {

@@ -103,9 +103,7 @@ pub fn generate(cfg: &VitalsConfig) -> VitalsWorkload {
         let mut t = Timestamp::from_secs(1) + Duration::from_secs(7 * p as u64);
         let mut i = 0;
         while i < cfg.readings_per_patient {
-            if rng.gen_bool(cfg.episode_prob)
-                && i + cfg.episode_len.1 < cfg.readings_per_patient
-            {
+            if rng.gen_bool(cfg.episode_prob) && i + cfg.episode_len.1 < cfg.readings_per_patient {
                 // An episode: pressures above threshold, then recovery.
                 let len = rng.gen_range(cfg.episode_len.0..=cfg.episode_len.1);
                 let mut peak = 0;

@@ -61,7 +61,10 @@ fn main() -> Result<(), DsmsError> {
     println!("  timeout             : {}", by_kind(RunKind::Timeout));
     println!("violations (truth)    : {}", w.violations);
     println!("alerts raised         : {n_alerts}");
-    assert_eq!(n_alerts, w.violations, "every violation alerts exactly once");
+    assert_eq!(
+        n_alerts, w.violations,
+        "every violation alerts exactly once"
+    );
 
     Ok(())
 }

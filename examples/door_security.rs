@@ -48,8 +48,7 @@ fn main() -> Result<(), DsmsError> {
         .iter()
         .map(|t| t.value(0).as_str().unwrap_or("").to_string())
         .collect();
-    let truth: std::collections::BTreeSet<&str> =
-        w.thefts.iter().map(|s| s.as_str()).collect();
+    let truth: std::collections::BTreeSet<&str> = w.thefts.iter().map(|s| s.as_str()).collect();
     let got: std::collections::BTreeSet<&str> = raised.iter().map(|s| s.as_str()).collect();
 
     let true_pos = got.intersection(&truth).count();

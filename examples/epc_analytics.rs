@@ -60,11 +60,7 @@ fn main() -> Result<(), DsmsError> {
     for r in &epcs.readings {
         engine.push(
             "readings",
-            vec![
-                Value::str(&r.reader),
-                Value::str(&r.tag),
-                Value::Ts(r.ts),
-            ],
+            vec![Value::str(&r.reader), Value::str(&r.tag), Value::Ts(r.ts)],
         )?;
     }
 

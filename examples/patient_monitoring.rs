@@ -68,12 +68,7 @@ fn main() -> Result<(), DsmsError> {
     let peaks: std::collections::HashMap<String, i64> = rolling_rows
         .take()
         .iter()
-        .filter_map(|r| {
-            Some((
-                r.value(0).as_str()?.to_string(),
-                r.value(1).as_int()?,
-            ))
-        })
+        .filter_map(|r| Some((r.value(0).as_str()?.to_string(), r.value(1).as_int()?)))
         .fold(std::collections::HashMap::new(), |mut m, (p, v)| {
             let e = m.entry(p).or_insert(0);
             *e = (*e).max(v);

@@ -30,10 +30,7 @@ fn main() -> Result<(), DsmsError> {
     )?;
 
     // A continuous count over the *cleaned* stream.
-    let counted = execute(
-        &mut engine,
-        "SELECT count(tag_id) FROM cleaned_readings",
-    )?;
+    let counted = execute(&mut engine, "SELECT count(tag_id) FROM cleaned_readings")?;
     let counts = counted.collector().expect("bare SELECT collects").clone();
 
     // Feed a duplicate-heavy simulated workload (50 % re-read chance).

@@ -58,6 +58,11 @@ impl Repl {
             if let Some(q) = trimmed.strip_prefix('?') {
                 return self.ad_hoc(q);
             }
+            // Observability statements are intercepted before the SQL
+            // parser: they are shell-level, not part of the language.
+            if let Some(out) = self.observability(trimmed) {
+                return out;
+            }
         }
         self.pending.push_str(input);
         self.pending.push('\n');
@@ -99,6 +104,41 @@ impl Repl {
         }
     }
 
+    /// Handle `SHOW STATS`, `SHOW STREAMS` and `EXPLAIN <query>`
+    /// (case-insensitive, optional trailing `;`). Returns `None` when the
+    /// line is not one of them, letting it flow to the SQL front-end.
+    fn observability(&self, trimmed: &str) -> Option<String> {
+        let stmt = trimmed.trim_end_matches(';').trim();
+        let mut words = stmt.split_whitespace();
+        let first = words.next()?.to_ascii_uppercase();
+        match first.as_str() {
+            "SHOW" => {
+                let what = words.next()?.to_ascii_uppercase();
+                if words.next().is_some() {
+                    return None;
+                }
+                match what.as_str() {
+                    "STATS" => Some(render_stats(&self.engine.query_stats())),
+                    "STREAMS" => Some(render_streams(&self.engine.stream_stats())),
+                    _ => None,
+                }
+            }
+            "EXPLAIN" => {
+                let name = words.next()?;
+                if words.next().is_some() {
+                    return None;
+                }
+                match self.engine.query_report_by_name(name) {
+                    Some(r) => Some(r.render()),
+                    None => Some(format!(
+                        "error: no query named `{name}` — SHOW STATS lists them"
+                    )),
+                }
+            }
+            _ => None,
+        }
+    }
+
     fn ad_hoc(&mut self, sql: &str) -> String {
         match ad_hoc(&self.engine, sql) {
             Err(e) => format!("error: {e}"),
@@ -113,6 +153,11 @@ impl Repl {
         match verb {
             "help" => HELP.to_string(),
             "stats" => render_stats(&self.engine.query_stats()),
+            "metrics" => match args.first().copied().unwrap_or("prom") {
+                "prom" => self.engine.metrics_snapshot().to_prometheus(),
+                "json" => self.engine.metrics_snapshot().to_json(),
+                other => format!("unknown format `{other}` — use prom or json"),
+            },
             "advance" => match args.first().and_then(|s| s.parse::<u64>().ok()) {
                 Some(secs) => {
                     let target = self.engine.now() + Duration::from_secs(secs);
@@ -423,10 +468,14 @@ impl Repl {
                 let v = match col.ty {
                     ValueType::Str => Ok(Value::str(*f)),
                     ValueType::Int => f.parse::<i64>().map(Value::Int).map_err(|e| e.to_string()),
-                    ValueType::Float => {
-                        f.parse::<f64>().map(Value::Float).map_err(|e| e.to_string())
-                    }
-                    ValueType::Bool => f.parse::<bool>().map(Value::Bool).map_err(|e| e.to_string()),
+                    ValueType::Float => f
+                        .parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|e| e.to_string()),
+                    ValueType::Bool => f
+                        .parse::<bool>()
+                        .map(Value::Bool)
+                        .map_err(|e| e.to_string()),
                     ValueType::Ts => f
                         .parse::<f64>()
                         .map(|secs| Value::Ts(Timestamp::from_micros((secs * 1e6) as u64)))
@@ -446,10 +495,7 @@ impl Repl {
                 }
             }
             if let Err(e) = self.engine.push(stream, values) {
-                return format!(
-                    "error: line {}: {e} (pushed {pushed} rows)",
-                    lineno + 1
-                );
+                return format!("error: line {}: {e} (pushed {pushed} rows)", lineno + 1);
             }
             pushed += 1;
         }
@@ -473,9 +519,11 @@ fn render_stats(stats: &[QueryStats]) -> String {
     for s in stats {
         let _ = writeln!(
             out,
-            "{} {:<32} emitted={:<8} retained={}",
+            "{} {:<32} in={:<8} out={:<8} emitted={:<8} retained={}",
             if s.active { "live" } else { "dead" },
             s.name,
+            s.tuples_in,
+            s.tuples_out,
             s.emitted,
             s.retained
         );
@@ -486,11 +534,33 @@ fn render_stats(stats: &[QueryStats]) -> String {
     out
 }
 
+fn render_streams(streams: &[StreamInfo]) -> String {
+    let mut out = String::new();
+    for s in streams {
+        let _ = write!(
+            out,
+            "{:<24} pushed={:<10} last_ts={}",
+            s.name, s.pushed, s.last_ts
+        );
+        if let Some(slack) = s.disorder_slack {
+            let _ = write!(out, " buffered={} slack={slack}", s.buffered);
+        }
+        out.push('\n');
+    }
+    if out.is_empty() {
+        out.push_str("no streams registered.\n");
+    }
+    out
+}
+
 const HELP: &str = r#"ESL-EV shell:
   <SQL statement>;           run a CREATE / INSERT INTO / SELECT statement
                              (bare SELECTs collect; read them with .poll)
   ?SELECT ...                one-shot ad-hoc snapshot query
                              (needs a table or a .materialize'd stream)
+  SHOW STATS                 per-query flow counters (in/out/emitted/retained)
+  SHOW STREAMS               per-stream push counts and stream time
+  EXPLAIN <query>            per-operator counters and sampled latencies
   .feed <stream> <file.csv>  feed a headerless CSV (cols in schema order,
                              TIMESTAMP columns as fractional seconds)
   .scenario <name> [n]       feed a simulated workload:
@@ -499,6 +569,7 @@ const HELP: &str = r#"ESL-EV shell:
   .materialize <stream> <s>  keep the last <s> seconds queryable via ?SELECT
   .poll [i]                  drain collected rows of query i (or list all)
   .stats                     per-query emitted/retained counters
+  .metrics [prom|json]       full metrics snapshot (Prometheus text or JSON)
   .help                      this text
   .quit                      exit
 "#;
@@ -590,6 +661,42 @@ mod tests {
         assert!(r
             .line(&format!(".feed ghost {}", path.display()))
             .contains("error"));
+    }
+
+    #[test]
+    fn show_stats_show_streams_and_explain() {
+        let mut r = Repl::new();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        r.line("SELECT tag_id FROM readings WHERE reader_id <> '';");
+        r.line(".scenario dedup 20");
+        // Case-insensitive, trailing semicolon optional.
+        let out = r.line("show stats;");
+        assert!(out.contains("live"), "{out}");
+        assert!(out.contains("in="), "{out}");
+        let out = r.line("SHOW STREAMS");
+        assert!(out.contains("readings"), "{out}");
+        assert!(out.contains("pushed="), "{out}");
+        let name = r.engine().query_stats()[0].name.clone();
+        let out = r.line(&format!("EXPLAIN {name};"));
+        assert!(out.contains("in="), "{out}");
+        let out = r.line("EXPLAIN no_such_query");
+        assert!(out.contains("error"), "{out}");
+        // Non-observability SHOW-like SQL still reaches the parser.
+        let out = r.line("SHOW STATS EXTRA WORDS;");
+        assert!(out.starts_with("error:"), "{out}");
+    }
+
+    #[test]
+    fn metrics_command_exports_prom_and_json() {
+        let mut r = Repl::new();
+        r.line("CREATE STREAM s (tagid VARCHAR, t TIMESTAMP);");
+        r.line("SELECT tagid FROM s;");
+        let prom = r.line(".metrics");
+        assert!(prom.contains("eslev_punctuations_total"), "{prom}");
+        assert!(prom.contains("eslev_query_tuples_in_total"), "{prom}");
+        let json = r.line(".metrics json");
+        assert!(json.contains("\"metrics\""), "{json}");
+        assert!(r.line(".metrics xml").contains("unknown format"));
     }
 
     #[test]

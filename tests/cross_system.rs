@@ -16,7 +16,9 @@ fn feed(ports: usize, len: usize) -> Vec<(usize, Tuple)> {
     let mut out = Vec::with_capacity(len);
     let mut ts = 0;
     for i in 0..len {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let port = (state >> 33) as usize % ports;
         ts += 1 + ((state >> 20) % 3);
         out.push((port, t(ts, i as u64)));
@@ -42,22 +44,13 @@ fn unrestricted_agrees_with_both_baselines() {
         for (port, tu) in &data {
             for o in det.on_tuple(*port, tu).unwrap() {
                 if let DetectorOutput::Match(m) = o {
-                    eslev_keys.push(
-                        m.bindings
-                            .iter()
-                            .map(|b| b.first().seq())
-                            .collect(),
-                    );
+                    eslev_keys.push(m.bindings.iter().map(|b| b.first().seq()).collect());
                 }
             }
         }
         // RCEDA.
-        let mut rceda = RcedaEngine::new(
-            &EventExpr::seq_chain(ports),
-            Context::Unrestricted,
-            None,
-        )
-        .unwrap();
+        let mut rceda =
+            RcedaEngine::new(&EventExpr::seq_chain(ports), Context::Unrestricted, None).unwrap();
         let mut rceda_keys: Vec<Vec<u64>> = Vec::new();
         for (port, tu) in &data {
             for ev in rceda.on_tuple(*port, tu) {
@@ -103,8 +96,7 @@ fn recent_agrees_with_rceda_recent() {
             }
         }
     }
-    let mut rceda =
-        RcedaEngine::new(&EventExpr::seq_chain(2), Context::Recent, None).unwrap();
+    let mut rceda = RcedaEngine::new(&EventExpr::seq_chain(2), Context::Recent, None).unwrap();
     let mut b: Vec<(u64, u64)> = Vec::new();
     for (port, tu) in &data {
         for ev in rceda.on_tuple(*port, tu) {
@@ -135,8 +127,7 @@ fn chronicle_agrees_with_rceda_chronicle() {
             }
         }
     }
-    let mut rceda =
-        RcedaEngine::new(&EventExpr::seq_chain(2), Context::Chronicle, None).unwrap();
+    let mut rceda = RcedaEngine::new(&EventExpr::seq_chain(2), Context::Chronicle, None).unwrap();
     let mut b: Vec<(u64, u64)> = Vec::new();
     for (port, tu) in &data {
         for ev in rceda.on_tuple(*port, tu) {
@@ -163,12 +154,8 @@ fn windowed_equivalence_and_rceda_retention() {
     let mut det = Detector::new(DetectorConfig::seq(pat)).unwrap();
     let mut nj = NaiveJoinSeq::new(2, None, Some(dur)).unwrap();
     let pred: RootPredicate = std::sync::Arc::new(move |i| i.end - i.start <= dur);
-    let mut rceda = RcedaEngine::new(
-        &EventExpr::seq_chain(2),
-        Context::Unrestricted,
-        Some(pred),
-    )
-    .unwrap();
+    let mut rceda =
+        RcedaEngine::new(&EventExpr::seq_chain(2), Context::Unrestricted, Some(pred)).unwrap();
 
     let (mut a, mut b, mut c) = (0usize, 0usize, 0usize);
     for (port, tu) in &data {

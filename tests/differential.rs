@@ -140,8 +140,7 @@ fn qc_sql_equals_direct_api() {
             let t = Tuple::new(item.reading.to_values(), item.reading.ts, i as u64);
             for o in det.on_tuple(port, &t).unwrap() {
                 if let DetectorOutput::Match(m) = o {
-                    via_api
-                        .push(m.binding(0).first().value(1).as_str().unwrap().to_string());
+                    via_api.push(m.binding(0).first().value(1).as_str().unwrap().to_string());
                 }
             }
         }
@@ -149,8 +148,7 @@ fn qc_sql_equals_direct_api() {
         // And both equal the generator's ground truth (as sets).
         let truth: std::collections::BTreeSet<&str> =
             w.completed.iter().map(|(t, _)| t.as_str()).collect();
-        let got: std::collections::BTreeSet<&str> =
-            via_sql.iter().map(|s| s.as_str()).collect();
+        let got: std::collections::BTreeSet<&str> = via_sql.iter().map(|s| s.as_str()).collect();
         assert_eq!(got, truth, "seed {seed}");
     }
 }

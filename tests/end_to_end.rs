@@ -43,7 +43,13 @@ fn dedup_then_containment_cascade() {
             Value::Ts(Timestamp::from_millis(ms)),
         ]
     };
-    for (tag, ms) in [("p1", 0u64), ("p1", 100), ("p2", 500), ("p2", 600), ("p3", 900)] {
+    for (tag, ms) in [
+        ("p1", 0u64),
+        ("p1", 100),
+        ("p2", 500),
+        ("p2", 600),
+        ("p3", 900),
+    ] {
         engine.push("r1_raw", reading(tag, ms)).unwrap();
     }
     engine.push("r2", reading("case", 2000)).unwrap();
@@ -501,7 +507,10 @@ fn jittered_readers_with_disorder_tolerance() {
     // jitter, so consecutive bursts can interleave at the edges.
     let mut feed: Vec<Reading> = Vec::new();
     for i in 0..500u64 {
-        feed.extend(reader.observe(&format!("tag-{}", i % 25), Timestamp::from_millis(1000 + i * 2000)));
+        feed.extend(reader.observe(
+            &format!("tag-{}", i % 25),
+            Timestamp::from_millis(1000 + i * 2000),
+        ));
     }
     // NOT sorted: deliver in generation order (jitter leaks through).
     let mut engine = Engine::new();

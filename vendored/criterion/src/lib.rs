@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate: same macro/builder API,
+//! but measurement is a plain fixed-budget wall-clock loop reporting
+//! mean and minimum per iteration (no statistics, no HTML reports).
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (recorded, reported as
+/// elements/second when set).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored; every iteration re-runs
+/// setup outside the timed section).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accept CLI args for compatibility (filters and criterion flags are
+    /// ignored by this stand-in).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        let name = id.to_string();
+        let mut g = self.benchmark_group(name.clone());
+        g.bench_function("", f);
+        g.finish();
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            measurement_time: self.criterion.measurement_time,
+            warm_up_time: self.criterion.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&self.name, &id.to_string(), self.throughput);
+    }
+
+    /// Benchmark a closure over one input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Measured per-iteration durations in nanoseconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up (untimed).
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` with a fresh untimed `setup` product per iteration.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine(setup()));
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples");
+            return;
+        }
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => format!("  {:>10.0} elem/s", n as f64 / (min / 1e9)),
+            Some(Throughput::Bytes(n)) => format!("  {:>10.0} B/s", n as f64 / (min / 1e9)),
+            None => String::new(),
+        };
+        println!(
+            "{group}/{id}: mean {:>10.3} ms  min {:>10.3} ms  ({} samples){rate}",
+            mean / 1e6,
+            min / 1e6,
+            self.samples.len()
+        );
+    }
+}
+
+/// Define a benchmark group function (criterion's two macro forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for the `crossbeam` crate: the `channel` module with
+//! bounded MPSC channels, implemented over `std::sync::mpsc`.
+
+/// Multi-producer channels (subset of `crossbeam-channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel; cloneable.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when the channel is disconnected;
+    /// carries the unsent message.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Create a bounded channel with capacity `cap` (blocking sends once
+    /// full — the back-pressure behaviour the engine driver relies on).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive a message, blocking while the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking iteration helper mirroring crossbeam's API.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter(self.0.into_iter())
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            Iter(self.0.iter())
+        }
+    }
+
+    /// Owning blocking iterator over received messages.
+    pub struct IntoIter<T>(mpsc::IntoIter<T>);
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.next()
+        }
+    }
+
+    /// Borrowing blocking iterator over received messages.
+    pub struct Iter<'a, T>(mpsc::Iter<'a, T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.next()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn send_recv_iterate() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        std::thread::spawn(move || {
+            for i in 0..3 {
+                tx2.send(i).unwrap();
+            }
+        });
+        drop(tx);
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn disconnected_errors() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! A tiny character-class pattern language for string strategies.
+//!
+//! Supports the regex subset the workspace's tests use: literal
+//! characters, character classes `[a-z0-9_%]` (ranges and literals), and
+//! counted repetition `{lo,hi}` / `{n}` after an atom. Anything fancier
+//! (alternation, groups, `*`/`+`) is rejected with an error.
+
+use crate::TestRng;
+
+/// One pattern atom with its repetition bounds.
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The characters this atom can produce.
+    choices: Vec<char>,
+    /// Inclusive repetition bounds.
+    lo: u32,
+    hi: u32,
+}
+
+/// A parsed pattern: a concatenation of atoms.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    atoms: Vec<Atom>,
+}
+
+impl Pattern {
+    /// Parse a pattern; errors on unsupported syntax.
+    pub fn parse(pattern: &str) -> Result<Pattern, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| "unterminated character class".to_string())?;
+                    let body = &chars[i + 1..i + 1 + close];
+                    i += close + 2;
+                    class_choices(body)?
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| "dangling escape".to_string())?;
+                    i += 2;
+                    vec![c]
+                }
+                c @ ('*' | '+' | '?' | '(' | ')' | '|') => {
+                    return Err(format!("unsupported pattern operator `{c}`"));
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| "unterminated repetition".to_string())?;
+                let body: String = chars[i + 1..i + 1 + close].iter().collect();
+                i += close + 2;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().map_err(|e| format!("bad bound: {e}"))?,
+                        hi.trim().parse().map_err(|e| format!("bad bound: {e}"))?,
+                    ),
+                    None => {
+                        let n = body.trim().parse().map_err(|e| format!("bad bound: {e}"))?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            if lo > hi {
+                return Err(format!("repetition bounds inverted: {{{lo},{hi}}}"));
+            }
+            atoms.push(Atom { choices, lo, hi });
+        }
+        Ok(Pattern { atoms })
+    }
+
+    /// Generate one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = atom.lo + rng.below((atom.hi - atom.lo + 1) as u64) as u32;
+            for _ in 0..n {
+                let i = rng.below(atom.choices.len() as u64) as usize;
+                out.push(atom.choices[i]);
+            }
+        }
+        out
+    }
+}
+
+/// Expand a class body (`a-z0-9_%`) into its concrete characters.
+fn class_choices(body: &[char]) -> Result<Vec<char>, String> {
+    if body.is_empty() {
+        return Err("empty character class".to_string());
+    }
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // `a-z` is a range when `-` sits between two chars; a leading or
+        // trailing `-` is a literal.
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            if lo > hi {
+                return Err(format!("inverted class range `{lo}-{hi}`"));
+            }
+            out.extend(lo..=hi);
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_workspace_patterns() {
+        for p in [
+            "q[a-z0-9_]{0,6}",
+            "[a-c%_]{0,6}",
+            "[ -~]{0,80}",
+            "[a-zA-Z_][a-zA-Z0-9_]{0,10}",
+            "[a-c]{0,8}",
+            "[a-zA-Z0-9 ,.()*<>=']{0,60}",
+        ] {
+            Pattern::parse(p).unwrap();
+        }
+        assert!(Pattern::parse("a|b").is_err());
+        assert!(Pattern::parse("[abc").is_err());
+    }
+
+    #[test]
+    fn generated_strings_match_class() {
+        let p = Pattern::parse("[a-c]{2,4}").unwrap();
+        let mut rng = TestRng::for_case("class", 0);
+        for _ in 0..100 {
+            let s = p.generate(&mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let p = Pattern::parse("[a-]").unwrap();
+        let mut rng = TestRng::for_case("dash", 0);
+        for _ in 0..20 {
+            let s = p.generate(&mut rng);
+            assert!(s == "a" || s == "-");
+        }
+    }
+}

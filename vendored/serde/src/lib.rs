@@ -1,0 +1,32 @@
+//! Offline stand-in for the `serde` crate: marker traits plus no-op
+//! derive macros. The workspace tags types as serializable for future
+//! wire formats but performs no serialization through external crates,
+//! so the traits carry no methods.
+
+/// Marker: the type is (conceptually) serializable.
+pub trait Serialize {}
+
+/// Marker: the type is (conceptually) deserializable.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// Common std impls so container types derive cleanly if ever needed.
+macro_rules! markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {} impl Deserialize for $t {})*
+    };
+}
+
+markers!(bool, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64, String, char);
+
+impl Serialize for &str {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Serialize> Serialize for std::sync::Arc<T> {}
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {}

@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde_derive`: the `Serialize` / `Deserialize`
+//! derive macros expand to marker-trait impls. The workspace derives the
+//! traits on plain data types but never serializes through an external
+//! format crate, so no codegen beyond the marker impl is needed.
+
+use proc_macro::TokenStream;
+
+/// Extract the identifier following `struct` or `enum` in the derive input.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tt) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(proc_macro::TokenTree::Ident(name)) = tokens.next() {
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Generics are not supported by this stand-in (the workspace only
+/// derives on concrete types); emit an empty impl body for the named type.
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize", input)
+}
