@@ -10,6 +10,12 @@
 //! seconds, the engine's full metrics snapshot for a representative E1
 //! run, and the detector match/prune counters for E6/E10. If `<path>` is
 //! a directory the file is named `BENCH_<yyyy-mm-dd>.json` inside it.
+//!
+//! With `--shards <n>` the harness additionally replays E1/E6/E10
+//! through the EPC-partitioned `ShardedEngine` at shard counts
+//! 1, 2, 4, … up to `n` (the scaling curve), recording merged-output
+//! cardinality, per-shard routing balance, and — at the widest
+//! configuration — the full `shard`-labeled metrics snapshot.
 
 use eslev_bench::table::TextTable;
 use eslev_bench::*;
@@ -93,8 +99,9 @@ fn today_utc() -> String {
     format!("{year:04}-{month:02}-{day:02}")
 }
 
-fn parse_args() -> Option<std::path::PathBuf> {
+fn parse_args() -> (Option<std::path::PathBuf>, Option<usize>) {
     let mut json_path = None;
+    let mut shards = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -105,17 +112,26 @@ fn parse_args() -> Option<std::path::PathBuf> {
                     std::process::exit(2);
                 }
             },
+            "--shards" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => shards = Some(n),
+                _ => {
+                    eprintln!("--shards needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown argument: {other}\nusage: harness [--json <path>]");
+                eprintln!(
+                    "unknown argument: {other}\nusage: harness [--json <path>] [--shards <n>]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    json_path
+    (json_path, shards)
 }
 
 fn main() {
-    let json_path = parse_args();
+    let (json_path, shards_flag) = parse_args();
     // (experiment key, JSON value) — filled as each table is printed.
     let mut sections: Vec<(&str, String)> = Vec::new();
 
@@ -535,6 +551,68 @@ fn main() {
     }
     println!("{}", t.to_markdown());
     sections.push(("A2", obj(&[("rows", arr(rows))])));
+
+    // --------------------------------------------------- shard scaling
+    if let Some(max_shards) = shards_flag {
+        println!("## S1 — shard scaling (--shards {max_shards})\n");
+        let mut counts: Vec<usize> = Vec::new();
+        let mut c = 1;
+        while c < max_shards {
+            counts.push(c);
+            c *= 2;
+        }
+        counts.push(max_shards);
+        let workloads = [
+            shard_workload_e1(4_000),
+            shard_workload_e6(60),
+            shard_workload_e10(16, 12, 4),
+        ];
+        let mut t = TextTable::new(&[
+            "experiment",
+            "shards",
+            "rows_in",
+            "rows_out",
+            "kreads/s",
+            "per_shard_routed",
+        ]);
+        let mut rows = Vec::new();
+        let mut shard_metrics: Vec<(String, String)> = Vec::new();
+        for w in &workloads {
+            for &n in &counts {
+                let ((row, metrics), secs) = timed(|| run_shard_scale(w, n), 3);
+                t.row(vec![
+                    row.experiment.to_string(),
+                    n.to_string(),
+                    row.rows_in.to_string(),
+                    row.rows_out.to_string(),
+                    format!("{:.0}", row.rows_in as f64 / secs / 1e3),
+                    format!("{:?}", row.per_shard_routed),
+                ]);
+                rows.push(obj(&[
+                    ("experiment", jstr(row.experiment)),
+                    ("shards", n.to_string()),
+                    ("rows_in", row.rows_in.to_string()),
+                    ("rows_out", row.rows_out.to_string()),
+                    ("best_secs", jf(secs)),
+                    (
+                        "per_shard_routed",
+                        arr(row.per_shard_routed.iter().map(|r| r.to_string()).collect()),
+                    ),
+                ]));
+                // Full per-shard metrics for the widest configuration —
+                // the `shard`-labeled router + engine counters.
+                if n == max_shards {
+                    shard_metrics.push((format!("{}_metrics", row.experiment), metrics.to_json()));
+                }
+            }
+        }
+        println!("{}", t.to_markdown());
+        let mut fields = vec![("rows", arr(rows))];
+        for (k, v) in &shard_metrics {
+            fields.push((k.as_str(), v.clone()));
+        }
+        sections.push(("S1", obj(&fields)));
+    }
 
     println!("(Wall-clock columns are best-of-3 inline timings; run `cargo bench` for Criterion medians.)");
 

@@ -1063,3 +1063,193 @@ mod ablation_tests {
         assert!(slow.peak_retained >= fast.peak_retained);
     }
 }
+
+// --------------------------------------------------------- shard scaling
+
+/// A paper workload packaged for the shard router: DDL, one collected
+/// continuous query, and a globally time-ordered feed.
+#[derive(Debug, Clone)]
+pub struct ShardWorkload {
+    /// Experiment label (E1 / E6 / E10).
+    pub experiment: &'static str,
+    /// `CREATE STREAM` (+ derived `INSERT INTO`) script, executed on
+    /// every shard.
+    pub ddl: String,
+    /// The collected query whose merged output is measured.
+    pub query: String,
+    /// `(stream, values)` rows in timestamp order.
+    pub feed: Vec<(String, Vec<Value>)>,
+}
+
+/// One sharded-scaling measurement.
+#[derive(Debug, Clone)]
+pub struct ShardScaleRow {
+    /// Experiment label.
+    pub experiment: &'static str,
+    /// Worker shards.
+    pub shards: usize,
+    /// Tuples routed in.
+    pub rows_in: usize,
+    /// Tuples in the merged output.
+    pub rows_out: usize,
+    /// Routed-tuple count per shard (length == `shards`) — the balance
+    /// of the EPC hash partitioning.
+    pub per_shard_routed: Vec<u64>,
+}
+
+/// E1 duplicate elimination as a sharded workload (the same script as
+/// [`e1_setup`], EPC-keyed on `tag_id`).
+pub fn shard_workload_e1(presences: usize) -> ShardWorkload {
+    let w = dedup::generate(&dedup::DedupConfig {
+        presences,
+        duplicate_prob: 0.5,
+        ..dedup::DedupConfig::default()
+    });
+    ShardWorkload {
+        experiment: "E1",
+        ddl: "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+              CREATE STREAM cleaned_readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+              INSERT INTO cleaned_readings
+              SELECT * FROM readings AS r1
+              WHERE NOT EXISTS
+                (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+                 WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);"
+            .to_string(),
+        query: "SELECT * FROM cleaned_readings".to_string(),
+        feed: w
+            .readings
+            .iter()
+            .map(|r| ("readings".to_string(), r.to_values()))
+            .collect(),
+    }
+}
+
+/// E6 pairing-mode `SEQ` over the interleaved QC line, tag-partitioned
+/// by the planner's lifted equalities.
+pub fn shard_workload_e6(products: usize) -> ShardWorkload {
+    let w = qc_line::generate(&qc_line::QcConfig {
+        products,
+        ..qc_line::QcConfig::default()
+    });
+    let feeds: Vec<(String, Vec<Reading>)> = w
+        .feeds
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (format!("c{}", i + 1), f.clone()))
+        .collect();
+    ShardWorkload {
+        experiment: "E6",
+        ddl: "CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+              CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+              CREATE STREAM C3 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+              CREATE STREAM C4 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);"
+            .to_string(),
+        query: "SELECT C1.tagid, C4.tagtime FROM C1, C2, C3, C4
+                WHERE SEQ(C1, C2, C3, C4) MODE RECENT
+                AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid"
+            .to_string(),
+        feed: merge_feeds(feeds)
+            .into_iter()
+            .map(|item| (item.stream, item.reading.to_values()))
+            .collect(),
+    }
+}
+
+/// E10 star sequence over tag-interleaved runs: each tag cycles
+/// `run_len` R1 readings then one R2 boundary, rounds interleaved across
+/// tags so adjacent timestamps belong to different tags.
+pub fn shard_workload_e10(tags: usize, runs_per_tag: usize, run_len: usize) -> ShardWorkload {
+    let mut feed = Vec::new();
+    let mut ts = 0u64;
+    for _run in 0..runs_per_tag {
+        for step in 0..=run_len {
+            for tag in 0..tags {
+                ts += 1;
+                let stream = if step < run_len { "r1" } else { "r2" };
+                feed.push((
+                    stream.to_string(),
+                    vec![
+                        Value::str("rd"),
+                        Value::str(format!("tag-{tag}")),
+                        Value::Ts(Timestamp::from_secs(ts)),
+                    ],
+                ));
+            }
+        }
+    }
+    ShardWorkload {
+        experiment: "E10",
+        ddl: "CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+              CREATE STREAM R2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);"
+            .to_string(),
+        query: "SELECT COUNT(R1*), R2.tagid FROM R1, R2
+                WHERE SEQ(R1*, R2) MODE CHRONICLE AND R1.tagid = R2.tagid"
+            .to_string(),
+        feed,
+    }
+}
+
+/// Replay `w` through a [`ShardedEngine`] at `shards` workers; returns
+/// the scaling row plus the router's merged metrics snapshot (router
+/// counters and per-shard engine metrics under a `shard` label).
+pub fn run_shard_scale(w: &ShardWorkload, shards: usize) -> (ShardScaleRow, MetricsSnapshot) {
+    let ddl = w.ddl.clone();
+    let query = w.query.clone();
+    let mut se = ShardedEngine::build(shards, 1024, ShardSpec::new(), move |e| {
+        execute_script(e, &ddl)?;
+        let q = execute(e, &query)?;
+        Ok(vec![q.collector().expect("collected query").clone()])
+    })
+    .expect("sharded build");
+    for (stream, values) in &w.feed {
+        se.push(stream, values.clone()).expect("route");
+    }
+    se.flush().expect("flush");
+    let rows_out = se.take_output(0).expect("merge slot").len();
+    let per_shard_routed = se.shard_stats().iter().map(|s| s.routed).collect();
+    let metrics = se.metrics_snapshot();
+    se.stop().expect("clean stop");
+    (
+        ShardScaleRow {
+            experiment: w.experiment,
+            shards,
+            rows_in: w.feed.len(),
+            rows_out,
+            per_shard_routed,
+        },
+        metrics,
+    )
+}
+
+#[cfg(test)]
+mod shard_scale_tests {
+    use super::*;
+
+    #[test]
+    fn scaling_preserves_output_cardinality() {
+        for w in [
+            shard_workload_e1(300),
+            shard_workload_e6(20),
+            shard_workload_e10(5, 3, 2),
+        ] {
+            let (one, _) = run_shard_scale(&w, 1);
+            assert!(one.rows_out > 0, "{}: trivial workload", w.experiment);
+            for n in [2usize, 4] {
+                let (row, metrics) = run_shard_scale(&w, n);
+                assert_eq!(
+                    row.rows_out, one.rows_out,
+                    "{} diverged at {n} shards",
+                    w.experiment
+                );
+                assert_eq!(row.per_shard_routed.len(), n);
+                assert_eq!(row.per_shard_routed.iter().sum::<u64>(), row.rows_in as u64);
+                let labeled = metrics
+                    .samples
+                    .iter()
+                    .filter(|s| s.name == "eslev_shard_tuples_total")
+                    .count();
+                assert_eq!(labeled, n, "one routed counter per shard");
+            }
+        }
+    }
+}

@@ -6,6 +6,12 @@
 //! this module provides a channel-based driver: one worker thread owns the
 //! engine, producers send rows through a bounded crossbeam channel, and a
 //! heartbeat generator can inject punctuations for active expiration.
+//!
+//! The shard router ([`crate::shard`]) builds on two extra hooks exposed
+//! here: commands carry an optional *cause index* (the router's global
+//! arrival counter), and a *tap* closure can observe the engine after
+//! every state-changing command — that is how per-shard outputs are
+//! harvested on the worker thread without any cross-thread engine access.
 
 use crate::engine::Engine;
 use crate::error::{DsmsError, Result};
@@ -15,9 +21,26 @@ use crate::value::Value;
 use crossbeam::channel::{bounded, Sender};
 use std::thread::JoinHandle;
 
+/// Observer invoked on the worker thread after each state-changing
+/// command, with the engine and the cause index of the latest routed
+/// command (0 until the first one arrives).
+pub(crate) type Tap = Box<dyn FnMut(&mut Engine, u64) + Send>;
+
 enum Command {
-    Push { stream: String, values: Vec<Value> },
-    Advance(Timestamp),
+    Push {
+        stream: String,
+        values: Vec<Value>,
+        /// Caller-assigned tuple sequence number (shard router cause);
+        /// `None` lets the engine use its own counter.
+        seq: Option<u64>,
+        cause: u64,
+    },
+    Advance {
+        ts: Timestamp,
+        cause: u64,
+    },
+    /// Run an arbitrary closure against the engine on the worker thread.
+    Exec(Box<dyn FnOnce(&mut Engine) + Send>),
     Flush(Sender<()>),
     Stop(Sender<Engine>),
 }
@@ -50,32 +73,76 @@ pub struct EngineInput {
 
 impl EngineDriver {
     /// Move `engine` onto a worker thread. `queue` bounds the channel
-    /// (back-pressure for fast producers).
-    pub fn spawn(mut engine: Engine, queue: usize) -> EngineDriver {
+    /// (back-pressure for fast producers) and must be at least 1; zero
+    /// is a configuration error, not a request for an unbuffered
+    /// channel (a rendezvous channel would deadlock single-threaded
+    /// feed-then-flush callers).
+    pub fn spawn(engine: Engine, queue: usize) -> Result<EngineDriver> {
+        Self::spawn_with_tap(engine, queue, None)
+    }
+
+    /// [`EngineDriver::spawn`] plus an optional tap run on the worker
+    /// thread after every state-changing command (push, advance, exec).
+    /// The shard router uses the tap to drain collector outputs into
+    /// cause-tagged merge buffers while the command's effects are fresh.
+    pub(crate) fn spawn_with_tap(
+        mut engine: Engine,
+        queue: usize,
+        mut tap: Option<Tap>,
+    ) -> Result<EngineDriver> {
+        if queue == 0 {
+            return Err(DsmsError::plan(
+                "driver queue capacity must be at least 1 (got 0)",
+            ));
+        }
         let obs = engine.registry();
         let queue_depth = obs.gauge("eslev_driver_queue_depth", &[]);
         let flush_ns = obs.histogram("eslev_driver_flush_ns", &[]);
         let commands: Counter = obs.counter("eslev_driver_commands_total", &[]);
         let depth = queue_depth.clone();
-        let (tx, rx) = bounded::<Command>(queue.max(1));
+        let (tx, rx) = bounded::<Command>(queue);
         let handle = std::thread::spawn(move || -> Result<()> {
             let mut first_err: Option<DsmsError> = None;
+            let mut last_cause = 0u64;
             for cmd in rx {
                 depth.add(-1);
                 commands.inc();
                 match cmd {
-                    Command::Push { stream, values } => {
+                    Command::Push {
+                        stream,
+                        values,
+                        seq,
+                        cause,
+                    } => {
+                        last_cause = last_cause.max(cause);
                         if first_err.is_none() {
-                            if let Err(e) = engine.push(&stream, values) {
+                            let res = match seq {
+                                Some(s) => engine.push_with_seq(&stream, values, s),
+                                None => engine.push(&stream, values),
+                            };
+                            if let Err(e) = res {
                                 first_err = Some(e);
                             }
                         }
+                        if let Some(t) = tap.as_mut() {
+                            t(&mut engine, last_cause);
+                        }
                     }
-                    Command::Advance(ts) => {
+                    Command::Advance { ts, cause } => {
+                        last_cause = last_cause.max(cause);
                         if first_err.is_none() {
                             if let Err(e) = engine.advance_to(ts) {
                                 first_err = Some(e);
                             }
+                        }
+                        if let Some(t) = tap.as_mut() {
+                            t(&mut engine, last_cause);
+                        }
+                    }
+                    Command::Exec(f) => {
+                        f(&mut engine);
+                        if let Some(t) = tap.as_mut() {
+                            t(&mut engine, last_cause);
                         }
                     }
                     Command::Flush(ack) => {
@@ -89,13 +156,13 @@ impl EngineDriver {
             }
             first_err.map_or(Ok(()), Err)
         });
-        EngineDriver {
+        Ok(EngineDriver {
             tx,
             handle: Some(handle),
             obs,
             queue_depth,
             flush_ns,
-        }
+        })
     }
 
     /// A cloneable producer handle.
@@ -104,6 +171,25 @@ impl EngineDriver {
             tx: self.tx.clone(),
             queue_depth: self.queue_depth.clone(),
         }
+    }
+
+    /// Run `f` against the engine on the worker thread and return its
+    /// result. Blocks until the worker gets to it; commands queued
+    /// before it are processed first.
+    pub fn exec<R, F>(&self, f: F) -> Result<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Engine) -> R + Send + 'static,
+    {
+        let (tx, rx) = bounded(1);
+        self.tx
+            .send(Command::Exec(Box::new(move |engine: &mut Engine| {
+                let _ = tx.send(f(engine));
+            })))
+            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
+        self.queue_depth.add(1);
+        rx.recv()
+            .map_err(|_| DsmsError::plan("engine worker terminated"))
     }
 
     /// Live snapshot of every instrument the engine (and this driver)
@@ -156,10 +242,24 @@ impl EngineDriver {
 impl EngineInput {
     /// Queue a row for a stream.
     pub fn push(&self, stream: &str, values: Vec<Value>) -> Result<()> {
+        self.push_routed(stream, values, None, 0)
+    }
+
+    /// Queue a row with an explicit tuple sequence number and cause
+    /// index (shard router path).
+    pub(crate) fn push_routed(
+        &self,
+        stream: &str,
+        values: Vec<Value>,
+        seq: Option<u64>,
+        cause: u64,
+    ) -> Result<()> {
         self.tx
             .send(Command::Push {
                 stream: stream.to_string(),
                 values,
+                seq,
+                cause,
             })
             .map_err(|_| DsmsError::plan("engine worker terminated"))?;
         self.queue_depth.add(1);
@@ -168,8 +268,15 @@ impl EngineInput {
 
     /// Queue a punctuation.
     pub fn advance_to(&self, ts: Timestamp) -> Result<()> {
+        self.advance_routed(ts, 0)
+    }
+
+    /// Queue a punctuation tagged with a cause index (shard router
+    /// path: broadcast watermarks acknowledge the cause on shards that
+    /// did not receive the tuple itself).
+    pub(crate) fn advance_routed(&self, ts: Timestamp, cause: u64) -> Result<()> {
         self.tx
-            .send(Command::Advance(ts))
+            .send(Command::Advance { ts, cause })
             .map_err(|_| DsmsError::plan("engine worker terminated"))?;
         self.queue_depth.add(1);
         Ok(())
@@ -204,7 +311,7 @@ mod tests {
             .unwrap();
         // Single producer pushes in order (engine enforces per-stream
         // order; multi-producer feeds would use one stream each).
-        let driver = EngineDriver::spawn(e, 64);
+        let driver = EngineDriver::spawn(e, 64).unwrap();
         let input = driver.input();
         let h = std::thread::spawn(move || {
             for i in 0..100u64 {
@@ -221,14 +328,40 @@ mod tests {
     }
 
     #[test]
+    fn zero_queue_capacity_is_an_error() {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        let err = EngineDriver::spawn(e, 0)
+            .err()
+            .expect("zero queue rejected");
+        assert!(
+            err.to_string().contains("queue capacity"),
+            "error names the misconfiguration: {err}"
+        );
+    }
+
+    #[test]
     fn worker_reports_first_error_on_stop() {
         let mut e = Engine::new();
         e.create_stream(Schema::readings("readings")).unwrap();
-        let driver = EngineDriver::spawn(e, 8);
+        let driver = EngineDriver::spawn(e, 8).unwrap();
         let input = driver.input();
         input.push("nonexistent", reading(1, "t")).unwrap();
         let err = driver.stop().err().expect("worker must surface the error");
         assert!(err.to_string().contains("nonexistent"));
+    }
+
+    #[test]
+    fn exec_runs_on_worker_thread() {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        let driver = EngineDriver::spawn(e, 8).unwrap();
+        driver.input().push("readings", reading(1, "t1")).unwrap();
+        let pushed = driver
+            .exec(|engine| engine.stream_pushed("readings").unwrap())
+            .unwrap();
+        assert_eq!(pushed, 1, "exec observes queued commands before it");
+        driver.stop().unwrap();
     }
 
     #[test]
@@ -244,7 +377,7 @@ mod tests {
             )
             .unwrap();
         }
-        let driver = EngineDriver::spawn(e, 64);
+        let driver = EngineDriver::spawn(e, 64).unwrap();
         // One producer thread per stream (per-stream order still holds).
         let handles: Vec<_> = ["s1", "s2"]
             .into_iter()
@@ -289,9 +422,62 @@ mod tests {
     fn advance_through_driver() {
         let mut e = Engine::new();
         e.create_stream(Schema::readings("readings")).unwrap();
-        let driver = EngineDriver::spawn(e, 8);
+        let driver = EngineDriver::spawn(e, 8).unwrap();
         driver.input().advance_to(Timestamp::from_secs(42)).unwrap();
         let engine = driver.stop().unwrap();
         assert_eq!(engine.now(), Timestamp::from_secs(42));
+    }
+
+    /// Regression: shutdown under contention. Concurrent producers race
+    /// an in-flight heartbeat thread while the owner flushes and stops;
+    /// nothing may deadlock and every row queued before the flush must
+    /// reach the engine (stop drains the channel deterministically).
+    #[test]
+    fn stop_under_contention_drops_nothing() {
+        for round in 0..8 {
+            let mut e = Engine::new();
+            for s in ["s1", "s2", "s3"] {
+                e.create_stream(Schema::readings(s)).unwrap();
+            }
+            // Tight queue on odd rounds so producers hit back-pressure
+            // while the heartbeat interleaves.
+            let queue = if round % 2 == 0 { 64 } else { 2 };
+            let driver = EngineDriver::spawn(e, queue).unwrap();
+            let rows = 50u64;
+            let producers: Vec<_> = ["s1", "s2", "s3"]
+                .into_iter()
+                .map(|s| {
+                    let input = driver.input();
+                    std::thread::spawn(move || {
+                        for i in 0..rows {
+                            input.push(s, reading(i, &format!("t{i}"))).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            // Heartbeat races the producers; monotone advance_to means a
+            // stale heartbeat is a no-op, never an error.
+            let hb = {
+                let input = driver.input();
+                std::thread::spawn(move || {
+                    for i in 0..20u64 {
+                        input.advance_to(Timestamp::from_secs(i)).unwrap();
+                    }
+                })
+            };
+            for p in producers {
+                p.join().unwrap();
+            }
+            hb.join().unwrap();
+            driver.flush().unwrap();
+            let engine = driver.stop().unwrap();
+            for s in ["s1", "s2", "s3"] {
+                assert_eq!(
+                    engine.stream_pushed(s).unwrap(),
+                    rows,
+                    "round {round}: stream {s} lost rows at shutdown"
+                );
+            }
+        }
     }
 }

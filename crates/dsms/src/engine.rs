@@ -446,14 +446,34 @@ impl Engine {
 
     /// Push a row into a stream; cascades through all affected queries.
     pub fn push(&mut self, stream: &str, values: Vec<Value>) -> Result<()> {
+        self.push_impl(stream, values, None)
+    }
+
+    /// Push a row with a caller-assigned sequence number instead of the
+    /// engine's internal counter. Used by the shard router to stamp every
+    /// replica of a tuple with one global cause index so per-shard
+    /// tie-breaks — `(ts, seq)` order keys inside detectors and reorder
+    /// buffers — agree with the single-engine reference. The internal
+    /// counter is bumped past `seq` so derived-stream tuples never reuse
+    /// it within this engine.
+    pub fn push_with_seq(&mut self, stream: &str, values: Vec<Value>, seq: u64) -> Result<()> {
+        self.push_impl(stream, values, Some(seq))
+    }
+
+    fn push_impl(
+        &mut self,
+        stream: &str,
+        values: Vec<Value>,
+        seq_override: Option<u64>,
+    ) -> Result<()> {
         let lower = stream.to_ascii_lowercase();
         let entry = self
             .streams
             .get_mut(&lower)
             .ok_or_else(|| DsmsError::unknown(format!("stream `{stream}`")))?;
-        let seq = self.next_seq;
+        let seq = seq_override.unwrap_or(self.next_seq);
         let t = Tuple::for_schema(&entry.schema, values, seq)?;
-        self.next_seq += 1;
+        self.next_seq = self.next_seq.max(seq + 1);
         if entry.reorder.is_some() {
             // Buffer, then release everything older than the slack bound.
             let releasable: Vec<Tuple> = {

@@ -49,6 +49,7 @@ pub mod lookup;
 pub mod obs;
 pub mod ops;
 pub mod schema;
+pub mod shard;
 pub mod snapshot;
 pub mod table;
 pub mod time;
@@ -73,6 +74,10 @@ pub mod prelude {
         Select, SemiJoinKind, WindowAggregate, WindowExists,
     };
     pub use crate::schema::{Column, Schema, SchemaRef};
+    pub use crate::shard::{
+        shard_of, RouteRule, ShardSpec, ShardStats, ShardedEngine, WatermarkAggregator,
+        EPC_KEY_COLUMNS,
+    };
     pub use crate::snapshot::{MaterializedWindow, SnapshotRef};
     pub use crate::table::{Table, TableRef};
     pub use crate::time::{Duration, Timestamp};

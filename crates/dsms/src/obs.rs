@@ -276,6 +276,16 @@ impl MetricsSnapshot {
         });
     }
 
+    /// Append every sample from `other` with one extra label pair — how
+    /// the shard router folds N per-shard driver snapshots into a single
+    /// snapshot whose samples stay distinguishable by a `shard` label.
+    pub fn absorb_labeled(&mut self, other: MetricsSnapshot, key: &str, value: &str) {
+        for mut s in other.samples {
+            s.labels.push((key.to_string(), value.to_string()));
+            self.samples.push(s);
+        }
+    }
+
     /// First counter matching `name` whose labels include all of
     /// `labels`.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {

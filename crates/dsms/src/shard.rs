@@ -1,0 +1,814 @@
+//! EPC-partitioned scale-out: a hash router in front of N engines.
+//!
+//! The paper's queries (dedup, `SEQ`, star sequences, pairing modes) are
+//! all keyed by EPC, so the stream partitions cleanly by tag: a
+//! [`ShardedEngine`] routes each pushed tuple to `hash(key) % N` where an
+//! independent [`Engine`] on its own worker thread holds every bit of
+//! state for that key. Three mechanisms make the result *deterministic* —
+//! byte-identical to the single-threaded reference regardless of N:
+//!
+//! 1. **Cause indexing.** The router stamps every `push`/`advance_to`
+//!    with a monotone *cause index* and uses it as the tuple's global
+//!    sequence number ([`Engine::push_with_seq`]), so `(ts, seq)`
+//!    tie-breaks inside detectors match the single-engine order.
+//! 2. **Watermark broadcast.** A keyed tuple's timestamp is broadcast to
+//!    every *other* shard as a punctuation carrying the same cause index.
+//!    Each shard therefore observes the identical watermark sequence the
+//!    single engine derives from its auto-watermark, so *active
+//!    expiration* (window close, `EXCEPTION_SEQ` timeouts) fires at the
+//!    same stream-time on every shard.
+//! 3. **Cause-ordered merge.** A tap on each worker thread drains
+//!    collector outputs right after the command that produced them,
+//!    tagging them with its cause. The merge stage releases outputs only
+//!    up to the *low-water frontier* (the smallest cause every shard has
+//!    acknowledged) and orders them by `(cause, shard)` — reproducing the
+//!    single engine's emission order for tuple-caused outputs.
+//!
+//! Streams without an EPC-like key column (tables, context lookups) are
+//! *broadcast*: every shard sees every row, so non-keyed state stays
+//! replica-consistent. The router assumes the feed is globally
+//! time-ordered (the same discipline the single engine's auto-watermark
+//! expects).
+
+use crate::driver::{EngineDriver, EngineInput};
+use crate::engine::{Collector, Engine};
+use crate::error::{DsmsError, Result};
+use crate::obs::{Counter, Gauge, MetricsSnapshot, Registry};
+use crate::time::Timestamp;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Column names recognised as the EPC/tag key when a [`ShardSpec`] does
+/// not name one explicitly (first match wins, case-insensitive).
+pub const EPC_KEY_COLUMNS: &[&str] = &["tag_id", "tagid", "tid", "epc", "tag"];
+
+/// Bits reserved below the cause index when it is used as a tuple
+/// sequence number: routed tuples get `cause << 16`, leaving shard-local
+/// room for up to 65535 derived-stream tuples per cause without seq
+/// collisions inside a shard.
+const CAUSE_SEQ_SHIFT: u32 = 16;
+
+/// How a stream's tuples travel to shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteRule {
+    /// Hash of the named key columns picks exactly one shard.
+    Key(Vec<usize>),
+    /// Every shard receives every tuple (non-keyed constructs: tables,
+    /// context streams, heartbeats).
+    Broadcast,
+}
+
+/// Per-stream routing configuration for [`ShardedEngine::build`].
+///
+/// Streams not mentioned here fall back to the EPC auto-detect list
+/// ([`EPC_KEY_COLUMNS`]); streams with no recognisable key column are
+/// broadcast. Routes resolve lazily on a stream's first push, so streams
+/// created after build (e.g. via REPL DDL) are covered too.
+#[derive(Clone, Debug, Default)]
+pub struct ShardSpec {
+    keys: HashMap<String, Vec<String>>,
+    broadcast: Vec<String>,
+    no_epc_default: bool,
+}
+
+impl ShardSpec {
+    /// Spec with EPC auto-detection and no explicit routes.
+    pub fn new() -> ShardSpec {
+        ShardSpec::default()
+    }
+
+    /// Route `stream` by hashing the named columns.
+    pub fn key(mut self, stream: &str, columns: &[&str]) -> ShardSpec {
+        self.keys.insert(
+            stream.to_ascii_lowercase(),
+            columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+        );
+        self
+    }
+
+    /// Route every tuple of `stream` to all shards.
+    pub fn broadcast(mut self, stream: &str) -> ShardSpec {
+        self.broadcast.push(stream.to_ascii_lowercase());
+        self
+    }
+
+    /// Disable EPC auto-detection: unspecified streams broadcast.
+    pub fn without_epc_default(mut self) -> ShardSpec {
+        self.no_epc_default = true;
+        self
+    }
+}
+
+/// Shard assignment: a pure function of the key values — FNV-1a over the
+/// display rendering of each key column, so the same key always lands on
+/// the same shard, in every process, on every run.
+pub fn shard_of(values: &[Value], key_cols: &[usize], shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut text = String::new();
+    for c in key_cols {
+        use std::fmt::Write as _;
+        text.clear();
+        let v = values.get(*c).unwrap_or(&Value::Null);
+        let _ = write!(text, "{v}");
+        for b in text.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator so ("ab","c") and ("a","bc") hash apart.
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards as u64) as usize
+}
+
+/// Tracks one watermark per shard and exposes their minimum — the only
+/// stream-time the merged output may trust, since a shard behind the
+/// others can still emit results at its own (earlier) clock.
+#[derive(Clone, Debug)]
+pub struct WatermarkAggregator {
+    marks: Vec<Timestamp>,
+}
+
+impl WatermarkAggregator {
+    /// Aggregator over `shards` clocks, all starting at time zero.
+    pub fn new(shards: usize) -> WatermarkAggregator {
+        WatermarkAggregator {
+            marks: vec![Timestamp::default(); shards],
+        }
+    }
+
+    /// Advance `shard`'s watermark (monotone; earlier times are no-ops).
+    pub fn advance(&mut self, shard: usize, ts: Timestamp) {
+        if let Some(m) = self.marks.get_mut(shard) {
+            *m = (*m).max(ts);
+        }
+    }
+
+    /// `shard`'s current watermark.
+    pub fn mark(&self, shard: usize) -> Timestamp {
+        self.marks.get(shard).copied().unwrap_or_default()
+    }
+
+    /// The low-water mark: minimum over all shards.
+    pub fn low_water(&self) -> Timestamp {
+        self.marks.iter().copied().min().unwrap_or_default()
+    }
+
+    /// The high-water mark: maximum over all shards (how far the feed
+    /// itself has progressed).
+    pub fn high_water(&self) -> Timestamp {
+        self.marks.iter().copied().max().unwrap_or_default()
+    }
+}
+
+/// Live per-shard counters for `SHOW SHARDS` and the bench harness.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Tuples routed directly to this shard (broadcast rows excluded).
+    pub routed: u64,
+    /// Commands queued but not yet processed by the worker.
+    pub queue_depth: i64,
+    /// Highest cause index the worker has acknowledged.
+    pub processed_cause: u64,
+    /// The shard engine's stream-time high-water mark.
+    pub watermark: Timestamp,
+    /// Watermark the router has *sent* to this shard.
+    pub sent_watermark: Timestamp,
+}
+
+/// One resolved route: rule plus the schema's time column (used to lift
+/// tuple timestamps into broadcast watermarks).
+#[derive(Clone, Debug)]
+struct Route {
+    rule: RouteRule,
+    time_col: Option<usize>,
+}
+
+struct SlotBuf {
+    collector: Collector,
+    /// Cause-tagged outputs awaiting the merge frontier.
+    buf: VecDeque<(u64, Tuple)>,
+}
+
+/// Worker-side output state for one shard: the tap drains collectors
+/// into cause-tagged buffers under this lock, right after the command
+/// that produced them.
+type SharedOutputs = Arc<Mutex<Vec<SlotBuf>>>;
+
+/// N single-threaded engines behind a deterministic hash router — see
+/// the module docs for the full protocol.
+pub struct ShardedEngine {
+    drivers: Vec<EngineDriver>,
+    inputs: Vec<EngineInput>,
+    outs: Vec<SharedOutputs>,
+    /// Highest cause acknowledged by each worker (written by the tap).
+    acked: Vec<Arc<AtomicU64>>,
+    /// Each shard engine's `now()` in micros (written by the tap).
+    now_us: Vec<Arc<AtomicU64>>,
+    /// Cause of the last command sent to each shard (0 = none yet).
+    last_sent: Vec<u64>,
+    next_cause: u64,
+    spec: ShardSpec,
+    routes: HashMap<String, Route>,
+    sent_marks: WatermarkAggregator,
+    slots: usize,
+    obs: Registry,
+    routed: Vec<Counter>,
+    broadcasts: Counter,
+    merge_lag: Gauge,
+}
+
+impl ShardedEngine {
+    /// Spin up `shards` engines, each initialised by `setup` (which must
+    /// create the same streams/queries on every shard and return its
+    /// collectors — they become the merge slots, in order). `queue`
+    /// bounds each worker's command channel.
+    pub fn build<F>(shards: usize, queue: usize, spec: ShardSpec, setup: F) -> Result<ShardedEngine>
+    where
+        F: Fn(&mut Engine) -> Result<Vec<Collector>>,
+    {
+        if shards == 0 {
+            return Err(DsmsError::plan("sharded engine needs at least 1 shard"));
+        }
+        let obs = Registry::new();
+        let broadcasts = obs.counter("eslev_shard_broadcast_total", &[]);
+        let merge_lag = obs.gauge("eslev_shard_merge_lag", &[]);
+        let mut drivers = Vec::with_capacity(shards);
+        let mut inputs = Vec::with_capacity(shards);
+        let mut outs = Vec::with_capacity(shards);
+        let mut acked = Vec::with_capacity(shards);
+        let mut now_us = Vec::with_capacity(shards);
+        let mut routed = Vec::with_capacity(shards);
+        let mut slots = None;
+        for i in 0..shards {
+            let mut engine = Engine::new();
+            let collectors = setup(&mut engine)?;
+            match slots {
+                None => slots = Some(collectors.len()),
+                Some(n) if n == collectors.len() => {}
+                Some(n) => {
+                    return Err(DsmsError::plan(format!(
+                        "setup returned {} collectors on shard {i}, {n} on shard 0",
+                        collectors.len()
+                    )))
+                }
+            }
+            let shared: SharedOutputs = Arc::new(Mutex::new(
+                collectors
+                    .into_iter()
+                    .map(|collector| SlotBuf {
+                        collector,
+                        buf: VecDeque::new(),
+                    })
+                    .collect(),
+            ));
+            let ack = Arc::new(AtomicU64::new(0));
+            let now = Arc::new(AtomicU64::new(0));
+            let tap = {
+                let shared = shared.clone();
+                let ack = ack.clone();
+                let now = now.clone();
+                Box::new(move |engine: &mut Engine, cause: u64| {
+                    let mut slots = shared.lock();
+                    for slot in slots.iter_mut() {
+                        for t in slot.collector.take() {
+                            slot.buf.push_back((cause, t));
+                        }
+                    }
+                    ack.store(cause, Ordering::Release);
+                    now.store(engine.now().as_micros(), Ordering::Relaxed);
+                })
+            };
+            let driver = EngineDriver::spawn_with_tap(engine, queue, Some(tap))?;
+            inputs.push(driver.input());
+            drivers.push(driver);
+            outs.push(shared);
+            acked.push(ack);
+            now_us.push(now);
+            let idx = i.to_string();
+            routed.push(obs.counter("eslev_shard_tuples_total", &[("shard", &idx)]));
+        }
+        Ok(ShardedEngine {
+            drivers,
+            inputs,
+            outs,
+            acked,
+            now_us,
+            last_sent: vec![0; shards],
+            next_cause: 1,
+            spec,
+            routes: HashMap::new(),
+            sent_marks: WatermarkAggregator::new(shards),
+            slots: slots.unwrap_or(0),
+            obs,
+            routed,
+            broadcasts,
+            merge_lag,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Number of merge slots (collectors per shard).
+    pub fn output_slots(&self) -> usize {
+        self.slots
+    }
+
+    fn route_for(&mut self, lower: &str) -> Result<Route> {
+        if let Some(r) = self.routes.get(lower) {
+            return Ok(r.clone());
+        }
+        let name = lower.to_string();
+        let schema = self.drivers[0].exec(move |e| e.stream_schema(&name))??;
+        let rule = if self.spec.broadcast.iter().any(|s| s == lower) {
+            RouteRule::Broadcast
+        } else if let Some(cols) = self.spec.keys.get(lower) {
+            let mut idx = Vec::with_capacity(cols.len());
+            for c in cols {
+                idx.push(schema.column_index(c).ok_or_else(|| {
+                    DsmsError::schema(format!("shard key column `{c}` not in stream `{lower}`"))
+                })?);
+            }
+            RouteRule::Key(idx)
+        } else if self.spec.no_epc_default {
+            RouteRule::Broadcast
+        } else {
+            EPC_KEY_COLUMNS
+                .iter()
+                .find_map(|c| schema.column_index(c))
+                .map(|i| RouteRule::Key(vec![i]))
+                .unwrap_or(RouteRule::Broadcast)
+        };
+        let route = Route {
+            rule,
+            time_col: schema.time_column,
+        };
+        self.routes.insert(lower.to_string(), route.clone());
+        Ok(route)
+    }
+
+    /// Route one row: hash-partition keyed streams (broadcasting the
+    /// tuple's timestamp to the other shards as a watermark), replicate
+    /// broadcast streams everywhere.
+    pub fn push(&mut self, stream: &str, values: Vec<Value>) -> Result<()> {
+        let lower = stream.to_ascii_lowercase();
+        let route = self.route_for(&lower)?;
+        let cause = self.next_cause;
+        self.next_cause += 1;
+        let seq = cause << CAUSE_SEQ_SHIFT;
+        let ts = route
+            .time_col
+            .and_then(|i| values.get(i).and_then(Value::as_ts));
+        match &route.rule {
+            RouteRule::Key(cols) => {
+                let target = shard_of(&values, cols, self.shards());
+                self.inputs[target].push_routed(&lower, values, Some(seq), cause)?;
+                self.last_sent[target] = cause;
+                self.routed[target].inc();
+                if let Some(ts) = ts {
+                    self.sent_marks.advance(target, ts);
+                    for j in 0..self.shards() {
+                        if j == target {
+                            continue;
+                        }
+                        self.inputs[j].advance_routed(ts, cause)?;
+                        self.last_sent[j] = cause;
+                        self.sent_marks.advance(j, ts);
+                    }
+                }
+            }
+            RouteRule::Broadcast => {
+                for j in 0..self.shards() {
+                    self.inputs[j].push_routed(&lower, values.clone(), Some(seq), cause)?;
+                    self.last_sent[j] = cause;
+                    if let Some(ts) = ts {
+                        self.sent_marks.advance(j, ts);
+                    }
+                }
+                self.broadcasts.inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Global heartbeat: broadcast a punctuation to every shard (active
+    /// expiration during silent periods).
+    pub fn advance_to(&mut self, ts: Timestamp) -> Result<()> {
+        let cause = self.next_cause;
+        self.next_cause += 1;
+        for j in 0..self.shards() {
+            self.inputs[j].advance_routed(ts, cause)?;
+            self.last_sent[j] = cause;
+            self.sent_marks.advance(j, ts);
+        }
+        Ok(())
+    }
+
+    /// Block until every shard has processed everything routed so far —
+    /// afterwards the merge frontier covers every cause and
+    /// [`ShardedEngine::take_output`] returns complete results.
+    pub fn flush(&self) -> Result<()> {
+        for d in &self.drivers {
+            d.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The merge frontier: the highest cause index that is *complete* —
+    /// no shard can still emit an output tagged at or below it.
+    fn frontier(&self) -> u64 {
+        let mut f = u64::MAX;
+        for (i, ack) in self.acked.iter().enumerate() {
+            let a = ack.load(Ordering::Acquire);
+            // A fully drained shard (everything sent is acknowledged)
+            // imposes no bound; an in-flight one bounds the frontier at
+            // its acknowledgement.
+            if a < self.last_sent[i] {
+                f = f.min(a);
+            }
+        }
+        f
+    }
+
+    /// Drain merged output for one slot, deterministically ordered by
+    /// `(cause, shard)`. Only outputs at or below the merge frontier are
+    /// released; call [`ShardedEngine::flush`] first for completeness.
+    pub fn take_output(&mut self, slot: usize) -> Result<Vec<Tuple>> {
+        if slot >= self.slots {
+            return Err(DsmsError::unknown(format!(
+                "output slot {slot} (have {})",
+                self.slots
+            )));
+        }
+        let frontier = self.frontier();
+        let mut entries: Vec<(u64, usize, Tuple)> = Vec::new();
+        let mut lag = 0i64;
+        for (shard, shared) in self.outs.iter().enumerate() {
+            let mut slots = shared.lock();
+            if let Some(sb) = slots.get_mut(slot) {
+                while let Some((cause, _)) = sb.buf.front() {
+                    if *cause > frontier {
+                        break;
+                    }
+                    let (cause, t) = sb.buf.pop_front().expect("peeked");
+                    entries.push((cause, shard, t));
+                }
+            }
+            lag += slots.iter().map(|sb| sb.buf.len() as i64).sum::<i64>();
+        }
+        self.merge_lag.set(lag);
+        // Stable by (cause, shard): per-shard drain order (the shard's
+        // own emission order) breaks ties within one cause and shard.
+        entries.sort_by_key(|(cause, shard, _)| (*cause, *shard));
+        Ok(entries.into_iter().map(|(_, _, t)| t).collect())
+    }
+
+    /// Run `f` on every shard engine (on its worker thread, serialized
+    /// with routed commands) and collect the results in shard order.
+    pub fn exec_all<R, F>(&self, f: F) -> Result<Vec<R>>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Engine) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut results = Vec::with_capacity(self.shards());
+        for d in &self.drivers {
+            let f = f.clone();
+            results.push(d.exec(move |e| f(e))?);
+        }
+        Ok(results)
+    }
+
+    /// Run `f` on every shard engine and register the collectors it
+    /// returns as new merge slots (the registration happens on the
+    /// worker thread, so no output can slip past the cause tagging).
+    /// Returns the per-shard results and the new slot indices. Every
+    /// shard must return the same number of collectors.
+    pub fn exec_with_outputs<R, F>(&mut self, f: F) -> Result<(Vec<R>, Vec<usize>)>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Engine) -> Result<(R, Vec<Collector>)> + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut results = Vec::with_capacity(self.shards());
+        let mut added = None;
+        for (i, d) in self.drivers.iter().enumerate() {
+            let f = f.clone();
+            let shared = self.outs[i].clone();
+            let res: Result<(R, usize)> = d.exec(move |e| {
+                let (r, collectors) = f(e)?;
+                let mut slots = shared.lock();
+                let n = collectors.len();
+                for collector in collectors {
+                    slots.push(SlotBuf {
+                        collector,
+                        buf: VecDeque::new(),
+                    });
+                }
+                Ok((r, n))
+            })?;
+            let (r, n) = res?;
+            match added {
+                None => added = Some(n),
+                Some(m) if m == n => {}
+                Some(m) => {
+                    return Err(DsmsError::plan(format!(
+                        "shard {i} registered {n} collectors, shard 0 registered {m}"
+                    )))
+                }
+            }
+            results.push(r);
+        }
+        let n = added.unwrap_or(0);
+        let first = self.slots;
+        self.slots += n;
+        Ok((results, (first..first + n).collect()))
+    }
+
+    /// Outputs currently buffered for `slot` across all shards (drained
+    /// collectors awaiting the merge frontier). Approximate while
+    /// workers are busy.
+    pub fn buffered(&self, slot: usize) -> usize {
+        self.outs
+            .iter()
+            .map(|shared| shared.lock().get(slot).map_or(0, |sb| sb.buf.len()))
+            .sum()
+    }
+
+    /// Minimum engine stream-time across shards — the only watermark the
+    /// merged output may trust.
+    pub fn low_watermark(&self) -> Timestamp {
+        self.now_us
+            .iter()
+            .map(|n| Timestamp::from_micros(n.load(Ordering::Relaxed)))
+            .min()
+            .unwrap_or_default()
+    }
+
+    /// The router-side watermark aggregator (what has been *sent*; the
+    /// engines may still be catching up).
+    pub fn sent_watermarks(&self) -> &WatermarkAggregator {
+        &self.sent_marks
+    }
+
+    /// Live per-shard stats for `SHOW SHARDS` and the bench harness.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        (0..self.shards())
+            .map(|i| ShardStats {
+                shard: i,
+                routed: self.routed[i].get(),
+                queue_depth: self.drivers[i]
+                    .metrics()
+                    .gauge("eslev_driver_queue_depth", &[])
+                    .unwrap_or(0),
+                processed_cause: self.acked[i].load(Ordering::Acquire),
+                watermark: Timestamp::from_micros(self.now_us[i].load(Ordering::Relaxed)),
+                sent_watermark: self.sent_marks.mark(i),
+            })
+            .collect()
+    }
+
+    /// Resolved routes, sorted by stream name, rendered for display
+    /// (`key(tag_id)` / `broadcast`). Routes resolve on first push, so
+    /// streams never pushed do not appear.
+    pub fn routing(&self) -> Vec<(String, String)> {
+        let mut rows: Vec<(String, String)> = self
+            .routes
+            .iter()
+            .map(|(stream, r)| {
+                let desc = match &r.rule {
+                    RouteRule::Key(cols) => {
+                        let names: Vec<String> = cols.iter().map(|c| format!("#{c}")).collect();
+                        format!("key({})", names.join(","))
+                    }
+                    RouteRule::Broadcast => "broadcast".to_string(),
+                };
+                (stream.clone(), desc)
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Router metrics plus every shard's driver/engine snapshot, each
+    /// sample labelled with its shard index.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.snapshot();
+        for (i, d) in self.drivers.iter().enumerate() {
+            snap.absorb_labeled(d.metrics(), "shard", &i.to_string());
+        }
+        snap
+    }
+
+    /// Stop every worker and recover the shard engines in index order.
+    /// The first worker error wins, but all workers are stopped either
+    /// way.
+    pub fn stop(self) -> Result<Vec<Engine>> {
+        let mut engines = Vec::with_capacity(self.drivers.len());
+        let mut first_err = None;
+        for d in self.drivers {
+            match d.stop() {
+                Ok(e) => engines.push(e),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(engines),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ops::Select;
+    use crate::schema::Schema;
+
+    fn reading(secs: u64, tag: &str) -> Vec<Value> {
+        vec![
+            Value::str("r1"),
+            Value::str(tag),
+            Value::Ts(Timestamp::from_secs(secs)),
+        ]
+    }
+
+    fn passthrough_setup(e: &mut Engine) -> Result<Vec<Collector>> {
+        e.create_stream(Schema::readings("readings"))?;
+        let (_, out) = e.register_collected(
+            "all",
+            vec!["readings"],
+            Box::new(Select::new(Expr::lit(true))),
+        )?;
+        Ok(vec![out])
+    }
+
+    #[test]
+    fn zero_shards_is_an_error() {
+        let err = ShardedEngine::build(0, 8, ShardSpec::new(), passthrough_setup)
+            .err()
+            .expect("zero shards rejected");
+        assert!(err.to_string().contains("at least 1 shard"));
+    }
+
+    #[test]
+    fn epc_column_auto_detected() {
+        let mut se = ShardedEngine::build(2, 8, ShardSpec::new(), passthrough_setup).unwrap();
+        se.push("readings", reading(1, "t0")).unwrap();
+        se.flush().unwrap();
+        // Schema::readings keys on tag_id (column 1).
+        assert_eq!(
+            se.routing(),
+            vec![("readings".to_string(), "key(#1)".to_string())]
+        );
+        se.stop().unwrap();
+    }
+
+    #[test]
+    fn merged_output_matches_single_engine_order() {
+        // Reference: one engine, rows in push order.
+        let mut single = Engine::new();
+        let single_out = passthrough_setup(&mut single).unwrap().remove(0);
+        let rows: Vec<Vec<Value>> = (0..64)
+            .map(|i| reading(i, &format!("tag{}", i % 7)))
+            .collect();
+        for r in &rows {
+            single.push("readings", r.clone()).unwrap();
+        }
+        let want: Vec<(Vec<Value>, Timestamp)> = single_out
+            .take()
+            .into_iter()
+            .map(|t| (t.values().to_vec(), t.ts()))
+            .collect();
+        for shards in [1usize, 2, 3, 4] {
+            let mut se =
+                ShardedEngine::build(shards, 16, ShardSpec::new(), passthrough_setup).unwrap();
+            for r in &rows {
+                se.push("readings", r.clone()).unwrap();
+            }
+            se.flush().unwrap();
+            let got: Vec<(Vec<Value>, Timestamp)> = se
+                .take_output(0)
+                .unwrap()
+                .into_iter()
+                .map(|t| (t.values().to_vec(), t.ts()))
+                .collect();
+            assert_eq!(
+                got, want,
+                "merge must reproduce single-engine order at N={shards}"
+            );
+            se.stop().unwrap();
+        }
+    }
+
+    #[test]
+    fn broadcast_replicates_to_every_shard() {
+        let spec = ShardSpec::new().broadcast("readings");
+        let mut se = ShardedEngine::build(3, 8, spec, passthrough_setup).unwrap();
+        for i in 0..10 {
+            se.push("readings", reading(i, &format!("t{i}"))).unwrap();
+        }
+        se.flush().unwrap();
+        let pushed = se
+            .exec_all(|e| e.stream_pushed("readings").unwrap())
+            .unwrap();
+        assert_eq!(pushed, vec![10, 10, 10]);
+        // The merge then carries 3 replicas per cause, ordered by shard.
+        let merged = se.take_output(0).unwrap();
+        assert_eq!(merged.len(), 30);
+        se.stop().unwrap();
+    }
+
+    #[test]
+    fn watermark_broadcast_reaches_idle_shards() {
+        let mut se = ShardedEngine::build(4, 8, ShardSpec::new(), passthrough_setup).unwrap();
+        // All rows share one tag, so one shard owns every tuple — the
+        // rest only ever see broadcast watermarks.
+        for i in 0..20 {
+            se.push("readings", reading(i, "lonely")).unwrap();
+        }
+        se.flush().unwrap();
+        assert_eq!(se.low_watermark(), Timestamp::from_secs(19));
+        for s in se.shard_stats() {
+            assert_eq!(s.watermark, Timestamp::from_secs(19));
+            assert_eq!(s.queue_depth, 0);
+        }
+        se.stop().unwrap();
+    }
+
+    #[test]
+    fn take_output_withholds_unacked_causes() {
+        let mut agg = WatermarkAggregator::new(3);
+        agg.advance(0, Timestamp::from_secs(5));
+        agg.advance(1, Timestamp::from_secs(3));
+        assert_eq!(
+            agg.low_water(),
+            Timestamp::default(),
+            "shard 2 never advanced"
+        );
+        agg.advance(2, Timestamp::from_secs(9));
+        assert_eq!(agg.low_water(), Timestamp::from_secs(3));
+        // Regressions are no-ops.
+        agg.advance(1, Timestamp::from_secs(1));
+        assert_eq!(agg.mark(1), Timestamp::from_secs(3));
+    }
+
+    #[test]
+    fn queries_registered_after_build_merge_too() {
+        let mut se = ShardedEngine::build(2, 8, ShardSpec::new(), |e| {
+            e.create_stream(Schema::readings("readings"))?;
+            Ok(vec![])
+        })
+        .unwrap();
+        let (_, slots) = se
+            .exec_with_outputs(|e| {
+                let (_, out) = e.register_collected(
+                    "late",
+                    vec!["readings"],
+                    Box::new(Select::new(Expr::lit(true))),
+                )?;
+                Ok(((), vec![out]))
+            })
+            .unwrap();
+        assert_eq!(slots, vec![0]);
+        for i in 0..8 {
+            se.push("readings", reading(i, &format!("t{i}"))).unwrap();
+        }
+        se.flush().unwrap();
+        assert_eq!(se.take_output(0).unwrap().len(), 8);
+        se.stop().unwrap();
+    }
+
+    #[test]
+    fn metrics_carry_shard_labels() {
+        let mut se = ShardedEngine::build(2, 8, ShardSpec::new(), passthrough_setup).unwrap();
+        for i in 0..12 {
+            se.push("readings", reading(i, &format!("t{i}"))).unwrap();
+        }
+        se.flush().unwrap();
+        let m = se.metrics_snapshot();
+        let total: u64 = (0..2)
+            .filter_map(|i| m.counter("eslev_shard_tuples_total", &[("shard", &i.to_string())]))
+            .sum();
+        assert_eq!(total, 12, "every tuple routed to exactly one shard");
+        for i in ["0", "1"] {
+            assert!(
+                m.counter("eslev_driver_commands_total", &[("shard", i)])
+                    .is_some(),
+                "per-shard driver metrics must be labelled"
+            );
+        }
+        se.stop().unwrap();
+    }
+}

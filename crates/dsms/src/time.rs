@@ -11,7 +11,9 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in time, in microseconds since the stream epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct Timestamp(pub u64);
 
 /// A span of time, in microseconds.

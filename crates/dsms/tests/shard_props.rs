@@ -1,0 +1,145 @@
+//! Property tests for the shard router (vendored proptest stub —
+//! deterministic cases, no shrinking).
+//!
+//! Three invariants from the sharding design:
+//! 1. shard assignment is a pure function of the key columns — stable
+//!    across calls, processes and runs, and blind to non-key columns;
+//! 2. permuting producer interleavings never changes a key's output
+//!    subsequence through a [`ShardedEngine`];
+//! 3. the watermark aggregator never advances past the minimum shard
+//!    watermark.
+
+use eslev_dsms::prelude::*;
+use proptest::prelude::*;
+
+fn reading(tag: &str, reader: &str, secs: u64) -> Vec<Value> {
+    vec![
+        Value::str(reader),
+        Value::str(tag),
+        Value::Ts(Timestamp::from_secs(secs)),
+    ]
+}
+
+/// Independent FNV-1a over the router's hash input layout (each key
+/// column's display text followed by a 0xff separator) — a golden
+/// reimplementation that pins the router to its published hash, so the
+/// assignment stays stable across releases, not just across calls.
+fn golden_shard(keys: &[&str], shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for k in keys {
+        for b in k.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards as u64) as usize
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Purity and stability: assignment depends only on the key columns
+    /// and matches the pinned FNV-1a 64 reference.
+    #[test]
+    fn shard_assignment_is_pure(
+        tag in "tag-[0-9a-f]{1,12}",
+        reader_a in "[a-z]{1,8}",
+        reader_b in "[a-z]{1,8}",
+        secs in 0u64..100_000,
+        shards in 1usize..9,
+    ) {
+        let a = reading(&tag, &reader_a, secs);
+        let b = reading(&tag, &reader_b, secs.wrapping_mul(7) % 100_000);
+        let key = vec![1usize];
+        let sa = shard_of(&a, &key, shards);
+        prop_assert!(sa < shards, "assignment in range");
+        prop_assert_eq!(sa, shard_of(&a, &key, shards), "repeat call is identical");
+        prop_assert_eq!(sa, shard_of(&b, &key, shards), "non-key columns are ignored");
+        prop_assert_eq!(sa, golden_shard(&[&tag], shards), "matches pinned FNV-1a");
+    }
+
+    /// Routing an interleaving and a per-key-sorted permutation of the
+    /// same workload yields the same per-key output subsequence — the
+    /// router serializes each key onto one shard, so cross-key shuffles
+    /// cannot reorder a key's own tuples.
+    #[test]
+    fn interleavings_preserve_per_key_sequences(
+        ops in proptest::collection::vec((0u8..4, 0u32..1000), 1..60),
+        shards in 1usize..6,
+    ) {
+        // Interleaving A: as generated. Interleaving B: stable-sorted by
+        // key (pure cross-key permutation; per-key order untouched).
+        let mut sorted = ops.clone();
+        sorted.sort_by_key(|(k, _)| *k);
+        let mut per_key_outputs: Vec<Vec<Vec<(u8, u32)>>> = Vec::new();
+        for feed in [&ops, &sorted] {
+            let mut se = ShardedEngine::build(shards, 128, ShardSpec::new(), |e| {
+                e.create_stream(Schema::readings("readings"))?;
+                let (_, out) = e.register_collected(
+                    "all",
+                    vec!["readings"],
+                    Box::new(Select::new(Expr::lit(true))),
+                )?;
+                Ok(vec![out])
+            })
+            .expect("build");
+            for (slot, (key, payload)) in feed.iter().enumerate() {
+                se.push(
+                    "readings",
+                    reading(&format!("k{key}"), &payload.to_string(), slot as u64),
+                )
+                .expect("route");
+            }
+            se.flush().expect("flush");
+            let merged = se.take_output(0).expect("slot");
+            se.stop().expect("stop");
+            // Project the merged stream onto per-key subsequences.
+            let mut by_key: Vec<Vec<(u8, u32)>> = vec![Vec::new(); 4];
+            for t in merged {
+                let tag = t.value(1).as_str().expect("tag").to_string();
+                let key: u8 = tag[1..].parse().expect("key digit");
+                let payload: u32 = t.value(0).as_str().expect("payload").parse().expect("u32");
+                by_key[key as usize].push((key, payload));
+            }
+            per_key_outputs.push(by_key);
+        }
+        // Both interleavings match each other and the input projection.
+        let mut want: Vec<Vec<(u8, u32)>> = vec![Vec::new(); 4];
+        for (k, p) in &ops {
+            want[*k as usize].push((*k, *p));
+        }
+        prop_assert_eq!(&per_key_outputs[0], &want, "interleaving A projects the input");
+        prop_assert_eq!(&per_key_outputs[1], &want, "interleaving B projects the input");
+    }
+
+    /// The low-water mark is always exactly the minimum shard watermark,
+    /// never past it, and monotone.
+    #[test]
+    fn watermark_never_passes_minimum(
+        ops in proptest::collection::vec((0usize..5, 0u64..10_000), 1..80),
+        shards in 1usize..6,
+    ) {
+        let mut agg = WatermarkAggregator::new(shards);
+        let mut model = vec![0u64; shards];
+        let mut last_low = agg.low_water();
+        for (shard, secs) in ops {
+            let shard = shard % shards;
+            let ts = Timestamp::from_secs(secs);
+            agg.advance(shard, ts);
+            model[shard] = model[shard].max(ts.as_micros());
+            let low = agg.low_water();
+            let min = *model.iter().min().expect("non-empty");
+            prop_assert!(
+                low.as_micros() <= min,
+                "low water {low} past the minimum shard watermark"
+            );
+            prop_assert_eq!(low, Timestamp::from_micros(min), "low water is the minimum");
+            prop_assert!(low >= last_low, "low water is monotone");
+            prop_assert_eq!(agg.mark(shard), Timestamp::from_micros(model[shard]));
+            last_low = low;
+        }
+        prop_assert!(agg.high_water() >= agg.low_water());
+    }
+}

@@ -16,7 +16,7 @@ fn snapshot_readable_while_driver_feeds() {
     let mut e = Engine::new();
     e.create_stream(Schema::readings("readings")).unwrap();
     let snap = e.materialize("readings", WindowExtent::Rows(9)).unwrap();
-    let driver = EngineDriver::spawn(e, 64);
+    let driver = EngineDriver::spawn(e, 64).unwrap();
     let input = driver.input();
     let feeder = std::thread::spawn(move || {
         for i in 0..1_000u64 {

@@ -9,15 +9,46 @@
 //! ```
 //!
 //! All logic lives in [`eslev::repl`]; this binary is the stdin loop.
+//! Pass `--shards N` to run the shell over an EPC-partitioned
+//! [`eslev::dsms::shard::ShardedEngine`] (inspect it with `SHOW SHARDS`).
 
 use eslev::repl::Repl;
 use std::io::{BufRead, Write};
 
 fn main() {
-    let mut repl = Repl::new();
+    let mut args = std::env::args().skip(1);
+    let mut shards: Option<usize> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => shards = Some(n),
+                _ => {
+                    eprintln!("--shards needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}` (supported: --shards N)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut repl = match shards {
+        None => Repl::new(),
+        Some(n) => match Repl::with_shards(n) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
-    println!("ESL-EV shell — .help for commands, .quit to exit");
+    match shards {
+        Some(n) => println!("ESL-EV shell ({n} shards) — .help for commands, .quit to exit"),
+        None => println!("ESL-EV shell — .help for commands, .quit to exit"),
+    }
     print!("eslev> ");
     let _ = stdout.flush();
     for line in stdin.lock().lines() {

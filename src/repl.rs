@@ -1,21 +1,47 @@
 //! The interactive ESL-EV shell (see `src/bin/eslev.rs`).
 //!
-//! A line-oriented REPL over one [`Engine`]: SQL statements end with `;`
-//! and execute through the language front-end; `?`-prefixed queries run
-//! as ad-hoc snapshot queries; `.`-commands drive simulation — feeding
-//! scenario workloads, advancing stream time, materializing windows and
-//! inspecting query state. The logic lives here (library) so tests can
-//! drive the shell without a subprocess.
+//! A line-oriented REPL over one [`Engine`] — or, with `--shards N`, an
+//! EPC-partitioned [`ShardedEngine`]: SQL statements end with `;` and
+//! execute through the language front-end (broadcast to every shard in
+//! sharded mode); `?`-prefixed queries run as ad-hoc snapshot queries;
+//! `.`-commands drive simulation — feeding scenario workloads, advancing
+//! stream time, materializing windows and inspecting query state. The
+//! logic lives here (library) so tests can drive the shell without a
+//! subprocess.
 
 use crate::prelude::*;
 use eslev_dsms::engine::QueryStats;
 use std::fmt::Write as _;
 
+/// The engine behind the shell: one inline engine, or a shard router in
+/// front of N worker-thread engines.
+enum Backend {
+    Single(Engine),
+    Sharded(ShardedEngine),
+}
+
+/// Where `.poll` reads a query's rows from.
+enum PollSource {
+    /// Single mode: the collector itself.
+    Local(Collector),
+    /// Sharded mode: a merge slot of the router.
+    Merged(usize),
+}
+
+/// Summary of one statement's effect, shippable across the worker-thread
+/// boundary in sharded mode.
+enum SqlEffect {
+    Created,
+    Modified(usize),
+    Registered,
+    Collected(String),
+}
+
 /// REPL state: the engine plus collectors of registered SELECTs.
 pub struct Repl {
-    engine: Engine,
-    /// `(query name, collector)` for bare SELECTs, in registration order.
-    collectors: Vec<(String, Collector)>,
+    backend: Backend,
+    /// `(query name, poll source)` for bare SELECTs, in registration order.
+    collectors: Vec<(String, PollSource)>,
     /// Partial statement buffer (until `;`).
     pending: String,
 }
@@ -27,21 +53,51 @@ impl Default for Repl {
 }
 
 impl Repl {
-    /// Fresh shell with EPC UDFs pre-registered.
+    /// Fresh single-engine shell with EPC UDFs pre-registered.
     pub fn new() -> Repl {
         let mut engine = Engine::new();
         register_epc_udfs(engine.functions_mut());
         register_epc_match_udf(engine.functions_mut());
         Repl {
-            engine,
+            backend: Backend::Single(engine),
             collectors: Vec::new(),
             pending: String::new(),
         }
     }
 
+    /// Fresh shell over an EPC-partitioned [`ShardedEngine`] with
+    /// `shards` workers. SQL statements are broadcast to every shard;
+    /// `.poll` reads deterministically merged output.
+    pub fn with_shards(shards: usize) -> Result<Repl, DsmsError> {
+        let se = ShardedEngine::build(shards, 1024, ShardSpec::new(), |e| {
+            register_epc_udfs(e.functions_mut());
+            register_epc_match_udf(e.functions_mut());
+            Ok(vec![])
+        })?;
+        Ok(Repl {
+            backend: Backend::Sharded(se),
+            collectors: Vec::new(),
+            pending: String::new(),
+        })
+    }
+
     /// Access to the underlying engine (tests).
+    ///
+    /// # Panics
+    /// In sharded mode — the engines live on their worker threads.
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        match &self.backend {
+            Backend::Single(e) => e,
+            Backend::Sharded(_) => panic!("engine() is single-mode only; use sharded()"),
+        }
+    }
+
+    /// The shard router, when running with `--shards` (tests).
+    pub fn sharded(&self) -> Option<&ShardedEngine> {
+        match &self.backend {
+            Backend::Sharded(se) => Some(se),
+            Backend::Single(_) => None,
+        }
     }
 
     /// Feed one input line; returns the text to print (possibly empty,
@@ -74,39 +130,212 @@ impl Repl {
     }
 
     fn execute(&mut self, sql: &str) -> String {
-        match execute_script(&mut self.engine, sql) {
-            Err(e) => format!("error: {e}"),
-            Ok(outcomes) => {
-                let mut out = String::new();
-                for o in outcomes {
-                    match o {
-                        ExecOutcome::Created => out.push_str("created.\n"),
-                        ExecOutcome::Modified(n) => {
-                            let _ = writeln!(out, "{n} rows modified.");
-                        }
-                        ExecOutcome::Registered(_) => {
-                            out.push_str("continuous query registered.\n")
-                        }
-                        ExecOutcome::Collected(id, c) => {
-                            let name = self.engine.query_name(id).to_string();
-                            let _ = writeln!(
-                                out,
-                                "collecting query #{} ({name}); read it with .poll {}",
-                                self.collectors.len(),
-                                self.collectors.len()
-                            );
-                            self.collectors.push((name, c));
+        match &mut self.backend {
+            Backend::Single(engine) => match execute_script(engine, sql) {
+                Err(e) => format!("error: {e}"),
+                Ok(outcomes) => {
+                    let mut fx = Vec::new();
+                    let mut sources = Vec::new();
+                    for o in outcomes {
+                        match o {
+                            ExecOutcome::Created => fx.push(SqlEffect::Created),
+                            ExecOutcome::Modified(n) => fx.push(SqlEffect::Modified(n)),
+                            ExecOutcome::Registered(_) => fx.push(SqlEffect::Registered),
+                            ExecOutcome::Collected(id, c) => {
+                                fx.push(SqlEffect::Collected(engine.query_name(id).to_string()));
+                                sources.push(PollSource::Local(c));
+                            }
                         }
                     }
+                    self.render_effects(fx, sources)
                 }
-                out
+            },
+            Backend::Sharded(se) => {
+                let owned = sql.to_string();
+                let res = se.exec_with_outputs(move |e| {
+                    let outcomes = execute_script(e, &owned)?;
+                    let mut fx = Vec::new();
+                    let mut collectors = Vec::new();
+                    for o in outcomes {
+                        match o {
+                            ExecOutcome::Created => fx.push(SqlEffect::Created),
+                            ExecOutcome::Modified(n) => fx.push(SqlEffect::Modified(n)),
+                            ExecOutcome::Registered(_) => fx.push(SqlEffect::Registered),
+                            ExecOutcome::Collected(id, c) => {
+                                fx.push(SqlEffect::Collected(e.query_name(id).to_string()));
+                                collectors.push(c);
+                            }
+                        }
+                    }
+                    Ok((fx, collectors))
+                });
+                match res {
+                    Err(e) => format!("error: {e}"),
+                    Ok((mut per_shard, slots)) => {
+                        // Shards are replicas; shard 0's summary speaks
+                        // for all, and the new merge slots line up with
+                        // its Collected entries in order.
+                        let fx = if per_shard.is_empty() {
+                            Vec::new()
+                        } else {
+                            per_shard.remove(0)
+                        };
+                        let sources = slots.into_iter().map(PollSource::Merged).collect();
+                        self.render_effects(fx, sources)
+                    }
+                }
             }
         }
     }
 
-    /// Handle `SHOW STATS`, `SHOW STREAMS` and `EXPLAIN <query>`
-    /// (case-insensitive, optional trailing `;`). Returns `None` when the
-    /// line is not one of them, letting it flow to the SQL front-end.
+    /// Render statement effects, registering any collected queries.
+    fn render_effects(&mut self, fx: Vec<SqlEffect>, sources: Vec<PollSource>) -> String {
+        let mut out = String::new();
+        let mut sources = sources.into_iter();
+        for f in fx {
+            match f {
+                SqlEffect::Created => out.push_str("created.\n"),
+                SqlEffect::Modified(n) => {
+                    let _ = writeln!(out, "{n} rows modified.");
+                }
+                SqlEffect::Registered => out.push_str("continuous query registered.\n"),
+                SqlEffect::Collected(name) => {
+                    let Some(src) = sources.next() else { continue };
+                    let _ = writeln!(
+                        out,
+                        "collecting query #{} ({name}); read it with .poll {}",
+                        self.collectors.len(),
+                        self.collectors.len()
+                    );
+                    self.collectors.push((name, src));
+                }
+            }
+        }
+        out
+    }
+
+    /// Route one row to the backend.
+    fn push_row(&mut self, stream: &str, values: Vec<Value>) -> Result<(), DsmsError> {
+        match &mut self.backend {
+            Backend::Single(e) => e.push(stream, values),
+            Backend::Sharded(se) => se.push(stream, values),
+        }
+    }
+
+    /// Stream-time high-water mark of the backend (scenario re-runs
+    /// shift their timestamps past it).
+    fn current_time(&self) -> Timestamp {
+        match &self.backend {
+            Backend::Single(e) => e.now(),
+            Backend::Sharded(se) => se.sent_watermarks().high_water(),
+        }
+    }
+
+    /// Advance stream time on the backend.
+    fn advance_time(&mut self, ts: Timestamp) -> Result<(), DsmsError> {
+        match &mut self.backend {
+            Backend::Single(e) => e.advance_to(ts),
+            Backend::Sharded(se) => se.advance_to(ts),
+        }
+    }
+
+    /// A stream's schema (shard 0 speaks for all in sharded mode).
+    fn schema_of(&self, stream: &str) -> Result<SchemaRef, DsmsError> {
+        match &self.backend {
+            Backend::Single(e) => e.stream_schema(stream),
+            Backend::Sharded(se) => {
+                let name = stream.to_string();
+                se.exec_all(move |e| e.stream_schema(&name))?
+                    .into_iter()
+                    .next()
+                    .unwrap_or_else(|| Err(DsmsError::plan("sharded engine has no shards")))
+            }
+        }
+    }
+
+    /// Run DDL, tolerating duplicate-name errors (so scenarios re-run).
+    fn ensure_ddl(&mut self, ddl: &str) -> Result<(), DsmsError> {
+        match &mut self.backend {
+            Backend::Single(engine) => {
+                for stmt in ddl.split(';').filter(|s| !s.trim().is_empty()) {
+                    match execute(engine, stmt) {
+                        Ok(_) => {}
+                        Err(DsmsError::Duplicate(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(())
+            }
+            Backend::Sharded(se) => {
+                let owned = ddl.to_string();
+                se.exec_with_outputs(move |e| {
+                    for stmt in owned.split(';').filter(|s| !s.trim().is_empty()) {
+                        match execute(e, stmt) {
+                            Ok(_) => {}
+                            Err(DsmsError::Duplicate(_)) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    Ok(((), Vec::new()))
+                })?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Merged per-query flow counters (summed across shards).
+    fn merged_query_stats(&self) -> Result<Vec<QueryStats>, DsmsError> {
+        match &self.backend {
+            Backend::Single(e) => Ok(e.query_stats()),
+            Backend::Sharded(se) => {
+                let per_shard = se.exec_all(|e| e.query_stats())?;
+                let mut iter = per_shard.into_iter();
+                let mut base = iter.next().unwrap_or_default();
+                for stats in iter {
+                    for (b, s) in base.iter_mut().zip(stats) {
+                        b.active |= s.active;
+                        b.emitted += s.emitted;
+                        b.retained += s.retained;
+                        b.tuples_in += s.tuples_in;
+                        b.tuples_out += s.tuples_out;
+                    }
+                }
+                Ok(base)
+            }
+        }
+    }
+
+    /// Merged per-stream stats (pushes summed, stream time maxed).
+    fn merged_stream_stats(&self) -> Result<Vec<StreamInfo>, DsmsError> {
+        match &self.backend {
+            Backend::Single(e) => Ok(e.stream_stats()),
+            Backend::Sharded(se) => {
+                let per_shard = se.exec_all(|e| e.stream_stats())?;
+                let mut iter = per_shard.into_iter();
+                let mut base = iter.next().unwrap_or_default();
+                for stats in iter {
+                    for (b, s) in base.iter_mut().zip(stats) {
+                        b.pushed += s.pushed;
+                        b.last_ts = b.last_ts.max(s.last_ts);
+                        b.buffered += s.buffered;
+                    }
+                }
+                Ok(base)
+            }
+        }
+    }
+
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.backend {
+            Backend::Single(e) => e.metrics_snapshot(),
+            Backend::Sharded(se) => se.metrics_snapshot(),
+        }
+    }
+
+    /// Handle `SHOW STATS`, `SHOW STREAMS`, `SHOW SHARDS` and `EXPLAIN
+    /// <query>` (case-insensitive, optional trailing `;`). Returns
+    /// `None` when the line is not one of them, letting it flow to the
+    /// SQL front-end.
     fn observability(&self, trimmed: &str) -> Option<String> {
         let stmt = trimmed.trim_end_matches(';').trim();
         let mut words = stmt.split_whitespace();
@@ -118,8 +347,15 @@ impl Repl {
                     return None;
                 }
                 match what.as_str() {
-                    "STATS" => Some(render_stats(&self.engine.query_stats())),
-                    "STREAMS" => Some(render_streams(&self.engine.stream_stats())),
+                    "STATS" => Some(match self.merged_query_stats() {
+                        Ok(s) => render_stats(&s),
+                        Err(e) => format!("error: {e}"),
+                    }),
+                    "STREAMS" => Some(match self.merged_stream_stats() {
+                        Ok(s) => render_streams(&s),
+                        Err(e) => format!("error: {e}"),
+                    }),
+                    "SHARDS" => Some(self.show_shards()),
                     _ => None,
                 }
             }
@@ -128,21 +364,74 @@ impl Repl {
                 if words.next().is_some() {
                     return None;
                 }
-                match self.engine.query_report_by_name(name) {
-                    Some(r) => Some(r.render()),
-                    None => Some(format!(
-                        "error: no query named `{name}` — SHOW STATS lists them"
-                    )),
+                match &self.backend {
+                    Backend::Single(engine) => match engine.query_report_by_name(name) {
+                        Some(r) => Some(r.render()),
+                        None => Some(format!(
+                            "error: no query named `{name}` — SHOW STATS lists them"
+                        )),
+                    },
+                    Backend::Sharded(se) => {
+                        let owned = name.to_string();
+                        let reports = se
+                            .exec_all(move |e| e.query_report_by_name(&owned).map(|r| r.render()));
+                        Some(match reports {
+                            Err(e) => format!("error: {e}"),
+                            Ok(rs) => match rs.into_iter().next().flatten() {
+                                Some(r) => {
+                                    format!("shard 0 (other shards run identical plans):\n{r}")
+                                }
+                                None => format!(
+                                    "error: no query named `{name}` — SHOW STATS lists them"
+                                ),
+                            },
+                        })
+                    }
                 }
             }
             _ => None,
         }
     }
 
+    /// Render `SHOW SHARDS`: per-shard routing and progress.
+    fn show_shards(&self) -> String {
+        let Backend::Sharded(se) = &self.backend else {
+            return "not sharded — restart with --shards N to partition by EPC.\n".to_string();
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} shards, low watermark {}",
+            se.shards(),
+            se.low_watermark()
+        );
+        for s in se.shard_stats() {
+            let _ = writeln!(
+                out,
+                "shard {:<3} routed={:<10} queue={:<6} cause={:<10} watermark={}",
+                s.shard, s.routed, s.queue_depth, s.processed_cause, s.watermark
+            );
+        }
+        let routes = se.routing();
+        if routes.is_empty() {
+            out.push_str("no routes resolved yet (routes bind on first push).\n");
+        } else {
+            for (stream, rule) in routes {
+                let _ = writeln!(out, "route {stream:<24} {rule}");
+            }
+        }
+        out
+    }
+
     fn ad_hoc(&mut self, sql: &str) -> String {
-        match ad_hoc(&self.engine, sql) {
-            Err(e) => format!("error: {e}"),
-            Ok(rows) => render_rows(&rows),
+        match &self.backend {
+            Backend::Single(engine) => match ad_hoc(engine, sql) {
+                Err(e) => format!("error: {e}"),
+                Ok(rows) => render_rows(&rows),
+            },
+            Backend::Sharded(_) => {
+                "error: ad-hoc snapshot queries are not supported with --shards".to_string()
+            }
         }
     }
 
@@ -152,16 +441,19 @@ impl Repl {
         let args: Vec<&str> = parts.collect();
         match verb {
             "help" => HELP.to_string(),
-            "stats" => render_stats(&self.engine.query_stats()),
+            "stats" => match self.merged_query_stats() {
+                Ok(s) => render_stats(&s),
+                Err(e) => format!("error: {e}"),
+            },
             "metrics" => match args.first().copied().unwrap_or("prom") {
-                "prom" => self.engine.metrics_snapshot().to_prometheus(),
-                "json" => self.engine.metrics_snapshot().to_json(),
+                "prom" => self.metrics_snapshot().to_prometheus(),
+                "json" => self.metrics_snapshot().to_json(),
                 other => format!("unknown format `{other}` — use prom or json"),
             },
             "advance" => match args.first().and_then(|s| s.parse::<u64>().ok()) {
                 Some(secs) => {
-                    let target = self.engine.now() + Duration::from_secs(secs);
-                    match self.engine.advance_to(target) {
+                    let target = self.current_time() + Duration::from_secs(secs);
+                    match self.advance_time(target) {
                         Ok(()) => format!("stream time advanced to {target}"),
                         Err(e) => format!("error: {e}"),
                     }
@@ -169,29 +461,37 @@ impl Repl {
                 None => "usage: .advance <seconds>".to_string(),
             },
             "materialize" => match (args.first(), args.get(1).and_then(|s| s.parse::<u64>().ok())) {
-                (Some(stream), Some(secs)) => match self
-                    .engine
-                    .materialize(stream, WindowExtent::Preceding(Duration::from_secs(secs)))
-                {
-                    Ok(_) => format!("materialized `{stream}` over the last {secs} s; query it with ?SELECT ..."),
-                    Err(e) => format!("error: {e}"),
+                (Some(stream), Some(secs)) => match &mut self.backend {
+                    Backend::Single(engine) => match engine
+                        .materialize(stream, WindowExtent::Preceding(Duration::from_secs(secs)))
+                    {
+                        Ok(_) => format!("materialized `{stream}` over the last {secs} s; query it with ?SELECT ..."),
+                        Err(e) => format!("error: {e}"),
+                    },
+                    Backend::Sharded(_) => {
+                        "error: .materialize is not supported with --shards".to_string()
+                    }
                 },
                 _ => "usage: .materialize <stream> <seconds>".to_string(),
             },
             "poll" => {
                 let idx = args.first().and_then(|s| s.parse::<usize>().ok());
                 match idx {
-                    Some(i) => match self.collectors.get(i) {
-                        Some((name, c)) => {
-                            let rows = c.take();
-                            format!("{name}: {} new rows\n{}", rows.len(), render_rows(&rows))
-                        }
+                    Some(i) => match self.poll(i) {
+                        Some(out) => out,
                         None => format!("no collected query #{i}"),
                     },
                     None => {
                         let mut out = String::new();
-                        for (i, (name, c)) in self.collectors.iter().enumerate() {
-                            let _ = writeln!(out, "#{i} {name}: {} rows pending", c.len());
+                        for (i, (name, src)) in self.collectors.iter().enumerate() {
+                            let pending = match src {
+                                PollSource::Local(c) => c.len(),
+                                PollSource::Merged(slot) => match &self.backend {
+                                    Backend::Sharded(se) => se.buffered(*slot),
+                                    Backend::Single(_) => 0,
+                                },
+                            };
+                            let _ = writeln!(out, "#{i} {name}: {pending} rows pending");
                         }
                         if out.is_empty() {
                             out.push_str("no collected queries.\n");
@@ -211,6 +511,34 @@ impl Repl {
         }
     }
 
+    /// Drain one collected query; `None` when the index is unknown.
+    fn poll(&mut self, i: usize) -> Option<String> {
+        let (name, src) = self.collectors.get(i)?;
+        let name = name.clone();
+        let rows = match src {
+            PollSource::Local(c) => c.take(),
+            PollSource::Merged(slot) => {
+                let slot = *slot;
+                let Backend::Sharded(se) = &mut self.backend else {
+                    return Some(format!("{name}: merge slot without a sharded backend"));
+                };
+                // Flush so the merge frontier covers everything routed.
+                if let Err(e) = se.flush() {
+                    return Some(format!("error: {e}"));
+                }
+                match se.take_output(slot) {
+                    Ok(rows) => rows,
+                    Err(e) => return Some(format!("error: {e}")),
+                }
+            }
+        };
+        Some(format!(
+            "{name}: {} new rows\n{}",
+            rows.len(),
+            render_rows(&rows)
+        ))
+    }
+
     /// Generate and feed a named scenario workload; creates the streams
     /// the scenario needs when absent.
     fn scenario(&mut self, args: &[&str]) -> String {
@@ -222,23 +550,11 @@ impl Repl {
         let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
         // Re-running a scenario must not rewind stream time: shift every
         // generated timestamp past the engine's current high-water mark.
-        let base = Duration::from_micros(self.engine.now().as_micros());
+        let base = Duration::from_micros(self.current_time().as_micros());
         let shift = move |ts: Timestamp| ts + base;
-        let ensure = |engine: &mut Engine, ddl: &str| -> Result<(), DsmsError> {
-            for stmt in ddl.split(';').filter(|s| !s.trim().is_empty()) {
-                // Ignore duplicate-name errors so scenarios re-run.
-                match execute(engine, stmt) {
-                    Ok(_) => {}
-                    Err(DsmsError::Duplicate(_)) => {}
-                    Err(e) => return Err(e),
-                }
-            }
-            Ok(())
-        };
         let result: Result<String, DsmsError> = (|| match *name {
             "dedup" => {
-                ensure(
-                    &mut self.engine,
+                self.ensure_ddl(
                     "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP)",
                 )?;
                 let w = sc::dedup::generate(&sc::dedup::DedupConfig {
@@ -246,7 +562,7 @@ impl Repl {
                     ..Default::default()
                 });
                 for r in &w.readings {
-                    self.engine.push(
+                    self.push_row(
                         "readings",
                         vec![
                             Value::str(&r.reader),
@@ -262,8 +578,7 @@ impl Repl {
                 ))
             }
             "packing" => {
-                ensure(
-                    &mut self.engine,
+                self.ensure_ddl(
                     "CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
                      CREATE STREAM R2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP)",
                 )?;
@@ -276,7 +591,7 @@ impl Repl {
                     ("r2".into(), w.cases.clone()),
                 ]);
                 for item in &feed {
-                    self.engine.push(
+                    self.push_row(
                         &item.stream,
                         vec![
                             Value::str(&item.reading.reader),
@@ -293,8 +608,7 @@ impl Repl {
                 ))
             }
             "clinic" => {
-                ensure(
-                    &mut self.engine,
+                self.ensure_ddl(
                     "CREATE STREAM A1 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
                      CREATE STREAM A2 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
                      CREATE STREAM A3 (staff VARCHAR, tagid VARCHAR, tagtime TIMESTAMP)",
@@ -305,7 +619,7 @@ impl Repl {
                 });
                 let streams = ["a1", "a2", "a3"];
                 for (port, r) in &w.feed {
-                    self.engine.push(
+                    self.push_row(
                         streams[*port],
                         vec![
                             Value::str(&r.reader),
@@ -323,8 +637,7 @@ impl Repl {
                 ))
             }
             "door" => {
-                ensure(
-                    &mut self.engine,
+                self.ensure_ddl(
                     "CREATE STREAM tag_readings (tagid VARCHAR, tagtype VARCHAR, tagtime TIMESTAMP)",
                 )?;
                 let w = sc::door::generate(&sc::door::DoorConfig {
@@ -332,7 +645,7 @@ impl Repl {
                     ..Default::default()
                 });
                 for r in &w.readings {
-                    self.engine.push(
+                    self.push_row(
                         "tag_readings",
                         vec![
                             Value::str(&r.tag),
@@ -348,8 +661,7 @@ impl Repl {
                 ))
             }
             "qc" => {
-                ensure(
-                    &mut self.engine,
+                self.ensure_ddl(
                     "CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
                      CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
                      CREATE STREAM C3 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
@@ -366,7 +678,7 @@ impl Repl {
                     .map(|(i, f)| (format!("c{}", i + 1), f.clone()))
                     .collect();
                 for item in merge_feeds(feeds) {
-                    self.engine.push(
+                    self.push_row(
                         &item.stream,
                         vec![
                             Value::str(&item.reading.reader),
@@ -382,13 +694,12 @@ impl Repl {
                 ))
             }
             "tracking" => {
-                ensure(
-                    &mut self.engine,
+                self.ensure_ddl(
                     "CREATE STREAM tag_locations (readerid VARCHAR, tid VARCHAR, tagtime TIMESTAMP, loc VARCHAR)",
                 )?;
                 let w = sc::tracking::generate(&sc::tracking::TrackingConfig::default());
                 for r in &w.readings {
-                    self.engine.push(
+                    self.push_row(
                         "tag_locations",
                         vec![
                             Value::str(&r.reader),
@@ -405,13 +716,10 @@ impl Repl {
                 ))
             }
             "vitals" => {
-                ensure(
-                    &mut self.engine,
-                    "CREATE STREAM vitals (patient VARCHAR, bp INT, t TIMESTAMP)",
-                )?;
+                self.ensure_ddl("CREATE STREAM vitals (patient VARCHAR, bp INT, t TIMESTAMP)")?;
                 let w = sc::vitals::generate(&sc::vitals::VitalsConfig::default());
                 for r in &w.readings {
-                    self.engine.push(
+                    self.push_row(
                         "vitals",
                         vec![
                             Value::str(&r.patient),
@@ -440,7 +748,7 @@ impl Repl {
     /// columns in schema order, TIMESTAMP columns given in (fractional)
     /// seconds. Lines starting with `#` are skipped.
     fn feed_csv(&mut self, stream: &str, path: &str) -> String {
-        let schema = match self.engine.stream_schema(stream) {
+        let schema = match self.schema_of(stream) {
             Ok(s) => s,
             Err(e) => return format!("error: {e}"),
         };
@@ -494,7 +802,7 @@ impl Repl {
                     }
                 }
             }
-            if let Err(e) = self.engine.push(stream, values) {
+            if let Err(e) = self.push_row(stream, values) {
                 return format!("error: line {}: {e} (pushed {pushed} rows)", lineno + 1);
             }
             pushed += 1;
@@ -560,6 +868,7 @@ const HELP: &str = r#"ESL-EV shell:
                              (needs a table or a .materialize'd stream)
   SHOW STATS                 per-query flow counters (in/out/emitted/retained)
   SHOW STREAMS               per-stream push counts and stream time
+  SHOW SHARDS                per-shard routing and progress (with --shards N)
   EXPLAIN <query>            per-operator counters and sampled latencies
   .feed <stream> <file.csv>  feed a headerless CSV (cols in schema order,
                              TIMESTAMP columns as fractional seconds)
@@ -707,5 +1016,75 @@ mod tests {
         // The shell recovers for the next statement.
         let out = r.line("CREATE STREAM s (tagid VARCHAR, t TIMESTAMP);");
         assert!(out.contains("created"), "{out}");
+    }
+
+    #[test]
+    fn show_shards_in_single_mode_points_at_flag() {
+        let mut r = Repl::new();
+        let out = r.line("SHOW SHARDS;");
+        assert!(out.contains("--shards"), "{out}");
+    }
+
+    #[test]
+    fn sharded_ddl_query_scenario_poll_cycle() {
+        let mut r = Repl::with_shards(4).unwrap();
+        let out = r.line(
+            "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);",
+        );
+        assert!(out.contains("created"), "{out}");
+        let out = r.line("SELECT tag_id FROM readings WHERE reader_id <> '';");
+        assert!(out.contains(".poll 0"), "{out}");
+        let out = r.line(".scenario dedup 50");
+        assert!(out.contains("physical presences"), "{out}");
+        let out = r.line(".poll 0");
+        assert!(out.contains("new rows"), "{out}");
+        assert!(out.contains("tag-"), "{out}");
+        // SHOW SHARDS renders per-shard progress and the resolved route.
+        let out = r.line("SHOW SHARDS;");
+        assert!(out.contains("4 shards"), "{out}");
+        assert!(out.contains("route readings"), "{out}");
+        assert!(out.contains("key("), "{out}");
+        // Aggregated stats and streams.
+        let out = r.line("SHOW STATS;");
+        assert!(out.contains("live"), "{out}");
+        let out = r.line("SHOW STREAMS;");
+        assert!(out.contains("readings"), "{out}");
+        // Metrics carry shard labels.
+        let json = r.line(".metrics json");
+        assert!(json.contains("eslev_shard_tuples_total"), "{json}");
+        // Advance and unsupported commands answer gracefully.
+        assert!(r.line(".advance 60").contains("advanced"));
+        assert!(r.line(".materialize readings 10").contains("--shards"));
+        assert!(r.line("?SELECT * FROM readings").contains("--shards"));
+    }
+
+    #[test]
+    fn sharded_output_matches_single_mode() {
+        // The same REPL session in single and 3-shard mode must poll the
+        // same rows in the same order.
+        let mut rows = Vec::new();
+        for mode in [1usize, 3] {
+            let mut r = if mode == 1 {
+                Repl::new()
+            } else {
+                Repl::with_shards(mode).unwrap()
+            };
+            r.line(
+                "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);",
+            );
+            r.line("SELECT tag_id FROM readings;");
+            let dir = std::env::temp_dir().join("eslev-test-shard-feed");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("rows.csv");
+            std::fs::write(
+                &path,
+                "g,tag-1,1.0\ng,tag-2,1.5\ng,tag-1,2.0\ng,tag-3,2.5\ng,tag-2,3.0\n",
+            )
+            .unwrap();
+            let out = r.line(&format!(".feed readings {}", path.display()));
+            assert!(out.contains("fed 5 rows"), "{out}");
+            rows.push(r.line(".poll 0"));
+        }
+        assert_eq!(rows[0], rows[1], "sharded poll must match single mode");
     }
 }

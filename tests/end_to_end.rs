@@ -253,7 +253,7 @@ fn driver_matches_inline_results() {
     // Through the threaded driver.
     let mut threaded = Engine::new();
     let threaded_out = build(&mut threaded);
-    let driver = EngineDriver::spawn(threaded, 256);
+    let driver = EngineDriver::spawn(threaded, 256).unwrap();
     let input = driver.input();
     for r in &w.readings {
         input.push("tag_readings", r.to_values()).unwrap();

@@ -1,0 +1,228 @@
+//! Shard-vs-single differential suite: the paper's E1 (dedup), E6
+//! (pairing-mode `SEQ`) and E10 (star sequence) workloads run through a
+//! [`ShardedEngine`] at N ∈ {1, 2, 4, 8} must produce output identical
+//! to the single-threaded [`Engine`] reference — same rows, same
+//! timestamps, same order after the deterministic merge.
+//!
+//! Comparison key: `(values, ts)` in emission order. Sequence numbers
+//! are intentionally excluded — the router stamps tuples with global
+//! cause indices (`cause << 16`), so seq values differ from the single
+//! engine's dense counter by construction while order is preserved.
+
+use eslev::prelude::*;
+use eslev::rfid::scenario::{dedup, qc_line};
+
+type Row = (Vec<Value>, Timestamp);
+
+fn key_rows(rows: Vec<Tuple>) -> Vec<Row> {
+    rows.into_iter()
+        .map(|t| (t.values().to_vec(), t.ts()))
+        .collect()
+}
+
+/// Run `ddl` + one collected `query` over `feed` on a single engine.
+fn run_single(ddl: &str, query: &str, feed: &[(String, Vec<Value>)]) -> Vec<Row> {
+    let mut engine = Engine::new();
+    execute_script(&mut engine, ddl).expect("ddl plans");
+    let q = execute(&mut engine, query).expect("query plans");
+    let out = q.collector().expect("collected").clone();
+    for (stream, values) in feed {
+        engine.push(stream, values.clone()).expect("feed");
+    }
+    key_rows(out.take())
+}
+
+/// The same setup through the shard router at `shards` workers.
+fn run_sharded(shards: usize, ddl: &str, query: &str, feed: &[(String, Vec<Value>)]) -> Vec<Row> {
+    let ddl = ddl.to_string();
+    let query = query.to_string();
+    let mut se = ShardedEngine::build(shards, 256, ShardSpec::new(), move |e| {
+        execute_script(e, &ddl)?;
+        let q = execute(e, &query)?;
+        Ok(vec![q.collector().expect("collected").clone()])
+    })
+    .expect("sharded build");
+    for (stream, values) in feed {
+        se.push(stream, values.clone()).expect("route");
+    }
+    se.flush().expect("flush");
+    let rows = key_rows(se.take_output(0).expect("slot 0"));
+    se.stop().expect("clean stop");
+    rows
+}
+
+fn assert_differential(name: &str, ddl: &str, query: &str, feed: &[(String, Vec<Value>)]) {
+    let want = run_single(ddl, query, feed);
+    assert!(
+        !want.is_empty(),
+        "{name}: reference output must be non-trivial"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let got = run_sharded(shards, ddl, query, feed);
+        assert_eq!(
+            got, want,
+            "{name}: sharded output at N={shards} diverged from the single-engine reference"
+        );
+    }
+}
+
+// ------------------------------------------------------------------ E1
+
+const E1_DDL: &str = "
+    CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+    CREATE STREAM cleaned_readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+    INSERT INTO cleaned_readings
+    SELECT * FROM readings AS r1
+    WHERE NOT EXISTS
+      (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+       WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);";
+
+#[test]
+fn e1_dedup_sharded_equals_single() {
+    for seed in [1u64, 7] {
+        let w = dedup::generate(&dedup::DedupConfig {
+            presences: 150,
+            duplicate_prob: 0.6,
+            seed,
+            ..dedup::DedupConfig::default()
+        });
+        let feed: Vec<(String, Vec<Value>)> = w
+            .readings
+            .iter()
+            .map(|r| ("readings".to_string(), r.to_values()))
+            .collect();
+        assert_differential(
+            &format!("E1 seed {seed}"),
+            E1_DDL,
+            "SELECT * FROM cleaned_readings",
+            &feed,
+        );
+    }
+}
+
+// ------------------------------------------------------------------ E6
+
+const E6_DDL: &str = "
+    CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C3 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C4 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);";
+
+fn e6_feed(seed: u64) -> Vec<(String, Vec<Value>)> {
+    let w = qc_line::generate(&qc_line::QcConfig {
+        products: 80,
+        seed,
+        ..qc_line::QcConfig::default()
+    });
+    let feeds: Vec<(String, Vec<Reading>)> = w
+        .feeds
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (format!("c{}", i + 1), f.clone()))
+        .collect();
+    merge_feeds(feeds)
+        .into_iter()
+        .map(|item| (item.stream, item.reading.to_values()))
+        .collect()
+}
+
+#[test]
+fn e6_pairing_modes_sharded_equals_single() {
+    // The tag equalities lift into the detector partition key, so the
+    // per-tag NFA state lives wholly on one shard — each pairing mode
+    // must survive partitioning unchanged.
+    for mode in ["RECENT", "CHRONICLE", "UNRESTRICTED"] {
+        let query = format!(
+            "SELECT C1.tagid, C4.tagtime FROM C1, C2, C3, C4
+             WHERE SEQ(C1, C2, C3, C4) MODE {mode}
+             AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid"
+        );
+        let feed = e6_feed(3);
+        assert_differential(&format!("E6 {mode}"), E6_DDL, &query, &feed);
+    }
+}
+
+// ----------------------------------------------------------------- E10
+
+const E10_DDL: &str = "
+    CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM R2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);";
+
+/// Tag-interleaved star runs: each tag cycles `run_len` R1 readings and
+/// then one R2 boundary, with rounds of all tags interleaved so tuples
+/// of different tags alternate at adjacent timestamps.
+fn e10_feed(tags: usize, runs_per_tag: usize, run_len: usize) -> Vec<(String, Vec<Value>)> {
+    let mut feed = Vec::new();
+    let mut ts = 0u64;
+    for _run in 0..runs_per_tag {
+        for step in 0..=run_len {
+            for tag in 0..tags {
+                ts += 1;
+                let stream = if step < run_len { "r1" } else { "r2" };
+                feed.push((
+                    stream.to_string(),
+                    vec![
+                        Value::str("rd"),
+                        Value::str(format!("tag-{tag}")),
+                        Value::Ts(Timestamp::from_secs(ts)),
+                    ],
+                ));
+            }
+        }
+    }
+    feed
+}
+
+#[test]
+fn e10_star_sequence_sharded_equals_single() {
+    let query = "SELECT COUNT(R1*), R2.tagid FROM R1, R2
+                 WHERE SEQ(R1*, R2) MODE CHRONICLE AND R1.tagid = R2.tagid";
+    let feed = e10_feed(7, 6, 3);
+    assert_differential("E10 star", E10_DDL, query, &feed);
+}
+
+/// Active expiration must also be deterministic: an `EXCEPTION_SEQ`-style
+/// timeout fired by a broadcast heartbeat (not by a tuple) has to appear
+/// in the merged output exactly as the single engine emits it.
+#[test]
+fn e10_heartbeat_expiry_sharded_equals_single() {
+    let query = "SELECT COUNT(R1*), R2.tagid FROM R1, R2
+                 WHERE SEQ(R1*, R2) MODE CHRONICLE AND R1.tagid = R2.tagid";
+    let feed = e10_feed(5, 2, 4);
+
+    let want = {
+        let mut engine = Engine::new();
+        execute_script(&mut engine, E10_DDL).unwrap();
+        let q = execute(&mut engine, query).unwrap();
+        let out = q.collector().unwrap().clone();
+        for (stream, values) in &feed {
+            engine.push(stream, values.clone()).unwrap();
+        }
+        engine.advance_to(Timestamp::from_secs(3600)).unwrap();
+        key_rows(out.take())
+    };
+
+    for shards in [2usize, 4] {
+        let ddl = E10_DDL.to_string();
+        let q = query.to_string();
+        let mut se = ShardedEngine::build(shards, 256, ShardSpec::new(), move |e| {
+            execute_script(e, &ddl)?;
+            let q = execute(e, &q)?;
+            Ok(vec![q.collector().expect("collected").clone()])
+        })
+        .unwrap();
+        for (stream, values) in &feed {
+            se.push(stream, values.clone()).unwrap();
+        }
+        se.advance_to(Timestamp::from_secs(3600)).unwrap();
+        se.flush().unwrap();
+        let got = key_rows(se.take_output(0).unwrap());
+        assert_eq!(got, want, "heartbeat expiry diverged at N={shards}");
+        assert_eq!(
+            se.low_watermark(),
+            Timestamp::from_secs(3600),
+            "heartbeat must advance every shard"
+        );
+        se.stop().unwrap();
+    }
+}
