@@ -99,9 +99,11 @@ fn today_utc() -> String {
     format!("{year:04}-{month:02}-{day:02}")
 }
 
-fn parse_args() -> (Option<std::path::PathBuf>, Option<usize>) {
+fn parse_args() -> (Option<std::path::PathBuf>, Option<usize>, Vec<usize>) {
     let mut json_path = None;
     let mut shards = None;
+    // The B1 ingestion sweep always includes size 1 as the baseline.
+    let mut batches = vec![1, 8, 64, 512];
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -119,19 +121,38 @@ fn parse_args() -> (Option<std::path::PathBuf>, Option<usize>) {
                     std::process::exit(2);
                 }
             },
+            "--batch" => {
+                let parsed = args.next().map(|v| {
+                    v.split(',')
+                        .map(|s| s.trim().parse::<usize>().ok().filter(|n| *n > 0))
+                        .collect::<Option<Vec<usize>>>()
+                });
+                match parsed {
+                    Some(Some(mut sizes)) if !sizes.is_empty() => {
+                        if !sizes.contains(&1) {
+                            sizes.insert(0, 1);
+                        }
+                        batches = sizes;
+                    }
+                    _ => {
+                        eprintln!("--batch needs a comma-separated list of positive sizes");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown argument: {other}\nusage: harness [--json <path>] [--shards <n>]"
+                    "unknown argument: {other}\nusage: harness [--json <path>] [--shards <n>] [--batch <n,n,...>]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    (json_path, shards)
+    (json_path, shards, batches)
 }
 
 fn main() {
-    let (json_path, shards_flag) = parse_args();
+    let (json_path, shards_flag, batch_sizes) = parse_args();
     // (experiment key, JSON value) — filled as each table is printed.
     let mut sections: Vec<(&str, String)> = Vec::new();
 
@@ -184,6 +205,46 @@ fn main() {
             ("metrics", engine.metrics_snapshot().to_json()),
         ]),
     ));
+
+    // ------------------------------------------------------------- B1
+    println!("## B1 — batched ingestion sweep (E1 feed via push_batch)\n");
+    let mut t = TextTable::new(&["batch", "raw", "cleaned", "kreads/s", "vs_batch_1"]);
+    let mut rows = Vec::new();
+    let mut baseline_kps = None;
+    // Interleave reps across batch sizes (rather than finishing one
+    // size before starting the next) so transient machine noise hits
+    // every size equally; report best-of-7 feed-phase time per size.
+    let mut best: Vec<Option<(eslev_bench::experiments::E1Row, f64)>> =
+        vec![None; batch_sizes.len()];
+    for _ in 0..7 {
+        for (i, &b) in batch_sizes.iter().enumerate() {
+            let cur = e1_dedup_batched(0.5, 20_000, b);
+            if best[i].as_ref().is_none_or(|prev| cur.1 < prev.1) {
+                best[i] = Some(cur);
+            }
+        }
+    }
+    for (i, &b) in batch_sizes.iter().enumerate() {
+        let (row, secs) = best[i].clone().expect("seven reps");
+        let kps = row.raw as f64 / secs / 1e3;
+        let base = *baseline_kps.get_or_insert(kps);
+        t.row(vec![
+            b.to_string(),
+            row.raw.to_string(),
+            row.cleaned.to_string(),
+            format!("{kps:.0}"),
+            format!("{:.2}x", kps / base),
+        ]);
+        rows.push(obj(&[
+            ("batch", b.to_string()),
+            ("raw", row.raw.to_string()),
+            ("cleaned", row.cleaned.to_string()),
+            ("kreads_per_sec", jf(kps)),
+            ("speedup_vs_batch_1", jf(kps / base)),
+        ]));
+    }
+    println!("{}", t.to_markdown());
+    sections.push(("B1", obj(&[("rows", arr(rows))])));
 
     // ------------------------------------------------------------- E2
     println!("## E2 — location tracking (Example 2)\n");

@@ -26,6 +26,22 @@ use std::thread::JoinHandle;
 /// command (0 until the first one arrives).
 pub(crate) type Tap = Box<dyn FnMut(&mut Engine, u64) + Send>;
 
+/// One element of a [`Command::Batch`]: the same push/advance payloads
+/// as the standalone commands, shipped together so a whole batch costs
+/// one channel send instead of one per row.
+pub(crate) enum BatchItem {
+    Push {
+        stream: String,
+        values: Vec<Value>,
+        seq: Option<u64>,
+        cause: u64,
+    },
+    Advance {
+        ts: Timestamp,
+        cause: u64,
+    },
+}
+
 enum Command {
     Push {
         stream: String,
@@ -39,6 +55,12 @@ enum Command {
         ts: Timestamp,
         cause: u64,
     },
+    /// A whole batch in one channel message. Items are applied in order;
+    /// the tap (when present) observes the engine after *every* item, so
+    /// the shard router's cause-tagged output harvesting stays exact.
+    /// Without a tap, consecutive pushes are handed to the engine as one
+    /// [`Engine::push_batch`]-style group to amortize dispatch.
+    Batch(Vec<BatchItem>),
     /// Run an arbitrary closure against the engine on the worker thread.
     Exec(Box<dyn FnOnce(&mut Engine) + Send>),
     Flush(Sender<()>),
@@ -137,6 +159,73 @@ impl EngineDriver {
                         }
                         if let Some(t) = tap.as_mut() {
                             t(&mut engine, last_cause);
+                        }
+                    }
+                    Command::Batch(items) => {
+                        let tap_active = tap.is_some();
+                        // Without a tap, adjacent unsequenced pushes are
+                        // handed to the engine as one group so dispatch
+                        // and watermarking amortize across the batch.
+                        let mut group: Vec<(String, Vec<Value>)> = Vec::new();
+                        for item in items {
+                            match item {
+                                BatchItem::Push {
+                                    stream,
+                                    values,
+                                    seq,
+                                    cause,
+                                } => {
+                                    last_cause = last_cause.max(cause);
+                                    if first_err.is_none() {
+                                        if !tap_active && seq.is_none() {
+                                            group.push((stream, values));
+                                        } else {
+                                            if !group.is_empty() {
+                                                if let Err(e) = engine.push_batch(group.drain(..)) {
+                                                    first_err = Some(e);
+                                                }
+                                            }
+                                            if first_err.is_none() {
+                                                let res = match seq {
+                                                    Some(s) => {
+                                                        engine.push_with_seq(&stream, values, s)
+                                                    }
+                                                    None => engine.push(&stream, values),
+                                                };
+                                                if let Err(e) = res {
+                                                    first_err = Some(e);
+                                                }
+                                            }
+                                        }
+                                    }
+                                    if let Some(t) = tap.as_mut() {
+                                        t(&mut engine, last_cause);
+                                    }
+                                }
+                                BatchItem::Advance { ts, cause } => {
+                                    last_cause = last_cause.max(cause);
+                                    if first_err.is_none() {
+                                        if !group.is_empty() {
+                                            if let Err(e) = engine.push_batch(group.drain(..)) {
+                                                first_err = Some(e);
+                                            }
+                                        }
+                                        if first_err.is_none() {
+                                            if let Err(e) = engine.advance_to(ts) {
+                                                first_err = Some(e);
+                                            }
+                                        }
+                                    }
+                                    if let Some(t) = tap.as_mut() {
+                                        t(&mut engine, last_cause);
+                                    }
+                                }
+                            }
+                        }
+                        if first_err.is_none() && !group.is_empty() {
+                            if let Err(e) = engine.push_batch(group) {
+                                first_err = Some(e);
+                            }
                         }
                     }
                     Command::Exec(f) => {
@@ -261,6 +350,39 @@ impl EngineInput {
                 seq,
                 cause,
             })
+            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
+        self.queue_depth.add(1);
+        Ok(())
+    }
+
+    /// Queue a whole batch of rows in one channel message.
+    ///
+    /// Rows are applied in batch order; adjacent rows for the same
+    /// stream are handed to the engine as one [`Engine::push_batch`]
+    /// group, so dispatch and watermark coalescing amortize across the
+    /// batch instead of paying one channel send and one punctuation per
+    /// row. An empty batch is a no-op.
+    pub fn push_batch(&self, rows: impl IntoIterator<Item = (String, Vec<Value>)>) -> Result<()> {
+        let items: Vec<BatchItem> = rows
+            .into_iter()
+            .map(|(stream, values)| BatchItem::Push {
+                stream,
+                values,
+                seq: None,
+                cause: 0,
+            })
+            .collect();
+        if items.is_empty() {
+            return Ok(());
+        }
+        self.send_batch(items)
+    }
+
+    /// Queue a pre-built batch of commands (shard router path: items
+    /// carry explicit sequence numbers and cause indices).
+    pub(crate) fn send_batch(&self, items: Vec<BatchItem>) -> Result<()> {
+        self.tx
+            .send(Command::Batch(items))
             .map_err(|_| DsmsError::plan("engine worker terminated"))?;
         self.queue_depth.add(1);
         Ok(())

@@ -82,8 +82,9 @@ impl Collector {
         self.len() == 0
     }
 
-    fn push(&self, t: Tuple) {
-        self.buf.lock().push(t);
+    /// Append a whole batch under one lock acquisition.
+    fn push_many(&self, mut ts: Vec<Tuple>) {
+        self.buf.lock().append(&mut ts);
     }
 }
 
@@ -351,7 +352,7 @@ impl Engine {
         if self.auto_watermark && ts > self.now {
             self.advance_to(ts)?;
         }
-        self.dispatch(lower.to_string(), t)
+        self.dispatch_batch(lower.to_string(), vec![t])
     }
 
     /// Maintain a materialized window over a stream for ad-hoc snapshot
@@ -445,8 +446,12 @@ impl Engine {
     }
 
     /// Push a row into a stream; cascades through all affected queries.
+    ///
+    /// Delegates to the batched ingest path as a batch of one, so
+    /// single-tuple and batch ingestion share one code path — the same
+    /// validation, metrics, watermark handling and dispatch.
     pub fn push(&mut self, stream: &str, values: Vec<Value>) -> Result<()> {
-        self.push_impl(stream, values, None)
+        self.ingest(stream, vec![(values, None)])
     }
 
     /// Push a row with a caller-assigned sequence number instead of the
@@ -457,7 +462,81 @@ impl Engine {
     /// counter is bumped past `seq` so derived-stream tuples never reuse
     /// it within this engine.
     pub fn push_with_seq(&mut self, stream: &str, values: Vec<Value>, seq: u64) -> Result<()> {
-        self.push_impl(stream, values, Some(seq))
+        self.ingest(stream, vec![(values, Some(seq))])
+    }
+
+    /// Whether any active query requires the exact per-tuple watermark
+    /// and delivery schedule: punctuation-sensitive operators
+    /// (window-close emission, timeout detection, periodic reports)
+    /// observe every watermark, and multi-port operators observe the
+    /// relative arrival order of different streams, which batch delivery
+    /// would coarsen. While this is `false` the engine delivers whole
+    /// batches and coalesces their auto-watermarks into one trailing
+    /// punctuation — with byte-identical query output.
+    pub fn needs_per_tuple_watermarks(&self) -> bool {
+        self.queries
+            .iter()
+            .any(|q| q.active && (q.op.punctuation_sensitive() || q.op.num_ports() > 1))
+    }
+
+    /// Core ingest: rows of *one* stream, in arrival order. Decides once
+    /// per call between the coalesced batch schedule and the exact
+    /// per-tuple watermark schedule.
+    fn ingest(&mut self, stream: &str, mut group: Vec<(Vec<Value>, Option<u64>)>) -> Result<()> {
+        let batched = !self.needs_per_tuple_watermarks();
+        let max = self.ingest_group(stream, &mut group, batched)?;
+        if batched && self.auto_watermark {
+            self.advance_to(max)?;
+        }
+        Ok(())
+    }
+
+    /// Validate and deliver one stream's rows. In batched mode the whole
+    /// group is dispatched as a single batch and the caller issues one
+    /// trailing watermark; the returned timestamp is the newest delivered
+    /// event time (`ZERO` when the per-tuple path already advanced).
+    fn ingest_group(
+        &mut self,
+        stream: &str,
+        group: &mut Vec<(Vec<Value>, Option<u64>)>,
+        batched: bool,
+    ) -> Result<Timestamp> {
+        let lower = stream.to_ascii_lowercase();
+        let entry = self
+            .streams
+            .get_mut(&lower)
+            .ok_or_else(|| DsmsError::unknown(format!("stream `{stream}`")))?;
+        if !batched || entry.reorder.is_some() {
+            // Exact schedule: watermark-before-tuple for every row
+            // (punctuation-sensitive queries), and the disorder buffer's
+            // own release discipline. `push_impl` advances internally.
+            for (values, seq) in group.drain(..) {
+                self.push_impl(stream, values, seq)?;
+            }
+            return Ok(Timestamp::ZERO);
+        }
+        let mut batch = Vec::with_capacity(group.len());
+        let mut max = Timestamp::ZERO;
+        for (values, seq) in group.drain(..) {
+            let seqno = seq.unwrap_or(self.next_seq);
+            let t = Tuple::for_schema(&entry.schema, values, seqno)?;
+            self.next_seq = self.next_seq.max(seqno + 1);
+            if t.ts() < entry.last_ts {
+                entry.rejected_ctr.inc();
+                return Err(DsmsError::OutOfOrder(format!(
+                    "stream `{stream}` regressed from {} to {}",
+                    entry.last_ts,
+                    t.ts()
+                )));
+            }
+            entry.last_ts = t.ts();
+            max = max.max(t.ts());
+            batch.push(t);
+        }
+        entry.pushed += batch.len() as u64;
+        entry.pushed_ctr.add(batch.len() as u64);
+        self.dispatch_batch(lower, batch)?;
+        Ok(max)
     }
 
     fn push_impl(
@@ -524,14 +603,49 @@ impl Engine {
     }
 
     /// Push a whole batch (same validation as [`Engine::push`]).
+    ///
+    /// Consecutive rows of the same stream are validated and dispatched
+    /// as one batch, and — when no registered query needs the per-tuple
+    /// watermark schedule ([`Engine::needs_per_tuple_watermarks`]) — the
+    /// auto-watermarks of the whole call coalesce into a single trailing
+    /// punctuation. Query output is byte-identical to pushing the rows
+    /// one at a time; on a validation error mid-batch, the failing row's
+    /// group is dropped whole (earlier groups are already delivered).
     pub fn push_batch(
         &mut self,
         rows: impl IntoIterator<Item = (String, Vec<Value>)>,
     ) -> Result<()> {
-        for (stream, values) in rows {
-            self.push(&stream, values)?;
+        let batched = !self.needs_per_tuple_watermarks();
+        let mut max = Timestamp::ZERO;
+        let mut it = rows.into_iter().peekable();
+        let mut group: Vec<(Vec<Value>, Option<u64>)> = Vec::new();
+        while let Some((stream, values)) = it.next() {
+            group.clear();
+            group.push((values, None));
+            while let Some((next_stream, _)) = it.peek() {
+                if next_stream.eq_ignore_ascii_case(&stream) {
+                    group.push((it.next().expect("peeked").1, None));
+                } else {
+                    break;
+                }
+            }
+            max = max.max(self.ingest_group(&stream, &mut group, batched)?);
+        }
+        if batched && self.auto_watermark {
+            self.advance_to(max)?;
         }
         Ok(())
+    }
+
+    /// Push a whole batch into *one* stream (same validation and
+    /// watermark coalescing as [`Engine::push_batch`], without the
+    /// per-row stream naming and grouping).
+    pub fn push_batch_to(
+        &mut self,
+        stream: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<()> {
+        self.ingest(stream, rows.into_iter().map(|v| (v, None)).collect())
     }
 
     /// Advance stream time: delivers a punctuation to every query, which
@@ -551,7 +665,7 @@ impl Engine {
                 m.advance(ts);
             }
         }
-        let mut work: VecDeque<(String, Tuple)> = VecDeque::new();
+        let mut work: VecDeque<(String, Vec<Tuple>)> = VecDeque::new();
         for idx in 0..self.queries.len() {
             if !self.queries[idx].active {
                 continue;
@@ -565,9 +679,9 @@ impl Engine {
                     q.wall.record_duration(s.elapsed());
                 }
             }
-            self.route(idx, outs, &mut work)?;
+            self.route_batch(idx, outs, &mut work)?;
         }
-        self.drain(work)
+        self.drain_batches(work)
     }
 
     /// Current stream-time high-water mark.
@@ -575,18 +689,18 @@ impl Engine {
         self.now
     }
 
-    fn dispatch(&mut self, stream_lower: String, t: Tuple) -> Result<()> {
+    fn dispatch_batch(&mut self, stream_lower: String, batch: Vec<Tuple>) -> Result<()> {
         let mut work = VecDeque::new();
-        work.push_back((stream_lower, t));
-        self.drain(work)
+        work.push_back((stream_lower, batch));
+        self.drain_batches(work)
     }
 
-    fn drain(&mut self, mut work: VecDeque<(String, Tuple)>) -> Result<()> {
+    fn drain_batches(&mut self, mut work: VecDeque<(String, Vec<Tuple>)>) -> Result<()> {
         // Bounded cascade: a mis-wired query cycle would loop forever;
-        // cap the cascade generously and report instead.
+        // cap the cascade (counted in tuples) generously and report.
         let mut guard: u64 = 0;
-        while let Some((stream, t)) = work.pop_front() {
-            guard += 1;
+        while let Some((stream, batch)) = work.pop_front() {
+            guard += batch.len() as u64;
             if guard > 10_000_000 {
                 return Err(DsmsError::plan(
                     "query cascade exceeded 10M steps; cyclic stream wiring?",
@@ -596,12 +710,15 @@ impl Engine {
             // whether pushed externally or derived from a query sink.
             if let Some(mats) = self.materialized.get(&stream) {
                 for m in mats {
-                    m.push(t.clone());
+                    for t in &batch {
+                        m.push(t.clone());
+                    }
                 }
             }
             let Some(subs) = self.subs.get(&stream) else {
                 continue;
             };
+            // One subscription-list clone per batch, not per tuple.
             let subs: Vec<(usize, usize)> = subs.clone();
             for (idx, port) in subs {
                 if !self.queries[idx].active {
@@ -610,24 +727,30 @@ impl Engine {
                 let mut outs = Vec::new();
                 {
                     let q = &mut self.queries[idx];
-                    let n = q.tuples_in.inc_get();
-                    let started = (n & WALL_SAMPLE_MASK == 0).then(std::time::Instant::now);
-                    q.op.on_tuple(port, &t, &mut outs)?;
+                    let before = q.tuples_in.get();
+                    q.tuples_in.add(batch.len() as u64);
+                    // Sample when the batch starts on or crosses a
+                    // 1-in-64 tuple ordinal, keeping the sampling rate
+                    // independent of batch size.
+                    let sampled = before & WALL_SAMPLE_MASK == 0
+                        || (before >> 6) != ((before + batch.len() as u64) >> 6);
+                    let started = sampled.then(std::time::Instant::now);
+                    q.op.process_batch(port, &batch, &mut outs)?;
                     if let Some(s) = started {
                         q.wall.record_duration(s.elapsed());
                     }
                 }
-                self.route(idx, outs, &mut work)?;
+                self.route_batch(idx, outs, &mut work)?;
             }
         }
         Ok(())
     }
 
-    fn route(
+    fn route_batch(
         &mut self,
         idx: usize,
         outs: Vec<Tuple>,
-        work: &mut VecDeque<(String, Tuple)>,
+        work: &mut VecDeque<(String, Vec<Tuple>)>,
     ) -> Result<()> {
         if outs.is_empty() {
             return Ok(());
@@ -636,39 +759,40 @@ impl Engine {
         self.queries[idx].tuples_out.add(outs.len() as u64);
         match &self.queries[idx].sink {
             Sink::Discard => {}
-            Sink::Collect(c) => {
-                for t in outs {
-                    c.push(t);
-                }
-            }
+            Sink::Collect(c) => c.push_many(outs),
             Sink::Table(name) => {
                 let table = self.tables[&name.to_ascii_lowercase()].clone();
-                for t in outs {
-                    table.insert_tuple(&t)?;
+                for t in &outs {
+                    table.insert_tuple(t)?;
                 }
             }
             Sink::Stream(name) => {
                 let lower = name.to_ascii_lowercase();
                 let schema = self.streams[&lower].schema.clone();
-                for t in outs {
-                    // Derived tuples are re-validated and re-sequenced so
-                    // downstream queries see a well-formed stream.
-                    let seq = self.next_seq;
-                    self.next_seq += 1;
-                    let nt = Tuple::for_schema(&schema, t.values().to_vec(), seq)?;
-                    let e = self
-                        .streams
-                        .get_mut(&lower)
-                        .expect("validated at registration");
+                // Derived tuples are re-validated and re-sequenced so
+                // downstream queries see a well-formed stream — but the
+                // row values are shared with the producer's output, not
+                // copied.
+                let base = self.next_seq;
+                self.next_seq += outs.len() as u64;
+                let mut rebound = Vec::with_capacity(outs.len());
+                for (k, t) in outs.into_iter().enumerate() {
+                    rebound.push(Tuple::rebind_for_schema(&schema, t, base + k as u64)?);
+                }
+                let e = self
+                    .streams
+                    .get_mut(&lower)
+                    .expect("validated at registration");
+                for nt in &rebound {
                     // Derived streams may interleave slightly out of
                     // order (e.g. window-close alerts); track the max.
                     if nt.ts() > e.last_ts {
                         e.last_ts = nt.ts();
                     }
-                    e.pushed += 1;
-                    e.pushed_ctr.inc();
-                    work.push_back((lower.clone(), nt));
                 }
+                e.pushed += rebound.len() as u64;
+                e.pushed_ctr.add(rebound.len() as u64);
+                work.push_back((lower, rebound));
             }
         }
         Ok(())

@@ -1,0 +1,53 @@
+//! FNV-1a hashing for hot-path hash maps.
+//!
+//! `std`'s default SipHash is DoS-resistant but pays a fixed
+//! finalization cost that dominates for the short keys streaming
+//! operators probe per tuple (a couple of tag/reader ids). FNV-1a is a
+//! few multiplies for such keys; operator state is keyed by data the
+//! planner chose, not by attacker-controlled map keys, so collision
+//! hardening buys nothing here. The shard router uses the same function
+//! (`shard::shard_of`) for stable key routing.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a 64-bit streaming hasher.
+#[derive(Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `BuildHasher` for [`FnvHasher`], for `HashMap::with_hasher`.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn distinct_keys_hash_apart() {
+        let b = FnvBuildHasher::default();
+        let h1 = b.hash_one("tag1");
+        let h2 = b.hash_one("tag2");
+        assert_ne!(h1, h2);
+        // Deterministic across builders (no random state).
+        assert_eq!(h1, FnvBuildHasher::default().hash_one("tag1"));
+    }
+}

@@ -45,6 +45,7 @@ pub mod driver;
 pub mod engine;
 pub mod error;
 pub mod expr;
+pub mod hash;
 pub mod lookup;
 pub mod obs;
 pub mod ops;

@@ -211,6 +211,14 @@ impl Operator for WindowAggregate {
         "aggregate"
     }
 
+    // Per-arrival emission re-slides the window at each arrival's own
+    // timestamp, so punctuations only pre-expire rows the next arrival
+    // would expire anyway; punctuation emission, by contrast, *is* the
+    // output schedule and every watermark matters.
+    fn punctuation_sensitive(&self) -> bool {
+        self.emission == Emission::OnPunctuation
+    }
+
     fn retained(&self) -> usize {
         self.groups.values().map(|g| g.window.len().max(1)).sum()
     }

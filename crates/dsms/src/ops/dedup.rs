@@ -17,6 +17,7 @@
 use super::{OpReport, Operator};
 use crate::error::Result;
 use crate::expr::Expr;
+use crate::hash::FnvBuildHasher;
 use crate::time::{Duration, Timestamp};
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -28,8 +29,13 @@ use std::collections::HashMap;
 /// does this with a 1-second window rather than unbounded history.
 pub struct Dedup {
     key: Vec<Expr>,
+    /// When every key expression is a plain column reference, the
+    /// column indices — key extraction then skips expression
+    /// evaluation entirely (the planner always produces column keys,
+    /// so this is the hot configuration).
+    key_cols: Option<Vec<usize>>,
     window: Duration,
-    last_seen: HashMap<Vec<Value>, Timestamp>,
+    last_seen: HashMap<Vec<Value>, Timestamp, FnvBuildHasher>,
     /// Keys are purged lazily when stream time has moved a full window
     /// past them; this counter avoids rescanning the map on every tuple.
     last_purge: Timestamp,
@@ -39,10 +45,18 @@ pub struct Dedup {
 impl Dedup {
     /// Suppress tuples whose `key` was seen within `window` before them.
     pub fn new(key: Vec<Expr>, window: Duration) -> Dedup {
+        let key_cols = key
+            .iter()
+            .map(|e| match e {
+                Expr::Col { rel: 0, col } => Some(*col),
+                _ => None,
+            })
+            .collect();
         Dedup {
             key,
+            key_cols,
             window,
-            last_seen: HashMap::new(),
+            last_seen: HashMap::default(),
             last_purge: Timestamp::ZERO,
             suppressed: 0,
         }
@@ -54,7 +68,10 @@ impl Dedup {
     }
 
     fn key_of(&self, t: &Tuple) -> Result<Vec<Value>> {
-        self.key.iter().map(|e| e.eval(&[t])).collect()
+        match &self.key_cols {
+            Some(cols) => Ok(cols.iter().map(|&c| t.value(c).clone()).collect()),
+            None => self.key.iter().map(|e| e.eval(&[t])).collect(),
+        }
     }
 
     fn purge(&mut self, now: Timestamp) {
@@ -64,27 +81,60 @@ impl Dedup {
     }
 }
 
-impl Operator for Dedup {
-    fn on_tuple(&mut self, _port: usize, t: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+impl Dedup {
+    /// One probe: test for a duplicate and refresh the suppression
+    /// window in place (duplicates chain — a suppressed reading still
+    /// extends the window for later ones). Returns whether `t` passes.
+    fn admit(&mut self, t: &Tuple) -> Result<bool> {
         let key = self.key_of(t)?;
         let now = t.ts();
-        let dup = match self.last_seen.get(&key) {
-            // Window is RANGE w PRECEDING (inclusive): a prior reading
-            // exactly w old still counts as a duplicate.
-            Some(&seen) => now.since(seen).is_some_and(|gap| gap <= self.window),
-            None => false,
-        };
-        // Duplicates still refresh the suppression window (chained bursts).
-        self.last_seen.insert(key, now);
+        let window = self.window;
+        let mut dup = false;
+        self.last_seen
+            .entry(key)
+            .and_modify(|seen| {
+                // Window is RANGE w PRECEDING (inclusive): a prior
+                // reading exactly w old still counts as a duplicate.
+                dup = now.since(*seen).is_some_and(|gap| gap <= window);
+                *seen = now;
+            })
+            .or_insert(now);
         if dup {
             self.suppressed += 1;
-        } else {
-            out.push(t.clone());
         }
-        // Amortized purge: once stream time has advanced 2 windows past
-        // the last purge, sweep dead keys.
+        Ok(!dup)
+    }
+
+    /// Amortized purge: once stream time has advanced 2 windows past
+    /// the last purge, sweep dead keys.
+    fn maybe_purge(&mut self, now: Timestamp) {
         if now.saturating_sub(self.window) > self.last_purge.saturating_add(self.window) {
             self.purge(now);
+        }
+    }
+}
+
+impl Operator for Dedup {
+    fn on_tuple(&mut self, _port: usize, t: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        if self.admit(t)? {
+            out.push(t.clone());
+        }
+        self.maybe_purge(t.ts());
+        Ok(())
+    }
+
+    fn process_batch(&mut self, _port: usize, batch: &[Tuple], out: &mut Vec<Tuple>) -> Result<()> {
+        // Same admissions as the per-tuple loop; the purge (pure state
+        // hygiene, see `punctuation_sensitive`) is checked once per
+        // batch instead of per tuple.
+        out.reserve(batch.len());
+        for t in batch {
+            if self.admit(t)? {
+                out.push(t.clone());
+            }
+        }
+        if let Some(last) = batch.last() {
+            self.maybe_purge(last.ts());
         }
         Ok(())
     }
@@ -92,6 +142,14 @@ impl Operator for Dedup {
     fn on_punctuation(&mut self, ts: Timestamp, _out: &mut Vec<Tuple>) -> Result<()> {
         self.purge(ts);
         Ok(())
+    }
+
+    // Punctuations only purge keys whose last sighting is already more
+    // than a full window old — keys that could never test as duplicates
+    // again (a duplicate requires gap <= window). Skipping or coalescing
+    // them cannot change which tuples pass.
+    fn punctuation_sensitive(&self) -> bool {
+        false
     }
 
     fn name(&self) -> &str {

@@ -80,6 +80,14 @@ impl Operator for BinaryJoin {
         Ok(())
     }
 
+    // `on_tuple` re-expires both sides at the arrival's own timestamp
+    // before probing, and the watermark contract guarantees no arrival is
+    // older than the punctuation — so a punctuation only removes tuples
+    // the next probe would have expired anyway.
+    fn punctuation_sensitive(&self) -> bool {
+        false
+    }
+
     fn num_ports(&self) -> usize {
         2
     }

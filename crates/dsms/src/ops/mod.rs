@@ -103,10 +103,36 @@ pub trait Operator: Send {
     /// Handle a tuple arriving on input `port`; append outputs to `out`.
     fn on_tuple(&mut self, port: usize, t: &Tuple, out: &mut Vec<Tuple>) -> Result<()>;
 
+    /// Handle a whole batch of tuples arriving in order on input `port`.
+    ///
+    /// The default just loops [`Operator::on_tuple`]; operators with
+    /// per-invocation overhead worth amortizing (stage traversal, wall
+    /// sampling, buffer churn) override it. Implementations must produce
+    /// exactly the tuples the per-tuple loop would — the engine's batched
+    /// path relies on that equivalence for its differential guarantees.
+    fn process_batch(&mut self, port: usize, batch: &[Tuple], out: &mut Vec<Tuple>) -> Result<()> {
+        for t in batch {
+            self.on_tuple(port, t, out)?;
+        }
+        Ok(())
+    }
+
     /// Stream time has advanced to `ts`: expire state, emit anything whose
     /// window has closed. Default: nothing to do.
     fn on_punctuation(&mut self, _ts: Timestamp, _out: &mut Vec<Tuple>) -> Result<()> {
         Ok(())
+    }
+
+    /// Whether [`Operator::on_punctuation`] can emit output or observably
+    /// change a later output (window-close emission, timeout detection,
+    /// periodic reports). Operators whose punctuation handling is pure
+    /// state hygiene — purging entries that could never influence another
+    /// result — return `false`, which lets the engine coalesce the
+    /// per-tuple auto-watermarks of a batch into a single punctuation
+    /// without changing any output. Defaults to `true` (conservative:
+    /// unknown operators keep the exact per-tuple watermark schedule).
+    fn punctuation_sensitive(&self) -> bool {
+        true
     }
 
     /// Number of input ports this operator expects.
@@ -178,30 +204,47 @@ impl Chain {
     }
 
     fn run_from(&mut self, start: usize, input: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
-        // Depth-first through the remaining stages without recursion on
-        // the engine side; each stage may fan out (e.g. nothing or many).
-        let mut current = vec![input.clone()];
-        for (stage, stats) in self.stages[start..]
-            .iter_mut()
-            .zip(&mut self.stats[start..])
-        {
+        self.run_batch_from(start, std::slice::from_ref(input), out)
+    }
+
+    fn run_batch_from(
+        &mut self,
+        start: usize,
+        batch: &[Tuple],
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        // Stage-at-a-time through the remaining pipeline: the whole batch
+        // flows through a stage before the next one runs, so the two
+        // `Instant::now` calls and the flow counters are paid once per
+        // stage per batch, not once per tuple. Each stage may fan out
+        // (nothing or many); an emptied batch short-circuits the tail.
+        let stages = &mut self.stages[start..];
+        let stats = &mut self.stats[start..];
+        if stages.is_empty() {
+            out.extend_from_slice(batch);
+            return Ok(());
+        }
+        let mut current: Vec<Tuple> = Vec::new();
+        for (i, (stage, st)) in stages.iter_mut().zip(stats.iter_mut()).enumerate() {
+            let input: &[Tuple] = if i == 0 { batch } else { &current };
+            // Sample when the batch starts on or crosses a 1-in-64 tuple
+            // ordinal, so the sampling rate is independent of batch size.
+            let sampled = st.tuples_in & WALL_SAMPLE_MASK == 0
+                || (st.tuples_in >> 6) != ((st.tuples_in + input.len() as u64) >> 6);
+            st.tuples_in += input.len() as u64;
             let mut next = Vec::new();
-            let sampled = stats.tuples_in & WALL_SAMPLE_MASK == 0;
-            stats.tuples_in += current.len() as u64;
             let started = sampled.then(std::time::Instant::now);
-            for t in &current {
-                stage.on_tuple(0, t, &mut next)?;
-            }
+            stage.process_batch(0, input, &mut next)?;
             if let Some(s) = started {
-                stats.wall.record_duration(s.elapsed());
+                st.wall.record_duration(s.elapsed());
             }
-            stats.tuples_out += next.len() as u64;
+            st.tuples_out += next.len() as u64;
             current = next;
             if current.is_empty() {
-                break;
+                return Ok(());
             }
         }
-        out.extend(current);
+        out.append(&mut current);
         Ok(())
     }
 }
@@ -212,6 +255,11 @@ impl Operator for Chain {
         self.run_from(0, t, out)
     }
 
+    fn process_batch(&mut self, port: usize, batch: &[Tuple], out: &mut Vec<Tuple>) -> Result<()> {
+        debug_assert_eq!(port, 0);
+        self.run_batch_from(0, batch, out)
+    }
+
     fn on_punctuation(&mut self, ts: Timestamp, out: &mut Vec<Tuple>) -> Result<()> {
         // A punctuation may release buffered tuples at any stage; those
         // must then flow through the *rest* of the chain.
@@ -219,15 +267,19 @@ impl Operator for Chain {
             let mut released = Vec::new();
             self.stages[i].on_punctuation(ts, &mut released)?;
             self.stats[i].tuples_out += released.len() as u64;
-            for t in released {
+            if !released.is_empty() {
                 if i + 1 < self.stages.len() {
-                    self.run_from(i + 1, &t, out)?;
+                    self.run_batch_from(i + 1, &released, out)?;
                 } else {
-                    out.push(t);
+                    out.append(&mut released);
                 }
             }
         }
         Ok(())
+    }
+
+    fn punctuation_sensitive(&self) -> bool {
+        self.stages.iter().any(|s| s.punctuation_sensitive())
     }
 
     fn name(&self) -> &str {

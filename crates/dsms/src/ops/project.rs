@@ -29,6 +29,23 @@ impl Operator for Project {
         Ok(())
     }
 
+    fn process_batch(&mut self, _port: usize, batch: &[Tuple], out: &mut Vec<Tuple>) -> Result<()> {
+        out.reserve(batch.len());
+        for t in batch {
+            let mut vals = Vec::with_capacity(self.exprs.len());
+            for e in &self.exprs {
+                vals.push(e.eval(&[t])?);
+            }
+            out.push(Tuple::new(vals, t.ts(), t.seq()));
+        }
+        Ok(())
+    }
+
+    // Projection is stateless; a punctuation changes nothing.
+    fn punctuation_sensitive(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &str {
         "project"
     }

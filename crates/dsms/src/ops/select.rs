@@ -25,6 +25,20 @@ impl Operator for Select {
         Ok(())
     }
 
+    fn process_batch(&mut self, _port: usize, batch: &[Tuple], out: &mut Vec<Tuple>) -> Result<()> {
+        for t in batch {
+            if self.pred.eval_bool(&[t])? {
+                out.push(t.clone());
+            }
+        }
+        Ok(())
+    }
+
+    // Filtering is stateless; a punctuation changes nothing.
+    fn punctuation_sensitive(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &str {
         "select"
     }

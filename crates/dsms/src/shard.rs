@@ -30,7 +30,7 @@
 //! time-ordered (the same discipline the single engine's auto-watermark
 //! expects).
 
-use crate::driver::{EngineDriver, EngineInput};
+use crate::driver::{BatchItem, EngineDriver, EngineInput};
 use crate::engine::{Collector, Engine};
 use crate::error::{DsmsError, Result};
 use crate::obs::{Counter, Gauge, MetricsSnapshot, Registry};
@@ -39,7 +39,7 @@ use crate::tuple::Tuple;
 use crate::value::Value;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Column names recognised as the EPC/tag key when a [`ShardSpec`] does
@@ -218,6 +218,14 @@ pub struct ShardedEngine {
     spec: ShardSpec,
     routes: HashMap<String, Route>,
     sent_marks: WatermarkAggregator,
+    /// Whether [`ShardedEngine::push_batch`] may coalesce the per-row
+    /// watermark broadcasts into one trailing punctuation per shard:
+    /// true iff no shard has an active query needing the exact
+    /// per-tuple schedule ([`Engine::needs_per_tuple_watermarks`]).
+    /// Refreshed synchronously wherever queries can change — at build
+    /// and after every exec closure — so it is never stale when a
+    /// batch is routed.
+    coalesce_marks: AtomicBool,
     slots: usize,
     obs: Registry,
     routed: Vec<Counter>,
@@ -247,9 +255,11 @@ impl ShardedEngine {
         let mut now_us = Vec::with_capacity(shards);
         let mut routed = Vec::with_capacity(shards);
         let mut slots = None;
+        let mut per_tuple_marks = false;
         for i in 0..shards {
             let mut engine = Engine::new();
             let collectors = setup(&mut engine)?;
+            per_tuple_marks |= engine.needs_per_tuple_watermarks();
             match slots {
                 None => slots = Some(collectors.len()),
                 Some(n) if n == collectors.len() => {}
@@ -306,6 +316,7 @@ impl ShardedEngine {
             spec,
             routes: HashMap::new(),
             sent_marks: WatermarkAggregator::new(shards),
+            coalesce_marks: AtomicBool::new(!per_tuple_marks),
             slots: slots.unwrap_or(0),
             obs,
             routed,
@@ -401,6 +412,135 @@ impl ShardedEngine {
         Ok(())
     }
 
+    /// Route a whole batch of rows with one channel message per shard.
+    ///
+    /// Rows get the same consecutive cause indices [`ShardedEngine::push`]
+    /// would assign, so merged output is identical — the difference is
+    /// transport cost. When every shard reports that no active query
+    /// needs the exact per-tuple watermark schedule
+    /// ([`Engine::needs_per_tuple_watermarks`]), the per-row watermark
+    /// broadcasts to non-owner shards are coalesced into a single
+    /// trailing punctuation per shard at the batch's maximum timestamp
+    /// (tagged with the batch's last cause, mirroring how per-row
+    /// broadcasts reuse their push's cause). Otherwise every broadcast
+    /// travels with the batch, one item per row, preserving the exact
+    /// punctuation schedule.
+    ///
+    /// Routing errors (unknown stream, bad key column) abort before
+    /// anything is sent: the batch is all-or-nothing at the router.
+    pub fn push_batch(
+        &mut self,
+        rows: impl IntoIterator<Item = (String, Vec<Value>)>,
+    ) -> Result<()> {
+        let coalesce = self.coalesce_marks.load(Ordering::Relaxed);
+        let shards = self.shards();
+        let mut per_shard: Vec<Vec<BatchItem>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut max_ts: Option<Timestamp> = None;
+        let mut last_cause = 0u64;
+        let mut routed = vec![0u64; shards];
+        let mut broadcasts = 0u64;
+        for (stream, mut values) in rows {
+            let lower = stream.to_ascii_lowercase();
+            let route = self.route_for(&lower)?;
+            let cause = self.next_cause;
+            self.next_cause += 1;
+            last_cause = cause;
+            let seq = cause << CAUSE_SEQ_SHIFT;
+            let ts = route
+                .time_col
+                .and_then(|i| values.get(i).and_then(Value::as_ts));
+            if let Some(t) = ts {
+                max_ts = Some(max_ts.map_or(t, |m| m.max(t)));
+            }
+            match &route.rule {
+                RouteRule::Key(cols) => {
+                    let target = shard_of(&values, cols, shards);
+                    per_shard[target].push(BatchItem::Push {
+                        stream: lower,
+                        values,
+                        seq: Some(seq),
+                        cause,
+                    });
+                    routed[target] += 1;
+                    if let Some(ts) = ts {
+                        self.sent_marks.advance(target, ts);
+                        if !coalesce {
+                            for (j, items) in per_shard.iter_mut().enumerate() {
+                                if j == target {
+                                    continue;
+                                }
+                                items.push(BatchItem::Advance { ts, cause });
+                                self.sent_marks.advance(j, ts);
+                            }
+                        }
+                    }
+                }
+                RouteRule::Broadcast => {
+                    for (j, items) in per_shard.iter_mut().enumerate() {
+                        let v = if j + 1 == shards {
+                            std::mem::take(&mut values)
+                        } else {
+                            values.clone()
+                        };
+                        items.push(BatchItem::Push {
+                            stream: lower.clone(),
+                            values: v,
+                            seq: Some(seq),
+                            cause,
+                        });
+                        if let Some(ts) = ts {
+                            self.sent_marks.advance(j, ts);
+                        }
+                    }
+                    broadcasts += 1;
+                }
+            }
+        }
+        if coalesce {
+            if let Some(ts) = max_ts {
+                for (j, items) in per_shard.iter_mut().enumerate() {
+                    items.push(BatchItem::Advance {
+                        ts,
+                        cause: last_cause,
+                    });
+                    self.sent_marks.advance(j, ts);
+                }
+            }
+        }
+        for (j, items) in per_shard.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let hi = items
+                .iter()
+                .map(|i| match i {
+                    BatchItem::Push { cause, .. } | BatchItem::Advance { cause, .. } => *cause,
+                })
+                .max()
+                .unwrap_or(0);
+            self.inputs[j].send_batch(items)?;
+            self.last_sent[j] = self.last_sent[j].max(hi);
+            self.routed[j].add(routed[j]);
+        }
+        self.broadcasts.add(broadcasts);
+        Ok(())
+    }
+
+    /// Re-read every shard's watermark-schedule requirement and cache
+    /// the coalescing decision. Runs synchronously (one exec round-trip
+    /// per shard), so by the time any later `push_batch` consults the
+    /// flag, all query changes from earlier exec calls are reflected.
+    fn refresh_watermark_mode(&self) -> Result<()> {
+        let mut coalesce = true;
+        for d in &self.drivers {
+            if d.exec(|e| e.needs_per_tuple_watermarks())? {
+                coalesce = false;
+            }
+        }
+        self.coalesce_marks.store(coalesce, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Global heartbeat: broadcast a punctuation to every shard (active
     /// expiration during silent periods).
     pub fn advance_to(&mut self, ts: Timestamp) -> Result<()> {
@@ -486,6 +626,8 @@ impl ShardedEngine {
             let f = f.clone();
             results.push(d.exec(move |e| f(e))?);
         }
+        // The closure may have registered or dropped queries.
+        self.refresh_watermark_mode()?;
         Ok(results)
     }
 
@@ -532,6 +674,9 @@ impl ShardedEngine {
         let n = added.unwrap_or(0);
         let first = self.slots;
         self.slots += n;
+        // The closure registered queries; the new ones may demand the
+        // exact per-tuple watermark schedule.
+        self.refresh_watermark_mode()?;
         Ok((results, (first..first + n).collect()))
     }
 
@@ -787,6 +932,123 @@ mod tests {
         }
         se.flush().unwrap();
         assert_eq!(se.take_output(0).unwrap().len(), 8);
+        se.stop().unwrap();
+    }
+
+    #[test]
+    fn push_batch_matches_per_push_merge() {
+        let rows: Vec<(String, Vec<Value>)> = (0..48)
+            .map(|i| ("readings".to_string(), reading(i, &format!("tag{}", i % 5))))
+            .collect();
+        for shards in [1usize, 2, 3] {
+            let mut per_push =
+                ShardedEngine::build(shards, 64, ShardSpec::new(), passthrough_setup).unwrap();
+            for (s, v) in &rows {
+                per_push.push(s, v.clone()).unwrap();
+            }
+            per_push.flush().unwrap();
+            let want: Vec<(Vec<Value>, Timestamp)> = per_push
+                .take_output(0)
+                .unwrap()
+                .into_iter()
+                .map(|t| (t.values().to_vec(), t.ts()))
+                .collect();
+            per_push.stop().unwrap();
+
+            let mut batched =
+                ShardedEngine::build(shards, 64, ShardSpec::new(), passthrough_setup).unwrap();
+            assert!(
+                batched.coalesce_marks.load(Ordering::Relaxed),
+                "passthrough queries must allow coalesced watermarks"
+            );
+            for chunk in rows.chunks(7) {
+                batched.push_batch(chunk.to_vec()).unwrap();
+            }
+            batched.flush().unwrap();
+            let got: Vec<(Vec<Value>, Timestamp)> = batched
+                .take_output(0)
+                .unwrap()
+                .into_iter()
+                .map(|t| (t.values().to_vec(), t.ts()))
+                .collect();
+            assert_eq!(got, want, "batched routing diverged at N={shards}");
+            assert_eq!(
+                batched.low_watermark(),
+                Timestamp::from_secs(47),
+                "trailing punctuation must reach every shard"
+            );
+            batched.stop().unwrap();
+        }
+    }
+
+    #[test]
+    fn sensitive_query_disables_coalescing() {
+        // A query whose operator emits on punctuation forces the exact
+        // per-tuple watermark schedule onto the batch path.
+        struct OnPunct;
+        impl crate::ops::Operator for OnPunct {
+            fn on_tuple(
+                &mut self,
+                _port: usize,
+                _t: &Tuple,
+                _out: &mut Vec<Tuple>,
+            ) -> crate::error::Result<()> {
+                Ok(())
+            }
+            fn name(&self) -> &str {
+                "on_punct"
+            }
+        }
+        let mut se = ShardedEngine::build(2, 8, ShardSpec::new(), |e| {
+            e.create_stream(Schema::readings("readings"))?;
+            let (_, out) = e.register_collected("p", vec!["readings"], Box::new(OnPunct))?;
+            Ok(vec![out])
+        })
+        .unwrap();
+        assert!(
+            !se.coalesce_marks.load(Ordering::Relaxed),
+            "default-sensitive operator must force per-tuple watermarks"
+        );
+        se.push_batch(vec![
+            ("readings".to_string(), reading(1, "a")),
+            ("readings".to_string(), reading(2, "b")),
+        ])
+        .unwrap();
+        se.flush().unwrap();
+        // Every shard still observes every watermark, one per row.
+        for s in se.shard_stats() {
+            assert_eq!(s.watermark, Timestamp::from_secs(2));
+        }
+        se.stop().unwrap();
+    }
+
+    #[test]
+    fn exec_refreshes_watermark_mode() {
+        let mut se = ShardedEngine::build(2, 8, ShardSpec::new(), |e| {
+            e.create_stream(Schema::readings("readings"))?;
+            Ok(vec![])
+        })
+        .unwrap();
+        assert!(se.coalesce_marks.load(Ordering::Relaxed));
+        // Registering a join (two ports) after build must flip the flag:
+        // cross-stream interleaving depends on the watermark schedule.
+        se.exec_with_outputs(|e| {
+            e.create_stream(Schema::readings("other"))?;
+            let (_, out) = e.register_collected(
+                "j",
+                vec!["readings", "other"],
+                Box::new(crate::ops::BinaryJoin::new(
+                    crate::time::Duration::from_secs(10),
+                    Expr::eq(Expr::qcol(0, 1), Expr::qcol(1, 1)),
+                )),
+            )?;
+            Ok(((), vec![out]))
+        })
+        .unwrap();
+        assert!(
+            !se.coalesce_marks.load(Ordering::Relaxed),
+            "multi-port query must disable coalescing"
+        );
         se.stop().unwrap();
     }
 

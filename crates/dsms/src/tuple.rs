@@ -38,6 +38,26 @@ impl Tuple {
     /// Build a tuple validated against `schema`, reading the timestamp out
     /// of the schema's event-time column.
     pub fn for_schema(schema: &Schema, values: Vec<Value>, seq: u64) -> Result<Tuple> {
+        let ts = Self::validate(schema, &values)?;
+        Ok(Tuple::new(values, ts, seq))
+    }
+
+    /// Re-validate an existing tuple against `schema` and re-sequence it,
+    /// *sharing* the value buffer instead of copying the row. This is the
+    /// derived-stream re-injection path: validation (arity, types, event
+    /// time) is identical to [`Tuple::for_schema`], but the producing
+    /// query's output buffer and the downstream stream's tuple are the
+    /// same allocation.
+    pub fn rebind_for_schema(schema: &Schema, t: Tuple, seq: u64) -> Result<Tuple> {
+        let ts = Self::validate(schema, &t.values)?;
+        Ok(Tuple {
+            values: t.values,
+            ts,
+            seq,
+        })
+    }
+
+    fn validate(schema: &Schema, values: &[Value]) -> Result<Timestamp> {
         if values.len() != schema.arity() {
             return Err(DsmsError::tuple(format!(
                 "`{}` expects {} columns, got {}",
@@ -57,13 +77,12 @@ impl Tuple {
                 )));
             }
         }
-        let ts = match schema.time_column {
+        match schema.time_column {
             Some(i) => values[i].as_ts().ok_or_else(|| {
                 DsmsError::tuple(format!("time column of `{}` is NULL", schema.name))
-            })?,
-            None => Timestamp::ZERO,
-        };
-        Ok(Tuple::new(values, ts, seq))
+            }),
+            None => Ok(Timestamp::ZERO),
+        }
     }
 
     /// The row values.

@@ -38,11 +38,13 @@
 pub mod adhoc;
 pub mod ast;
 pub mod parser;
+pub mod plan;
 pub mod planner;
 pub mod scope;
 pub mod token;
 
 pub use adhoc::ad_hoc;
+pub use plan::{build_logical, rewrite_logical, LogicalPlan};
 pub use planner::{execute, execute_script, explain, ExecOutcome};
 
 /// One-stop imports for the language layer.

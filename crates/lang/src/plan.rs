@@ -1,0 +1,1264 @@
+//! Logical plan IR: the middle layer between the AST and physical
+//! operators.
+//!
+//! [`build_logical`] lowers a parsed `SELECT` into a [`LogicalPlan`]
+//! tree that names the query's *shape* (filter, project, window,
+//! sequence, semi-join, lookup, aggregate) but keeps predicates as AST
+//! fragments. [`rewrite_logical`] then runs a small pass of named
+//! rewrites over the tree:
+//!
+//! * **predicate pushdown** — filters sink below windows, into the
+//!   outer branch of windowed EXISTS semi-joins, and below table
+//!   lookups;
+//! * **SEQ predicate pushdown** — single-element conjuncts move into
+//!   the sequence element that reads the input stream, so irrelevant
+//!   tuples never enter the detector's history;
+//! * **gap-constraint folding** — `b.t − LAST(a*).t ≤ d` and
+//!   `a.t − a.previous.t ≤ d` become element timing bounds;
+//! * **partition-key lifting** — an equality class covering every
+//!   element becomes the detector's hash partition;
+//! * **dedup specialization** — Example 1's self-stream `NOT EXISTS`
+//!   becomes the dedicated O(1)-per-key dedup node;
+//! * **index-probe lifting** — a `table.col = outer-expr` equality in a
+//!   table EXISTS becomes an index probe;
+//! * **projection pruning** — single-stream projections annotate the
+//!   source with the columns actually read;
+//! * **state-bound annotation** — each SEQ node is annotated with the
+//!   pairing-mode-dependent bound on retained history (§3.1.1: the
+//!   central systems claim is that RECENT / CHRONICLE / CONSECUTIVE
+//!   bound history aggressively where UNRESTRICTED cannot).
+//!
+//! The planner lowers the *rewritten* tree to physical operators, so
+//! what `EXPLAIN` prints is what actually runs.
+
+use crate::ast::*;
+use crate::scope::{compile_scalar, referenced_rels, Scope};
+use eslev_core::mode::PairingMode;
+use eslev_dsms::engine::Engine;
+use eslev_dsms::error::{DsmsError, Result};
+use eslev_dsms::schema::SchemaRef;
+use eslev_dsms::time::Duration;
+use std::fmt::Write as _;
+
+/// One element of a logical SEQ node: which stream it reads, whether it
+/// repeats, and the predicates/timing bounds the rewriter has pushed
+/// into it.
+#[derive(Clone, Debug)]
+pub struct SeqElementPlan {
+    /// FROM binding the element refers to.
+    pub alias: String,
+    /// Underlying stream name.
+    pub stream: String,
+    /// Detector input port (= FROM position).
+    pub port: usize,
+    /// `alias*` — repeating element.
+    pub star: bool,
+    /// Conjuncts pushed into this element (AND-ed at lowering).
+    pub predicates: Vec<AstExpr>,
+    /// Folded `b.t − LAST(a*).t ≤ d` bound.
+    pub max_gap_from_prev: Option<Duration>,
+    /// Folded `a.t − a.previous.t ≤ d` bound (star elements).
+    pub star_gap: Option<Duration>,
+}
+
+/// Logical SEQ node: everything the detector lowering needs, with the
+/// conjunct classification made explicit instead of recomputed.
+#[derive(Clone, Debug)]
+pub struct SeqPlan {
+    /// Which SEQ-family operator.
+    pub kind: SeqKind,
+    /// Resolved pairing mode (the statement's MODE clause, or the
+    /// kind's default).
+    pub mode: PairingMode,
+    /// Elements in sequence order.
+    pub elements: Vec<SeqElementPlan>,
+    /// Event window, if any.
+    pub window: Option<AstWindow>,
+    /// Conjuncts not (yet) classified into elements/partition/gaps.
+    pub residual: Vec<AstExpr>,
+    /// Per-port partition key `(column index, column name)`, lifted
+    /// from an equality class covering every element.
+    pub partition: Option<Vec<(usize, String)>>,
+    /// `CLEVEL_SEQ(...) <op> n` comparison.
+    pub level_cmp: Option<(AstBinOp, i64)>,
+    /// Pairing-mode-aware bound on retained history (annotation only).
+    pub state_bound: Option<String>,
+}
+
+/// A logical query plan. Each node is a query shape the physical
+/// planner knows how to lower; predicates stay as AST fragments so the
+/// rewriter can move them without compiling.
+#[derive(Clone, Debug)]
+pub enum LogicalPlan {
+    /// A stream scan. `columns` is the projection-pruning annotation:
+    /// the columns actually read downstream, when a strict subset.
+    Source {
+        /// Stream name.
+        stream: String,
+        /// FROM binding.
+        alias: String,
+        /// Pruned column set (annotation).
+        columns: Option<Vec<String>>,
+    },
+    /// Conjunctive filter.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// The conjuncts (implicitly AND-ed).
+        predicates: Vec<AstExpr>,
+    },
+    /// Expression projection.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output expressions.
+        exprs: Vec<AstExpr>,
+    },
+    /// A sliding window over the input.
+    Window {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// The window spec.
+        window: AstWindow,
+    },
+    /// Example 1's specialized duplicate eliminator.
+    Dedup {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Key columns `(index, name)`.
+        keys: Vec<(usize, String)>,
+        /// Dedup horizon.
+        window: Duration,
+    },
+    /// Windowed (NOT) EXISTS between an outer stream and an inner
+    /// windowed stream.
+    SemiJoin {
+        /// Outer (probe) side.
+        outer: Box<LogicalPlan>,
+        /// Inner (windowed) side.
+        inner: Box<LogicalPlan>,
+        /// `NOT EXISTS` vs `EXISTS`.
+        negated: bool,
+        /// Correlation conjuncts from the sub-query's WHERE.
+        predicates: Vec<AstExpr>,
+    },
+    /// (NOT) EXISTS against a table.
+    Lookup {
+        /// Input plan (the outer stream).
+        input: Box<LogicalPlan>,
+        /// Table name.
+        table: String,
+        /// `NOT EXISTS` vs `EXISTS`.
+        negated: bool,
+        /// Sub-query conjuncts.
+        predicates: Vec<AstExpr>,
+        /// Lifted index probe: `(table column, outer key expr)`.
+        probe: Option<(String, AstExpr)>,
+    },
+    /// Grouped (optionally windowed) aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-by expressions.
+        group_by: Vec<AstExpr>,
+        /// Aggregate calls.
+        aggs: Vec<AstExpr>,
+        /// Sliding window, if any.
+        window: Option<AstWindow>,
+    },
+    /// A SEQ / EXCEPTION_SEQ / CLEVEL_SEQ detector.
+    Seq(SeqPlan),
+}
+
+impl LogicalPlan {
+    /// Render the tree, one node per line, two-space indented.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 1);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Source {
+                stream,
+                alias,
+                columns,
+            } => {
+                let _ = write!(out, "{pad}Source {stream}");
+                if alias != stream {
+                    let _ = write!(out, " AS {alias}");
+                }
+                if let Some(cols) = columns {
+                    let _ = write!(out, " columns=[{}]", cols.join(", "));
+                }
+                out.push('\n');
+            }
+            LogicalPlan::Filter { input, predicates } => {
+                let _ = writeln!(out, "{pad}Filter {}", join_exprs(predicates, " AND "));
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let _ = writeln!(out, "{pad}Project [{}]", join_exprs(exprs, ", "));
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Window { input, window } => {
+                let _ = writeln!(out, "{pad}Window {}", fmt_window(window));
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Dedup {
+                input,
+                keys,
+                window,
+            } => {
+                let names: Vec<&str> = keys.iter().map(|(_, n)| n.as_str()).collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}Dedup key=[{}] window={} state=O(1) per key",
+                    names.join(", "),
+                    fmt_dur(*window)
+                );
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::SemiJoin {
+                outer,
+                inner,
+                negated,
+                predicates,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} on {}",
+                    if *negated {
+                        "WindowNotExists"
+                    } else {
+                        "WindowExists"
+                    },
+                    join_exprs(predicates, " AND ")
+                );
+                outer.render_into(out, depth + 1);
+                inner.render_into(out, depth + 1);
+            }
+            LogicalPlan::Lookup {
+                input,
+                table,
+                negated,
+                predicates,
+                probe,
+            } => {
+                let _ = write!(
+                    out,
+                    "{pad}{} table={table} on {}",
+                    if *negated {
+                        "TableNotExists"
+                    } else {
+                        "TableExists"
+                    },
+                    join_exprs(predicates, " AND ")
+                );
+                if let Some((col, key)) = probe {
+                    let _ = write!(out, " probe={col}={key}");
+                }
+                out.push('\n');
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                window,
+            } => {
+                let _ = write!(
+                    out,
+                    "{pad}Aggregate group=[{}] aggs=[{}]",
+                    join_exprs(group_by, ", "),
+                    join_exprs(aggs, ", ")
+                );
+                if let Some(w) = window {
+                    let _ = write!(out, " window={}", fmt_window(w));
+                }
+                out.push('\n');
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Seq(seq) => {
+                let kw = match seq.kind {
+                    SeqKind::Seq => "Seq",
+                    SeqKind::ExceptionSeq => "ExceptionSeq",
+                    SeqKind::ClevelSeq => "ClevelSeq",
+                };
+                let _ = write!(out, "{pad}{kw} mode={}", seq.mode.keyword());
+                if let Some(w) = &seq.window {
+                    let _ = write!(out, " window={}", fmt_window(w));
+                }
+                if let Some(keys) = &seq.partition {
+                    let names: Vec<&str> = keys.iter().map(|(_, n)| n.as_str()).collect();
+                    let _ = write!(out, " partition=[{}]", names.join(", "));
+                }
+                if let Some((op, n)) = &seq.level_cmp {
+                    let _ = write!(out, " clevel{}{n}", fmt_binop(*op));
+                }
+                if let Some(b) = &seq.state_bound {
+                    let _ = write!(out, " state={b}");
+                }
+                out.push('\n');
+                if !seq.residual.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "{pad}  residual: {}",
+                        join_exprs(&seq.residual, " AND ")
+                    );
+                }
+                for e in &seq.elements {
+                    let _ = write!(
+                        out,
+                        "{pad}  element {}{} <- {} (port {})",
+                        e.alias,
+                        if e.star { "*" } else { "" },
+                        e.stream,
+                        e.port
+                    );
+                    if !e.predicates.is_empty() {
+                        let _ = write!(out, " filter: {}", join_exprs(&e.predicates, " AND "));
+                    }
+                    if let Some(d) = e.max_gap_from_prev {
+                        let _ = write!(out, " max_gap_from_prev={}", fmt_dur(d));
+                    }
+                    if let Some(d) = e.star_gap {
+                        let _ = write!(out, " star_gap={}", fmt_dur(d));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+    }
+}
+
+fn join_exprs(exprs: &[AstExpr], sep: &str) -> String {
+    exprs
+        .iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join(sep)
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let us = d.as_micros();
+    if us.is_multiple_of(1_000_000) {
+        format!("{}s", us / 1_000_000)
+    } else {
+        format!("{us}us")
+    }
+}
+
+fn fmt_window(w: &AstWindow) -> String {
+    let len = match w.length {
+        WindowLength::Time(d) => fmt_dur(d),
+        WindowLength::Rows(n) => format!("ROWS {n}"),
+    };
+    let kind = match w.kind {
+        AstWindowKind::Preceding => "PRECEDING",
+        AstWindowKind::Following => "FOLLOWING",
+        AstWindowKind::PrecedingAndFollowing => "PRECEDING AND FOLLOWING",
+    };
+    format!(
+        "[{len} {kind} {}]",
+        w.anchor.as_deref().unwrap_or("CURRENT")
+    )
+}
+
+fn fmt_binop(op: AstBinOp) -> &'static str {
+    match op {
+        AstBinOp::Lt => "<",
+        AstBinOp::Le => "<=",
+        AstBinOp::Gt => ">",
+        AstBinOp::Ge => ">=",
+        AstBinOp::Eq => "=",
+        AstBinOp::Ne => "<>",
+        _ => "?",
+    }
+}
+
+// --------------------------------------------------------------- building
+
+/// Whether an expression contains a SEQ-family term.
+pub(crate) fn contains_seq(e: &AstExpr) -> bool {
+    match e {
+        AstExpr::Seq { .. } => true,
+        AstExpr::Bin(_, a, b) => contains_seq(a) || contains_seq(b),
+        AstExpr::Not(i) => contains_seq(i),
+        _ => false,
+    }
+}
+
+/// Whether a select item is a registered aggregate call (and not
+/// shadowed by a UDF).
+pub(crate) fn is_aggregate_item(engine: &Engine, item: &SelectItem) -> bool {
+    match item {
+        SelectItem::Expr {
+            expr: AstExpr::Call { name, args },
+            ..
+        } => {
+            engine.aggregates().get(name).is_some()
+                && engine.functions().get(name).is_none()
+                && args.len() == 1
+        }
+        _ => false,
+    }
+}
+
+fn source(item: &FromItem) -> LogicalPlan {
+    LogicalPlan::Source {
+        stream: item.name.clone(),
+        alias: item.binding().to_string(),
+        columns: None,
+    }
+}
+
+fn wrap_filter(input: LogicalPlan, predicates: Vec<AstExpr>) -> LogicalPlan {
+    if predicates.is_empty() {
+        input
+    } else {
+        LogicalPlan::Filter {
+            input: Box::new(input),
+            predicates,
+        }
+    }
+}
+
+fn wrap_project(input: LogicalPlan, items: &[SelectItem]) -> LogicalPlan {
+    if matches!(items[..], [SelectItem::Wildcard]) {
+        return input;
+    }
+    let exprs: Vec<AstExpr> = items
+        .iter()
+        .filter_map(|i| match i {
+            SelectItem::Wildcard => None,
+            SelectItem::Expr { expr, .. } => Some(expr.clone()),
+        })
+        .collect();
+    LogicalPlan::Project {
+        input: Box::new(input),
+        exprs,
+    }
+}
+
+/// Lower a `SELECT` statement to the *naive* logical plan: query shape
+/// resolved, every WHERE conjunct still in place, no annotations. The
+/// rewriter ([`rewrite_logical`]) turns this into the plan the physical
+/// lowering consumes.
+pub fn build_logical(engine: &Engine, sel: &SelectStmt) -> Result<LogicalPlan> {
+    if sel.from.is_empty() {
+        return Err(DsmsError::plan("FROM clause is required"));
+    }
+    let conjuncts: Vec<&AstExpr> = sel
+        .where_clause
+        .as_ref()
+        .map(split_conjuncts)
+        .unwrap_or_default();
+    if conjuncts.iter().any(|c| contains_seq(c)) {
+        return build_seq(engine, sel, &conjuncts);
+    }
+    if let Some(pos) = conjuncts
+        .iter()
+        .position(|c| matches!(c, AstExpr::Exists { .. }))
+    {
+        let AstExpr::Exists { negated, subquery } = conjuncts[pos] else {
+            unreachable!()
+        };
+        let rest: Vec<AstExpr> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != pos)
+            .map(|(_, c)| (*c).clone())
+            .collect();
+        let sub_conjuncts: Vec<AstExpr> = subquery
+            .where_clause
+            .as_ref()
+            .map(|w| split_conjuncts(w).into_iter().cloned().collect())
+            .unwrap_or_default();
+        let inner = &subquery.from[0];
+        if engine.table(&inner.name).is_ok() {
+            // Outer conjuncts sit above the lookup until pushdown.
+            let lookup = LogicalPlan::Lookup {
+                input: Box::new(source(&sel.from[0])),
+                table: inner.name.clone(),
+                negated: *negated,
+                predicates: sub_conjuncts,
+                probe: None,
+            };
+            return Ok(wrap_project(wrap_filter(lookup, rest), &sel.items));
+        }
+        let inner_scan = match &inner.window {
+            Some(w) => LogicalPlan::Window {
+                input: Box::new(source(inner)),
+                window: w.clone(),
+            },
+            None => source(inner),
+        };
+        let semi = LogicalPlan::SemiJoin {
+            outer: Box::new(source(&sel.from[0])),
+            inner: Box::new(inner_scan),
+            negated: *negated,
+            predicates: sub_conjuncts,
+        };
+        return Ok(wrap_project(wrap_filter(semi, rest), &sel.items));
+    }
+    if sel.items.iter().any(|i| is_aggregate_item(engine, i)) {
+        let mut input = source(&sel.from[0]);
+        if let Some(w) = &sel.from[0].window {
+            input = LogicalPlan::Window {
+                input: Box::new(input),
+                window: w.clone(),
+            };
+        }
+        // Naive placement: the filter reads window contents; pushdown
+        // moves it below (valid for per-row predicates).
+        let input = wrap_filter(input, conjuncts.iter().map(|c| (*c).clone()).collect());
+        let mut group_by = Vec::new();
+        let mut aggs = Vec::new();
+        for item in &sel.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                if is_aggregate_item(engine, item) {
+                    aggs.push(expr.clone());
+                } else if sel.group_by.is_empty() {
+                    group_by.push(expr.clone());
+                }
+            }
+        }
+        for g in &sel.group_by {
+            group_by.push(g.clone());
+        }
+        return Ok(LogicalPlan::Aggregate {
+            input: Box::new(input),
+            group_by,
+            aggs,
+            window: sel.from[0].window.clone(),
+        });
+    }
+    let filtered = wrap_filter(
+        source(&sel.from[0]),
+        conjuncts.iter().map(|c| (*c).clone()).collect(),
+    );
+    Ok(wrap_project(filtered, &sel.items))
+}
+
+fn build_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result<LogicalPlan> {
+    // Locate the SEQ term (possibly inside a CLEVEL comparison).
+    let mut seq_term: Option<&AstExpr> = None;
+    let mut level_cmp: Option<(AstBinOp, i64)> = None;
+    let mut rest: Vec<&AstExpr> = Vec::new();
+    for c in conjuncts {
+        match c {
+            AstExpr::Seq { .. } => {
+                if seq_term.replace(c).is_some() {
+                    return Err(DsmsError::plan("one SEQ term per query"));
+                }
+            }
+            AstExpr::Bin(op, lhs, rhs)
+                if matches!(
+                    &**lhs,
+                    AstExpr::Seq {
+                        kind: SeqKind::ClevelSeq,
+                        ..
+                    }
+                ) =>
+            {
+                let AstExpr::Lit(eslev_dsms::value::Value::Int(n)) = &**rhs else {
+                    return Err(DsmsError::plan("CLEVEL_SEQ compares against an integer"));
+                };
+                if seq_term.replace(lhs).is_some() {
+                    return Err(DsmsError::plan("one SEQ term per query"));
+                }
+                level_cmp = Some((*op, *n));
+            }
+            other => rest.push(other),
+        }
+    }
+    let Some(AstExpr::Seq {
+        kind,
+        args,
+        window,
+        mode,
+    }) = seq_term
+    else {
+        return Err(DsmsError::plan("SEQ term must be a top-level conjunct"));
+    };
+
+    // FROM bindings: each SEQ argument names a distinct FROM item; the
+    // detector's port i = FROM position i.
+    let mut rels = Vec::new();
+    for f in &sel.from {
+        rels.push((f.binding().to_string(), engine.stream_schema(&f.name)?));
+    }
+    let from_scope = Scope::new(rels.clone());
+    let mut elements = Vec::new();
+    for a in args {
+        let port = from_scope.rel_of(&a.alias).ok_or_else(|| {
+            DsmsError::unknown(format!("SEQ argument `{}` is not in FROM", a.alias))
+        })?;
+        if elements.iter().any(|e: &SeqElementPlan| e.alias == a.alias) {
+            return Err(DsmsError::plan(format!(
+                "SEQ argument `{}` used twice; alias the stream instead",
+                a.alias
+            )));
+        }
+        elements.push(SeqElementPlan {
+            alias: a.alias.clone(),
+            stream: sel.from[port].name.clone(),
+            port,
+            star: a.star,
+            predicates: Vec::new(),
+            max_gap_from_prev: None,
+            star_gap: None,
+        });
+    }
+    if elements.len() != sel.from.len() {
+        return Err(DsmsError::plan(
+            "every FROM item must appear exactly once as a SEQ argument",
+        ));
+    }
+    // Window shape checks up front, so EXPLAIN fails where EXECUTE would.
+    if let Some(w) = window {
+        let anchor_alias = w.anchor.as_ref().ok_or_else(|| {
+            DsmsError::plan("SEQ windows anchor at a sequence argument, not CURRENT")
+        })?;
+        if !elements.iter().any(|e| &e.alias == anchor_alias) {
+            return Err(DsmsError::unknown(format!(
+                "window anchor `{anchor_alias}`"
+            )));
+        }
+        if w.kind == AstWindowKind::PrecedingAndFollowing {
+            return Err(DsmsError::plan(
+                "PRECEDING AND FOLLOWING applies to sub-query windows, not SEQ",
+            ));
+        }
+        if w.dur().is_none() {
+            return Err(DsmsError::plan(
+                "SEQ operator windows are time-based (RANGE), not ROWS",
+            ));
+        }
+    }
+    let pairing = mode.unwrap_or(match kind {
+        SeqKind::Seq => PairingMode::Unrestricted,
+        // Completion levels are defined against the single-run reading.
+        _ => PairingMode::Consecutive,
+    });
+    Ok(LogicalPlan::Seq(SeqPlan {
+        kind: *kind,
+        mode: pairing,
+        elements,
+        window: window.clone(),
+        residual: rest.into_iter().cloned().collect(),
+        partition: None,
+        level_cmp,
+        state_bound: None,
+    }))
+}
+
+// -------------------------------------------------------------- rewriting
+
+/// Run the rewrite pass; returns the rewritten plan and the names of
+/// the rewrites that actually fired, in application order.
+pub fn rewrite_logical(
+    engine: &Engine,
+    sel: &SelectStmt,
+    plan: LogicalPlan,
+) -> Result<(LogicalPlan, Vec<String>)> {
+    let mut applied = Vec::new();
+    let plan = rewrite_node(engine, sel, plan, &mut applied)?;
+    Ok((plan, applied))
+}
+
+fn note(applied: &mut Vec<String>, name: &str) {
+    if !applied.iter().any(|a| a == name) {
+        applied.push(name.to_string());
+    }
+}
+
+fn rewrite_node(
+    engine: &Engine,
+    sel: &SelectStmt,
+    plan: LogicalPlan,
+    applied: &mut Vec<String>,
+) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Seq(mut seq) => {
+            rewrite_seq(engine, &mut seq, applied)?;
+            LogicalPlan::Seq(seq)
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let input = rewrite_node(engine, sel, *input, applied)?;
+            let mut node = LogicalPlan::Project {
+                input: Box::new(input),
+                exprs,
+            };
+            prune_projection(engine, &mut node, applied);
+            node
+        }
+        LogicalPlan::Filter { input, predicates } => match *input {
+            // Per-row predicates commute with windowing: filtering the
+            // arrivals and filtering the window contents keep the same
+            // rows for any row-local predicate.
+            LogicalPlan::Window { input, window } => {
+                note(applied, "predicate-pushdown-below-window");
+                let pushed = LogicalPlan::Window {
+                    input: Box::new(wrap_filter(*input, predicates)),
+                    window,
+                };
+                rewrite_node(engine, sel, pushed, applied)?
+            }
+            // Outer conjuncts only reference the outer stream, so they
+            // sink into the probe side: fewer pending outers retained.
+            LogicalPlan::SemiJoin {
+                outer,
+                inner,
+                negated,
+                predicates: sub,
+            } => {
+                note(applied, "predicate-pushdown-into-outer");
+                let pushed = LogicalPlan::SemiJoin {
+                    outer: Box::new(wrap_filter(*outer, predicates)),
+                    inner,
+                    negated,
+                    predicates: sub,
+                };
+                rewrite_node(engine, sel, pushed, applied)?
+            }
+            // A lookup neither adds nor rewrites rows, so the outer
+            // filter runs before the probe.
+            LogicalPlan::Lookup {
+                input,
+                table,
+                negated,
+                predicates: sub,
+                probe,
+            } => {
+                note(applied, "predicate-pushdown-below-lookup");
+                let pushed = LogicalPlan::Lookup {
+                    input: Box::new(wrap_filter(*input, predicates)),
+                    table,
+                    negated,
+                    predicates: sub,
+                    probe,
+                };
+                rewrite_node(engine, sel, pushed, applied)?
+            }
+            other => LogicalPlan::Filter {
+                input: Box::new(rewrite_node(engine, sel, other, applied)?),
+                predicates,
+            },
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            window,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite_node(engine, sel, *input, applied)?),
+            group_by,
+            aggs,
+            window,
+        },
+        LogicalPlan::SemiJoin {
+            outer,
+            inner,
+            negated,
+            predicates,
+        } => {
+            if let Some(node) =
+                try_dedup_specialization(engine, sel, &outer, &inner, negated, &predicates)?
+            {
+                note(applied, "dedup-specialization");
+                node
+            } else {
+                LogicalPlan::SemiJoin {
+                    outer,
+                    inner,
+                    negated,
+                    predicates,
+                }
+            }
+        }
+        LogicalPlan::Lookup {
+            input,
+            table,
+            negated,
+            predicates,
+            probe,
+        } => {
+            let mut node = LogicalPlan::Lookup {
+                input,
+                table,
+                negated,
+                predicates,
+                probe,
+            };
+            lift_index_probe(engine, sel, &mut node, applied)?;
+            node
+        }
+        leaf => leaf,
+    })
+}
+
+/// Example 1's shape: self-stream `NOT EXISTS`, `PRECEDING` window,
+/// `SELECT *`, no outer filter, and every sub-query conjunct an
+/// `inner.col = outer.col` equality on the same column.
+fn try_dedup_specialization(
+    engine: &Engine,
+    sel: &SelectStmt,
+    outer: &LogicalPlan,
+    inner: &LogicalPlan,
+    negated: bool,
+    predicates: &[AstExpr],
+) -> Result<Option<LogicalPlan>> {
+    if !negated || !matches!(sel.items[..], [SelectItem::Wildcard]) {
+        return Ok(None);
+    }
+    let LogicalPlan::Source {
+        stream: outer_stream,
+        alias: outer_alias,
+        ..
+    } = outer
+    else {
+        return Ok(None); // outer already filtered: not the bare shape
+    };
+    let LogicalPlan::Window { input, window } = inner else {
+        return Ok(None);
+    };
+    let LogicalPlan::Source {
+        stream: inner_stream,
+        alias: inner_alias,
+        ..
+    } = &**input
+    else {
+        return Ok(None);
+    };
+    if outer_stream != inner_stream || window.kind != AstWindowKind::Preceding {
+        return Ok(None);
+    }
+    let Some(dur) = window.dur() else {
+        return Ok(None);
+    };
+    let schema = engine.stream_schema(outer_stream)?;
+    let pair_scope = Scope::new(vec![
+        (outer_alias.clone(), schema.clone()),
+        (inner_alias.clone(), schema.clone()),
+    ])
+    .with_search_order(vec![1, 0]);
+    let Some(keys) = dedup_key(predicates, &pair_scope, &schema)? else {
+        return Ok(None);
+    };
+    Ok(Some(LogicalPlan::Dedup {
+        input: Box::new(outer.clone()),
+        keys,
+        window: dur,
+    }))
+}
+
+/// Detect Example 1's key shape: every sub-query conjunct is
+/// `inner.col = outer.col` for the *same* column; returns the key
+/// columns `(index, name)`.
+fn dedup_key(
+    conjuncts: &[AstExpr],
+    pair_scope: &Scope,
+    schema: &SchemaRef,
+) -> Result<Option<Vec<(usize, String)>>> {
+    if conjuncts.is_empty() {
+        return Ok(None);
+    }
+    let mut keys = Vec::new();
+    for c in conjuncts {
+        let AstExpr::Bin(AstBinOp::Eq, a, b) = c else {
+            return Ok(None);
+        };
+        let (
+            AstExpr::Col {
+                qualifier: qa,
+                name: na,
+            },
+            AstExpr::Col {
+                qualifier: qb,
+                name: nb,
+            },
+        ) = (&**a, &**b)
+        else {
+            return Ok(None);
+        };
+        let (ra, ca) = pair_scope.resolve_column(qa.as_deref(), na)?;
+        let (rb, cb) = pair_scope.resolve_column(qb.as_deref(), nb)?;
+        if ra == rb || ca != cb {
+            return Ok(None);
+        }
+        keys.push((ca, schema.columns[ca].name.clone()));
+    }
+    Ok(Some(keys))
+}
+
+/// Lift a `table.col = outer-expr` equality into an index probe
+/// annotation on the lookup node.
+fn lift_index_probe(
+    engine: &Engine,
+    sel: &SelectStmt,
+    node: &mut LogicalPlan,
+    applied: &mut Vec<String>,
+) -> Result<()> {
+    let LogicalPlan::Lookup {
+        input,
+        table,
+        predicates,
+        probe,
+        ..
+    } = node
+    else {
+        return Ok(());
+    };
+    let LogicalPlan::Source {
+        alias: outer_alias, ..
+    } = strip_filters(input)
+    else {
+        return Ok(());
+    };
+    let outer_schema = engine.stream_schema(&sel.from[0].name)?;
+    let t = engine.table(table)?;
+    // The sub-query's FROM binding: re-derive from the statement (the
+    // IR keeps the table name; the alias lives in the sub-query).
+    let inner_binding = sel
+        .where_clause
+        .as_ref()
+        .map(split_conjuncts)
+        .unwrap_or_default()
+        .iter()
+        .find_map(|c| match c {
+            AstExpr::Exists { subquery, .. } => Some(subquery.from[0].binding().to_string()),
+            _ => None,
+        })
+        .unwrap_or_else(|| table.clone());
+    let scope = Scope::new(vec![
+        (outer_alias.clone(), outer_schema.clone()),
+        (inner_binding, t.schema().clone()),
+    ])
+    .with_search_order(vec![1, 0]);
+    for c in predicates.iter() {
+        if let AstExpr::Bin(AstBinOp::Eq, a, b) = c {
+            for (x, y) in [(a, b), (b, a)] {
+                let mut xr = std::collections::BTreeSet::new();
+                referenced_rels(x, &scope, &mut xr);
+                let mut yr = std::collections::BTreeSet::new();
+                referenced_rels(y, &scope, &mut yr);
+                if xr.iter().eq([&1]) && yr.iter().all(|r| *r == 0) {
+                    if let AstExpr::Col { qualifier, name } = &**x {
+                        if scope.resolve_column(qualifier.as_deref(), name)?.0 == 1 {
+                            *probe = Some((name.clone(), (**y).clone()));
+                            note(applied, "index-probe-lifting");
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn strip_filters(plan: &LogicalPlan) -> &LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, .. } => strip_filters(input),
+        other => other,
+    }
+}
+
+/// Annotate a `Project(Filter*(Source))` chain's source with the columns
+/// the query actually reads, when a strict subset of the schema.
+fn prune_projection(engine: &Engine, node: &mut LogicalPlan, applied: &mut Vec<String>) {
+    let LogicalPlan::Project { input, exprs } = node else {
+        return;
+    };
+    // Collect every filter predicate on the chain down to the source.
+    let mut preds: Vec<&AstExpr> = Vec::new();
+    let mut cur: &LogicalPlan = input;
+    loop {
+        match cur {
+            LogicalPlan::Filter { input, predicates } => {
+                preds.extend(predicates.iter());
+                cur = input;
+            }
+            LogicalPlan::Source { stream, .. } => {
+                let Ok(schema) = engine.stream_schema(stream) else {
+                    return;
+                };
+                let mut used = std::collections::BTreeSet::new();
+                for e in exprs.iter().chain(preds.iter().copied()) {
+                    collect_columns(e, &mut used);
+                }
+                let cols: Vec<String> = schema
+                    .columns
+                    .iter()
+                    .filter(|c| used.contains(&c.name))
+                    .map(|c| c.name.clone())
+                    .collect();
+                if !cols.is_empty() && cols.len() < schema.arity() {
+                    // Re-walk mutably to set the annotation.
+                    let mut m: &mut LogicalPlan = input;
+                    loop {
+                        match m {
+                            LogicalPlan::Filter { input, .. } => m = input,
+                            LogicalPlan::Source { columns, .. } => {
+                                *columns = Some(cols);
+                                note(applied, "projection-pruning");
+                                return;
+                            }
+                            _ => return,
+                        }
+                    }
+                }
+                return;
+            }
+            _ => return,
+        }
+    }
+}
+
+fn collect_columns(e: &AstExpr, out: &mut std::collections::BTreeSet<String>) {
+    match e {
+        AstExpr::Col { name, .. } | AstExpr::PrevCol { name, .. } => {
+            out.insert(name.to_ascii_lowercase());
+        }
+        AstExpr::StarAgg {
+            column: Some(c), ..
+        } => {
+            out.insert(c.to_ascii_lowercase());
+        }
+        AstExpr::Bin(_, a, b) => {
+            collect_columns(a, out);
+            collect_columns(b, out);
+        }
+        AstExpr::Not(i) | AstExpr::IsNull { expr: i, .. } | AstExpr::Like(i, _) => {
+            collect_columns(i, out)
+        }
+        AstExpr::Call { args, .. } => args.iter().for_each(|a| collect_columns(a, out)),
+        AstExpr::Agg { arg, .. } => collect_columns(arg, out),
+        _ => {}
+    }
+}
+
+// ------------------------------------------------------------ SEQ rewrites
+
+type ElemCol = (usize, usize);
+type ElemColPair = (ElemCol, ElemCol);
+
+fn rewrite_seq(engine: &Engine, seq: &mut SeqPlan, applied: &mut Vec<String>) -> Result<()> {
+    let rels: Vec<(String, SchemaRef)> = seq
+        .elements
+        .iter()
+        .map(|e| Ok((e.alias.clone(), engine.stream_schema(&e.stream)?)))
+        .collect::<Result<_>>()?;
+    let elem_scope = Scope::new(rels);
+    let elem_alias: Vec<String> = seq.elements.iter().map(|e| e.alias.clone()).collect();
+
+    let mut residual: Vec<AstExpr> = Vec::new();
+    let mut equalities: Vec<(ElemColPair, AstExpr)> = Vec::new();
+    for c in std::mem::take(&mut seq.residual) {
+        if let Some(pair) = as_equality(&c, &elem_scope) {
+            equalities.push((pair, c));
+            continue;
+        }
+        if fold_gap_constraint(&c, &elem_alias, &mut seq.elements)? {
+            note(applied, "gap-constraint-folding");
+            continue;
+        }
+        // Single-element predicate? Pushed into the element iff it
+        // compiles against that element's scope alone — the same test
+        // the physical lowering applies.
+        let mut rels_used = std::collections::BTreeSet::new();
+        referenced_rels(&c, &elem_scope, &mut rels_used);
+        if rels_used.len() == 1 && !matches!(c, AstExpr::Exists { .. }) {
+            let elem = *rels_used.iter().next().expect("len 1");
+            let single = Scope::new(vec![(
+                elem_alias[elem].clone(),
+                elem_scope.schema(elem).clone(),
+            )]);
+            if compile_scalar(&c, &single, engine.functions()).is_ok() {
+                seq.elements[elem].predicates.push(c);
+                note(applied, "seq-predicate-pushdown");
+                continue;
+            }
+        }
+        residual.push(c);
+    }
+
+    // Partition keys: one equality class covering every element on a
+    // single column each. Unlifted equalities fall back to the residual
+    // filter so nothing is silently dropped.
+    let pairs: Vec<ElemColPair> = equalities.iter().map(|(p, _)| *p).collect();
+    match partition_by_port(&pairs, &seq.elements, &elem_scope) {
+        Some(keys) => {
+            seq.partition = Some(keys);
+            note(applied, "partition-key-lifting");
+        }
+        None => residual.extend(equalities.into_iter().map(|(_, c)| c)),
+    }
+    seq.residual = residual;
+
+    seq.state_bound = Some(state_bound(seq));
+    note(applied, "state-bound-annotation");
+    Ok(())
+}
+
+/// The pairing-mode-aware bound on retained tuple history (§3.1.1).
+fn state_bound(seq: &SeqPlan) -> String {
+    let horizon = || match &seq.window {
+        Some(w) => format!("window {}", fmt_window(w)),
+        None => "unbounded".to_string(),
+    };
+    match seq.mode {
+        PairingMode::Unrestricted => format!("full history, {}", horizon()),
+        PairingMode::Recent => "one chain per element".to_string(),
+        PairingMode::Chronicle => format!("FIFO of unconsumed tuples, {}", horizon()),
+        PairingMode::Consecutive => "single current run".to_string(),
+    }
+}
+
+/// `X.col = Y.col` between two different elements.
+fn as_equality(c: &AstExpr, elem_scope: &Scope) -> Option<ElemColPair> {
+    let AstExpr::Bin(AstBinOp::Eq, a, b) = c else {
+        return None;
+    };
+    let col = |e: &AstExpr| -> Option<ElemCol> {
+        let AstExpr::Col { qualifier, name } = e else {
+            return None;
+        };
+        elem_scope.resolve_column(qualifier.as_deref(), name).ok()
+    };
+    let (x, y) = (col(a)?, col(b)?);
+    if x.0 == y.0 {
+        return None;
+    }
+    Some((x, y))
+}
+
+/// Recognize the two gap-constraint shapes and fold them into the
+/// elements; returns whether the conjunct was consumed.
+fn fold_gap_constraint(
+    c: &AstExpr,
+    elem_alias: &[String],
+    elements: &mut [SeqElementPlan],
+) -> Result<bool> {
+    let AstExpr::Bin(op, lhs, rhs) = c else {
+        return Ok(false);
+    };
+    if !matches!(op, AstBinOp::Le | AstBinOp::Lt) {
+        return Ok(false);
+    }
+    let AstExpr::Dur(d) = &**rhs else {
+        return Ok(false);
+    };
+    let AstExpr::Bin(AstBinOp::Sub, newer, older) = &**lhs else {
+        return Ok(false);
+    };
+    let elem_of = |alias: &str| elem_alias.iter().position(|a| a == alias);
+    // a.t − a.previous.t ≤ d → star gap.
+    if let (
+        AstExpr::Col {
+            qualifier: Some(q), ..
+        },
+        AstExpr::PrevCol { qualifier: pq, .. },
+    ) = (&**newer, &**older)
+    {
+        if q == pq {
+            let elem =
+                elem_of(q).ok_or_else(|| DsmsError::unknown(format!("`{q}` in gap constraint")))?;
+            if !elements[elem].star {
+                return Err(DsmsError::plan(format!(
+                    "`{q}.previous` needs `{q}` to be a star argument"
+                )));
+            }
+            elements[elem].star_gap = Some(*d);
+            return Ok(true);
+        }
+    }
+    // b.t − LAST(a*).t ≤ d or b.t − a.t ≤ d with a immediately before b.
+    let newer_elem = match &**newer {
+        AstExpr::Col {
+            qualifier: Some(q), ..
+        } => elem_of(q),
+        _ => None,
+    };
+    let older_elem = match &**older {
+        AstExpr::StarAgg {
+            kind: StarAggKind::Last,
+            alias,
+            ..
+        } => elem_of(alias),
+        AstExpr::Col {
+            qualifier: Some(q), ..
+        } => elem_of(q),
+        _ => None,
+    };
+    if let (Some(b), Some(a)) = (newer_elem, older_elem) {
+        if a + 1 == b {
+            elements[b].max_gap_from_prev = Some(*d);
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Lift a single equality class covering every element (one column per
+/// element) into per-port partition keys; `None` when no class covers
+/// the whole pattern (the caller keeps the equalities as residuals).
+fn partition_by_port(
+    equalities: &[ElemColPair],
+    elements: &[SeqElementPlan],
+    elem_scope: &Scope,
+) -> Option<Vec<(usize, String)>> {
+    if equalities.is_empty() {
+        return None;
+    }
+    let n = elements.len();
+    // Union-find over (elem, col).
+    let mut groups: Vec<std::collections::BTreeSet<ElemCol>> = Vec::new();
+    for (x, y) in equalities {
+        let gx = groups.iter().position(|g| g.contains(x));
+        let gy = groups.iter().position(|g| g.contains(y));
+        match (gx, gy) {
+            (Some(i), Some(j)) if i != j => {
+                let merged = groups.remove(j.max(i).max(j));
+                let keep = i.min(j);
+                groups[keep].extend(merged);
+            }
+            (Some(i), None) => {
+                groups[i].insert(*y);
+            }
+            (None, Some(j)) => {
+                groups[j].insert(*x);
+            }
+            (None, None) => {
+                groups.push([*x, *y].into_iter().collect());
+            }
+            _ => {}
+        }
+    }
+    for g in &groups {
+        let elems: std::collections::BTreeSet<usize> = g.iter().map(|(e, _)| *e).collect();
+        if elems.len() == n && g.len() == n {
+            // One key per detector port (element -> port).
+            let num_ports = elements.iter().map(|e| e.port).max().unwrap_or(0) + 1;
+            let mut keys: Vec<Option<(usize, String)>> = vec![None; num_ports];
+            for (e, c) in g {
+                let port = elements[*e].port;
+                // First writer wins; two elements on one port share the
+                // key column or the class simply fails the all-ports
+                // check below.
+                if keys[port].is_none() {
+                    let name = elem_scope.schema(*e).columns[*c].name.clone();
+                    keys[port] = Some((*c, name));
+                }
+            }
+            if keys.iter().all(|k| k.is_some()) {
+                return Some(keys.into_iter().map(|k| k.expect("checked")).collect());
+            }
+        }
+    }
+    None
+}

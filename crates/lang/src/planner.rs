@@ -1,28 +1,32 @@
 //! The planner: compiles parsed ESL-EV statements into engine state —
 //! schemas for DDL, operator pipelines + sinks for continuous queries.
 //!
-//! Planning is pattern-directed, mirroring how the paper's examples use
-//! the language:
+//! Continuous `SELECT`s compile in three phases:
 //!
-//! * a `WHERE` containing a `SEQ` / `EXCEPTION_SEQ` / `CLEVEL_SEQ` term
-//!   becomes a [`DetectorOp`]; equality conjuncts spanning all arguments
-//!   are lifted into the detector's partition key, gap conjuncts
-//!   (`b.t − LAST(a*).t ≤ d`, `a.t − a.previous.t ≤ d`) into the
-//!   pattern's timing constraints, per-argument conjuncts into element
-//!   predicates, and anything left into a residual match filter;
-//! * `NOT EXISTS` over a *windowed stream* sub-query becomes a
-//!   [`WindowExists`] (or the dedicated [`Dedup`] when it has Example 1's
-//!   self-stream equality shape);
-//! * `NOT EXISTS` over a *table* sub-query becomes a [`TableExists`]
-//!   (Example 2);
-//! * aggregate select lists become [`WindowAggregate`]s (Example 3);
-//! * everything else is a select/project transducer.
+//! 1. **build** — [`crate::plan::build_logical`] lowers the statement to
+//!    a naive [`LogicalPlan`] that names the query shape (transducer,
+//!    aggregate, windowed/table EXISTS, SEQ detector) but leaves every
+//!    `WHERE` conjunct in place;
+//! 2. **rewrite** — [`crate::plan::rewrite_logical`] runs the named
+//!    rewrite pass (predicate pushdown, SEQ conjunct classification,
+//!    partition-key lifting, dedup specialization, index-probe lifting,
+//!    projection pruning, state-bound annotation);
+//! 3. **lower** — this module turns the *rewritten* tree into physical
+//!    operators: a `SEQ` node becomes a [`DetectorOp`] whose element
+//!    predicates / timing gaps / partition keys come straight off the
+//!    IR, a `Dedup` node the dedicated [`Dedup`] operator (Example 1),
+//!    `SemiJoin` a [`WindowExists`], `Lookup` a [`TableExists`]
+//!    (Example 2), `Aggregate` a [`WindowAggregate`] (Example 3), and
+//!    everything else a select/project transducer chain.
+//!
+//! `EXPLAIN` renders phases 1 and 2 (plus the physical summary), so what
+//! it prints is exactly what runs.
 
 use crate::ast::*;
-use crate::scope::{compile_scalar, referenced_rels, Scope};
+use crate::plan::{build_logical, is_aggregate_item, rewrite_logical, LogicalPlan, SeqPlan};
+use crate::scope::{compile_scalar, Scope};
 use eslev_core::binding::DetectorOutput;
 use eslev_core::detector::{Detector, DetectorConfig};
-use eslev_core::mode::PairingMode;
 use eslev_core::op::DetectorOp;
 use eslev_core::pattern::{Element, EventWindow, SeqPattern, WindowKind};
 use eslev_dsms::engine::{Collector, Engine, QueryId, Sink};
@@ -77,9 +81,10 @@ pub fn execute(engine: &mut Engine, sql: &str) -> Result<ExecOutcome> {
     apply(engine, &stmt)
 }
 
-/// Plan a statement without registering it and describe the physical
-/// plan — which operators the planner chose and which streams feed them.
-/// DDL statements describe the schema they would create.
+/// Plan a statement without registering it and describe the plan: the
+/// naive logical tree, the rewrites that fired, the rewritten tree, and
+/// the physical summary (operator + feeding streams). DDL statements
+/// describe the schema they would create.
 pub fn explain(engine: &Engine, sql: &str) -> Result<String> {
     let stmt = crate::parser::parse_statement(sql)?;
     Ok(match &stmt {
@@ -90,28 +95,35 @@ pub fn explain(engine: &Engine, sql: &str) -> Result<String> {
             format!("CREATE TABLE {name} ({} columns)", columns.len())
         }
         Statement::InsertInto { target, select } => {
-            let plan = plan_select(engine, select)?;
-            format!(
-                "{} <- [{}] {} -> INSERT INTO {target}",
-                plan.name,
-                plan.sources.join(", "),
-                plan.op.name(),
-            )
+            explain_select(engine, select, &format!("INSERT INTO {target}"))?
         }
-        Statement::Select(select) => {
-            let plan = plan_select(engine, select)?;
-            format!(
-                "{} <- [{}] {} -> collect",
-                plan.name,
-                plan.sources.join(", "),
-                plan.op.name(),
-            )
-        }
+        Statement::Select(select) => explain_select(engine, select, "collect")?,
         Statement::Update { table, sets, .. } => {
             format!("UPDATE {table} ({} assignments)", sets.len())
         }
         Statement::Delete { table, .. } => format!("DELETE FROM {table}"),
     })
+}
+
+fn explain_select(engine: &Engine, sel: &SelectStmt, sink: &str) -> Result<String> {
+    let (naive, optimized, applied) = plan_logical(engine, sel)?;
+    let plan = lower(engine, sel, optimized.clone())?;
+    let mut s = String::from("logical:\n");
+    s.push_str(&naive.render());
+    if applied.is_empty() {
+        s.push_str("rewrites: (none)\n");
+    } else {
+        s.push_str(&format!("rewrites: {}\n", applied.join(", ")));
+        s.push_str("optimized:\n");
+        s.push_str(&optimized.render());
+    }
+    s.push_str(&format!(
+        "physical: {} <- [{}] {} -> {sink}",
+        plan.name,
+        plan.sources.join(", "),
+        plan.op.name(),
+    ));
+    Ok(s)
 }
 
 fn apply(engine: &mut Engine, stmt: &Statement) -> Result<ExecOutcome> {
@@ -197,7 +209,11 @@ struct Plan {
     op: Box<dyn Operator>,
 }
 
-fn plan_select(engine: &Engine, sel: &SelectStmt) -> Result<Plan> {
+/// Phases 1+2: naive logical plan, rewritten plan, applied rewrites.
+fn plan_logical(
+    engine: &Engine,
+    sel: &SelectStmt,
+) -> Result<(LogicalPlan, LogicalPlan, Vec<String>)> {
     if sel.from.is_empty() {
         return Err(DsmsError::plan("FROM clause is required"));
     }
@@ -206,65 +222,110 @@ fn plan_select(engine: &Engine, sel: &SelectStmt) -> Result<Plan> {
             "ORDER BY / LIMIT apply to ad-hoc snapshot queries (eslev_lang::ad_hoc),              not continuous ones — a stream has no final order",
         ));
     }
-    let conjuncts: Vec<&AstExpr> = sel
-        .where_clause
-        .as_ref()
-        .map(split_conjuncts)
-        .unwrap_or_default();
+    let naive = build_logical(engine, sel)?;
+    let (optimized, applied) = rewrite_logical(engine, sel, naive.clone())?;
+    Ok((naive, optimized, applied))
+}
 
-    // SEQ-family term anywhere in the conjuncts?
-    if conjuncts.iter().any(|c| contains_seq(c)) {
-        return plan_seq(engine, sel, &conjuncts);
-    }
-    // EXISTS sub-query?
-    if let Some(pos) = conjuncts
-        .iter()
-        .position(|c| matches!(c, AstExpr::Exists { .. }))
-    {
-        let AstExpr::Exists { negated, subquery } = conjuncts[pos] else {
-            unreachable!()
-        };
-        let rest: Vec<&AstExpr> = conjuncts
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != pos)
-            .map(|(_, c)| *c)
-            .collect();
-        let inner = &subquery.from[0];
-        if engine.table(&inner.name).is_ok() {
-            return plan_table_exists(engine, sel, *negated, subquery, &rest);
+fn plan_select(engine: &Engine, sel: &SelectStmt) -> Result<Plan> {
+    let (_, optimized, _) = plan_logical(engine, sel)?;
+    lower(engine, sel, optimized)
+}
+
+/// Phase 3: lower the rewritten logical plan to physical operators.
+fn lower(engine: &Engine, sel: &SelectStmt, plan: LogicalPlan) -> Result<Plan> {
+    // Peel the projection/filter shell: projections compile from the
+    // select list (aliases and all), shell filters become the shape's
+    // outer conjuncts.
+    let mut outer: Vec<AstExpr> = Vec::new();
+    let mut shell = plan;
+    let core = loop {
+        match shell {
+            LogicalPlan::Project { input, .. } => shell = *input,
+            LogicalPlan::Filter { input, predicates } => {
+                outer.extend(predicates);
+                shell = *input;
+            }
+            other => break other,
         }
-        return plan_window_exists(engine, sel, *negated, subquery, &rest);
-    }
-    // Aggregation?
-    if sel.items.iter().any(|i| is_aggregate_item(engine, i)) {
-        return plan_aggregate(engine, sel, &conjuncts);
-    }
-    plan_transducer(engine, sel, &conjuncts)
-}
-
-fn contains_seq(e: &AstExpr) -> bool {
-    match e {
-        AstExpr::Seq { .. } => true,
-        AstExpr::Bin(_, a, b) => contains_seq(a) || contains_seq(b),
-        AstExpr::Not(i) => contains_seq(i),
-        _ => false,
-    }
-}
-
-fn is_aggregate_item(engine: &Engine, item: &SelectItem) -> bool {
-    match item {
-        SelectItem::Expr {
-            expr: AstExpr::Call { name, args },
+    };
+    match core {
+        LogicalPlan::Seq(seq) => lower_seq(engine, sel, &seq),
+        LogicalPlan::Dedup { keys, window, .. } => {
+            let stream = sel.from[0].name.clone();
+            let key: Vec<Expr> = keys.iter().map(|(c, _)| Expr::col(*c)).collect();
+            Ok(Plan {
+                name: format!("dedup:{stream}"),
+                sources: vec![stream],
+                op: Box::new(Dedup::new(key, window)),
+            })
+        }
+        LogicalPlan::SemiJoin {
+            outer: outer_branch,
+            negated,
             ..
         } => {
-            // A name registered as an aggregate and not shadowed by a UDF.
-            engine.aggregates().get(name).is_some()
-                && engine.functions().get(name).is_none()
-                && args.len() == 1
+            let (_, sub) = exists_parts(sel)
+                .ok_or_else(|| DsmsError::plan("EXISTS sub-query missing from statement"))?;
+            // Pushdown moved the outer conjuncts into the probe branch.
+            let mut outer_preds: Vec<&AstExpr> = Vec::new();
+            collect_filters(&outer_branch, &mut outer_preds);
+            outer_preds.extend(outer.iter());
+            plan_window_exists(engine, sel, negated, sub, &outer_preds)
         }
-        _ => false,
+        LogicalPlan::Lookup {
+            input,
+            negated,
+            probe,
+            ..
+        } => {
+            let (_, sub) = exists_parts(sel)
+                .ok_or_else(|| DsmsError::plan("EXISTS sub-query missing from statement"))?;
+            let mut outer_preds: Vec<&AstExpr> = Vec::new();
+            collect_filters(&input, &mut outer_preds);
+            outer_preds.extend(outer.iter());
+            plan_table_exists(engine, sel, negated, sub, &outer_preds, probe)
+        }
+        LogicalPlan::Aggregate { input, .. } => {
+            let mut preds: Vec<&AstExpr> = Vec::new();
+            collect_filters(&input, &mut preds);
+            preds.extend(outer.iter());
+            plan_aggregate(engine, sel, &preds)
+        }
+        LogicalPlan::Source { .. } | LogicalPlan::Window { .. } => {
+            let refs: Vec<&AstExpr> = outer.iter().collect();
+            plan_transducer(engine, sel, &refs)
+        }
+        LogicalPlan::Filter { .. } | LogicalPlan::Project { .. } => {
+            unreachable!("shell peeling consumed filters and projections")
+        }
     }
+}
+
+/// Gather the predicates of every `Filter` on the chain below `plan`,
+/// walking through windows, in top-down order.
+fn collect_filters<'a>(plan: &'a LogicalPlan, out: &mut Vec<&'a AstExpr>) {
+    match plan {
+        LogicalPlan::Filter { input, predicates } => {
+            out.extend(predicates.iter());
+            collect_filters(input, out);
+        }
+        LogicalPlan::Window { input, .. } => collect_filters(input, out),
+        _ => {}
+    }
+}
+
+/// The statement's `[NOT] EXISTS` conjunct, when present.
+fn exists_parts(sel: &SelectStmt) -> Option<(bool, &SelectStmt)> {
+    sel.where_clause
+        .as_ref()
+        .map(split_conjuncts)
+        .unwrap_or_default()
+        .into_iter()
+        .find_map(|c| match c {
+            AstExpr::Exists { negated, subquery } => Some((*negated, &**subquery)),
+            _ => None,
+        })
 }
 
 fn stream_schema_for(engine: &Engine, item: &FromItem) -> Result<SchemaRef> {
@@ -397,6 +458,7 @@ fn plan_table_exists(
     negated: bool,
     sub: &SelectStmt,
     outer_conjuncts: &[&AstExpr],
+    probe: Option<(String, AstExpr)>,
 ) -> Result<Plan> {
     if sel.from.len() != 1 || sub.from.len() != 1 {
         return Err(DsmsError::plan(
@@ -434,29 +496,14 @@ fn plan_table_exists(
     } else {
         compile_conjunction(&sub_conjuncts, &scope, engine)?
     };
-    // Index probe: an equality `table.col = outer-expr` conjunct.
-    let mut probe = None;
-    for c in &sub_conjuncts {
-        if let AstExpr::Bin(AstBinOp::Eq, a, b) = c {
-            for (x, y) in [(a, b), (b, a)] {
-                let mut xr = std::collections::BTreeSet::new();
-                referenced_rels(x, &scope, &mut xr);
-                let mut yr = std::collections::BTreeSet::new();
-                referenced_rels(y, &scope, &mut yr);
-                if xr.iter().eq([&1]) && yr.iter().all(|r| *r == 0) {
-                    if let AstExpr::Col { qualifier, name } = &**x {
-                        if scope.resolve_column(qualifier.as_deref(), name)?.0 == 1 {
-                            let key = compile_scalar(y, &outer_scope, engine.functions())?;
-                            probe = Some((name.clone(), key));
-                        }
-                    }
-                }
-            }
-        }
-        if probe.is_some() {
-            break;
-        }
-    }
+    // Index probe: lifted by the rewriter (`table.col = outer-expr`).
+    let probe = match probe {
+        None => None,
+        Some((col, key_ast)) => Some((
+            col,
+            compile_scalar(&key_ast, &outer_scope, engine.functions())?,
+        )),
+    };
     stages.push(Box::new(TableExists::new(table, pred, negated, probe)?));
     if !matches!(sel.items[..], [SelectItem::Wildcard]) {
         let exprs = sel
@@ -541,25 +588,9 @@ fn plan_window_exists(
         .map(split_conjuncts)
         .unwrap_or_default();
 
-    // Example 1 specialization: same stream, NOT EXISTS, PRECEDING
-    // CURRENT, equality conjuncts, SELECT * → the dedicated Dedup
-    // operator (O(1) state per key instead of pending-outer probing).
-    if negated
-        && outer_item.name == inner_item.name
-        && window.kind == AstWindowKind::Preceding
-        && matches!(sel.items[..], [SelectItem::Wildcard])
-        && outer_conjuncts.is_empty()
-    {
-        if let (Some(key), Some(dur)) = (dedup_key(&sub_conjuncts, &pair_scope)?, window.dur()) {
-            let dedup = Dedup::new(key, dur);
-            return Ok(Plan {
-                name: format!("dedup:{}", outer_item.name),
-                sources: vec![outer_item.name.clone()],
-                op: Box::new(dedup),
-            });
-        }
-    }
-
+    // (Example 1's dedup specialization is a *rewrite* now: the IR pass
+    // replaces the whole SemiJoin tree with a Dedup node, so this
+    // lowering only sees genuine semi-joins.)
     let pred = if sub_conjuncts.is_empty() {
         Expr::lit(true)
     } else {
@@ -600,41 +631,6 @@ fn plan_window_exists(
         sources: vec![outer_item.name.clone(), inner_item.name.clone()],
         op,
     })
-}
-
-/// Detect Example 1's key shape: every sub-query conjunct is
-/// `inner.col = outer.col` for the *same* column; returns the key
-/// expressions over the (single) stream.
-fn dedup_key(conjuncts: &[&AstExpr], pair_scope: &Scope) -> Result<Option<Vec<Expr>>> {
-    if conjuncts.is_empty() {
-        return Ok(None);
-    }
-    let mut keys = Vec::new();
-    for c in conjuncts {
-        let AstExpr::Bin(AstBinOp::Eq, a, b) = c else {
-            return Ok(None);
-        };
-        let (
-            AstExpr::Col {
-                qualifier: qa,
-                name: na,
-            },
-            AstExpr::Col {
-                qualifier: qb,
-                name: nb,
-            },
-        ) = (&**a, &**b)
-        else {
-            return Ok(None);
-        };
-        let (ra, ca) = pair_scope.resolve_column(qa.as_deref(), na)?;
-        let (rb, cb) = pair_scope.resolve_column(qb.as_deref(), nb)?;
-        if ra == rb || ca != cb {
-            return Ok(None);
-        }
-        keys.push(Expr::col(ca));
-    }
-    Ok(Some(keys))
 }
 
 /// A two-input head operator followed by a single-input chain; needed
@@ -705,93 +701,38 @@ enum ProjItem {
     PerStar { elem: usize, col: usize },
 }
 
-fn plan_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result<Plan> {
-    // Locate the SEQ term (possibly inside a CLEVEL comparison).
-    let mut seq_term: Option<&AstExpr> = None;
-    let mut level_cmp: Option<(AstBinOp, i64)> = None;
-    let mut rest: Vec<&AstExpr> = Vec::new();
-    for c in conjuncts {
-        match c {
-            AstExpr::Seq { .. } => {
-                if seq_term.replace(c).is_some() {
-                    return Err(DsmsError::plan("one SEQ term per query"));
-                }
-            }
-            AstExpr::Bin(op, lhs, rhs)
-                if matches!(
-                    &**lhs,
-                    AstExpr::Seq {
-                        kind: SeqKind::ClevelSeq,
-                        ..
-                    }
-                ) =>
-            {
-                let AstExpr::Lit(Value::Int(n)) = &**rhs else {
-                    return Err(DsmsError::plan("CLEVEL_SEQ compares against an integer"));
-                };
-                if seq_term.replace(lhs).is_some() {
-                    return Err(DsmsError::plan("one SEQ term per query"));
-                }
-                level_cmp = Some((*op, *n));
-            }
-            other => rest.push(other),
-        }
-    }
-    let Some(AstExpr::Seq {
-        kind,
-        args,
-        window,
-        mode,
-    }) = seq_term
-    else {
-        return Err(DsmsError::plan("SEQ term must be a top-level conjunct"));
-    };
-
-    // FROM bindings: each SEQ argument names a distinct FROM item; the
-    // detector's port i = FROM position i.
-    let mut rels = Vec::new();
-    for f in &sel.from {
-        rels.push((f.binding().to_string(), stream_schema_for(engine, f)?));
-    }
-    let from_scope = Scope::new(rels.clone());
-    let mut elements = Vec::new();
-    let mut elem_alias: Vec<String> = Vec::new();
-    for a in args {
-        let port = from_scope.rel_of(&a.alias).ok_or_else(|| {
-            DsmsError::unknown(format!("SEQ argument `{}` is not in FROM", a.alias))
-        })?;
-        if elem_alias.contains(&a.alias) {
-            return Err(DsmsError::plan(format!(
-                "SEQ argument `{}` used twice; alias the stream instead",
-                a.alias
-            )));
-        }
-        elements.push(if a.star {
-            Element::star(port)
-        } else {
-            Element::new(port)
-        });
-        elem_alias.push(a.alias.clone());
-    }
-    if elem_alias.len() != sel.from.len() {
-        return Err(DsmsError::plan(
-            "every FROM item must appear exactly once as a SEQ argument",
-        ));
-    }
-    // Element-ordered scope for residuals/projections: rel i = element i.
-    let elem_scope = Scope::new(
-        elem_alias
-            .iter()
-            .map(|a| {
-                let port = from_scope.rel_of(a).expect("validated above");
-                (a.clone(), rels[port].1.clone())
-            })
-            .collect(),
-    );
+fn lower_seq(engine: &Engine, sel: &SelectStmt, seq: &SeqPlan) -> Result<Plan> {
+    // Element-ordered scope: rel i = element i (aliases in SEQ order).
+    let rels: Vec<(String, SchemaRef)> = seq
+        .elements
+        .iter()
+        .map(|e| Ok((e.alias.clone(), engine.stream_schema(&e.stream)?)))
+        .collect::<Result<_>>()?;
+    let elem_scope = Scope::new(rels);
+    let elem_alias: Vec<String> = seq.elements.iter().map(|e| e.alias.clone()).collect();
     let elem_of = |alias: &str| elem_alias.iter().position(|a| a == alias);
 
-    // Event window.
-    let ev_window = match window {
+    // Elements carry the rewriter's classification: pushed-down
+    // predicates and folded timing gaps.
+    let mut elements = Vec::with_capacity(seq.elements.len());
+    for (i, e) in seq.elements.iter().enumerate() {
+        let mut el = if e.star {
+            Element::star(e.port)
+        } else {
+            Element::new(e.port)
+        };
+        el.max_gap_from_prev = e.max_gap_from_prev;
+        el.star_gap = e.star_gap;
+        if !e.predicates.is_empty() {
+            let single = Scope::new(vec![(e.alias.clone(), elem_scope.schema(i).clone())]);
+            let refs: Vec<&AstExpr> = e.predicates.iter().collect();
+            el.predicate = Some(compile_conjunction(&refs, &single, engine)?);
+        }
+        elements.push(el);
+    }
+
+    // Event window (shape validated at build; re-derived here).
+    let ev_window = match &seq.window {
         None => None,
         Some(w) => {
             let anchor_alias = w.anchor.as_ref().ok_or_else(|| {
@@ -815,55 +756,17 @@ fn plan_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result
         }
     };
 
-    // Classify the remaining conjuncts.
-    type ElemCol = (usize, usize);
-    let mut equalities: Vec<((ElemCol, ElemCol), &AstExpr)> = Vec::new();
-    let mut residual: Vec<&AstExpr> = Vec::new();
-    for c in rest {
-        if let Some(pair) = as_equality(c, &elem_scope) {
-            equalities.push((pair, c));
-            continue;
-        }
-        if apply_gap_constraint(c, &elem_scope, &elem_alias, &mut elements)? {
-            continue;
-        }
-        // Single-element predicate?
-        let mut rels_used = std::collections::BTreeSet::new();
-        referenced_rels(c, &elem_scope, &mut rels_used);
-        if rels_used.len() == 1 && !matches!(c, AstExpr::Exists { .. }) {
-            let elem = *rels_used.iter().next().expect("len 1");
-            let single = Scope::new(vec![(
-                elem_alias[elem].clone(),
-                elem_scope.schema(elem).clone(),
-            )]);
-            if let Ok(p) = compile_scalar(c, &single, engine.functions()) {
-                let existing = elements[elem].predicate.take();
-                elements[elem].predicate = Some(match existing {
-                    None => p,
-                    Some(prev) => Expr::and(prev, p),
-                });
-                continue;
-            }
-        }
-        residual.push(c);
-    }
-
-    // Partition keys: one equality class covering every element on a
-    // single column each. Unlifted equalities fall back to the residual
-    // filter so nothing is silently dropped.
-    let pairs: Vec<ElemColPair> = equalities.iter().map(|(p, _)| *p).collect();
-    let partition = partition_by_port(&pairs, &elements);
-    if partition.is_none() {
-        residual.extend(equalities.iter().map(|(_, c)| *c));
-    }
-    let residual_filter = if residual.is_empty() {
+    // Residual match filter over the last-tuple row (everything the
+    // rewriter could not classify into elements/partition/gaps).
+    let residual_filter = if seq.residual.is_empty() {
         None
     } else {
         // Residuals evaluate over the last-tuple row; rewrite LAST(a*).c
         // to a plain column first.
-        let rewritten: Vec<AstExpr> = residual
+        let rewritten: Vec<AstExpr> = seq
+            .residual
             .iter()
-            .map(|c| rewrite_last_to_col(c))
+            .map(rewrite_last_to_col)
             .collect::<Result<Vec<_>>>()?;
         let refs: Vec<&AstExpr> = rewritten.iter().collect();
         let expr = compile_conjunction(&refs, &elem_scope, engine)?;
@@ -873,12 +776,7 @@ fn plan_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result
         )
     };
 
-    let pairing = mode.unwrap_or(match kind {
-        SeqKind::Seq => PairingMode::Unrestricted,
-        // Completion levels are defined against the single-run reading.
-        _ => PairingMode::Consecutive,
-    });
-    let pattern = SeqPattern::new(elements, ev_window, pairing)?;
+    let pattern = SeqPattern::new(elements, ev_window, seq.mode)?;
     let n = pattern.len();
     let star_count = pattern.star_count();
 
@@ -934,18 +832,20 @@ fn plan_seq(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result
         }
     }
 
-    let mut config = match kind {
+    let mut config = match seq.kind {
         SeqKind::Seq => DetectorConfig::seq(pattern),
         SeqKind::ExceptionSeq | SeqKind::ClevelSeq => DetectorConfig::exception(pattern),
     };
-    if let Some(keys) = partition {
-        config = config.with_partition(keys);
+    if let Some(keys) = &seq.partition {
+        let key_exprs: Vec<Expr> = keys.iter().map(|(c, _)| Expr::col(*c)).collect();
+        config = config.with_partition(key_exprs);
     }
     if let Some(f) = residual_filter {
         config = config.with_filter(f);
     }
     let detector = Detector::new(config)?;
-    let stmt_kind = *kind;
+    let stmt_kind = seq.kind;
+    let level_cmp = seq.level_cmp;
     let project: eslev_core::op::OutputProjection = Box::new(move |o: &DetectorOutput| {
         let rows = match (o, stmt_kind) {
             // SEQ emits completed matches only (exceptions never reach
@@ -1050,150 +950,6 @@ fn resolve_seq_col(
     elem_scope.resolve_column(qualifier, name)
 }
 
-/// `X.col = Y.col` between two different elements.
-fn as_equality(c: &AstExpr, elem_scope: &Scope) -> Option<((usize, usize), (usize, usize))> {
-    let AstExpr::Bin(AstBinOp::Eq, a, b) = c else {
-        return None;
-    };
-    let col = |e: &AstExpr| -> Option<(usize, usize)> {
-        let AstExpr::Col { qualifier, name } = e else {
-            return None;
-        };
-        elem_scope.resolve_column(qualifier.as_deref(), name).ok()
-    };
-    let (x, y) = (col(a)?, col(b)?);
-    if x.0 == y.0 {
-        return None;
-    }
-    Some((x, y))
-}
-
-/// Recognize the two gap-constraint shapes and fold them into the
-/// elements; returns whether the conjunct was consumed.
-fn apply_gap_constraint(
-    c: &AstExpr,
-    elem_scope: &Scope,
-    elem_alias: &[String],
-    elements: &mut [Element],
-) -> Result<bool> {
-    let AstExpr::Bin(op, lhs, rhs) = c else {
-        return Ok(false);
-    };
-    if !matches!(op, AstBinOp::Le | AstBinOp::Lt) {
-        return Ok(false);
-    }
-    let AstExpr::Dur(d) = &**rhs else {
-        return Ok(false);
-    };
-    let AstExpr::Bin(AstBinOp::Sub, newer, older) = &**lhs else {
-        return Ok(false);
-    };
-    let elem_of = |alias: &str| elem_alias.iter().position(|a| a == alias);
-    // b.t − a.previous.t is nonsense; a.t − a.previous.t ≤ d → star gap.
-    if let (
-        AstExpr::Col {
-            qualifier: Some(q), ..
-        },
-        AstExpr::PrevCol { qualifier: pq, .. },
-    ) = (&**newer, &**older)
-    {
-        if q == pq {
-            let elem =
-                elem_of(q).ok_or_else(|| DsmsError::unknown(format!("`{q}` in gap constraint")))?;
-            if !elements[elem].star {
-                return Err(DsmsError::plan(format!(
-                    "`{q}.previous` needs `{q}` to be a star argument"
-                )));
-            }
-            elements[elem].star_gap = Some(*d);
-            return Ok(true);
-        }
-    }
-    // b.t − LAST(a*).t ≤ d or b.t − a.t ≤ d with a immediately before b.
-    let newer_elem = match &**newer {
-        AstExpr::Col {
-            qualifier: Some(q), ..
-        } => elem_of(q),
-        _ => None,
-    };
-    let older_elem = match &**older {
-        AstExpr::StarAgg {
-            kind: StarAggKind::Last,
-            alias,
-            ..
-        } => elem_of(alias),
-        AstExpr::Col {
-            qualifier: Some(q), ..
-        } => elem_of(q),
-        _ => None,
-    };
-    if let (Some(b), Some(a)) = (newer_elem, older_elem) {
-        if a + 1 == b {
-            // Sanity: the subtraction should be over timestamp columns.
-            let _ = elem_scope; // columns validated at residual compile otherwise
-            elements[b].max_gap_from_prev = Some(*d);
-            return Ok(true);
-        }
-    }
-    Ok(false)
-}
-
-/// Lift a single equality class covering every element (one column per
-/// element) into per-port partition keys; `None` when no class covers
-/// the whole pattern (the caller keeps the equalities as residuals).
-type ElemColPair = ((usize, usize), (usize, usize));
-
-fn partition_by_port(equalities: &[ElemColPair], elements: &[Element]) -> Option<Vec<Expr>> {
-    if equalities.is_empty() {
-        return None;
-    }
-    let n = elements.len();
-    // Union-find over (elem, col).
-    let mut groups: Vec<std::collections::BTreeSet<(usize, usize)>> = Vec::new();
-    for (x, y) in equalities {
-        let gx = groups.iter().position(|g| g.contains(x));
-        let gy = groups.iter().position(|g| g.contains(y));
-        match (gx, gy) {
-            (Some(i), Some(j)) if i != j => {
-                let merged = groups.remove(j.max(i).max(j));
-                let keep = i.min(j);
-                groups[keep].extend(merged);
-            }
-            (Some(i), None) => {
-                groups[i].insert(*y);
-            }
-            (None, Some(j)) => {
-                groups[j].insert(*x);
-            }
-            (None, None) => {
-                groups.push([*x, *y].into_iter().collect());
-            }
-            _ => {}
-        }
-    }
-    for g in &groups {
-        let elems: std::collections::BTreeSet<usize> = g.iter().map(|(e, _)| *e).collect();
-        if elems.len() == n && g.len() == n {
-            // One key per detector port (element -> port).
-            let num_ports = elements.iter().map(|e| e.port).max().unwrap_or(0) + 1;
-            let mut keys: Vec<Option<Expr>> = vec![None; num_ports];
-            for (e, c) in g {
-                let port = elements[*e].port;
-                // First writer wins; two elements on one port share the
-                // key column or the class simply fails the all-ports
-                // check below.
-                if keys[port].is_none() {
-                    keys[port] = Some(Expr::col(*c));
-                }
-            }
-            if keys.iter().all(|k| k.is_some()) {
-                return Some(keys.into_iter().map(|k| k.expect("checked")).collect());
-            }
-        }
-    }
-    None
-}
-
 /// Rewrite `LAST(a*).col` to `a.col` (the last-tuple row convention used
 /// by residual filters); rejects FIRST/COUNT, which have no row-level
 /// equivalent.
@@ -1232,4 +988,125 @@ fn rewrite_last_to_col(c: &AstExpr) -> Result<AstExpr> {
         },
         other => other.clone(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eslev_dsms::time::Timestamp;
+
+    /// Deterministic LCG so the property test needs no external crates.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn setup() -> Engine {
+        let mut e = Engine::new();
+        execute_script(
+            &mut e,
+            "CREATE STREAM sa (tagid VARCHAR, val INT, t TIMESTAMP);
+             CREATE STREAM sb (tagid VARCHAR, val INT, t TIMESTAMP)",
+        )
+        .unwrap();
+        e
+    }
+
+    /// The rewrite pass is an *optimization*: for UNRESTRICTED pairing
+    /// (no tuple consumption), classifying conjuncts into element
+    /// predicates / partition keys must not change which matches a SEQ
+    /// query emits. Lower the naive plan (everything residual) and the
+    /// rewritten plan (classified) side by side on randomized predicates
+    /// and identical data, and require byte-identical output.
+    #[test]
+    fn rewrites_preserve_semantics_on_random_predicates() {
+        let mut rng = Lcg(0x5eed_cafe);
+        for trial in 0..25 {
+            let mut preds: Vec<String> = Vec::new();
+            if rng.below(3) > 0 {
+                preds.push("a.tagid = b.tagid".to_string());
+            }
+            for alias in ["a", "b"] {
+                match rng.below(4) {
+                    0 => preds.push(format!("{alias}.val < {}", rng.below(40))),
+                    1 => preds.push(format!("{alias}.val >= {}", rng.below(40))),
+                    2 => preds.push(format!("{alias}.val = {}", rng.below(6))),
+                    _ => {}
+                }
+            }
+            let mut sql = String::from(
+                "SELECT a.tagid, b.val FROM sa AS a, sb AS b \
+                 WHERE SEQ(a, b) MODE UNRESTRICTED",
+            );
+            for p in &preds {
+                sql.push_str(" AND ");
+                sql.push_str(p);
+            }
+
+            // Engine 1: the naive logical plan lowered with no rewrites —
+            // every conjunct lands in the detector's residual filter.
+            let mut e1 = setup();
+            let stmt = crate::parser::parse_statement(&sql).unwrap();
+            let Statement::Select(sel) = &stmt else {
+                unreachable!()
+            };
+            let naive = build_logical(&e1, sel).unwrap();
+            let plan = lower(&e1, sel, naive).unwrap();
+            let sources: Vec<&str> = plan.sources.iter().map(|s| s.as_str()).collect();
+            let (_, c1) = e1.register_collected(plan.name, sources, plan.op).unwrap();
+
+            // Engine 2: the full build → rewrite → lower pipeline.
+            let mut e2 = setup();
+            let ExecOutcome::Collected(_, c2) = execute(&mut e2, &sql).unwrap() else {
+                unreachable!()
+            };
+
+            let rows: Vec<(&str, String, i64, u64)> = (0..120)
+                .map(|i| {
+                    let stream = if rng.below(2) == 0 { "sa" } else { "sb" };
+                    let tag = format!("tag{}", rng.below(5));
+                    (stream, tag, rng.below(40) as i64, i)
+                })
+                .collect();
+            for (stream, tag, val, i) in &rows {
+                for e in [&mut e1, &mut e2] {
+                    e.push(
+                        stream,
+                        vec![
+                            Value::str(tag.as_str()),
+                            Value::Int(*val),
+                            Value::Ts(Timestamp::from_secs(*i)),
+                        ],
+                    )
+                    .unwrap();
+                }
+            }
+            let out1: Vec<_> = c1
+                .take()
+                .iter()
+                .map(|t| (t.values().to_vec(), t.ts()))
+                .collect();
+            let out2: Vec<_> = c2
+                .take()
+                .iter()
+                .map(|t| (t.values().to_vec(), t.ts()))
+                .collect();
+            assert_eq!(out1, out2, "trial {trial} diverged for `{sql}`");
+            assert!(
+                trial > 3 || !out1.is_empty() || preds.iter().any(|p| p.contains("= ")),
+                "sanity: early trials should usually produce output"
+            );
+        }
+    }
 }

@@ -1,0 +1,120 @@
+//! Logical-plan IR tests: EXPLAIN rendering, rewrite application, and
+//! shape-specific lowering decisions surfaced through the plan text.
+
+use eslev_dsms::engine::Engine;
+use eslev_lang::{execute_script, explain};
+
+fn setup() -> Engine {
+    let mut e = Engine::new();
+    execute_script(
+        &mut e,
+        "CREATE STREAM shelf (tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM checkout (tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE STREAM exits (tagid VARCHAR, tagtime TIMESTAMP);
+         CREATE TABLE paid (tagid VARCHAR)",
+    )
+    .unwrap();
+    e
+}
+
+#[test]
+fn seq_explain_shows_classification_rewrites() {
+    let e = setup();
+    // E6-style shoplifting query: per-tag partition equalities plus a
+    // gap constraint and a single-element predicate.
+    let out = explain(
+        &e,
+        "SELECT s.tagid, x.tagtime FROM shelf AS s, checkout AS c, exits AS x
+         WHERE SEQ(s, c, x) MODE RECENT
+           AND s.tagid = c.tagid AND c.tagid = x.tagid
+           AND x.tagtime - c.tagtime <= 3600 SECONDS
+           AND s.tagid LIKE '20.%'",
+    )
+    .unwrap();
+    assert!(out.contains("logical:"), "{out}");
+    assert!(out.contains("rewrites:"), "{out}");
+    assert!(out.contains("seq-predicate-pushdown"), "{out}");
+    assert!(out.contains("gap-constraint-folding"), "{out}");
+    assert!(out.contains("partition-key-lifting"), "{out}");
+    assert!(out.contains("state-bound-annotation"), "{out}");
+    assert!(out.contains("optimized:"), "{out}");
+    assert!(out.contains("partition=[tagid"), "{out}");
+    assert!(out.contains("max_gap_from_prev=3600s"), "{out}");
+    assert!(out.contains("state=one chain per element"), "{out}");
+    // Physical summary is still the last line.
+    assert!(out.contains("physical: seq:s,c,x"), "{out}");
+    assert!(out.contains("seq-detector"), "{out}");
+    assert!(out.contains("-> collect"), "{out}");
+}
+
+#[test]
+fn dedup_specialization_is_a_named_rewrite() {
+    let e = setup();
+    let out = explain(
+        &e,
+        "SELECT * FROM shelf AS r1
+         WHERE NOT EXISTS (SELECT * FROM shelf AS r2 OVER [60 SECONDS PRECEDING r1]
+                           WHERE r2.tagid = r1.tagid)",
+    )
+    .unwrap();
+    assert!(out.contains("WindowNotExists"), "{out}"); // naive plan
+    assert!(out.contains("dedup-specialization"), "{out}");
+    assert!(out.contains("Dedup key=[tagid]"), "{out}");
+    assert!(out.contains("physical: dedup:shelf"), "{out}");
+}
+
+#[test]
+fn aggregate_filter_pushes_below_window() {
+    let e = setup();
+    let out = explain(
+        &e,
+        "SELECT COUNT(tagid) FROM shelf OVER (RANGE 60 SECONDS PRECEDING CURRENT)
+         WHERE tagid LIKE '20.%'",
+    )
+    .unwrap();
+    assert!(out.contains("predicate-pushdown-below-window"), "{out}");
+    assert!(out.contains("Aggregate"), "{out}");
+    assert!(out.contains("physical: aggregate:shelf"), "{out}");
+    // In the optimized tree the Window sits above the Filter.
+    let opt = out.split("optimized:").nth(1).unwrap();
+    let w = opt.find("Window").unwrap();
+    let f = opt.find("Filter").unwrap();
+    assert!(w < f, "filter should sink below the window:\n{out}");
+}
+
+#[test]
+fn table_exists_lifts_index_probe() {
+    let e = setup();
+    let out = explain(
+        &e,
+        "SELECT * FROM exits AS x
+         WHERE NOT EXISTS (SELECT * FROM paid AS p WHERE p.tagid = x.tagid)",
+    )
+    .unwrap();
+    assert!(out.contains("index-probe-lifting"), "{out}");
+    assert!(out.contains("probe=tagid"), "{out}");
+    assert!(out.contains("physical: table-exists:exits"), "{out}");
+}
+
+#[test]
+fn projection_prunes_source_columns() {
+    let e = setup();
+    let out = explain(&e, "SELECT tagid FROM shelf").unwrap();
+    assert!(out.contains("projection-pruning"), "{out}");
+    assert!(out.contains("columns=[tagid]"), "{out}");
+}
+
+#[test]
+fn transducer_without_rewrites_reports_none() {
+    let e = setup();
+    let out = explain(&e, "SELECT * FROM shelf").unwrap();
+    assert!(out.contains("rewrites: (none)"), "{out}");
+    assert!(out.contains("physical: select:shelf"), "{out}");
+}
+
+#[test]
+fn insert_into_keeps_sink_in_physical_line() {
+    let e = setup();
+    let out = explain(&e, "INSERT INTO exits SELECT tagid, tagtime FROM shelf").unwrap();
+    assert!(out.contains("-> INSERT INTO exits"), "{out}");
+}

@@ -362,7 +362,27 @@ impl Repl {
             "EXPLAIN" => {
                 let name = words.next()?;
                 if words.next().is_some() {
-                    return None;
+                    // Multi-word: `EXPLAIN <sql>` renders the logical
+                    // plan (naive, rewrites, optimized) for a statement
+                    // without registering it.
+                    let sql = stmt[first.len()..].trim();
+                    return Some(match &self.backend {
+                        Backend::Single(engine) => match eslev_lang::explain(engine, sql) {
+                            Ok(s) => s,
+                            Err(e) => format!("error: {e}"),
+                        },
+                        Backend::Sharded(se) => {
+                            let owned = sql.to_string();
+                            match se.exec_all(move |e| eslev_lang::explain(e, &owned)) {
+                                Err(e) => format!("error: {e}"),
+                                Ok(rs) => match rs.into_iter().next() {
+                                    Some(Ok(s)) => s,
+                                    Some(Err(e)) => format!("error: {e}"),
+                                    None => "error: no shards".to_string(),
+                                },
+                            }
+                        }
+                    });
                 }
                 match &self.backend {
                     Backend::Single(engine) => match engine.query_report_by_name(name) {
@@ -870,6 +890,7 @@ const HELP: &str = r#"ESL-EV shell:
   SHOW STREAMS               per-stream push counts and stream time
   SHOW SHARDS                per-shard routing and progress (with --shards N)
   EXPLAIN <query>            per-operator counters and sampled latencies
+  EXPLAIN <SQL statement>    logical plan, applied rewrites, physical summary
   .feed <stream> <file.csv>  feed a headerless CSV (cols in schema order,
                              TIMESTAMP columns as fractional seconds)
   .scenario <name> [n]       feed a simulated workload:
@@ -992,6 +1013,21 @@ mod tests {
         assert!(out.contains("error"), "{out}");
         // Non-observability SHOW-like SQL still reaches the parser.
         let out = r.line("SHOW STATS EXTRA WORDS;");
+        assert!(out.starts_with("error:"), "{out}");
+    }
+
+    #[test]
+    fn explain_statement_renders_logical_plan() {
+        let mut r = Repl::new();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        let out = r.line("EXPLAIN SELECT tag_id FROM readings;");
+        assert!(out.contains("logical:"), "{out}");
+        assert!(out.contains("rewrites:"), "{out}");
+        assert!(out.contains("physical:"), "{out}");
+        // The statement was only planned, never registered.
+        assert!(r.engine().query_stats().is_empty());
+        // Errors surface instead of falling through to the SQL parser.
+        let out = r.line("EXPLAIN SELECT nope FROM ghost");
         assert!(out.starts_with("error:"), "{out}");
     }
 
