@@ -16,6 +16,14 @@
 //! 1, 2, 4, … up to `n` (the scaling curve), recording merged-output
 //! cardinality, per-shard routing balance, and — at the widest
 //! configuration — the full `shard`-labeled metrics snapshot.
+//!
+//! With `--faults <seed>` (or `--faults seed=<n>`) the harness runs the
+//! F1 crash-recovery sweep: E1/E6/E10 through the sharded engine under
+//! the seeded fault plan (worker panics, a malformed row, a stale
+//! watermark, a mid-feed checkpoint), differentially checked against the
+//! uninterrupted single-engine reference. The JSON export carries the
+//! recovery counters (`restarts`, `replayed_tuples`, `checkpoints`) and
+//! the rendered fault schedule; a divergent recovery fails the run.
 
 use eslev_bench::table::TextTable;
 use eslev_bench::*;
@@ -99,9 +107,15 @@ fn today_utc() -> String {
     format!("{year:04}-{month:02}-{day:02}")
 }
 
-fn parse_args() -> (Option<std::path::PathBuf>, Option<usize>, Vec<usize>) {
+fn parse_args() -> (
+    Option<std::path::PathBuf>,
+    Option<usize>,
+    Vec<usize>,
+    Option<u64>,
+) {
     let mut json_path = None;
     let mut shards = None;
+    let mut fault_seed = None;
     // The B1 ingestion sweep always includes size 1 as the baseline.
     let mut batches = vec![1, 8, 64, 512];
     let mut args = std::env::args().skip(1);
@@ -140,19 +154,34 @@ fn parse_args() -> (Option<std::path::PathBuf>, Option<usize>, Vec<usize>) {
                     }
                 }
             }
+            "--faults" => {
+                // Accepts `--faults 42` or `--faults seed=42`.
+                let parsed = args
+                    .next()
+                    .map(|v| v.strip_prefix("seed=").unwrap_or(&v).parse::<u64>().ok());
+                match parsed {
+                    Some(Some(seed)) => fault_seed = Some(seed),
+                    _ => {
+                        eprintln!(
+                            "--faults needs a seed (e.g. `--faults 42` or `--faults seed=42`)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown argument: {other}\nusage: harness [--json <path>] [--shards <n>] [--batch <n,n,...>]"
+                    "unknown argument: {other}\nusage: harness [--json <path>] [--shards <n>] [--batch <n,n,...>] [--faults <seed>]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    (json_path, shards, batches)
+    (json_path, shards, batches, fault_seed)
 }
 
 fn main() {
-    let (json_path, shards_flag, batch_sizes) = parse_args();
+    let (json_path, shards_flag, batch_sizes, fault_seed) = parse_args();
     // (experiment key, JSON value) — filled as each table is printed.
     let mut sections: Vec<(&str, String)> = Vec::new();
 
@@ -673,6 +702,65 @@ fn main() {
             fields.push((k.as_str(), v.clone()));
         }
         sections.push(("S1", obj(&fields)));
+    }
+
+    // ----------------------------------------------------- fault sweep
+    if let Some(seed) = fault_seed {
+        println!("## F1 — crash-recovery fault sweep (--faults {seed})\n");
+        let workloads = [
+            shard_workload_e1(600),
+            shard_workload_e6(60),
+            shard_workload_e10(8, 6, 3),
+        ];
+        let mut t = TextTable::new(&[
+            "experiment",
+            "shards",
+            "rows_in",
+            "rows_out",
+            "matches_ref",
+            "restarts",
+            "replayed",
+            "checkpoints",
+        ]);
+        let mut rows = Vec::new();
+        let mut all_match = true;
+        for w in &workloads {
+            for shards in [2usize, 4] {
+                let row = run_fault_sweep(w, shards, seed);
+                all_match &= row.matches_reference;
+                t.row(vec![
+                    row.experiment.to_string(),
+                    row.shards.to_string(),
+                    row.rows_in.to_string(),
+                    row.rows_out.to_string(),
+                    row.matches_reference.to_string(),
+                    row.restarts.to_string(),
+                    row.replayed.to_string(),
+                    row.checkpoints.to_string(),
+                ]);
+                rows.push(obj(&[
+                    ("experiment", jstr(row.experiment)),
+                    ("shards", row.shards.to_string()),
+                    ("seed", row.seed.to_string()),
+                    ("rows_in", row.rows_in.to_string()),
+                    ("rows_out", row.rows_out.to_string()),
+                    ("matches_reference", row.matches_reference.to_string()),
+                    ("faults", arr(row.faults.iter().map(|f| jstr(f)).collect())),
+                    ("restarts", row.restarts.to_string()),
+                    ("replayed_tuples", row.replayed.to_string()),
+                    ("checkpoints", row.checkpoints.to_string()),
+                ]));
+            }
+        }
+        println!("{}", t.to_markdown());
+        sections.push((
+            "F1",
+            obj(&[("seed", seed.to_string()), ("rows", arr(rows))]),
+        ));
+        if !all_match {
+            eprintln!("F1: recovered output diverged from the uninterrupted reference");
+            std::process::exit(1);
+        }
     }
 
     println!("(Wall-clock columns are best-of-3 inline timings; run `cargo bench` for Criterion medians.)");

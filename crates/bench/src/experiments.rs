@@ -1253,6 +1253,129 @@ pub fn run_shard_scale(w: &ShardWorkload, shards: usize) -> (ShardScaleRow, Metr
     )
 }
 
+/// One row of the F1 fault sweep: a seeded [`FaultPlan`] fired over a
+/// shard workload, checked differentially against the uninterrupted
+/// single-engine run.
+#[derive(Debug, Clone)]
+pub struct FaultSweepRow {
+    /// Experiment label.
+    pub experiment: &'static str,
+    /// Worker shards.
+    pub shards: usize,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Tuples routed in.
+    pub rows_in: usize,
+    /// Tuples in the merged (recovered) output.
+    pub rows_out: usize,
+    /// Whether the recovered output equals the uninterrupted reference
+    /// exactly (rows, timestamps, order).
+    pub matches_reference: bool,
+    /// Rendered fault schedule.
+    pub faults: Vec<String>,
+    /// Shard restarts performed (`eslev_shard_restarts_total`).
+    pub restarts: u64,
+    /// Journal entries replayed (`eslev_replayed_tuples_total`).
+    pub replayed: u64,
+    /// Checkpoint rounds (`eslev_checkpoints_total`).
+    pub checkpoints: u64,
+}
+
+/// Replay `w` through a [`ShardedEngine`] under the faults of
+/// `FaultPlan::seeded(seed, ...)` — worker panics, a malformed row, a
+/// stale watermark, a mid-feed checkpoint — and compare the recovered
+/// merged output against the uninterrupted single-engine reference.
+pub fn run_fault_sweep(w: &ShardWorkload, shards: usize, seed: u64) -> FaultSweepRow {
+    let plan = FaultPlan::seeded(seed, shards, w.feed.len() as u64);
+    // Reference: one engine, no faults except the mirrored malformed
+    // rows (which both sides dead-letter).
+    let reference: Vec<(Vec<Value>, Timestamp)> = {
+        let mut engine = Engine::new();
+        execute_script(&mut engine, &w.ddl).expect("ddl plans");
+        let q = execute(&mut engine, &w.query).expect("query plans");
+        let out = q.collector().expect("collected query").clone();
+        let mut cause = 1u64;
+        for (stream, values) in &w.feed {
+            let mut row = values.clone();
+            loop {
+                plan.corrupt_only(cause, &mut row);
+                let consumed = plan.consumed_at(cause);
+                if consumed == 0 {
+                    break;
+                }
+                cause += consumed;
+            }
+            let _ = engine.push(stream, row);
+            cause += 1;
+        }
+        out.take()
+            .into_iter()
+            .map(|t| (t.values().to_vec(), t.ts()))
+            .collect()
+    };
+    let ddl = w.ddl.clone();
+    let query = w.query.clone();
+    let mut se = ShardedEngine::build(shards, 1024, ShardSpec::new(), move |e| {
+        execute_script(e, &ddl)?;
+        let q = execute(e, &query)?;
+        Ok(vec![q.collector().expect("collected query").clone()])
+    })
+    .expect("sharded build");
+    for (stream, values) in &w.feed {
+        let mut row = values.clone();
+        loop {
+            let cause = se.next_cause();
+            plan.apply(&mut se, cause, &mut row).expect("fault fires");
+            if se.next_cause() == cause {
+                break;
+            }
+        }
+        se.push(stream, row).expect("route");
+    }
+    se.flush().expect("flush recovers crashed shards");
+    let got: Vec<(Vec<Value>, Timestamp)> = se
+        .take_output(0)
+        .expect("merge slot")
+        .into_iter()
+        .map(|t| (t.values().to_vec(), t.ts()))
+        .collect();
+    let stats = se.recovery_stats();
+    se.stop().expect("clean stop after recovery");
+    FaultSweepRow {
+        experiment: w.experiment,
+        shards,
+        seed,
+        rows_in: w.feed.len(),
+        rows_out: got.len(),
+        matches_reference: got == reference,
+        faults: plan.faults().map(|f| f.to_string()).collect(),
+        restarts: stats.restarts,
+        replayed: stats.replayed_tuples,
+        checkpoints: stats.checkpoints,
+    }
+}
+
+#[cfg(test)]
+mod fault_sweep_tests {
+    use super::*;
+
+    #[test]
+    fn fault_sweep_recovers_identically() {
+        for w in [shard_workload_e1(200), shard_workload_e10(4, 3, 2)] {
+            for shards in [2usize, 3] {
+                let row = run_fault_sweep(&w, shards, 42);
+                assert!(
+                    row.matches_reference,
+                    "{} N={shards}: recovered output diverged",
+                    w.experiment
+                );
+                assert!(row.restarts >= 1, "plan must force at least one restart");
+                assert_eq!(row.checkpoints, 1);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod shard_scale_tests {
     use super::*;

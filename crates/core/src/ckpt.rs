@@ -1,0 +1,119 @@
+//! Checkpoint serialization for the temporal-operator layer.
+//!
+//! [`Binding`]s and [`Run`]s are the state atoms every pairing-mode
+//! engine is built from; this module gives them a canonical
+//! [`StateNode`] encoding so the five engines (and the [`Detector`])
+//! can round-trip through an engine checkpoint. A single binding is
+//! saved as a bare tuple node, a star group as a list of tuple nodes —
+//! the two cannot collide because a tuple node is never a list.
+//!
+//! [`Detector`]: crate::detector::Detector
+
+use crate::binding::Binding;
+use crate::runs::Run;
+use eslev_dsms::ckpt::StateNode;
+use eslev_dsms::error::{DsmsError, Result};
+use eslev_dsms::tuple::Tuple;
+
+/// Serialize one binding (single tuple or star group).
+pub fn save_binding(b: &Binding) -> StateNode {
+    match b {
+        Binding::Single(t) => StateNode::Tuple(t.clone()),
+        Binding::Star(g) => {
+            StateNode::List(g.iter().map(|t| StateNode::Tuple(t.clone())).collect())
+        }
+    }
+}
+
+/// Decode a binding saved by [`save_binding`].
+pub fn restore_binding(node: &StateNode) -> Result<Binding> {
+    match node {
+        StateNode::Tuple(t) => Ok(Binding::Single(t.clone())),
+        StateNode::List(items) => {
+            if items.is_empty() {
+                return Err(DsmsError::ckpt("star groups are non-empty"));
+            }
+            let g = items
+                .iter()
+                .map(|n| n.as_tuple().cloned())
+                .collect::<Result<Vec<Tuple>>>()?;
+            Ok(Binding::Star(g))
+        }
+        other => Err(DsmsError::ckpt(format!(
+            "expected a binding node, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Serialize a partial-match run (bindings + open star group).
+pub fn save_run(r: &Run) -> StateNode {
+    StateNode::List(vec![
+        StateNode::List(r.bindings.iter().map(save_binding).collect()),
+        StateNode::List(
+            r.group
+                .iter()
+                .map(|t| StateNode::Tuple(t.clone()))
+                .collect(),
+        ),
+    ])
+}
+
+/// Decode a run saved by [`save_run`].
+pub fn restore_run(node: &StateNode) -> Result<Run> {
+    let bindings = node
+        .item(0)?
+        .as_list()?
+        .iter()
+        .map(restore_binding)
+        .collect::<Result<Vec<Binding>>>()?;
+    let group = node
+        .item(1)?
+        .as_list()?
+        .iter()
+        .map(|n| n.as_tuple().cloned())
+        .collect::<Result<Vec<Tuple>>>()?;
+    Ok(Run { bindings, group })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eslev_dsms::time::Timestamp;
+    use eslev_dsms::value::Value;
+
+    fn t(secs: u64, seq: u64) -> Tuple {
+        Tuple::new(
+            vec![Value::Int(secs as i64)],
+            Timestamp::from_secs(secs),
+            seq,
+        )
+    }
+
+    #[test]
+    fn binding_round_trip() {
+        for b in [
+            Binding::Single(t(1, 0)),
+            Binding::Star(vec![t(1, 0), t(2, 1)]),
+        ] {
+            assert_eq!(restore_binding(&save_binding(&b)).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn empty_star_group_rejected() {
+        assert!(restore_binding(&StateNode::List(vec![])).is_err());
+        assert!(restore_binding(&StateNode::U64(3)).is_err());
+    }
+
+    #[test]
+    fn run_round_trip() {
+        let run = Run {
+            bindings: vec![Binding::Single(t(1, 0)), Binding::Star(vec![t(2, 1)])],
+            group: vec![t(3, 2), t(4, 3)],
+        };
+        let restored = restore_run(&save_run(&run)).unwrap();
+        assert_eq!(restored.bindings, run.bindings);
+        assert_eq!(restored.group, run.group);
+    }
+}

@@ -20,6 +20,7 @@
 use crate::binding::{DetectorOutput, SeqMatch};
 use crate::modes::{engine_for, Exception, ModeEngine};
 use crate::pattern::SeqPattern;
+use eslev_dsms::ckpt::StateNode;
 use eslev_dsms::error::{DsmsError, Result};
 use eslev_dsms::expr::Expr;
 use eslev_dsms::time::Timestamp;
@@ -242,6 +243,55 @@ impl Detector {
     /// CONSECUTIVE on every adjacency break.
     pub fn prunes(&self) -> u64 {
         self.prunes_carry + self.states.values().map(|e| e.prunes()).sum::<u64>()
+    }
+
+    /// Serialize every partition's engine state plus the emission
+    /// counters. Partitions are sorted by key rendering so equal states
+    /// serialize to equal bytes regardless of hash-map iteration order.
+    pub fn save_state(&self) -> Result<StateNode> {
+        let mut parts: Vec<(&Vec<Value>, &Box<dyn ModeEngine>)> = self.states.iter().collect();
+        parts.sort_by_key(|(k, _)| format!("{k:?}"));
+        let parts = parts
+            .into_iter()
+            .map(|(k, e)| {
+                Ok(StateNode::List(vec![
+                    StateNode::List(k.iter().map(|v| StateNode::Value(v.clone())).collect()),
+                    e.save_state()?,
+                ]))
+            })
+            .collect::<Result<Vec<StateNode>>>()?;
+        Ok(StateNode::List(vec![
+            StateNode::List(parts),
+            StateNode::U64(self.matches_emitted),
+            StateNode::U64(self.exceptions_emitted),
+            StateNode::U64(self.partitions_created),
+            StateNode::U64(self.prunes_carry),
+        ]))
+    }
+
+    /// Restore state saved by [`Detector::save_state`] into a detector
+    /// built from the same configuration (pattern, kind, partitioning).
+    pub fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.states.clear();
+        for part in state.item(0)?.as_list()? {
+            let key = part
+                .item(0)?
+                .as_list()?
+                .iter()
+                .map(|v| v.as_value().cloned())
+                .collect::<Result<Vec<Value>>>()?;
+            let mut eng: Box<dyn ModeEngine> = match self.kind {
+                DetectKind::Seq => engine_for(self.pattern.mode, &self.pattern),
+                DetectKind::ExceptionSeq => Box::new(Exception::new()),
+            };
+            eng.restore_state(part.item(1)?)?;
+            self.states.insert(key, eng);
+        }
+        self.matches_emitted = state.item(1)?.as_u64()?;
+        self.exceptions_emitted = state.item(2)?.as_u64()?;
+        self.partitions_created = state.item(3)?.as_u64()?;
+        self.prunes_carry = state.item(4)?.as_u64()?;
+        Ok(())
     }
 }
 

@@ -43,6 +43,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod binding;
+pub mod ckpt;
 pub mod detector;
 pub mod joint;
 pub mod mode;

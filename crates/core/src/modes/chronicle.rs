@@ -11,9 +11,11 @@
 
 use super::ModeEngine;
 use crate::binding::{Binding, DetectorOutput, SeqMatch};
+use crate::ckpt::{restore_binding, restore_run, save_binding, save_run};
 use crate::pattern::{SeqPattern, WindowKind};
 use crate::runs::{gap_ok, matches_elem, window_satisfied, Run};
-use eslev_dsms::error::Result;
+use eslev_dsms::ckpt::StateNode;
+use eslev_dsms::error::{DsmsError, Result};
 use eslev_dsms::time::Timestamp;
 use eslev_dsms::tuple::Tuple;
 use std::collections::VecDeque;
@@ -263,6 +265,46 @@ impl ModeEngine for Chronicle {
 
     fn prunes(&self) -> u64 {
         self.prunes
+    }
+
+    fn save_state(&self) -> Result<StateNode> {
+        let queues = self
+            .queues
+            .iter()
+            .map(|q| StateNode::List(q.iter().map(save_binding).collect()))
+            .collect();
+        let trailing = match &self.trailing {
+            None => StateNode::Unit,
+            Some(run) => save_run(run),
+        };
+        Ok(StateNode::List(vec![
+            StateNode::List(queues),
+            trailing,
+            StateNode::U64(self.prunes),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        let queues = state.item(0)?.as_list()?;
+        if queues.len() != self.queues.len() {
+            return Err(DsmsError::ckpt(format!(
+                "chronicle engine has {} queues, checkpoint has {}",
+                self.queues.len(),
+                queues.len()
+            )));
+        }
+        for (q, node) in self.queues.iter_mut().zip(queues) {
+            q.clear();
+            for b in node.as_list()? {
+                q.push_back(restore_binding(b)?);
+            }
+        }
+        self.trailing = match state.item(1)? {
+            StateNode::Unit => None,
+            run => Some(restore_run(run)?),
+        };
+        self.prunes = state.item(2)?.as_u64()?;
+        Ok(())
     }
 }
 

@@ -21,8 +21,10 @@
 
 use super::ModeEngine;
 use crate::binding::{DetectorOutput, ExceptionCause, ExceptionEvent};
+use crate::ckpt::{restore_run, save_run};
 use crate::pattern::SeqPattern;
 use crate::runs::{window_satisfied, Ext, Run};
+use eslev_dsms::ckpt::StateNode;
 use eslev_dsms::error::Result;
 use eslev_dsms::time::Timestamp;
 use eslev_dsms::tuple::Tuple;
@@ -122,6 +124,19 @@ impl ModeEngine for Exception {
 
     fn prunes(&self) -> u64 {
         self.prunes
+    }
+
+    fn save_state(&self) -> Result<StateNode> {
+        Ok(StateNode::List(vec![
+            save_run(&self.run),
+            StateNode::U64(self.prunes),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.run = restore_run(state.item(0)?)?;
+        self.prunes = state.item(1)?.as_u64()?;
+        Ok(())
     }
 }
 

@@ -23,6 +23,7 @@ pub use unrestricted::Unrestricted;
 use crate::binding::DetectorOutput;
 use crate::mode::PairingMode;
 use crate::pattern::SeqPattern;
+use eslev_dsms::ckpt::StateNode;
 use eslev_dsms::error::Result;
 use eslev_dsms::time::Timestamp;
 use eslev_dsms::tuple::Tuple;
@@ -56,6 +57,13 @@ pub trait ModeEngine: Send {
     fn prunes(&self) -> u64 {
         0
     }
+
+    /// Serialize the engine's state for a checkpoint.
+    fn save_state(&self) -> Result<StateNode>;
+
+    /// Restore state saved by [`ModeEngine::save_state`] into a fresh
+    /// engine built for the same pattern.
+    fn restore_state(&mut self, state: &StateNode) -> Result<()>;
 }
 
 /// Instantiate the engine for a mode (SEQ detection).
@@ -65,5 +73,114 @@ pub fn engine_for(mode: PairingMode, pat: &SeqPattern) -> Box<dyn ModeEngine> {
         PairingMode::Recent => Box::new(Recent::new(pat)),
         PairingMode::Chronicle => Box::new(Chronicle::new(pat)),
         PairingMode::Consecutive => Box::new(Consecutive::new()),
+    }
+}
+
+#[cfg(test)]
+mod ckpt_tests {
+    use super::*;
+    use crate::pattern::Element;
+    use eslev_dsms::value::Value;
+
+    fn t(secs: u64, seq: u64) -> Tuple {
+        Tuple::new(
+            vec![Value::Int(secs as i64)],
+            Timestamp::from_secs(secs),
+            seq,
+        )
+    }
+
+    /// Suspend/resume equivalence: feeding the worked example with a
+    /// save/restore in the middle must behave exactly like an
+    /// uninterrupted engine — same outputs, same retained history, same
+    /// prune counters — for every pairing mode.
+    #[test]
+    fn save_restore_mid_stream_is_transparent() {
+        let history = crate::joint::worked_example();
+        for mode in PairingMode::ALL {
+            let pat = SeqPattern::new((0..4).map(Element::new).collect(), None, mode).unwrap();
+            let mut reference = engine_for(mode, &pat);
+            let mut first_half = engine_for(mode, &pat);
+            let mut ref_out = Vec::new();
+            let mut out = Vec::new();
+            for e in &history[..4] {
+                reference
+                    .on_tuple(&pat, e.port, &e.tuple, &mut ref_out)
+                    .unwrap();
+                first_half
+                    .on_tuple(&pat, e.port, &e.tuple, &mut out)
+                    .unwrap();
+            }
+            let saved = first_half.save_state().unwrap();
+            let mut resumed = engine_for(mode, &pat);
+            resumed.restore_state(&saved).unwrap();
+            drop(first_half);
+            for e in &history[4..] {
+                reference
+                    .on_tuple(&pat, e.port, &e.tuple, &mut ref_out)
+                    .unwrap();
+                resumed.on_tuple(&pat, e.port, &e.tuple, &mut out).unwrap();
+            }
+            assert_eq!(out, ref_out, "{mode:?} outputs diverge after restore");
+            assert_eq!(resumed.retained(), reference.retained(), "{mode:?}");
+            assert_eq!(resumed.prunes(), reference.prunes(), "{mode:?}");
+        }
+    }
+
+    /// The RECENT engine's O(pattern-length) history bound relies on
+    /// parent chains being shared between slots; the round trip must
+    /// preserve that sharing, not expand the DAG into trees.
+    #[test]
+    fn recent_restore_preserves_chain_sharing() {
+        let pat = SeqPattern::new(
+            (0..4).map(Element::new).collect(),
+            None,
+            PairingMode::Recent,
+        )
+        .unwrap();
+        let mut eng = Recent::new(&pat);
+        let mut out = Vec::new();
+        for i in 0..100u64 {
+            eng.on_tuple(&pat, (i % 3) as usize, &t(i, i), &mut out)
+                .unwrap();
+        }
+        let before = eng.retained();
+        let saved = eng.save_state().unwrap();
+        let mut resumed = Recent::new(&pat);
+        resumed.restore_state(&saved).unwrap();
+        assert_eq!(resumed.retained(), before);
+        for i in 100..1100u64 {
+            resumed
+                .on_tuple(&pat, (i % 3) as usize, &t(i, i), &mut out)
+                .unwrap();
+        }
+        assert!(resumed.retained() <= 8, "retained {}", resumed.retained());
+    }
+
+    /// Exception-engine partials survive suspension: the window-expiry
+    /// exception still fires from a punctuation after restore.
+    #[test]
+    fn exception_partial_survives_restore() {
+        use crate::pattern::EventWindow;
+        use eslev_dsms::time::Duration;
+        let pat = SeqPattern::new(
+            (0..3).map(Element::new).collect(),
+            Some(EventWindow::following(Duration::from_secs(3600), 0)),
+            PairingMode::Consecutive,
+        )
+        .unwrap();
+        let mut eng = Exception::new();
+        let mut out = Vec::new();
+        eng.on_tuple(&pat, 0, &t(0, 0), &mut out).unwrap();
+        eng.on_tuple(&pat, 1, &t(600, 1), &mut out).unwrap();
+        let saved = eng.save_state().unwrap();
+        let mut resumed = Exception::new();
+        resumed.restore_state(&saved).unwrap();
+        resumed
+            .on_punctuation(&pat, Timestamp::from_secs(4000), &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        let e = out[0].as_exception().unwrap();
+        assert_eq!(e.level, 3);
     }
 }

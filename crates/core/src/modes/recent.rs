@@ -14,9 +14,11 @@
 
 use super::ModeEngine;
 use crate::binding::{Binding, DetectorOutput, SeqMatch};
+use crate::ckpt::{restore_binding, save_binding};
 use crate::pattern::{SeqPattern, WindowKind};
 use crate::runs::{gap_ok, matches_elem, window_satisfied};
-use eslev_dsms::error::Result;
+use eslev_dsms::ckpt::StateNode;
+use eslev_dsms::error::{DsmsError, Result};
 use eslev_dsms::time::Timestamp;
 use eslev_dsms::tuple::Tuple;
 use std::sync::Arc;
@@ -247,6 +249,97 @@ impl ModeEngine for Recent {
 
     fn prunes(&self) -> u64 {
         self.prunes
+    }
+
+    fn save_state(&self) -> Result<StateNode> {
+        // Flatten the chain DAG into a node table, parents before
+        // children and deduplicated by pointer identity, so the Arc
+        // sharing between slots survives the round trip (the engine's
+        // O(pattern-length) history bound depends on it).
+        let mut index = std::collections::HashMap::new();
+        let mut nodes: Vec<StateNode> = Vec::new();
+        let mut slots: Vec<StateNode> = Vec::new();
+        for slot in &self.latest {
+            let Some(head) = slot else {
+                slots.push(StateNode::Unit);
+                continue;
+            };
+            let mut chain = Vec::new();
+            let mut cur = Some(head);
+            while let Some(n) = cur {
+                chain.push(n.clone());
+                cur = n.parent.as_ref();
+            }
+            for n in chain.iter().rev() {
+                let ptr = Arc::as_ptr(n) as usize;
+                if index.contains_key(&ptr) {
+                    continue;
+                }
+                let parent = match &n.parent {
+                    None => StateNode::Unit,
+                    Some(p) => StateNode::U64(index[&(Arc::as_ptr(p) as usize)] as u64),
+                };
+                nodes.push(StateNode::List(vec![
+                    save_binding(&n.binding),
+                    parent,
+                    StateNode::ts(n.first_ts),
+                    StateNode::opt_ts(n.anchor_start),
+                    StateNode::opt_ts(n.deadline),
+                ]));
+                index.insert(ptr, nodes.len() - 1);
+            }
+            slots.push(StateNode::U64(index[&(Arc::as_ptr(head) as usize)] as u64));
+        }
+        Ok(StateNode::List(vec![
+            StateNode::List(nodes),
+            StateNode::List(slots),
+            StateNode::U64(self.prunes),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        let node_items = state.item(0)?.as_list()?;
+        let mut nodes: Vec<Arc<ChainNode>> = Vec::with_capacity(node_items.len());
+        for (i, item) in node_items.iter().enumerate() {
+            let parent = match item.item(1)? {
+                StateNode::Unit => None,
+                idx => {
+                    let idx = idx.as_usize()?;
+                    if idx >= i {
+                        return Err(DsmsError::ckpt("chain-node parent must precede child"));
+                    }
+                    Some(nodes[idx].clone())
+                }
+            };
+            nodes.push(Arc::new(ChainNode {
+                binding: restore_binding(item.item(0)?)?,
+                parent,
+                first_ts: item.item(2)?.as_ts()?,
+                anchor_start: item.item(3)?.as_opt_ts()?,
+                deadline: item.item(4)?.as_opt_ts()?,
+            }));
+        }
+        let slot_items = state.item(1)?.as_list()?;
+        if slot_items.len() != self.latest.len() {
+            return Err(DsmsError::ckpt(format!(
+                "recent engine has {} slots, checkpoint has {}",
+                self.latest.len(),
+                slot_items.len()
+            )));
+        }
+        self.latest = slot_items
+            .iter()
+            .map(|s| match s {
+                StateNode::Unit => Ok(None),
+                idx => nodes
+                    .get(idx.as_usize()?)
+                    .cloned()
+                    .map(Some)
+                    .ok_or_else(|| DsmsError::ckpt("chain-slot index out of range")),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        self.prunes = state.item(2)?.as_u64()?;
+        Ok(())
     }
 }
 

@@ -14,8 +14,10 @@
 
 use super::ModeEngine;
 use crate::binding::DetectorOutput;
+use crate::ckpt::{restore_run, save_run};
 use crate::pattern::SeqPattern;
 use crate::runs::{window_satisfied, Ext, Run};
+use eslev_dsms::ckpt::StateNode;
 use eslev_dsms::error::Result;
 use eslev_dsms::time::Timestamp;
 use eslev_dsms::tuple::Tuple;
@@ -132,6 +134,24 @@ impl ModeEngine for Unrestricted {
 
     fn prunes(&self) -> u64 {
         self.prunes
+    }
+
+    fn save_state(&self) -> Result<StateNode> {
+        Ok(StateNode::List(vec![
+            StateNode::List(self.runs.iter().map(save_run).collect()),
+            StateNode::U64(self.prunes),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.runs = state
+            .item(0)?
+            .as_list()?
+            .iter()
+            .map(restore_run)
+            .collect::<Result<Vec<Run>>>()?;
+        self.prunes = state.item(1)?.as_u64()?;
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 
 use crate::binding::DetectorOutput;
 use crate::detector::Detector;
+use eslev_dsms::ckpt::StateNode;
 use eslev_dsms::error::Result;
 use eslev_dsms::ops::{OpReport, Operator};
 use eslev_dsms::time::Timestamp;
@@ -77,6 +78,14 @@ impl Operator for DetectorOp {
             ("prunes".to_string(), d.prunes()),
         ];
         r
+    }
+
+    fn save_state(&self) -> Result<StateNode> {
+        self.detector.save_state()
+    }
+
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.detector.restore_state(state)
     }
 }
 

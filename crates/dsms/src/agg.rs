@@ -6,6 +6,7 @@
 //! factory for [`Accumulator`]s; built-ins implement the same trait the
 //! user-defined ones do.
 
+use crate::ckpt::StateNode;
 use crate::error::{DsmsError, Result};
 use crate::value::Value;
 use std::collections::HashMap;
@@ -29,6 +30,17 @@ pub trait Accumulator: Send {
     /// in which case the caller recomputes from the window buffer.
     fn retract(&mut self, _v: &Value) -> Result<()> {
         Err(DsmsError::eval("aggregate does not support retraction"))
+    }
+    /// Capture the accumulator state for checkpointing. Built-ins and
+    /// `Value`-state UDAs implement this; bespoke accumulators that do
+    /// not override it make their queries non-checkpointable.
+    fn save_state(&self) -> Result<StateNode> {
+        Err(DsmsError::ckpt("aggregate does not support checkpointing"))
+    }
+    /// Restore the state captured by [`Accumulator::save_state`] on an
+    /// accumulator of the same aggregate.
+    fn restore_state(&mut self, _state: &StateNode) -> Result<()> {
+        Err(DsmsError::ckpt("aggregate does not support checkpointing"))
     }
 }
 
@@ -123,6 +135,13 @@ impl Accumulator for CountAcc {
         }
         Ok(())
     }
+    fn save_state(&self) -> Result<StateNode> {
+        Ok(StateNode::I64(self.n))
+    }
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.n = state.as_i64()?;
+        Ok(())
+    }
 }
 
 /// `SUM(x)` — integer sum unless any float seen; NULL on empty input.
@@ -189,6 +208,21 @@ impl Accumulator for SumAcc {
     fn retract(&mut self, v: &Value) -> Result<()> {
         self.apply(v, -1)
     }
+    fn save_state(&self) -> Result<StateNode> {
+        Ok(StateNode::List(vec![
+            StateNode::I64(self.int),
+            StateNode::F64(self.float),
+            StateNode::Bool(self.any_float),
+            StateNode::I64(self.n),
+        ]))
+    }
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.int = state.item(0)?.as_i64()?;
+        self.float = state.item(1)?.as_f64()?;
+        self.any_float = state.item(2)?.as_bool()?;
+        self.n = state.item(3)?.as_i64()?;
+        Ok(())
+    }
 }
 
 /// `AVG(x)` — float average; NULL on empty input.
@@ -233,6 +267,17 @@ impl Accumulator for AvgAcc {
             self.sum -= f;
             self.n -= 1;
         }
+        Ok(())
+    }
+    fn save_state(&self) -> Result<StateNode> {
+        Ok(StateNode::List(vec![
+            StateNode::F64(self.sum),
+            StateNode::I64(self.n),
+        ]))
+    }
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.sum = state.item(0)?.as_f64()?;
+        self.n = state.item(1)?.as_i64()?;
         Ok(())
     }
 }
@@ -295,6 +340,20 @@ impl Accumulator for ExtremumAcc {
     fn terminate(&self) -> Value {
         self.best.clone().unwrap_or(Value::Null)
     }
+    fn save_state(&self) -> Result<StateNode> {
+        // `want_min` is configuration (fixed by the aggregate), not state.
+        Ok(match &self.best {
+            Some(v) => StateNode::Value(v.clone()),
+            None => StateNode::Unit,
+        })
+    }
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.best = match state {
+            StateNode::Unit => None,
+            other => Some(other.as_value()?.clone()),
+        };
+        Ok(())
+    }
 }
 
 /// A UDA defined by three closures — the ESL `INITIALIZE` / `ITERATE` /
@@ -352,6 +411,15 @@ impl Accumulator for ClosureAcc {
     }
     fn terminate(&self) -> Value {
         (self.terminate)(&self.state)
+    }
+    fn save_state(&self) -> Result<StateNode> {
+        // UDA state is a single Value by construction, so every
+        // closure-defined aggregate is checkpointable for free.
+        Ok(StateNode::Value(self.state.clone()))
+    }
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.state = state.as_value()?.clone();
+        Ok(())
     }
 }
 

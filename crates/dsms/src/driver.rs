@@ -19,7 +19,72 @@ use crate::obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use crate::time::Timestamp;
 use crate::value::Value;
 use crossbeam::channel::{bounded, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Shared crash flag. The worker records the captured panic payload here
+/// on its way out — *before* the command channel disconnects — so every
+/// handle can report the original panic message instead of a bare
+/// "worker terminated". The boolean mirrors the slot so the hot send
+/// path pays one atomic load, not a mutex.
+#[derive(Default)]
+struct PoisonFlag {
+    poisoned: AtomicBool,
+    detail: parking_lot::Mutex<Option<String>>,
+}
+
+type Poison = Arc<PoisonFlag>;
+
+impl PoisonFlag {
+    fn set(&self, detail: String) {
+        *self.detail.lock() = Some(detail);
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn get(&self) -> Option<String> {
+        if self.poisoned.load(Ordering::Acquire) {
+            self.detail.lock().clone()
+        } else {
+            None
+        }
+    }
+}
+
+/// Render a panic payload (the `&str`/`String` carried by `panic!`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+/// The error for a dead worker: the captured panic when there is one
+/// (waiting briefly for the racing worker to record it), else a plain
+/// termination error.
+fn dead_worker_error(poison: &Poison) -> DsmsError {
+    for _ in 0..100 {
+        if let Some(d) = poison.get() {
+            return DsmsError::worker_panicked(d);
+        }
+        std::thread::yield_now();
+    }
+    DsmsError::plan("engine worker terminated")
+}
+
+/// Record a command error, keeping only the first *fatal* one. Malformed
+/// rows ([`DsmsError::TupleShape`]) are already dead-lettered inside the
+/// engine and must not stop the feed.
+fn record(first_err: &mut Option<DsmsError>, res: Result<()>) {
+    if let Err(e) = res {
+        if !matches!(e, DsmsError::TupleShape(_)) && first_err.is_none() {
+            *first_err = Some(e);
+        }
+    }
+}
 
 /// Observer invoked on the worker thread after each state-changing
 /// command, with the engine and the cause index of the latest routed
@@ -84,6 +149,7 @@ pub struct EngineDriver {
     obs: Registry,
     queue_depth: Gauge,
     flush_ns: Histogram,
+    poison: Poison,
 }
 
 /// Cloneable producer handle derived from a driver.
@@ -91,6 +157,7 @@ pub struct EngineDriver {
 pub struct EngineInput {
     tx: Sender<Command>,
     queue_depth: Gauge,
+    poison: Poison,
 }
 
 impl EngineDriver {
@@ -108,7 +175,7 @@ impl EngineDriver {
     /// The shard router uses the tap to drain collector outputs into
     /// cause-tagged merge buffers while the command's effects are fresh.
     pub(crate) fn spawn_with_tap(
-        mut engine: Engine,
+        engine: Engine,
         queue: usize,
         mut tap: Option<Tap>,
     ) -> Result<EngineDriver> {
@@ -122,128 +189,141 @@ impl EngineDriver {
         let flush_ns = obs.histogram("eslev_driver_flush_ns", &[]);
         let commands: Counter = obs.counter("eslev_driver_commands_total", &[]);
         let depth = queue_depth.clone();
+        let poison: Poison = Arc::new(PoisonFlag::default());
+        let poison_worker = poison.clone();
         let (tx, rx) = bounded::<Command>(queue);
         let handle = std::thread::spawn(move || -> Result<()> {
-            let mut first_err: Option<DsmsError> = None;
-            let mut last_cause = 0u64;
-            for cmd in rx {
-                depth.add(-1);
-                commands.inc();
-                match cmd {
-                    Command::Push {
-                        stream,
-                        values,
-                        seq,
-                        cause,
-                    } => {
-                        last_cause = last_cause.max(cause);
-                        if first_err.is_none() {
-                            let res = match seq {
-                                Some(s) => engine.push_with_seq(&stream, values, s),
-                                None => engine.push(&stream, values),
-                            };
-                            if let Err(e) = res {
-                                first_err = Some(e);
+            // The command loop runs under `catch_unwind` so a panic inside
+            // an operator (or an injected fault closure) becomes a typed
+            // error instead of an opaque dead channel. The receiver stays
+            // alive until after the poison flag is set, so producers that
+            // race the crash always find the captured payload.
+            let mut engine_slot = Some(engine);
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<()> {
+                    let mut first_err: Option<DsmsError> = None;
+                    let mut last_cause = 0u64;
+                    while let Ok(cmd) = rx.recv() {
+                        depth.add(-1);
+                        commands.inc();
+                        let engine = engine_slot.as_mut().expect("engine owned until stop");
+                        match cmd {
+                            Command::Push {
+                                stream,
+                                values,
+                                seq,
+                                cause,
+                            } => {
+                                last_cause = last_cause.max(cause);
+                                if first_err.is_none() {
+                                    let res = match seq {
+                                        Some(s) => engine.push_with_seq(&stream, values, s),
+                                        None => engine.push(&stream, values),
+                                    };
+                                    record(&mut first_err, res);
+                                }
+                                if let Some(t) = tap.as_mut() {
+                                    t(engine, last_cause);
+                                }
                             }
-                        }
-                        if let Some(t) = tap.as_mut() {
-                            t(&mut engine, last_cause);
-                        }
-                    }
-                    Command::Advance { ts, cause } => {
-                        last_cause = last_cause.max(cause);
-                        if first_err.is_none() {
-                            if let Err(e) = engine.advance_to(ts) {
-                                first_err = Some(e);
+                            Command::Advance { ts, cause } => {
+                                last_cause = last_cause.max(cause);
+                                if first_err.is_none() {
+                                    record(&mut first_err, engine.advance_to(ts));
+                                }
+                                if let Some(t) = tap.as_mut() {
+                                    t(engine, last_cause);
+                                }
                             }
-                        }
-                        if let Some(t) = tap.as_mut() {
-                            t(&mut engine, last_cause);
-                        }
-                    }
-                    Command::Batch(items) => {
-                        let tap_active = tap.is_some();
-                        // Without a tap, adjacent unsequenced pushes are
-                        // handed to the engine as one group so dispatch
-                        // and watermarking amortize across the batch.
-                        let mut group: Vec<(String, Vec<Value>)> = Vec::new();
-                        for item in items {
-                            match item {
-                                BatchItem::Push {
-                                    stream,
-                                    values,
-                                    seq,
-                                    cause,
-                                } => {
-                                    last_cause = last_cause.max(cause);
-                                    if first_err.is_none() {
-                                        if !tap_active && seq.is_none() {
-                                            group.push((stream, values));
-                                        } else {
-                                            if !group.is_empty() {
-                                                if let Err(e) = engine.push_batch(group.drain(..)) {
-                                                    first_err = Some(e);
-                                                }
-                                            }
+                            Command::Batch(items) => {
+                                let tap_active = tap.is_some();
+                                // Without a tap, adjacent unsequenced pushes
+                                // are handed to the engine as one group so
+                                // dispatch and watermarking amortize across
+                                // the batch.
+                                let mut group: Vec<(String, Vec<Value>)> = Vec::new();
+                                for item in items {
+                                    match item {
+                                        BatchItem::Push {
+                                            stream,
+                                            values,
+                                            seq,
+                                            cause,
+                                        } => {
+                                            last_cause = last_cause.max(cause);
                                             if first_err.is_none() {
-                                                let res = match seq {
-                                                    Some(s) => {
-                                                        engine.push_with_seq(&stream, values, s)
+                                                if !tap_active && seq.is_none() {
+                                                    group.push((stream, values));
+                                                } else {
+                                                    if !group.is_empty() {
+                                                        record(
+                                                            &mut first_err,
+                                                            engine.push_batch(group.drain(..)),
+                                                        );
                                                     }
-                                                    None => engine.push(&stream, values),
-                                                };
-                                                if let Err(e) = res {
-                                                    first_err = Some(e);
+                                                    if first_err.is_none() {
+                                                        let res = match seq {
+                                                            Some(s) => engine
+                                                                .push_with_seq(&stream, values, s),
+                                                            None => engine.push(&stream, values),
+                                                        };
+                                                        record(&mut first_err, res);
+                                                    }
                                                 }
                                             }
-                                        }
-                                    }
-                                    if let Some(t) = tap.as_mut() {
-                                        t(&mut engine, last_cause);
-                                    }
-                                }
-                                BatchItem::Advance { ts, cause } => {
-                                    last_cause = last_cause.max(cause);
-                                    if first_err.is_none() {
-                                        if !group.is_empty() {
-                                            if let Err(e) = engine.push_batch(group.drain(..)) {
-                                                first_err = Some(e);
+                                            if let Some(t) = tap.as_mut() {
+                                                t(engine, last_cause);
                                             }
                                         }
-                                        if first_err.is_none() {
-                                            if let Err(e) = engine.advance_to(ts) {
-                                                first_err = Some(e);
+                                        BatchItem::Advance { ts, cause } => {
+                                            last_cause = last_cause.max(cause);
+                                            if first_err.is_none() {
+                                                if !group.is_empty() {
+                                                    record(
+                                                        &mut first_err,
+                                                        engine.push_batch(group.drain(..)),
+                                                    );
+                                                }
+                                                if first_err.is_none() {
+                                                    record(&mut first_err, engine.advance_to(ts));
+                                                }
+                                            }
+                                            if let Some(t) = tap.as_mut() {
+                                                t(engine, last_cause);
                                             }
                                         }
                                     }
-                                    if let Some(t) = tap.as_mut() {
-                                        t(&mut engine, last_cause);
-                                    }
+                                }
+                                if first_err.is_none() && !group.is_empty() {
+                                    record(&mut first_err, engine.push_batch(group));
                                 }
                             }
-                        }
-                        if first_err.is_none() && !group.is_empty() {
-                            if let Err(e) = engine.push_batch(group) {
-                                first_err = Some(e);
+                            Command::Exec(f) => {
+                                f(engine);
+                                if let Some(t) = tap.as_mut() {
+                                    t(engine, last_cause);
+                                }
+                            }
+                            Command::Flush(ack) => {
+                                let _ = ack.send(());
+                            }
+                            Command::Stop(back) => {
+                                let _ =
+                                    back.send(engine_slot.take().expect("engine owned until stop"));
+                                return first_err.map_or(Ok(()), Err);
                             }
                         }
                     }
-                    Command::Exec(f) => {
-                        f(&mut engine);
-                        if let Some(t) = tap.as_mut() {
-                            t(&mut engine, last_cause);
-                        }
-                    }
-                    Command::Flush(ack) => {
-                        let _ = ack.send(());
-                    }
-                    Command::Stop(back) => {
-                        let _ = back.send(engine);
-                        return first_err.map_or(Ok(()), Err);
-                    }
+                    first_err.map_or(Ok(()), Err)
+                }));
+            match outcome {
+                Ok(r) => r,
+                Err(payload) => {
+                    let detail = panic_message(payload.as_ref());
+                    poison_worker.set(detail.clone());
+                    Err(DsmsError::worker_panicked(detail))
                 }
             }
-            first_err.map_or(Ok(()), Err)
         });
         Ok(EngineDriver {
             tx,
@@ -251,6 +331,7 @@ impl EngineDriver {
             obs,
             queue_depth,
             flush_ns,
+            poison,
         })
     }
 
@@ -259,7 +340,14 @@ impl EngineDriver {
         EngineInput {
             tx: self.tx.clone(),
             queue_depth: self.queue_depth.clone(),
+            poison: self.poison.clone(),
         }
+    }
+
+    /// The captured panic message, when the worker died of a panic.
+    /// `None` while the worker is healthy (or terminated cleanly).
+    pub fn panic_detail(&self) -> Option<String> {
+        self.poison.get()
     }
 
     /// Run `f` against the engine on the worker thread and return its
@@ -270,15 +358,17 @@ impl EngineDriver {
         R: Send + 'static,
         F: FnOnce(&mut Engine) -> R + Send + 'static,
     {
+        if let Some(d) = self.poison.get() {
+            return Err(DsmsError::worker_panicked(d));
+        }
         let (tx, rx) = bounded(1);
         self.tx
             .send(Command::Exec(Box::new(move |engine: &mut Engine| {
                 let _ = tx.send(f(engine));
             })))
-            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
+            .map_err(|_| dead_worker_error(&self.poison))?;
         self.queue_depth.add(1);
-        rx.recv()
-            .map_err(|_| DsmsError::plan("engine worker terminated"))
+        rx.recv().map_err(|_| dead_worker_error(&self.poison))
     }
 
     /// Live snapshot of every instrument the engine (and this driver)
@@ -295,36 +385,40 @@ impl EngineDriver {
     /// Block until every command sent so far has been processed. The
     /// round-trip time lands in `eslev_driver_flush_ns`.
     pub fn flush(&self) -> Result<()> {
+        if let Some(d) = self.poison.get() {
+            return Err(DsmsError::worker_panicked(d));
+        }
         let started = std::time::Instant::now();
         let (ack_tx, ack_rx) = bounded(1);
         self.tx
             .send(Command::Flush(ack_tx))
-            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
+            .map_err(|_| dead_worker_error(&self.poison))?;
         self.queue_depth.add(1);
-        let res = ack_rx
-            .recv()
-            .map_err(|_| DsmsError::plan("engine worker terminated"));
+        let res = ack_rx.recv().map_err(|_| dead_worker_error(&self.poison));
         self.flush_ns.record_duration(started.elapsed());
         res
     }
 
     /// Stop the worker and recover the engine (with all collectors and
-    /// stats intact). Returns the first error the worker hit, if any.
+    /// stats intact). Returns the first error the worker hit, if any —
+    /// including the original panic message when the worker died of a
+    /// panic (the engine is unrecoverable in that case).
     pub fn stop(mut self) -> Result<Engine> {
         let (back_tx, back_rx) = bounded(1);
-        self.tx
+        let engine = self
+            .tx
             .send(Command::Stop(back_tx))
-            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
-        let engine = back_rx
-            .recv()
-            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
-        let result = self
-            .handle
-            .take()
-            .expect("stop called once")
-            .join()
-            .map_err(|_| DsmsError::plan("engine worker panicked"))?;
-        result.map(|()| engine)
+            .ok()
+            .and_then(|()| back_rx.recv().ok());
+        // Join unconditionally: a worker that died before handling Stop
+        // carries the authoritative error (captured panic or first
+        // command failure).
+        let joined = self.handle.take().expect("stop called once").join();
+        match joined {
+            Err(payload) => Err(DsmsError::worker_panicked(panic_message(payload.as_ref()))),
+            Ok(Ok(())) => engine.ok_or_else(|| dead_worker_error(&self.poison)),
+            Ok(Err(e)) => Err(e),
+        }
     }
 }
 
@@ -332,6 +426,31 @@ impl EngineInput {
     /// Queue a row for a stream.
     pub fn push(&self, stream: &str, values: Vec<Value>) -> Result<()> {
         self.push_routed(stream, values, None, 0)
+    }
+
+    /// The captured panic message, when the worker died of a panic.
+    pub fn panic_detail(&self) -> Option<String> {
+        self.poison.get()
+    }
+
+    /// Fail fast once the worker is known dead of a panic.
+    fn check(&self) -> Result<()> {
+        match self.poison.get() {
+            Some(d) => Err(DsmsError::worker_panicked(d)),
+            None => Ok(()),
+        }
+    }
+
+    /// Queue a closure to run against the engine on the worker thread
+    /// without waiting for its result (fault injection, background
+    /// maintenance). A panic inside the closure poisons the driver.
+    pub fn exec_detached(&self, f: impl FnOnce(&mut Engine) + Send + 'static) -> Result<()> {
+        self.check()?;
+        self.tx
+            .send(Command::Exec(Box::new(f)))
+            .map_err(|_| dead_worker_error(&self.poison))?;
+        self.queue_depth.add(1);
+        Ok(())
     }
 
     /// Queue a row with an explicit tuple sequence number and cause
@@ -343,6 +462,7 @@ impl EngineInput {
         seq: Option<u64>,
         cause: u64,
     ) -> Result<()> {
+        self.check()?;
         self.tx
             .send(Command::Push {
                 stream: stream.to_string(),
@@ -350,7 +470,7 @@ impl EngineInput {
                 seq,
                 cause,
             })
-            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
+            .map_err(|_| dead_worker_error(&self.poison))?;
         self.queue_depth.add(1);
         Ok(())
     }
@@ -381,9 +501,10 @@ impl EngineInput {
     /// Queue a pre-built batch of commands (shard router path: items
     /// carry explicit sequence numbers and cause indices).
     pub(crate) fn send_batch(&self, items: Vec<BatchItem>) -> Result<()> {
+        self.check()?;
         self.tx
             .send(Command::Batch(items))
-            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
+            .map_err(|_| dead_worker_error(&self.poison))?;
         self.queue_depth.add(1);
         Ok(())
     }
@@ -397,9 +518,10 @@ impl EngineInput {
     /// path: broadcast watermarks acknowledge the cause on shards that
     /// did not receive the tuple itself).
     pub(crate) fn advance_routed(&self, ts: Timestamp, cause: u64) -> Result<()> {
+        self.check()?;
         self.tx
             .send(Command::Advance { ts, cause })
-            .map_err(|_| DsmsError::plan("engine worker terminated"))?;
+            .map_err(|_| dead_worker_error(&self.poison))?;
         self.queue_depth.add(1);
         Ok(())
     }
@@ -548,6 +670,67 @@ mod tests {
         driver.input().advance_to(Timestamp::from_secs(42)).unwrap();
         let engine = driver.stop().unwrap();
         assert_eq!(engine.now(), Timestamp::from_secs(42));
+    }
+
+    /// A panic on the worker thread poisons the driver: the captured
+    /// panic message — not a generic disconnect — surfaces from every
+    /// subsequent interaction (push, flush, stop).
+    #[test]
+    fn panicking_exec_poisons_driver_with_original_message() {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        let driver = EngineDriver::spawn(e, 8).unwrap();
+        let input = driver.input();
+        input
+            .exec_detached(|_| panic!("injected fault: seq detector state corrupt"))
+            .unwrap();
+        let err = driver.flush().unwrap_err();
+        assert!(matches!(err, DsmsError::WorkerPanicked { .. }), "{err}");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        // Poisoned handles fail fast with the same payload.
+        let err = input.push("readings", reading(1, "t")).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        let err = input.advance_to(Timestamp::from_secs(5)).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert_eq!(
+            driver.panic_detail().as_deref(),
+            Some("injected fault: seq detector state corrupt")
+        );
+        let err = driver.stop().err().expect("stop surfaces the panic");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+    }
+
+    /// Stop on a freshly-panicked worker (no flush in between) still
+    /// surfaces the panic, racing the worker's shutdown path.
+    #[test]
+    fn stop_right_after_panic_reports_panic() {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        let driver = EngineDriver::spawn(e, 8).unwrap();
+        driver.input().exec_detached(|_| panic!("boom 42")).unwrap();
+        let err = driver.stop().err().expect("stop surfaces the panic");
+        assert!(err.to_string().contains("boom 42"), "{err}");
+    }
+
+    /// Malformed rows are dead-lettered inside the engine and must not
+    /// stop the feed: well-formed rows after the bad one still flow, and
+    /// stop() reports success.
+    #[test]
+    fn malformed_rows_do_not_poison_the_feed() {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        let driver = EngineDriver::spawn(e, 8).unwrap();
+        let input = driver.input();
+        input.push("readings", reading(1, "t1")).unwrap();
+        input.push("readings", vec![Value::Int(9)]).unwrap(); // wrong arity
+        input.push("readings", reading(2, "t2")).unwrap();
+        driver.flush().unwrap();
+        let mut engine = driver.stop().unwrap();
+        assert_eq!(engine.stream_pushed("readings").unwrap(), 2);
+        assert_eq!(engine.rejected_tuples(), 1);
+        let dead = engine.take_dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].values, vec![Value::Int(9)]);
     }
 
     /// Regression: shutdown under contention. Concurrent producers race

@@ -19,6 +19,7 @@
 //! even when no tuple arrives.
 
 use crate::agg::AggregateRegistry;
+use crate::ckpt::{EngineCheckpoint, StateNode};
 use crate::error::{DsmsError, Result};
 use crate::expr::FunctionRegistry;
 use crate::obs::{Counter, Histogram, MetricValue, MetricsSnapshot, Registry};
@@ -37,6 +38,23 @@ use std::sync::Arc;
 /// 1-in-64 sampling for the per-query wall-clock histograms: cheap
 /// enough to leave on, frequent enough to fill the buckets quickly.
 const WALL_SAMPLE_MASK: u64 = 63;
+
+/// Dead-letter retention: malformed arrivals kept for inspection. The
+/// buffer is bounded (oldest dropped first) so a misbehaving feed cannot
+/// grow engine memory without bound.
+const DEAD_LETTER_CAP: usize = 256;
+
+/// A rejected arrival held in the engine's dead-letter buffer: the raw
+/// row that failed schema validation, where it was headed, and why.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// Target stream name as given by the caller.
+    pub stream: String,
+    /// The raw row values that failed validation.
+    pub values: Vec<Value>,
+    /// Rendered rejection reason.
+    pub error: String,
+}
 
 /// Where a query's output tuples go.
 pub enum Sink {
@@ -171,6 +189,10 @@ pub struct Engine {
     obs: Registry,
     /// Punctuations delivered via [`Engine::advance_to`].
     punctuations: Counter,
+    /// Malformed arrivals rejected at ingest (all streams).
+    rejected_tuples: Counter,
+    /// The most recent rejected arrivals, oldest first.
+    dead_letters: VecDeque<DeadLetter>,
 }
 
 impl Default for Engine {
@@ -184,6 +206,7 @@ impl Engine {
     pub fn new() -> Engine {
         let obs = Registry::new();
         let punctuations = obs.counter("eslev_punctuations_total", &[]);
+        let rejected_tuples = obs.counter("eslev_rejected_tuples_total", &[]);
         Engine {
             streams: HashMap::new(),
             tables: HashMap::new(),
@@ -197,6 +220,8 @@ impl Engine {
             auto_watermark: true,
             obs,
             punctuations,
+            rejected_tuples,
+            dead_letters: VecDeque::new(),
         }
     }
 
@@ -519,7 +544,20 @@ impl Engine {
         let mut max = Timestamp::ZERO;
         for (values, seq) in group.drain(..) {
             let seqno = seq.unwrap_or(self.next_seq);
-            let t = Tuple::for_schema(&entry.schema, values, seqno)?;
+            let ts = match Tuple::validate_against(&entry.schema, &values) {
+                Ok(ts) => ts,
+                Err(e) => {
+                    Self::reject(
+                        &mut self.dead_letters,
+                        &self.rejected_tuples,
+                        stream,
+                        values,
+                        &e,
+                    );
+                    return Err(e);
+                }
+            };
+            let t = Tuple::new(values, ts, seqno);
             self.next_seq = self.next_seq.max(seqno + 1);
             if t.ts() < entry.last_ts {
                 entry.rejected_ctr.inc();
@@ -551,7 +589,20 @@ impl Engine {
             .get_mut(&lower)
             .ok_or_else(|| DsmsError::unknown(format!("stream `{stream}`")))?;
         let seq = seq_override.unwrap_or(self.next_seq);
-        let t = Tuple::for_schema(&entry.schema, values, seq)?;
+        let ts = match Tuple::validate_against(&entry.schema, &values) {
+            Ok(ts) => ts,
+            Err(e) => {
+                Self::reject(
+                    &mut self.dead_letters,
+                    &self.rejected_tuples,
+                    stream,
+                    values,
+                    &e,
+                );
+                return Err(e);
+            }
+        };
+        let t = Tuple::new(values, ts, seq);
         self.next_seq = self.next_seq.max(seq + 1);
         if entry.reorder.is_some() {
             // Buffer, then release everything older than the slack bound.
@@ -600,6 +651,41 @@ impl Engine {
         // elapsed during a silent period is detected at the next arrival,
         // and is not masked by it).
         self.deliver_ordered(&lower, t)
+    }
+
+    /// Record a malformed arrival in the bounded dead-letter buffer.
+    fn reject(
+        dead: &mut VecDeque<DeadLetter>,
+        ctr: &Counter,
+        stream: &str,
+        values: Vec<Value>,
+        err: &DsmsError,
+    ) {
+        ctr.inc();
+        if dead.len() == DEAD_LETTER_CAP {
+            dead.pop_front();
+        }
+        dead.push_back(DeadLetter {
+            stream: stream.to_string(),
+            values,
+            error: err.to_string(),
+        });
+    }
+
+    /// The rejected arrivals currently held for inspection, oldest first
+    /// (bounded; the oldest are dropped once the buffer fills).
+    pub fn dead_letters(&self) -> impl Iterator<Item = &DeadLetter> {
+        self.dead_letters.iter()
+    }
+
+    /// Drain the dead-letter buffer.
+    pub fn take_dead_letters(&mut self) -> Vec<DeadLetter> {
+        self.dead_letters.drain(..).collect()
+    }
+
+    /// Malformed arrivals rejected at ingest so far (all streams).
+    pub fn rejected_tuples(&self) -> u64 {
+        self.rejected_tuples.get()
     }
 
     /// Push a whole batch (same validation as [`Engine::push`]).
@@ -938,6 +1024,176 @@ impl Engine {
             Self::append_report(snap, query, child);
         }
     }
+
+    /// Capture the engine's complete mutable state — stream positions,
+    /// disorder buffers, per-query operator state, table contents and
+    /// materialized windows — as a serializable checkpoint.
+    ///
+    /// Restoring it into an engine built by the same setup code (same
+    /// streams, tables, queries in the same order) via
+    /// [`Engine::restore`] resumes processing exactly where the capture
+    /// left off: feeding both the original and the restored engine the
+    /// same suffix of input produces identical output.
+    pub fn checkpoint(&self) -> Result<EngineCheckpoint> {
+        let mut stream_names: Vec<&String> = self.streams.keys().collect();
+        stream_names.sort();
+        let mut streams = Vec::with_capacity(stream_names.len());
+        for name in stream_names {
+            let e = &self.streams[name];
+            let reorder = match &e.reorder {
+                None => StateNode::Unit,
+                Some(r) => StateNode::List(vec![
+                    StateNode::ts(r.max_seen),
+                    StateNode::List(
+                        r.pending
+                            .values()
+                            .map(|t| StateNode::Tuple(t.clone()))
+                            .collect(),
+                    ),
+                ]),
+            };
+            streams.push(StateNode::List(vec![
+                StateNode::Str(name.clone()),
+                StateNode::ts(e.last_ts),
+                StateNode::U64(e.pushed),
+                reorder,
+            ]));
+        }
+        let mut queries = Vec::with_capacity(self.queries.len());
+        for q in &self.queries {
+            queries.push(StateNode::List(vec![
+                StateNode::Str(q.name.clone()),
+                StateNode::Bool(q.active),
+                StateNode::U64(q.emitted),
+                q.op.save_state()?,
+            ]));
+        }
+        let mut table_names: Vec<&String> = self.tables.keys().collect();
+        table_names.sort();
+        let tables = table_names
+            .iter()
+            .map(|n| {
+                StateNode::List(vec![
+                    StateNode::Str((*n).clone()),
+                    self.tables[*n].save_state(),
+                ])
+            })
+            .collect();
+        let mut mat_names: Vec<&String> = self.materialized.keys().collect();
+        mat_names.sort();
+        let materialized = mat_names
+            .iter()
+            .map(|n| {
+                StateNode::List(vec![
+                    StateNode::Str((*n).clone()),
+                    StateNode::List(
+                        self.materialized[*n]
+                            .iter()
+                            .map(|m| m.save_state())
+                            .collect(),
+                    ),
+                ])
+            })
+            .collect();
+        let root = StateNode::List(vec![
+            StateNode::List(streams),
+            StateNode::List(queries),
+            StateNode::List(tables),
+            StateNode::List(materialized),
+        ]);
+        Ok(EngineCheckpoint::new(self.next_seq, self.now, root))
+    }
+
+    /// Restore state captured by [`Engine::checkpoint`] into this engine.
+    ///
+    /// The engine must be structurally identical to the one that was
+    /// checkpointed — same streams, same tables, and the same queries
+    /// registered in the same order (they are matched by name and
+    /// position). Structural mismatches are typed checkpoint errors, not
+    /// silent partial restores.
+    pub fn restore(&mut self, ck: &EngineCheckpoint) -> Result<()> {
+        for node in ck.root.item(0)?.as_list()? {
+            let name = node.item(0)?.as_str()?;
+            let entry = self.streams.get_mut(name).ok_or_else(|| {
+                DsmsError::ckpt(format!("checkpoint references unknown stream `{name}`"))
+            })?;
+            entry.last_ts = node.item(1)?.as_ts()?;
+            entry.pushed = node.item(2)?.as_u64()?;
+            let cur = entry.pushed_ctr.get();
+            if entry.pushed > cur {
+                entry.pushed_ctr.add(entry.pushed - cur);
+            }
+            match (node.item(3)?, entry.reorder.as_mut()) {
+                (StateNode::Unit, None) => {}
+                (StateNode::Unit, Some(r)) => {
+                    r.max_seen = Timestamp::ZERO;
+                    r.pending.clear();
+                }
+                (saved, Some(r)) => {
+                    r.max_seen = saved.item(0)?.as_ts()?;
+                    r.pending.clear();
+                    for tn in saved.item(1)?.as_list()? {
+                        let t = tn.as_tuple()?.clone();
+                        r.pending.insert((t.ts(), t.seq()), t);
+                    }
+                }
+                (_, None) => {
+                    return Err(DsmsError::ckpt(format!(
+                        "stream `{name}` has no disorder buffer but the checkpoint does"
+                    )))
+                }
+            }
+        }
+        let queries = ck.root.item(1)?.as_list()?;
+        if queries.len() != self.queries.len() {
+            return Err(DsmsError::ckpt(format!(
+                "engine has {} queries, checkpoint has {}",
+                self.queries.len(),
+                queries.len()
+            )));
+        }
+        for (q, node) in self.queries.iter_mut().zip(queries) {
+            let name = node.item(0)?.as_str()?;
+            if name != q.name {
+                return Err(DsmsError::ckpt(format!(
+                    "query `{}` does not match checkpointed query `{name}`",
+                    q.name
+                )));
+            }
+            q.active = node.item(1)?.as_bool()?;
+            q.emitted = node.item(2)?.as_u64()?;
+            q.op.restore_state(node.item(3)?)?;
+        }
+        for node in ck.root.item(2)?.as_list()? {
+            let name = node.item(0)?.as_str()?;
+            let table = self.tables.get(name).ok_or_else(|| {
+                DsmsError::ckpt(format!("checkpoint references unknown table `{name}`"))
+            })?;
+            table.restore_state(node.item(1)?)?;
+        }
+        for node in ck.root.item(3)?.as_list()? {
+            let name = node.item(0)?.as_str()?;
+            let saved = node.item(1)?.as_list()?;
+            let mats = self.materialized.get(name).ok_or_else(|| {
+                DsmsError::ckpt(format!(
+                    "checkpoint references unknown materialized stream `{name}`"
+                ))
+            })?;
+            if saved.len() != mats.len() {
+                return Err(DsmsError::ckpt(format!(
+                    "stream `{name}` has {} materialized windows, checkpoint has {}",
+                    mats.len(),
+                    saved.len()
+                )));
+            }
+            for (m, s) in mats.iter().zip(saved) {
+                m.restore_state(s)?;
+            }
+        }
+        self.next_seq = ck.next_seq;
+        self.now = ck.now;
+        Ok(())
+    }
 }
 
 /// One row of [`Engine::stream_stats`].
@@ -1189,6 +1445,237 @@ mod tests {
         assert!(!stats[0].active);
         assert_eq!(stats[0].tuples_in, 2);
         assert_eq!(stats[0].tuples_out, 2);
+    }
+}
+
+#[cfg(test)]
+mod ckpt_tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ops::{Dedup, Select};
+    use crate::schema::Schema;
+    use crate::time::Duration;
+    use crate::value::ValueType;
+
+    fn reading(secs: u64, reader: &str, tag: &str) -> Vec<Value> {
+        vec![
+            Value::str(reader),
+            Value::str(tag),
+            Value::Ts(Timestamp::from_secs(secs)),
+        ]
+    }
+
+    /// A cascading pipeline with dedup state, a table sink and a
+    /// materialized window — the structural template both the original
+    /// and the recovered engine are built from.
+    fn build() -> (Engine, Collector, TableRef, SnapshotRef) {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        e.create_stream(Schema::readings("cleaned_readings"))
+            .unwrap();
+        let log_schema = Arc::new(
+            Schema::new(
+                "log",
+                vec![
+                    ("reader_id", ValueType::Str),
+                    ("tag_id", ValueType::Str),
+                    ("read_time", ValueType::Ts),
+                ],
+                None,
+            )
+            .unwrap(),
+        );
+        let tbl = e.create_table(log_schema).unwrap();
+        let m = e
+            .materialize("readings", WindowExtent::Preceding(Duration::from_secs(30)))
+            .unwrap();
+        let dedup = Dedup::new(vec![Expr::col(0), Expr::col(1)], Duration::from_secs(5));
+        e.register_query(
+            "dedup",
+            vec!["readings"],
+            Box::new(dedup),
+            Sink::Stream("cleaned_readings".into()),
+        )
+        .unwrap();
+        let (_, out) = e
+            .register_collected(
+                "consume",
+                vec!["cleaned_readings"],
+                Box::new(Select::new(Expr::lit(true))),
+            )
+            .unwrap();
+        e.register_query(
+            "persist",
+            vec!["cleaned_readings"],
+            Box::new(Select::new(Expr::lit(true))),
+            Sink::Table("log".into()),
+        )
+        .unwrap();
+        (e, out, tbl, m)
+    }
+
+    fn feed() -> Vec<Vec<Value>> {
+        vec![
+            reading(0, "r1", "t1"),
+            reading(1, "r1", "t2"),
+            reading(2, "r1", "t1"), // dup of t1 within 5s — needs dedup state
+            reading(3, "r2", "t3"),
+            reading(7, "r1", "t1"), // past the 5s horizon — passes again
+            reading(8, "r1", "t2"),
+        ]
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_exactly() {
+        let (mut reference, ref_out, ref_tbl, ref_m) = build();
+        for row in feed() {
+            reference.push("readings", row).unwrap();
+        }
+
+        let (mut first, out1, _, _) = build();
+        for row in feed().drain(..3) {
+            first.push("readings", row).unwrap();
+        }
+        // Serialize through bytes so the whole codec path is exercised.
+        let bytes = first.checkpoint().unwrap().to_bytes();
+        let ck = EngineCheckpoint::from_bytes(&bytes).unwrap();
+        let (mut resumed, out2, tbl2, m2) = build();
+        resumed.restore(&ck).unwrap();
+        drop(first);
+        for row in feed().drain(3..) {
+            resumed.push("readings", row).unwrap();
+        }
+
+        let mut got = out1.take();
+        got.extend(out2.take());
+        let want = ref_out.take();
+        assert_eq!(
+            got.iter()
+                .map(|t| (t.values().to_vec(), t.ts()))
+                .collect::<Vec<_>>(),
+            want.iter()
+                .map(|t| (t.values().to_vec(), t.ts()))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(resumed.now(), reference.now());
+        assert_eq!(
+            resumed.stream_pushed("cleaned_readings").unwrap(),
+            reference.stream_pushed("cleaned_readings").unwrap()
+        );
+        assert_eq!(tbl2.len(), ref_tbl.len());
+        assert_eq!(
+            m2.snapshot().iter().map(Tuple::ts).collect::<Vec<_>>(),
+            ref_m.snapshot().iter().map(Tuple::ts).collect::<Vec<_>>(),
+        );
+        let stats_ref = reference.query_stats();
+        let stats_res = resumed.query_stats();
+        for (a, b) in stats_ref.iter().zip(&stats_res) {
+            assert_eq!(a.emitted, b.emitted, "query `{}`", a.name);
+            assert_eq!(a.retained, b.retained, "query `{}`", a.name);
+        }
+    }
+
+    #[test]
+    fn checkpoint_preserves_disorder_buffer() {
+        let build = || {
+            let mut e = Engine::new();
+            e.create_stream(Schema::readings("readings")).unwrap();
+            e.set_disorder_tolerance("readings", Duration::from_secs(10))
+                .unwrap();
+            let (_, out) = e
+                .register_collected(
+                    "all",
+                    vec!["readings"],
+                    Box::new(Select::new(Expr::lit(true))),
+                )
+                .unwrap();
+            (e, out)
+        };
+        let (mut first, out1) = build();
+        first.push("readings", reading(100, "r", "a")).unwrap();
+        first.push("readings", reading(95, "r", "b")).unwrap();
+        let ck = first.checkpoint().unwrap();
+        let (mut resumed, out2) = build();
+        resumed.restore(&ck).unwrap();
+        // Buffered arrivals survive: the flush releases them in order.
+        resumed.flush_disorder().unwrap();
+        let tags: Vec<String> = out1
+            .take()
+            .into_iter()
+            .chain(out2.take())
+            .map(|t| t.value(1).as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(tags, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn restore_rejects_structural_mismatch() {
+        let (first, _, _, _) = build();
+        let ck = first.checkpoint().unwrap();
+        // Missing queries.
+        let mut bare = Engine::new();
+        bare.create_stream(Schema::readings("readings")).unwrap();
+        bare.create_stream(Schema::readings("cleaned_readings"))
+            .unwrap();
+        let err = bare.restore(&ck).unwrap_err();
+        assert!(err.to_string().contains("queries"), "{err}");
+        // Same shape, different query name.
+        let mut renamed = Engine::new();
+        renamed.create_stream(Schema::readings("readings")).unwrap();
+        let ck_small = renamed.checkpoint().unwrap();
+        let mut other = Engine::new();
+        other.create_stream(Schema::readings("other")).unwrap();
+        let err = other.restore(&ck_small).unwrap_err();
+        assert!(err.to_string().contains("unknown stream"), "{err}");
+    }
+
+    #[test]
+    fn malformed_pushes_dead_letter_and_count() {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        let err = e.push("readings", vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, DsmsError::TupleShape(_)));
+        assert_eq!(e.rejected_tuples(), 1);
+        let dl: Vec<&DeadLetter> = e.dead_letters().collect();
+        assert_eq!(dl.len(), 1);
+        assert_eq!(dl[0].stream, "readings");
+        assert_eq!(dl[0].values, vec![Value::Int(1)]);
+        assert!(dl[0].error.contains("columns"), "{}", dl[0].error);
+        assert_eq!(
+            e.metrics_snapshot()
+                .counter("eslev_rejected_tuples_total", &[]),
+            Some(1)
+        );
+        // Valid traffic still flows after a rejection.
+        e.push(
+            "readings",
+            vec![
+                Value::str("r"),
+                Value::str("t"),
+                Value::Ts(Timestamp::from_secs(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(e.stream_pushed("readings").unwrap(), 1);
+    }
+
+    #[test]
+    fn dead_letter_buffer_is_bounded() {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        for i in 0..300i64 {
+            let _ = e.push("readings", vec![Value::Int(i)]);
+        }
+        assert_eq!(e.rejected_tuples(), 300);
+        assert_eq!(e.dead_letters().count(), DEAD_LETTER_CAP);
+        // Oldest dropped first: the survivor window is 44..300.
+        assert_eq!(
+            e.dead_letters().next().unwrap().values,
+            vec![Value::Int(44)]
+        );
+        let drained = e.take_dead_letters();
+        assert_eq!(drained.len(), DEAD_LETTER_CAP);
+        assert_eq!(e.dead_letters().count(), 0);
     }
 }
 

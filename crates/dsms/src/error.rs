@@ -25,6 +25,15 @@ pub enum DsmsError {
     /// Parse error from the language front-end (carried through so every
     /// layer can share one error type).
     Parse(String),
+    /// Checkpoint encode/decode/restore failure (corrupt buffer, version
+    /// mismatch, or state-shape mismatch against the running plan).
+    Checkpoint(String),
+    /// An engine worker thread panicked; `detail` carries the captured
+    /// panic payload so supervisors can surface the original message.
+    WorkerPanicked {
+        /// The panic payload (stringified), e.g. an assertion message.
+        detail: String,
+    },
 }
 
 impl DsmsError {
@@ -56,6 +65,16 @@ impl DsmsError {
     pub fn parse(msg: impl Into<String>) -> Self {
         DsmsError::Parse(msg.into())
     }
+    /// Checkpoint error.
+    pub fn ckpt(msg: impl Into<String>) -> Self {
+        DsmsError::Checkpoint(msg.into())
+    }
+    /// Worker-panic error carrying the captured payload.
+    pub fn worker_panicked(detail: impl Into<String>) -> Self {
+        DsmsError::WorkerPanicked {
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for DsmsError {
@@ -69,6 +88,10 @@ impl fmt::Display for DsmsError {
             DsmsError::OutOfOrder(m) => write!(f, "out-of-order arrival: {m}"),
             DsmsError::Plan(m) => write!(f, "plan error: {m}"),
             DsmsError::Parse(m) => write!(f, "parse error: {m}"),
+            DsmsError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            DsmsError::WorkerPanicked { detail } => {
+                write!(f, "engine worker panicked: {detail}")
+            }
         }
     }
 }

@@ -1,0 +1,290 @@
+//! Deterministic fault injection for the sharded engine.
+//!
+//! A [`FaultPlan`] is a schedule of faults keyed on the router's cause
+//! index (see [`ShardedEngine::next_cause`]): the feeding harness asks
+//! the plan to [`FaultPlan::apply`] right before every push, and the
+//! plan kills workers, corrupts rows, injects stale punctuations and
+//! takes checkpoints at the scheduled points. Plans are either built
+//! explicitly ([`FaultPlan::with`]) or derived from a seed
+//! ([`FaultPlan::seeded`]) — the same seed always produces the same
+//! schedule, so a failing fault sweep reproduces exactly.
+//!
+//! The injected faults map onto the recovery machinery like this:
+//!
+//! - [`Fault::PanicAtCause`] kills one shard's worker with a panic, the
+//!   same way an operator bug would. The router restarts it from its
+//!   last checkpoint and replays the journal tail on the next
+//!   interaction with the dead shard (push, watermark broadcast, or
+//!   flush).
+//! - [`Fault::MalformedTuple`] truncates the row about to be pushed to
+//!   a single column. The engine rejects it into the dead-letter buffer
+//!   (`eslev_rejected_tuples_total`) without stopping the feed — and the
+//!   single-engine reference rejects the identical row, so differential
+//!   runs stay comparable.
+//! - [`Fault::StaleWatermark`] broadcasts a punctuation *behind* the
+//!   feed's progress. Stream-time is monotone, so it must be a no-op —
+//!   the differential catches any operator that regresses on it.
+//! - [`Fault::CheckpointAtCause`] takes a full checkpoint mid-feed,
+//!   exercising journal truncation and restore-from-recent-state rather
+//!   than replay-from-zero.
+
+use crate::error::Result;
+use crate::shard::ShardedEngine;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// One scheduled fault. `cause` is the router cause index the fault
+/// fires at (immediately before the row carrying that cause is routed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Kill `shard`'s worker with a panic.
+    PanicAtCause {
+        /// Shard whose worker dies.
+        shard: usize,
+        /// Cause index to fire at.
+        cause: u64,
+    },
+    /// Truncate the row about to be pushed to one column, making it
+    /// malformed for any multi-column schema (dead-letter path).
+    MalformedTuple {
+        /// Cause index to fire at.
+        cause: u64,
+    },
+    /// Broadcast a punctuation at `micros` — scheduled behind the feed,
+    /// where monotone stream-time makes it a required no-op.
+    StaleWatermark {
+        /// Cause index to fire at.
+        cause: u64,
+        /// Punctuation timestamp in microseconds.
+        micros: u64,
+    },
+    /// Take a full checkpoint (and truncate journals).
+    CheckpointAtCause {
+        /// Cause index to fire at.
+        cause: u64,
+    },
+}
+
+impl Fault {
+    /// The cause index this fault is scheduled at.
+    pub fn cause(&self) -> u64 {
+        match self {
+            Fault::PanicAtCause { cause, .. }
+            | Fault::MalformedTuple { cause }
+            | Fault::StaleWatermark { cause, .. }
+            | Fault::CheckpointAtCause { cause } => *cause,
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::PanicAtCause { shard, cause } => {
+                write!(f, "panic(shard={shard}) @ cause {cause}")
+            }
+            Fault::MalformedTuple { cause } => write!(f, "malformed-tuple @ cause {cause}"),
+            Fault::StaleWatermark { cause, micros } => {
+                write!(f, "stale-watermark({micros}us) @ cause {cause}")
+            }
+            Fault::CheckpointAtCause { cause } => write!(f, "checkpoint @ cause {cause}"),
+        }
+    }
+}
+
+/// xorshift64: tiny, deterministic, good enough to scatter fault points.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// A deterministic schedule of faults over one feed.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    by_cause: BTreeMap<u64, Vec<Fault>>,
+}
+
+impl FaultPlan {
+    /// Empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add one fault to the schedule.
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.by_cause.entry(fault.cause()).or_default().push(fault);
+        self
+    }
+
+    /// Derive a schedule from `seed` for a feed of `feed_len` rows over
+    /// `shards` workers: two worker panics on distinct shards, one
+    /// malformed row, one stale watermark, and a checkpoint roughly a
+    /// third of the way in — all at seed-determined cause points after
+    /// the checkpoint, so recovery exercises restore + replay.
+    pub fn seeded(seed: u64, shards: usize, feed_len: u64) -> FaultPlan {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let len = feed_len.max(8);
+        let ckpt = len / 3 + 1;
+        let span = len - ckpt;
+        let pick = move |lo: u64, state: &mut u64| lo + xorshift(state) % span.max(1);
+        let mut plan = FaultPlan::new().with(Fault::CheckpointAtCause { cause: ckpt });
+        let first_panic_shard = (xorshift(&mut state) % shards.max(1) as u64) as usize;
+        plan = plan.with(Fault::PanicAtCause {
+            shard: first_panic_shard,
+            cause: pick(ckpt + 1, &mut state),
+        });
+        if shards > 1 {
+            plan = plan.with(Fault::PanicAtCause {
+                shard: (first_panic_shard + 1) % shards,
+                cause: pick(ckpt + 1, &mut state),
+            });
+        }
+        plan = plan.with(Fault::MalformedTuple {
+            cause: pick(ckpt + 1, &mut state),
+        });
+        // Stale by construction: feeds tick forward at least one unit
+        // per row, so a 1 µs punctuation is far behind the stream clock
+        // by the time any post-checkpoint cause fires.
+        let at = pick(ckpt + 1, &mut state);
+        plan.with(Fault::StaleWatermark {
+            cause: at,
+            micros: 1,
+        })
+    }
+
+    /// Every scheduled fault, in cause order.
+    pub fn faults(&self) -> impl Iterator<Item = &Fault> {
+        self.by_cause.values().flatten()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.by_cause.values().map(Vec::len).sum()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.by_cause.is_empty()
+    }
+
+    /// Fire every fault scheduled at `cause` (the index the *next* push
+    /// will be stamped with — pass [`ShardedEngine::next_cause`]).
+    /// `values` is the row about to be pushed; [`Fault::MalformedTuple`]
+    /// corrupts it in place. Returns the faults that fired, for the
+    /// harness log.
+    pub fn apply(
+        &self,
+        se: &mut ShardedEngine,
+        cause: u64,
+        values: &mut Vec<Value>,
+    ) -> Result<Vec<Fault>> {
+        let Some(faults) = self.by_cause.get(&cause) else {
+            return Ok(Vec::new());
+        };
+        for fault in faults {
+            match fault {
+                Fault::PanicAtCause { shard, cause } => {
+                    let msg = format!("injected fault: worker panic at cause {cause}");
+                    se.inject_fault(*shard, move |_| panic!("{msg}"))?;
+                }
+                Fault::MalformedTuple { .. } => {
+                    values.truncate(1);
+                }
+                Fault::StaleWatermark { micros, .. } => {
+                    se.advance_to(crate::time::Timestamp::from_micros(*micros))?;
+                }
+                Fault::CheckpointAtCause { .. } => {
+                    se.checkpoint()?;
+                }
+            }
+        }
+        Ok(faults.clone())
+    }
+
+    /// How many router cause indices the faults at `cause` consume
+    /// (each [`Fault::StaleWatermark`] broadcasts one punctuation, which
+    /// takes a cause). A reference harness replaying the same feed on a
+    /// single engine advances its simulated cause counter by this much
+    /// before mapping the next row.
+    pub fn consumed_at(&self, cause: u64) -> u64 {
+        self.by_cause.get(&cause).map_or(0, |fs| {
+            fs.iter()
+                .filter(|f| matches!(f, Fault::StaleWatermark { .. }))
+                .count() as u64
+        })
+    }
+
+    /// Corrupt `values` if (and only if) a [`Fault::MalformedTuple`] is
+    /// scheduled at `cause` — the reference-run half of a differential
+    /// harness, which must feed the same corrupted row to the single
+    /// engine without firing any recovery faults.
+    pub fn corrupt_only(&self, cause: u64, values: &mut Vec<Value>) {
+        if let Some(faults) = self.by_cause.get(&cause) {
+            if faults
+                .iter()
+                .any(|f| matches!(f, Fault::MalformedTuple { .. }))
+            {
+                values.truncate(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(42, 4, 200);
+        let b = FaultPlan::seeded(42, 4, 200);
+        let fa: Vec<&Fault> = a.faults().collect();
+        let fb: Vec<&Fault> = b.faults().collect();
+        assert_eq!(fa, fb, "same seed, same schedule");
+        assert!(a.len() >= 4, "panics + malformed + stale + checkpoint");
+        let c = FaultPlan::seeded(43, 4, 200);
+        assert_ne!(
+            fa,
+            c.faults().collect::<Vec<_>>(),
+            "different seed, different schedule"
+        );
+    }
+
+    #[test]
+    fn seeded_faults_land_after_the_checkpoint() {
+        let plan = FaultPlan::seeded(7, 2, 120);
+        let ckpt = plan
+            .faults()
+            .find_map(|f| match f {
+                Fault::CheckpointAtCause { cause } => Some(*cause),
+                _ => None,
+            })
+            .expect("plan includes a checkpoint");
+        for f in plan.faults() {
+            if !matches!(f, Fault::CheckpointAtCause { .. }) {
+                assert!(
+                    f.cause() > ckpt,
+                    "{f} must exercise restore+replay, not replay-from-zero"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_only_mirrors_malformed_schedule() {
+        let plan = FaultPlan::new()
+            .with(Fault::MalformedTuple { cause: 5 })
+            .with(Fault::PanicAtCause { shard: 0, cause: 9 });
+        let mut row = vec![Value::Int(1), Value::Int(2)];
+        plan.corrupt_only(4, &mut row);
+        assert_eq!(row.len(), 2, "no fault at cause 4");
+        plan.corrupt_only(9, &mut row);
+        assert_eq!(row.len(), 2, "panic faults do not corrupt rows");
+        plan.corrupt_only(5, &mut row);
+        assert_eq!(row.len(), 1, "malformed fault truncates");
+    }
+}

@@ -41,11 +41,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod agg;
+pub mod ckpt;
 pub mod driver;
 pub mod engine;
 pub mod error;
 pub mod expr;
+pub mod fault;
 pub mod hash;
+pub mod journal;
 pub mod lookup;
 pub mod obs;
 pub mod ops;
@@ -61,10 +64,13 @@ pub mod window;
 /// One-stop imports for building queries against the substrate.
 pub mod prelude {
     pub use crate::agg::{Aggregate, AggregateRegistry, ClosureUda};
+    pub use crate::ckpt::{EngineCheckpoint, StateNode, CHECKPOINT_VERSION};
     pub use crate::driver::{EngineDriver, EngineInput};
-    pub use crate::engine::{Collector, Engine, QueryId, QueryStats, Sink, StreamInfo};
+    pub use crate::engine::{Collector, DeadLetter, Engine, QueryId, QueryStats, Sink, StreamInfo};
     pub use crate::error::{DsmsError, Result};
     pub use crate::expr::{BinOp, Expr, FunctionRegistry, LikePattern};
+    pub use crate::fault::{Fault, FaultPlan};
+    pub use crate::journal::{Journal, JournalEntry};
     pub use crate::lookup::{MissPolicy, TableExists, TableLookup};
     pub use crate::obs::{
         Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue, MetricsSnapshot,
@@ -76,8 +82,8 @@ pub mod prelude {
     };
     pub use crate::schema::{Column, Schema, SchemaRef};
     pub use crate::shard::{
-        shard_of, RouteRule, ShardSpec, ShardStats, ShardedEngine, WatermarkAggregator,
-        EPC_KEY_COLUMNS,
+        shard_of, RecoveryStats, RouteRule, ShardRecovery, ShardSpec, ShardStats, ShardedEngine,
+        WatermarkAggregator, EPC_KEY_COLUMNS,
     };
     pub use crate::snapshot::{MaterializedWindow, SnapshotRef};
     pub use crate::table::{Table, TableRef};

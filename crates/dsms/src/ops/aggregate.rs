@@ -15,6 +15,7 @@
 
 use super::Operator;
 use crate::agg::{Accumulator, AggregateRef};
+use crate::ckpt::StateNode;
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::time::{Duration, Timestamp};
@@ -221,6 +222,88 @@ impl Operator for WindowAggregate {
 
     fn retained(&self) -> usize {
         self.groups.values().map(|g| g.window.len().max(1)).sum()
+    }
+
+    fn save_state(&self) -> Result<StateNode> {
+        let mut keys: Vec<&Vec<Value>> = self.groups.keys().collect();
+        keys.sort_by_key(|k| format!("{k:?}"));
+        let groups = keys
+            .into_iter()
+            .map(|key| {
+                let g = &self.groups[key];
+                let key_node =
+                    StateNode::List(key.iter().map(|v| StateNode::Value(v.clone())).collect());
+                let window = StateNode::List(
+                    g.window
+                        .iter()
+                        .map(|(ts, vals)| {
+                            let mut entry = vec![StateNode::ts(*ts)];
+                            entry.extend(vals.iter().map(|v| StateNode::Value(v.clone())));
+                            StateNode::List(entry)
+                        })
+                        .collect(),
+                );
+                let accs = StateNode::List(
+                    g.accs
+                        .iter()
+                        .map(|a| a.save_state())
+                        .collect::<Result<_>>()?,
+                );
+                Ok(StateNode::List(vec![
+                    key_node,
+                    window,
+                    accs,
+                    StateNode::Bool(g.dirty),
+                ]))
+            })
+            .collect::<Result<_>>()?;
+        Ok(StateNode::List(groups))
+    }
+
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.groups.clear();
+        for gnode in state.as_list()? {
+            let key = gnode
+                .item(0)?
+                .as_list()?
+                .iter()
+                .map(|v| v.as_value().cloned())
+                .collect::<Result<Vec<Value>>>()?;
+            let mut window = VecDeque::new();
+            for entry in gnode.item(1)?.as_list()? {
+                let parts = entry.as_list()?;
+                if parts.is_empty() {
+                    return Err(crate::error::DsmsError::ckpt("empty window entry"));
+                }
+                let ts = parts[0].as_ts()?;
+                let vals = parts[1..]
+                    .iter()
+                    .map(|v| v.as_value().cloned())
+                    .collect::<Result<Vec<Value>>>()?;
+                window.push_back((ts, vals));
+            }
+            let acc_nodes = gnode.item(2)?.as_list()?;
+            if acc_nodes.len() != self.specs.len() {
+                return Err(crate::error::DsmsError::ckpt(format!(
+                    "aggregate group has {} accumulators, checkpoint has {}",
+                    self.specs.len(),
+                    acc_nodes.len()
+                )));
+            }
+            let mut accs = Self::fresh_accs(&self.specs);
+            for (acc, node) in accs.iter_mut().zip(acc_nodes) {
+                acc.restore_state(node)?;
+            }
+            self.groups.insert(
+                key,
+                GroupState {
+                    window,
+                    accs,
+                    dirty: gnode.item(3)?.as_bool()?,
+                },
+            );
+        }
+        Ok(())
     }
 }
 

@@ -15,6 +15,7 @@
 //! ```
 
 use super::{OpReport, Operator};
+use crate::ckpt::StateNode;
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::hash::FnvBuildHasher;
@@ -164,6 +165,46 @@ impl Operator for Dedup {
         let mut r = OpReport::leaf(self.name(), self.retained());
         r.counters = vec![("suppressed".to_string(), self.suppressed)];
         r
+    }
+
+    fn save_state(&self) -> Result<StateNode> {
+        // Entries sorted by key rendering so equal states serialize to
+        // equal bytes regardless of hash-map iteration order.
+        let mut entries: Vec<(&Vec<Value>, &Timestamp)> = self.last_seen.iter().collect();
+        entries.sort_by_key(|(k, _)| format!("{k:?}"));
+        let pairs = entries
+            .into_iter()
+            .map(|(k, &seen)| {
+                let mut item: Vec<StateNode> =
+                    k.iter().map(|v| StateNode::Value(v.clone())).collect();
+                item.push(StateNode::ts(seen));
+                StateNode::List(item)
+            })
+            .collect();
+        Ok(StateNode::List(vec![
+            StateNode::List(pairs),
+            StateNode::ts(self.last_purge),
+            StateNode::U64(self.suppressed),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.last_seen.clear();
+        for pair in state.item(0)?.as_list()? {
+            let parts = pair.as_list()?;
+            if parts.is_empty() {
+                return Err(crate::error::DsmsError::ckpt("empty dedup entry"));
+            }
+            let (key_part, ts_part) = parts.split_at(parts.len() - 1);
+            let key = key_part
+                .iter()
+                .map(|v| v.as_value().cloned())
+                .collect::<Result<Vec<Value>>>()?;
+            self.last_seen.insert(key, ts_part[0].as_ts()?);
+        }
+        self.last_purge = state.item(1)?.as_ts()?;
+        self.suppressed = state.item(2)?.as_u64()?;
+        Ok(())
     }
 }
 

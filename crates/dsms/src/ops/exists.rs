@@ -15,6 +15,7 @@
 //! the earliest instant the alert is semantically decidable.
 
 use super::Operator;
+use crate::ckpt::StateNode;
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::time::Timestamp;
@@ -211,6 +212,37 @@ impl Operator for WindowExists {
 
     fn retained(&self) -> usize {
         self.pending.len() + self.inner.len()
+    }
+
+    fn save_state(&self) -> Result<StateNode> {
+        let pending = self
+            .pending
+            .iter()
+            .map(|p| {
+                StateNode::List(vec![
+                    StateNode::Tuple(p.outer.clone()),
+                    StateNode::Bool(p.witnessed),
+                ])
+            })
+            .collect();
+        Ok(StateNode::List(vec![
+            StateNode::List(pending),
+            self.inner.save_state(),
+            StateNode::ts(self.now),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.pending.clear();
+        for node in state.item(0)?.as_list()? {
+            self.pending.push_back(Pending {
+                outer: node.item(0)?.as_tuple()?.clone(),
+                witnessed: node.item(1)?.as_bool()?,
+            });
+        }
+        self.inner.restore_state(state.item(1)?)?;
+        self.now = state.item(2)?.as_ts()?;
+        Ok(())
     }
 }
 

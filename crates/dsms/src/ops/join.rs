@@ -7,6 +7,7 @@
 //! the `naive_join` baseline builds on this operator.
 
 use super::Operator;
+use crate::ckpt::StateNode;
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::time::{Duration, Timestamp};
@@ -98,6 +99,18 @@ impl Operator for BinaryJoin {
 
     fn retained(&self) -> usize {
         self.left.len() + self.right.len()
+    }
+
+    fn save_state(&self) -> Result<StateNode> {
+        Ok(StateNode::List(vec![
+            self.left.save_state(),
+            self.right.save_state(),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.left.restore_state(state.item(0)?)?;
+        self.right.restore_state(state.item(1)?)
     }
 }
 

@@ -22,7 +22,8 @@ pub use join::BinaryJoin;
 pub use project::Project;
 pub use select::Select;
 
-use crate::error::Result;
+use crate::ckpt::StateNode;
+use crate::error::{DsmsError, Result};
 use crate::obs::{Histogram, HistogramSnapshot};
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
@@ -154,6 +155,29 @@ pub trait Operator: Send {
     /// latency histograms and operator-specific counters.
     fn report(&self) -> OpReport {
         OpReport::leaf(self.name(), self.retained())
+    }
+
+    /// Capture the operator's mutable state as a [`StateNode`] tree for
+    /// checkpointing. Stateless operators keep the default (`Unit`);
+    /// every operator that retains tuples or accumulators overrides both
+    /// this and [`Operator::restore_state`] so that a restored engine is
+    /// observationally identical to the captured one.
+    fn save_state(&self) -> Result<StateNode> {
+        Ok(StateNode::Unit)
+    }
+
+    /// Rebuild the operator's mutable state from a tree produced by
+    /// [`Operator::save_state`] on a structurally identical operator.
+    /// The default accepts only `Unit` — restoring real state into an
+    /// operator that never saves any is a checkpoint-shape error.
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        match state {
+            StateNode::Unit => Ok(()),
+            _ => Err(DsmsError::ckpt(format!(
+                "operator `{}` does not support state restore",
+                self.name()
+            ))),
+        }
     }
 }
 
@@ -309,6 +333,33 @@ impl Operator for Chain {
             children,
             ..OpReport::default()
         }
+    }
+
+    fn save_state(&self) -> Result<StateNode> {
+        // Stage flow counters and wall histograms are observability-only
+        // (they never influence output) and restart fresh on restore.
+        Ok(StateNode::List(
+            self.stages
+                .iter()
+                .map(|s| s.save_state())
+                .collect::<Result<_>>()?,
+        ))
+    }
+
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        let items = state.as_list()?;
+        if items.len() != self.stages.len() {
+            return Err(DsmsError::ckpt(format!(
+                "chain `{}` has {} stages, checkpoint has {}",
+                self.name,
+                self.stages.len(),
+                items.len()
+            )));
+        }
+        for (stage, st) in self.stages.iter_mut().zip(items) {
+            stage.restore_state(st)?;
+        }
+        Ok(())
     }
 }
 

@@ -8,6 +8,7 @@
 //! stream (time- or row-bounded) inside the engine; ad-hoc queries run
 //! against the snapshot at call time.
 
+use crate::ckpt::StateNode;
 use crate::error::{DsmsError, Result};
 use crate::schema::SchemaRef;
 use crate::time::Timestamp;
@@ -81,6 +82,16 @@ impl MaterializedWindow {
     /// Whether the window is currently empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Flatten the retained tuples for checkpointing.
+    pub fn save_state(&self) -> StateNode {
+        self.inner.read().save_state()
+    }
+
+    /// Rebuild the window contents from a checkpoint tree.
+    pub fn restore_state(&self, state: &StateNode) -> Result<()> {
+        self.inner.write().restore_state(state)
     }
 }
 

@@ -6,6 +6,7 @@
 //! indexes — durable storage is out of scope for the reproduction, and the
 //! experiments only measure row counts and lookup behaviour.
 
+use crate::ckpt::StateNode;
 use crate::error::{DsmsError, Result};
 use crate::expr::Expr;
 use crate::schema::SchemaRef;
@@ -230,6 +231,46 @@ impl Table {
             }
         }
         Ok(changed.len())
+    }
+
+    /// Flatten the table contents for a checkpoint. Indexes are not
+    /// serialized — they are rebuilt on restore from the row data.
+    pub fn save_state(&self) -> StateNode {
+        let inner = self.inner.read();
+        StateNode::List(vec![
+            StateNode::List(
+                inner
+                    .rows
+                    .iter()
+                    .map(|r| StateNode::Tuple(r.clone()))
+                    .collect(),
+            ),
+            StateNode::U64(inner.next_seq),
+        ])
+    }
+
+    /// Replace the table contents from a checkpoint node, rebuilding
+    /// every existing hash index over the restored rows.
+    pub fn restore_state(&self, state: &StateNode) -> Result<()> {
+        let rows = state
+            .item(0)?
+            .as_list()?
+            .iter()
+            .map(|n| n.as_tuple().cloned())
+            .collect::<Result<Vec<Tuple>>>()?;
+        let next_seq = state.item(1)?.as_u64()?;
+        let mut inner = self.inner.write();
+        inner.rows = rows;
+        inner.next_seq = next_seq;
+        let cols: Vec<usize> = inner.indexes.keys().copied().collect();
+        for c in cols {
+            let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (i, row) in inner.rows.iter().enumerate() {
+                idx.entry(row.value(c).clone()).or_default().push(i);
+            }
+            inner.indexes.insert(c, idx);
+        }
+        Ok(())
     }
 
     /// Delete rows satisfying `pred`. Rebuilds indexes (deletes are rare in

@@ -57,6 +57,14 @@ impl Tuple {
         })
     }
 
+    /// Validate a row against `schema` without consuming it, returning
+    /// the event time it would carry. This is [`Tuple::for_schema`]'s
+    /// validation step split out so callers that must keep rejected rows
+    /// (dead-letter buffers) can validate first and construct after.
+    pub fn validate_against(schema: &Schema, values: &[Value]) -> Result<Timestamp> {
+        Self::validate(schema, values)
+    }
+
     fn validate(schema: &Schema, values: &[Value]) -> Result<Timestamp> {
         if values.len() != schema.arity() {
             return Err(DsmsError::tuple(format!(

@@ -13,6 +13,8 @@
 //! deque with eager front expiry. Because streams are append-only and
 //! (per-stream) timestamp-ordered, expiry is always a prefix drop.
 
+use crate::ckpt::StateNode;
+use crate::error::Result;
 use crate::time::{Duration, Timestamp};
 use crate::tuple::Tuple;
 use std::collections::VecDeque;
@@ -152,6 +154,25 @@ impl WindowBuffer {
     /// Newest buffered tuple.
     pub fn back(&self) -> Option<&Tuple> {
         self.buf.back()
+    }
+
+    /// Flatten the buffered tuples (in order) for checkpointing.
+    pub fn save_state(&self) -> StateNode {
+        StateNode::List(
+            self.buf
+                .iter()
+                .map(|t| StateNode::Tuple(t.clone()))
+                .collect(),
+        )
+    }
+
+    /// Rebuild the buffer from a [`WindowBuffer::save_state`] tree.
+    pub fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        self.buf.clear();
+        for node in state.as_list()? {
+            self.buf.push_back(node.as_tuple()?.clone());
+        }
+        Ok(())
     }
 }
 

@@ -332,11 +332,11 @@ impl Repl {
         }
     }
 
-    /// Handle `SHOW STATS`, `SHOW STREAMS`, `SHOW SHARDS` and `EXPLAIN
-    /// <query>` (case-insensitive, optional trailing `;`). Returns
-    /// `None` when the line is not one of them, letting it flow to the
-    /// SQL front-end.
-    fn observability(&self, trimmed: &str) -> Option<String> {
+    /// Handle `SHOW STATS`, `SHOW STREAMS`, `SHOW SHARDS`, `SHOW
+    /// RECOVERY`, `CHECKPOINT` and `EXPLAIN <query>` (case-insensitive,
+    /// optional trailing `;`). Returns `None` when the line is not one
+    /// of them, letting it flow to the SQL front-end.
+    fn observability(&mut self, trimmed: &str) -> Option<String> {
         let stmt = trimmed.trim_end_matches(';').trim();
         let mut words = stmt.split_whitespace();
         let first = words.next()?.to_ascii_uppercase();
@@ -356,8 +356,15 @@ impl Repl {
                         Err(e) => format!("error: {e}"),
                     }),
                     "SHARDS" => Some(self.show_shards()),
+                    "RECOVERY" => Some(self.show_recovery()),
                     _ => None,
                 }
+            }
+            "CHECKPOINT" => {
+                if words.next().is_some() {
+                    return None;
+                }
+                Some(self.run_checkpoint())
             }
             "EXPLAIN" => {
                 let name = words.next()?;
@@ -439,6 +446,73 @@ impl Repl {
             for (stream, rule) in routes {
                 let _ = writeln!(out, "route {stream:<24} {rule}");
             }
+        }
+        out
+    }
+
+    /// Render `CHECKPOINT`: snapshot every stateful operator (and, when
+    /// sharded, truncate the replayed journal prefix).
+    fn run_checkpoint(&mut self) -> String {
+        match &mut self.backend {
+            Backend::Single(engine) => match engine.checkpoint() {
+                Ok(ckpt) => format!(
+                    "checkpoint taken ({} bytes of operator state).\n",
+                    ckpt.to_bytes().len()
+                ),
+                Err(e) => format!("error: {e}"),
+            },
+            Backend::Sharded(se) => match se.checkpoint() {
+                Ok(()) => {
+                    let stats = se.recovery_stats();
+                    let mut out = String::new();
+                    let _ = writeln!(
+                        out,
+                        "checkpoint taken across {} shards (round {}).",
+                        se.shards(),
+                        stats.checkpoints
+                    );
+                    for s in &stats.shards {
+                        let _ = writeln!(
+                            out,
+                            "shard {:<3} checkpoint_cause={:<10} journal_len={}",
+                            s.shard,
+                            s.checkpoint_cause
+                                .map_or_else(|| "-".to_string(), |c| c.to_string()),
+                            s.journal_len
+                        );
+                    }
+                    out
+                }
+                Err(e) => format!("error: {e}"),
+            },
+        }
+    }
+
+    /// Render `SHOW RECOVERY`: checkpoint/restart/replay counters and
+    /// per-shard journal state.
+    fn show_recovery(&self) -> String {
+        let Backend::Sharded(se) = &self.backend else {
+            return "not sharded — restart with --shards N for supervised recovery \
+                    (CHECKPOINT still snapshots operator state in-process).\n"
+                .to_string();
+        };
+        let stats = se.recovery_stats();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "checkpoints={} restarts={} replayed_tuples={}",
+            stats.checkpoints, stats.restarts, stats.replayed_tuples
+        );
+        for s in &stats.shards {
+            let _ = writeln!(
+                out,
+                "shard {:<3} journal_len={:<8} appended={:<10} checkpoint_cause={:<10} last_panic={}",
+                s.shard,
+                s.journal_len,
+                s.journal_appended,
+                s.checkpoint_cause.map_or_else(|| "-".to_string(), |c| c.to_string()),
+                s.last_panic.as_deref().unwrap_or("-")
+            );
         }
         out
     }
@@ -1092,6 +1166,38 @@ mod tests {
         assert!(r.line(".advance 60").contains("advanced"));
         assert!(r.line(".materialize readings 10").contains("--shards"));
         assert!(r.line("?SELECT * FROM readings").contains("--shards"));
+    }
+
+    #[test]
+    fn checkpoint_and_show_recovery_statements() {
+        // Single mode: CHECKPOINT snapshots in-process, SHOW RECOVERY
+        // points at the sharded flag.
+        let mut r = Repl::new();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        r.line("SELECT tag_id FROM readings;");
+        r.line(".scenario dedup 20");
+        let out = r.line("CHECKPOINT;");
+        assert!(out.contains("checkpoint taken"), "{out}");
+        let out = r.line("SHOW RECOVERY;");
+        assert!(out.contains("--shards"), "{out}");
+
+        // Sharded mode: CHECKPOINT reports per-shard causes and SHOW
+        // RECOVERY the counters; case-insensitive like the other
+        // observability statements.
+        let mut r = Repl::with_shards(3).unwrap();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        r.line("SELECT tag_id FROM readings;");
+        r.line(".scenario dedup 30");
+        let out = r.line("checkpoint");
+        assert!(out.contains("across 3 shards"), "{out}");
+        assert!(out.contains("checkpoint_cause="), "{out}");
+        let out = r.line("show recovery");
+        assert!(out.contains("checkpoints=1"), "{out}");
+        assert!(out.contains("restarts=0"), "{out}");
+        assert!(out.contains("journal_len="), "{out}");
+        // Extra words flow through to the SQL parser, like SHOW STATS.
+        let out = r.line("CHECKPOINT NOW;");
+        assert!(out.starts_with("error:"), "{out}");
     }
 
     #[test]

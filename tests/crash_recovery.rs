@@ -1,0 +1,295 @@
+//! Crash-recovery differential suite: the paper's E1 (dedup), E6
+//! (pairing-mode `SEQ`) and E10 (star sequence) workloads run through a
+//! [`ShardedEngine`] under a deterministic [`FaultPlan`] — mid-feed
+//! checkpoint, injected worker panics, a malformed row and a stale
+//! watermark — and the recovered output must be identical to the
+//! uninterrupted single-engine reference: same rows, same timestamps,
+//! same order.
+//!
+//! The harness mirrors the router's cause indexing on the reference
+//! side (a stale-watermark fault consumes one cause), so a
+//! `MalformedTuple` fault corrupts the *same* row in both runs and both
+//! engines dead-letter it.
+
+use eslev::prelude::*;
+use eslev::rfid::scenario::{dedup, qc_line};
+
+type Row = (Vec<Value>, Timestamp);
+
+fn key_rows(rows: Vec<Tuple>) -> Vec<Row> {
+    rows.into_iter()
+        .map(|t| (t.values().to_vec(), t.ts()))
+        .collect()
+}
+
+/// Uninterrupted single-engine run, with the plan's malformed-row
+/// corruption (and only that) mirrored onto the same feed positions.
+fn run_reference(
+    ddl: &str,
+    query: &str,
+    feed: &[(String, Vec<Value>)],
+    plan: &FaultPlan,
+    heartbeat: Option<Timestamp>,
+) -> Vec<Row> {
+    let mut engine = Engine::new();
+    execute_script(&mut engine, ddl).expect("ddl plans");
+    let q = execute(&mut engine, query).expect("query plans");
+    let out = q.collector().expect("collected").clone();
+    let mut cause = 1u64;
+    for (stream, values) in feed {
+        let mut row = values.clone();
+        loop {
+            plan.corrupt_only(cause, &mut row);
+            let consumed = plan.consumed_at(cause);
+            if consumed == 0 {
+                break;
+            }
+            // A stale watermark is a monotone no-op on the engine; only
+            // its cause consumption matters for row alignment.
+            cause += consumed;
+        }
+        // Malformed rows are rejected into the dead-letter buffer; the
+        // feed continues either way.
+        let _ = engine.push(stream, row);
+        cause += 1;
+    }
+    if let Some(ts) = heartbeat {
+        engine.advance_to(ts).expect("heartbeat");
+    }
+    key_rows(out.take())
+}
+
+/// The same workload through the shard router with the plan's faults
+/// fired live: workers panic mid-feed and the router restarts them from
+/// checkpoint + journal. Returns the merged rows and the recovery stats.
+fn run_faulted(
+    shards: usize,
+    ddl: &str,
+    query: &str,
+    feed: &[(String, Vec<Value>)],
+    plan: &FaultPlan,
+    heartbeat: Option<Timestamp>,
+) -> (Vec<Row>, RecoveryStats) {
+    let ddl = ddl.to_string();
+    let query = query.to_string();
+    let mut se = ShardedEngine::build(shards, 256, ShardSpec::new(), move |e| {
+        execute_script(e, &ddl)?;
+        let q = execute(e, &query)?;
+        Ok(vec![q.collector().expect("collected").clone()])
+    })
+    .expect("sharded build");
+    for (stream, values) in feed {
+        let mut row = values.clone();
+        loop {
+            let cause = se.next_cause();
+            plan.apply(&mut se, cause, &mut row).expect("fault fires");
+            if se.next_cause() == cause {
+                break;
+            }
+        }
+        se.push(stream, row).expect("route");
+    }
+    if let Some(ts) = heartbeat {
+        se.advance_to(ts).expect("heartbeat");
+    }
+    se.flush().expect("flush recovers crashed shards");
+    let rows = key_rows(se.take_output(0).expect("slot 0"));
+    let stats = se.recovery_stats();
+    se.stop().expect("clean stop after recovery");
+    (rows, stats)
+}
+
+fn assert_crash_differential(
+    name: &str,
+    ddl: &str,
+    query: &str,
+    feed: &[(String, Vec<Value>)],
+    heartbeat: Option<Timestamp>,
+) {
+    for shards in [1usize, 2, 4, 8] {
+        let plan = FaultPlan::seeded(42, shards, feed.len() as u64);
+        let panics = plan
+            .faults()
+            .filter(|f| matches!(f, Fault::PanicAtCause { .. }))
+            .count() as u64;
+        assert!(panics >= 1, "{name}: plan must kill at least one worker");
+        let want = run_reference(ddl, query, feed, &plan, heartbeat);
+        assert!(
+            !want.is_empty(),
+            "{name}: reference output must be non-trivial"
+        );
+        let (got, stats) = run_faulted(shards, ddl, query, feed, &plan, heartbeat);
+        assert_eq!(
+            got, want,
+            "{name}: kill-and-recover at N={shards} diverged from the uninterrupted reference"
+        );
+        assert!(
+            stats.restarts >= 1,
+            "{name} N={shards}: eslev_shard_restarts_total must increment (got {})",
+            stats.restarts
+        );
+        assert_eq!(
+            stats.checkpoints, 1,
+            "{name} N={shards}: the seeded plan checkpoints once"
+        );
+        assert!(
+            stats.shards.iter().any(|s| s
+                .last_panic
+                .as_deref()
+                .is_some_and(|d| d.contains("injected fault"))),
+            "{name} N={shards}: the original panic message must survive recovery"
+        );
+    }
+}
+
+// ------------------------------------------------------------------ E1
+
+const E1_DDL: &str = "
+    CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+    CREATE STREAM cleaned_readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+    INSERT INTO cleaned_readings
+    SELECT * FROM readings AS r1
+    WHERE NOT EXISTS
+      (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+       WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);";
+
+#[test]
+fn e1_dedup_survives_crash_and_recovery() {
+    let w = dedup::generate(&dedup::DedupConfig {
+        presences: 120,
+        duplicate_prob: 0.6,
+        seed: 11,
+        ..dedup::DedupConfig::default()
+    });
+    let feed: Vec<(String, Vec<Value>)> = w
+        .readings
+        .iter()
+        .map(|r| ("readings".to_string(), r.to_values()))
+        .collect();
+    assert_crash_differential("E1", E1_DDL, "SELECT * FROM cleaned_readings", &feed, None);
+}
+
+// ------------------------------------------------------------------ E6
+
+const E6_DDL: &str = "
+    CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C3 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C4 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);";
+
+#[test]
+fn e6_pairing_modes_survive_crash_and_recovery() {
+    let w = qc_line::generate(&qc_line::QcConfig {
+        products: 60,
+        seed: 3,
+        ..qc_line::QcConfig::default()
+    });
+    let feeds: Vec<(String, Vec<Reading>)> = w
+        .feeds
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (format!("c{}", i + 1), f.clone()))
+        .collect();
+    let feed: Vec<(String, Vec<Value>)> = merge_feeds(feeds)
+        .into_iter()
+        .map(|item| (item.stream, item.reading.to_values()))
+        .collect();
+    for mode in ["RECENT", "CHRONICLE", "UNRESTRICTED"] {
+        let query = format!(
+            "SELECT C1.tagid, C4.tagtime FROM C1, C2, C3, C4
+             WHERE SEQ(C1, C2, C3, C4) MODE {mode}
+             AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid"
+        );
+        assert_crash_differential(&format!("E6 {mode}"), E6_DDL, &query, &feed, None);
+    }
+}
+
+// ----------------------------------------------------------------- E10
+
+const E10_DDL: &str = "
+    CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM R2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);";
+
+const E10_QUERY: &str = "SELECT COUNT(R1*), R2.tagid FROM R1, R2
+                         WHERE SEQ(R1*, R2) MODE CHRONICLE AND R1.tagid = R2.tagid";
+
+fn e10_feed(tags: usize, runs_per_tag: usize, run_len: usize) -> Vec<(String, Vec<Value>)> {
+    let mut feed = Vec::new();
+    let mut ts = 0u64;
+    for _run in 0..runs_per_tag {
+        for step in 0..=run_len {
+            for tag in 0..tags {
+                ts += 1;
+                let stream = if step < run_len { "r1" } else { "r2" };
+                feed.push((
+                    stream.to_string(),
+                    vec![
+                        Value::str("rd"),
+                        Value::str(format!("tag-{tag}")),
+                        Value::Ts(Timestamp::from_secs(ts)),
+                    ],
+                ));
+            }
+        }
+    }
+    feed
+}
+
+#[test]
+fn e10_star_sequence_survives_crash_and_recovery() {
+    let feed = e10_feed(7, 5, 3);
+    assert_crash_differential("E10 star", E10_DDL, E10_QUERY, &feed, None);
+}
+
+/// Active expiration under recovery: a broadcast heartbeat fires
+/// `EXCEPTION_SEQ`-style timeouts after the crashed shard was restored,
+/// and the expirations must match the uninterrupted run exactly.
+#[test]
+fn e10_heartbeat_expiry_survives_crash_and_recovery() {
+    let feed = e10_feed(5, 2, 4);
+    assert_crash_differential(
+        "E10 heartbeat",
+        E10_DDL,
+        E10_QUERY,
+        &feed,
+        Some(Timestamp::from_secs(3600)),
+    );
+}
+
+/// Journal-only recovery: no checkpoint is ever taken, so the restarted
+/// shard replays its entire journal from cause zero.
+#[test]
+fn journal_only_recovery_replays_from_zero() {
+    let w = dedup::generate(&dedup::DedupConfig {
+        presences: 60,
+        duplicate_prob: 0.5,
+        seed: 5,
+        ..dedup::DedupConfig::default()
+    });
+    let feed: Vec<(String, Vec<Value>)> = w
+        .readings
+        .iter()
+        .map(|r| ("readings".to_string(), r.to_values()))
+        .collect();
+    let query = "SELECT * FROM cleaned_readings";
+    for shards in [2usize, 4] {
+        let plan = FaultPlan::new().with(Fault::PanicAtCause {
+            shard: 0,
+            cause: (feed.len() / 2) as u64,
+        });
+        let want = run_reference(E1_DDL, query, &feed, &plan, None);
+        let (got, stats) = run_faulted(shards, E1_DDL, query, &feed, &plan, None);
+        assert_eq!(got, want, "journal-only recovery diverged at N={shards}");
+        assert_eq!(stats.checkpoints, 0);
+        assert!(stats.restarts >= 1);
+        assert!(
+            stats.shards[0].checkpoint_cause.is_none(),
+            "no checkpoint means replay from cause zero"
+        );
+        assert!(
+            stats.replayed_tuples >= (feed.len() / 2) as u64,
+            "the whole journal prefix must replay (got {})",
+            stats.replayed_tuples
+        );
+    }
+}
