@@ -11,6 +11,12 @@
 //! run, and the detector match/prune counters for E6/E10. If `<path>` is
 //! a directory the file is named `BENCH_<yyyy-mm-dd>.json` inside it.
 //!
+//! The R1 representation sweep always runs: E1/E6/E10 replayed through
+//! a single engine under both row representations (interned symbols +
+//! compact state keys vs. the seed `Vec<Value>` layout), recording
+//! feed-phase throughput, end-of-feed state-key bytes, and interner
+//! dictionary size.
+//!
 //! With `--shards <n>` the harness additionally replays E1/E6/E10
 //! through the EPC-partitioned `ShardedEngine` at shard counts
 //! 1, 2, 4, … up to `n` (the scaling curve), recording merged-output
@@ -28,6 +34,7 @@
 use eslev_bench::table::TextTable;
 use eslev_bench::*;
 use eslev_core::prelude::PairingMode;
+use eslev_dsms::prelude::Representation;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -641,6 +648,55 @@ fn main() {
     }
     println!("{}", t.to_markdown());
     sections.push(("A2", obj(&[("rows", arr(rows))])));
+
+    // -------------------------------------------- representation sweep
+    {
+        println!("## R1 — row representation: interned symbols vs seed Vec<Value>\n");
+        let workloads = [
+            shard_workload_e1(4_000),
+            shard_workload_e6(60),
+            shard_workload_e10(16, 12, 4),
+        ];
+        let mut t = TextTable::new(&[
+            "experiment",
+            "representation",
+            "rows_in",
+            "rows_out",
+            "kreads/s",
+            "state_key_bytes",
+            "interner_entries",
+            "interner_bytes",
+        ]);
+        let mut rows = Vec::new();
+        for w in &workloads {
+            for rep in [Representation::Seed, Representation::Interned] {
+                let (row, secs) = timed(|| run_repr_sweep(w, rep), 3);
+                t.row(vec![
+                    row.experiment.to_string(),
+                    row.representation.to_string(),
+                    row.rows_in.to_string(),
+                    row.rows_out.to_string(),
+                    format!("{:.0}", row.rows_in as f64 / secs / 1e3),
+                    row.state_key_bytes.to_string(),
+                    row.interner_entries.to_string(),
+                    row.interner_bytes.to_string(),
+                ]);
+                rows.push(obj(&[
+                    ("experiment", jstr(row.experiment)),
+                    ("representation", jstr(row.representation)),
+                    ("rows_in", row.rows_in.to_string()),
+                    ("rows_out", row.rows_out.to_string()),
+                    ("best_secs", jf(secs)),
+                    ("feed_secs", jf(row.feed_secs)),
+                    ("state_key_bytes", row.state_key_bytes.to_string()),
+                    ("interner_entries", row.interner_entries.to_string()),
+                    ("interner_bytes", row.interner_bytes.to_string()),
+                ]));
+            }
+        }
+        println!("{}", t.to_markdown());
+        sections.push(("R1", obj(&[("rows", arr(rows))])));
+    }
 
     // --------------------------------------------------- shard scaling
     if let Some(max_shards) = shards_flag {

@@ -1221,6 +1221,60 @@ pub fn shard_workload_e10(tags: usize, runs_per_tag: usize, run_len: usize) -> S
     }
 }
 
+/// One row of the R1 representation sweep: a paper workload replayed
+/// through a single engine under one row representation (interned
+/// symbols + compact state keys vs. the seed `Vec<Value>` layout).
+#[derive(Debug, Clone)]
+pub struct ReprSweepRow {
+    /// Experiment label.
+    pub experiment: &'static str,
+    /// Representation label (`interned` / `seed`).
+    pub representation: &'static str,
+    /// Tuples fed.
+    pub rows_in: usize,
+    /// Tuples the collected query produced.
+    pub rows_out: usize,
+    /// Feed-phase wall time in seconds (planning and workload
+    /// generation excluded, mirroring `e1_dedup_batched`).
+    pub feed_secs: f64,
+    /// Bytes held in encoded state keys across all queries at the end.
+    pub state_key_bytes: usize,
+    /// Interner dictionary entries at the end (0 under seed).
+    pub interner_entries: usize,
+    /// Interner dictionary bytes at the end (0 under seed).
+    pub interner_bytes: usize,
+}
+
+/// Replay `w` through one single-threaded engine under `rep`, timing
+/// only the feed phase. The same workloads drive the shard-scaling
+/// sweep, so R1 numbers are directly comparable to S1's single-shard
+/// baseline.
+pub fn run_repr_sweep(w: &ShardWorkload, rep: Representation) -> ReprSweepRow {
+    let mut engine = Engine::with_representation(rep);
+    execute_script(&mut engine, &w.ddl).expect("static script plans");
+    let q = execute(&mut engine, &w.query).expect("static query plans");
+    let collector = q.collector().expect("collected query").clone();
+    let start = std::time::Instant::now();
+    for (stream, values) in &w.feed {
+        engine.push(stream, values.clone()).expect("feed");
+    }
+    let feed_secs = start.elapsed().as_secs_f64();
+    let (interner_entries, interner_bytes) = engine.interner_stats();
+    ReprSweepRow {
+        experiment: w.experiment,
+        representation: match rep {
+            Representation::Interned => "interned",
+            Representation::Seed => "seed",
+        },
+        rows_in: w.feed.len(),
+        rows_out: collector.take().len(),
+        feed_secs,
+        state_key_bytes: engine.state_key_bytes(),
+        interner_entries,
+        interner_bytes,
+    }
+}
+
 /// Replay `w` through a [`ShardedEngine`] at `shards` workers; returns
 /// the scaling row plus the router's merged metrics snapshot (router
 /// counters and per-shard engine metrics under a `shard` label).

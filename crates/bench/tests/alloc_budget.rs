@@ -1,0 +1,97 @@
+//! Steady-state allocation budget for the E1 hot loop.
+//!
+//! The interned representation exists to keep the per-tuple path off
+//! the allocator: admission canonicalizes strings against a warm
+//! dictionary (hash probe, no clone), dedup probes its key map through
+//! a reusable scratch buffer, and only genuine state growth boxes a new
+//! key. This test pins that property with a counting global allocator:
+//! feed the first half of an E1 workload to warm every map and the
+//! dictionary, then count allocations over the second half and assert
+//! the per-tuple average stays under a fixed budget.
+//!
+//! The budget (13 allocations/tuple) is ~1.5× the observed steady
+//! state (~8.5/tuple: tuple construction for admitted rows and the
+//! derived-stream re-push dominate), so real regressions — an
+//! allocation reintroduced per probe or per admission — blow through it
+//! while allocator-placement noise does not.
+//!
+//! One `#[test]` only: the counter is process-global, and a second
+//! concurrently running test would pollute the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocations per tuple the steady-state E1 feed may average.
+const BUDGET_ALLOCS_PER_TUPLE: f64 = 13.0;
+
+#[test]
+fn e1_steady_state_allocs_per_tuple_within_budget() {
+    let (mut engine, readings) = eslev_bench::e1_setup(0.5, 2_000);
+    // Materialize every row up front: `to_values` allocates the row
+    // vector and its strings, which is feed-generation cost, not engine
+    // cost — it must not land in the measured window.
+    let rows: Vec<Vec<eslev_dsms::value::Value>> = readings.iter().map(|r| r.to_values()).collect();
+    let half = rows.len() / 2;
+    let mut it = rows.into_iter();
+
+    // Warm-up: first half fills the dedup map, the EXISTS window and
+    // the interner dictionary, and settles map capacities.
+    for values in it.by_ref().take(half) {
+        engine.push("readings", values).expect("feed");
+    }
+
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let mut measured = 0u64;
+    for values in it {
+        engine.push("readings", values).expect("feed");
+        measured += 1;
+    }
+    COUNTING.store(false, Ordering::Relaxed);
+
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+    let per_tuple = allocs as f64 / measured as f64;
+    eprintln!("E1 steady state: {per_tuple:.2} allocs/tuple ({allocs}/{measured})");
+    assert!(measured > 1_000, "workload too small to be steady state");
+    assert!(
+        per_tuple <= BUDGET_ALLOCS_PER_TUPLE,
+        "E1 steady state allocated {per_tuple:.2} times per tuple \
+         ({allocs} allocations over {measured} tuples), budget is \
+         {BUDGET_ALLOCS_PER_TUPLE}"
+    );
+}

@@ -23,6 +23,8 @@ use crate::pattern::SeqPattern;
 use eslev_dsms::ckpt::StateNode;
 use eslev_dsms::error::{DsmsError, Result};
 use eslev_dsms::expr::Expr;
+use eslev_dsms::hash::FnvBuildHasher;
+use eslev_dsms::key::{KeyCodec, StateKey};
 use eslev_dsms::time::Timestamp;
 use eslev_dsms::tuple::Tuple;
 use eslev_dsms::value::Value;
@@ -86,12 +88,22 @@ impl DetectorConfig {
 }
 
 /// The incremental multi-stream sequence detector.
+///
+/// Partition state keys on compact [`StateKey`] encodings and iterates
+/// in **creation order** (tracked in `order`), so punctuation-driven
+/// emission is deterministic and identical across representations and
+/// across a checkpoint/restore boundary.
 pub struct Detector {
     pattern: Arc<SeqPattern>,
     kind: DetectKind,
     partition: Option<Vec<Expr>>,
     filter: Option<MatchFilter>,
-    states: HashMap<Vec<Value>, Box<dyn ModeEngine>>,
+    codec: KeyCodec,
+    scratch: Vec<u8>,
+    states: HashMap<StateKey, Box<dyn ModeEngine>, FnvBuildHasher>,
+    /// Live partition keys in creation order — the punctuation
+    /// iteration and checkpoint serialization order.
+    order: Vec<StateKey>,
     matches_emitted: u64,
     exceptions_emitted: u64,
     partitions_created: u64,
@@ -117,12 +129,25 @@ impl Detector {
             kind: config.kind,
             partition: config.partition,
             filter: config.filter,
-            states: HashMap::new(),
+            codec: KeyCodec::raw(),
+            scratch: Vec::new(),
+            states: HashMap::default(),
+            order: Vec::new(),
             matches_emitted: 0,
             exceptions_emitted: 0,
             partitions_created: 0,
             prunes_carry: 0,
         })
+    }
+
+    /// Adopt the engine's key codec (called at query registration).
+    pub fn bind_codec(&mut self, codec: &KeyCodec) {
+        self.codec = codec.clone();
+    }
+
+    /// Total encoded bytes of live partition keys.
+    pub fn state_key_bytes(&self) -> usize {
+        self.states.keys().map(|k| k.len()).sum()
     }
 
     /// The pattern being detected.
@@ -135,18 +160,6 @@ impl Detector {
         self.pattern.num_ports()
     }
 
-    fn engine(&mut self, key: Vec<Value>) -> &mut Box<dyn ModeEngine> {
-        let (pattern, kind) = (&self.pattern, self.kind);
-        let created = &mut self.partitions_created;
-        self.states.entry(key).or_insert_with(|| {
-            *created += 1;
-            match kind {
-                DetectKind::Seq => engine_for(pattern.mode, pattern),
-                DetectKind::ExceptionSeq => Box::new(Exception::new()),
-            }
-        })
-    }
-
     /// Process one tuple arriving on `port`.
     pub fn on_tuple(&mut self, port: usize, t: &Tuple) -> Result<Vec<DetectorOutput>> {
         if port >= self.pattern.num_ports() {
@@ -155,34 +168,55 @@ impl Detector {
                 self.pattern.num_ports()
             )));
         }
-        let key = match &self.partition {
-            None => Vec::new(),
-            Some(keys) => vec![keys[port].eval(&[t])?],
-        };
+        // Encode the partition key straight into the scratch buffer —
+        // existing partitions are found without allocating.
+        self.scratch.clear();
+        if let Some(keys) = &self.partition {
+            let v = keys[port].eval(&[t])?;
+            self.codec.encode_value_into(&mut self.scratch, &v);
+        }
+        if !self.states.contains_key(self.scratch.as_slice()) {
+            self.partitions_created += 1;
+            let eng: Box<dyn ModeEngine> = match self.kind {
+                DetectKind::Seq => engine_for(self.pattern.mode, &self.pattern),
+                DetectKind::ExceptionSeq => Box::new(Exception::new()),
+            };
+            let key = StateKey::from_slice(&self.scratch);
+            self.order.push(key.clone());
+            self.states.insert(key, eng);
+        }
         let pattern = self.pattern.clone();
         let mut raw = Vec::new();
-        self.engine(key).on_tuple(&pattern, port, t, &mut raw)?;
+        self.states
+            .get_mut(self.scratch.as_slice())
+            .expect("partition just ensured")
+            .on_tuple(&pattern, port, t, &mut raw)?;
         self.postprocess(raw)
     }
 
     /// Advance stream time: purge state and fire window-expiry events.
+    /// Partitions are visited in creation order, so expiry emission is
+    /// deterministic (and survives checkpoint/restore unchanged).
     pub fn on_punctuation(&mut self, ts: Timestamp) -> Result<Vec<DetectorOutput>> {
         let pattern = self.pattern.clone();
         let mut raw = Vec::new();
-        for eng in self.states.values_mut() {
+        for key in &self.order {
+            let eng = self.states.get_mut(key).expect("order tracks states");
             eng.on_punctuation(&pattern, ts, &mut raw)?;
         }
         // Dead partitions hold nothing: drop them so long-lived detectors
         // over high-cardinality keys do not leak. Their prune totals move
         // into the carry first so the detector-wide count is monotonic.
         let carry = &mut self.prunes_carry;
-        self.states.retain(|_, e| {
-            if e.retained() > 0 {
-                true
-            } else {
-                *carry += e.prunes();
-                false
+        let states = &mut self.states;
+        self.order.retain(|k| {
+            let keep = states.get(k).is_some_and(|e| e.retained() > 0);
+            if !keep {
+                if let Some(e) = states.remove(k) {
+                    *carry += e.prunes();
+                }
             }
+            keep
         });
         self.postprocess(raw)
     }
@@ -246,16 +280,19 @@ impl Detector {
     }
 
     /// Serialize every partition's engine state plus the emission
-    /// counters. Partitions are sorted by key rendering so equal states
-    /// serialize to equal bytes regardless of hash-map iteration order.
+    /// counters. Partitions serialize in creation order — the order is
+    /// itself state (it drives punctuation iteration), so a restored
+    /// detector must rebuild it exactly; keys decode back to values so
+    /// the checkpoint stays representation-independent.
     pub fn save_state(&self) -> Result<StateNode> {
-        let mut parts: Vec<(&Vec<Value>, &Box<dyn ModeEngine>)> = self.states.iter().collect();
-        parts.sort_by_key(|(k, _)| format!("{k:?}"));
-        let parts = parts
-            .into_iter()
-            .map(|(k, e)| {
+        let parts = self
+            .order
+            .iter()
+            .map(|k| {
+                let e = &self.states[k];
+                let vals = self.codec.decode(k.as_bytes())?;
                 Ok(StateNode::List(vec![
-                    StateNode::List(k.iter().map(|v| StateNode::Value(v.clone())).collect()),
+                    StateNode::List(vals.into_iter().map(StateNode::Value).collect()),
                     e.save_state()?,
                 ]))
             })
@@ -273,6 +310,7 @@ impl Detector {
     /// built from the same configuration (pattern, kind, partitioning).
     pub fn restore_state(&mut self, state: &StateNode) -> Result<()> {
         self.states.clear();
+        self.order.clear();
         for part in state.item(0)?.as_list()? {
             let key = part
                 .item(0)?
@@ -285,6 +323,8 @@ impl Detector {
                 DetectKind::ExceptionSeq => Box::new(Exception::new()),
             };
             eng.restore_state(part.item(1)?)?;
+            let key = self.codec.encode(&key);
+            self.order.push(key.clone());
             self.states.insert(key, eng);
         }
         self.matches_emitted = state.item(1)?.as_u64()?;

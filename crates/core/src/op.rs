@@ -12,6 +12,7 @@ use crate::binding::DetectorOutput;
 use crate::detector::Detector;
 use eslev_dsms::ckpt::StateNode;
 use eslev_dsms::error::Result;
+use eslev_dsms::key::KeyCodec;
 use eslev_dsms::ops::{OpReport, Operator};
 use eslev_dsms::time::Timestamp;
 use eslev_dsms::tuple::Tuple;
@@ -61,6 +62,14 @@ impl Operator for DetectorOp {
 
     fn name(&self) -> &str {
         "seq-detector"
+    }
+
+    fn bind_interner(&mut self, codec: &KeyCodec) {
+        self.detector.bind_codec(codec);
+    }
+
+    fn state_key_bytes(&self) -> usize {
+        self.detector.state_key_bytes()
     }
 
     fn retained(&self) -> usize {

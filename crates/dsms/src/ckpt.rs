@@ -22,7 +22,9 @@ use crate::value::Value;
 use std::hash::Hasher;
 
 /// Current checkpoint format version (bumped on incompatible changes).
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Version 2 added the interner dictionary section; version-1 buffers
+/// (no dictionary) still decode, with an empty dictionary.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 4] = b"ESCK";
 
@@ -255,29 +257,46 @@ pub struct EngineCheckpoint {
     pub next_seq: u64,
     /// The engine's watermark (stream time) at capture time.
     pub now: Timestamp,
+    /// The engine interner's dictionary in symbol order, so a restored
+    /// engine re-encodes state keys onto the symbols the capturing
+    /// engine assigned. Empty for seed-representation engines and for
+    /// version-1 checkpoints.
+    pub dict: Vec<String>,
     /// The engine-assembled state tree (streams, queries, tables).
     pub root: StateNode,
 }
 
 impl EngineCheckpoint {
-    /// Wrap a state tree with the current format version.
+    /// Wrap a state tree with the current format version (no
+    /// dictionary; see [`EngineCheckpoint::with_dict`]).
     pub fn new(next_seq: u64, now: Timestamp, root: StateNode) -> EngineCheckpoint {
         EngineCheckpoint {
             version: CHECKPOINT_VERSION,
             next_seq,
             now,
+            dict: Vec::new(),
             root,
         }
     }
 
+    /// Attach the interner dictionary (symbol order).
+    pub fn with_dict(mut self, dict: Vec<String>) -> EngineCheckpoint {
+        self.dict = dict;
+        self
+    }
+
     /// Serialize to a self-contained byte buffer (magic, version,
-    /// position, state tree, FNV-1a checksum).
+    /// position, dictionary, state tree, FNV-1a checksum).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64);
         buf.extend_from_slice(MAGIC);
         put_u32(&mut buf, self.version);
         put_u64(&mut buf, self.next_seq);
         put_u64(&mut buf, self.now.as_micros());
+        put_u32(&mut buf, self.dict.len() as u32);
+        for s in &self.dict {
+            put_bytes(&mut buf, s.as_bytes());
+        }
         self.root.encode(&mut buf);
         let mut h = FnvHasher::default();
         h.write(&buf);
@@ -301,13 +320,22 @@ impl EngineCheckpoint {
         }
         let mut pos = MAGIC.len();
         let version = get_u32(body, &mut pos)?;
-        if version != CHECKPOINT_VERSION {
+        if version == 0 || version > CHECKPOINT_VERSION {
             return Err(DsmsError::ckpt(format!(
-                "checkpoint version {version} unsupported (expected {CHECKPOINT_VERSION})"
+                "checkpoint version {version} unsupported (expected <= {CHECKPOINT_VERSION})"
             )));
         }
         let next_seq = get_u64(body, &mut pos)?;
         let now = Timestamp::from_micros(get_u64(body, &mut pos)?);
+        // Version 1 predates the dictionary section.
+        let mut dict = Vec::new();
+        if version >= 2 {
+            let n = get_u32(body, &mut pos)? as usize;
+            dict.reserve(n.min(1 << 20));
+            for _ in 0..n {
+                dict.push(get_string(body, &mut pos)?);
+            }
+        }
         let root = StateNode::decode(body, &mut pos)?;
         if pos != body.len() {
             return Err(DsmsError::ckpt("trailing bytes after checkpoint state"));
@@ -316,6 +344,7 @@ impl EngineCheckpoint {
             version,
             next_seq,
             now,
+            dict,
             root,
         })
     }
@@ -507,6 +536,37 @@ mod tests {
         bytes[body_len..].copy_from_slice(&sum);
         let err = EngineCheckpoint::from_bytes(&bytes).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn dictionary_section_round_trips() {
+        let dict = vec!["reader-1".to_string(), String::new(), "tag17".to_string()];
+        let ck = EngineCheckpoint::new(9, Timestamp::from_secs(1), sample_root())
+            .with_dict(dict.clone());
+        let back = EngineCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back.version, CHECKPOINT_VERSION);
+        assert_eq!(back.dict, dict);
+    }
+
+    #[test]
+    fn version_one_buffers_decode_with_empty_dictionary() {
+        // Hand-build a v1 buffer: same layout as v2 minus the dictionary
+        // section between the watermark and the state tree.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        put_u32(&mut buf, 1);
+        put_u64(&mut buf, 55);
+        put_u64(&mut buf, Timestamp::from_secs(4).as_micros());
+        StateNode::U64(11).encode(&mut buf);
+        let mut h = FnvHasher::default();
+        h.write(&buf);
+        put_u64(&mut buf, h.finish());
+        let back = EngineCheckpoint::from_bytes(&buf).unwrap();
+        assert_eq!(back.version, 1);
+        assert_eq!(back.next_seq, 55);
+        assert_eq!(back.now, Timestamp::from_secs(4));
+        assert!(back.dict.is_empty());
+        assert_eq!(back.root, StateNode::U64(11));
     }
 
     #[test]

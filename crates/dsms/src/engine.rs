@@ -22,6 +22,8 @@ use crate::agg::AggregateRegistry;
 use crate::ckpt::{EngineCheckpoint, StateNode};
 use crate::error::{DsmsError, Result};
 use crate::expr::FunctionRegistry;
+use crate::intern::{InternerRef, Representation, StrInterner};
+use crate::key::KeyCodec;
 use crate::obs::{Counter, Histogram, MetricValue, MetricsSnapshot, Registry};
 use crate::ops::{OpReport, Operator};
 use crate::schema::SchemaRef;
@@ -29,7 +31,7 @@ use crate::snapshot::{MaterializedWindow, SnapshotRef};
 use crate::table::{Table, TableRef};
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
-use crate::value::Value;
+use crate::value::{Value, ValueType};
 use crate::window::WindowExtent;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -127,6 +129,8 @@ pub struct QueryStats {
     pub tuples_in: u64,
     /// Tuples routed to the query's sink.
     pub tuples_out: u64,
+    /// Bytes held in encoded state keys across the query's operators.
+    pub state_key_bytes: usize,
 }
 
 struct QueryState {
@@ -145,6 +149,9 @@ struct QueryState {
 
 struct StreamEntry {
     schema: SchemaRef,
+    /// Indices of string-typed columns, cached so admission interning
+    /// touches only the columns that can hold strings.
+    str_cols: Vec<usize>,
     last_ts: Timestamp,
     pushed: u64,
     /// Registry twin of `pushed` (readable from snapshots).
@@ -185,6 +192,13 @@ pub struct Engine {
     next_seq: u64,
     now: Timestamp,
     auto_watermark: bool,
+    /// Row representation: interned (default) canonicalizes string
+    /// columns at admission so operator state keys on symbol ids.
+    representation: Representation,
+    /// The engine's string dictionary (shared with its operators).
+    interner: InternerRef,
+    /// Key codec handed to operators at registration.
+    codec: KeyCodec,
     /// Shared instrument registry (cloneable; see [`Engine::registry`]).
     obs: Registry,
     /// Punctuations delivered via [`Engine::advance_to`].
@@ -202,11 +216,24 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Fresh engine with built-in aggregates, no streams or queries.
+    /// Fresh engine with built-in aggregates, no streams or queries,
+    /// running the default interned representation.
     pub fn new() -> Engine {
+        Engine::with_representation(Representation::Interned)
+    }
+
+    /// Fresh engine with an explicit row representation. `Seed` keeps
+    /// raw string bytes in state keys — the pre-interning layout the R1
+    /// bench sweep measures against.
+    pub fn with_representation(representation: Representation) -> Engine {
         let obs = Registry::new();
         let punctuations = obs.counter("eslev_punctuations_total", &[]);
         let rejected_tuples = obs.counter("eslev_rejected_tuples_total", &[]);
+        let interner: InternerRef = Arc::new(StrInterner::new());
+        let codec = match representation {
+            Representation::Interned => KeyCodec::interned(interner.clone()),
+            Representation::Seed => KeyCodec::raw(),
+        };
         Engine {
             streams: HashMap::new(),
             tables: HashMap::new(),
@@ -218,11 +245,30 @@ impl Engine {
             next_seq: 0,
             now: Timestamp::ZERO,
             auto_watermark: true,
+            representation,
+            interner,
+            codec,
             obs,
             punctuations,
             rejected_tuples,
             dead_letters: VecDeque::new(),
         }
+    }
+
+    /// The engine's row representation.
+    pub fn representation(&self) -> Representation {
+        self.representation
+    }
+
+    /// Dictionary size: `(entries, content bytes)` of the engine's
+    /// interner.
+    pub fn interner_stats(&self) -> (usize, usize) {
+        (self.interner.entries(), self.interner.bytes())
+    }
+
+    /// Total encoded state-key bytes across all registered queries.
+    pub fn state_key_bytes(&self) -> usize {
+        self.queries.iter().map(|q| q.op.state_key_bytes()).sum()
     }
 
     /// The engine's instrument registry. Clones share the underlying
@@ -251,10 +297,18 @@ impl Engine {
         let labels = [("stream", name.as_str())];
         let pushed_ctr = self.obs.counter("eslev_stream_pushed_total", &labels);
         let rejected_ctr = self.obs.counter("eslev_stream_rejected_total", &labels);
+        let str_cols = schema
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ty == ValueType::Str)
+            .map(|(i, _)| i)
+            .collect();
         self.streams.insert(
             name,
             StreamEntry {
                 schema,
+                str_cols,
                 last_ts: Timestamp::ZERO,
                 pushed: 0,
                 pushed_ctr,
@@ -445,6 +499,8 @@ impl Engine {
         let tuples_in = self.obs.counter("eslev_query_tuples_in_total", &labels);
         let tuples_out = self.obs.counter("eslev_query_tuples_out_total", &labels);
         let wall = self.obs.histogram("eslev_query_wall_ns", &labels);
+        let mut op = op;
+        op.bind_interner(&self.codec);
         self.queries.push(QueryState {
             name,
             op,
@@ -542,7 +598,7 @@ impl Engine {
         }
         let mut batch = Vec::with_capacity(group.len());
         let mut max = Timestamp::ZERO;
-        for (values, seq) in group.drain(..) {
+        for (mut values, seq) in group.drain(..) {
             let seqno = seq.unwrap_or(self.next_seq);
             let ts = match Tuple::validate_against(&entry.schema, &values) {
                 Ok(ts) => ts,
@@ -557,6 +613,11 @@ impl Engine {
                     return Err(e);
                 }
             };
+            if self.representation == Representation::Interned {
+                for &c in &entry.str_cols {
+                    self.interner.canonicalize(&mut values[c]);
+                }
+            }
             let t = Tuple::new(values, ts, seqno);
             self.next_seq = self.next_seq.max(seqno + 1);
             if t.ts() < entry.last_ts {
@@ -580,7 +641,7 @@ impl Engine {
     fn push_impl(
         &mut self,
         stream: &str,
-        values: Vec<Value>,
+        mut values: Vec<Value>,
         seq_override: Option<u64>,
     ) -> Result<()> {
         let lower = stream.to_ascii_lowercase();
@@ -602,6 +663,11 @@ impl Engine {
                 return Err(e);
             }
         };
+        if self.representation == Representation::Interned {
+            for &c in &entry.str_cols {
+                self.interner.canonicalize(&mut values[c]);
+            }
+        }
         let t = Tuple::new(values, ts, seq);
         self.next_seq = self.next_seq.max(seq + 1);
         if entry.reorder.is_some() {
@@ -909,6 +975,7 @@ impl Engine {
                 retained: q.op.retained(),
                 tuples_in: q.tuples_in.get(),
                 tuples_out: q.tuples_out.get(),
+                state_key_bytes: q.op.state_key_bytes(),
             })
             .collect()
     }
@@ -978,12 +1045,29 @@ impl Engine {
     /// plus derived per-stage operator samples and retention gauges.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.obs.snapshot();
+        let (entries, bytes) = self.interner_stats();
+        snap.push(
+            "eslev_interner_entries",
+            &[],
+            MetricValue::Gauge(entries as i64),
+        );
+        snap.push(
+            "eslev_interner_bytes",
+            &[],
+            MetricValue::Gauge(bytes as i64),
+        );
         for (i, q) in self.queries.iter().enumerate() {
             let id = i.to_string();
+            let labels = [("query", q.name.as_str()), ("id", id.as_str())];
             snap.push(
                 "eslev_query_retained",
-                &[("query", q.name.as_str()), ("id", id.as_str())],
+                &labels,
                 MetricValue::Gauge(q.op.retained() as i64),
+            );
+            snap.push(
+                "eslev_query_state_key_bytes",
+                &labels,
+                MetricValue::Gauge(q.op.state_key_bytes() as i64),
             );
             let r = self.query_report(QueryId(i));
             Self::append_report(&mut snap, &q.name, &r);
@@ -1101,7 +1185,8 @@ impl Engine {
             StateNode::List(tables),
             StateNode::List(materialized),
         ]);
-        Ok(EngineCheckpoint::new(self.next_seq, self.now, root))
+        Ok(EngineCheckpoint::new(self.next_seq, self.now, root)
+            .with_dict(self.interner.dictionary()))
     }
 
     /// Restore state captured by [`Engine::checkpoint`] into this engine.
@@ -1112,6 +1197,12 @@ impl Engine {
     /// position). Structural mismatches are typed checkpoint errors, not
     /// silent partial restores.
     pub fn restore(&mut self, ck: &EngineCheckpoint) -> Result<()> {
+        // The dictionary restores FIRST: operator restore re-encodes
+        // state keys through the shared codec, and the pre-seeded
+        // dictionary makes those keys land on the symbols the capturing
+        // engine assigned (journal replay then re-interns the replayed
+        // suffix onto the ids that follow).
+        self.interner.restore_dictionary(&ck.dict)?;
         for node in ck.root.item(0)?.as_list()? {
             let name = node.item(0)?.as_str()?;
             let entry = self.streams.get_mut(name).ok_or_else(|| {

@@ -40,9 +40,15 @@ impl FunctionRegistry {
         self.funcs.insert(name.to_ascii_lowercase(), f);
     }
 
-    /// Look up a function.
+    /// Look up a function. Keys are stored lowercased (see
+    /// [`FunctionRegistry::register`]), so an already-lowercase caller —
+    /// every planner-compiled expression — probes without allocating.
     pub fn get(&self, name: &str) -> Option<&ScalarFn> {
-        self.funcs.get(&name.to_ascii_lowercase())
+        if name.bytes().any(|b| b.is_ascii_uppercase()) {
+            self.funcs.get(&name.to_ascii_lowercase())
+        } else {
+            self.funcs.get(name)
+        }
     }
 
     /// Names of all registered functions, for error messages.

@@ -48,7 +48,9 @@ pub mod error;
 pub mod expr;
 pub mod fault;
 pub mod hash;
+pub mod intern;
 pub mod journal;
+pub mod key;
 pub mod lookup;
 pub mod obs;
 pub mod ops;
@@ -70,7 +72,9 @@ pub mod prelude {
     pub use crate::error::{DsmsError, Result};
     pub use crate::expr::{BinOp, Expr, FunctionRegistry, LikePattern};
     pub use crate::fault::{Fault, FaultPlan};
+    pub use crate::intern::{InternerRef, Representation, StrInterner, Sym};
     pub use crate::journal::{Journal, JournalEntry};
+    pub use crate::key::{KeyCodec, StateKey};
     pub use crate::lookup::{MissPolicy, TableExists, TableLookup};
     pub use crate::obs::{
         Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue, MetricsSnapshot,

@@ -18,6 +18,8 @@ use crate::agg::{Accumulator, AggregateRef};
 use crate::ckpt::StateNode;
 use crate::error::Result;
 use crate::expr::Expr;
+use crate::hash::FnvBuildHasher;
+use crate::key::{KeyCodec, StateKey};
 use crate::time::{Duration, Timestamp};
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -67,13 +69,17 @@ struct GroupState {
 ///
 /// Output rows are `group values ++ aggregate values`, timestamped at the
 /// triggering arrival (or at the punctuation for periodic emission).
+/// Groups key on compact [`StateKey`] encodings; probes reuse a scratch
+/// buffer so existing groups are found without allocating.
 pub struct WindowAggregate {
     group_by: Vec<Expr>,
     specs: Vec<AggSpec>,
     /// `None` = unbounded (cumulative) aggregation.
     window: Option<AggWindow>,
     emission: Emission,
-    groups: HashMap<Vec<Value>, GroupState>,
+    codec: KeyCodec,
+    scratch: Vec<u8>,
+    groups: HashMap<StateKey, GroupState, FnvBuildHasher>,
 }
 
 impl WindowAggregate {
@@ -90,7 +96,9 @@ impl WindowAggregate {
             specs,
             window,
             emission,
-            groups: HashMap::new(),
+            codec: KeyCodec::raw(),
+            scratch: Vec::new(),
+            groups: HashMap::default(),
         }
     }
 
@@ -132,7 +140,7 @@ impl WindowAggregate {
         }
     }
 
-    fn emit_group(&self, key: &[Value], g: &GroupState, ts: Timestamp, seq: u64) -> Tuple {
+    fn emit_group(key: &[Value], g: &GroupState, ts: Timestamp, seq: u64) -> Tuple {
         let mut vals: Vec<Value> = key.to_vec();
         vals.extend(g.accs.iter().map(|a| a.terminate()));
         Tuple::new(vals, ts, seq)
@@ -152,15 +160,21 @@ impl Operator for WindowAggregate {
             .map(|s| s.arg.eval(&[t]))
             .collect::<Result<_>>()?;
 
-        let specs = &self.specs;
+        self.codec.encode_into(&mut self.scratch, &key);
+        if !self.groups.contains_key(self.scratch.as_slice()) {
+            self.groups.insert(
+                StateKey::from_slice(&self.scratch),
+                GroupState {
+                    window: VecDeque::new(),
+                    accs: Self::fresh_accs(&self.specs),
+                    dirty: false,
+                },
+            );
+        }
         let g = self
             .groups
-            .entry(key.clone())
-            .or_insert_with(|| GroupState {
-                window: VecDeque::new(),
-                accs: Self::fresh_accs(specs),
-                dirty: false,
-            });
+            .get_mut(self.scratch.as_slice())
+            .expect("group just ensured");
         for (acc, v) in g.accs.iter_mut().zip(&args) {
             acc.iterate(v)?;
         }
@@ -169,24 +183,30 @@ impl Operator for WindowAggregate {
             Self::slide(w, &self.specs, g, t.ts());
         }
         if self.emission == Emission::PerArrival {
-            let g = &self.groups[&key];
-            out.push(self.emit_group(&key, g, t.ts(), t.seq()));
+            out.push(Self::emit_group(&key, g, t.ts(), t.seq()));
         }
         Ok(())
     }
 
     fn on_punctuation(&mut self, ts: Timestamp, out: &mut Vec<Tuple>) -> Result<()> {
         if self.emission == Emission::OnPunctuation {
-            let mut keys: Vec<Vec<Value>> = self.groups.keys().cloned().collect();
-            keys.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
-            for key in keys {
+            // Emission order is by the decoded key's rendering —
+            // identical to the seed's `Vec<Value>` sort, so periodic
+            // reports are byte-identical across representations.
+            let mut keys: Vec<(Vec<Value>, StateKey)> = self
+                .groups
+                .keys()
+                .map(|k| Ok((self.codec.decode(k.as_bytes())?, k.clone())))
+                .collect::<Result<_>>()?;
+            keys.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+            for (vals, key) in keys {
                 if let Some(w) = self.window {
                     let specs = &self.specs;
                     let g = self.groups.get_mut(&key).expect("key from map");
                     Self::slide(w, specs, g, ts);
                 }
                 let g = &self.groups[&key];
-                out.push(self.emit_group(&key, g, ts, 0));
+                out.push(Self::emit_group(&vals, g, ts, 0));
             }
             if self.window.is_none() {
                 // Periodic reports over unbounded state restart each period
@@ -212,6 +232,14 @@ impl Operator for WindowAggregate {
         "aggregate"
     }
 
+    fn bind_interner(&mut self, codec: &KeyCodec) {
+        self.codec = codec.clone();
+    }
+
+    fn state_key_bytes(&self) -> usize {
+        self.groups.keys().map(|k| k.len()).sum()
+    }
+
     // Per-arrival emission re-slides the window at each arrival's own
     // timestamp, so punctuations only pre-expire rows the next arrival
     // would expire anyway; punctuation emission, by contrast, *is* the
@@ -225,12 +253,18 @@ impl Operator for WindowAggregate {
     }
 
     fn save_state(&self) -> Result<StateNode> {
-        let mut keys: Vec<&Vec<Value>> = self.groups.keys().collect();
-        keys.sort_by_key(|k| format!("{k:?}"));
+        // Keys decode back to values: the checkpoint format is the same
+        // whichever representation the engine runs.
+        let mut keys: Vec<(Vec<Value>, &StateKey)> = self
+            .groups
+            .keys()
+            .map(|k| Ok((self.codec.decode(k.as_bytes())?, k)))
+            .collect::<Result<_>>()?;
+        keys.sort_by_key(|(k, _)| format!("{k:?}"));
         let groups = keys
             .into_iter()
-            .map(|key| {
-                let g = &self.groups[key];
+            .map(|(key, state_key)| {
+                let g = &self.groups[state_key];
                 let key_node =
                     StateNode::List(key.iter().map(|v| StateNode::Value(v.clone())).collect());
                 let window = StateNode::List(
@@ -295,7 +329,7 @@ impl Operator for WindowAggregate {
                 acc.restore_state(node)?;
             }
             self.groups.insert(
-                key,
+                self.codec.encode(&key),
                 GroupState {
                     window,
                     accs,

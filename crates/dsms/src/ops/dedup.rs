@@ -19,6 +19,7 @@ use crate::ckpt::StateNode;
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::hash::FnvBuildHasher;
+use crate::key::{KeyCodec, StateKey};
 use crate::time::{Duration, Timestamp};
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -27,16 +28,21 @@ use std::collections::HashMap;
 /// Streaming duplicate filter keyed by arbitrary expressions.
 ///
 /// State is one timestamp per live key — the paper's point that a DSMS
-/// does this with a 1-second window rather than unbounded history.
+/// does this with a 1-second window rather than unbounded history. Keys
+/// are stored as compact [`StateKey`] encodings; probes encode into a
+/// reusable scratch buffer so the hot path allocates nothing on hits.
 pub struct Dedup {
     key: Vec<Expr>,
     /// When every key expression is a plain column reference, the
-    /// column indices — key extraction then skips expression
-    /// evaluation entirely (the planner always produces column keys,
-    /// so this is the hot configuration).
+    /// column indices — key extraction then encodes straight from the
+    /// tuple's columns, skipping expression evaluation entirely (the
+    /// planner always produces column keys, so this is the hot
+    /// configuration).
     key_cols: Option<Vec<usize>>,
     window: Duration,
-    last_seen: HashMap<Vec<Value>, Timestamp, FnvBuildHasher>,
+    codec: KeyCodec,
+    scratch: Vec<u8>,
+    last_seen: HashMap<StateKey, Timestamp, FnvBuildHasher>,
     /// Keys are purged lazily when stream time has moved a full window
     /// past them; this counter avoids rescanning the map on every tuple.
     last_purge: Timestamp,
@@ -57,6 +63,8 @@ impl Dedup {
             key,
             key_cols,
             window,
+            codec: KeyCodec::raw(),
+            scratch: Vec::new(),
             last_seen: HashMap::default(),
             last_purge: Timestamp::ZERO,
             suppressed: 0,
@@ -68,11 +76,26 @@ impl Dedup {
         self.suppressed
     }
 
-    fn key_of(&self, t: &Tuple) -> Result<Vec<Value>> {
+    /// Encode the tuple's key into the scratch buffer. The column fast
+    /// path reads values in place — no `Vec<Value>` is built at all.
+    fn encode_key(&mut self, t: &Tuple) -> Result<()> {
         match &self.key_cols {
-            Some(cols) => Ok(cols.iter().map(|&c| t.value(c).clone()).collect()),
-            None => self.key.iter().map(|e| e.eval(&[t])).collect(),
+            Some(cols) => {
+                self.scratch.clear();
+                for &c in cols {
+                    self.codec.encode_value_into(&mut self.scratch, t.value(c));
+                }
+            }
+            None => {
+                let vals = self
+                    .key
+                    .iter()
+                    .map(|e| e.eval(&[t]))
+                    .collect::<Result<Vec<Value>>>()?;
+                self.codec.encode_into(&mut self.scratch, &vals);
+            }
         }
+        Ok(())
     }
 
     fn purge(&mut self, now: Timestamp) {
@@ -87,19 +110,18 @@ impl Dedup {
     /// window in place (duplicates chain — a suppressed reading still
     /// extends the window for later ones). Returns whether `t` passes.
     fn admit(&mut self, t: &Tuple) -> Result<bool> {
-        let key = self.key_of(t)?;
+        self.encode_key(t)?;
         let now = t.ts();
-        let window = self.window;
         let mut dup = false;
-        self.last_seen
-            .entry(key)
-            .and_modify(|seen| {
-                // Window is RANGE w PRECEDING (inclusive): a prior
-                // reading exactly w old still counts as a duplicate.
-                dup = now.since(*seen).is_some_and(|gap| gap <= window);
-                *seen = now;
-            })
-            .or_insert(now);
+        if let Some(seen) = self.last_seen.get_mut(self.scratch.as_slice()) {
+            // Window is RANGE w PRECEDING (inclusive): a prior
+            // reading exactly w old still counts as a duplicate.
+            dup = now.since(*seen).is_some_and(|gap| gap <= self.window);
+            *seen = now;
+        } else {
+            self.last_seen
+                .insert(StateKey::from_slice(&self.scratch), now);
+        }
         if dup {
             self.suppressed += 1;
         }
@@ -157,6 +179,14 @@ impl Operator for Dedup {
         "dedup"
     }
 
+    fn bind_interner(&mut self, codec: &KeyCodec) {
+        self.codec = codec.clone();
+    }
+
+    fn state_key_bytes(&self) -> usize {
+        self.last_seen.keys().map(|k| k.len()).sum()
+    }
+
     fn retained(&self) -> usize {
         self.last_seen.len()
     }
@@ -168,15 +198,20 @@ impl Operator for Dedup {
     }
 
     fn save_state(&self) -> Result<StateNode> {
-        // Entries sorted by key rendering so equal states serialize to
-        // equal bytes regardless of hash-map iteration order.
-        let mut entries: Vec<(&Vec<Value>, &Timestamp)> = self.last_seen.iter().collect();
+        // Keys decode back to values so the checkpoint stays
+        // representation-independent, and entries sort by key rendering
+        // so equal states serialize to equal bytes regardless of
+        // hash-map iteration order.
+        let mut entries: Vec<(Vec<Value>, Timestamp)> = self
+            .last_seen
+            .iter()
+            .map(|(k, &seen)| Ok((self.codec.decode(k.as_bytes())?, seen)))
+            .collect::<Result<_>>()?;
         entries.sort_by_key(|(k, _)| format!("{k:?}"));
         let pairs = entries
             .into_iter()
-            .map(|(k, &seen)| {
-                let mut item: Vec<StateNode> =
-                    k.iter().map(|v| StateNode::Value(v.clone())).collect();
+            .map(|(k, seen)| {
+                let mut item: Vec<StateNode> = k.into_iter().map(StateNode::Value).collect();
                 item.push(StateNode::ts(seen));
                 StateNode::List(item)
             })
@@ -200,7 +235,8 @@ impl Operator for Dedup {
                 .iter()
                 .map(|v| v.as_value().cloned())
                 .collect::<Result<Vec<Value>>>()?;
-            self.last_seen.insert(key, ts_part[0].as_ts()?);
+            self.last_seen
+                .insert(self.codec.encode(&key), ts_part[0].as_ts()?);
         }
         self.last_purge = state.item(1)?.as_ts()?;
         self.suppressed = state.item(2)?.as_u64()?;

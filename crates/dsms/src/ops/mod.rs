@@ -24,6 +24,7 @@ pub use select::Select;
 
 use crate::ckpt::StateNode;
 use crate::error::{DsmsError, Result};
+use crate::key::KeyCodec;
 use crate::obs::{Histogram, HistogramSnapshot};
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
@@ -143,6 +144,19 @@ pub trait Operator: Send {
 
     /// Operator name for plan display.
     fn name(&self) -> &str;
+
+    /// Adopt the engine's key codec at registration time. Stateful
+    /// operators that key maps on [`crate::key::StateKey`] store the
+    /// codec here so their encoding matches the engine's representation
+    /// (interned symbols or raw seed bytes). Default: nothing to bind.
+    fn bind_interner(&mut self, _codec: &KeyCodec) {}
+
+    /// Total encoded bytes of the operator's state keys — the
+    /// state-size metric the R1 representation sweep reports. Computed
+    /// on demand (never on the hot path). Default: no keyed state.
+    fn state_key_bytes(&self) -> usize {
+        0
+    }
 
     /// Approximate number of tuples currently retained in operator state —
     /// the metric the paper's Tuple Pairing Modes are designed to bound.
@@ -308,6 +322,16 @@ impl Operator for Chain {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn bind_interner(&mut self, codec: &KeyCodec) {
+        for stage in &mut self.stages {
+            stage.bind_interner(codec);
+        }
+    }
+
+    fn state_key_bytes(&self) -> usize {
+        self.stages.iter().map(|s| s.state_key_bytes()).sum()
     }
 
     fn retained(&self) -> usize {

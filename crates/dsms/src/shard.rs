@@ -34,6 +34,7 @@ use crate::ckpt::EngineCheckpoint;
 use crate::driver::{BatchItem, EngineDriver, EngineInput, Tap};
 use crate::engine::{Collector, Engine};
 use crate::error::{DsmsError, Result};
+use crate::hash::FnvBuildHasher;
 use crate::journal::Journal;
 use crate::obs::{Counter, Gauge, MetricsSnapshot, Registry};
 use crate::time::Timestamp;
@@ -266,6 +267,12 @@ pub struct ShardedEngine {
     next_cause: u64,
     spec: ShardSpec,
     routes: HashMap<String, Route>,
+    /// Memoised shard assignment for single-string-column key routes,
+    /// keyed by *string content* (`Arc<str>` hashes and compares by
+    /// contents, not pointer), so routing is byte-identical to the
+    /// uncached [`shard_of`] regardless of interning or shard-local
+    /// symbol ids. Entries are computed by `shard_of` on first sight.
+    key_cache: HashMap<Arc<str>, usize, FnvBuildHasher>,
     sent_marks: WatermarkAggregator,
     /// Whether [`ShardedEngine::push_batch`] may coalesce the per-row
     /// watermark broadcasts into one trailing punctuation per shard:
@@ -378,6 +385,7 @@ impl ShardedEngine {
             next_cause: 1,
             spec,
             routes: HashMap::new(),
+            key_cache: HashMap::default(),
             sent_marks: WatermarkAggregator::new(shards),
             coalesce_marks: AtomicBool::new(!per_tuple_marks),
             slots,
@@ -465,6 +473,26 @@ impl ShardedEngine {
         Ok(route)
     }
 
+    /// Shard assignment for one keyed row: delegates to [`shard_of`],
+    /// memoising the result per string value when the route key is a
+    /// single string column (the EPC case — by far the hottest route).
+    /// The cached value *is* a `shard_of` result, so the mapping stays
+    /// byte-identical to the uncached path.
+    fn shard_for(&mut self, values: &[Value], cols: &[usize]) -> usize {
+        let shards = self.shards();
+        if let [col] = cols {
+            if let Some(Value::Str(s)) = values.get(*col) {
+                if let Some(&target) = self.key_cache.get(s) {
+                    return target;
+                }
+                let target = shard_of(values, cols, shards);
+                self.key_cache.insert(s.clone(), target);
+                return target;
+            }
+        }
+        shard_of(values, cols, shards)
+    }
+
     /// Journal one push for `shard` and send it, restarting the shard in
     /// place when the send finds the worker dead of a panic — the
     /// journal entry (appended before the send) is replayed as part of
@@ -509,7 +537,7 @@ impl ShardedEngine {
             .and_then(|i| values.get(i).and_then(Value::as_ts));
         match &route.rule {
             RouteRule::Key(cols) => {
-                let target = shard_of(&values, cols, self.shards());
+                let target = self.shard_for(&values, cols);
                 self.journal_push(target, &lower, values, cause)?;
                 self.routed[target].inc();
                 if let Some(ts) = ts {
@@ -578,7 +606,7 @@ impl ShardedEngine {
             }
             match &route.rule {
                 RouteRule::Key(cols) => {
-                    let target = shard_of(&values, cols, shards);
+                    let target = self.shard_for(&values, cols);
                     per_shard[target].push(BatchItem::Push {
                         stream: lower,
                         values,

@@ -9,6 +9,9 @@
 use crate::ckpt::StateNode;
 use crate::error::{DsmsError, Result};
 use crate::expr::Expr;
+use crate::hash::FnvBuildHasher;
+use crate::intern::StrInterner;
+use crate::key::{KeyCodec, StateKey};
 use crate::schema::SchemaRef;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -16,18 +19,28 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// One hash index: encoded key -> row positions.
+type Index = HashMap<StateKey, Vec<usize>, FnvBuildHasher>;
+
 /// A mutable, optionally-indexed relational table.
+///
+/// Indexes key on compact [`StateKey`] encodings with a table-private
+/// interner: keys intern only on write paths (insert/update/rebuild),
+/// while probes use a non-inserting lookup — a string the table has
+/// never stored cannot match any row, so a dictionary miss answers the
+/// probe without growing the dictionary.
 #[derive(Debug)]
 pub struct Table {
     schema: SchemaRef,
+    codec: KeyCodec,
     inner: RwLock<TableInner>,
 }
 
 #[derive(Debug, Default)]
 struct TableInner {
     rows: Vec<Tuple>,
-    /// Hash indexes: column index -> (value -> row positions).
-    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    /// Hash indexes: column index -> (encoded value -> row positions).
+    indexes: HashMap<usize, Index>,
     next_seq: u64,
 }
 
@@ -39,6 +52,7 @@ impl Table {
     pub fn new(schema: SchemaRef) -> TableRef {
         Arc::new(Table {
             schema,
+            codec: KeyCodec::interned(Arc::new(StrInterner::new())),
             inner: RwLock::new(TableInner::default()),
         })
     }
@@ -46,6 +60,23 @@ impl Table {
     /// The table's schema.
     pub fn schema(&self) -> &SchemaRef {
         &self.schema
+    }
+
+    /// Encode an index key on a write path (interns new strings).
+    fn index_key(&self, v: &Value) -> StateKey {
+        self.codec.encode(std::slice::from_ref(v))
+    }
+
+    /// Rebuild every existing hash index over the current rows.
+    fn rebuild_indexes(&self, inner: &mut TableInner) {
+        let cols: Vec<usize> = inner.indexes.keys().copied().collect();
+        for c in cols {
+            let mut idx = Index::default();
+            for (i, row) in inner.rows.iter().enumerate() {
+                idx.entry(self.index_key(row.value(c))).or_default().push(i);
+            }
+            inner.indexes.insert(c, idx);
+        }
     }
 
     /// Create a hash index on a column (by name). Indexing an already
@@ -56,9 +87,11 @@ impl Table {
         if inner.indexes.contains_key(&col) {
             return Ok(());
         }
-        let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
+        let mut idx = Index::default();
         for (i, row) in inner.rows.iter().enumerate() {
-            idx.entry(row.value(col).clone()).or_default().push(i);
+            idx.entry(self.index_key(row.value(col)))
+                .or_default()
+                .push(i);
         }
         inner.indexes.insert(col, idx);
         Ok(())
@@ -72,17 +105,17 @@ impl Table {
         inner.next_seq += 1;
         let pos = inner.rows.len();
         // Borrow dance: collect index keys first, then update.
-        let keys: Vec<(usize, Value)> = inner
+        let keys: Vec<(usize, StateKey)> = inner
             .indexes
             .keys()
-            .map(|&c| (c, t.value(c).clone()))
+            .map(|&c| (c, self.index_key(t.value(c))))
             .collect();
-        for (c, v) in keys {
+        for (c, k) in keys {
             inner
                 .indexes
                 .get_mut(&c)
                 .expect("index exists")
-                .entry(v)
+                .entry(k)
                 .or_default()
                 .push(pos);
         }
@@ -116,8 +149,13 @@ impl Table {
         let col = self.schema.require_column(column)?;
         let inner = self.inner.read();
         if let Some(idx) = inner.indexes.get(&col) {
+            // Probe without interning: an un-interned string was never
+            // written, so it cannot match any indexed row.
+            let Some(probe) = self.codec.try_encode_value(key) else {
+                return Ok(Vec::new());
+            };
             Ok(idx
-                .get(key)
+                .get(probe.as_slice())
                 .map(|ps| ps.iter().map(|&p| inner.rows[p].clone()).collect())
                 .unwrap_or_default())
         } else {
@@ -182,10 +220,10 @@ impl Table {
             let new = Tuple::new(vals, old.ts(), old.seq());
             inner.rows[i] = new;
             if let Some(idx) = inner.indexes.get_mut(&col) {
-                if let Some(ps) = idx.get_mut(&old_val) {
+                if let Some(ps) = idx.get_mut(&self.index_key(&old_val)) {
                     ps.retain(|&p| p != i);
                 }
-                idx.entry(set_val.clone()).or_default().push(i);
+                idx.entry(self.index_key(set_val)).or_default().push(i);
             }
         }
         Ok(changed.len())
@@ -224,10 +262,10 @@ impl Table {
             vals[col] = new_val.clone();
             inner.rows[*i] = Tuple::new(vals, old.ts(), old.seq());
             if let Some(idx) = inner.indexes.get_mut(&col) {
-                if let Some(ps) = idx.get_mut(&old_val) {
+                if let Some(ps) = idx.get_mut(&self.index_key(&old_val)) {
                     ps.retain(|&p| p != *i);
                 }
-                idx.entry(new_val.clone()).or_default().push(*i);
+                idx.entry(self.index_key(new_val)).or_default().push(*i);
             }
         }
         Ok(changed.len())
@@ -262,14 +300,7 @@ impl Table {
         let mut inner = self.inner.write();
         inner.rows = rows;
         inner.next_seq = next_seq;
-        let cols: Vec<usize> = inner.indexes.keys().copied().collect();
-        for c in cols {
-            let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
-            for (i, row) in inner.rows.iter().enumerate() {
-                idx.entry(row.value(c).clone()).or_default().push(i);
-            }
-            inner.indexes.insert(c, idx);
-        }
+        self.rebuild_indexes(&mut inner);
         Ok(())
     }
 
@@ -287,14 +318,7 @@ impl Table {
         inner.rows = kept;
         let removed = before - inner.rows.len();
         if removed > 0 {
-            let cols: Vec<usize> = inner.indexes.keys().copied().collect();
-            for c in cols {
-                let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
-                for (i, row) in inner.rows.iter().enumerate() {
-                    idx.entry(row.value(c).clone()).or_default().push(i);
-                }
-                inner.indexes.insert(c, idx);
-            }
+            self.rebuild_indexes(&mut inner);
         }
         Ok(removed)
     }

@@ -298,6 +298,7 @@ impl Repl {
                         b.retained += s.retained;
                         b.tuples_in += s.tuples_in;
                         b.tuples_out += s.tuples_out;
+                        b.state_key_bytes += s.state_key_bytes;
                     }
                 }
                 Ok(base)
@@ -325,6 +326,21 @@ impl Repl {
         }
     }
 
+    /// Interner dictionary size `(entries, bytes)`, summed across shards
+    /// (each shard owns an independent dictionary, so the sum is what
+    /// the whole process holds).
+    fn merged_interner_stats(&self) -> Result<(usize, usize), DsmsError> {
+        match &self.backend {
+            Backend::Single(e) => Ok(e.interner_stats()),
+            Backend::Sharded(se) => {
+                let per_shard = se.exec_all(|e| e.interner_stats())?;
+                Ok(per_shard
+                    .into_iter()
+                    .fold((0, 0), |(en, by), (e, b)| (en + e, by + b)))
+            }
+        }
+    }
+
     fn metrics_snapshot(&self) -> MetricsSnapshot {
         match &self.backend {
             Backend::Single(e) => e.metrics_snapshot(),
@@ -348,7 +364,19 @@ impl Repl {
                 }
                 match what.as_str() {
                     "STATS" => Some(match self.merged_query_stats() {
-                        Ok(s) => render_stats(&s),
+                        Ok(s) => {
+                            let mut out = render_stats(&s);
+                            match self.merged_interner_stats() {
+                                Ok((entries, bytes)) => {
+                                    let _ =
+                                        writeln!(out, "interner entries={entries} bytes={bytes}");
+                                }
+                                Err(e) => {
+                                    let _ = writeln!(out, "interner error: {e}");
+                                }
+                            }
+                            out
+                        }
                         Err(e) => format!("error: {e}"),
                     }),
                     "STREAMS" => Some(match self.merged_stream_stats() {
@@ -921,13 +949,14 @@ fn render_stats(stats: &[QueryStats]) -> String {
     for s in stats {
         let _ = writeln!(
             out,
-            "{} {:<32} in={:<8} out={:<8} emitted={:<8} retained={}",
+            "{} {:<32} in={:<8} out={:<8} emitted={:<8} retained={:<8} key_bytes={}",
             if s.active { "live" } else { "dead" },
             s.name,
             s.tuples_in,
             s.tuples_out,
             s.emitted,
-            s.retained
+            s.retained,
+            s.state_key_bytes
         );
     }
     if out.is_empty() {
@@ -1077,6 +1106,8 @@ mod tests {
         let out = r.line("show stats;");
         assert!(out.contains("live"), "{out}");
         assert!(out.contains("in="), "{out}");
+        assert!(out.contains("key_bytes="), "{out}");
+        assert!(out.contains("interner entries="), "{out}");
         let out = r.line("SHOW STREAMS");
         assert!(out.contains("readings"), "{out}");
         assert!(out.contains("pushed="), "{out}");

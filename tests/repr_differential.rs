@@ -1,0 +1,250 @@
+//! Representation differential suite: the interned row representation
+//! (symbol dictionary + compact state keys) must be invisible in every
+//! output byte. E1 (dedup), E6 (pairing-mode `SEQ`, all three modes)
+//! and E10 (star sequence) run under `Representation::Interned` must
+//! match the `Representation::Seed` reference exactly — same rows, same
+//! timestamps, same order — both on a single engine and through the
+//! shard router at N ∈ {1, 2, 4, 8}; and the interner dictionary must
+//! survive a checkpoint/restore cycle through the byte codec.
+//!
+//! Comparison key: `(values, ts)` in emission order, the same key the
+//! shard differential suite uses (router-stamped sequence numbers
+//! differ from the single engine's dense counter by construction).
+
+use eslev::prelude::*;
+use eslev::rfid::scenario::{dedup, qc_line};
+
+type Row = (Vec<Value>, Timestamp);
+
+fn key_rows(rows: Vec<Tuple>) -> Vec<Row> {
+    rows.into_iter()
+        .map(|t| (t.values().to_vec(), t.ts()))
+        .collect()
+}
+
+/// Run `ddl` + one collected `query` over `feed` on a single engine
+/// under the given representation.
+fn run_single(
+    rep: Representation,
+    ddl: &str,
+    query: &str,
+    feed: &[(String, Vec<Value>)],
+) -> Vec<Row> {
+    let mut engine = Engine::with_representation(rep);
+    execute_script(&mut engine, ddl).expect("ddl plans");
+    let q = execute(&mut engine, query).expect("query plans");
+    let out = q.collector().expect("collected").clone();
+    for (stream, values) in feed {
+        engine.push(stream, values.clone()).expect("feed");
+    }
+    key_rows(out.take())
+}
+
+/// The same setup through the shard router (shards default to the
+/// interned representation) at `shards` workers.
+fn run_sharded(shards: usize, ddl: &str, query: &str, feed: &[(String, Vec<Value>)]) -> Vec<Row> {
+    let ddl = ddl.to_string();
+    let query = query.to_string();
+    let mut se = ShardedEngine::build(shards, 256, ShardSpec::new(), move |e| {
+        execute_script(e, &ddl)?;
+        let q = execute(e, &query)?;
+        Ok(vec![q.collector().expect("collected").clone()])
+    })
+    .expect("sharded build");
+    for (stream, values) in feed {
+        se.push(stream, values.clone()).expect("route");
+    }
+    se.flush().expect("flush");
+    let rows = key_rows(se.take_output(0).expect("slot 0"));
+    se.stop().expect("clean stop");
+    rows
+}
+
+fn assert_repr_differential(name: &str, ddl: &str, query: &str, feed: &[(String, Vec<Value>)]) {
+    let want = run_single(Representation::Seed, ddl, query, feed);
+    assert!(
+        !want.is_empty(),
+        "{name}: reference output must be non-trivial"
+    );
+    let interned = run_single(Representation::Interned, ddl, query, feed);
+    assert_eq!(
+        interned, want,
+        "{name}: interned single-engine output diverged from the seed representation"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let got = run_sharded(shards, ddl, query, feed);
+        assert_eq!(
+            got, want,
+            "{name}: interned sharded output at N={shards} diverged from the seed reference"
+        );
+    }
+}
+
+// ------------------------------------------------------------------ E1
+
+const E1_DDL: &str = "
+    CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+    CREATE STREAM cleaned_readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+    INSERT INTO cleaned_readings
+    SELECT * FROM readings AS r1
+    WHERE NOT EXISTS
+      (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+       WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);";
+
+fn e1_feed(seed: u64) -> Vec<(String, Vec<Value>)> {
+    let w = dedup::generate(&dedup::DedupConfig {
+        presences: 150,
+        duplicate_prob: 0.6,
+        seed,
+        ..dedup::DedupConfig::default()
+    });
+    w.readings
+        .iter()
+        .map(|r| ("readings".to_string(), r.to_values()))
+        .collect()
+}
+
+#[test]
+fn e1_dedup_interned_equals_seed() {
+    for seed in [1u64, 7] {
+        let feed = e1_feed(seed);
+        assert_repr_differential(
+            &format!("E1 seed {seed}"),
+            E1_DDL,
+            "SELECT * FROM cleaned_readings",
+            &feed,
+        );
+    }
+}
+
+// ------------------------------------------------------------------ E6
+
+const E6_DDL: &str = "
+    CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C3 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C4 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);";
+
+fn e6_feed(seed: u64) -> Vec<(String, Vec<Value>)> {
+    let w = qc_line::generate(&qc_line::QcConfig {
+        products: 80,
+        seed,
+        ..qc_line::QcConfig::default()
+    });
+    let feeds: Vec<(String, Vec<Reading>)> = w
+        .feeds
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (format!("c{}", i + 1), f.clone()))
+        .collect();
+    merge_feeds(feeds)
+        .into_iter()
+        .map(|item| (item.stream, item.reading.to_values()))
+        .collect()
+}
+
+#[test]
+fn e6_pairing_modes_interned_equals_seed() {
+    // The tag equalities lift into the detector partition key — the
+    // state keys that became symbol-encoded byte strings — so all three
+    // pairing modes must survive the representation change unchanged.
+    for mode in ["RECENT", "CHRONICLE", "UNRESTRICTED"] {
+        let query = format!(
+            "SELECT C1.tagid, C4.tagtime FROM C1, C2, C3, C4
+             WHERE SEQ(C1, C2, C3, C4) MODE {mode}
+             AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid"
+        );
+        let feed = e6_feed(3);
+        assert_repr_differential(&format!("E6 {mode}"), E6_DDL, &query, &feed);
+    }
+}
+
+// ----------------------------------------------------------------- E10
+
+const E10_DDL: &str = "
+    CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM R2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);";
+
+const E10_QUERY: &str = "SELECT COUNT(R1*), R2.tagid FROM R1, R2
+                         WHERE SEQ(R1*, R2) MODE CHRONICLE AND R1.tagid = R2.tagid";
+
+/// Tag-interleaved star runs (same shape as the shard differential).
+fn e10_feed(tags: usize, runs_per_tag: usize, run_len: usize) -> Vec<(String, Vec<Value>)> {
+    let mut feed = Vec::new();
+    let mut ts = 0u64;
+    for _run in 0..runs_per_tag {
+        for step in 0..=run_len {
+            for tag in 0..tags {
+                ts += 1;
+                let stream = if step < run_len { "r1" } else { "r2" };
+                feed.push((
+                    stream.to_string(),
+                    vec![
+                        Value::str("rd"),
+                        Value::str(format!("tag-{tag}")),
+                        Value::Ts(Timestamp::from_secs(ts)),
+                    ],
+                ));
+            }
+        }
+    }
+    feed
+}
+
+#[test]
+fn e10_star_sequence_interned_equals_seed() {
+    let feed = e10_feed(7, 6, 3);
+    assert_repr_differential("E10 star", E10_DDL, E10_QUERY, &feed);
+}
+
+// ------------------------------------------- dictionary crash recovery
+
+/// The interner dictionary must survive the checkpoint byte codec: a
+/// run interrupted by checkpoint → serialize → deserialize → restore
+/// into a fresh engine must finish with the same output as the
+/// uninterrupted run (restored state keys land on the symbols the
+/// capturing engine assigned).
+#[test]
+fn dictionary_survives_checkpoint_restore() {
+    let feed = e1_feed(5);
+    let query = "SELECT * FROM cleaned_readings";
+    let want = run_single(Representation::Interned, E1_DDL, query, &feed);
+    assert!(!want.is_empty(), "reference output must be non-trivial");
+
+    let cut = feed.len() / 2;
+
+    let mut first = Engine::with_representation(Representation::Interned);
+    execute_script(&mut first, E1_DDL).unwrap();
+    let q = execute(&mut first, query).unwrap();
+    let out_a = q.collector().unwrap().clone();
+    for (stream, values) in &feed[..cut] {
+        first.push(stream, values.clone()).unwrap();
+    }
+    let ck = first.checkpoint().unwrap();
+    let bytes = ck.to_bytes();
+    let (entries, _) = first.interner_stats();
+    assert!(entries > 0, "E1 feed must have interned strings");
+    assert_eq!(ck.dict.len(), entries, "checkpoint carries the dictionary");
+    let mut rows = key_rows(out_a.take());
+
+    let ck = EngineCheckpoint::from_bytes(&bytes).unwrap();
+    let mut second = Engine::with_representation(Representation::Interned);
+    execute_script(&mut second, E1_DDL).unwrap();
+    let q = execute(&mut second, query).unwrap();
+    let out_b = q.collector().unwrap().clone();
+    second.restore(&ck).unwrap();
+    assert_eq!(
+        second.interner_stats().0,
+        entries,
+        "restore rebuilds the dictionary"
+    );
+    for (stream, values) in &feed[cut..] {
+        second.push(stream, values.clone()).unwrap();
+    }
+    rows.extend(key_rows(out_b.take()));
+
+    assert_eq!(
+        rows, want,
+        "restored run diverged from the uninterrupted reference"
+    );
+}
