@@ -30,6 +30,16 @@
 //! uninterrupted single-engine reference. The JSON export carries the
 //! recovery counters (`restarts`, `replayed_tuples`, `checkpoints`) and
 //! the rendered fault schedule; a divergent recovery fails the run.
+//!
+//! With `--latency` the harness runs the L1 ingest→emit latency sweep:
+//! E1/E6/E10 through the single engine and the sharded engine at
+//! 1/2/4/8 workers, batch sizes 1 and 64, reporting the sampled
+//! p50/p90/p99 tuple latency (1 in 64 admitted tuples is stamped).
+//! With `--trace <path>` it additionally writes a chrome://tracing JSON
+//! dump of a flight-recorded E1 run.
+//!
+//! The JSON export carries a `build` header (git revision, rustc
+//! version, sweep configuration) so numbers are comparable across PRs.
 
 use eslev_bench::table::TextTable;
 use eslev_bench::*;
@@ -114,15 +124,23 @@ fn today_utc() -> String {
     format!("{year:04}-{month:02}-{day:02}")
 }
 
-fn parse_args() -> (
-    Option<std::path::PathBuf>,
-    Option<usize>,
-    Vec<usize>,
-    Option<u64>,
-) {
+struct Args {
+    json_path: Option<std::path::PathBuf>,
+    shards: Option<usize>,
+    batches: Vec<usize>,
+    fault_seed: Option<u64>,
+    /// Run the L1 ingest→emit latency sweep.
+    latency: bool,
+    /// Dump a chrome://tracing JSON of a traced E1 run to this path.
+    trace_path: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
     let mut json_path = None;
     let mut shards = None;
     let mut fault_seed = None;
+    let mut latency = false;
+    let mut trace_path = None;
     // The B1 ingestion sweep always includes size 1 as the baseline.
     let mut batches = vec![1, 8, 64, 512];
     let mut args = std::env::args().skip(1);
@@ -176,19 +194,58 @@ fn parse_args() -> (
                     }
                 }
             }
+            "--latency" => latency = true,
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
-                    "unknown argument: {other}\nusage: harness [--json <path>] [--shards <n>] [--batch <n,n,...>] [--faults <seed>]"
+                    "unknown argument: {other}\nusage: harness [--json <path>] [--shards <n>] [--batch <n,n,...>] [--faults <seed>] [--latency] [--trace <path>]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    (json_path, shards, batches, fault_seed)
+    Args {
+        json_path,
+        shards,
+        batches,
+        fault_seed,
+        latency,
+        trace_path,
+    }
+}
+
+/// Build metadata for the JSON header: the short git revision and the
+/// rustc version, each "unknown" when the tool is unavailable (e.g. a
+/// source tarball without `.git`).
+fn build_metadata() -> (String, String) {
+    let run = |cmd: &str, args: &[&str]| -> Option<String> {
+        let out = std::process::Command::new(cmd).args(args).output().ok()?;
+        out.status
+            .success()
+            .then(|| String::from_utf8_lossy(&out.stdout).trim().to_string())
+    };
+    let git_rev = run("git", &["rev-parse", "--short", "HEAD"])
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let rustc = run(
+        &std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string()),
+        &["--version"],
+    )
+    .filter(|s| !s.is_empty())
+    .unwrap_or_else(|| "unknown".to_string());
+    (git_rev, rustc)
 }
 
 fn main() {
-    let (json_path, shards_flag, batch_sizes, fault_seed) = parse_args();
+    let args = parse_args();
+    let (json_path, shards_flag, batch_sizes, fault_seed) =
+        (args.json_path, args.shards, args.batches, args.fault_seed);
     // (experiment key, JSON value) — filled as each table is printed.
     let mut sections: Vec<(&str, String)> = Vec::new();
 
@@ -819,6 +876,94 @@ fn main() {
         }
     }
 
+    // ---------------------------------------------------- latency sweep
+    if args.latency {
+        println!("## L1 — sampled ingest→emit tuple latency (--latency)\n");
+        let workloads = [
+            shard_workload_e1(4_000),
+            shard_workload_e6(60),
+            shard_workload_e10(16, 12, 4),
+        ];
+        let mut t = TextTable::new(&[
+            "experiment",
+            "engine",
+            "batch",
+            "rows_in",
+            "rows_out",
+            "samples",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+        ]);
+        let mut rows = Vec::new();
+        let emit = |t: &mut TextTable, rows: &mut Vec<String>, r: &LatencySweepRow| {
+            let engine = if r.shards == 0 {
+                "single".to_string()
+            } else {
+                format!("sharded({})", r.shards)
+            };
+            t.row(vec![
+                r.experiment.to_string(),
+                engine,
+                r.batch.to_string(),
+                r.rows_in.to_string(),
+                r.rows_out.to_string(),
+                r.samples.to_string(),
+                format!("{:.1}", r.p50_ns as f64 / 1e3),
+                format!("{:.1}", r.p90_ns as f64 / 1e3),
+                format!("{:.1}", r.p99_ns as f64 / 1e3),
+            ]);
+            rows.push(obj(&[
+                ("experiment", jstr(r.experiment)),
+                ("shards", r.shards.to_string()),
+                ("batch", r.batch.to_string()),
+                ("rows_in", r.rows_in.to_string()),
+                ("rows_out", r.rows_out.to_string()),
+                ("samples", r.samples.to_string()),
+                ("p50_ns", r.p50_ns.to_string()),
+                ("p90_ns", r.p90_ns.to_string()),
+                ("p99_ns", r.p99_ns.to_string()),
+                ("feed_secs", jf(r.feed_secs)),
+            ]));
+        };
+        for w in &workloads {
+            for &batch in &[1usize, 64] {
+                let row = run_latency_single(w, batch);
+                emit(&mut t, &mut rows, &row);
+                for &n in &[1usize, 2, 4, 8] {
+                    let row = run_latency_sharded(w, n, batch);
+                    emit(&mut t, &mut rows, &row);
+                }
+            }
+        }
+        println!("{}", t.to_markdown());
+        sections.push(("L1", obj(&[("rows", arr(rows))])));
+    }
+
+    // ------------------------------------------------------- trace dump
+    if let Some(path) = &args.trace_path {
+        // A traced E1 run: flight recorder on, feed, dump the merged
+        // event buffer as chrome://tracing JSON.
+        let (mut engine, readings) = e1_setup(0.5, 5_000);
+        engine.set_tracing(true);
+        for r in &readings {
+            engine.push("readings", r.to_values()).expect("feed");
+        }
+        let events = engine.take_trace();
+        let json = eslev_dsms::prelude::chrome_trace_json(&events);
+        match std::fs::write(path, json) {
+            Ok(()) => println!(
+                "chrome://tracing dump of a traced E1 run ({} events) written to {}",
+                events.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
     println!("(Wall-clock columns are best-of-3 inline timings; run `cargo bench` for Criterion medians.)");
 
     if let Some(path) = json_path {
@@ -826,9 +971,30 @@ fn main() {
             .iter()
             .map(|(k, v)| (*k, v.clone()))
             .collect::<Vec<_>>());
+        // Build metadata makes sweeps comparable across PRs: which
+        // commit, which compiler, and which knobs produced the numbers.
+        let (git_rev, rustc) = build_metadata();
+        let build = obj(&[
+            ("git_rev", jstr(&git_rev)),
+            ("rustc", jstr(&rustc)),
+            (
+                "shards",
+                shards_flag.map_or("null".to_string(), |n| n.to_string()),
+            ),
+            (
+                "batch_sizes",
+                arr(batch_sizes.iter().map(|b| b.to_string()).collect()),
+            ),
+            ("latency_sweep", args.latency.to_string()),
+            (
+                "fault_seed",
+                fault_seed.map_or("null".to_string(), |s| s.to_string()),
+            ),
+        ]);
         let doc = obj(&[
             ("generated", jstr(&today_utc())),
             ("best_of", "3".to_string()),
+            ("build", build),
             ("experiments", experiments),
         ]);
         let file = if path.is_dir() {

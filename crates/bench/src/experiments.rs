@@ -1409,6 +1409,175 @@ pub fn run_fault_sweep(w: &ShardWorkload, shards: usize, seed: u64) -> FaultSwee
     }
 }
 
+/// One row of the L1 latency sweep: sampled ingest→emit tuple latency
+/// for a paper workload at one engine configuration. One in 64 admitted
+/// tuples is stamped at admission (single engine) or at routing time
+/// (sharded), and the stamp is closed at sink emission / merged release
+/// — see `eslev_dsms::trace`.
+#[derive(Debug, Clone)]
+pub struct LatencySweepRow {
+    /// Experiment label.
+    pub experiment: &'static str,
+    /// 0 = single in-process engine; otherwise the worker shard count.
+    pub shards: usize,
+    /// Rows per `push_batch` call (1 = tuple-at-a-time `push`).
+    pub batch: usize,
+    /// Tuples fed.
+    pub rows_in: usize,
+    /// Tuples the collected query produced.
+    pub rows_out: usize,
+    /// Latency samples recorded (the histogram count).
+    pub samples: u64,
+    /// Approximate latency percentiles, nanoseconds (log-bucket upper
+    /// bounds from `eslev_tuple_latency_ns`).
+    pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Feed-phase wall seconds (routing + flush + merge take when
+    /// sharded).
+    pub feed_secs: f64,
+}
+
+fn latency_of(
+    snap: &MetricsSnapshot,
+    w: &ShardWorkload,
+    shards: usize,
+    batch: usize,
+) -> (u64, u64, u64, u64) {
+    let lat = snap
+        .histogram("eslev_tuple_latency_ns", &[])
+        .unwrap_or_else(|| {
+            panic!(
+                "{} shards={shards} batch={batch}: no latency histogram",
+                w.experiment
+            )
+        });
+    (
+        lat.count,
+        lat.quantile(0.5),
+        lat.quantile(0.9),
+        lat.quantile(0.99),
+    )
+}
+
+/// Replay `w` through one single-threaded engine at `batch` rows per
+/// push, reading the sampled ingest→emit latency histogram. Tracing
+/// stays off — latency sampling is always on and allocation-free.
+pub fn run_latency_single(w: &ShardWorkload, batch: usize) -> LatencySweepRow {
+    let mut engine = Engine::new();
+    execute_script(&mut engine, &w.ddl).expect("static script plans");
+    let q = execute(&mut engine, &w.query).expect("static query plans");
+    let collector = q.collector().expect("collected query").clone();
+    let start = std::time::Instant::now();
+    if batch <= 1 {
+        for (stream, values) in &w.feed {
+            engine.push(stream, values.clone()).expect("feed");
+        }
+    } else {
+        for chunk in w.feed.chunks(batch) {
+            engine.push_batch(chunk.iter().cloned()).expect("feed");
+        }
+    }
+    let feed_secs = start.elapsed().as_secs_f64();
+    let snap = engine.metrics_snapshot();
+    let (samples, p50_ns, p90_ns, p99_ns) = latency_of(&snap, w, 0, batch);
+    LatencySweepRow {
+        experiment: w.experiment,
+        shards: 0,
+        batch,
+        rows_in: w.feed.len(),
+        rows_out: collector.take().len(),
+        samples,
+        p50_ns,
+        p90_ns,
+        p99_ns,
+        feed_secs,
+    }
+}
+
+/// Replay `w` through a [`ShardedEngine`] at `shards` workers and
+/// `batch` rows per push, reading the router's route→merged-release
+/// latency histogram (closed when [`ShardedEngine::take_output`]
+/// releases the merged rows, so it covers the full cross-thread path).
+pub fn run_latency_sharded(w: &ShardWorkload, shards: usize, batch: usize) -> LatencySweepRow {
+    let ddl = w.ddl.clone();
+    let query = w.query.clone();
+    let mut se = ShardedEngine::build(shards, 1024, ShardSpec::new(), move |e| {
+        execute_script(e, &ddl)?;
+        let q = execute(e, &query)?;
+        Ok(vec![q.collector().expect("collected query").clone()])
+    })
+    .expect("sharded build");
+    // Poll the merge slot during the feed (every ~256 rows), like a
+    // serving loop would — otherwise every stamped tuple waits for one
+    // final end-of-run take and the histogram just measures feed time.
+    let mut rows_out = 0usize;
+    let mut since_poll = 0usize;
+    let start = std::time::Instant::now();
+    if batch <= 1 {
+        for (stream, values) in &w.feed {
+            se.push(stream, values.clone()).expect("route");
+            since_poll += 1;
+            if since_poll >= 256 {
+                since_poll = 0;
+                rows_out += se.take_output(0).expect("merge slot").len();
+            }
+        }
+    } else {
+        for chunk in w.feed.chunks(batch) {
+            se.push_batch(chunk.iter().cloned()).expect("route");
+            since_poll += chunk.len();
+            if since_poll >= 256 {
+                since_poll = 0;
+                rows_out += se.take_output(0).expect("merge slot").len();
+            }
+        }
+    }
+    se.flush().expect("flush");
+    rows_out += se.take_output(0).expect("merge slot").len();
+    let feed_secs = start.elapsed().as_secs_f64();
+    let snap = se.metrics_snapshot();
+    let (samples, p50_ns, p90_ns, p99_ns) = latency_of(&snap, w, shards, batch);
+    se.stop().expect("clean stop");
+    LatencySweepRow {
+        experiment: w.experiment,
+        shards,
+        batch,
+        rows_in: w.feed.len(),
+        rows_out,
+        samples,
+        p50_ns,
+        p90_ns,
+        p99_ns,
+        feed_secs,
+    }
+}
+
+#[cfg(test)]
+mod latency_sweep_tests {
+    use super::*;
+
+    #[test]
+    fn latency_sweep_reports_samples_and_percentiles() {
+        let w = shard_workload_e1(400);
+        let single = run_latency_single(&w, 1);
+        assert!(single.rows_out > 0);
+        assert!(single.samples > 0, "1-in-64 sampling must land");
+        assert!(single.p50_ns > 0 && single.p50_ns <= single.p99_ns);
+        // Batched feed measures the same pipeline.
+        let batched = run_latency_single(&w, 64);
+        assert_eq!(batched.rows_out, single.rows_out);
+        assert!(batched.samples > 0);
+        // Sharded: router route→merged-release latency.
+        let sharded = run_latency_sharded(&w, 2, 1);
+        assert_eq!(sharded.rows_out, single.rows_out);
+        assert!(sharded.samples > 0);
+        assert!(sharded.p50_ns > 0 && sharded.p50_ns <= sharded.p99_ns);
+    }
+}
+
 #[cfg(test)]
 mod fault_sweep_tests {
     use super::*;

@@ -15,6 +15,13 @@
 //! allocation reintroduced per probe or per admission — blow through it
 //! while allocator-placement noise does not.
 //!
+//! The same test also pins the flight recorder's disabled cost at
+//! exactly zero allocations per tuple: a second engine that had tracing
+//! enabled and then disabled again must allocate *identically* to one
+//! that never touched it — `FlightRecorder::record` takes lazy closures
+//! precisely so the disabled path is one relaxed load, no argument
+//! construction, no allocation.
+//!
 //! One `#[test]` only: the counter is process-global, and a second
 //! concurrently running test would pollute the measured window.
 
@@ -94,4 +101,44 @@ fn e1_steady_state_allocs_per_tuple_within_budget() {
          ({allocs} allocations over {measured} tuples), budget is \
          {BUDGET_ALLOCS_PER_TUPLE}"
     );
+
+    // Tracing-off overhead: an engine whose flight recorder was enabled
+    // and then disabled must allocate exactly like one that never
+    // traced — 0 additional allocations per tuple. The workload is
+    // deterministic and the measured windows are identical, so the
+    // counts must match to the allocation.
+    let baseline = measure_steady_state_allocs(false);
+    let toggled = measure_steady_state_allocs(true);
+    eprintln!("tracing-off overhead: baseline {baseline} vs toggled {toggled} allocs");
+    assert_eq!(
+        toggled, baseline,
+        "disabled tracing must add 0 allocations/tuple \
+         (baseline {baseline}, after enable+disable {toggled})"
+    );
+}
+
+/// Steady-state allocation count over the second half of the E1 feed.
+/// With `toggle_tracing`, the flight recorder is enabled and disabled
+/// again before the measured window — the recorder ring then exists
+/// (capacity allocated up front) but the per-tuple path must not touch
+/// it.
+fn measure_steady_state_allocs(toggle_tracing: bool) -> u64 {
+    let (mut engine, readings) = eslev_bench::e1_setup(0.5, 2_000);
+    if toggle_tracing {
+        engine.set_tracing(true);
+        engine.set_tracing(false);
+    }
+    let rows: Vec<Vec<eslev_dsms::value::Value>> = readings.iter().map(|r| r.to_values()).collect();
+    let half = rows.len() / 2;
+    let mut it = rows.into_iter();
+    for values in it.by_ref().take(half) {
+        engine.push("readings", values).expect("feed");
+    }
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    for values in it {
+        engine.push("readings", values).expect("feed");
+    }
+    COUNTING.store(false, Ordering::Relaxed);
+    ALLOCS.load(Ordering::Relaxed)
 }

@@ -1,0 +1,60 @@
+//! Feed-phase wall-time budget for disabled tracing.
+//!
+//! The flight recorder must be free when off: `FlightRecorder::record`
+//! takes a lazy closure and bails on one relaxed atomic load, and the
+//! 1-in-64 latency stamps are integer masks. This test feeds the same
+//! E1 workload through an engine that never traced and one whose
+//! recorder was enabled and then disabled again, and requires the
+//! toggled engine's best-of-N feed time to stay within 5% of the
+//! baseline.
+//!
+//! Wall-clock comparisons on shared CI machines are noisy, so each
+//! attempt interleaves the two configurations rep-by-rep (transient
+//! noise hits both equally) and keeps the best of 7; the 5% gate gets a
+//! few attempts before the test fails.
+
+use std::time::Instant;
+
+/// Allowed feed-phase slowdown of tracing-disabled vs never-traced.
+const BUDGET: f64 = 1.05;
+
+fn feed_secs(toggle_tracing: bool) -> f64 {
+    let (mut engine, readings) = eslev_bench::e1_setup(0.5, 20_000);
+    if toggle_tracing {
+        engine.set_tracing(true);
+        engine.set_tracing(false);
+    }
+    let rows: Vec<Vec<eslev_dsms::value::Value>> = readings.iter().map(|r| r.to_values()).collect();
+    let start = Instant::now();
+    for values in rows {
+        engine.push("readings", values).expect("feed");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+#[test]
+fn tracing_disabled_feed_phase_within_five_percent() {
+    let mut last = (0.0, 0.0);
+    for attempt in 1..=4 {
+        let mut baseline = f64::INFINITY;
+        let mut toggled = f64::INFINITY;
+        for _ in 0..7 {
+            baseline = baseline.min(feed_secs(false));
+            toggled = toggled.min(feed_secs(true));
+        }
+        let ratio = toggled / baseline;
+        eprintln!(
+            "attempt {attempt}: baseline {baseline:.4}s, \
+             tracing-off {toggled:.4}s, ratio {ratio:.3}"
+        );
+        if ratio <= BUDGET {
+            return;
+        }
+        last = (baseline, toggled);
+    }
+    panic!(
+        "tracing-disabled feed phase stayed above {BUDGET}x the no-trace \
+         baseline across attempts (last: baseline {:.4}s, toggled {:.4}s)",
+        last.0, last.1
+    );
+}

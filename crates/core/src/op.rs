@@ -13,9 +13,13 @@ use crate::detector::Detector;
 use eslev_dsms::ckpt::StateNode;
 use eslev_dsms::error::Result;
 use eslev_dsms::key::KeyCodec;
+use eslev_dsms::obs::Histogram;
 use eslev_dsms::ops::{OpReport, Operator};
 use eslev_dsms::time::Timestamp;
 use eslev_dsms::tuple::Tuple;
+
+/// 1-in-64 wall-clock sampling, matching the engine and `Chain` stages.
+const WALL_SAMPLE_MASK: u64 = 63;
 
 /// Maps detector outputs to result rows.
 pub type OutputProjection = Box<dyn Fn(&DetectorOutput) -> Result<Vec<Tuple>> + Send>;
@@ -24,12 +28,23 @@ pub type OutputProjection = Box<dyn Fn(&DetectorOutput) -> Result<Vec<Tuple>> + 
 pub struct DetectorOp {
     detector: Detector,
     project: OutputProjection,
+    tuples_in: u64,
+    tuples_out: u64,
+    batches: u64,
+    wall: Histogram,
 }
 
 impl DetectorOp {
     /// Wrap `detector`; `project` renders each output.
     pub fn new(detector: Detector, project: OutputProjection) -> DetectorOp {
-        DetectorOp { detector, project }
+        DetectorOp {
+            detector,
+            project,
+            tuples_in: 0,
+            tuples_out: 0,
+            batches: 0,
+            wall: Histogram::new(),
+        }
     }
 
     /// Shared access to the wrapped detector (stats).
@@ -47,13 +62,37 @@ impl DetectorOp {
 
 impl Operator for DetectorOp {
     fn on_tuple(&mut self, port: usize, t: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
-        let outs = self.detector.on_tuple(port, t)?;
-        self.render(outs, out)
+        self.process_batch(port, std::slice::from_ref(t), out)
+    }
+
+    fn process_batch(&mut self, port: usize, batch: &[Tuple], out: &mut Vec<Tuple>) -> Result<()> {
+        // Same sampling rule as `Chain` stages: sample when the batch
+        // starts on or crosses a 1-in-64 tuple ordinal, so the rate is
+        // independent of batch size.
+        let before = out.len();
+        let len = batch.len() as u64;
+        let sampled = self.tuples_in & WALL_SAMPLE_MASK == 0
+            || (self.tuples_in >> 6) != ((self.tuples_in + len) >> 6);
+        self.tuples_in += len;
+        self.batches += 1;
+        let started = sampled.then(std::time::Instant::now);
+        for t in batch {
+            let outs = self.detector.on_tuple(port, t)?;
+            self.render(outs, out)?;
+        }
+        if let Some(s) = started {
+            self.wall.record_duration(s.elapsed());
+        }
+        self.tuples_out += (out.len() - before) as u64;
+        Ok(())
     }
 
     fn on_punctuation(&mut self, ts: Timestamp, out: &mut Vec<Tuple>) -> Result<()> {
+        let before = out.len();
         let outs = self.detector.on_punctuation(ts)?;
-        self.render(outs, out)
+        self.render(outs, out)?;
+        self.tuples_out += (out.len() - before) as u64;
+        Ok(())
     }
 
     fn num_ports(&self) -> usize {
@@ -79,6 +118,11 @@ impl Operator for DetectorOp {
     fn report(&self) -> OpReport {
         let d = &self.detector;
         let mut r = OpReport::leaf(self.name(), d.retained());
+        r.tuples_in = self.tuples_in;
+        r.tuples_out = self.tuples_out;
+        r.batches = self.batches;
+        r.state_bytes = d.state_key_bytes();
+        r.wall_ns = Some(self.wall.snapshot());
         r.counters = vec![
             ("matches".to_string(), d.matches_emitted()),
             ("exceptions".to_string(), d.exceptions_emitted()),
@@ -213,5 +257,12 @@ mod tests {
         assert_eq!(out[0].value(0), &Value::str("p1"));
         assert_eq!(out[1].value(0), &Value::str("p2"));
         assert_eq!(out[0].value(1), &Value::str("case"));
+        // Runtime stats: 3 tuples in (one batch each), 2 rows out, and
+        // the first invocation is always wall-sampled.
+        let r = op.report();
+        assert_eq!(r.tuples_in, 3);
+        assert_eq!(r.tuples_out, 2);
+        assert_eq!(r.batches, 3);
+        assert!(r.wall_ns.as_ref().unwrap().count >= 1);
     }
 }

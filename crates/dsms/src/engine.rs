@@ -30,6 +30,7 @@ use crate::schema::SchemaRef;
 use crate::snapshot::{MaterializedWindow, SnapshotRef};
 use crate::table::{Table, TableRef};
 use crate::time::Timestamp;
+use crate::trace::{FlightRecorder, TraceEvent, TraceKind};
 use crate::tuple::Tuple;
 use crate::value::{Value, ValueType};
 use crate::window::WindowExtent;
@@ -131,6 +132,9 @@ pub struct QueryStats {
     pub tuples_out: u64,
     /// Bytes held in encoded state keys across the query's operators.
     pub state_key_bytes: usize,
+    /// Approximate p99 of the sampled per-invocation wall clock, in
+    /// nanoseconds (log-bucket upper bound; 0 until a sample lands).
+    pub wall_p99_ns: u64,
 }
 
 struct QueryState {
@@ -207,6 +211,15 @@ pub struct Engine {
     rejected_tuples: Counter,
     /// The most recent rejected arrivals, oldest first.
     dead_letters: VecDeque<DeadLetter>,
+    /// Flight recorder: off by default; one relaxed load per site while
+    /// disabled (see [`crate::trace`]).
+    trace: FlightRecorder,
+    /// Sampled ingest→emit latency (1-in-64 admissions).
+    tuple_latency: Histogram,
+    /// Admission instant of the in-flight sampled tuple, cleared when
+    /// its cascade completes. A plain field swap — no allocation — so
+    /// the latency path stays inside the zero-allocs-per-tuple budget.
+    lat_sample: Option<std::time::Instant>,
 }
 
 impl Default for Engine {
@@ -229,6 +242,7 @@ impl Engine {
         let obs = Registry::new();
         let punctuations = obs.counter("eslev_punctuations_total", &[]);
         let rejected_tuples = obs.counter("eslev_rejected_tuples_total", &[]);
+        let tuple_latency = obs.histogram("eslev_tuple_latency_ns", &[]);
         let interner: InternerRef = Arc::new(StrInterner::new());
         let codec = match representation {
             Representation::Interned => KeyCodec::interned(interner.clone()),
@@ -252,7 +266,32 @@ impl Engine {
             punctuations,
             rejected_tuples,
             dead_letters: VecDeque::new(),
+            trace: FlightRecorder::default(),
+            tuple_latency,
+            lat_sample: None,
         }
+    }
+
+    /// The engine's flight recorder; clones share the ring and the
+    /// enabled flag, so a handle taken before moving the engine into a
+    /// driver keeps draining live events.
+    pub fn tracer(&self) -> FlightRecorder {
+        self.trace.clone()
+    }
+
+    /// Turn flight-recorder tracing on or off (off by default).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Whether flight-recorder tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// Drain the buffered trace events, oldest first.
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.trace.drain()
     }
 
     /// The engine's row representation.
@@ -569,6 +608,10 @@ impl Engine {
         if batched && self.auto_watermark {
             self.advance_to(max)?;
         }
+        // The sampled admission's cascade is over; a stamp still pending
+        // produced no output and is discarded rather than left to
+        // inflate a later emission's measurement.
+        self.lat_sample = None;
         Ok(())
     }
 
@@ -606,6 +649,7 @@ impl Engine {
                     Self::reject(
                         &mut self.dead_letters,
                         &self.rejected_tuples,
+                        &self.trace,
                         stream,
                         values,
                         &e,
@@ -630,6 +674,13 @@ impl Engine {
             }
             entry.last_ts = t.ts();
             max = max.max(t.ts());
+            if seqno & WALL_SAMPLE_MASK == 0 {
+                self.lat_sample = Some(std::time::Instant::now());
+                self.trace.record(|| TraceKind::TupleAdmitted {
+                    stream: lower.clone(),
+                    seq: seqno,
+                });
+            }
             batch.push(t);
         }
         entry.pushed += batch.len() as u64;
@@ -656,6 +707,7 @@ impl Engine {
                 Self::reject(
                     &mut self.dead_letters,
                     &self.rejected_tuples,
+                    &self.trace,
                     stream,
                     values,
                     &e,
@@ -711,23 +763,36 @@ impl Engine {
                 t.ts()
             )));
         }
+        if seq & WALL_SAMPLE_MASK == 0 {
+            self.lat_sample = Some(std::time::Instant::now());
+            self.trace.record(|| TraceKind::TupleAdmitted {
+                stream: lower.clone(),
+                seq,
+            });
+        }
         // Watermark semantics: this arrival proves no future tuple is
         // earlier than `ts`, so windows and deadlines that closed before
         // `ts` must fire BEFORE the tuple is processed (a timeout that
         // elapsed during a silent period is detected at the next arrival,
         // and is not masked by it).
-        self.deliver_ordered(&lower, t)
+        let delivered = self.deliver_ordered(&lower, t);
+        self.lat_sample = None;
+        delivered
     }
 
     /// Record a malformed arrival in the bounded dead-letter buffer.
     fn reject(
         dead: &mut VecDeque<DeadLetter>,
         ctr: &Counter,
+        trace: &FlightRecorder,
         stream: &str,
         values: Vec<Value>,
         err: &DsmsError,
     ) {
         ctr.inc();
+        trace.record(|| TraceKind::DeadLetter {
+            stream: stream.to_string(),
+        });
         if dead.len() == DEAD_LETTER_CAP {
             dead.pop_front();
         }
@@ -812,6 +877,11 @@ impl Engine {
         // tuples (auto-watermark turns every push into a punctuation, so
         // this path is just as hot).
         let sampled = self.punctuations.inc_get() & WALL_SAMPLE_MASK == 0;
+        if sampled {
+            self.trace.record(|| TraceKind::WatermarkAdvance {
+                ts_us: ts.as_micros(),
+            });
+        }
         for mats in self.materialized.values() {
             for m in mats {
                 m.advance(ts);
@@ -889,7 +959,13 @@ impl Engine {
                     let started = sampled.then(std::time::Instant::now);
                     q.op.process_batch(port, &batch, &mut outs)?;
                     if let Some(s) = started {
-                        q.wall.record_duration(s.elapsed());
+                        let elapsed = s.elapsed();
+                        q.wall.record_duration(elapsed);
+                        self.trace.record(|| TraceKind::Stage {
+                            query: q.name.clone(),
+                            tuples: batch.len() as u64,
+                            wall_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+                        });
                     }
                 }
                 self.route_batch(idx, outs, &mut work)?;
@@ -906,6 +982,14 @@ impl Engine {
     ) -> Result<()> {
         if outs.is_empty() {
             return Ok(());
+        }
+        // End-to-end latency: the sampled admission's outputs reached a
+        // sink. One field swap + histogram record — no allocation.
+        if let Some(t0) = self.lat_sample.take() {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.tuple_latency.record(ns);
+            self.trace
+                .record(|| TraceKind::TupleEmitted { latency_ns: ns });
         }
         self.queries[idx].emitted += outs.len() as u64;
         self.queries[idx].tuples_out.add(outs.len() as u64);
@@ -976,6 +1060,7 @@ impl Engine {
                 tuples_in: q.tuples_in.get(),
                 tuples_out: q.tuples_out.get(),
                 state_key_bytes: q.op.state_key_bytes(),
+                wall_p99_ns: q.wall.snapshot().quantile(0.99),
             })
             .collect()
     }
@@ -1004,6 +1089,18 @@ impl Engine {
         &self.queries[id.0].name
     }
 
+    /// Watermark lag of a stream in milliseconds: the newest event time
+    /// seen (including disorder-buffered arrivals) minus the stream's
+    /// low watermark (the newest *delivered* event time). Zero for a
+    /// stream whose arrivals are delivered immediately.
+    fn lag_ms(e: &StreamEntry) -> u64 {
+        let latest = e
+            .reorder
+            .as_ref()
+            .map_or(e.last_ts, |r| r.max_seen.max(e.last_ts));
+        latest.as_micros().saturating_sub(e.last_ts.as_micros()) / 1000
+    }
+
     /// Per-stream introspection, sorted by stream name.
     pub fn stream_stats(&self) -> Vec<StreamInfo> {
         let mut rows: Vec<StreamInfo> = self
@@ -1015,6 +1112,7 @@ impl Engine {
                 last_ts: e.last_ts,
                 buffered: e.reorder.as_ref().map_or(0, |r| r.pending.len()),
                 disorder_slack: e.reorder.as_ref().map(|r| r.slack),
+                lag_ms: Self::lag_ms(e),
             })
             .collect();
         rows.sort_by(|a, b| a.name.cmp(&b.name));
@@ -1056,6 +1154,23 @@ impl Engine {
             &[],
             MetricValue::Gauge(bytes as i64),
         );
+        let lat = self.tuple_latency.snapshot();
+        if lat.count > 0 {
+            for (q, name) in [
+                (0.5, "eslev_tuple_latency_ns_p50"),
+                (0.9, "eslev_tuple_latency_ns_p90"),
+                (0.99, "eslev_tuple_latency_ns_p99"),
+            ] {
+                snap.push(name, &[], MetricValue::Gauge(lat.quantile(q) as i64));
+            }
+        }
+        for (name, e) in &self.streams {
+            snap.push(
+                "eslev_watermark_lag_ms",
+                &[("stream", name.as_str())],
+                MetricValue::Gauge(Self::lag_ms(e) as i64),
+            );
+        }
         for (i, q) in self.queries.iter().enumerate() {
             let id = i.to_string();
             let labels = [("query", q.name.as_str()), ("id", id.as_str())];
@@ -1185,8 +1300,13 @@ impl Engine {
             StateNode::List(tables),
             StateNode::List(materialized),
         ]);
-        Ok(EngineCheckpoint::new(self.next_seq, self.now, root)
-            .with_dict(self.interner.dictionary()))
+        let ck = EngineCheckpoint::new(self.next_seq, self.now, root)
+            .with_dict(self.interner.dictionary());
+        // Serializing to measure size is only paid when tracing is on.
+        self.trace.record(|| TraceKind::Checkpoint {
+            bytes: ck.to_bytes().len() as u64,
+        });
+        Ok(ck)
     }
 
     /// Restore state captured by [`Engine::checkpoint`] into this engine.
@@ -1300,6 +1420,9 @@ pub struct StreamInfo {
     pub buffered: usize,
     /// Disorder tolerance, when enabled.
     pub disorder_slack: Option<crate::time::Duration>,
+    /// Watermark lag in milliseconds: newest event time seen minus the
+    /// stream's low watermark (newest delivered event time).
+    pub lag_ms: u64,
 }
 
 #[cfg(test)]
@@ -1495,6 +1618,76 @@ mod tests {
         assert_eq!(e.emitted(id), 1);
         assert_eq!(e.query_name(id), "proj");
         assert_eq!(out.take()[0].arity(), 2);
+    }
+
+    #[test]
+    fn tracing_and_latency_sampling() {
+        use crate::trace::TraceKind;
+        let mut e = engine_with_readings();
+        let (_, _out) = e
+            .register_collected(
+                "all",
+                vec!["readings"],
+                Box::new(Select::new(Expr::lit(true))),
+            )
+            .unwrap();
+        assert!(!e.tracing(), "tracing is off by default");
+        e.set_tracing(true);
+        for i in 0..130u64 {
+            e.push("readings", reading(i, "r", "t")).unwrap();
+        }
+        let events = e.take_trace();
+        assert!(events
+            .iter()
+            .any(|ev| matches!(ev.kind, TraceKind::TupleAdmitted { .. })));
+        assert!(events
+            .iter()
+            .any(|ev| matches!(ev.kind, TraceKind::Stage { .. })));
+        assert!(events
+            .iter()
+            .any(|ev| matches!(ev.kind, TraceKind::WatermarkAdvance { .. })));
+        assert!(events
+            .iter()
+            .any(|ev| matches!(ev.kind, TraceKind::TupleEmitted { .. })));
+        assert!(e.take_trace().is_empty(), "drained");
+        let snap = e.metrics_snapshot();
+        // Seqs 0, 64 and 128 were latency-sampled.
+        let lat = snap.histogram("eslev_tuple_latency_ns", &[]).unwrap();
+        assert!(lat.count >= 3, "latency samples: {}", lat.count);
+        assert!(snap.gauge("eslev_tuple_latency_ns_p50", &[]).is_some());
+        assert!(snap.gauge("eslev_tuple_latency_ns_p99", &[]).is_some());
+        assert_eq!(
+            snap.gauge("eslev_watermark_lag_ms", &[("stream", "readings")]),
+            Some(0),
+            "ordered stream has no lag"
+        );
+    }
+
+    #[test]
+    fn watermark_lag_reflects_disorder_buffer() {
+        let mut e = engine_with_readings();
+        e.set_disorder_tolerance("readings", crate::time::Duration::from_secs(100))
+            .unwrap();
+        e.push("readings", reading(50, "r", "a")).unwrap();
+        // Seen t=50s, delivered nothing: the stream lags 50 s.
+        let info = e
+            .stream_stats()
+            .into_iter()
+            .find(|s| s.name == "readings")
+            .unwrap();
+        assert_eq!(info.lag_ms, 50_000);
+        assert_eq!(
+            e.metrics_snapshot()
+                .gauge("eslev_watermark_lag_ms", &[("stream", "readings")]),
+            Some(50_000)
+        );
+        e.flush_disorder().unwrap();
+        let info = e
+            .stream_stats()
+            .into_iter()
+            .find(|s| s.name == "readings")
+            .unwrap();
+        assert_eq!(info.lag_ms, 0, "flush catches the watermark up");
     }
 
     #[test]

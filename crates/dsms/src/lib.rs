@@ -59,6 +59,7 @@ pub mod shard;
 pub mod snapshot;
 pub mod table;
 pub mod time;
+pub mod trace;
 pub mod tuple;
 pub mod value;
 pub mod window;
@@ -92,6 +93,9 @@ pub mod prelude {
     pub use crate::snapshot::{MaterializedWindow, SnapshotRef};
     pub use crate::table::{Table, TableRef};
     pub use crate::time::{Duration, Timestamp};
+    pub use crate::trace::{
+        chrome_trace_json, FlightRecorder, LatencyStamps, TraceEvent, TraceKind,
+    };
     pub use crate::tuple::{StreamItem, Tuple};
     pub use crate::value::{Value, ValueType};
     pub use crate::window::{WindowBuffer, WindowExtent};

@@ -360,6 +360,19 @@ impl MetricsSnapshot {
                         prom_labels(&s.labels, None),
                         h.count
                     ));
+                    // Approximate (bucket-upper-bound) quantiles in the
+                    // summary style, so dashboards get p50/p90/p99
+                    // without PromQL over the log buckets.
+                    for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                        let mut labels = s.labels.clone();
+                        labels.push(("quantile".to_string(), tag.to_string()));
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            s.name,
+                            prom_labels(&labels, None),
+                            h.quantile(q)
+                        ));
+                    }
                 }
             }
         }
@@ -680,6 +693,21 @@ mod tests {
         assert!(text.contains("eslev_lat_ns_bucket{q=\"dedup\",le=\"+Inf\"} 2"));
         assert!(text.contains("eslev_lat_ns_sum{q=\"dedup\"} 103"));
         assert!(text.contains("eslev_lat_ns_count{q=\"dedup\"} 2"));
+    }
+
+    #[test]
+    fn prometheus_histogram_quantile_lines() {
+        let r = Registry::new();
+        let h = r.histogram("eslev_lat_ns", &[]);
+        for _ in 0..99 {
+            h.record(3);
+        }
+        h.record(1000);
+        let text = r.snapshot().to_prometheus();
+        // p50/p90 land in the bucket ending at 3; p99 rank 99 too.
+        assert!(text.contains("eslev_lat_ns{quantile=\"0.5\"} 3"));
+        assert!(text.contains("eslev_lat_ns{quantile=\"0.9\"} 3"));
+        assert!(text.contains("eslev_lat_ns{quantile=\"0.99\"} 3"));
     }
 
     #[test]

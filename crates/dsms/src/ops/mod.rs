@@ -46,8 +46,12 @@ pub struct OpReport {
     pub tuples_in: u64,
     /// Tuples the operator produced.
     pub tuples_out: u64,
+    /// Batch invocations the operator served (0 when uninstrumented).
+    pub batches: u64,
     /// Tuples currently retained in operator state.
     pub retained: usize,
+    /// Encoded bytes of the operator's state keys.
+    pub state_bytes: usize,
     /// Operator-specific counters (e.g. `suppressed`, `matches`).
     pub counters: Vec<(String, u64)>,
     /// Sampled wall-clock per invocation, in nanoseconds.
@@ -80,6 +84,12 @@ impl OpReport {
             "{indent}{}  in={} out={} retained={}",
             self.name, self.tuples_in, self.tuples_out, self.retained
         ));
+        if self.batches > 0 {
+            out.push_str(&format!(" batches={}", self.batches));
+        }
+        if self.state_bytes > 0 {
+            out.push_str(&format!(" state_bytes={}", self.state_bytes));
+        }
         for (k, v) in &self.counters {
             out.push_str(&format!(" {k}={v}"));
         }
@@ -199,6 +209,7 @@ pub trait Operator: Send {
 struct StageStats {
     tuples_in: u64,
     tuples_out: u64,
+    batches: u64,
     wall: Histogram,
 }
 
@@ -207,6 +218,7 @@ impl StageStats {
         StageStats {
             tuples_in: 0,
             tuples_out: 0,
+            batches: 0,
             wall: Histogram::new(),
         }
     }
@@ -270,6 +282,7 @@ impl Chain {
             let sampled = st.tuples_in & WALL_SAMPLE_MASK == 0
                 || (st.tuples_in >> 6) != ((st.tuples_in + input.len() as u64) >> 6);
             st.tuples_in += input.len() as u64;
+            st.batches += 1;
             let mut next = Vec::new();
             let started = sampled.then(std::time::Instant::now);
             stage.process_batch(0, input, &mut next)?;
@@ -347,6 +360,8 @@ impl Operator for Chain {
                 let mut r = stage.report();
                 r.tuples_in = stats.tuples_in;
                 r.tuples_out = stats.tuples_out;
+                r.batches = stats.batches;
+                r.state_bytes = stage.state_key_bytes();
                 r.wall_ns = Some(stats.wall.snapshot());
                 r
             })
@@ -431,6 +446,10 @@ mod tests {
         assert_eq!(r.children[0].tuples_out, 2);
         assert_eq!(r.children[1].tuples_in, 2);
         assert_eq!(r.children[1].tuples_out, 2);
+        // Every on_tuple is one batch for stage 0; stage 1 only runs
+        // when stage 0 emits.
+        assert_eq!(r.children[0].batches, 4);
+        assert_eq!(r.children[1].batches, 2);
         // The first invocation of each stage is always wall-sampled.
         assert!(r.children[0].wall_ns.as_ref().unwrap().count >= 1);
         let text = r.render();

@@ -36,8 +36,9 @@ use crate::engine::{Collector, Engine};
 use crate::error::{DsmsError, Result};
 use crate::hash::FnvBuildHasher;
 use crate::journal::Journal;
-use crate::obs::{Counter, Gauge, MetricsSnapshot, Registry};
+use crate::obs::{Counter, Gauge, Histogram, MetricValue, MetricsSnapshot, Registry};
 use crate::time::Timestamp;
+use crate::trace::{FlightRecorder, LatencyStamps, TraceEvent, TraceKind};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use parking_lot::Mutex;
@@ -307,6 +308,15 @@ pub struct ShardedEngine {
     checkpoints: Counter,
     restarts: Counter,
     replayed: Counter,
+    /// Router-side flight recorder (checkpoints, restarts, merged
+    /// releases); per-shard engine rings are folded in by
+    /// [`ShardedEngine::take_trace`].
+    trace: FlightRecorder,
+    /// Admission stamps for 1-in-64 sampled causes, taken again when the
+    /// cause is released by the merge — router-level end-to-end latency.
+    lat_stamps: LatencyStamps,
+    /// Sampled route→merged-release latency (`eslev_tuple_latency_ns`).
+    tuple_latency: Histogram,
 }
 
 impl ShardedEngine {
@@ -331,6 +341,7 @@ impl ShardedEngine {
         let checkpoints = obs.counter("eslev_checkpoints_total", &[]);
         let restarts = obs.counter("eslev_shard_restarts_total", &[]);
         let replayed = obs.counter("eslev_replayed_tuples_total", &[]);
+        let tuple_latency = obs.histogram("eslev_tuple_latency_ns", &[]);
         let mut drivers = Vec::with_capacity(shards);
         let mut inputs = Vec::with_capacity(shards);
         let mut outs = Vec::with_capacity(shards);
@@ -403,6 +414,9 @@ impl ShardedEngine {
             checkpoints,
             restarts,
             replayed,
+            trace: FlightRecorder::default(),
+            lat_stamps: LatencyStamps::new(),
+            tuple_latency,
         })
     }
 
@@ -532,6 +546,9 @@ impl ShardedEngine {
         let route = self.route_for(&lower)?;
         let cause = self.next_cause;
         self.next_cause += 1;
+        if LatencyStamps::sampled(cause) {
+            self.lat_stamps.stamp(cause);
+        }
         let ts = route
             .time_col
             .and_then(|i| values.get(i).and_then(Value::as_ts));
@@ -597,6 +614,9 @@ impl ShardedEngine {
             let cause = self.next_cause;
             self.next_cause += 1;
             last_cause = cause;
+            if LatencyStamps::sampled(cause) {
+                self.lat_stamps.stamp(cause);
+            }
             let seq = cause << CAUSE_SEQ_SHIFT;
             let ts = route
                 .time_col
@@ -805,6 +825,18 @@ impl ShardedEngine {
             lag += slots.iter().map(|sb| sb.buf.len() as i64).sum::<i64>();
         }
         self.merge_lag.set(lag);
+        // Sampled causes crossing the merge complete their end-to-end
+        // latency measurement here — route time to merged release. The
+        // stamp table vacates on first take, so a broadcast cause (one
+        // entry per shard) is counted once.
+        for (cause, _, _) in &entries {
+            if let Some(d) = self.lat_stamps.take(*cause) {
+                let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+                self.tuple_latency.record(ns);
+                self.trace
+                    .record(|| TraceKind::TupleEmitted { latency_ns: ns });
+            }
+        }
         // Remember the highest cause handed to the consumer: a restarted
         // shard regenerates outputs above its checkpoint, and anything
         // at or below this floor has already been delivered once.
@@ -831,6 +863,13 @@ impl ShardedEngine {
             self.journals[i].truncate_through(at);
         }
         self.checkpoints.inc();
+        let bytes: u64 = self
+            .ckpts
+            .iter()
+            .flatten()
+            .map(|(_, b)| b.len() as u64)
+            .sum();
+        self.trace.record(|| TraceKind::Checkpoint { bytes });
         Ok(())
     }
 
@@ -944,6 +983,10 @@ impl ShardedEngine {
                     .retain(|(cause, _)| !(*cause > ckpt_cause && *cause <= floor));
             }
         }
+        self.trace.record(|| TraceKind::ShardRestart {
+            shard: shard as u32,
+            replayed,
+        });
         Ok(replayed)
     }
 
@@ -1003,6 +1046,35 @@ impl ShardedEngine {
                 })
                 .collect(),
         }
+    }
+
+    /// Enable or disable flight-recorder tracing everywhere: the
+    /// router's own recorder and every shard engine's.
+    pub fn set_tracing(&self, on: bool) -> Result<()> {
+        self.trace.set_enabled(on);
+        self.exec_all(move |e| e.set_tracing(on))?;
+        Ok(())
+    }
+
+    /// Whether the router is currently capturing trace events.
+    pub fn tracing(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// Drain every shard's flight recorder plus the router's own events
+    /// into one wall-clock-ordered timeline. Shard events carry their
+    /// shard index; router events (checkpoints, restarts, merged
+    /// releases) are tagged one past the highest shard so they render as
+    /// their own track in the chrome export.
+    pub fn take_trace(&self) -> Result<Vec<TraceEvent>> {
+        let mut parts: Vec<(u32, Vec<TraceEvent>)> = self
+            .exec_all(|e| e.take_trace())?
+            .into_iter()
+            .enumerate()
+            .map(|(i, events)| (i as u32, events))
+            .collect();
+        parts.push((self.shards() as u32, self.trace.drain()));
+        Ok(FlightRecorder::merge(parts))
     }
 
     /// Run `f` on every shard engine (on its worker thread, serialized
@@ -1142,6 +1214,29 @@ impl ShardedEngine {
     /// sample labelled with its shard index.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.obs.snapshot();
+        let lat = self.tuple_latency.snapshot();
+        if lat.count > 0 {
+            for (q, name) in [
+                (0.5, "eslev_tuple_latency_ns_p50"),
+                (0.9, "eslev_tuple_latency_ns_p90"),
+                (0.99, "eslev_tuple_latency_ns_p99"),
+            ] {
+                snap.push(name, &[], MetricValue::Gauge(lat.quantile(q) as i64));
+            }
+        }
+        // Router-level watermark lag: what has been *sent* ahead of the
+        // slowest shard's stream-time (ms).
+        let lag_ms = self
+            .sent_marks
+            .high_water()
+            .as_micros()
+            .saturating_sub(self.low_watermark().as_micros())
+            / 1000;
+        snap.push(
+            "eslev_watermark_lag_ms",
+            &[],
+            MetricValue::Gauge(lag_ms as i64),
+        );
         for (i, d) in self.drivers.iter().enumerate() {
             snap.absorb_labeled(d.metrics(), "shard", &i.to_string());
         }
@@ -1248,6 +1343,52 @@ mod tests {
             );
             se.stop().unwrap();
         }
+    }
+
+    #[test]
+    fn tracing_merges_shard_timelines_in_time_order() {
+        let mut se = ShardedEngine::build(2, 16, ShardSpec::new(), passthrough_setup).unwrap();
+        assert!(!se.tracing());
+        se.set_tracing(true).unwrap();
+        assert!(se.tracing());
+        for i in 0..130 {
+            se.push("readings", reading(i, &format!("t{}", i % 5)))
+                .unwrap();
+        }
+        se.flush().unwrap();
+        se.checkpoint().unwrap();
+        let _ = se.take_output(0).unwrap();
+        let events = se.take_trace().unwrap();
+        assert!(!events.is_empty());
+        assert!(
+            events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns),
+            "merged timeline must be wall-clock ordered"
+        );
+        assert!(
+            events.iter().all(|e| e.shard.is_some()),
+            "every merged event carries a source track"
+        );
+        // Shard engines contributed admissions; the router contributed
+        // its checkpoint (tagged one past the highest shard) and the
+        // sampled merge-release latencies.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::TupleAdmitted { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Checkpoint { .. }) && e.shard == Some(2)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::TupleEmitted { .. })));
+        // Causes 64 and 128 were latency-sampled at the router.
+        let snap = se.metrics_snapshot();
+        assert!(snap.histogram("eslev_tuple_latency_ns", &[]).unwrap().count >= 2);
+        assert!(snap.gauge("eslev_tuple_latency_ns_p50", &[]).is_some());
+        assert!(snap.gauge("eslev_tuple_latency_ns_p99", &[]).is_some());
+        assert!(snap.gauge("eslev_watermark_lag_ms", &[]).is_some());
+        // Drained: a second take starts empty.
+        assert!(se.take_trace().unwrap().is_empty());
+        se.stop().unwrap();
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! Flight-recorder tracing: a fixed-capacity ring buffer of structured
+//! trace events, plus the sampled end-to-end latency stamp table and a
+//! chrome://tracing JSON exporter.
+//!
+//! The recorder is **off by default** and costs one relaxed atomic load
+//! per instrumentation site while disabled — event construction happens
+//! inside a closure that only runs when tracing is on, so the disabled
+//! path performs zero allocations. When enabled, events land in a
+//! bounded ring (oldest dropped first) guarded by a mutex; the hot paths
+//! that record are already sampled 1-in-64, so contention is negligible.
+//!
+//! Per-shard rings are merged by [`FlightRecorder::merge`], which tags
+//! each event with its shard and re-sorts by wall-clock nanoseconds so
+//! the combined timeline reads in true time order. [`chrome_trace_json`]
+//! renders any event slice in the Trace Event Format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Default ring capacity used by engines and the shard router.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// Number of in-flight latency stamp slots (one per sampled admission).
+const STAMP_SLOTS: usize = 64;
+
+/// Wall-clock nanoseconds since the Unix epoch (saturating).
+#[inline]
+pub fn wall_ns() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// What happened, with the payload that makes the event useful on a
+/// timeline. Variants mirror the engine's observable state changes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A sampled tuple entered a stream (`seq` is the engine sequence).
+    TupleAdmitted {
+        /// Stream the tuple entered.
+        stream: String,
+        /// Engine-assigned sequence number.
+        seq: u64,
+    },
+    /// One sampled operator-stage run: the enter/exit pair collapsed
+    /// into a single complete span of `wall_ns` nanoseconds.
+    Stage {
+        /// Query the stage belongs to.
+        query: String,
+        /// Tuples processed by this run.
+        tuples: u64,
+        /// Wall time of the run, in nanoseconds.
+        wall_ns: u64,
+    },
+    /// The engine watermark advanced to `ts_us` (event-time micros).
+    WatermarkAdvance {
+        /// New watermark position in event-time microseconds.
+        ts_us: u64,
+    },
+    /// A checkpoint was captured (`bytes` of serialized state).
+    Checkpoint {
+        /// Serialized checkpoint size in bytes.
+        bytes: u64,
+    },
+    /// A shard worker was restarted and `replayed` journal entries
+    /// were re-fed.
+    ShardRestart {
+        /// Shard index that restarted.
+        shard: u32,
+        /// Journal entries replayed during recovery.
+        replayed: u64,
+    },
+    /// A malformed tuple was rejected into the dead-letter buffer.
+    DeadLetter {
+        /// Stream the rejected tuple was pushed at.
+        stream: String,
+    },
+    /// A sampled tuple's outputs reached a sink `latency_ns` after its
+    /// admission stamp.
+    TupleEmitted {
+        /// End-to-end ingest→emit latency in nanoseconds.
+        latency_ns: u64,
+    },
+}
+
+impl TraceKind {
+    /// Short stable name used by exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::TupleAdmitted { .. } => "tuple-admitted",
+            TraceKind::Stage { .. } => "stage",
+            TraceKind::WatermarkAdvance { .. } => "watermark-advance",
+            TraceKind::Checkpoint { .. } => "checkpoint",
+            TraceKind::ShardRestart { .. } => "shard-restart",
+            TraceKind::DeadLetter { .. } => "dead-letter",
+            TraceKind::TupleEmitted { .. } => "tuple-emitted",
+        }
+    }
+}
+
+/// One recorded event: when (wall-clock ns), where (shard, once
+/// merged), and what ([`TraceKind`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Wall-clock nanoseconds since the Unix epoch at record time.
+    pub at_ns: u64,
+    /// Shard the event came from; `None` until a merge tags it.
+    pub shard: Option<u32>,
+    /// The event payload.
+    pub kind: TraceKind,
+}
+
+/// Bounded, shareable ring buffer of [`TraceEvent`]s.
+///
+/// Clones share the same ring and enabled flag, so an engine and the
+/// REPL (or a shard worker and its router) observe one recorder.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    enabled: Arc<AtomicBool>,
+    ring: Arc<Mutex<VecDeque<TraceEvent>>>,
+    capacity: usize,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Fresh disabled recorder holding at most `capacity` events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            enabled: Arc::new(AtomicBool::new(false)),
+            ring: Arc::new(Mutex::new(VecDeque::with_capacity(capacity.min(1024)))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Turn recording on or off. Off is the default; while off,
+    /// [`FlightRecorder::record`] is a single relaxed load.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether events are currently being captured.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record the event produced by `kind` — the closure only runs (and
+    /// only then may allocate) when tracing is enabled.
+    #[inline]
+    pub fn record(&self, kind: impl FnOnce() -> TraceKind) {
+        if !self.enabled() {
+            return;
+        }
+        self.push(TraceEvent {
+            at_ns: wall_ns(),
+            shard: None,
+            kind: kind(),
+        });
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+
+    /// True when nothing has been captured (or everything was drained).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum events retained before the oldest are dropped.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Copy the buffered events without clearing them.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Remove and return every buffered event.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .drain(..)
+            .collect()
+    }
+
+    /// Merge per-shard event buffers into one timeline: each event is
+    /// tagged with its shard (existing tags are preserved) and the
+    /// result is sorted by wall-clock time, ties broken by shard.
+    pub fn merge(parts: Vec<(u32, Vec<TraceEvent>)>) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = Vec::with_capacity(parts.iter().map(|(_, v)| v.len()).sum());
+        for (shard, events) in parts {
+            for mut ev in events {
+                ev.shard.get_or_insert(shard);
+                all.push(ev);
+            }
+        }
+        all.sort_by_key(|e| (e.at_ns, e.shard));
+        all
+    }
+}
+
+/// In-flight admission stamps for sampled end-to-end latency.
+///
+/// A fixed array of `(key, Instant)` slots indexed by `(key >> 6) %
+/// SLOTS` — keys are sampled 1-in-64 (multiples of 64), so consecutive
+/// samples occupy consecutive slots and a lookup is one index plus one
+/// compare. No allocation after construction, which keeps the latency
+/// path inside the zero-allocs-per-tuple budget.
+#[derive(Debug)]
+pub struct LatencyStamps {
+    slots: Box<[(u64, Instant)]>,
+}
+
+impl Default for LatencyStamps {
+    fn default() -> LatencyStamps {
+        LatencyStamps::new()
+    }
+}
+
+impl LatencyStamps {
+    /// Fresh table with every slot vacant.
+    pub fn new() -> LatencyStamps {
+        LatencyStamps {
+            slots: vec![(u64::MAX, Instant::now()); STAMP_SLOTS].into_boxed_slice(),
+        }
+    }
+
+    /// Whether `key` is one of the 1-in-64 sampled keys.
+    #[inline]
+    pub fn sampled(key: u64) -> bool {
+        key & 63 == 0
+    }
+
+    /// Stamp `key` with the current instant (call only for sampled
+    /// keys; an old stamp sharing the slot is overwritten).
+    #[inline]
+    pub fn stamp(&mut self, key: u64) {
+        let idx = ((key >> 6) as usize) % STAMP_SLOTS;
+        self.slots[idx] = (key, Instant::now());
+    }
+
+    /// Elapsed time since `key` was stamped, vacating the slot. `None`
+    /// when the key was never stamped or its slot was reused.
+    #[inline]
+    pub fn take(&mut self, key: u64) -> Option<std::time::Duration> {
+        let idx = ((key >> 6) as usize) % STAMP_SLOTS;
+        let (k, t0) = self.slots[idx];
+        if k != key {
+            return None;
+        }
+        self.slots[idx].0 = u64::MAX;
+        Some(t0.elapsed())
+    }
+}
+
+/// Render events in the Chrome Trace Event Format (JSON object form):
+/// load the output in `chrome://tracing` or Perfetto. Timestamps are
+/// rebased to the earliest event so the viewer opens at t=0; stage
+/// events render as complete (`"ph":"X"`) spans, everything else as
+/// instant events, with one process row per shard.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let t0 = events.iter().map(|e| e.at_ns).min().unwrap_or(0);
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let pid = ev.shard.unwrap_or(0);
+        let rel_us = (ev.at_ns.saturating_sub(t0)) as f64 / 1000.0;
+        match &ev.kind {
+            TraceKind::Stage {
+                query,
+                tuples,
+                wall_ns,
+            } => {
+                let dur_us = *wall_ns as f64 / 1000.0;
+                let ts = (rel_us - dur_us).max(0.0);
+                out.push_str(&format!(
+                    "{{\"name\":{},\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur_us:.3},\
+                     \"pid\":{pid},\"tid\":0,\"args\":{{\"tuples\":{tuples}}}}}",
+                    json_str(query),
+                ));
+            }
+            kind => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{rel_us:.3},\
+                     \"pid\":{pid},\"tid\":0,\"args\":{{{}}}}}",
+                    kind.name(),
+                    kind_args(kind),
+                ));
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn kind_args(kind: &TraceKind) -> String {
+    match kind {
+        TraceKind::TupleAdmitted { stream, seq } => {
+            format!("\"stream\":{},\"seq\":{seq}", json_str(stream))
+        }
+        TraceKind::Stage { .. } => String::new(),
+        TraceKind::WatermarkAdvance { ts_us } => format!("\"ts_us\":{ts_us}"),
+        TraceKind::Checkpoint { bytes } => format!("\"bytes\":{bytes}"),
+        TraceKind::ShardRestart { shard, replayed } => {
+            format!("\"shard\":{shard},\"replayed\":{replayed}")
+        }
+        TraceKind::DeadLetter { stream } => format!("\"stream\":{}", json_str(stream)),
+        TraceKind::TupleEmitted { latency_ns } => format!("\"latency_ns\":{latency_ns}"),
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admitted(stream: &str, seq: u64) -> TraceKind {
+        TraceKind::TupleAdmitted {
+            stream: stream.to_string(),
+            seq,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_captures_nothing() {
+        let rec = FlightRecorder::new(8);
+        assert!(!rec.enabled());
+        rec.record(|| admitted("readings", 0));
+        assert!(rec.is_empty());
+        rec.set_enabled(true);
+        rec.record(|| admitted("readings", 64));
+        assert_eq!(rec.len(), 1);
+        rec.set_enabled(false);
+        rec.record(|| admitted("readings", 128));
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn ring_capacity_is_respected_oldest_dropped() {
+        let rec = FlightRecorder::new(4);
+        rec.set_enabled(true);
+        for seq in 0..10u64 {
+            rec.record(|| admitted("s", seq));
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.capacity(), 4);
+        let events = rec.drain();
+        let seqs: Vec<u64> = events
+            .iter()
+            .map(|e| match &e.kind {
+                TraceKind::TupleAdmitted { seq, .. } => *seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "survivors are the newest");
+        assert!(rec.is_empty(), "drain clears the ring");
+    }
+
+    #[test]
+    fn clones_share_the_ring_and_flag() {
+        let rec = FlightRecorder::new(8);
+        let peer = rec.clone();
+        peer.set_enabled(true);
+        rec.record(|| TraceKind::Checkpoint { bytes: 10 });
+        assert_eq!(peer.len(), 1);
+        assert_eq!(peer.snapshot().len(), 1);
+        assert_eq!(rec.len(), 1, "snapshot does not drain");
+    }
+
+    #[test]
+    fn merge_orders_by_time_and_tags_shards() {
+        let mk = |at_ns: u64| TraceEvent {
+            at_ns,
+            shard: None,
+            kind: TraceKind::WatermarkAdvance { ts_us: at_ns },
+        };
+        let merged = FlightRecorder::merge(vec![
+            (1, vec![mk(50), mk(300)]),
+            (0, vec![mk(10), mk(200), mk(400)]),
+        ]);
+        let times: Vec<u64> = merged.iter().map(|e| e.at_ns).collect();
+        assert_eq!(times, vec![10, 50, 200, 300, 400]);
+        assert!(merged.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(merged[0].shard, Some(0));
+        assert_eq!(merged[1].shard, Some(1));
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let events = vec![
+            TraceEvent {
+                at_ns: 1_000,
+                shard: Some(0),
+                kind: admitted("readings", 64),
+            },
+            TraceEvent {
+                at_ns: 5_000,
+                shard: Some(1),
+                kind: TraceKind::Stage {
+                    query: "dedup".into(),
+                    tuples: 64,
+                    wall_ns: 2_000,
+                },
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"tuple-admitted\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":2.000"));
+        assert!(json.contains("\"pid\":1"));
+        // Rebased: the first event sits at ts 0.
+        assert!(json.contains("\"ts\":0.000"));
+    }
+
+    #[test]
+    fn latency_stamps_round_trip() {
+        let mut stamps = LatencyStamps::new();
+        assert!(LatencyStamps::sampled(0));
+        assert!(LatencyStamps::sampled(64));
+        assert!(!LatencyStamps::sampled(65));
+        stamps.stamp(64);
+        assert!(stamps.take(128).is_none(), "unknown key misses");
+        let d = stamps.take(64).expect("stamped key hits");
+        assert!(d.as_secs() < 60);
+        assert!(stamps.take(64).is_none(), "slot vacated after take");
+        // Slot reuse: a colliding newer key evicts the older stamp.
+        stamps.stamp(0);
+        stamps.stamp(64 * STAMP_SLOTS as u64);
+        assert!(stamps.take(0).is_none());
+        assert!(stamps.take(64 * STAMP_SLOTS as u64).is_some());
+    }
+}

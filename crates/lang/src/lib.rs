@@ -45,12 +45,12 @@ pub mod token;
 
 pub use adhoc::ad_hoc;
 pub use plan::{build_logical, rewrite_logical, LogicalPlan};
-pub use planner::{execute, execute_script, explain, ExecOutcome};
+pub use planner::{execute, execute_script, explain, explain_analyze, ExecOutcome};
 
 /// One-stop imports for the language layer.
 pub mod prelude {
     pub use crate::adhoc::ad_hoc;
     pub use crate::ast::{SelectStmt, Statement};
     pub use crate::parser::{parse_script, parse_statement};
-    pub use crate::planner::{execute, execute_script, explain, ExecOutcome};
+    pub use crate::planner::{execute, execute_script, explain, explain_analyze, ExecOutcome};
 }

@@ -173,13 +173,26 @@ pub enum LogicalPlan {
 impl LogicalPlan {
     /// Render the tree, one node per line, two-space indented.
     pub fn render(&self) -> String {
+        self.render_with(&mut |_| None)
+    }
+
+    /// Render the tree with a per-node annotation callback: whatever the
+    /// callback returns for a node is appended to that node's line
+    /// (`EXPLAIN ANALYZE` attaches runtime stats this way).
+    pub fn render_with(&self, annotate: &mut dyn FnMut(&LogicalPlan) -> Option<String>) -> String {
         let mut out = String::new();
-        self.render_into(&mut out, 1);
+        self.render_into(&mut out, 1, annotate);
         out
     }
 
-    fn render_into(&self, out: &mut String, depth: usize) {
+    fn render_into(
+        &self,
+        out: &mut String,
+        depth: usize,
+        annotate: &mut dyn FnMut(&LogicalPlan) -> Option<String>,
+    ) {
         let pad = "  ".repeat(depth);
+        let ann = annotate(self).unwrap_or_default();
         match self {
             LogicalPlan::Source {
                 stream,
@@ -193,19 +206,26 @@ impl LogicalPlan {
                 if let Some(cols) = columns {
                     let _ = write!(out, " columns=[{}]", cols.join(", "));
                 }
+                out.push_str(&ann);
                 out.push('\n');
             }
             LogicalPlan::Filter { input, predicates } => {
-                let _ = writeln!(out, "{pad}Filter {}", join_exprs(predicates, " AND "));
-                input.render_into(out, depth + 1);
+                let _ = write!(out, "{pad}Filter {}", join_exprs(predicates, " AND "));
+                out.push_str(&ann);
+                out.push('\n');
+                input.render_into(out, depth + 1, annotate);
             }
             LogicalPlan::Project { input, exprs } => {
-                let _ = writeln!(out, "{pad}Project [{}]", join_exprs(exprs, ", "));
-                input.render_into(out, depth + 1);
+                let _ = write!(out, "{pad}Project [{}]", join_exprs(exprs, ", "));
+                out.push_str(&ann);
+                out.push('\n');
+                input.render_into(out, depth + 1, annotate);
             }
             LogicalPlan::Window { input, window } => {
-                let _ = writeln!(out, "{pad}Window {}", fmt_window(window));
-                input.render_into(out, depth + 1);
+                let _ = write!(out, "{pad}Window {}", fmt_window(window));
+                out.push_str(&ann);
+                out.push('\n');
+                input.render_into(out, depth + 1, annotate);
             }
             LogicalPlan::Dedup {
                 input,
@@ -213,13 +233,15 @@ impl LogicalPlan {
                 window,
             } => {
                 let names: Vec<&str> = keys.iter().map(|(_, n)| n.as_str()).collect();
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "{pad}Dedup key=[{}] window={} state=O(1) per key",
                     names.join(", "),
                     fmt_dur(*window)
                 );
-                input.render_into(out, depth + 1);
+                out.push_str(&ann);
+                out.push('\n');
+                input.render_into(out, depth + 1, annotate);
             }
             LogicalPlan::SemiJoin {
                 outer,
@@ -227,7 +249,7 @@ impl LogicalPlan {
                 negated,
                 predicates,
             } => {
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "{pad}{} on {}",
                     if *negated {
@@ -237,8 +259,10 @@ impl LogicalPlan {
                     },
                     join_exprs(predicates, " AND ")
                 );
-                outer.render_into(out, depth + 1);
-                inner.render_into(out, depth + 1);
+                out.push_str(&ann);
+                out.push('\n');
+                outer.render_into(out, depth + 1, annotate);
+                inner.render_into(out, depth + 1, annotate);
             }
             LogicalPlan::Lookup {
                 input,
@@ -260,8 +284,9 @@ impl LogicalPlan {
                 if let Some((col, key)) = probe {
                     let _ = write!(out, " probe={col}={key}");
                 }
+                out.push_str(&ann);
                 out.push('\n');
-                input.render_into(out, depth + 1);
+                input.render_into(out, depth + 1, annotate);
             }
             LogicalPlan::Aggregate {
                 input,
@@ -278,8 +303,9 @@ impl LogicalPlan {
                 if let Some(w) = window {
                     let _ = write!(out, " window={}", fmt_window(w));
                 }
+                out.push_str(&ann);
                 out.push('\n');
-                input.render_into(out, depth + 1);
+                input.render_into(out, depth + 1, annotate);
             }
             LogicalPlan::Seq(seq) => {
                 let kw = match seq.kind {
@@ -301,6 +327,7 @@ impl LogicalPlan {
                 if let Some(b) = &seq.state_bound {
                     let _ = write!(out, " state={b}");
                 }
+                out.push_str(&ann);
                 out.push('\n');
                 if !seq.residual.is_empty() {
                     let _ = writeln!(

@@ -34,7 +34,7 @@ use eslev_dsms::error::{DsmsError, Result};
 use eslev_dsms::expr::Expr;
 use eslev_dsms::lookup::TableExists;
 use eslev_dsms::ops::{
-    AggSpec, AggWindow, Chain, Dedup, Emission, Operator, Project, Select, SemiJoinKind,
+    AggSpec, AggWindow, Chain, Dedup, Emission, OpReport, Operator, Project, Select, SemiJoinKind,
     WindowAggregate, WindowExists,
 };
 use eslev_dsms::schema::{Schema, SchemaRef};
@@ -124,6 +124,122 @@ fn explain_select(engine: &Engine, sel: &SelectStmt, sink: &str) -> Result<Strin
         plan.op.name(),
     ));
     Ok(s)
+}
+
+/// `EXPLAIN ANALYZE`: the optimized logical plan annotated per node with
+/// the live runtime stats (rows in/out, batch count, sampled wall time,
+/// state bytes) of the registered query the statement lowers to, plus
+/// the raw per-operator report tree. `input` is either a SELECT /
+/// INSERT statement — the query must already be registered, since the
+/// analysis reads its counters — or the name of a registered query, in
+/// which case only the runtime tree is rendered.
+pub fn explain_analyze(engine: &Engine, input: &str) -> Result<String> {
+    let input = input.trim();
+    if let Some(r) = engine.query_report_by_name(input) {
+        return Ok(format!("query: {input}\nruntime:\n{}", indent_report(&r)));
+    }
+    let stmt = crate::parser::parse_statement(input)?;
+    let sel = match &stmt {
+        Statement::Select(s) => s,
+        Statement::InsertInto { select, .. } => select,
+        _ => {
+            return Err(DsmsError::plan(
+                "EXPLAIN ANALYZE takes a SELECT/INSERT statement or a registered query name",
+            ))
+        }
+    };
+    let (_, optimized, applied) = plan_logical(engine, sel)?;
+    let lowered = lower(engine, sel, optimized.clone())?;
+    let report = engine.query_report_by_name(&lowered.name).ok_or_else(|| {
+        DsmsError::unknown(format!(
+            "registered query `{}` — EXPLAIN ANALYZE reads live runtime stats, \
+             so register (execute) the query and feed it first",
+            lowered.name
+        ))
+    })?;
+    // Pre-order flatten; each logical node claims the first unclaimed
+    // report whose operator name matches its shape (exact stage name
+    // first, then a fused-operator head like `exists -> project`).
+    let mut flat: Vec<&OpReport> = Vec::new();
+    flatten_report(&report, &mut flat);
+    let mut claimed = vec![false; flat.len()];
+    let mut s = String::from("optimized:\n");
+    s.push_str(&optimized.render_with(&mut |node| {
+        let want = physical_name_of(node)?;
+        let idx = flat
+            .iter()
+            .enumerate()
+            .position(|(i, r)| !claimed[i] && r.name == want)
+            .or_else(|| {
+                flat.iter()
+                    .enumerate()
+                    .position(|(i, r)| !claimed[i] && r.name.split(" -> ").next() == Some(want))
+            })?;
+        claimed[idx] = true;
+        Some(analyze_annotation(flat[idx]))
+    }));
+    if !applied.is_empty() {
+        s.push_str(&format!("rewrites: {}\n", applied.join(", ")));
+    }
+    s.push_str(&format!("runtime: query `{}`\n", lowered.name));
+    s.push_str(&indent_report(&report));
+    Ok(s)
+}
+
+fn flatten_report<'a>(r: &'a OpReport, out: &mut Vec<&'a OpReport>) {
+    out.push(r);
+    for c in &r.children {
+        flatten_report(c, out);
+    }
+}
+
+/// The physical operator name a logical node lowers to (`None` for
+/// nodes with no operator of their own: sources, windows).
+fn physical_name_of(node: &LogicalPlan) -> Option<&'static str> {
+    Some(match node {
+        LogicalPlan::Dedup { .. } => "dedup",
+        LogicalPlan::Filter { .. } => "select",
+        LogicalPlan::Project { .. } => "project",
+        LogicalPlan::Lookup { negated, .. } => {
+            if *negated {
+                "table-not-exists"
+            } else {
+                "table-exists"
+            }
+        }
+        LogicalPlan::SemiJoin { negated, .. } => {
+            if *negated {
+                "not-exists"
+            } else {
+                "exists"
+            }
+        }
+        LogicalPlan::Aggregate { .. } => "aggregate",
+        LogicalPlan::Seq(_) => "seq-detector",
+        LogicalPlan::Source { .. } | LogicalPlan::Window { .. } => return None,
+    })
+}
+
+/// The bracketed runtime annotation appended to a plan line.
+fn analyze_annotation(r: &OpReport) -> String {
+    let mut s = format!("  [rows {} -> {}", r.tuples_in, r.tuples_out);
+    if r.batches > 0 {
+        s.push_str(&format!(", batches {}", r.batches));
+    }
+    if let Some(w) = &r.wall_ns {
+        if w.count > 0 {
+            s.push_str(&format!(", wall p50 {}ns", w.quantile(0.5)));
+        }
+    }
+    if r.state_bytes > 0 {
+        s.push_str(&format!(", state {}B", r.state_bytes));
+    }
+    s.push_str(&format!(", retained {}]", r.retained));
+    s
+}
+
+fn indent_report(r: &OpReport) -> String {
+    r.render().lines().map(|l| format!("  {l}\n")).collect()
 }
 
 fn apply(engine: &mut Engine, stmt: &Statement) -> Result<ExecOutcome> {
@@ -1021,6 +1137,66 @@ mod tests {
         )
         .unwrap();
         e
+    }
+
+    #[test]
+    fn explain_analyze_annotates_optimized_plan() {
+        let mut e = Engine::new();
+        execute_script(
+            &mut e,
+            "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP)",
+        )
+        .unwrap();
+        let dedup_sql = "SELECT * FROM readings AS r1 WHERE NOT EXISTS \
+            (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2 \
+             WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id)";
+        // Not registered yet: there are no live counters to read.
+        assert!(explain_analyze(&e, dedup_sql).is_err());
+        execute(&mut e, dedup_sql).unwrap();
+        for i in 0..10u64 {
+            e.push(
+                "readings",
+                vec![
+                    Value::str("r1"),
+                    Value::str(if i % 2 == 0 { "a" } else { "b" }),
+                    Value::Ts(Timestamp::from_secs(i)),
+                ],
+            )
+            .unwrap();
+        }
+        let s = explain_analyze(&e, dedup_sql).unwrap();
+        assert!(s.contains("Dedup key=[reader_id, tag_id]"), "{s}");
+        assert!(s.contains("[rows 10 -> "), "{s}");
+        assert!(s.contains("runtime: query `dedup:readings`"), "{s}");
+        // A registered name alone renders the raw runtime tree.
+        let by_name = explain_analyze(&e, "dedup:readings").unwrap();
+        assert!(by_name.contains("runtime:"), "{by_name}");
+        assert!(by_name.contains("dedup"), "{by_name}");
+    }
+
+    #[test]
+    fn explain_analyze_covers_seq_detectors() {
+        let mut e = setup();
+        let sql = "SELECT a.tagid, b.val FROM sa AS a, sb AS b \
+                   WHERE SEQ(a, b) AND a.tagid = b.tagid";
+        execute(&mut e, sql).unwrap();
+        for i in 0..6u64 {
+            let stream = if i % 2 == 0 { "sa" } else { "sb" };
+            e.push(
+                stream,
+                vec![
+                    Value::str("t1"),
+                    Value::Int(i as i64),
+                    Value::Ts(Timestamp::from_secs(i)),
+                ],
+            )
+            .unwrap();
+        }
+        let s = explain_analyze(&e, sql).unwrap();
+        assert!(s.contains("Seq mode="), "{s}");
+        assert!(s.contains("batches 6"), "{s}");
+        assert!(s.contains("wall p50"), "{s}");
+        assert!(s.contains("seq-detector"), "{s}");
     }
 
     /// The rewrite pass is an *optimization*: for UNRESTRICTED pairing

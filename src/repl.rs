@@ -299,6 +299,8 @@ impl Repl {
                         b.tuples_in += s.tuples_in;
                         b.tuples_out += s.tuples_out;
                         b.state_key_bytes += s.state_key_bytes;
+                        // Worst shard speaks for the tail latency.
+                        b.wall_p99_ns = b.wall_p99_ns.max(s.wall_p99_ns);
                     }
                 }
                 Ok(base)
@@ -319,6 +321,7 @@ impl Repl {
                         b.pushed += s.pushed;
                         b.last_ts = b.last_ts.max(s.last_ts);
                         b.buffered += s.buffered;
+                        b.lag_ms = b.lag_ms.max(s.lag_ms);
                     }
                 }
                 Ok(base)
@@ -396,6 +399,15 @@ impl Repl {
             }
             "EXPLAIN" => {
                 let name = words.next()?;
+                if name.eq_ignore_ascii_case("ANALYZE") {
+                    // `EXPLAIN ANALYZE <sql|name>`: the optimized plan
+                    // annotated with live per-operator runtime stats.
+                    let arg = stmt[first.len()..].trim_start()[name.len()..].trim();
+                    if arg.is_empty() {
+                        return Some("usage: EXPLAIN ANALYZE <sql statement | query name>".into());
+                    }
+                    return Some(self.explain_analyze(arg));
+                }
                 if words.next().is_some() {
                     // Multi-word: `EXPLAIN <sql>` renders the logical
                     // plan (naive, rewrites, optimized) for a statement
@@ -445,6 +457,74 @@ impl Repl {
                 }
             }
             _ => None,
+        }
+    }
+
+    /// Render `EXPLAIN ANALYZE <sql|name>` via
+    /// [`eslev_lang::explain_analyze`]. Sharded mode reads shard 0 —
+    /// every shard runs an identical plan, only the slice of data
+    /// differs.
+    fn explain_analyze(&self, arg: &str) -> String {
+        match &self.backend {
+            Backend::Single(engine) => match eslev_lang::explain_analyze(engine, arg) {
+                Ok(s) => s,
+                Err(e) => format!("error: {e}"),
+            },
+            Backend::Sharded(se) => {
+                let owned = arg.to_string();
+                match se.exec_all(move |e| eslev_lang::explain_analyze(e, &owned)) {
+                    Err(e) => format!("error: {e}"),
+                    Ok(rs) => match rs.into_iter().next() {
+                        Some(Ok(s)) => {
+                            format!("shard 0 (other shards run identical plans):\n{s}")
+                        }
+                        Some(Err(e)) => format!("error: {e}"),
+                        None => "error: no shards".to_string(),
+                    },
+                }
+            }
+        }
+    }
+
+    /// `.trace on|off` toggles the flight recorder; `.trace <path>`
+    /// drains the recorded events (merged across shards in sharded
+    /// mode) into a chrome://tracing JSON file.
+    fn trace_cmd(&mut self, args: &[&str]) -> String {
+        match args.first().copied() {
+            Some(toggle @ ("on" | "off")) => {
+                let on = toggle == "on";
+                let res = match &mut self.backend {
+                    Backend::Single(e) => {
+                        e.set_tracing(on);
+                        Ok(())
+                    }
+                    Backend::Sharded(se) => se.set_tracing(on),
+                };
+                match res {
+                    Ok(()) => format!("tracing {}.", if on { "enabled" } else { "disabled" }),
+                    Err(e) => format!("error: {e}"),
+                }
+            }
+            Some(path) => {
+                let events = match &mut self.backend {
+                    Backend::Single(e) => Ok(e.take_trace()),
+                    Backend::Sharded(se) => se.take_trace(),
+                };
+                match events {
+                    Err(e) => format!("error: {e}"),
+                    Ok(events) if events.is_empty() => {
+                        "no trace events recorded — `.trace on` first, then feed data.".to_string()
+                    }
+                    Ok(events) => match std::fs::write(path, chrome_trace_json(&events)) {
+                        Ok(()) => format!(
+                            "wrote {} trace events to `{path}` — load it at chrome://tracing.",
+                            events.len()
+                        ),
+                        Err(e) => format!("error: cannot write `{path}`: {e}"),
+                    },
+                }
+            }
+            None => "usage: .trace on|off|<path.json>".to_string(),
         }
     }
 
@@ -622,6 +702,7 @@ impl Repl {
                     }
                 }
             }
+            "trace" => self.trace_cmd(&args),
             "feed" => match (args.first(), args.get(1)) {
                 (Some(stream), Some(path)) => self.feed_csv(stream, path),
                 _ => "usage: .feed <stream> <file.csv>   (columns in schema order;                       TIMESTAMP columns as seconds, e.g. 12.5)"
@@ -949,14 +1030,15 @@ fn render_stats(stats: &[QueryStats]) -> String {
     for s in stats {
         let _ = writeln!(
             out,
-            "{} {:<32} in={:<8} out={:<8} emitted={:<8} retained={:<8} key_bytes={}",
+            "{} {:<32} in={:<8} out={:<8} emitted={:<8} retained={:<8} key_bytes={:<8} p99={}ns",
             if s.active { "live" } else { "dead" },
             s.name,
             s.tuples_in,
             s.tuples_out,
             s.emitted,
             s.retained,
-            s.state_key_bytes
+            s.state_key_bytes,
+            s.wall_p99_ns
         );
     }
     if out.is_empty() {
@@ -970,8 +1052,11 @@ fn render_streams(streams: &[StreamInfo]) -> String {
     for s in streams {
         let _ = write!(
             out,
-            "{:<24} pushed={:<10} last_ts={}",
-            s.name, s.pushed, s.last_ts
+            "{:<24} pushed={:<10} last_ts={:<14} lag_ms={}",
+            s.name,
+            s.pushed,
+            s.last_ts.to_string(),
+            s.lag_ms
         );
         if let Some(slack) = s.disorder_slack {
             let _ = write!(out, " buffered={} slack={slack}", s.buffered);
@@ -994,6 +1079,8 @@ const HELP: &str = r#"ESL-EV shell:
   SHOW SHARDS                per-shard routing and progress (with --shards N)
   EXPLAIN <query>            per-operator counters and sampled latencies
   EXPLAIN <SQL statement>    logical plan, applied rewrites, physical summary
+  EXPLAIN ANALYZE <sql|name> optimized plan annotated with live runtime
+                             stats (rows, batches, wall ns, state bytes)
   .feed <stream> <file.csv>  feed a headerless CSV (cols in schema order,
                              TIMESTAMP columns as fractional seconds)
   .scenario <name> [n]       feed a simulated workload:
@@ -1003,6 +1090,8 @@ const HELP: &str = r#"ESL-EV shell:
   .poll [i]                  drain collected rows of query i (or list all)
   .stats                     per-query emitted/retained counters
   .metrics [prom|json]       full metrics snapshot (Prometheus text or JSON)
+  .trace on|off|<path.json>  toggle the flight recorder / dump recorded
+                             events as chrome://tracing JSON
   .help                      this text
   .quit                      exit
 "#;
@@ -1134,6 +1223,94 @@ mod tests {
         // Errors surface instead of falling through to the SQL parser.
         let out = r.line("EXPLAIN SELECT nope FROM ghost");
         assert!(out.starts_with("error:"), "{out}");
+    }
+
+    #[test]
+    fn explain_analyze_statement_and_name() {
+        let mut r = Repl::new();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        r.line("SELECT tag_id FROM readings WHERE reader_id <> '';");
+        r.line(".scenario dedup 20");
+        let out = r.line("EXPLAIN ANALYZE SELECT tag_id FROM readings WHERE reader_id <> '';");
+        assert!(out.contains("optimized:"), "{out}");
+        assert!(out.contains("[rows "), "{out}");
+        let name = r.engine().query_stats()[0].name.clone();
+        let out = r.line(&format!("explain analyze {name}"));
+        assert!(out.contains("runtime:"), "{out}");
+        let out = r.line("EXPLAIN ANALYZE");
+        assert!(out.contains("usage:"), "{out}");
+        let out = r.line("EXPLAIN ANALYZE no_such_query;");
+        assert!(out.starts_with("error:"), "{out}");
+    }
+
+    #[test]
+    fn sharded_explain_analyze_reads_shard_zero() {
+        let mut r = Repl::with_shards(2).unwrap();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        r.line("SELECT tag_id FROM readings WHERE reader_id <> '';");
+        r.line(".scenario dedup 30");
+        let out = r.line("EXPLAIN ANALYZE SELECT tag_id FROM readings WHERE reader_id <> '';");
+        assert!(out.contains("shard 0"), "{out}");
+        assert!(out.contains("[rows "), "{out}");
+    }
+
+    #[test]
+    fn trace_command_round_trip() {
+        let mut r = Repl::new();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        r.line("SELECT tag_id FROM readings;");
+        // Nothing recorded while tracing is off.
+        let dir = std::env::temp_dir().join("eslev-test-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        r.line(".scenario dedup 10");
+        let out = r.line(&format!(".trace {}", path.display()));
+        assert!(out.contains("no trace events"), "{out}");
+        // Toggle on, feed enough rows to cross the 1-in-64 sampling
+        // boundary a few times, dump.
+        assert!(r.line(".trace on").contains("enabled"));
+        r.line(".scenario dedup 100");
+        let out = r.line(&format!(".trace {}", path.display()));
+        assert!(out.contains("trace events"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("tuple-admitted"), "{json}");
+        assert!(r.line(".trace off").contains("disabled"));
+        assert!(r.line(".trace").contains("usage"));
+        assert!(r
+            .line(".trace /no/such/dir/trace.json")
+            .contains("no trace events"));
+    }
+
+    #[test]
+    fn sharded_trace_merges_shards() {
+        let mut r = Repl::with_shards(2).unwrap();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        r.line("SELECT tag_id FROM readings;");
+        assert!(r.line(".trace on").contains("enabled"));
+        r.line(".scenario dedup 40");
+        r.line(".poll 0");
+        let dir = std::env::temp_dir().join("eslev-test-trace-sharded");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let out = r.line(&format!(".trace {}", path.display()));
+        assert!(out.contains("trace events"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        // Per-shard timelines carry their shard as the pid.
+        assert!(json.contains("\"pid\":0"), "{json}");
+        assert!(json.contains("\"pid\":1"), "{json}");
+    }
+
+    #[test]
+    fn stats_and_streams_show_latency_columns() {
+        let mut r = Repl::new();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        r.line("SELECT tag_id FROM readings;");
+        r.line(".scenario dedup 20");
+        let out = r.line("SHOW STATS");
+        assert!(out.contains("p99="), "{out}");
+        let out = r.line("SHOW STREAMS");
+        assert!(out.contains("lag_ms="), "{out}");
     }
 
     #[test]
