@@ -131,6 +131,9 @@ struct Args {
     fault_seed: Option<u64>,
     /// Run the L1 ingest→emit latency sweep.
     latency: bool,
+    /// Run the M1 multi-query shared-execution sweep up to this many
+    /// registered queries.
+    multi: Option<usize>,
     /// Dump a chrome://tracing JSON of a traced E1 run to this path.
     trace_path: Option<std::path::PathBuf>,
 }
@@ -141,6 +144,7 @@ fn parse_args() -> Args {
     let mut fault_seed = None;
     let mut latency = false;
     let mut trace_path = None;
+    let mut multi = None;
     // The B1 ingestion sweep always includes size 1 as the baseline.
     let mut batches = vec![1, 8, 64, 512];
     let mut args = std::env::args().skip(1);
@@ -195,6 +199,13 @@ fn parse_args() -> Args {
                 }
             }
             "--latency" => latency = true,
+            "--multi" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => multi = Some(n),
+                _ => {
+                    eprintln!("--multi needs a positive query count");
+                    std::process::exit(2);
+                }
+            },
             "--trace" => match args.next() {
                 Some(p) => trace_path = Some(std::path::PathBuf::from(p)),
                 None => {
@@ -204,7 +215,7 @@ fn parse_args() -> Args {
             },
             other => {
                 eprintln!(
-                    "unknown argument: {other}\nusage: harness [--json <path>] [--shards <n>] [--batch <n,n,...>] [--faults <seed>] [--latency] [--trace <path>]"
+                    "unknown argument: {other}\nusage: harness [--json <path>] [--shards <n>] [--batch <n,n,...>] [--faults <seed>] [--latency] [--multi <n>] [--trace <path>]"
                 );
                 std::process::exit(2);
             }
@@ -217,6 +228,7 @@ fn parse_args() -> Args {
         fault_seed,
         latency,
         trace_path,
+        multi,
     }
 }
 
@@ -940,6 +952,99 @@ fn main() {
         sections.push(("L1", obj(&[("rows", arr(rows))])));
     }
 
+    // ------------------------------------------------- multi-query sweep
+    if let Some(max_queries) = args.multi {
+        println!("## M1 — multi-query shared execution (--multi {max_queries})\n");
+        // Shared arm scales to the full count; the independent arm is
+        // capped at 1000 queries (each one is a full private chain).
+        let sizes: Vec<usize> = [1usize, 10, 100, 1_000, 10_000]
+            .into_iter()
+            .filter(|&s| s <= max_queries)
+            .chain((![1, 10, 100, 1_000, 10_000].contains(&max_queries)).then_some(max_queries))
+            .collect();
+        let indep_cap = max_queries.min(1_000);
+        let feed = m1_feed(500);
+        let mut t = TextTable::new(&[
+            "arm",
+            "queries",
+            "chains",
+            "rows_in",
+            "register_s",
+            "feed_s",
+            "marginal_us_per_query_row",
+            "state_key_bytes",
+            "memo_hits",
+        ]);
+        let mut rows = Vec::new();
+        // Per-row marginal cost of one extra query: the slope from the
+        // single-query baseline of the same arm.
+        let mut baselines: [Option<f64>; 2] = [None, None];
+        let mut marginals: Vec<(bool, usize, f64)> = Vec::new();
+        for &shared in &[true, false] {
+            for &n in &sizes {
+                if !shared && n > indep_cap {
+                    continue;
+                }
+                let row = run_multi_sweep(n, shared, &feed);
+                let per_row = row.feed_secs / row.rows_in as f64;
+                let base = *baselines[shared as usize].get_or_insert(per_row);
+                let marginal_us = if n > 1 {
+                    (per_row - base).max(0.0) * 1e6 / (n - 1) as f64
+                } else {
+                    f64::NAN
+                };
+                marginals.push((shared, n, marginal_us));
+                t.row(vec![
+                    row.arm.to_string(),
+                    row.queries.to_string(),
+                    row.chains.to_string(),
+                    row.rows_in.to_string(),
+                    format!("{:.3}", row.register_secs),
+                    format!("{:.3}", row.feed_secs),
+                    if marginal_us.is_nan() {
+                        "-".to_string()
+                    } else {
+                        format!("{marginal_us:.3}")
+                    },
+                    row.state_key_bytes.to_string(),
+                    row.memo_hits.to_string(),
+                ]);
+                rows.push(obj(&[
+                    ("arm", jstr(row.arm)),
+                    ("queries", row.queries.to_string()),
+                    ("chains", row.chains.to_string()),
+                    ("rows_in", row.rows_in.to_string()),
+                    ("register_secs", jf(row.register_secs)),
+                    ("feed_secs", jf(row.feed_secs)),
+                    ("marginal_us_per_query_row", jf(marginal_us)),
+                    ("state_key_bytes", row.state_key_bytes.to_string()),
+                    ("memo_hits", row.memo_hits.to_string()),
+                ]));
+            }
+        }
+        println!("{}", t.to_markdown());
+        // Headline ratio: shared marginal cost at the widest shared
+        // size vs independent marginal cost at the widest independent
+        // size (the chains-vs-chains slope the design targets).
+        let widest = |shared: bool| {
+            marginals
+                .iter()
+                .filter(|(s, n, m)| *s == shared && *n > 1 && m.is_finite())
+                .max_by_key(|(_, n, _)| *n)
+                .copied()
+        };
+        let mut fields = vec![("rows", arr(rows))];
+        if let (Some((_, sn, sm)), Some((_, in_, im))) = (widest(true), widest(false)) {
+            let ratio = im / sm.max(f64::EPSILON);
+            println!(
+                "shared marginal cost at {sn} queries: {sm:.3} us/query/row; \
+                 independent at {in_}: {im:.3} us/query/row ({ratio:.1}x)\n"
+            );
+            fields.push(("shared_vs_independent_marginal", jf(ratio)));
+        }
+        sections.push(("M1", obj(&fields)));
+    }
+
     // ------------------------------------------------------- trace dump
     if let Some(path) = &args.trace_path {
         // A traced E1 run: flight recorder on, feed, dump the merged
@@ -989,6 +1094,10 @@ fn main() {
             (
                 "fault_seed",
                 fault_seed.map_or("null".to_string(), |s| s.to_string()),
+            ),
+            (
+                "multi",
+                args.multi.map_or("null".to_string(), |n| n.to_string()),
             ),
         ]);
         let doc = obj(&[

@@ -1631,3 +1631,143 @@ mod shard_scale_tests {
         }
     }
 }
+
+// ------------------------------------------------------------------ M1
+
+/// One row of the M1 multi-query sweep: `queries` paper-shaped variants
+/// registered on one engine (shared execution on or off), fed the same
+/// reading stream, with discarded sinks so only execution cost is
+/// measured.
+#[derive(Debug, Clone)]
+pub struct MultiSweepRow {
+    /// Arm label (`shared` / `independent`).
+    pub arm: &'static str,
+    /// Queries registered.
+    pub queries: usize,
+    /// Shared chains after registration (0 when sharing is off).
+    pub chains: usize,
+    /// Tuples fed.
+    pub rows_in: usize,
+    /// Registration wall time in seconds.
+    pub register_secs: f64,
+    /// Feed-phase wall time in seconds.
+    pub feed_secs: f64,
+    /// Bytes held in encoded state keys across all queries at the end.
+    pub state_key_bytes: usize,
+    /// Total memo hits across all shared chains (0 when sharing is off).
+    pub memo_hits: u64,
+}
+
+/// The M1 query pool: variant `i` cycles through three paper-shaped
+/// families — alias-renamed copies of the E1 dedup query (one shared
+/// chain), E6-style 4-stream `SEQ` detectors in three pairing modes
+/// (three chains, and by far the heaviest per-tuple work when run
+/// independently), and per-reader dashboard transducers (8 reader
+/// groups -> 8 chains, each dashboard keeping only a private residual
+/// projection).
+fn m1_variant(i: usize) -> String {
+    if i % 2 == 1 {
+        let mode = ["UNRESTRICTED", "CHRONICLE", "RECENT"][(i / 2) % 3];
+        let (a, b, c, d) = (
+            format!("w{i}"),
+            format!("x{i}"),
+            format!("y{i}"),
+            format!("z{i}"),
+        );
+        format!(
+            "SELECT {a}.tag_id, {d}.read_time FROM c1 AS {a}, c2 AS {b}, c3 AS {c}, c4 AS {d} \
+             WHERE SEQ({a}, {b}, {c}, {d}) MODE {mode} \
+             AND {a}.tag_id={b}.tag_id AND {a}.tag_id={c}.tag_id AND {a}.tag_id={d}.tag_id"
+        )
+    } else if i % 4 == 0 {
+        let (a, b) = (format!("a{i}"), format!("b{i}"));
+        format!(
+            "SELECT * FROM readings AS {a} WHERE NOT EXISTS \
+             (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS {b} \
+              WHERE {b}.reader_id = {a}.reader_id AND {b}.tag_id = {a}.tag_id)"
+        )
+    } else {
+        let group = (i / 4) % 8;
+        let items = match i % 3 {
+            0 => "tag_id",
+            1 => "tag_id, read_time",
+            _ => "read_time",
+        };
+        format!("SELECT {items} FROM readings WHERE reader_id = 'r{group}'")
+    }
+}
+
+/// Deterministic M1 feed: five-row blocks of one `readings` row (8
+/// readers x 50 tags) followed by one full `c1 -> c2 -> c3 -> c4`
+/// product pass (tags recycle every 25 products, so every pairing mode
+/// keeps multiple live candidates per tag).
+pub fn m1_feed(rows: usize) -> Vec<(String, Vec<Value>)> {
+    let mut feed = Vec::with_capacity(rows);
+    let mut t = 0usize;
+    while feed.len() < rows {
+        feed.push((
+            "readings".to_string(),
+            vec![
+                Value::str(format!("r{}", t % 8)),
+                Value::str(format!("tag-{}", t % 50)),
+                Value::Ts(Timestamp::from_secs((4 * t) as u64)),
+            ],
+        ));
+        for stage in 0..4usize {
+            if feed.len() >= rows {
+                break;
+            }
+            feed.push((
+                format!("c{}", stage + 1),
+                vec![
+                    Value::str(format!("s{stage}")),
+                    Value::str(format!("tag-{}", t % 25)),
+                    Value::Ts(Timestamp::from_secs((4 * t + stage) as u64)),
+                ],
+            ));
+        }
+        t += 1;
+    }
+    feed
+}
+
+/// Register `queries` M1 variants on one engine (sharing on or off) and
+/// replay `feed`, timing registration and the feed phase separately.
+pub fn run_multi_sweep(
+    queries: usize,
+    shared: bool,
+    feed: &[(String, Vec<Value>)],
+) -> MultiSweepRow {
+    let mut engine = Engine::new();
+    engine.set_shared_execution(shared);
+    execute_script(
+        &mut engine,
+        "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+         CREATE STREAM c1 (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+         CREATE STREAM c2 (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+         CREATE STREAM c3 (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);
+         CREATE STREAM c4 (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);",
+    )
+    .expect("static script plans");
+    let start = std::time::Instant::now();
+    for i in 0..queries {
+        register_with_sink(&mut engine, &m1_variant(i), Sink::Discard).expect("variant plans");
+    }
+    let register_secs = start.elapsed().as_secs_f64();
+    let start = std::time::Instant::now();
+    for (stream, values) in feed {
+        engine.push(stream, values.clone()).expect("feed");
+    }
+    let feed_secs = start.elapsed().as_secs_f64();
+    let stats = engine.shared_stats();
+    MultiSweepRow {
+        arm: if shared { "shared" } else { "independent" },
+        queries,
+        chains: stats.len(),
+        rows_in: feed.len(),
+        register_secs,
+        feed_secs,
+        state_key_bytes: engine.state_key_bytes(),
+        memo_hits: stats.iter().map(|s| s.memo_hits).sum(),
+    }
+}

@@ -23,8 +23,11 @@ use std::hash::Hasher;
 
 /// Current checkpoint format version (bumped on incompatible changes).
 /// Version 2 added the interner dictionary section; version-1 buffers
-/// (no dictionary) still decode, with an empty dictionary.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// (no dictionary) still decode, with an empty dictionary. Version 3
+/// added the shared-chain section to the engine root (shared subplan
+/// state saved once, with a versioned subscriber list); version-2 roots
+/// still decode and restore into engines without shared chains.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 const MAGIC: &[u8; 4] = b"ESCK";
 

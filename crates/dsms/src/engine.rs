@@ -25,7 +25,7 @@ use crate::expr::FunctionRegistry;
 use crate::intern::{InternerRef, Representation, StrInterner};
 use crate::key::KeyCodec;
 use crate::obs::{Counter, Histogram, MetricValue, MetricsSnapshot, Registry};
-use crate::ops::{OpReport, Operator};
+use crate::ops::{OpReport, Operator, SharedCore, SharedCoreRef, SharedTap};
 use crate::schema::SchemaRef;
 use crate::snapshot::{MaterializedWindow, SnapshotRef};
 use crate::table::{Table, TableRef};
@@ -151,6 +151,42 @@ struct QueryState {
     wall: Histogram,
 }
 
+/// One shared subplan in the engine's registry: the core chain, its
+/// identity (structural fingerprint plus the canonical rendering it was
+/// hashed over — compared on attach so a 64-bit collision can never fuse
+/// two different queries), and the subscriber queries tapping it.
+struct SharedEntry {
+    fingerprint: u64,
+    canon: String,
+    /// Display label (the plan name of the first subscriber).
+    label: String,
+    core: SharedCoreRef,
+    /// Indices into `queries` of every tap ever attached.
+    subscriber_ids: Vec<usize>,
+}
+
+/// One row of [`Engine::shared_stats`].
+#[derive(Debug, Clone)]
+pub struct SharedInfo {
+    /// Display label of the shared chain.
+    pub label: String,
+    /// Structural fingerprint of the shared plan prefix.
+    pub fingerprint: u64,
+    /// Names of every subscriber, in attach order.
+    pub subscribers: Vec<String>,
+    /// Subscribers still receiving input.
+    pub active_subscribers: usize,
+    /// Tuples delivered to the shared core (all ports).
+    pub tuples_in: u64,
+    /// Batches served from the memo instead of re-executed.
+    pub memo_hits: u64,
+    /// Tuples retained in the shared core's state.
+    pub retained: usize,
+    /// Encoded state-key bytes held by the shared core (attributed
+    /// once, not per subscriber).
+    pub state_key_bytes: usize,
+}
+
 struct StreamEntry {
     schema: SchemaRef,
     /// Indices of string-typed columns, cached so admission interning
@@ -193,6 +229,12 @@ pub struct Engine {
     queries: Vec<QueryState>,
     /// stream name -> [(query index, input port)]
     subs: HashMap<String, Vec<(usize, usize)>>,
+    /// Shared-subplan registry, in creation order (checkpointed
+    /// positionally, like `queries`).
+    shared: Vec<SharedEntry>,
+    /// Whether [`Engine::register_shared`] attaches matching plans to
+    /// one chain (opt-in; off keeps every query on a private chain).
+    shared_execution: bool,
     next_seq: u64,
     now: Timestamp,
     auto_watermark: bool,
@@ -256,6 +298,8 @@ impl Engine {
             aggs: AggregateRegistry::new(),
             queries: Vec::new(),
             subs: HashMap::new(),
+            shared: Vec::new(),
+            shared_execution: false,
             next_seq: 0,
             now: Timestamp::ZERO,
             auto_watermark: true,
@@ -306,8 +350,16 @@ impl Engine {
     }
 
     /// Total encoded state-key bytes across all registered queries.
+    /// Shared chains are counted exactly once (their subscribers' taps
+    /// report residual-only bytes).
     pub fn state_key_bytes(&self) -> usize {
-        self.queries.iter().map(|q| q.op.state_key_bytes()).sum()
+        let private: usize = self.queries.iter().map(|q| q.op.state_key_bytes()).sum();
+        let shared: usize = self
+            .shared
+            .iter()
+            .map(|e| e.core.lock().op.state_key_bytes())
+            .sum();
+        private + shared
     }
 
     /// The engine's instrument registry. Clones share the underlying
@@ -563,6 +615,116 @@ impl Engine {
         let c = Collector::new();
         let id = self.register_query(name, sources, op, Sink::Collect(c.clone()))?;
         Ok((id, c))
+    }
+
+    /// Turn multi-query shared execution on or off (off by default).
+    /// Only affects queries registered *after* the call via
+    /// [`Engine::register_shared`]-aware frontends.
+    pub fn set_shared_execution(&mut self, on: bool) {
+        self.shared_execution = on;
+    }
+
+    /// Whether shared execution is enabled.
+    pub fn shared_execution(&self) -> bool {
+        self.shared_execution
+    }
+
+    /// Register a continuous query whose plan splits into a shared core
+    /// (identified by `fingerprint` + `canon`) and an optional
+    /// per-query residual stage. If a chain with the same identity
+    /// exists and has not consumed input yet, the query attaches to it
+    /// as an additional subscriber — the core executes once per batch
+    /// and each subscriber applies only its residual. Otherwise a fresh
+    /// chain is created from `core_op`.
+    ///
+    /// Chains are reference-counted by their subscribers' activity:
+    /// deregistering one subscriber leaves the core (and its state) in
+    /// place for the survivors, and a fully-deregistered chain is never
+    /// re-attached once warm — a later identical registration gets a
+    /// fresh chain, exactly like an independent one would.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_shared(
+        &mut self,
+        name: impl Into<String>,
+        sources: Vec<&str>,
+        fingerprint: u64,
+        canon: &str,
+        label: &str,
+        core_op: Box<dyn Operator>,
+        residual: Option<Box<dyn Operator>>,
+        sink: Sink,
+    ) -> Result<QueryId> {
+        let name = name.into();
+        let existing = self.shared.iter().position(|e| {
+            e.fingerprint == fingerprint && e.canon == canon && e.core.lock().tuples_in == 0
+        });
+        let (idx, created) = match existing {
+            Some(i) => (i, false),
+            None => {
+                let mut core_op = core_op;
+                core_op.bind_interner(&self.codec);
+                self.shared.push(SharedEntry {
+                    fingerprint,
+                    canon: canon.to_string(),
+                    label: label.to_string(),
+                    core: SharedCore::new(core_op),
+                    subscriber_ids: Vec::new(),
+                });
+                (self.shared.len() - 1, true)
+            }
+        };
+        let core = self.shared[idx].core.clone();
+        let mut tap = SharedTap::new(core.clone(), residual);
+        let sid = idx.to_string();
+        let labels = [("query", name.as_str()), ("chain", sid.as_str())];
+        tap.set_hit_counter(self.obs.counter("eslev_shared_memo_hits_total", &labels));
+        match self.register_query(name.clone(), sources, Box::new(tap), sink) {
+            Ok(qid) => {
+                core.lock().subscribers.push(name);
+                self.shared[idx].subscriber_ids.push(qid.0);
+                Ok(qid)
+            }
+            Err(e) => {
+                if created {
+                    self.shared.pop();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Introspection: one row per shared chain, in creation order.
+    pub fn shared_stats(&self) -> Vec<SharedInfo> {
+        self.shared
+            .iter()
+            .map(|e| {
+                let core = e.core.lock();
+                SharedInfo {
+                    label: e.label.clone(),
+                    fingerprint: e.fingerprint,
+                    subscribers: core.subscribers.clone(),
+                    active_subscribers: e
+                        .subscriber_ids
+                        .iter()
+                        .filter(|&&i| self.queries[i].active)
+                        .count(),
+                    tuples_in: core.tuples_in,
+                    memo_hits: core.memo_hits,
+                    retained: core.op.retained(),
+                    state_key_bytes: core.op.state_key_bytes(),
+                }
+            })
+            .collect()
+    }
+
+    /// Names of the queries subscribed to the chain with this identity
+    /// (the newest matching chain, when churn created several).
+    pub fn shared_subscribers(&self, fingerprint: u64, canon: &str) -> Option<Vec<String>> {
+        self.shared
+            .iter()
+            .rev()
+            .find(|e| e.fingerprint == fingerprint && e.canon == canon)
+            .map(|e| e.core.lock().subscribers.clone())
     }
 
     /// Push a row into a stream; cascades through all affected queries.
@@ -1187,6 +1349,31 @@ impl Engine {
             let r = self.query_report(QueryId(i));
             Self::append_report(&mut snap, &q.name, &r);
         }
+        snap.push(
+            "eslev_shared_subplans",
+            &[],
+            MetricValue::Gauge(self.shared.len() as i64),
+        );
+        for (k, e) in self.shared.iter().enumerate() {
+            let core = e.core.lock();
+            let id = format!("s{k}");
+            let labels = [("query", e.label.as_str()), ("id", id.as_str())];
+            snap.push(
+                "eslev_query_retained",
+                &labels,
+                MetricValue::Gauge(core.op.retained() as i64),
+            );
+            snap.push(
+                "eslev_query_state_key_bytes",
+                &labels,
+                MetricValue::Gauge(core.op.state_key_bytes() as i64),
+            );
+            snap.push(
+                "eslev_shared_subscribers",
+                &labels,
+                MetricValue::Gauge(core.subscribers.len() as i64),
+            );
+        }
         snap
     }
 
@@ -1294,11 +1481,32 @@ impl Engine {
                 ])
             })
             .collect();
+        // Checkpoint v3: shared-chain section. Each chain's state is
+        // saved exactly once, with its identity and versioned
+        // subscriber list; the subscribers' own entries above carry
+        // residual-only state.
+        let mut chains = Vec::with_capacity(self.shared.len());
+        for e in &self.shared {
+            let core = e.core.lock();
+            chains.push(StateNode::List(vec![
+                StateNode::Str(e.label.clone()),
+                StateNode::U64(e.fingerprint),
+                StateNode::U64(core.tuples_in),
+                StateNode::List(
+                    core.subscribers
+                        .iter()
+                        .map(|s| StateNode::Str(s.clone()))
+                        .collect(),
+                ),
+                core.op.save_state()?,
+            ]));
+        }
         let root = StateNode::List(vec![
             StateNode::List(streams),
             StateNode::List(queries),
             StateNode::List(tables),
             StateNode::List(materialized),
+            StateNode::List(chains),
         ]);
         let ck = EngineCheckpoint::new(self.next_seq, self.now, root)
             .with_dict(self.interner.dictionary());
@@ -1399,6 +1607,70 @@ impl Engine {
             }
             for (m, s) in mats.iter().zip(saved) {
                 m.restore_state(s)?;
+            }
+        }
+        // Shared-chain section (checkpoint v3). Root layouts from v2
+        // engines have no fifth element; that is only acceptable when
+        // this engine has no shared chains to restore.
+        match ck.root.item(4) {
+            Err(_) => {
+                if !self.shared.is_empty() {
+                    return Err(DsmsError::ckpt(format!(
+                        "engine has {} shared chains but the checkpoint \
+                         (pre-v3 layout) has no shared-chain section",
+                        self.shared.len()
+                    )));
+                }
+            }
+            Ok(section) => {
+                let chains = section.as_list()?;
+                if chains.len() != self.shared.len() {
+                    return Err(DsmsError::ckpt(format!(
+                        "engine has {} shared chains, checkpoint has {}",
+                        self.shared.len(),
+                        chains.len()
+                    )));
+                }
+                for (e, node) in self.shared.iter().zip(chains) {
+                    let label = node.item(0)?.as_str()?;
+                    if label != e.label {
+                        return Err(DsmsError::ckpt(format!(
+                            "shared chain `{}` does not match checkpointed chain `{label}`",
+                            e.label
+                        )));
+                    }
+                    let fp = node.item(1)?.as_u64()?;
+                    if fp != e.fingerprint {
+                        return Err(DsmsError::ckpt(format!(
+                            "shared chain `{}` fingerprint mismatch: \
+                             engine 0x{:016x}, checkpoint 0x{fp:016x}",
+                            e.label, e.fingerprint
+                        )));
+                    }
+                    let mut core = e.core.lock();
+                    let saved_subs = node.item(3)?.as_list()?;
+                    if saved_subs.len() != core.subscribers.len() {
+                        return Err(DsmsError::ckpt(format!(
+                            "shared chain `{}` has {} subscribers, checkpoint has {}",
+                            e.label,
+                            core.subscribers.len(),
+                            saved_subs.len()
+                        )));
+                    }
+                    for (have, saved) in core.subscribers.iter().zip(saved_subs) {
+                        if saved.as_str()? != have {
+                            return Err(DsmsError::ckpt(format!(
+                                "shared chain `{}` subscriber `{have}` does not match \
+                                 checkpointed subscriber `{}`",
+                                e.label,
+                                saved.as_str()?
+                            )));
+                        }
+                    }
+                    core.tuples_in = node.item(2)?.as_u64()?;
+                    core.op.restore_state(node.item(4)?)?;
+                    core.reset_memo();
+                }
             }
         }
         self.next_seq = ck.next_seq;

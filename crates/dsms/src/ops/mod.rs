@@ -14,6 +14,7 @@ mod exists;
 mod join;
 mod project;
 mod select;
+mod shared;
 
 pub use aggregate::{AggSpec, AggWindow, Emission, WindowAggregate};
 pub use dedup::Dedup;
@@ -21,6 +22,7 @@ pub use exists::{SemiJoinKind, WindowExists};
 pub use join::BinaryJoin;
 pub use project::Project;
 pub use select::Select;
+pub use shared::{SharedCore, SharedCoreRef, SharedTap};
 
 use crate::ckpt::StateNode;
 use crate::error::{DsmsError, Result};

@@ -1,0 +1,270 @@
+//! Multi-query shared execution: one physical chain, many subscribers.
+//!
+//! The paper's workload is thousands of near-identical dashboards over
+//! the same RFID streams. Registering each one as a private operator
+//! chain costs a private dedup map / window buffer / detector history
+//! per query. [`SharedCore`] holds the *shared prefix* of such queries
+//! exactly once; every subscriber is registered as a [`SharedTap`] — a
+//! thin per-query view that runs the shared prefix at most once per
+//! input batch (memoized across subscribers) and applies only the
+//! query's residual projection to the shared output.
+//!
+//! # Why memoization is sound
+//!
+//! The engine delivers each input batch to every subscriber of a stream
+//! within one dispatch step, and punctuations to every query within one
+//! (strictly monotone) `advance_to`. Sibling taps therefore observe the
+//! same batch / punctuation back-to-back with nothing else touching the
+//! core in between, so a depth-1 memo per input port reproduces exactly
+//! the outputs an independent chain would compute — the share
+//! differential suite asserts byte-identical results.
+//!
+//! Tuple sequence numbers never repeat within an engine, so the memo key
+//! `(first seq, last seq, len, first ts)` cannot collide between two
+//! adjacent distinct batches.
+
+use crate::ckpt::StateNode;
+use crate::error::{DsmsError, Result};
+use crate::key::KeyCodec;
+use crate::obs::Counter;
+use crate::ops::{OpReport, Operator};
+use crate::time::Timestamp;
+use crate::tuple::Tuple;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Identity of one delivered batch on one port.
+type BatchKey = (u64, u64, usize, Timestamp);
+
+/// The shared half of a split query plan: the stateful operator prefix,
+/// executed once per input batch no matter how many subscribers tap it.
+pub struct SharedCore {
+    /// The shared operator (chain) itself.
+    pub op: Box<dyn Operator>,
+    /// Tuples delivered to the core across all ports. Attachment is
+    /// only allowed while this is zero: a warm chain's state would
+    /// differ from the fresh chain an independent registration gets.
+    pub tuples_in: u64,
+    /// Names of every query that ever attached, in attach order.
+    pub subscribers: Vec<String>,
+    /// Depth-1 memo per input port: the most recent batch and the
+    /// outputs the core produced for it.
+    memo: Vec<Option<(BatchKey, Vec<Tuple>)>>,
+    /// Memo for the most recent punctuation.
+    punct_memo: Option<(Timestamp, Vec<Tuple>)>,
+    /// Batches served from the memo instead of re-executed (the work
+    /// sharing actually won).
+    pub memo_hits: u64,
+}
+
+/// Shared handle to a [`SharedCore`].
+pub type SharedCoreRef = Arc<Mutex<SharedCore>>;
+
+impl SharedCore {
+    /// Wrap an operator as a shareable core.
+    pub fn new(op: Box<dyn Operator>) -> SharedCoreRef {
+        let ports = op.num_ports();
+        Arc::new(Mutex::new(SharedCore {
+            op,
+            tuples_in: 0,
+            subscribers: Vec::new(),
+            memo: vec![None; ports],
+            punct_memo: None,
+            memo_hits: 0,
+        }))
+    }
+
+    /// Drop the memoized batches (checkpoint restore: a batch never
+    /// straddles a checkpoint, so stale memo entries must not survive).
+    pub fn reset_memo(&mut self) {
+        for m in &mut self.memo {
+            *m = None;
+        }
+        self.punct_memo = None;
+    }
+}
+
+/// A per-query subscription over a [`SharedCore`]: runs the shared
+/// prefix (memoized) and applies this query's residual stage — the
+/// final projection an independent chain would have run last.
+pub struct SharedTap {
+    core: SharedCoreRef,
+    residual: Option<Box<dyn Operator>>,
+    name: String,
+    /// Cached from the core so the per-push `needs_per_tuple_watermarks`
+    /// scan never takes the lock.
+    ports: usize,
+    sensitive: bool,
+    /// Engine-level twin of `SharedCore::memo_hits` for this tap.
+    shared_hits: Option<Counter>,
+}
+
+impl SharedTap {
+    /// Attach a new tap to `core`, owning the query's residual stage.
+    pub fn new(core: SharedCoreRef, residual: Option<Box<dyn Operator>>) -> SharedTap {
+        let (ports, sensitive, name) = {
+            let c = core.lock();
+            (
+                c.op.num_ports(),
+                c.op.punctuation_sensitive(),
+                format!("shared({})", c.op.name()),
+            )
+        };
+        SharedTap {
+            core,
+            residual,
+            name,
+            ports,
+            sensitive,
+            shared_hits: None,
+        }
+    }
+
+    /// Wire a counter that tracks this tap's memo hits.
+    pub fn set_hit_counter(&mut self, c: Counter) {
+        self.shared_hits = Some(c);
+    }
+
+    fn apply_residual(&mut self, shared: Vec<Tuple>, out: &mut Vec<Tuple>) -> Result<()> {
+        match &mut self.residual {
+            None => {
+                out.extend(shared);
+                Ok(())
+            }
+            Some(r) => r.process_batch(0, &shared, out),
+        }
+    }
+}
+
+impl Operator for SharedTap {
+    fn on_tuple(&mut self, port: usize, t: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        self.process_batch(port, std::slice::from_ref(t), out)
+    }
+
+    fn process_batch(&mut self, port: usize, batch: &[Tuple], out: &mut Vec<Tuple>) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let key: BatchKey = (
+            batch[0].seq(),
+            batch[batch.len() - 1].seq(),
+            batch.len(),
+            batch[0].ts(),
+        );
+        let shared = {
+            let mut core = self.core.lock();
+            let hit = matches!(&core.memo[port], Some((k, _)) if *k == key);
+            if hit {
+                core.memo_hits += 1;
+                if let Some(c) = &self.shared_hits {
+                    c.inc();
+                }
+            } else {
+                let mut produced = Vec::new();
+                core.op.process_batch(port, batch, &mut produced)?;
+                core.tuples_in += batch.len() as u64;
+                core.memo[port] = Some((key, produced));
+            }
+            core.memo[port]
+                .as_ref()
+                .expect("memo filled above")
+                .1
+                .clone()
+        };
+        self.apply_residual(shared, out)
+    }
+
+    fn on_punctuation(&mut self, ts: Timestamp, out: &mut Vec<Tuple>) -> Result<()> {
+        let shared = {
+            let mut core = self.core.lock();
+            let hit = matches!(&core.punct_memo, Some((t, _)) if *t == ts);
+            if !hit {
+                let mut produced = Vec::new();
+                core.op.on_punctuation(ts, &mut produced)?;
+                core.punct_memo = Some((ts, produced));
+            } else {
+                core.memo_hits += 1;
+            }
+            core.punct_memo
+                .as_ref()
+                .expect("memo filled above")
+                .1
+                .clone()
+        };
+        self.apply_residual(shared, out)?;
+        // Keep the punctuation flowing through the residual for parity
+        // with an unsplit chain (the residual stages are stateless, but
+        // the schedule must match exactly).
+        if let Some(r) = &mut self.residual {
+            r.on_punctuation(ts, out)?;
+        }
+        Ok(())
+    }
+
+    fn punctuation_sensitive(&self) -> bool {
+        self.sensitive
+    }
+
+    fn num_ports(&self) -> usize {
+        self.ports
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bind_interner(&mut self, codec: &KeyCodec) {
+        // The core is bound once at creation by the engine; only this
+        // tap's residual still needs the codec.
+        if let Some(r) = &mut self.residual {
+            r.bind_interner(codec);
+        }
+    }
+
+    /// Residual-only: the core's bytes are attributed exactly once by
+    /// the engine's shared-chain rows, not per subscriber.
+    fn state_key_bytes(&self) -> usize {
+        self.residual.as_ref().map_or(0, |r| r.state_key_bytes())
+    }
+
+    /// Per-query view: what this query's full pipeline retains (core
+    /// plus residual) — the number an independent chain would report.
+    fn retained(&self) -> usize {
+        self.core.lock().op.retained() + self.residual.as_ref().map_or(0, |r| r.retained())
+    }
+
+    fn report(&self) -> OpReport {
+        let core = self.core.lock();
+        let mut r = core.op.report();
+        r.counters
+            .push(("shared_by".to_string(), core.subscribers.len() as u64));
+        r.counters
+            .push(("shared_memo_hits".to_string(), core.memo_hits));
+        drop(core);
+        if let Some(res) = &self.residual {
+            r.children.push(res.report());
+        }
+        r
+    }
+
+    /// Per-subscriber state is the residual only; the engine saves the
+    /// core once in the checkpoint's shared-chain section.
+    fn save_state(&self) -> Result<StateNode> {
+        match &self.residual {
+            Some(r) => r.save_state(),
+            None => Ok(StateNode::Unit),
+        }
+    }
+
+    fn restore_state(&mut self, state: &StateNode) -> Result<()> {
+        match &mut self.residual {
+            Some(r) => r.restore_state(state),
+            None => match state {
+                StateNode::Unit => Ok(()),
+                _ => Err(DsmsError::ckpt(
+                    "shared tap without residual expects Unit state".to_string(),
+                )),
+            },
+        }
+    }
+}

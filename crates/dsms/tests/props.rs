@@ -213,3 +213,170 @@ proptest! {
         prop_assert_eq!(got, expected);
     }
 }
+
+// --------------------------------------------- shared-execution churn
+
+/// One step of a random register / feed / deregister interleaving.
+#[derive(Debug, Clone)]
+enum Churn {
+    Register(usize),
+    Feed { gap: u64, tag: u8 },
+    Deregister(usize),
+}
+
+fn churn_steps(len: usize) -> impl Strategy<Value = Vec<Churn>> {
+    proptest::collection::vec((0u8..4, 0usize..8, 0u64..3, 0u8..4), 0..len).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, pick, gap, tag)| match kind {
+                0 => Churn::Register(pick),
+                1 | 2 => Churn::Feed { gap, tag },
+                _ => Churn::Deregister(pick),
+            })
+            .collect()
+    })
+}
+
+/// The query pool: 8 variants over 4 shared cores (dedup on the tag
+/// column within a per-group window); variants 4..8 add a per-query
+/// residual projection on top of the same cores.
+fn churn_core(variant: usize) -> (u64, String, Box<dyn Operator>) {
+    let group = (variant % 4) as u64;
+    let canon = format!("dedup tag within {}s", group + 1);
+    let op: Box<dyn Operator> = Box::new(Dedup::new(
+        vec![Expr::col(1)],
+        Duration::from_secs(group + 1),
+    ));
+    (group, canon, op)
+}
+
+fn churn_residual(variant: usize) -> Option<Box<dyn Operator>> {
+    (variant >= 4).then(|| {
+        Box::new(Chain::new(vec![
+            Box::new(Project::new(vec![Expr::col(1), Expr::col(2)])) as Box<dyn Operator>,
+        ])) as Box<dyn Operator>
+    })
+}
+
+/// The same variant as one independent (non-shared) physical chain.
+fn churn_independent(variant: usize) -> Box<dyn Operator> {
+    let (_, _, core) = churn_core(variant);
+    match churn_residual(variant) {
+        Some(res) => Box::new(Chain::new(vec![core, res])),
+        None => core,
+    }
+}
+
+fn churn_rows(c: &Collector) -> Vec<(Vec<Value>, Timestamp)> {
+    c.take()
+        .into_iter()
+        .map(|t| (t.values().to_vec(), t.ts()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random interleavings of register / feed / deregister over a pool
+    /// of 8 shared-execution query variants: every instance's output is
+    /// byte-identical to a fresh non-shared engine replaying exactly
+    /// the rows that arrived while the instance was live.
+    #[test]
+    fn shared_churn_matches_fresh_replay(steps in churn_steps(60)) {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("raw")).unwrap();
+        e.set_shared_execution(true);
+
+        struct Instance {
+            variant: usize,
+            id: QueryId,
+            out: Collector,
+            fed: Vec<(u64, u8)>,
+            live: bool,
+        }
+        let mut instances: Vec<Instance> = Vec::new();
+        let mut ts = 0u64;
+        for step in &steps {
+            match step {
+                Churn::Register(pick) => {
+                    let variant = *pick;
+                    let (fp, canon, core) = churn_core(variant);
+                    let out = Collector::new();
+                    let id = e
+                        .register_shared(
+                            format!("v{variant}#{}", instances.len()),
+                            vec!["raw"],
+                            fp,
+                            &canon,
+                            &canon,
+                            core,
+                            churn_residual(variant),
+                            Sink::Collect(out.clone()),
+                        )
+                        .unwrap();
+                    instances.push(Instance { variant, id, out, fed: Vec::new(), live: true });
+                }
+                Churn::Feed { gap, tag } => {
+                    ts += gap;
+                    e.push(
+                        "raw",
+                        vec![
+                            Value::str("r"),
+                            Value::str(format!("tag-{tag}")),
+                            Value::Ts(Timestamp::from_secs(ts)),
+                        ],
+                    )
+                    .unwrap();
+                    for inst in instances.iter_mut().filter(|i| i.live) {
+                        inst.fed.push((ts, *tag));
+                    }
+                }
+                Churn::Deregister(pick) => {
+                    let live: Vec<usize> = instances
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, i)| i.live)
+                        .map(|(n, _)| n)
+                        .collect();
+                    if !live.is_empty() {
+                        let n = live[pick % live.len()];
+                        e.deregister_query(instances[n].id);
+                        instances[n].live = false;
+                    }
+                }
+            }
+        }
+
+        // Replay each instance's private view on a fresh engine with an
+        // independent chain and compare outputs exactly.
+        for inst in &instances {
+            let mut fresh = Engine::new();
+            fresh.create_stream(Schema::readings("raw")).unwrap();
+            let (_, out) = fresh
+                .register_collected(
+                    "replay",
+                    vec!["raw"],
+                    churn_independent(inst.variant),
+                )
+                .unwrap();
+            for (secs, tag) in &inst.fed {
+                fresh
+                    .push(
+                        "raw",
+                        vec![
+                            Value::str("r"),
+                            Value::str(format!("tag-{tag}")),
+                            Value::Ts(Timestamp::from_secs(*secs)),
+                        ],
+                    )
+                    .unwrap();
+            }
+            prop_assert_eq!(
+                churn_rows(&inst.out),
+                churn_rows(&out),
+                "variant {} (id {:?}) diverged from fresh replay",
+                inst.variant,
+                inst.id
+            );
+        }
+    }
+}

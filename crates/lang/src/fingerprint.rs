@@ -1,0 +1,331 @@
+//! Canonical plan fingerprints for multi-query shared execution.
+//!
+//! Two continuous queries can execute one physical chain when their
+//! optimized logical plans are structurally identical up to *naming
+//! noise*: FROM-binding aliases, output-column aliases and letter case
+//! carry no semantics, so `SELECT * FROM readings AS r1 WHERE ...` and
+//! `SELECT * FROM readings AS rx WHERE ...` must land on the same chain.
+//!
+//! [`shared_fingerprint`] canonicalizes the plan — every FROM binding is
+//! renamed to its positional `$i`, EXISTS sub-query bindings to `$sj`,
+//! identifiers are lowercased, and annotation-only fields (pruned column
+//! sets, SEQ state bounds) are stripped — renders it, and hashes the
+//! rendering with FNV-1a 64. The canonical rendering travels with the
+//! hash: the engine compares it on attach, so a 64-bit collision can
+//! never fuse two different queries.
+//!
+//! The fingerprint covers exactly the *shared* part of the plan. Shapes
+//! whose final projection lowers to a separate physical stage
+//! (transducer, table EXISTS, windowed EXISTS) are fingerprinted with
+//! the projection peeled off — the projection becomes the per-query
+//! residual, so queries differing only in their select list still share
+//! the stateful prefix. Shapes that fuse the projection into the
+//! operator (dedup, aggregate, SEQ detectors) are fingerprinted whole,
+//! select list included: they only share when the full query matches.
+
+use crate::ast::*;
+use crate::plan::{LogicalPlan, SeqElementPlan, SeqPlan};
+use std::collections::HashMap;
+
+/// A canonical plan fingerprint: the structural hash plus the canonical
+/// rendering it was computed over (kept for collision-proof comparison).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// FNV-1a 64 over the canonical rendering.
+    pub hash: u64,
+    /// The canonical rendering itself.
+    pub canon: String,
+}
+
+/// FNV-1a 64-bit.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Positional alias map: FROM bindings become `$0..$n-1`, EXISTS
+/// sub-query bindings `$s0..`, everything lowercased.
+fn alias_map(sel: &SelectStmt) -> HashMap<String, String> {
+    let mut m = HashMap::new();
+    for (i, f) in sel.from.iter().enumerate() {
+        m.insert(f.binding().to_ascii_lowercase(), format!("${i}"));
+    }
+    if let Some(w) = &sel.where_clause {
+        for c in split_conjuncts(w) {
+            if let AstExpr::Exists { subquery, .. } = c {
+                for (j, f) in subquery.from.iter().enumerate() {
+                    m.entry(f.binding().to_ascii_lowercase())
+                        .or_insert_with(|| format!("$s{j}"));
+                }
+            }
+        }
+    }
+    m
+}
+
+fn mapped(m: &HashMap<String, String>, alias: &str) -> String {
+    let lower = alias.to_ascii_lowercase();
+    m.get(&lower).cloned().unwrap_or(lower)
+}
+
+fn canon_window(w: &AstWindow, m: &HashMap<String, String>) -> AstWindow {
+    AstWindow {
+        length: w.length,
+        kind: w.kind,
+        anchor: w.anchor.as_ref().map(|a| mapped(m, a)),
+    }
+}
+
+fn canon_expr(e: &AstExpr, m: &HashMap<String, String>) -> AstExpr {
+    match e {
+        AstExpr::Lit(_) | AstExpr::Dur(_) => e.clone(),
+        AstExpr::Col { qualifier, name } => AstExpr::Col {
+            qualifier: qualifier.as_ref().map(|q| mapped(m, q)),
+            name: name.to_ascii_lowercase(),
+        },
+        AstExpr::PrevCol { qualifier, name } => AstExpr::PrevCol {
+            qualifier: mapped(m, qualifier),
+            name: name.to_ascii_lowercase(),
+        },
+        AstExpr::StarAgg {
+            kind,
+            alias,
+            column,
+        } => AstExpr::StarAgg {
+            kind: *kind,
+            alias: mapped(m, alias),
+            column: column.as_ref().map(|c| c.to_ascii_lowercase()),
+        },
+        AstExpr::Agg { name, arg } => AstExpr::Agg {
+            name: name.to_ascii_lowercase(),
+            arg: Box::new(canon_expr(arg, m)),
+        },
+        AstExpr::Call { name, args } => AstExpr::Call {
+            name: name.to_ascii_lowercase(),
+            args: args.iter().map(|a| canon_expr(a, m)).collect(),
+        },
+        AstExpr::Bin(op, a, b) => {
+            AstExpr::Bin(*op, Box::new(canon_expr(a, m)), Box::new(canon_expr(b, m)))
+        }
+        AstExpr::Not(e) => AstExpr::Not(Box::new(canon_expr(e, m))),
+        AstExpr::IsNull { expr, negated } => AstExpr::IsNull {
+            expr: Box::new(canon_expr(expr, m)),
+            negated: *negated,
+        },
+        AstExpr::Like(e, p) => AstExpr::Like(Box::new(canon_expr(e, m)), p.clone()),
+        AstExpr::Exists { negated, subquery } => AstExpr::Exists {
+            negated: *negated,
+            subquery: subquery.clone(),
+        },
+        AstExpr::Seq {
+            kind,
+            args,
+            window,
+            mode,
+        } => AstExpr::Seq {
+            kind: *kind,
+            args: args
+                .iter()
+                .map(|a| SeqArg {
+                    alias: mapped(m, &a.alias),
+                    star: a.star,
+                })
+                .collect(),
+            window: window.as_ref().map(|w| canon_window(w, m)),
+            mode: *mode,
+        },
+    }
+}
+
+fn canon_exprs(es: &[AstExpr], m: &HashMap<String, String>) -> Vec<AstExpr> {
+    es.iter().map(|e| canon_expr(e, m)).collect()
+}
+
+/// Deep-canonicalize a plan: positional aliases, lowercased identifiers,
+/// annotation-only fields (pruned columns, state bounds) stripped.
+fn canon_plan(p: &LogicalPlan, m: &HashMap<String, String>) -> LogicalPlan {
+    match p {
+        LogicalPlan::Source { stream, alias, .. } => LogicalPlan::Source {
+            stream: stream.to_ascii_lowercase(),
+            alias: mapped(m, alias),
+            columns: None,
+        },
+        LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
+            input: Box::new(canon_plan(input, m)),
+            predicates: canon_exprs(predicates, m),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(canon_plan(input, m)),
+            exprs: canon_exprs(exprs, m),
+        },
+        LogicalPlan::Window { input, window } => LogicalPlan::Window {
+            input: Box::new(canon_plan(input, m)),
+            window: canon_window(window, m),
+        },
+        LogicalPlan::Dedup {
+            input,
+            keys,
+            window,
+        } => LogicalPlan::Dedup {
+            input: Box::new(canon_plan(input, m)),
+            keys: keys
+                .iter()
+                .map(|(i, n)| (*i, n.to_ascii_lowercase()))
+                .collect(),
+            window: *window,
+        },
+        LogicalPlan::SemiJoin {
+            outer,
+            inner,
+            negated,
+            predicates,
+        } => LogicalPlan::SemiJoin {
+            outer: Box::new(canon_plan(outer, m)),
+            inner: Box::new(canon_plan(inner, m)),
+            negated: *negated,
+            predicates: canon_exprs(predicates, m),
+        },
+        LogicalPlan::Lookup {
+            input,
+            table,
+            negated,
+            predicates,
+            probe,
+        } => LogicalPlan::Lookup {
+            input: Box::new(canon_plan(input, m)),
+            table: table.to_ascii_lowercase(),
+            negated: *negated,
+            predicates: canon_exprs(predicates, m),
+            probe: probe
+                .as_ref()
+                .map(|(c, k)| (c.to_ascii_lowercase(), canon_expr(k, m))),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            window,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(canon_plan(input, m)),
+            group_by: canon_exprs(group_by, m),
+            aggs: canon_exprs(aggs, m),
+            window: window.as_ref().map(|w| canon_window(w, m)),
+        },
+        LogicalPlan::Seq(sp) => LogicalPlan::Seq(SeqPlan {
+            kind: sp.kind,
+            mode: sp.mode,
+            elements: sp
+                .elements
+                .iter()
+                .map(|e| SeqElementPlan {
+                    alias: mapped(m, &e.alias),
+                    stream: e.stream.to_ascii_lowercase(),
+                    port: e.port,
+                    star: e.star,
+                    predicates: canon_exprs(&e.predicates, m),
+                    max_gap_from_prev: e.max_gap_from_prev,
+                    star_gap: e.star_gap,
+                })
+                .collect(),
+            window: sp.window.as_ref().map(|w| canon_window(w, m)),
+            residual: canon_exprs(&sp.residual, m),
+            partition: sp.partition.as_ref().map(|keys| {
+                keys.iter()
+                    .map(|(i, n)| (*i, n.to_ascii_lowercase()))
+                    .collect()
+            }),
+            level_cmp: sp.level_cmp,
+            state_bound: None,
+        }),
+    }
+}
+
+/// Whether the lowering of this plan shape places the final projection
+/// in a *separate* physical stage that can peel off into a per-query
+/// residual. Mirrors the planner's shell peel: transducers, table
+/// EXISTS and windowed EXISTS end in a standalone `Project`; dedup has
+/// no projection and aggregates/SEQ detectors fuse theirs into the
+/// operator.
+pub fn splits_projection(plan: &LogicalPlan) -> bool {
+    let mut core = plan;
+    loop {
+        match core {
+            LogicalPlan::Project { input, .. } | LogicalPlan::Filter { input, .. } => {
+                core = input;
+            }
+            LogicalPlan::Source { .. }
+            | LogicalPlan::Window { .. }
+            | LogicalPlan::Lookup { .. }
+            | LogicalPlan::SemiJoin { .. } => return true,
+            LogicalPlan::Dedup { .. } | LogicalPlan::Aggregate { .. } | LogicalPlan::Seq(_) => {
+                return false
+            }
+        }
+    }
+}
+
+/// Drop the shell `Project` nodes (keeping shell filters in place) —
+/// the shared prefix of a splitting plan.
+fn strip_shell_projects(p: &LogicalPlan) -> LogicalPlan {
+    match p {
+        LogicalPlan::Project { input, .. } => strip_shell_projects(input),
+        LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
+            input: Box::new(strip_shell_projects(input)),
+            predicates: predicates.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn canon_items(sel: &SelectStmt, m: &HashMap<String, String>) -> String {
+    let mut s = String::from("items=[");
+    for (i, item) in sel.items.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => s.push('*'),
+            // Output aliases are cosmetic (rows carry no column names
+            // past a projection), so only the expression participates.
+            SelectItem::Expr { expr, .. } => s.push_str(&canon_expr(expr, m).to_string()),
+        }
+    }
+    s.push(']');
+    s
+}
+
+/// Fingerprint the *entire* optimized plan (projection included). Equal
+/// full fingerprints mean the canonicalized plans are structurally
+/// identical — the property the plan-IR tests check.
+pub fn full_fingerprint(sel: &SelectStmt, plan: &LogicalPlan) -> Fingerprint {
+    let m = alias_map(sel);
+    let mut canon = canon_plan(plan, &m).render();
+    canon.push_str(&canon_items(sel, &m));
+    Fingerprint {
+        hash: fnv1a(canon.as_bytes()),
+        canon,
+    }
+}
+
+/// Fingerprint the *shared* part of the plan: for splitting shapes the
+/// shell projection is peeled (it becomes the per-query residual); for
+/// fused shapes the whole plan plus the select list is covered, since
+/// the projection is baked into the shared operator.
+pub fn shared_fingerprint(sel: &SelectStmt, plan: &LogicalPlan) -> Fingerprint {
+    let m = alias_map(sel);
+    let canon = if splits_projection(plan) {
+        canon_plan(&strip_shell_projects(plan), &m).render()
+    } else {
+        let mut c = canon_plan(plan, &m).render();
+        c.push_str(&canon_items(sel, &m));
+        c
+    };
+    Fingerprint {
+        hash: fnv1a(canon.as_bytes()),
+        canon,
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod adhoc;
 pub mod ast;
+pub mod fingerprint;
 pub mod parser;
 pub mod plan;
 pub mod planner;
@@ -44,13 +45,19 @@ pub mod scope;
 pub mod token;
 
 pub use adhoc::ad_hoc;
+pub use fingerprint::{full_fingerprint, shared_fingerprint, Fingerprint};
 pub use plan::{build_logical, rewrite_logical, LogicalPlan};
-pub use planner::{execute, execute_script, explain, explain_analyze, ExecOutcome};
+pub use planner::{
+    execute, execute_script, explain, explain_analyze, register_with_sink, ExecOutcome,
+};
 
 /// One-stop imports for the language layer.
 pub mod prelude {
     pub use crate::adhoc::ad_hoc;
     pub use crate::ast::{SelectStmt, Statement};
+    pub use crate::fingerprint::{full_fingerprint, shared_fingerprint, Fingerprint};
     pub use crate::parser::{parse_script, parse_statement};
-    pub use crate::planner::{execute, execute_script, explain, explain_analyze, ExecOutcome};
+    pub use crate::planner::{
+        execute, execute_script, explain, explain_analyze, register_with_sink, ExecOutcome,
+    };
 }

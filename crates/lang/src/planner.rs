@@ -123,6 +123,13 @@ fn explain_select(engine: &Engine, sel: &SelectStmt, sink: &str) -> Result<Strin
         plan.sources.join(", "),
         plan.op.name(),
     ));
+    if engine.shared_execution() {
+        let fp = crate::fingerprint::shared_fingerprint(sel, &optimized);
+        s.push_str(&format!("\nshared: fingerprint=0x{:016x}", fp.hash));
+        if let Some(subs) = engine.shared_subscribers(fp.hash, &fp.canon) {
+            s.push_str(&format!(" shared_by=[{}]", subs.join(", ")));
+        }
+    }
     Ok(s)
 }
 
@@ -180,6 +187,16 @@ pub fn explain_analyze(engine: &Engine, input: &str) -> Result<String> {
     }));
     if !applied.is_empty() {
         s.push_str(&format!("rewrites: {}\n", applied.join(", ")));
+    }
+    if engine.shared_execution() {
+        let fp = crate::fingerprint::shared_fingerprint(sel, &optimized);
+        if let Some(subs) = engine.shared_subscribers(fp.hash, &fp.canon) {
+            s.push_str(&format!(
+                "shared: fingerprint=0x{:016x} shared_by=[{}]\n",
+                fp.hash,
+                subs.join(", ")
+            ));
+        }
     }
     s.push_str(&format!("runtime: query `{}`\n", lowered.name));
     s.push_str(&indent_report(&report));
@@ -268,7 +285,6 @@ fn apply(engine: &mut Engine, stmt: &Statement) -> Result<ExecOutcome> {
             Ok(ExecOutcome::Created)
         }
         Statement::InsertInto { target, select } => {
-            let plan = plan_select(engine, select)?;
             let sink = if engine.stream_schema(target).is_ok() {
                 Sink::Stream(target.clone())
             } else if engine.table(target).is_ok() {
@@ -276,14 +292,12 @@ fn apply(engine: &mut Engine, stmt: &Statement) -> Result<ExecOutcome> {
             } else {
                 return Err(DsmsError::unknown(format!("insert target `{target}`")));
             };
-            let sources: Vec<&str> = plan.sources.iter().map(|s| s.as_str()).collect();
-            let id = engine.register_query(plan.name, sources, plan.op, sink)?;
+            let id = register_select(engine, select, sink)?;
             Ok(ExecOutcome::Registered(id))
         }
         Statement::Select(select) => {
-            let plan = plan_select(engine, select)?;
-            let sources: Vec<&str> = plan.sources.iter().map(|s| s.as_str()).collect();
-            let (id, c) = engine.register_collected(plan.name, sources, plan.op)?;
+            let c = Collector::new();
+            let id = register_select(engine, select, Sink::Collect(c.clone()))?;
             Ok(ExecOutcome::Collected(id, c))
         }
         Statement::Update {
@@ -325,6 +339,76 @@ struct Plan {
     op: Box<dyn Operator>,
 }
 
+/// A lowered plan split for shared execution: the (shareable) core and
+/// the per-query residual stage, when the shape has one.
+struct SplitPlan {
+    core: Plan,
+    residual: Option<Box<dyn Operator>>,
+}
+
+impl SplitPlan {
+    fn unsplit(core: Plan) -> SplitPlan {
+        SplitPlan {
+            core,
+            residual: None,
+        }
+    }
+}
+
+/// Register a continuous `SELECT` (or the select of an `INSERT INTO`)
+/// with an explicit sink — the programmatic twin of [`execute`] for
+/// harnesses that fan out many queries without wanting a collector per
+/// query (pass [`Sink::Discard`]). Honors the engine's shared-execution
+/// setting exactly like [`execute`].
+pub fn register_with_sink(engine: &mut Engine, sql: &str, sink: Sink) -> Result<QueryId> {
+    let stmt = crate::parser::parse_statement(sql)?;
+    let sel = match &stmt {
+        Statement::Select(s) => s,
+        Statement::InsertInto { select, .. } => select,
+        _ => {
+            return Err(DsmsError::plan(
+                "register_with_sink takes a SELECT or INSERT INTO statement",
+            ))
+        }
+    };
+    register_select(engine, sel, sink)
+}
+
+/// Register a planned SELECT, routing through the shared-subplan
+/// registry when the engine has shared execution enabled.
+fn register_select(engine: &mut Engine, sel: &SelectStmt, sink: Sink) -> Result<QueryId> {
+    let (_, optimized, _) = plan_logical(engine, sel)?;
+    if engine.shared_execution() {
+        let fp = crate::fingerprint::shared_fingerprint(sel, &optimized);
+        let split = lower_with(engine, sel, optimized, true)?;
+        let sources: Vec<&str> = split.core.sources.iter().map(|s| s.as_str()).collect();
+        let label = split.core.name.clone();
+        // Later subscribers to the same chain get a `#n` suffix so each
+        // query keeps a distinguishable name in stats / EXPLAIN output.
+        let n = engine
+            .shared_subscribers(fp.hash, &fp.canon)
+            .map_or(0, |s| s.len());
+        let name = if n == 0 {
+            label.clone()
+        } else {
+            format!("{label}#{n}")
+        };
+        return engine.register_shared(
+            name,
+            sources,
+            fp.hash,
+            &fp.canon,
+            &label,
+            split.core.op,
+            split.residual,
+            sink,
+        );
+    }
+    let plan = lower(engine, sel, optimized)?;
+    let sources: Vec<&str> = plan.sources.iter().map(|s| s.as_str()).collect();
+    engine.register_query(plan.name, sources, plan.op, sink)
+}
+
 /// Phases 1+2: naive logical plan, rewritten plan, applied rewrites.
 fn plan_logical(
     engine: &Engine,
@@ -343,13 +427,22 @@ fn plan_logical(
     Ok((naive, optimized, applied))
 }
 
-fn plan_select(engine: &Engine, sel: &SelectStmt) -> Result<Plan> {
-    let (_, optimized, _) = plan_logical(engine, sel)?;
-    lower(engine, sel, optimized)
-}
-
 /// Phase 3: lower the rewritten logical plan to physical operators.
 fn lower(engine: &Engine, sel: &SelectStmt, plan: LogicalPlan) -> Result<Plan> {
+    Ok(lower_with(engine, sel, plan, false)?.core)
+}
+
+/// Phase 3, split-aware: with `split`, shapes whose final stage is a
+/// pure per-query projection return it separately as the residual, so
+/// the stateful core can be shared across fingerprint-equal queries.
+/// Fused shapes (dedup, aggregate, SEQ) never split — they share as a
+/// whole when the full canonical form matches.
+fn lower_with(
+    engine: &Engine,
+    sel: &SelectStmt,
+    plan: LogicalPlan,
+    split: bool,
+) -> Result<SplitPlan> {
     // Peel the projection/filter shell: projections compile from the
     // select list (aliases and all), shell filters become the shape's
     // outer conjuncts.
@@ -366,15 +459,15 @@ fn lower(engine: &Engine, sel: &SelectStmt, plan: LogicalPlan) -> Result<Plan> {
         }
     };
     match core {
-        LogicalPlan::Seq(seq) => lower_seq(engine, sel, &seq),
+        LogicalPlan::Seq(seq) => Ok(SplitPlan::unsplit(lower_seq(engine, sel, &seq)?)),
         LogicalPlan::Dedup { keys, window, .. } => {
             let stream = sel.from[0].name.clone();
             let key: Vec<Expr> = keys.iter().map(|(c, _)| Expr::col(*c)).collect();
-            Ok(Plan {
+            Ok(SplitPlan::unsplit(Plan {
                 name: format!("dedup:{stream}"),
                 sources: vec![stream],
                 op: Box::new(Dedup::new(key, window)),
-            })
+            }))
         }
         LogicalPlan::SemiJoin {
             outer: outer_branch,
@@ -387,7 +480,7 @@ fn lower(engine: &Engine, sel: &SelectStmt, plan: LogicalPlan) -> Result<Plan> {
             let mut outer_preds: Vec<&AstExpr> = Vec::new();
             collect_filters(&outer_branch, &mut outer_preds);
             outer_preds.extend(outer.iter());
-            plan_window_exists(engine, sel, negated, sub, &outer_preds)
+            plan_window_exists(engine, sel, negated, sub, &outer_preds, split)
         }
         LogicalPlan::Lookup {
             input,
@@ -400,22 +493,42 @@ fn lower(engine: &Engine, sel: &SelectStmt, plan: LogicalPlan) -> Result<Plan> {
             let mut outer_preds: Vec<&AstExpr> = Vec::new();
             collect_filters(&input, &mut outer_preds);
             outer_preds.extend(outer.iter());
-            plan_table_exists(engine, sel, negated, sub, &outer_preds, probe)
+            plan_table_exists(engine, sel, negated, sub, &outer_preds, probe, split)
         }
         LogicalPlan::Aggregate { input, .. } => {
             let mut preds: Vec<&AstExpr> = Vec::new();
             collect_filters(&input, &mut preds);
             preds.extend(outer.iter());
-            plan_aggregate(engine, sel, &preds)
+            Ok(SplitPlan::unsplit(plan_aggregate(engine, sel, &preds)?))
         }
         LogicalPlan::Source { .. } | LogicalPlan::Window { .. } => {
             let refs: Vec<&AstExpr> = outer.iter().collect();
-            plan_transducer(engine, sel, &refs)
+            plan_transducer(engine, sel, &refs, split)
         }
         LogicalPlan::Filter { .. } | LogicalPlan::Project { .. } => {
             unreachable!("shell peeling consumed filters and projections")
         }
     }
+}
+
+/// Compile the select list into a projection stage, unless it is `*`.
+fn projection_stage(
+    sel: &SelectStmt,
+    scope: &Scope,
+    engine: &Engine,
+) -> Result<Option<Box<dyn Operator>>> {
+    if matches!(sel.items[..], [SelectItem::Wildcard]) {
+        return Ok(None);
+    }
+    let exprs = sel
+        .items
+        .iter()
+        .map(|i| match i {
+            SelectItem::Wildcard => Err(DsmsError::plan("mixed `*` and columns")),
+            SelectItem::Expr { expr, .. } => compile_scalar(expr, scope, engine.functions()),
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Some(Box::new(Project::new(exprs))))
 }
 
 /// Gather the predicates of every `Filter` on the chain below `plan`,
@@ -450,7 +563,12 @@ fn stream_schema_for(engine: &Engine, item: &FromItem) -> Result<SchemaRef> {
 
 // --------------------------------------------------------- simple shapes
 
-fn plan_transducer(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> Result<Plan> {
+fn plan_transducer(
+    engine: &Engine,
+    sel: &SelectStmt,
+    conjuncts: &[&AstExpr],
+    split: bool,
+) -> Result<SplitPlan> {
     if sel.from.len() != 1 {
         return Err(DsmsError::plan(
             "multi-stream FROM without SEQ is not supported (use SEQ or a sub-query)",
@@ -463,24 +581,24 @@ fn plan_transducer(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) ->
         let pred = compile_conjunction(conjuncts, &scope, engine)?;
         stages.push(Box::new(Select::new(pred)));
     }
-    if !matches!(sel.items[..], [SelectItem::Wildcard]) {
-        let exprs = sel
-            .items
-            .iter()
-            .map(|i| match i {
-                SelectItem::Wildcard => Err(DsmsError::plan("mixed `*` and columns")),
-                SelectItem::Expr { expr, .. } => compile_scalar(expr, &scope, engine.functions()),
-            })
-            .collect::<Result<Vec<_>>>()?;
-        stages.push(Box::new(Project::new(exprs)));
+    let mut residual: Option<Box<dyn Operator>> = None;
+    if let Some(project) = projection_stage(sel, &scope, engine)? {
+        if split {
+            residual = Some(Box::new(Chain::new(vec![project])));
+        } else {
+            stages.push(project);
+        }
     }
     if stages.is_empty() {
         stages.push(Box::new(Select::new(Expr::lit(true))));
     }
-    Ok(Plan {
-        name: format!("select:{}", sel.from[0].name),
-        sources: vec![sel.from[0].name.clone()],
-        op: Box::new(Chain::new(stages)),
+    Ok(SplitPlan {
+        core: Plan {
+            name: format!("select:{}", sel.from[0].name),
+            sources: vec![sel.from[0].name.clone()],
+            op: Box::new(Chain::new(stages)),
+        },
+        residual,
     })
 }
 
@@ -568,6 +686,7 @@ fn plan_aggregate(engine: &Engine, sel: &SelectStmt, conjuncts: &[&AstExpr]) -> 
 
 // ---------------------------------------------------------------- EXISTS
 
+#[allow(clippy::too_many_arguments)]
 fn plan_table_exists(
     engine: &Engine,
     sel: &SelectStmt,
@@ -575,7 +694,8 @@ fn plan_table_exists(
     sub: &SelectStmt,
     outer_conjuncts: &[&AstExpr],
     probe: Option<(String, AstExpr)>,
-) -> Result<Plan> {
+    split: bool,
+) -> Result<SplitPlan> {
     if sel.from.len() != 1 || sub.from.len() != 1 {
         return Err(DsmsError::plan(
             "correlated EXISTS joins one stream to one table",
@@ -621,23 +741,21 @@ fn plan_table_exists(
         )),
     };
     stages.push(Box::new(TableExists::new(table, pred, negated, probe)?));
-    if !matches!(sel.items[..], [SelectItem::Wildcard]) {
-        let exprs = sel
-            .items
-            .iter()
-            .map(|i| match i {
-                SelectItem::Wildcard => Err(DsmsError::plan("mixed `*` and columns")),
-                SelectItem::Expr { expr, .. } => {
-                    compile_scalar(expr, &outer_scope, engine.functions())
-                }
-            })
-            .collect::<Result<Vec<_>>>()?;
-        stages.push(Box::new(Project::new(exprs)));
+    let mut residual: Option<Box<dyn Operator>> = None;
+    if let Some(project) = projection_stage(sel, &outer_scope, engine)? {
+        if split {
+            residual = Some(Box::new(Chain::new(vec![project])));
+        } else {
+            stages.push(project);
+        }
     }
-    Ok(Plan {
-        name: format!("table-exists:{}", sel.from[0].name),
-        sources: vec![sel.from[0].name.clone()],
-        op: Box::new(Chain::new(stages)),
+    Ok(SplitPlan {
+        core: Plan {
+            name: format!("table-exists:{}", sel.from[0].name),
+            sources: vec![sel.from[0].name.clone()],
+            op: Box::new(Chain::new(stages)),
+        },
+        residual,
     })
 }
 
@@ -664,7 +782,8 @@ fn plan_window_exists(
     negated: bool,
     sub: &SelectStmt,
     outer_conjuncts: &[&AstExpr],
-) -> Result<Plan> {
+    split: bool,
+) -> Result<SplitPlan> {
     if sel.from.len() != 1 || sub.from.len() != 1 {
         return Err(DsmsError::plan(
             "windowed EXISTS correlates one outer stream with one inner stream",
@@ -723,29 +842,23 @@ fn plan_window_exists(
         SemiJoinKind::Exists
     };
     let exists = WindowExists::new(kind, to_extent(window)?, pred, outer_filter);
-    let mut stages: Vec<Box<dyn Operator>> = Vec::new();
-    if !matches!(sel.items[..], [SelectItem::Wildcard]) {
-        let exprs = sel
-            .items
-            .iter()
-            .map(|i| match i {
-                SelectItem::Wildcard => Err(DsmsError::plan("mixed `*` and columns")),
-                SelectItem::Expr { expr, .. } => {
-                    compile_scalar(expr, &outer_scope, engine.functions())
-                }
-            })
-            .collect::<Result<Vec<_>>>()?;
-        stages.push(Box::new(Project::new(exprs)));
-    }
-    let op: Box<dyn Operator> = if stages.is_empty() {
-        Box::new(exists)
-    } else {
-        Box::new(TwoPortChain::new(Box::new(exists), Chain::new(stages)))
+    let project = projection_stage(sel, &outer_scope, engine)?;
+    let name = format!("window-exists:{}", outer_item.name);
+    let sources = vec![outer_item.name.clone(), inner_item.name.clone()];
+    let (op, residual): (Box<dyn Operator>, Option<Box<dyn Operator>>) = match project {
+        None => (Box::new(exists), None),
+        Some(p) if split => (
+            Box::new(exists),
+            Some(Box::new(Chain::new(vec![p])) as Box<dyn Operator>),
+        ),
+        Some(p) => (
+            Box::new(TwoPortChain::new(Box::new(exists), Chain::new(vec![p]))),
+            None,
+        ),
     };
-    Ok(Plan {
-        name: format!("window-exists:{}", outer_item.name),
-        sources: vec![outer_item.name.clone(), inner_item.name.clone()],
-        op,
+    Ok(SplitPlan {
+        core: Plan { name, sources, op },
+        residual,
     })
 }
 

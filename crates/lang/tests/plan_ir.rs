@@ -118,3 +118,179 @@ fn insert_into_keeps_sink_in_physical_line() {
     let out = explain(&e, "INSERT INTO exits SELECT tagid, tagtime FROM shelf").unwrap();
     assert!(out.contains("-> INSERT INTO exits"), "{out}");
 }
+
+// ----------------------------------------------------- fingerprinting
+
+mod fingerprint_props {
+    //! Property battery for the shared-execution fingerprint: alias
+    //! renames never change it, semantic perturbations always do, and
+    //! 10k random samples produce no hash collision with distinct
+    //! canonical forms (equal fingerprints therefore imply structurally
+    //! identical optimized plans — the canon *is* the canonical plan
+    //! rendering).
+
+    use super::setup;
+    use eslev_lang::parser::parse_statement;
+    use eslev_lang::prelude::Statement;
+    use eslev_lang::{build_logical, full_fingerprint, rewrite_logical, Fingerprint};
+    use std::collections::HashMap;
+
+    /// Deterministic LCG, no external crates.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn below(&mut self, n: u64) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.0 >> 33) % n
+        }
+    }
+
+    /// The semantic content of one random query, independent of the
+    /// aliases used to phrase it.
+    #[derive(Clone)]
+    struct Params {
+        shape: u64,
+        lit: u64,
+        win: u64,
+        items: u64,
+        mode: u64,
+    }
+
+    fn gen(rng: &mut Lcg) -> Params {
+        Params {
+            shape: rng.below(4),
+            lit: rng.below(50),
+            win: 1 + rng.below(50),
+            items: rng.below(3),
+            mode: rng.below(4),
+        }
+    }
+
+    /// Render `p` as SQL phrased with bindings `a` / `b`; a different
+    /// alias pair must never change the fingerprint, a different
+    /// `Params` always must.
+    fn sql(p: &Params, a: &str, b: &str) -> String {
+        match p.shape {
+            0 => {
+                let items = match p.items {
+                    0 => "tagid".to_string(),
+                    1 => "tagid, tagtime".to_string(),
+                    _ => format!("tagid AS out{}", p.items),
+                };
+                format!(
+                    "SELECT {items} FROM shelf AS {a} WHERE {a}.tagid LIKE '2{}.%'",
+                    p.lit
+                )
+            }
+            1 => format!(
+                "SELECT * FROM shelf AS {a} WHERE NOT EXISTS \
+                 (SELECT * FROM shelf AS {b} OVER [{} SECONDS PRECEDING {a}] \
+                  WHERE {b}.tagid = {a}.tagid)",
+                p.win * 10
+            ),
+            2 => format!(
+                "SELECT COUNT(tagid) FROM shelf OVER (RANGE {} SECONDS PRECEDING CURRENT) \
+                 WHERE tagid LIKE '2{}.%'",
+                p.win * 60,
+                p.lit
+            ),
+            _ => {
+                let mode =
+                    ["RECENT", "CHRONICLE", "UNRESTRICTED", "CONSECUTIVE"][p.mode as usize % 4];
+                format!(
+                    "SELECT {a}.tagid, {b}.tagtime FROM shelf AS {a}, checkout AS {b} \
+                     WHERE SEQ({a}, {b}) MODE {mode} AND {a}.tagid = {b}.tagid \
+                     AND {a}.tagid LIKE '2{}.%'",
+                    p.lit
+                )
+            }
+        }
+    }
+
+    fn fp(e: &eslev_dsms::engine::Engine, sql: &str) -> Fingerprint {
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!("select statement expected for `{sql}`")
+        };
+        let naive = build_logical(e, &sel).unwrap();
+        let (opt, _) = rewrite_logical(e, &sel, naive).unwrap();
+        full_fingerprint(&sel, &opt)
+    }
+
+    #[test]
+    fn alias_renames_are_fingerprint_invariant() {
+        let e = setup();
+        let mut rng = Lcg(0xa11a5);
+        for trial in 0..300 {
+            let p = gen(&mut rng);
+            let f1 = fp(&e, &sql(&p, "a", "b"));
+            let f2 = fp(&e, &sql(&p, "outer_binding", "w"));
+            assert_eq!(
+                (f1.hash, &f1.canon),
+                (f2.hash, &f2.canon),
+                "trial {trial}: alias rename changed the fingerprint of `{}`",
+                sql(&p, "a", "b")
+            );
+        }
+    }
+
+    #[test]
+    fn semantic_perturbations_change_the_fingerprint() {
+        let e = setup();
+        let mut rng = Lcg(0x5e3a71c);
+        for trial in 0..150 {
+            let p = gen(&mut rng);
+            let base = fp(&e, &sql(&p, "a", "b"));
+            // Perturb one semantic dimension at a time.
+            let mut lit = p.clone();
+            lit.lit = (p.lit + 1) % 50;
+            let mut win = p.clone();
+            win.win = p.win % 50 + 1;
+            for (what, q) in [("literal", lit), ("window", win)] {
+                if sql(&q, "a", "b") == sql(&p, "a", "b") {
+                    continue; // the dimension is unused by this shape
+                }
+                let other = fp(&e, &sql(&q, "a", "b"));
+                assert_ne!(
+                    base.canon,
+                    other.canon,
+                    "trial {trial}: {what} perturbation left the canon unchanged for `{}`",
+                    sql(&p, "a", "b")
+                );
+                assert_ne!(
+                    base.hash, other.hash,
+                    "trial {trial}: {what} perturbation collided on the hash"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_hash_collisions_on_10k_random_samples() {
+        let e = setup();
+        let mut rng = Lcg(0xc0111de);
+        let mut seen: HashMap<u64, String> = HashMap::new();
+        for trial in 0..10_000 {
+            let p = gen(&mut rng);
+            let f = fp(&e, &sql(&p, "a", "b"));
+            match seen.get(&f.hash) {
+                // Equal hash must mean equal canonical plan — i.e. a
+                // structurally identical optimized query.
+                Some(canon) => assert_eq!(
+                    canon, &f.canon,
+                    "trial {trial}: FNV collision between distinct canonical plans"
+                ),
+                None => {
+                    seen.insert(f.hash, f.canon);
+                }
+            }
+        }
+        assert!(
+            seen.len() > 500,
+            "sample space degenerated: only {} distinct fingerprints",
+            seen.len()
+        );
+    }
+}

@@ -18,6 +18,7 @@ use std::io::{BufRead, Write};
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut shards: Option<usize> = None;
+    let mut share = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--shards" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
@@ -27,21 +28,19 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--share" => share = true,
             other => {
-                eprintln!("unknown argument `{other}` (supported: --shards N)");
+                eprintln!("unknown argument `{other}` (supported: --shards N, --share)");
                 std::process::exit(2);
             }
         }
     }
-    let mut repl = match shards {
-        None => Repl::new(),
-        Some(n) => match Repl::with_shards(n) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        },
+    let mut repl = match Repl::with_config(shards, share) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     };
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();

@@ -69,16 +69,39 @@ impl Repl {
     /// `shards` workers. SQL statements are broadcast to every shard;
     /// `.poll` reads deterministically merged output.
     pub fn with_shards(shards: usize) -> Result<Repl, DsmsError> {
-        let se = ShardedEngine::build(shards, 1024, ShardSpec::new(), |e| {
-            register_epc_udfs(e.functions_mut());
-            register_epc_match_udf(e.functions_mut());
-            Ok(vec![])
-        })?;
-        Ok(Repl {
-            backend: Backend::Sharded(se),
-            collectors: Vec::new(),
-            pending: String::new(),
-        })
+        Repl::with_config(Some(shards), false)
+    }
+
+    /// Fresh shell with every option explicit: optional sharding and
+    /// multi-query shared execution (`--share`), which routes
+    /// fingerprint-equal continuous queries through one physical chain
+    /// per engine (inspect it with `SHOW SHARED`).
+    pub fn with_config(shards: Option<usize>, share: bool) -> Result<Repl, DsmsError> {
+        match shards {
+            None => {
+                let mut r = Repl::new();
+                if share {
+                    let Backend::Single(e) = &mut r.backend else {
+                        unreachable!()
+                    };
+                    e.set_shared_execution(true);
+                }
+                Ok(r)
+            }
+            Some(n) => {
+                let se = ShardedEngine::build(n, 1024, ShardSpec::new(), move |e| {
+                    e.set_shared_execution(share);
+                    register_epc_udfs(e.functions_mut());
+                    register_epc_match_udf(e.functions_mut());
+                    Ok(vec![])
+                })?;
+                Ok(Repl {
+                    backend: Backend::Sharded(se),
+                    collectors: Vec::new(),
+                    pending: String::new(),
+                })
+            }
+        }
     }
 
     /// Access to the underlying engine (tests).
@@ -387,6 +410,7 @@ impl Repl {
                         Err(e) => format!("error: {e}"),
                     }),
                     "SHARDS" => Some(self.show_shards()),
+                    "SHARED" => Some(self.show_shared()),
                     "RECOVERY" => Some(self.show_recovery()),
                     _ => None,
                 }
@@ -526,6 +550,64 @@ impl Repl {
             }
             None => "usage: .trace on|off|<path.json>".to_string(),
         }
+    }
+
+    /// Render `SHOW SHARED`: one row per shared subplan chain. Sharded
+    /// mode merges the per-shard rows (every shard runs identical
+    /// chains, so flow counters sum and the subscriber list is shared).
+    fn show_shared(&self) -> String {
+        let stats = match &self.backend {
+            Backend::Single(e) => {
+                if !e.shared_execution() {
+                    return "shared execution is off — restart with --share to fuse \
+                            fingerprint-equal queries.\n"
+                        .to_string();
+                }
+                e.shared_stats()
+            }
+            Backend::Sharded(se) => {
+                let per_shard = match se.exec_all(|e| (e.shared_execution(), e.shared_stats())) {
+                    Ok(s) => s,
+                    Err(e) => return format!("error: {e}"),
+                };
+                if per_shard.iter().any(|(on, _)| !on) {
+                    return "shared execution is off — restart with --share to fuse \
+                            fingerprint-equal queries.\n"
+                        .to_string();
+                }
+                let mut iter = per_shard.into_iter().map(|(_, s)| s);
+                let mut base = iter.next().unwrap_or_default();
+                for stats in iter {
+                    for (b, s) in base.iter_mut().zip(stats) {
+                        b.tuples_in += s.tuples_in;
+                        b.memo_hits += s.memo_hits;
+                        b.retained += s.retained;
+                        b.state_key_bytes += s.state_key_bytes;
+                    }
+                }
+                base
+            }
+        };
+        let mut out = String::new();
+        for s in &stats {
+            let _ = writeln!(
+                out,
+                "chain {:<24} fp=0x{:016x} shared_by=[{}] active={} in={} memo_hits={} \
+                 retained={} key_bytes={}",
+                s.label,
+                s.fingerprint,
+                s.subscribers.join(", "),
+                s.active_subscribers,
+                s.tuples_in,
+                s.memo_hits,
+                s.retained,
+                s.state_key_bytes,
+            );
+        }
+        if out.is_empty() {
+            out.push_str("no shared chains yet — register two fingerprint-equal queries.\n");
+        }
+        out
     }
 
     /// Render `SHOW SHARDS`: per-shard routing and progress.
@@ -1077,6 +1159,7 @@ const HELP: &str = r#"ESL-EV shell:
   SHOW STATS                 per-query flow counters (in/out/emitted/retained)
   SHOW STREAMS               per-stream push counts and stream time
   SHOW SHARDS                per-shard routing and progress (with --shards N)
+  SHOW SHARED                shared subplan chains and subscribers (with --share)
   EXPLAIN <query>            per-operator counters and sampled latencies
   EXPLAIN <SQL statement>    logical plan, applied rewrites, physical summary
   EXPLAIN ANALYZE <sql|name> optimized plan annotated with live runtime

@@ -293,3 +293,183 @@ fn journal_only_recovery_replays_from_zero() {
         );
     }
 }
+
+// --------------------------------------------------- shared subplans
+
+/// Bare dedup SELECT over `readings`, alias-parameterized so two
+/// phrasings of the same plan fingerprint onto one shared chain.
+fn shared_dedup_query(outer: &str, inner: &str) -> String {
+    format!(
+        "SELECT * FROM readings AS {outer}
+         WHERE NOT EXISTS
+           (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS {inner}
+            WHERE {inner}.reader_id = {outer}.reader_id AND {inner}.tag_id = {outer}.tag_id)"
+    )
+}
+
+const SHARED_DDL: &str =
+    "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);";
+
+fn e1_shared_feed(seed: u64, presences: usize) -> Vec<(String, Vec<Value>)> {
+    let w = dedup::generate(&dedup::DedupConfig {
+        presences,
+        duplicate_prob: 0.6,
+        seed,
+        ..dedup::DedupConfig::default()
+    });
+    w.readings
+        .iter()
+        .map(|r| ("readings".to_string(), r.to_values()))
+        .collect()
+}
+
+/// Kill-and-recover with two queries sharing one subplan: the restored
+/// shard must rebuild the shared chain from the checkpoint's v3 section
+/// and both subscribers must match the uninterrupted independent run.
+#[test]
+fn shared_subplan_survives_crash_and_recovery() {
+    let feed = e1_shared_feed(17, 120);
+    let queries = [shared_dedup_query("a", "b"), shared_dedup_query("x", "y")];
+    for shards in [1usize, 2, 4] {
+        let plan = FaultPlan::seeded(42, shards, feed.len() as u64);
+        // Uninterrupted reference: independent chains, no sharing.
+        let mut want = Vec::new();
+        {
+            let mut engine = Engine::new();
+            execute_script(&mut engine, SHARED_DDL).expect("ddl plans");
+            let outs: Vec<Collector> = queries
+                .iter()
+                .map(|q| {
+                    execute(&mut engine, q)
+                        .unwrap()
+                        .collector()
+                        .unwrap()
+                        .clone()
+                })
+                .collect();
+            let mut cause = 1u64;
+            for (stream, values) in &feed {
+                let mut row = values.clone();
+                loop {
+                    plan.corrupt_only(cause, &mut row);
+                    let consumed = plan.consumed_at(cause);
+                    if consumed == 0 {
+                        break;
+                    }
+                    cause += consumed;
+                }
+                let _ = engine.push(stream, row);
+                cause += 1;
+            }
+            for out in &outs {
+                want.push(key_rows(out.take()));
+            }
+            assert!(!want[0].is_empty(), "reference output must be non-trivial");
+        }
+        // Faulted run: shared execution on, both queries on one chain.
+        let ddl = SHARED_DDL.to_string();
+        let qs: Vec<String> = queries.to_vec();
+        let mut se = ShardedEngine::build(shards, 256, ShardSpec::new(), move |e| {
+            e.set_shared_execution(true);
+            execute_script(e, &ddl)?;
+            let mut outs = Vec::new();
+            for q in &qs {
+                outs.push(execute(e, q)?.collector().expect("collected").clone());
+            }
+            Ok(outs)
+        })
+        .expect("sharded build");
+        let chains: Vec<usize> = se.exec_all(|e| e.shared_stats().len()).expect("exec_all");
+        assert!(
+            chains.iter().all(|&n| n == 1),
+            "both queries must fuse onto one chain per shard (got {chains:?})"
+        );
+        for (stream, values) in &feed {
+            let mut row = values.clone();
+            loop {
+                let cause = se.next_cause();
+                plan.apply(&mut se, cause, &mut row).expect("fault fires");
+                if se.next_cause() == cause {
+                    break;
+                }
+            }
+            se.push(stream, row).expect("route");
+        }
+        se.flush().expect("flush recovers crashed shards");
+        for (slot, want_rows) in want.iter().enumerate() {
+            let got = key_rows(se.take_output(slot).expect("slot"));
+            assert_eq!(
+                &got, want_rows,
+                "shared query {slot} diverged after kill-and-recover at N={shards}"
+            );
+        }
+        let stats = se.recovery_stats();
+        assert!(stats.restarts >= 1, "plan must kill at least one worker");
+        se.stop().expect("clean stop after recovery");
+    }
+}
+
+/// Direct engine-level round-trip of the checkpoint v3 shared-chain
+/// section: checkpoint mid-feed, restore into an identically-built
+/// engine, feed the suffix — prefix + suffix output equals the
+/// uninterrupted run for both subscribers.
+#[test]
+fn checkpoint_v3_shared_section_roundtrips() {
+    fn build() -> (Engine, Vec<Collector>) {
+        let mut e = Engine::new();
+        e.set_shared_execution(true);
+        execute_script(&mut e, SHARED_DDL).expect("ddl plans");
+        let outs = [shared_dedup_query("a", "b"), shared_dedup_query("x", "y")]
+            .iter()
+            .map(|q| execute(&mut e, q).unwrap().collector().unwrap().clone())
+            .collect();
+        (e, outs)
+    }
+    let feed = e1_shared_feed(23, 80);
+    let half = feed.len() / 2;
+
+    // Uninterrupted run.
+    let (mut full, full_outs) = build();
+    for (stream, values) in &feed {
+        full.push(stream, values.clone()).unwrap();
+    }
+    let want: Vec<Vec<Row>> = full_outs.iter().map(|o| key_rows(o.take())).collect();
+    assert!(!want[0].is_empty());
+
+    // Interrupted run: prefix, checkpoint, restore, suffix.
+    let (mut a, a_outs) = build();
+    for (stream, values) in &feed[..half] {
+        a.push(stream, values.clone()).unwrap();
+    }
+    let ck = a.checkpoint().expect("checkpoint");
+    assert_eq!(ck.version, CHECKPOINT_VERSION);
+    let chains = ck
+        .root
+        .item(4)
+        .expect("v3 shared section")
+        .as_list()
+        .unwrap();
+    assert_eq!(chains.len(), 1, "one shared chain in the checkpoint");
+    assert_eq!(
+        chains[0].item(3).unwrap().as_list().unwrap().len(),
+        2,
+        "the chain's subscriber list round-trips both queries"
+    );
+    let prefix: Vec<Vec<Row>> = a_outs.iter().map(|o| key_rows(o.take())).collect();
+
+    let (mut b, b_outs) = build();
+    b.restore(&ck).expect("restore shared section");
+    for (stream, values) in &feed[half..] {
+        b.push(stream, values.clone()).unwrap();
+    }
+    let suffix: Vec<Vec<Row>> = b_outs.iter().map(|o| key_rows(o.take())).collect();
+
+    for (i, want_rows) in want.iter().enumerate() {
+        let mut got = prefix[i].clone();
+        got.extend(suffix[i].iter().cloned());
+        assert_eq!(
+            &got, want_rows,
+            "query {i}: checkpoint/restore changed the shared chain's output"
+        );
+    }
+}

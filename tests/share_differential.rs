@@ -1,0 +1,440 @@
+//! Shared-vs-independent differential suite: every query registered
+//! under shared execution (`Engine::set_shared_execution(true)`) must
+//! produce output byte-identical to the same query running as an
+//! independent chain — for the paper's E1 (dedup), E6 (pairing-mode
+//! `SEQ`, all four modes) and E10 (star sequence) workloads, on a single
+//! engine and through a [`ShardedEngine`] at N ∈ {1, 2, 4, 8}, including
+//! heartbeat-driven expiry and mid-run deregistration of one of two
+//! sharing queries.
+//!
+//! Comparison key: `(values, ts)` in emission order, exactly like the
+//! shard differential suite.
+
+use eslev::prelude::*;
+use eslev::rfid::scenario::{dedup, qc_line};
+use eslev_lang::shared_fingerprint;
+
+type Row = (Vec<Value>, Timestamp);
+
+fn key_rows(rows: Vec<Tuple>) -> Vec<Row> {
+    rows.into_iter()
+        .map(|t| (t.values().to_vec(), t.ts()))
+        .collect()
+}
+
+/// Register every query on one engine (shared or independent), feed,
+/// optionally fire a heartbeat, and return per-query output.
+fn run_single(
+    share: bool,
+    ddl: &str,
+    queries: &[&str],
+    feed: &[(String, Vec<Value>)],
+    heartbeat: Option<Timestamp>,
+) -> Vec<Vec<Row>> {
+    let (outs, _) = run_single_engine(share, ddl, queries, feed, heartbeat);
+    outs
+}
+
+fn run_single_engine(
+    share: bool,
+    ddl: &str,
+    queries: &[&str],
+    feed: &[(String, Vec<Value>)],
+    heartbeat: Option<Timestamp>,
+) -> (Vec<Vec<Row>>, Engine) {
+    let mut engine = Engine::new();
+    engine.set_shared_execution(share);
+    execute_script(&mut engine, ddl).expect("ddl plans");
+    let collectors: Vec<Collector> = queries
+        .iter()
+        .map(|q| {
+            execute(&mut engine, q)
+                .expect("query plans")
+                .collector()
+                .expect("collected")
+                .clone()
+        })
+        .collect();
+    for (stream, values) in feed {
+        engine.push(stream, values.clone()).expect("feed");
+    }
+    if let Some(ts) = heartbeat {
+        engine.advance_to(ts).expect("heartbeat");
+    }
+    (
+        collectors.into_iter().map(|c| key_rows(c.take())).collect(),
+        engine,
+    )
+}
+
+/// The same queries through the shard router at `shards` workers.
+fn run_sharded(
+    shards: usize,
+    share: bool,
+    ddl: &str,
+    queries: &[&str],
+    feed: &[(String, Vec<Value>)],
+    heartbeat: Option<Timestamp>,
+) -> Vec<Vec<Row>> {
+    let ddl = ddl.to_string();
+    let queries: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
+    let n = queries.len();
+    let mut se = ShardedEngine::build(shards, 256, ShardSpec::new(), move |e| {
+        e.set_shared_execution(share);
+        execute_script(e, &ddl)?;
+        let mut cs = Vec::with_capacity(queries.len());
+        for q in &queries {
+            cs.push(execute(e, q)?.collector().expect("collected").clone());
+        }
+        Ok(cs)
+    })
+    .expect("sharded build");
+    for (stream, values) in feed {
+        se.push(stream, values.clone()).expect("route");
+    }
+    if let Some(ts) = heartbeat {
+        se.advance_to(ts).expect("heartbeat");
+    }
+    se.flush().expect("flush");
+    let outs = (0..n)
+        .map(|slot| key_rows(se.take_output(slot).expect("slot")))
+        .collect();
+    se.stop().expect("clean stop");
+    outs
+}
+
+/// The core assertion: shared == independent per query, single and
+/// sharded, and the shared engine really fused down to `want_chains`
+/// physical chains with memoization doing work when more than one
+/// query subscribes.
+fn assert_share_differential(
+    name: &str,
+    ddl: &str,
+    queries: &[&str],
+    feed: &[(String, Vec<Value>)],
+    heartbeat: Option<Timestamp>,
+    want_chains: usize,
+) {
+    let want = run_single(false, ddl, queries, feed, heartbeat);
+    assert!(
+        want.iter().any(|rows| !rows.is_empty()),
+        "{name}: reference output must be non-trivial"
+    );
+    let (got, engine) = run_single_engine(true, ddl, queries, feed, heartbeat);
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(
+            g, w,
+            "{name}: shared output of query #{i} diverged from its independent chain"
+        );
+    }
+    let stats = engine.shared_stats();
+    assert_eq!(
+        stats.len(),
+        want_chains,
+        "{name}: expected {want_chains} shared chains, got {:?}",
+        stats.iter().map(|s| s.label.clone()).collect::<Vec<_>>()
+    );
+    if queries.len() > want_chains {
+        assert!(
+            stats.iter().any(|s| s.memo_hits > 0),
+            "{name}: sibling subscribers should have produced memo hits"
+        );
+        assert!(
+            stats.iter().any(|s| s.subscribers.len() > 1),
+            "{name}: at least one chain should carry multiple subscribers"
+        );
+    }
+    for shards in [1usize, 2, 4, 8] {
+        let got = run_sharded(shards, true, ddl, queries, feed, heartbeat);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                g, w,
+                "{name}: sharded+shared output of query #{i} at N={shards} diverged"
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------------ E1
+
+const E1_DDL: &str = "
+    CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);";
+
+/// E1 dedup phrased with `aliases` for the outer/inner bindings — the
+/// statements below are fingerprint-equal modulo alias renames.
+fn e1_query(outer: &str, inner: &str) -> String {
+    format!(
+        "SELECT * FROM readings AS {outer}
+         WHERE NOT EXISTS
+           (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS {inner}
+            WHERE {inner}.reader_id = {outer}.reader_id AND {inner}.tag_id = {outer}.tag_id)"
+    )
+}
+
+fn e1_feed(seed: u64) -> Vec<(String, Vec<Value>)> {
+    let w = dedup::generate(&dedup::DedupConfig {
+        presences: 150,
+        duplicate_prob: 0.6,
+        seed,
+        ..dedup::DedupConfig::default()
+    });
+    w.readings
+        .iter()
+        .map(|r| ("readings".to_string(), r.to_values()))
+        .collect()
+}
+
+#[test]
+fn e1_dedup_shared_equals_independent() {
+    let q1 = e1_query("r1", "r2");
+    let q2 = e1_query("x", "y");
+    let q3 = e1_query("outer_r", "inner_r");
+    assert_share_differential(
+        "E1 dedup x3",
+        E1_DDL,
+        &[&q1, &q2, &q3],
+        &e1_feed(1),
+        None,
+        1,
+    );
+}
+
+#[test]
+fn e1_different_predicates_do_not_fuse() {
+    // A projection-only difference shares the dedup core is NOT the case
+    // for fused shapes: dedup canon includes the select items, and a
+    // different outer predicate is a different chain entirely.
+    let q1 = e1_query("r1", "r2");
+    let q2 = "SELECT * FROM readings AS a
+         WHERE a.reader_id = 'gate-reader' AND NOT EXISTS
+           (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS b
+            WHERE b.reader_id = a.reader_id AND b.tag_id = a.tag_id)"
+        .to_string();
+    assert_share_differential(
+        "E1 distinct predicates",
+        E1_DDL,
+        &[&q1, &q2],
+        &e1_feed(7),
+        None,
+        2,
+    );
+}
+
+#[test]
+fn transducer_residuals_share_one_filter_chain() {
+    // Same WHERE, different SELECT lists: the Select core fuses, the
+    // projections stay per-query as residuals.
+    let q1 = "SELECT tag_id FROM readings WHERE reader_id = 'gate-reader'";
+    let q2 = "SELECT read_time, tag_id FROM readings WHERE reader_id = 'gate-reader'";
+    // Output aliases and FROM aliases are cosmetic; qualification
+    // (`r.reader_id` vs `reader_id`) is conservatively significant.
+    let q3 = "SELECT tag_id AS t FROM readings AS r WHERE reader_id = 'gate-reader'";
+    assert_share_differential(
+        "transducer residuals",
+        E1_DDL,
+        &[q1, q2, q3],
+        &e1_feed(3),
+        None,
+        1,
+    );
+}
+
+// ------------------------------------------------------------------ E6
+
+const E6_DDL: &str = "
+    CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C3 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C4 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);";
+
+fn e6_feed(seed: u64) -> Vec<(String, Vec<Value>)> {
+    let w = qc_line::generate(&qc_line::QcConfig {
+        products: 80,
+        seed,
+        ..qc_line::QcConfig::default()
+    });
+    let feeds: Vec<(String, Vec<Reading>)> = w
+        .feeds
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (format!("c{}", i + 1), f.clone()))
+        .collect();
+    merge_feeds(feeds)
+        .into_iter()
+        .map(|item| (item.stream, item.reading.to_values()))
+        .collect()
+}
+
+#[test]
+fn e6_all_pairing_modes_shared_equals_independent() {
+    // Two alias-renamed copies of the E6 detector per pairing mode; each
+    // mode is its own chain (the mode is part of the canonical form).
+    for mode in ["RECENT", "CHRONICLE", "UNRESTRICTED", "CONSECUTIVE"] {
+        let q1 = format!(
+            "SELECT C1.tagid, C4.tagtime FROM C1, C2, C3, C4
+             WHERE SEQ(C1, C2, C3, C4) MODE {mode}
+             AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid"
+        );
+        let q2 = format!(
+            "SELECT a.tagid, d.tagtime FROM C1 AS a, C2 AS b, C3 AS c, C4 AS d
+             WHERE SEQ(a, b, c, d) MODE {mode}
+             AND a.tagid=b.tagid AND a.tagid=c.tagid AND a.tagid=d.tagid"
+        );
+        assert_share_differential(
+            &format!("E6 {mode}"),
+            E6_DDL,
+            &[&q1, &q2],
+            &e6_feed(3),
+            None,
+            1,
+        );
+    }
+}
+
+// ----------------------------------------------------------------- E10
+
+const E10_DDL: &str = "
+    CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM R2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);";
+
+fn e10_feed(tags: usize, runs_per_tag: usize, run_len: usize) -> Vec<(String, Vec<Value>)> {
+    let mut feed = Vec::new();
+    let mut ts = 0u64;
+    for _run in 0..runs_per_tag {
+        for step in 0..=run_len {
+            for tag in 0..tags {
+                ts += 1;
+                let stream = if step < run_len { "r1" } else { "r2" };
+                feed.push((
+                    stream.to_string(),
+                    vec![
+                        Value::str("rd"),
+                        Value::str(format!("tag-{tag}")),
+                        Value::Ts(Timestamp::from_secs(ts)),
+                    ],
+                ));
+            }
+        }
+    }
+    feed
+}
+
+#[test]
+fn e10_star_sequence_shared_equals_independent() {
+    let q1 = "SELECT COUNT(R1*), R2.tagid FROM R1, R2
+              WHERE SEQ(R1*, R2) MODE CHRONICLE AND R1.tagid = R2.tagid";
+    let q2 = "SELECT COUNT(p*), q.tagid FROM R1 AS p, R2 AS q
+              WHERE SEQ(p*, q) MODE CHRONICLE AND p.tagid = q.tagid";
+    assert_share_differential("E10 star", E10_DDL, &[q1, q2], &e10_feed(7, 6, 3), None, 1);
+}
+
+/// Active expiration through the shared chain: a heartbeat-driven
+/// timeout must reach every subscriber exactly as it reaches an
+/// independent chain.
+#[test]
+fn e10_heartbeat_expiry_shared_equals_independent() {
+    let q1 = "SELECT COUNT(R1*), R2.tagid FROM R1, R2
+              WHERE SEQ(R1*, R2) MODE CHRONICLE AND R1.tagid = R2.tagid";
+    let q2 = "SELECT COUNT(u*), v.tagid FROM R1 AS u, R2 AS v
+              WHERE SEQ(u*, v) MODE CHRONICLE AND u.tagid = v.tagid";
+    assert_share_differential(
+        "E10 heartbeat",
+        E10_DDL,
+        &[q1, q2],
+        &e10_feed(5, 2, 4),
+        Some(Timestamp::from_secs(3600)),
+        1,
+    );
+}
+
+// ------------------------------------------------------ deregistration
+
+/// Deregistering one of two sharing queries mid-run must leave the
+/// survivor's output identical to an uninterrupted independent chain —
+/// the shared core's state stays alive for the survivor.
+#[test]
+fn mid_run_deregistration_keeps_survivor_intact() {
+    let q1 = e1_query("r1", "r2");
+    let q2 = e1_query("x", "y");
+    let feed = e1_feed(5);
+    let half = feed.len() / 2;
+
+    // Reference: q1 alone, independent, fed everything.
+    let want = run_single(false, E1_DDL, &[&q1], &feed, None).remove(0);
+
+    let mut engine = Engine::new();
+    engine.set_shared_execution(true);
+    execute_script(&mut engine, E1_DDL).unwrap();
+    let keep = execute(&mut engine, &q1).unwrap();
+    let keep_rows = keep.collector().unwrap().clone();
+    let ExecOutcome::Collected(victim_id, victim_rows) = execute(&mut engine, &q2).unwrap() else {
+        panic!("bare SELECT collects")
+    };
+    assert_eq!(
+        engine.shared_stats().len(),
+        1,
+        "both queries should share one chain"
+    );
+    for (stream, values) in &feed[..half] {
+        engine.push(stream, values.clone()).unwrap();
+    }
+    let victim_prefix = key_rows(victim_rows.take());
+    engine.deregister_query(victim_id);
+    for (stream, values) in &feed[half..] {
+        engine.push(stream, values.clone()).unwrap();
+    }
+    assert_eq!(
+        key_rows(keep_rows.take()),
+        want,
+        "survivor diverged after its sibling deregistered"
+    );
+    assert!(
+        !victim_prefix.is_empty(),
+        "the deregistered query should have emitted before leaving"
+    );
+    assert!(
+        victim_rows.take().is_empty(),
+        "a deregistered query must stop emitting"
+    );
+    let stats = engine.shared_stats();
+    assert_eq!(stats[0].active_subscribers, 1, "one survivor remains");
+    assert_eq!(stats[0].subscribers.len(), 2, "history keeps both names");
+}
+
+// ---------------------------------------------------------- fingerprint
+
+/// The registered chains really correspond to the statements'
+/// fingerprints: EXPLAIN surfaces `shared_by` with both query names.
+#[test]
+fn explain_lists_shared_subscribers() {
+    let mut engine = Engine::new();
+    engine.set_shared_execution(true);
+    execute_script(&mut engine, E1_DDL).unwrap();
+    let q1 = e1_query("r1", "r2");
+    let q2 = e1_query("x", "y");
+    execute(&mut engine, &q1).unwrap();
+    execute(&mut engine, &q2).unwrap();
+    let s = eslev_lang::explain(&engine, &q1).unwrap();
+    assert!(s.contains("shared: fingerprint=0x"), "{s}");
+    assert!(
+        s.contains("shared_by=[dedup:readings, dedup:readings#1]"),
+        "{s}"
+    );
+
+    // And the two statements really carry the same fingerprint while a
+    // predicate change breaks it.
+    let parse = |sql: &str| {
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!("select")
+        };
+        let naive = eslev_lang::build_logical(&engine, &sel).unwrap();
+        let (opt, _) = eslev_lang::rewrite_logical(&engine, &sel, naive).unwrap();
+        shared_fingerprint(&sel, &opt)
+    };
+    let f1 = parse(&q1);
+    let f2 = parse(&q2);
+    assert_eq!(f1.hash, f2.hash);
+    assert_eq!(f1.canon, f2.canon);
+    let f3 = parse("SELECT tag_id FROM readings WHERE reader_id = 'z'");
+    assert_ne!(f1.canon, f3.canon);
+}
