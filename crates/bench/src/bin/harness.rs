@@ -136,6 +136,9 @@ struct Args {
     multi: Option<usize>,
     /// Dump a chrome://tracing JSON of a traced E1 run to this path.
     trace_path: Option<std::path::PathBuf>,
+    /// Run the O1 out-of-order sweep with this (seed, delay bound in
+    /// seconds).
+    disorder: Option<(u64, u64)>,
 }
 
 fn parse_args() -> Args {
@@ -145,6 +148,7 @@ fn parse_args() -> Args {
     let mut latency = false;
     let mut trace_path = None;
     let mut multi = None;
+    let mut disorder = None;
     // The B1 ingestion sweep always includes size 1 as the baseline.
     let mut batches = vec![1, 8, 64, 512];
     let mut args = std::env::args().skip(1);
@@ -213,9 +217,31 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
             },
+            "--disorder" => {
+                // Accepts `--disorder 42` (2s delay bound) or
+                // `--disorder 42,4` (4s delay bound).
+                let parsed = args.next().map(|v| {
+                    let mut it = v.split(',');
+                    let seed = it.next().and_then(|s| s.trim().parse::<u64>().ok());
+                    let delay = match it.next() {
+                        None => Some(2u64),
+                        Some(s) => s.trim().parse::<u64>().ok().filter(|d| *d > 0),
+                    };
+                    seed.zip(delay).filter(|_| it.next().is_none())
+                });
+                match parsed {
+                    Some(Some(pair)) => disorder = Some(pair),
+                    _ => {
+                        eprintln!(
+                            "--disorder needs `<seed>` or `<seed>,<delay_secs>` (e.g. `--disorder 42,2`)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown argument: {other}\nusage: harness [--json <path>] [--shards <n>] [--batch <n,n,...>] [--faults <seed>] [--latency] [--multi <n>] [--trace <path>]"
+                    "unknown argument: {other}\nusage: harness [--json <path>] [--shards <n>] [--batch <n,n,...>] [--faults <seed>] [--latency] [--multi <n>] [--trace <path>] [--disorder <seed>[,<delay_secs>]]"
                 );
                 std::process::exit(2);
             }
@@ -229,6 +255,7 @@ fn parse_args() -> Args {
         latency,
         trace_path,
         multi,
+        disorder,
     }
 }
 
@@ -1045,6 +1072,85 @@ fn main() {
         sections.push(("M1", obj(&fields)));
     }
 
+    // ---------------------------------------------------- disorder sweep
+    if let Some((seed, delay_secs)) = args.disorder {
+        println!("## O1 — out-of-order ingestion sweep (--disorder {seed},{delay_secs})\n");
+        let delay = eslev_dsms::prelude::Duration::from_secs(delay_secs);
+        let workloads = [
+            disorder_workload_e1(4_000),
+            shard_workload_e6(60),
+            shard_workload_e10(16, 12, 4),
+        ];
+        let mut t = TextTable::new(&[
+            "experiment",
+            "slack_s",
+            "rows_in",
+            "rows_out",
+            "late",
+            "matches_ref",
+            "retractions",
+            "fast_ok",
+            "ktuples/s",
+            "p99_us",
+        ]);
+        let mut rows = Vec::new();
+        let mut lossless_ok = true;
+        for w in &workloads {
+            for slack_s in [0u64, 1, 2, 4, 8] {
+                let slack = eslev_dsms::prelude::Duration::from_secs(slack_s);
+                let row = run_disorder_sweep(w, seed, delay, slack);
+                if slack_s >= delay_secs {
+                    // Slack covers the perturbation bound: both levels
+                    // must restore the in-order output exactly.
+                    lossless_ok &= row.matches_reference && row.fast_reconciles && row.late == 0;
+                }
+                t.row(vec![
+                    row.experiment.to_string(),
+                    slack_s.to_string(),
+                    row.rows_in.to_string(),
+                    row.rows_out.to_string(),
+                    row.late.to_string(),
+                    row.matches_reference.to_string(),
+                    row.retractions.to_string(),
+                    row.fast_reconciles.to_string(),
+                    format!("{:.0}", row.rows_in as f64 / row.feed_secs / 1e3),
+                    format!("{:.1}", row.p99_ns as f64 / 1e3),
+                ]);
+                rows.push(obj(&[
+                    ("experiment", jstr(row.experiment)),
+                    ("seed", row.seed.to_string()),
+                    ("slack_ms", row.slack_ms.to_string()),
+                    ("max_delay_ms", row.max_delay_ms.to_string()),
+                    ("rows_in", row.rows_in.to_string()),
+                    ("rows_out", row.rows_out.to_string()),
+                    ("late", row.late.to_string()),
+                    ("matches_reference", row.matches_reference.to_string()),
+                    ("retractions", row.retractions.to_string()),
+                    ("fast_reconciles", row.fast_reconciles.to_string()),
+                    ("feed_secs", jf(row.feed_secs)),
+                    (
+                        "ktuples_per_sec",
+                        jf(row.rows_in as f64 / row.feed_secs / 1e3),
+                    ),
+                    ("p99_ns", row.p99_ns.to_string()),
+                ]));
+            }
+        }
+        println!("{}", t.to_markdown());
+        sections.push((
+            "O1",
+            obj(&[
+                ("seed", seed.to_string()),
+                ("max_delay_secs", delay_secs.to_string()),
+                ("rows", arr(rows)),
+            ]),
+        ));
+        if !lossless_ok {
+            eprintln!("O1: output diverged from the in-order reference at slack >= delay bound");
+            std::process::exit(1);
+        }
+    }
+
     // ------------------------------------------------------- trace dump
     if let Some(path) = &args.trace_path {
         // A traced E1 run: flight recorder on, feed, dump the merged
@@ -1098,6 +1204,15 @@ fn main() {
             (
                 "multi",
                 args.multi.map_or("null".to_string(), |n| n.to_string()),
+            ),
+            (
+                "disorder",
+                args.disorder.map_or("null".to_string(), |(seed, delay)| {
+                    obj(&[
+                        ("seed", seed.to_string()),
+                        ("delay_secs", delay.to_string()),
+                    ])
+                }),
             ),
         ]);
         let doc = obj(&[

@@ -1771,3 +1771,227 @@ pub fn run_multi_sweep(
         memo_hits: stats.iter().map(|s| s.memo_hits).sum(),
     }
 }
+
+// ------------------------------------------------------------------ O1
+
+/// E1 duplicate elimination for the O1 disorder sweep: the dedup query
+/// subscribes to the tolerant `readings` stream *directly* (no derived
+/// `INSERT INTO` hop), so the fast arm's speculation actually observes
+/// the out-of-order arrivals instead of the already-restored derived
+/// feed.
+pub fn disorder_workload_e1(presences: usize) -> ShardWorkload {
+    let w = dedup::generate(&dedup::DedupConfig {
+        presences,
+        duplicate_prob: 0.5,
+        ..dedup::DedupConfig::default()
+    });
+    ShardWorkload {
+        experiment: "E1",
+        ddl: "CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);"
+            .to_string(),
+        query: "SELECT * FROM readings AS r1
+                WHERE NOT EXISTS
+                  (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+                   WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id)"
+            .to_string(),
+        feed: w
+            .readings
+            .iter()
+            .map(|r| ("readings".to_string(), r.to_values()))
+            .collect(),
+    }
+}
+
+/// One row of the O1 out-of-order sweep: a paper workload perturbed by
+/// the seeded bounded-disorder model and replayed at one reorder slack,
+/// once at the consistent level and once at the fast (speculative)
+/// level.
+#[derive(Debug, Clone)]
+pub struct DisorderSweepRow {
+    /// Experiment label.
+    pub experiment: &'static str,
+    /// Perturbation seed.
+    pub seed: u64,
+    /// Reorder slack, milliseconds.
+    pub slack_ms: u64,
+    /// Perturbation delay bound, milliseconds.
+    pub max_delay_ms: u64,
+    /// Tuples fed (after perturbation — same multiset as in order).
+    pub rows_in: usize,
+    /// Tuples the consistent query produced.
+    pub rows_out: usize,
+    /// Tuples dead-lettered as late-beyond-slack (consistent arm).
+    pub late: u64,
+    /// Whether the consistent output equals the in-order reference
+    /// byte for byte (expected exactly when `slack_ms >= max_delay_ms`).
+    pub matches_reference: bool,
+    /// Retraction tuples the fast arm emitted.
+    pub retractions: u64,
+    /// Whether the fast output, after applying its retractions, equals
+    /// the in-order reference (same expectation as `matches_reference`).
+    pub fast_reconciles: bool,
+    /// Consistent-arm feed-phase wall seconds (push + flush).
+    pub feed_secs: f64,
+    /// 99th-percentile sampled ingest→emit latency, nanoseconds
+    /// (consistent arm; includes reorder-buffer residence).
+    pub p99_ns: u64,
+}
+
+/// Replay the perturbed `w` at one `(seed, slack)` point: the
+/// consistent arm is checked byte-for-byte against the in-order
+/// reference, the fast arm is reconciled through its retractions.
+pub fn run_disorder_sweep(
+    w: &ShardWorkload,
+    seed: u64,
+    max_delay: Duration,
+    slack: Duration,
+) -> DisorderSweepRow {
+    // In-order reference.
+    let reference: Vec<(Vec<Value>, Timestamp)> = {
+        let mut engine = Engine::new();
+        execute_script(&mut engine, &w.ddl).expect("ddl plans");
+        let q = execute(&mut engine, &w.query).expect("query plans");
+        let out = q.collector().expect("collected query").clone();
+        for (stream, values) in &w.feed {
+            engine.push(stream, values.clone()).expect("feed");
+        }
+        out.take()
+            .into_iter()
+            .map(|t| (t.values().to_vec(), t.ts()))
+            .collect()
+    };
+    let shuffled = perturb_rows(w.feed.clone(), seed, max_delay);
+    let mut streams: Vec<&String> = shuffled.iter().map(|(s, _)| s).collect();
+    streams.sort();
+    streams.dedup();
+
+    // Consistent arm: reorder buffer restores order, late tuples
+    // dead-letter.
+    let (rows_out, late, matches_reference, feed_secs, p99_ns) = {
+        let mut engine = Engine::new();
+        execute_script(&mut engine, &w.ddl).expect("ddl plans");
+        for s in &streams {
+            engine
+                .set_disorder_tolerance(s, slack)
+                .expect("tolerant stream");
+        }
+        let q = execute(&mut engine, &w.query).expect("query plans");
+        let out = q.collector().expect("collected query").clone();
+        let start = std::time::Instant::now();
+        for (stream, values) in &shuffled {
+            engine.push(stream, values.clone()).expect("feed");
+        }
+        engine.flush_disorder().expect("flush disorder");
+        let feed_secs = start.elapsed().as_secs_f64();
+        let got: Vec<(Vec<Value>, Timestamp)> = out
+            .take()
+            .into_iter()
+            .map(|t| (t.values().to_vec(), t.ts()))
+            .collect();
+        let p99_ns = engine
+            .metrics_snapshot()
+            .histogram("eslev_tuple_latency_ns", &[])
+            .map_or(0, |h| h.quantile(0.99));
+        (
+            got.len(),
+            engine.late_tuples(),
+            got == reference,
+            feed_secs,
+            p99_ns,
+        )
+    };
+
+    // Fast arm: speculative emission + retractions, reconciled.
+    let (retractions, fast_reconciles) = {
+        let mut engine = Engine::new();
+        execute_script(&mut engine, &w.ddl).expect("ddl plans");
+        for s in &streams {
+            engine
+                .set_disorder_tolerance(s, slack)
+                .expect("tolerant stream");
+        }
+        let fast_query = format!("{} CONSISTENCY FAST", w.query);
+        let q = execute(&mut engine, &fast_query).expect("fast query plans");
+        let out = q.collector().expect("collected query").clone();
+        for (stream, values) in &shuffled {
+            engine.push(stream, values.clone()).expect("feed");
+        }
+        engine.flush_disorder().expect("flush disorder");
+        let mut live: Vec<Tuple> = Vec::new();
+        let mut retractions = 0u64;
+        for t in out.take() {
+            if t.is_retraction() {
+                retractions += 1;
+                if let Some(pos) = live.iter().rposition(|p| {
+                    p.values() == t.values() && p.ts() == t.ts() && p.seq() == t.seq()
+                }) {
+                    live.remove(pos);
+                }
+            } else {
+                live.push(t);
+            }
+        }
+        let reconciled: Vec<(Vec<Value>, Timestamp)> = live
+            .into_iter()
+            .map(|t| (t.values().to_vec(), t.ts()))
+            .collect();
+        (retractions, reconciled == reference)
+    };
+
+    DisorderSweepRow {
+        experiment: w.experiment,
+        seed,
+        slack_ms: slack.as_micros() / 1_000,
+        max_delay_ms: max_delay.as_micros() / 1_000,
+        rows_in: shuffled.len(),
+        rows_out,
+        late,
+        matches_reference,
+        retractions,
+        fast_reconciles,
+        feed_secs,
+        p99_ns,
+    }
+}
+
+#[cfg(test)]
+mod disorder_sweep_tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_reference_at_sufficient_slack() {
+        let delay = Duration::from_secs(2);
+        for w in [disorder_workload_e1(300), shard_workload_e10(5, 4, 3)] {
+            // Slack == bound: lossless restore, byte-identical output.
+            let row = run_disorder_sweep(&w, 29, delay, delay);
+            assert!(
+                row.matches_reference,
+                "{}: consistent diverged",
+                w.experiment
+            );
+            assert!(
+                row.fast_reconciles,
+                "{}: fast failed to reconcile",
+                w.experiment
+            );
+            assert_eq!(row.late, 0);
+            assert!(
+                row.retractions > 0,
+                "{}: disorder must provoke retractions",
+                w.experiment
+            );
+        }
+        // Slack 0 on the single-stream E1: disorder lands as late dead
+        // letters. (Multi-stream workloads keep a natural cross-stream
+        // buffer — the release bound is the min across streams — so
+        // zero slack does not force drops there.)
+        let row = run_disorder_sweep(
+            &disorder_workload_e1(300),
+            29,
+            delay,
+            Duration::from_micros(0),
+        );
+        assert!(row.late > 0, "zero slack must shed tuples");
+        assert!(row.rows_out < row.rows_in);
+    }
+}

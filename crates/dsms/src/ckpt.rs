@@ -17,7 +17,7 @@
 use crate::error::{DsmsError, Result};
 use crate::hash::FnvHasher;
 use crate::time::Timestamp;
-use crate::tuple::Tuple;
+use crate::tuple::{Sign, Tuple};
 use crate::value::Value;
 use std::hash::Hasher;
 
@@ -27,7 +27,11 @@ use std::hash::Hasher;
 /// added the shared-chain section to the engine root (shared subplan
 /// state saved once, with a versioned subscriber list); version-2 roots
 /// still decode and restore into engines without shared chains.
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// Version 4 added the dead-letter section to the engine root (rejected
+/// rows with reason tags survive recovery) and a signed-tuple node tag
+/// for speculative state; v3 roots still decode with an empty
+/// dead-letter buffer, and plain tuples keep the v3 wire shape.
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 const MAGIC: &[u8; 4] = b"ESCK";
 
@@ -209,8 +213,21 @@ impl StateNode {
                 encode_value(buf, v);
             }
             StateNode::Tuple(t) => {
-                buf.push(7);
-                encode_tuple(buf, t);
+                // Ordinary tuples keep the v3 wire shape (tag 7); only
+                // signed/speculative tuples need the extended tag, so v4
+                // buffers without speculation decode under a v3 reader.
+                if t.sign() == Sign::Insert && t.revision() == 0 {
+                    buf.push(7);
+                    encode_tuple(buf, t);
+                } else {
+                    buf.push(9);
+                    encode_tuple(buf, t);
+                    buf.push(match t.sign() {
+                        Sign::Insert => 0,
+                        Sign::Retract => 1,
+                    });
+                    put_u64(buf, t.revision());
+                }
             }
             StateNode::List(items) => {
                 buf.push(8);
@@ -233,6 +250,22 @@ impl StateNode {
             5 => StateNode::Str(get_string(buf, pos)?),
             6 => StateNode::Value(decode_value(buf, pos)?),
             7 => StateNode::Tuple(decode_tuple(buf, pos)?),
+            9 => {
+                let t = decode_tuple(buf, pos)?;
+                let sign = match get_u8(buf, pos)? {
+                    0 => Sign::Insert,
+                    1 => Sign::Retract,
+                    s => return Err(DsmsError::ckpt(format!("unknown tuple sign {s}"))),
+                };
+                let revision = get_u64(buf, pos)?;
+                StateNode::Tuple(Tuple::with_sign(
+                    t.values().to_vec(),
+                    t.ts(),
+                    t.seq(),
+                    sign,
+                    revision,
+                ))
+            }
             8 => {
                 let n = get_u32(buf, pos)? as usize;
                 let mut items = Vec::with_capacity(n.min(1 << 20));
@@ -570,6 +603,37 @@ mod tests {
         assert_eq!(back.now, Timestamp::from_secs(4));
         assert!(back.dict.is_empty());
         assert_eq!(back.root, StateNode::U64(11));
+    }
+
+    #[test]
+    fn signed_tuples_round_trip() {
+        let base = Tuple::new(vec![Value::Int(1)], Timestamp::from_secs(2), 5);
+        let retract = base.retraction_of(3);
+        let root = StateNode::List(vec![
+            StateNode::Tuple(base.clone()),
+            StateNode::Tuple(retract.clone()),
+            StateNode::Tuple(base.at_revision(7)),
+        ]);
+        let ck = EngineCheckpoint::new(1, Timestamp::ZERO, root);
+        let back = EngineCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back.root.item(0).unwrap().as_tuple().unwrap(), &base);
+        let r = back.root.item(1).unwrap().as_tuple().unwrap();
+        assert_eq!(r, &retract);
+        assert!(r.is_retraction());
+        assert_eq!(back.root.item(2).unwrap().as_tuple().unwrap().revision(), 7);
+    }
+
+    #[test]
+    fn plain_tuples_keep_v3_wire_shape() {
+        // An unsigned tuple must still encode under tag 7 so that v4
+        // buffers without speculation state stay decodable by shape.
+        let mut buf = Vec::new();
+        StateNode::Tuple(Tuple::new(vec![], Timestamp::ZERO, 0)).encode(&mut buf);
+        assert_eq!(buf[0], 7);
+        let mut signed = Vec::new();
+        StateNode::Tuple(Tuple::new(vec![], Timestamp::ZERO, 0).retraction_of(1))
+            .encode(&mut signed);
+        assert_eq!(signed[0], 9);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::expr::FunctionRegistry;
 use crate::intern::{InternerRef, Representation, StrInterner};
 use crate::key::KeyCodec;
 use crate::obs::{Counter, Histogram, MetricValue, MetricsSnapshot, Registry};
-use crate::ops::{OpReport, Operator, SharedCore, SharedCoreRef, SharedTap};
+use crate::ops::{OpReport, Operator, SharedCore, SharedCoreRef, SharedTap, SpeculativeGate};
 use crate::schema::SchemaRef;
 use crate::snapshot::{MaterializedWindow, SnapshotRef};
 use crate::table::{Table, TableRef};
@@ -47,16 +47,52 @@ const WALL_SAMPLE_MASK: u64 = 63;
 /// grow engine memory without bound.
 const DEAD_LETTER_CAP: usize = 256;
 
+/// Why an arrival landed in the dead-letter buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The row failed schema validation (arity, types, NULL time).
+    Malformed,
+    /// The row arrived more than the stream's slack behind the
+    /// high-water mark — too late for the reorder buffer to re-order.
+    Late,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Malformed => write!(f, "malformed"),
+            RejectReason::Late => write!(f, "late"),
+        }
+    }
+}
+
 /// A rejected arrival held in the engine's dead-letter buffer: the raw
-/// row that failed schema validation, where it was headed, and why.
+/// row that could not be applied, where it was headed, and why.
 #[derive(Debug, Clone)]
 pub struct DeadLetter {
     /// Target stream name as given by the caller.
     pub stream: String,
     /// The raw row values that failed validation.
     pub values: Vec<Value>,
+    /// Which class of rejection this was.
+    pub reason: RejectReason,
     /// Rendered rejection reason.
     pub error: String,
+}
+
+/// Where a query sits on the consistency/latency spectrum (CEDR's
+/// central dial) under out-of-order input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Consistency {
+    /// Block emission until the watermark proves input order: output is
+    /// byte-identical to an in-order run, at the cost of disorder-slack
+    /// latency. The default.
+    #[default]
+    Consistent,
+    /// Emit speculatively on every arrival; when a late tuple
+    /// invalidates prior output the query issues typed retraction
+    /// tuples ([`crate::tuple::Sign::Retract`]) followed by corrections.
+    Fast,
 }
 
 /// Where a query's output tuples go.
@@ -143,12 +179,37 @@ struct QueryState {
     sink: Sink,
     emitted: u64,
     active: bool,
+    /// Consistency level chosen at registration (fast queries run behind
+    /// a [`SpeculativeGate`] and receive arrivals before release).
+    consistency: Consistency,
     /// Tuples delivered to the query (all ports).
     tuples_in: Counter,
     /// Tuples the query emitted to its sink.
     tuples_out: Counter,
     /// Sampled wall-clock per operator invocation, nanoseconds.
     wall: Histogram,
+}
+
+/// Which queries a dispatched batch targets. Direct (in-order) arrivals
+/// and derived-stream cascades go to every subscriber; a speculative
+/// arrival entering the reorder buffer goes only to fast queries; the
+/// buffer's ordered release goes only to consistent queries (fast ones
+/// already saw those tuples at arrival time).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Deliver {
+    All,
+    FastOnly,
+    OrderedOnly,
+}
+
+impl Deliver {
+    fn targets(self, consistency: Consistency) -> bool {
+        match self {
+            Deliver::All => true,
+            Deliver::FastOnly => consistency == Consistency::Fast,
+            Deliver::OrderedOnly => consistency == Consistency::Consistent,
+        }
+    }
 }
 
 /// One shared subplan in the engine's registry: the core chain, its
@@ -251,6 +312,11 @@ pub struct Engine {
     punctuations: Counter,
     /// Malformed arrivals rejected at ingest (all streams).
     rejected_tuples: Counter,
+    /// Arrivals beyond the disorder slack, dead-lettered (all streams).
+    late_tuples: Counter,
+    /// Watermarks rejected by [`Engine::advance_watermark`] for
+    /// regressing below the high-water mark.
+    stale_watermarks: Counter,
     /// The most recent rejected arrivals, oldest first.
     dead_letters: VecDeque<DeadLetter>,
     /// Flight recorder: off by default; one relaxed load per site while
@@ -284,6 +350,8 @@ impl Engine {
         let obs = Registry::new();
         let punctuations = obs.counter("eslev_punctuations_total", &[]);
         let rejected_tuples = obs.counter("eslev_rejected_tuples_total", &[]);
+        let late_tuples = obs.counter("eslev_late_tuples_total", &[]);
+        let stale_watermarks = obs.counter("eslev_stale_watermarks_total", &[]);
         let tuple_latency = obs.histogram("eslev_tuple_latency_ns", &[]);
         let interner: InternerRef = Arc::new(StrInterner::new());
         let codec = match representation {
@@ -309,6 +377,8 @@ impl Engine {
             obs,
             punctuations,
             rejected_tuples,
+            late_tuples,
+            stale_watermarks,
             dead_letters: VecDeque::new(),
             trace: FlightRecorder::default(),
             tuple_latency,
@@ -458,17 +528,24 @@ impl Engine {
     }
 
     /// Tolerate out-of-order arrivals on a stream up to `slack`: pushes
-    /// buffer inside the engine and release in timestamp order once the
-    /// stream's newest arrival is `slack` ahead of them. Tuples later
-    /// than that are rejected as [`DsmsError::OutOfOrder`]. Call
-    /// [`Engine::flush_disorder`] (or push something `slack` newer) to
-    /// drain the tail.
+    /// buffer inside the engine and release in global `(ts, seq)` order
+    /// once every disorder-tolerant stream's newest arrival is `slack`
+    /// ahead of them (a *global* release bound — releasing one stream
+    /// independently would let a multi-stream detector see cross-stream
+    /// inversions). Tuples arriving behind what has already been
+    /// released are too late to re-order: they are counted, dead-lettered
+    /// with [`RejectReason::Late`], and never silently applied or
+    /// dropped. Call [`Engine::flush_disorder`] (or push something
+    /// `slack` newer) to drain the tail.
     pub fn set_disorder_tolerance(
         &mut self,
         stream: &str,
         slack: crate::time::Duration,
     ) -> Result<()> {
         let lower = stream.to_ascii_lowercase();
+        if !self.streams.contains_key(&lower) {
+            return Err(DsmsError::unknown(format!("stream `{stream}`")));
+        }
         let labels = [("stream", lower.as_str())];
         let buffered_ctr = self.obs.counter("eslev_disorder_buffered_total", &labels);
         let flushed_ctr = self.obs.counter("eslev_disorder_flushed_total", &labels);
@@ -487,32 +564,89 @@ impl Engine {
     }
 
     /// Drain every buffered out-of-order tuple on every stream (end of
-    /// feed); advances stream time to the newest drained arrival.
+    /// feed), merged across streams in global `(ts, seq)` order;
+    /// advances stream time to the newest drained arrival.
     pub fn flush_disorder(&mut self) -> Result<()> {
-        let names: Vec<String> = self
-            .streams
-            .iter()
-            .filter(|(_, e)| e.reorder.is_some())
-            .map(|(n, _)| n.clone())
-            .collect();
-        for name in names {
-            let drained: Vec<Tuple> = {
-                let entry = self.streams.get_mut(&name).expect("name from map");
-                let Some(r) = entry.reorder.as_mut() else {
-                    continue;
-                };
-                let all: Vec<Tuple> = std::mem::take(&mut r.pending).into_values().collect();
-                r.flushed_ctr.add(all.len() as u64);
-                all
+        let mut drained: Vec<(String, Tuple)> = Vec::new();
+        for (name, entry) in self.streams.iter_mut() {
+            let Some(r) = entry.reorder.as_mut() else {
+                continue;
             };
-            for t in drained {
-                self.deliver_ordered(&name, t)?;
-            }
+            let all: Vec<Tuple> = std::mem::take(&mut r.pending).into_values().collect();
+            r.flushed_ctr.add(all.len() as u64);
+            drained.extend(all.into_iter().map(|t| (name.clone(), t)));
+        }
+        drained.sort_by_key(|(_, t)| t.order_key());
+        for (name, t) in drained {
+            self.deliver_ordered(&name, t, Deliver::OrderedOnly)?;
         }
         Ok(())
     }
 
-    fn deliver_ordered(&mut self, lower: &str, t: Tuple) -> Result<()> {
+    /// The global release bound: every buffered tuple at or below it is
+    /// provably ordered, because each disorder-tolerant stream's
+    /// high-water mark is at least `slack` past it. `None` without any
+    /// tolerant stream.
+    fn release_bound(&self) -> Option<Timestamp> {
+        self.streams
+            .values()
+            .filter_map(|e| e.reorder.as_ref())
+            .map(|r| r.max_seen.saturating_sub(r.slack))
+            .min()
+    }
+
+    /// How far the reorder buffer has already released: the newest
+    /// delivered event time across disorder-tolerant streams. An arrival
+    /// behind this cannot be re-ordered any more and is late.
+    fn released_frontier(&self) -> Timestamp {
+        self.streams
+            .values()
+            .filter(|e| e.reorder.is_some())
+            .map(|e| e.last_ts)
+            .max()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Release every buffered tuple at or below the global bound, merged
+    /// across streams in `(ts, seq)` order, to consistent queries.
+    fn release_ready(&mut self) -> Result<()> {
+        let Some(bound) = self.release_bound() else {
+            return Ok(());
+        };
+        let mut ready: Vec<(String, Tuple)> = Vec::new();
+        for (name, entry) in self.streams.iter_mut() {
+            let Some(r) = entry.reorder.as_mut() else {
+                continue;
+            };
+            let mut released = 0u64;
+            while let Some(first) = r.pending.first_entry() {
+                if first.key().0 <= bound {
+                    ready.push((name.clone(), first.remove()));
+                    released += 1;
+                } else {
+                    break;
+                }
+            }
+            r.flushed_ctr.add(released);
+        }
+        ready.sort_by_key(|(_, t)| t.order_key());
+        for (name, t) in ready {
+            self.deliver_ordered(&name, t, Deliver::OrderedOnly)?;
+        }
+        Ok(())
+    }
+
+    /// Whether any active fast-consistency query subscribes to a stream
+    /// (such arrivals are dispatched speculatively at push time).
+    fn has_fast_subscriber(&self, lower: &str) -> bool {
+        self.subs.get(lower).is_some_and(|subs| {
+            subs.iter().any(|(idx, _)| {
+                self.queries[*idx].active && self.queries[*idx].consistency == Consistency::Fast
+            })
+        })
+    }
+
+    fn deliver_ordered(&mut self, lower: &str, t: Tuple, mode: Deliver) -> Result<()> {
         let entry = self.streams.get_mut(lower).expect("stream exists");
         debug_assert!(t.ts() >= entry.last_ts, "reorder buffer releases in order");
         entry.last_ts = t.ts();
@@ -522,7 +656,7 @@ impl Engine {
         if self.auto_watermark && ts > self.now {
             self.advance_to(ts)?;
         }
-        self.dispatch_batch(lower.to_string(), vec![t])
+        self.dispatch_batch(lower.to_string(), vec![t], mode)
     }
 
     /// Maintain a materialized window over a stream for ad-hoc snapshot
@@ -545,7 +679,8 @@ impl Engine {
     }
 
     /// Register a continuous query reading from `sources` (port i =
-    /// sources\[i\]) through `op` into `sink`.
+    /// sources\[i\]) through `op` into `sink`, at the default
+    /// [`Consistency::Consistent`] level.
     pub fn register_query(
         &mut self,
         name: impl Into<String>,
@@ -553,6 +688,41 @@ impl Engine {
         op: Box<dyn Operator>,
         sink: Sink,
     ) -> Result<QueryId> {
+        self.register_query_with(name, sources, op, sink, Consistency::Consistent)
+    }
+
+    /// Register a continuous query with an explicit consistency level.
+    ///
+    /// `Fast` wraps the operator tree in a [`SpeculativeGate`]: the
+    /// query receives every admitted arrival immediately (before the
+    /// reorder buffer proves order) and issues typed retraction tuples
+    /// when a late arrival invalidates prior output. Retractions do not
+    /// cascade through derived streams, so a fast query cannot feed a
+    /// [`Sink::Stream`].
+    pub fn register_query_with(
+        &mut self,
+        name: impl Into<String>,
+        sources: Vec<&str>,
+        op: Box<dyn Operator>,
+        sink: Sink,
+        consistency: Consistency,
+    ) -> Result<QueryId> {
+        let name = name.into();
+        let op = if consistency == Consistency::Fast {
+            if matches!(sink, Sink::Stream(_)) {
+                return Err(DsmsError::plan(format!(
+                    "fast-consistency query `{name}` cannot feed a derived stream: \
+                     retraction tuples do not cascade; use a collector, table or \
+                     discard sink"
+                )));
+            }
+            let labels = [("query", name.as_str())];
+            let retractions = self.obs.counter("eslev_retractions_total", &labels);
+            Box::new(SpeculativeGate::new(op, self.auto_watermark)?.with_counter(retractions))
+                as Box<dyn Operator>
+        } else {
+            op
+        };
         if sources.len() != op.num_ports() {
             return Err(DsmsError::plan(format!(
                 "operator `{}` expects {} inputs, got {}",
@@ -584,7 +754,6 @@ impl Engine {
                 .or_default()
                 .push((idx, port));
         }
-        let name = name.into();
         let id = idx.to_string();
         let labels = [("query", name.as_str()), ("id", id.as_str())];
         let tuples_in = self.obs.counter("eslev_query_tuples_in_total", &labels);
@@ -598,6 +767,7 @@ impl Engine {
             sink,
             emitted: 0,
             active: true,
+            consistency,
             tuples_in,
             tuples_out,
             wall,
@@ -615,6 +785,26 @@ impl Engine {
         let c = Collector::new();
         let id = self.register_query(name, sources, op, Sink::Collect(c.clone()))?;
         Ok((id, c))
+    }
+
+    /// Convenience: register a collected query at an explicit
+    /// consistency level.
+    pub fn register_collected_with(
+        &mut self,
+        name: impl Into<String>,
+        sources: Vec<&str>,
+        op: Box<dyn Operator>,
+        consistency: Consistency,
+    ) -> Result<(QueryId, Collector)> {
+        let c = Collector::new();
+        let id =
+            self.register_query_with(name, sources, op, Sink::Collect(c.clone()), consistency)?;
+        Ok((id, c))
+    }
+
+    /// The consistency level a query was registered at.
+    pub fn query_consistency(&self, id: QueryId) -> Consistency {
+        self.queries[id.0].consistency
     }
 
     /// Turn multi-query shared execution on or off (off by default).
@@ -814,6 +1004,7 @@ impl Engine {
                         &self.trace,
                         stream,
                         values,
+                        RejectReason::Malformed,
                         &e,
                     );
                     return Err(e);
@@ -828,11 +1019,21 @@ impl Engine {
             self.next_seq = self.next_seq.max(seqno + 1);
             if t.ts() < entry.last_ts {
                 entry.rejected_ctr.inc();
-                return Err(DsmsError::OutOfOrder(format!(
+                let e = DsmsError::OutOfOrder(format!(
                     "stream `{stream}` regressed from {} to {}",
                     entry.last_ts,
                     t.ts()
-                )));
+                ));
+                Self::reject(
+                    &mut self.dead_letters,
+                    &self.late_tuples,
+                    &self.trace,
+                    stream,
+                    t.values().to_vec(),
+                    RejectReason::Late,
+                    &e,
+                );
+                return Err(e);
             }
             entry.last_ts = t.ts();
             max = max.max(t.ts());
@@ -847,7 +1048,7 @@ impl Engine {
         }
         entry.pushed += batch.len() as u64;
         entry.pushed_ctr.add(batch.len() as u64);
-        self.dispatch_batch(lower, batch)?;
+        self.dispatch_batch(lower, batch, Deliver::All)?;
         Ok(max)
     }
 
@@ -872,6 +1073,7 @@ impl Engine {
                     &self.trace,
                     stream,
                     values,
+                    RejectReason::Malformed,
                     &e,
                 );
                 return Err(e);
@@ -882,48 +1084,79 @@ impl Engine {
                 self.interner.canonicalize(&mut values[c]);
             }
         }
+        let tolerant = entry.reorder.is_some();
         let t = Tuple::new(values, ts, seq);
         self.next_seq = self.next_seq.max(seq + 1);
-        if entry.reorder.is_some() {
-            // Buffer, then release everything older than the slack bound.
-            let releasable: Vec<Tuple> = {
+        if tolerant {
+            // Arrivals behind what the reorder buffer has already
+            // released cannot be put back in order: count them,
+            // dead-letter them, and keep going (no error — late data is
+            // an expected condition under bounded disorder, not a caller
+            // bug).
+            let frontier = self.released_frontier();
+            if t.ts() < frontier {
+                let e = DsmsError::OutOfOrder(format!(
+                    "stream `{stream}` tuple at {} is behind the released frontier {} (slack exceeded)",
+                    t.ts(),
+                    frontier
+                ));
+                let entry = self.streams.get_mut(&lower).expect("looked up above");
+                entry.rejected_ctr.inc();
+                Self::reject(
+                    &mut self.dead_letters,
+                    &self.late_tuples,
+                    &self.trace,
+                    stream,
+                    t.values().to_vec(),
+                    RejectReason::Late,
+                    &e,
+                );
+                return Ok(());
+            }
+            let speculative = self.has_fast_subscriber(&lower);
+            {
                 let entry = self.streams.get_mut(&lower).expect("looked up above");
                 let r = entry.reorder.as_mut().expect("checked");
-                if t.ts() < entry.last_ts {
-                    entry.rejected_ctr.inc();
-                    return Err(DsmsError::OutOfOrder(format!(
-                        "stream `{stream}` tuple at {} is more than {} behind the newest arrival",
-                        t.ts(),
-                        r.slack
-                    )));
-                }
                 r.max_seen = r.max_seen.max(t.ts());
-                r.pending.insert((t.ts(), t.seq()), t);
+                r.pending.insert((t.ts(), t.seq()), t.clone());
                 r.buffered_ctr.inc();
-                let bound = r.max_seen.saturating_sub(r.slack);
-                let mut out = Vec::new();
-                while let Some(entry0) = r.pending.first_entry() {
-                    if entry0.key().0 <= bound {
-                        out.push(entry0.remove());
-                    } else {
-                        break;
-                    }
-                }
-                r.flushed_ctr.add(out.len() as u64);
-                out
-            };
-            for rt in releasable {
-                self.deliver_ordered(&lower, rt)?;
             }
-            return Ok(());
+            if seq & WALL_SAMPLE_MASK == 0 {
+                // The stamp closes at the next sink-reaching cascade —
+                // the speculative dispatch below, or a later ordered
+                // release — so sampled latency includes reorder-buffer
+                // residence.
+                self.lat_sample = Some(std::time::Instant::now());
+                self.trace.record(|| TraceKind::TupleAdmitted {
+                    stream: lower.clone(),
+                    seq,
+                });
+            }
+            if speculative {
+                // Fast-consistency queries see the arrival immediately,
+                // in arrival order; their SpeculativeGate repairs any
+                // misordering with retractions once proven wrong.
+                self.dispatch_batch(lower.clone(), vec![t], Deliver::FastOnly)?;
+            }
+            return self.release_ready();
         }
         if t.ts() < entry.last_ts {
             entry.rejected_ctr.inc();
-            return Err(DsmsError::OutOfOrder(format!(
+            let e = DsmsError::OutOfOrder(format!(
                 "stream `{stream}` regressed from {} to {}",
                 entry.last_ts,
                 t.ts()
-            )));
+            ));
+            Self::reject(
+                &mut self.dead_letters,
+                &self.late_tuples,
+                &self.trace,
+                stream,
+                t.values().to_vec(),
+                RejectReason::Late,
+                &e,
+            );
+            return Err(e);
         }
         if seq & WALL_SAMPLE_MASK == 0 {
             self.lat_sample = Some(std::time::Instant::now());
@@ -937,18 +1170,21 @@ impl Engine {
         // `ts` must fire BEFORE the tuple is processed (a timeout that
         // elapsed during a silent period is detected at the next arrival,
         // and is not masked by it).
-        let delivered = self.deliver_ordered(&lower, t);
+        let delivered = self.deliver_ordered(&lower, t, Deliver::All);
         self.lat_sample = None;
         delivered
     }
 
-    /// Record a malformed arrival in the bounded dead-letter buffer.
+    /// Record a rejected arrival (malformed, or late beyond the disorder
+    /// slack) in the bounded dead-letter buffer.
+    #[allow(clippy::too_many_arguments)]
     fn reject(
         dead: &mut VecDeque<DeadLetter>,
         ctr: &Counter,
         trace: &FlightRecorder,
         stream: &str,
         values: Vec<Value>,
+        reason: RejectReason,
         err: &DsmsError,
     ) {
         ctr.inc();
@@ -961,6 +1197,7 @@ impl Engine {
         dead.push_back(DeadLetter {
             stream: stream.to_string(),
             values,
+            reason,
             error: err.to_string(),
         });
     }
@@ -979,6 +1216,16 @@ impl Engine {
     /// Malformed arrivals rejected at ingest so far (all streams).
     pub fn rejected_tuples(&self) -> u64 {
         self.rejected_tuples.get()
+    }
+
+    /// Arrivals rejected as late beyond the disorder slack (all streams).
+    pub fn late_tuples(&self) -> u64 {
+        self.late_tuples.get()
+    }
+
+    /// Watermarks rejected for regressing behind stream time.
+    pub fn stale_watermarks(&self) -> u64 {
+        self.stale_watermarks.get()
     }
 
     /// Push a whole batch (same validation as [`Engine::push`]).
@@ -1049,7 +1296,7 @@ impl Engine {
                 m.advance(ts);
             }
         }
-        let mut work: VecDeque<(String, Vec<Tuple>)> = VecDeque::new();
+        let mut work: VecDeque<(String, Vec<Tuple>, Deliver)> = VecDeque::new();
         for idx in 0..self.queries.len() {
             if !self.queries[idx].active {
                 continue;
@@ -1068,22 +1315,44 @@ impl Engine {
         self.drain_batches(work)
     }
 
+    /// Strict external watermark: like [`Engine::advance_to`], but a
+    /// timestamp behind current stream time is a protocol violation —
+    /// counted and rejected as [`DsmsError::StaleWatermark`] instead of
+    /// being silently swallowed. Use this for watermarks crossing a
+    /// trust boundary (the REPL, the shard router); internal callers
+    /// that legitimately coalesce keep the lenient `advance_to`.
+    pub fn advance_watermark(&mut self, ts: Timestamp) -> Result<()> {
+        if ts < self.now {
+            self.stale_watermarks.inc();
+            return Err(DsmsError::stale_watermark(format!(
+                "watermark {} regresses behind stream time {}",
+                ts, self.now
+            )));
+        }
+        self.advance_to(ts)
+    }
+
     /// Current stream-time high-water mark.
     pub fn now(&self) -> Timestamp {
         self.now
     }
 
-    fn dispatch_batch(&mut self, stream_lower: String, batch: Vec<Tuple>) -> Result<()> {
+    fn dispatch_batch(
+        &mut self,
+        stream_lower: String,
+        batch: Vec<Tuple>,
+        mode: Deliver,
+    ) -> Result<()> {
         let mut work = VecDeque::new();
-        work.push_back((stream_lower, batch));
+        work.push_back((stream_lower, batch, mode));
         self.drain_batches(work)
     }
 
-    fn drain_batches(&mut self, mut work: VecDeque<(String, Vec<Tuple>)>) -> Result<()> {
+    fn drain_batches(&mut self, mut work: VecDeque<(String, Vec<Tuple>, Deliver)>) -> Result<()> {
         // Bounded cascade: a mis-wired query cycle would loop forever;
         // cap the cascade (counted in tuples) generously and report.
         let mut guard: u64 = 0;
-        while let Some((stream, batch)) = work.pop_front() {
+        while let Some((stream, batch, mode)) = work.pop_front() {
             guard += batch.len() as u64;
             if guard > 10_000_000 {
                 return Err(DsmsError::plan(
@@ -1091,11 +1360,15 @@ impl Engine {
                 ));
             }
             // Materialized windows track every tuple entering the stream,
-            // whether pushed externally or derived from a query sink.
-            if let Some(mats) = self.materialized.get(&stream) {
-                for m in mats {
-                    for t in &batch {
-                        m.push(t.clone());
+            // whether pushed externally or derived from a query sink —
+            // but only once: a speculative (fast-only) delivery will be
+            // followed by the same tuple's ordered release.
+            if mode != Deliver::FastOnly {
+                if let Some(mats) = self.materialized.get(&stream) {
+                    for m in mats {
+                        for t in &batch {
+                            m.push(t.clone());
+                        }
                     }
                 }
             }
@@ -1105,7 +1378,7 @@ impl Engine {
             // One subscription-list clone per batch, not per tuple.
             let subs: Vec<(usize, usize)> = subs.clone();
             for (idx, port) in subs {
-                if !self.queries[idx].active {
+                if !self.queries[idx].active || !mode.targets(self.queries[idx].consistency) {
                     continue;
                 }
                 let mut outs = Vec::new();
@@ -1140,7 +1413,7 @@ impl Engine {
         &mut self,
         idx: usize,
         outs: Vec<Tuple>,
-        work: &mut VecDeque<(String, Vec<Tuple>)>,
+        work: &mut VecDeque<(String, Vec<Tuple>, Deliver)>,
     ) -> Result<()> {
         if outs.is_empty() {
             return Ok(());
@@ -1161,7 +1434,13 @@ impl Engine {
             Sink::Table(name) => {
                 let table = self.tables[&name.to_ascii_lowercase()].clone();
                 for t in &outs {
-                    table.insert_tuple(t)?;
+                    if t.is_retraction() {
+                        // A fast query withdrew a speculative emission:
+                        // remove the matching row instead of inserting.
+                        table.delete_row(t.values())?;
+                    } else {
+                        table.insert_tuple(t)?;
+                    }
                 }
             }
             Sink::Stream(name) => {
@@ -1190,7 +1469,7 @@ impl Engine {
                 }
                 e.pushed += rebound.len() as u64;
                 e.pushed_ctr.add(rebound.len() as u64);
-                work.push_back((lower, rebound));
+                work.push_back((lower, rebound, Deliver::All));
             }
         }
         Ok(())
@@ -1332,6 +1611,24 @@ impl Engine {
                 &[("stream", name.as_str())],
                 MetricValue::Gauge(Self::lag_ms(e) as i64),
             );
+            if let Some(r) = &e.reorder {
+                snap.push(
+                    "eslev_reorder_depth",
+                    &[("stream", name.as_str())],
+                    MetricValue::Gauge(r.pending.len() as i64),
+                );
+                // How far the released (proven-ordered) frontier trails
+                // the newest arrival — ≤ slack in steady state, so a
+                // persistently larger value flags a stalled release.
+                snap.push(
+                    "eslev_reorder_slack_lag_ms",
+                    &[("stream", name.as_str())],
+                    MetricValue::Gauge(
+                        (r.max_seen.as_micros().saturating_sub(e.last_ts.as_micros()) / 1000)
+                            as i64,
+                    ),
+                );
+            }
         }
         for (i, q) in self.queries.iter().enumerate() {
             let id = i.to_string();
@@ -1501,12 +1798,31 @@ impl Engine {
                 core.op.save_state()?,
             ]));
         }
+        // Checkpoint v4: dead-letter section, so rejected arrivals
+        // (malformed or late) survive kill-and-recover and SHOW REJECTED
+        // stays truthful across a restore.
+        let dead = self
+            .dead_letters
+            .iter()
+            .map(|d| {
+                StateNode::List(vec![
+                    StateNode::Str(d.stream.clone()),
+                    StateNode::List(d.values.iter().cloned().map(StateNode::Value).collect()),
+                    StateNode::U64(match d.reason {
+                        RejectReason::Malformed => 0,
+                        RejectReason::Late => 1,
+                    }),
+                    StateNode::Str(d.error.clone()),
+                ])
+            })
+            .collect();
         let root = StateNode::List(vec![
             StateNode::List(streams),
             StateNode::List(queries),
             StateNode::List(tables),
             StateNode::List(materialized),
             StateNode::List(chains),
+            StateNode::List(dead),
         ]);
         let ck = EngineCheckpoint::new(self.next_seq, self.now, root)
             .with_dict(self.interner.dictionary());
@@ -1671,6 +1987,31 @@ impl Engine {
                     core.op.restore_state(node.item(4)?)?;
                     core.reset_memo();
                 }
+            }
+        }
+        // Dead-letter section (checkpoint v4); absent in pre-v4 layouts,
+        // which simply leave the buffer as-is.
+        if let Ok(section) = ck.root.item(5) {
+            self.dead_letters.clear();
+            for node in section.as_list()? {
+                let mut values = Vec::new();
+                for v in node.item(1)?.as_list()? {
+                    values.push(v.as_value()?.clone());
+                }
+                self.dead_letters.push_back(DeadLetter {
+                    stream: node.item(0)?.as_str()?.to_string(),
+                    values,
+                    reason: match node.item(2)?.as_u64()? {
+                        0 => RejectReason::Malformed,
+                        1 => RejectReason::Late,
+                        other => {
+                            return Err(DsmsError::ckpt(format!(
+                                "unknown dead-letter reason tag {other}"
+                            )))
+                        }
+                    },
+                    error: node.item(3)?.as_str()?.to_string(),
+                });
             }
         }
         self.next_seq = ck.next_seq;
@@ -2321,9 +2662,21 @@ mod disorder_tests {
         // (bound 1900).
         e.push("readings", reading(2000, "b")).unwrap();
         assert_eq!(e.stream_pushed("readings").unwrap(), 1);
-        // A tuple before the last delivered (1000) can no longer fit.
-        let err = e.push("readings", reading(500, "late")).unwrap_err();
-        assert!(matches!(err, DsmsError::OutOfOrder(_)));
+        // A tuple before the last delivered (1000) can no longer fit: it
+        // is counted and dead-lettered, not applied and not an error.
+        e.push("readings", reading(500, "late")).unwrap();
+        assert_eq!(e.stream_pushed("readings").unwrap(), 1);
+        assert_eq!(e.late_tuples(), 1);
+        let dead: Vec<&DeadLetter> = e.dead_letters().collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].reason, RejectReason::Late);
+        assert_eq!(dead[0].stream, "readings");
+        // Malformed arrivals keep their own reason tag and counter.
+        assert!(e.push("readings", vec![Value::Int(1)]).is_err());
+        assert_eq!(e.rejected_tuples(), 1);
+        let dead: Vec<&DeadLetter> = e.dead_letters().collect();
+        assert_eq!(dead.len(), 2);
+        assert_eq!(dead[1].reason, RejectReason::Malformed);
     }
 
     #[test]
@@ -2338,5 +2691,125 @@ mod disorder_tests {
         assert_eq!(e.now(), Timestamp::from_millis(1000));
         e.flush_disorder().unwrap();
         assert_eq!(e.now(), Timestamp::from_millis(2000));
+    }
+
+    /// Apply retractions to a signed emission log, returning the
+    /// surviving rows in canonical order.
+    fn reconcile(tuples: Vec<Tuple>) -> Vec<(Vec<Value>, Timestamp)> {
+        let mut live: Vec<Tuple> = Vec::new();
+        for t in tuples {
+            if t.is_retraction() {
+                let pos = live
+                    .iter()
+                    .rposition(|p| {
+                        p.values() == t.values() && p.ts() == t.ts() && p.seq() == t.seq()
+                    })
+                    .expect("retraction matches a prior emission");
+                live.remove(pos);
+            } else {
+                live.push(t);
+            }
+        }
+        live.into_iter()
+            .map(|t| (t.values().to_vec(), t.ts()))
+            .collect()
+    }
+
+    #[test]
+    fn fast_reconciles_to_consistent_output() {
+        let feed = [
+            (50u64, "a"),
+            (20, "b"),
+            (70, "c"),
+            (60, "d"),
+            (400, "e"),
+            (350, "f"),
+            (500, "g"),
+        ];
+        let run = |consistency: Consistency| -> Vec<Tuple> {
+            let mut e = Engine::new();
+            e.create_stream(Schema::readings("readings")).unwrap();
+            let (_, c) = e
+                .register_collected_with(
+                    "q",
+                    vec!["readings"],
+                    Box::new(Select::new(Expr::lit(true))),
+                    consistency,
+                )
+                .unwrap();
+            e.set_disorder_tolerance("readings", Duration::from_millis(200))
+                .unwrap();
+            for (ms, tag) in feed {
+                e.push("readings", reading(ms, tag)).unwrap();
+            }
+            e.flush_disorder().unwrap();
+            c.take()
+        };
+        let consistent = run(Consistency::Consistent);
+        assert!(consistent.iter().all(|t| !t.is_retraction()));
+        let fast = run(Consistency::Fast);
+        // The misordered arrivals force at least one speculative
+        // emission to be withdrawn.
+        assert!(fast.iter().any(|t| t.is_retraction()));
+        assert!(fast.len() > consistent.len());
+        let expected: Vec<(Vec<Value>, Timestamp)> = consistent
+            .iter()
+            .map(|t| (t.values().to_vec(), t.ts()))
+            .collect();
+        assert_eq!(reconcile(fast), expected);
+    }
+
+    #[test]
+    fn fast_cannot_feed_derived_stream() {
+        let mut e = Engine::new();
+        e.create_stream(Schema::readings("readings")).unwrap();
+        e.create_stream(Schema::readings("derived")).unwrap();
+        let err = e
+            .register_query_with(
+                "q",
+                vec!["readings"],
+                Box::new(Select::new(Expr::lit(true))),
+                Sink::Stream("derived".into()),
+                Consistency::Fast,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("retraction"));
+    }
+
+    #[test]
+    fn stale_watermark_is_rejected_and_counted() {
+        let (mut e, _) = engine_with_collector();
+        e.advance_watermark(Timestamp::from_millis(100)).unwrap();
+        let err = e.advance_watermark(Timestamp::from_millis(50)).unwrap_err();
+        assert!(matches!(err, DsmsError::StaleWatermark(_)));
+        assert_eq!(e.stale_watermarks(), 1);
+        // Equal re-announcement is a harmless no-op, not a regression.
+        e.advance_watermark(Timestamp::from_millis(100)).unwrap();
+        assert_eq!(e.now(), Timestamp::from_millis(100));
+        // The lenient internal path still swallows earlier times.
+        e.advance_to(Timestamp::from_millis(10)).unwrap();
+        assert_eq!(e.stale_watermarks(), 1);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_dead_letters() {
+        let (mut e, _) = engine_with_collector();
+        e.set_disorder_tolerance("readings", Duration::from_millis(100))
+            .unwrap();
+        e.push("readings", reading(1000, "a")).unwrap();
+        e.push("readings", reading(2000, "b")).unwrap();
+        e.push("readings", reading(500, "late")).unwrap();
+        let _ = e.push("readings", vec![Value::Int(1)]);
+        let bytes = e.checkpoint().unwrap().to_bytes();
+        let ck = crate::ckpt::EngineCheckpoint::from_bytes(&bytes).unwrap();
+        let (mut f, _) = engine_with_collector();
+        f.set_disorder_tolerance("readings", Duration::from_millis(100))
+            .unwrap();
+        f.restore(&ck).unwrap();
+        let dead: Vec<&DeadLetter> = f.dead_letters().collect();
+        assert_eq!(dead.len(), 2);
+        assert_eq!(dead[0].reason, RejectReason::Late);
+        assert_eq!(dead[1].reason, RejectReason::Malformed);
+        assert_eq!(dead[1].values, vec![Value::Int(1)]);
     }
 }

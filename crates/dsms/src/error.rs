@@ -20,6 +20,10 @@ pub enum DsmsError {
     TupleShape(String),
     /// Out-of-order arrival beyond the engine's tolerance.
     OutOfOrder(String),
+    /// A watermark that regresses below the high-water mark already
+    /// proven to the engine. Accepting it would un-prove order that
+    /// downstream operators have acted on, so it is rejected and counted.
+    StaleWatermark(String),
     /// Query construction failure (invalid plan).
     Plan(String),
     /// Parse error from the language front-end (carried through so every
@@ -65,6 +69,10 @@ impl DsmsError {
     pub fn parse(msg: impl Into<String>) -> Self {
         DsmsError::Parse(msg.into())
     }
+    /// Stale (regressing) watermark error.
+    pub fn stale_watermark(msg: impl Into<String>) -> Self {
+        DsmsError::StaleWatermark(msg.into())
+    }
     /// Checkpoint error.
     pub fn ckpt(msg: impl Into<String>) -> Self {
         DsmsError::Checkpoint(msg.into())
@@ -86,6 +94,7 @@ impl fmt::Display for DsmsError {
             DsmsError::Eval(m) => write!(f, "evaluation error: {m}"),
             DsmsError::TupleShape(m) => write!(f, "malformed tuple: {m}"),
             DsmsError::OutOfOrder(m) => write!(f, "out-of-order arrival: {m}"),
+            DsmsError::StaleWatermark(m) => write!(f, "stale watermark: {m}"),
             DsmsError::Plan(m) => write!(f, "plan error: {m}"),
             DsmsError::Parse(m) => write!(f, "parse error: {m}"),
             DsmsError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),

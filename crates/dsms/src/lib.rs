@@ -69,7 +69,10 @@ pub mod prelude {
     pub use crate::agg::{Aggregate, AggregateRegistry, ClosureUda};
     pub use crate::ckpt::{EngineCheckpoint, StateNode, CHECKPOINT_VERSION};
     pub use crate::driver::{EngineDriver, EngineInput};
-    pub use crate::engine::{Collector, DeadLetter, Engine, QueryId, QueryStats, Sink, StreamInfo};
+    pub use crate::engine::{
+        Collector, Consistency, DeadLetter, Engine, QueryId, QueryStats, RejectReason, Sink,
+        StreamInfo,
+    };
     pub use crate::error::{DsmsError, Result};
     pub use crate::expr::{BinOp, Expr, FunctionRegistry, LikePattern};
     pub use crate::fault::{Fault, FaultPlan};
@@ -83,7 +86,7 @@ pub mod prelude {
     };
     pub use crate::ops::{
         AggSpec, AggWindow, BinaryJoin, Chain, Dedup, Emission, OpReport, Operator, Project,
-        Select, SemiJoinKind, WindowAggregate, WindowExists,
+        Select, SemiJoinKind, SpeculativeGate, WindowAggregate, WindowExists,
     };
     pub use crate::schema::{Column, Schema, SchemaRef};
     pub use crate::shard::{
@@ -96,7 +99,7 @@ pub mod prelude {
     pub use crate::trace::{
         chrome_trace_json, FlightRecorder, LatencyStamps, TraceEvent, TraceKind,
     };
-    pub use crate::tuple::{StreamItem, Tuple};
+    pub use crate::tuple::{Sign, StreamItem, Tuple};
     pub use crate::value::{Value, ValueType};
     pub use crate::window::{WindowBuffer, WindowExtent};
 }

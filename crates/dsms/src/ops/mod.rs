@@ -15,6 +15,7 @@ mod join;
 mod project;
 mod select;
 mod shared;
+mod speculative;
 
 pub use aggregate::{AggSpec, AggWindow, Emission, WindowAggregate};
 pub use dedup::Dedup;
@@ -23,6 +24,7 @@ pub use join::BinaryJoin;
 pub use project::Project;
 pub use select::Select;
 pub use shared::{SharedCore, SharedCoreRef, SharedTap};
+pub use speculative::SpeculativeGate;
 
 use crate::ckpt::StateNode;
 use crate::error::{DsmsError, Result};

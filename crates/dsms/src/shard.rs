@@ -32,17 +32,17 @@
 
 use crate::ckpt::EngineCheckpoint;
 use crate::driver::{BatchItem, EngineDriver, EngineInput, Tap};
-use crate::engine::{Collector, Engine};
+use crate::engine::{Collector, DeadLetter, Engine, RejectReason};
 use crate::error::{DsmsError, Result};
 use crate::hash::FnvBuildHasher;
 use crate::journal::Journal;
 use crate::obs::{Counter, Gauge, Histogram, MetricValue, MetricsSnapshot, Registry};
-use crate::time::Timestamp;
+use crate::time::{Duration, Timestamp};
 use crate::trace::{FlightRecorder, LatencyStamps, TraceEvent, TraceKind};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -65,6 +65,20 @@ const ADVANCE_STREAM: &str = "\u{1}advance";
 /// before giving up — a shard that dies again immediately after every
 /// recovery is a deterministic fault, not transient.
 const MAX_FLUSH_RESTARTS: usize = 4;
+
+/// Router dead-letter retention (same bound as the engine's buffer).
+const ROUTER_DEAD_CAP: usize = 256;
+
+/// Router-side bounded-disorder state for one stream. Order is restored
+/// *at the router*, before rows are routed: shard engines then see
+/// in-order streams and the cause-ordered merge reproduces the
+/// single-engine output exactly — disorder never reaches the workers.
+struct RouterReorder {
+    slack: Duration,
+    max_seen: Timestamp,
+    /// `(event time, arrival number) -> row`, released in key order.
+    pending: BTreeMap<(Timestamp, u64), Vec<Value>>,
+}
 
 /// How a stream's tuples travel to shards.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -301,8 +315,20 @@ pub struct ShardedEngine {
     ckpts: Vec<Option<(u64, Vec<u8>)>>,
     /// Most recent captured panic per shard (survives restarts).
     last_panics: Vec<Option<String>>,
+    /// Router-level bounded-disorder buffers, keyed by stream (lower).
+    reorder: HashMap<String, RouterReorder>,
+    /// Monotone arrival number tie-breaking equal event times in the
+    /// reorder buffers (arrival order, like the engine's seq).
+    reorder_seq: u64,
+    /// Newest event time already released from the reorder buffers —
+    /// arrivals behind it are late beyond slack.
+    reorder_released: Timestamp,
+    /// Router-side dead letters (late arrivals rejected before routing).
+    dead: VecDeque<DeadLetter>,
     obs: Registry,
     routed: Vec<Counter>,
+    late: Counter,
+    stale: Counter,
     broadcasts: Counter,
     merge_lag: Gauge,
     checkpoints: Counter,
@@ -336,6 +362,8 @@ impl ShardedEngine {
         }
         let setup: Setup = Arc::new(setup);
         let obs = Registry::new();
+        let late = obs.counter("eslev_late_tuples_total", &[]);
+        let stale = obs.counter("eslev_stale_watermarks_total", &[]);
         let broadcasts = obs.counter("eslev_shard_broadcast_total", &[]);
         let merge_lag = obs.gauge("eslev_shard_merge_lag", &[]);
         let checkpoints = obs.counter("eslev_checkpoints_total", &[]);
@@ -407,8 +435,14 @@ impl ShardedEngine {
             journals: (0..shards).map(|_| Journal::new()).collect(),
             ckpts: vec![None; shards],
             last_panics: vec![None; shards],
+            reorder: HashMap::new(),
+            reorder_seq: 0,
+            reorder_released: Timestamp::ZERO,
+            dead: VecDeque::new(),
             obs,
             routed,
+            late,
+            stale,
             broadcasts,
             merge_lag,
             checkpoints,
@@ -540,10 +574,165 @@ impl ShardedEngine {
 
     /// Route one row: hash-partition keyed streams (broadcasting the
     /// tuple's timestamp to the other shards as a watermark), replicate
-    /// broadcast streams everywhere.
+    /// broadcast streams everywhere. Streams with a router-level
+    /// disorder tolerance ([`ShardedEngine::set_disorder_tolerance`])
+    /// are buffered and released in event-time order first.
     pub fn push(&mut self, stream: &str, values: Vec<Value>) -> Result<()> {
         let lower = stream.to_ascii_lowercase();
+        if self.reorder.contains_key(&lower) {
+            return self.push_disordered(lower, values);
+        }
+        self.route_now(&lower, values)
+    }
+
+    /// Tolerate out-of-order arrivals on a stream up to `slack`, at the
+    /// router. The router assumes globally time-ordered feeds; this
+    /// buffers a disordered stream *before* routing, so shard engines
+    /// and the watermark broadcast still see the ordered discipline they
+    /// rely on. Arrivals behind what has already been released are
+    /// counted and dead-lettered at the router
+    /// ([`ShardedEngine::dead_letters`]).
+    pub fn set_disorder_tolerance(&mut self, stream: &str, slack: Duration) -> Result<()> {
+        let lower = stream.to_ascii_lowercase();
         let route = self.route_for(&lower)?;
+        if route.time_col.is_none() {
+            return Err(DsmsError::schema(format!(
+                "stream `{stream}` has no timestamp column to reorder by"
+            )));
+        }
+        self.reorder.insert(
+            lower,
+            RouterReorder {
+                slack,
+                max_seen: Timestamp::ZERO,
+                pending: BTreeMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Buffer one row for a disorder-tolerant stream, then release
+    /// everything the (global, min-across-streams) slack bound proves
+    /// ordered, merged across streams in `(ts, arrival)` order.
+    fn push_disordered(&mut self, lower: String, values: Vec<Value>) -> Result<()> {
+        let route = self.route_for(&lower)?;
+        let ts = route
+            .time_col
+            .and_then(|i| values.get(i).and_then(Value::as_ts))
+            .ok_or_else(|| {
+                DsmsError::schema(format!("stream `{lower}` row has no usable timestamp"))
+            })?;
+        if ts < self.reorder_released {
+            self.late.inc();
+            let err = DsmsError::OutOfOrder(format!(
+                "stream `{lower}` tuple at {} is behind the released frontier {} (slack exceeded)",
+                ts, self.reorder_released
+            ));
+            if self.dead.len() == ROUTER_DEAD_CAP {
+                self.dead.pop_front();
+            }
+            self.dead.push_back(DeadLetter {
+                stream: lower,
+                values,
+                reason: RejectReason::Late,
+                error: err.to_string(),
+            });
+            return Ok(());
+        }
+        let seq = self.reorder_seq;
+        self.reorder_seq += 1;
+        let r = self.reorder.get_mut(&lower).expect("checked by caller");
+        r.max_seen = r.max_seen.max(ts);
+        r.pending.insert((ts, seq), values);
+        self.release_ready()
+    }
+
+    /// Route every buffered row at or below the global release bound.
+    fn release_ready(&mut self) -> Result<()> {
+        let Some(bound) = self
+            .reorder
+            .values()
+            .map(|r| r.max_seen.saturating_sub(r.slack))
+            .min()
+        else {
+            return Ok(());
+        };
+        let mut ready: Vec<((Timestamp, u64), String, Vec<Value>)> = Vec::new();
+        for (name, r) in self.reorder.iter_mut() {
+            while let Some(first) = r.pending.first_entry() {
+                if first.key().0 <= bound {
+                    let k = *first.key();
+                    ready.push((k, name.clone(), first.remove()));
+                } else {
+                    break;
+                }
+            }
+        }
+        ready.sort_by_key(|(k, _, _)| *k);
+        for (k, name, values) in ready {
+            self.reorder_released = self.reorder_released.max(k.0);
+            self.route_now(&name, values)?;
+        }
+        Ok(())
+    }
+
+    /// Drain every buffered out-of-order row (end of feed), merged
+    /// across streams in `(ts, arrival)` order.
+    pub fn flush_disorder(&mut self) -> Result<()> {
+        let mut ready: Vec<((Timestamp, u64), String, Vec<Value>)> = Vec::new();
+        for (name, r) in self.reorder.iter_mut() {
+            let pending = std::mem::take(&mut r.pending);
+            ready.extend(pending.into_iter().map(|(k, v)| (k, name.clone(), v)));
+        }
+        ready.sort_by_key(|(k, _, _)| *k);
+        for (k, name, values) in ready {
+            self.reorder_released = self.reorder_released.max(k.0);
+            self.route_now(&name, values)?;
+        }
+        Ok(())
+    }
+
+    /// Strict external watermark: a timestamp behind the router's
+    /// broadcast high-water mark is a protocol violation — counted and
+    /// rejected as [`DsmsError::StaleWatermark`] rather than silently
+    /// broadcast for every shard engine to swallow.
+    pub fn advance_watermark(&mut self, ts: Timestamp) -> Result<()> {
+        let hi = self.sent_marks.high_water();
+        if ts < hi {
+            self.stale.inc();
+            return Err(DsmsError::stale_watermark(format!(
+                "watermark {ts} regresses behind the broadcast high-water {hi}"
+            )));
+        }
+        self.advance_to(ts)
+    }
+
+    /// Rows rejected as late beyond the router's disorder slack.
+    pub fn late_tuples(&self) -> u64 {
+        self.late.get()
+    }
+
+    /// Watermarks rejected for regressing behind the broadcast frontier.
+    pub fn stale_watermarks(&self) -> u64 {
+        self.stale.get()
+    }
+
+    /// Every dead letter in the system, oldest first per origin: router
+    /// rejections (late beyond slack, shard `None`) followed by each
+    /// shard engine's buffer (malformed rows, tagged with its index).
+    pub fn dead_letters(&self) -> Result<Vec<(Option<usize>, DeadLetter)>> {
+        let mut out: Vec<(Option<usize>, DeadLetter)> =
+            self.dead.iter().cloned().map(|d| (None, d)).collect();
+        let per_shard =
+            self.exec_all(|e| e.dead_letters().cloned().collect::<Vec<DeadLetter>>())?;
+        for (i, letters) in per_shard.into_iter().enumerate() {
+            out.extend(letters.into_iter().map(move |d| (Some(i), d)));
+        }
+        Ok(out)
+    }
+
+    fn route_now(&mut self, lower: &str, values: Vec<Value>) -> Result<()> {
+        let route = self.route_for(lower)?;
         let cause = self.next_cause;
         self.next_cause += 1;
         if LatencyStamps::sampled(cause) {
@@ -555,7 +744,7 @@ impl ShardedEngine {
         match &route.rule {
             RouteRule::Key(cols) => {
                 let target = self.shard_for(&values, cols);
-                self.journal_push(target, &lower, values, cause)?;
+                self.journal_push(target, lower, values, cause)?;
                 self.routed[target].inc();
                 if let Some(ts) = ts {
                     self.sent_marks.advance(target, ts);
@@ -570,7 +759,7 @@ impl ShardedEngine {
             }
             RouteRule::Broadcast => {
                 for j in 0..self.shards() {
-                    self.journal_push(j, &lower, values.clone(), cause)?;
+                    self.journal_push(j, lower, values.clone(), cause)?;
                     if let Some(ts) = ts {
                         self.sent_marks.advance(j, ts);
                     }
@@ -601,6 +790,15 @@ impl ShardedEngine {
         &mut self,
         rows: impl IntoIterator<Item = (String, Vec<Value>)>,
     ) -> Result<()> {
+        if !self.reorder.is_empty() {
+            // Disorder-tolerant streams need the reorder buffer's release
+            // discipline row by row; batching is a transport optimisation
+            // that assumes ordered input.
+            for (stream, values) in rows {
+                self.push(&stream, values)?;
+            }
+            return Ok(());
+        }
         let coalesce = self.coalesce_marks.load(Ordering::Relaxed);
         let shards = self.shards();
         let mut per_shard: Vec<Vec<BatchItem>> = (0..shards).map(|_| Vec::new()).collect();
@@ -1237,6 +1435,13 @@ impl ShardedEngine {
             &[],
             MetricValue::Gauge(lag_ms as i64),
         );
+        for (name, r) in &self.reorder {
+            snap.push(
+                "eslev_reorder_depth",
+                &[("stream", name.as_str())],
+                MetricValue::Gauge(r.pending.len() as i64),
+            );
+        }
         for (i, d) in self.drivers.iter().enumerate() {
             snap.absorb_labeled(d.metrics(), "shard", &i.to_string());
         }

@@ -322,6 +322,19 @@ impl Table {
         }
         Ok(removed)
     }
+
+    /// Remove the most recently inserted row whose values equal
+    /// `values` — the retraction path of fast-consistency table sinks.
+    /// Returns whether a row was removed.
+    pub fn delete_row(&self, values: &[Value]) -> Result<bool> {
+        let mut inner = self.inner.write();
+        let Some(pos) = inner.rows.iter().rposition(|r| r.values() == values) else {
+            return Ok(false);
+        };
+        inner.rows.remove(pos);
+        self.rebuild_indexes(&mut inner);
+        Ok(true)
+    }
 }
 
 #[cfg(test)]

@@ -13,12 +13,35 @@ use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
 
+/// Polarity of a tuple: a normal insertion, or a retraction that
+/// withdraws a previously emitted tuple.
+///
+/// Retractions exist for *fast*-consistency queries
+/// ([`crate::engine::Consistency::Fast`]): under out-of-order input they
+/// emit speculatively, and when a late arrival invalidates prior output
+/// the engine issues a `Retract`-signed copy of each invalidated tuple
+/// followed by the corrected results. Queries at the default
+/// `Consistent` level never see or produce retractions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sign {
+    /// A normal output tuple.
+    #[default]
+    Insert,
+    /// Withdraws the previously emitted tuple with the same values,
+    /// timestamp and sequence number.
+    Retract,
+}
+
 /// One immutable stream row.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tuple {
     values: Arc<[Value]>,
     ts: Timestamp,
     seq: u64,
+    sign: Sign,
+    /// Speculation revision that produced this tuple (0 for ordinary
+    /// tuples; bumped each time a fast query recomputes after disorder).
+    revision: u64,
 }
 
 impl Tuple {
@@ -32,6 +55,8 @@ impl Tuple {
             values: values.into(),
             ts,
             seq,
+            sign: Sign::Insert,
+            revision: 0,
         }
     }
 
@@ -54,6 +79,8 @@ impl Tuple {
             values: t.values,
             ts,
             seq,
+            sign: t.sign,
+            revision: t.revision,
         })
     }
 
@@ -133,10 +160,72 @@ impl Tuple {
     pub fn after(&self, other: &Tuple) -> bool {
         self.order_key() > other.order_key()
     }
+
+    /// The tuple's polarity (insert or retract).
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Speculation revision that produced this tuple (0 for ordinary,
+    /// non-speculative tuples).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// `true` when this tuple withdraws a previously emitted one.
+    pub fn is_retraction(&self) -> bool {
+        self.sign == Sign::Retract
+    }
+
+    /// A `Retract`-signed copy of this tuple: same values, timestamp and
+    /// sequence number, stamped with the speculation revision that
+    /// invalidated the original.
+    pub fn retraction_of(&self, revision: u64) -> Tuple {
+        Tuple {
+            values: self.values.clone(),
+            ts: self.ts,
+            seq: self.seq,
+            sign: Sign::Retract,
+            revision,
+        }
+    }
+
+    /// A copy of this tuple stamped with a speculation revision (sign
+    /// unchanged). Used when a fast query re-emits corrected output.
+    pub fn at_revision(&self, revision: u64) -> Tuple {
+        Tuple {
+            values: self.values.clone(),
+            ts: self.ts,
+            seq: self.seq,
+            sign: self.sign,
+            revision,
+        }
+    }
+
+    /// Rebuild a tuple with an explicit sign and revision — the
+    /// checkpoint decoder's constructor for signed tuples.
+    pub fn with_sign(
+        values: Vec<Value>,
+        ts: Timestamp,
+        seq: u64,
+        sign: Sign,
+        revision: u64,
+    ) -> Tuple {
+        Tuple {
+            values: values.into(),
+            ts,
+            seq,
+            sign,
+            revision,
+        }
+    }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_retraction() {
+            write!(f, "-")?;
+        }
         write!(f, "(")?;
         for (i, v) in self.values.iter().enumerate() {
             if i > 0 {
@@ -251,6 +340,22 @@ mod tests {
         assert!(b.after(&a));
         assert!(!a.after(&b));
         assert!(!a.after(&a));
+    }
+
+    #[test]
+    fn retraction_shares_values_and_flips_sign() {
+        let t = Tuple::new(vec![Value::str("x")], Timestamp::from_secs(3), 9);
+        assert_eq!(t.sign(), Sign::Insert);
+        assert_eq!(t.revision(), 0);
+        assert!(!t.is_retraction());
+        let r = t.retraction_of(2);
+        assert!(r.is_retraction());
+        assert_eq!(r.revision(), 2);
+        assert_eq!(r.ts(), t.ts());
+        assert_eq!(r.seq(), t.seq());
+        assert!(Arc::ptr_eq(&t.values, &r.values));
+        assert_ne!(t, r);
+        assert!(r.to_string().starts_with('-'), "{r}");
     }
 
     #[test]

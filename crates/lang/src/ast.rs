@@ -8,6 +8,7 @@
 //! cross-sub-query windows of Example 8).
 
 use eslev_core::mode::PairingMode;
+use eslev_dsms::engine::Consistency;
 use eslev_dsms::time::Duration;
 use eslev_dsms::value::{Value, ValueType};
 use std::fmt;
@@ -73,6 +74,10 @@ pub struct SelectStmt {
     pub order_by: Vec<(AstExpr, bool)>,
     /// LIMIT row count (ad-hoc only).
     pub limit: Option<usize>,
+    /// `CONSISTENCY FAST | CONSISTENT` — the emission discipline under
+    /// out-of-order input (default: consistent, i.e. block until the
+    /// watermark proves order; fast emits speculatively and retracts).
+    pub consistency: Option<Consistency>,
 }
 
 /// One select-list entry.

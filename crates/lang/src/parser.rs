@@ -22,6 +22,7 @@
 use crate::ast::*;
 use crate::token::{lex, Token, TokenKind};
 use eslev_core::mode::PairingMode;
+use eslev_dsms::engine::Consistency;
 use eslev_dsms::error::{DsmsError, Result};
 use eslev_dsms::time::Duration;
 use eslev_dsms::value::{Value, ValueType};
@@ -324,6 +325,17 @@ impl Parser {
         } else {
             None
         };
+        let consistency = if self.eat_kw("consistency") {
+            if self.eat_kw("fast") {
+                Some(Consistency::Fast)
+            } else if self.eat_kw("consistent") {
+                Some(Consistency::Consistent)
+            } else {
+                return Err(DsmsError::parse("CONSISTENCY expects FAST or CONSISTENT"));
+            }
+        } else {
+            None
+        };
         Ok(SelectStmt {
             items,
             from,
@@ -331,6 +343,7 @@ impl Parser {
             group_by,
             order_by,
             limit,
+            consistency,
         })
     }
 
@@ -1146,5 +1159,27 @@ mod tests {
     fn star_agg_projection_rules() {
         assert!(parse_statement("SELECT FIRST(a*) FROM a, b WHERE SEQ(a*, b)").is_err());
         assert!(parse_statement("SELECT COUNT(a*).x FROM a, b WHERE SEQ(a*, b)").is_err());
+    }
+
+    #[test]
+    fn consistency_clause() {
+        let Statement::Select(sel) =
+            parse_statement("SELECT tag_id FROM readings CONSISTENCY FAST").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(sel.consistency, Some(Consistency::Fast));
+        let Statement::Select(sel) =
+            parse_statement("SELECT tag_id FROM readings WHERE x > 1 CONSISTENCY CONSISTENT")
+                .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(sel.consistency, Some(Consistency::Consistent));
+        let Statement::Select(sel) = parse_statement("SELECT tag_id FROM readings").unwrap() else {
+            panic!()
+        };
+        assert_eq!(sel.consistency, None);
+        assert!(parse_statement("SELECT tag_id FROM readings CONSISTENCY eventually").is_err());
     }
 }

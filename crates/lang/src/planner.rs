@@ -29,7 +29,7 @@ use eslev_core::binding::DetectorOutput;
 use eslev_core::detector::{Detector, DetectorConfig};
 use eslev_core::op::DetectorOp;
 use eslev_core::pattern::{Element, EventWindow, SeqPattern, WindowKind};
-use eslev_dsms::engine::{Collector, Engine, QueryId, Sink};
+use eslev_dsms::engine::{Collector, Consistency, Engine, QueryId, Sink};
 use eslev_dsms::error::{DsmsError, Result};
 use eslev_dsms::expr::Expr;
 use eslev_dsms::lookup::TableExists;
@@ -378,6 +378,16 @@ pub fn register_with_sink(engine: &mut Engine, sql: &str, sink: Sink) -> Result<
 /// registry when the engine has shared execution enabled.
 fn register_select(engine: &mut Engine, sel: &SelectStmt, sink: Sink) -> Result<QueryId> {
     let (_, optimized, _) = plan_logical(engine, sel)?;
+    let consistency = sel.consistency.unwrap_or_default();
+    if consistency == Consistency::Fast {
+        // A fast query's operator tree is wrapped in a speculative gate
+        // whose retraction state is private to the query — it cannot
+        // attach to a shared chain, whose core runs once for all
+        // subscribers at the consistent level.
+        let plan = lower(engine, sel, optimized)?;
+        let sources: Vec<&str> = plan.sources.iter().map(|s| s.as_str()).collect();
+        return engine.register_query_with(plan.name, sources, plan.op, sink, consistency);
+    }
     if engine.shared_execution() {
         let fp = crate::fingerprint::shared_fingerprint(sel, &optimized);
         let split = lower_with(engine, sel, optimized, true)?;

@@ -1,0 +1,206 @@
+//! Seeded out-of-order perturbation for replay feeds.
+//!
+//! The scenario generators emit globally time-ordered feeds — the shape a
+//! well-behaved RFID middleware layer would deliver. Real deployments are
+//! messier: per-reader buffering, batched uploads, and network retries
+//! reorder observations by a bounded amount. This module simulates that
+//! *bounded disorder* deterministically so the engine's reorder buffer and
+//! speculative/consistent emission paths can be exercised end to end.
+//!
+//! The model: each event-time instant draws a delivery delay in
+//! `[0, max_delay]` from a seeded hash of its timestamp, and the feed is
+//! stably re-sorted by *arrival time* (`ts + delay`). Two invariants follow:
+//!
+//! 1. **Bounded**: no tuple arrives more than `max_delay` after a tuple
+//!    with a later event time, so a reorder slack of `max_delay` is always
+//!    sufficient to restore order with zero late drops.
+//! 2. **Tie-preserving**: the delay is keyed by the timestamp alone (not
+//!    the row), so equal-timestamp tuples share one delay and the stable
+//!    sort keeps their original relative order. The engine breaks
+//!    timestamp ties by arrival sequence, so a disordered replay restored
+//!    through the reorder buffer reproduces the in-order run *byte for
+//!    byte* — which is exactly what the differential tests assert.
+
+use eslev_dsms::time::{Duration, Timestamp};
+use eslev_dsms::value::Value;
+
+use crate::reading::FeedItem;
+
+/// splitmix64 finalizer — full-avalanche 64-bit mixer, good enough to
+/// decorrelate adjacent timestamps without carrying RNG state.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Deterministic delivery delay for the event-time instant `ts`.
+///
+/// Keyed by `(seed, ts)` only — every tuple stamped `ts` gets the same
+/// delay, which is what preserves equal-timestamp arrival order.
+pub fn delay_for(seed: u64, ts: Timestamp, max_delay: Duration) -> Duration {
+    if max_delay.as_micros() == 0 {
+        return Duration::from_micros(0);
+    }
+    Duration::from_micros(
+        mix(seed ^ ts.as_micros().wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            % (max_delay.as_micros() + 1),
+    )
+}
+
+/// Stably sort `items` by simulated arrival time, producing a feed with
+/// bounded disorder (see module docs). `max_delay == 0` is the identity.
+pub fn perturb(items: Vec<FeedItem>, seed: u64, max_delay: Duration) -> Vec<FeedItem> {
+    let mut keyed: Vec<(Timestamp, usize, FeedItem)> = items
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let arrival =
+                item.reading
+                    .ts
+                    .saturating_add(delay_for(seed, item.reading.ts, max_delay));
+            (arrival, i, item)
+        })
+        .collect();
+    keyed.sort_by_key(|(arrival, i, _)| (*arrival, *i));
+    keyed.into_iter().map(|(_, _, item)| item).collect()
+}
+
+/// [`perturb`] for raw engine rows: the event time is the first
+/// [`Value::Ts`] column in each row. Rows without a timestamp column keep
+/// their position's original timestamp slot at `Timestamp::from_micros(0)`
+/// (delay 0 for seed purposes) so they stay near the front.
+pub fn perturb_rows(
+    rows: Vec<(String, Vec<Value>)>,
+    seed: u64,
+    max_delay: Duration,
+) -> Vec<(String, Vec<Value>)> {
+    let mut keyed: Vec<(Timestamp, usize, (String, Vec<Value>))> = rows
+        .into_iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let ts = row
+                .1
+                .iter()
+                .find_map(|v| match v {
+                    Value::Ts(t) => Some(*t),
+                    _ => None,
+                })
+                .unwrap_or(Timestamp::from_micros(0));
+            let arrival = ts.saturating_add(delay_for(seed, ts, max_delay));
+            (arrival, i, row)
+        })
+        .collect();
+    keyed.sort_by_key(|(arrival, i, _)| (*arrival, *i));
+    keyed.into_iter().map(|(_, _, row)| row).collect()
+}
+
+/// How far the perturbed feed strays from event-time order: the maximum
+/// over all positions of `running_max_ts - ts` — i.e. the smallest reorder
+/// slack that admits every tuple with zero late drops.
+pub fn observed_disorder(items: &[FeedItem]) -> Duration {
+    let mut max_seen = Timestamp::from_micros(0);
+    let mut worst = 0u64;
+    for item in items {
+        let ts = item.reading.ts;
+        if ts > max_seen {
+            max_seen = ts;
+        } else {
+            worst = worst.max(max_seen.as_micros() - ts.as_micros());
+        }
+    }
+    Duration::from_micros(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reading::Reading;
+
+    fn feed(n: u64) -> Vec<FeedItem> {
+        (0..n)
+            .map(|i| FeedItem {
+                stream: "readings".into(),
+                reading: Reading::new("r1", format!("t{i}"), Timestamp::from_millis(i * 250)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_delay_is_identity() {
+        let items = feed(50);
+        let out = perturb(items.clone(), 7, Duration::from_micros(0));
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_and_bounded() {
+        let items = feed(400);
+        let a = perturb(items.clone(), 42, Duration::from_secs(2));
+        let b = perturb(items.clone(), 42, Duration::from_secs(2));
+        assert_eq!(a, b, "same seed must reproduce the same arrival order");
+        assert_ne!(a, items, "a 2s delay over 250ms spacing must reorder");
+        assert!(observed_disorder(&a) <= Duration::from_secs(2));
+
+        let c = perturb(items, 43, Duration::from_secs(2));
+        assert_ne!(a, c, "different seeds should disagree somewhere");
+    }
+
+    #[test]
+    fn perturbation_is_a_permutation() {
+        let items = feed(300);
+        let mut orig: Vec<String> = items.iter().map(|i| i.reading.tag.clone()).collect();
+        let mut got: Vec<String> = perturb(items, 9, Duration::from_secs(4))
+            .iter()
+            .map(|i| i.reading.tag.clone())
+            .collect();
+        orig.sort();
+        got.sort();
+        assert_eq!(orig, got);
+    }
+
+    #[test]
+    fn equal_timestamps_keep_relative_order() {
+        let mut items = Vec::new();
+        for burst in 0..40u64 {
+            for k in 0..3u64 {
+                items.push(FeedItem {
+                    stream: "readings".into(),
+                    reading: Reading::new(
+                        "r1",
+                        format!("b{burst}k{k}"),
+                        Timestamp::from_secs(burst),
+                    ),
+                });
+            }
+        }
+        let out = perturb(items, 5, Duration::from_secs(3));
+        // Within each timestamp, k must still run 0,1,2.
+        let mut last: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for item in &out {
+            let ts = item.reading.ts.as_micros();
+            let k: u64 = item.reading.tag.split('k').nth(1).unwrap().parse().unwrap();
+            if let Some(prev) = last.insert(ts, k) {
+                assert!(prev < k, "tie order broken at ts={ts}: {prev} then {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn perturb_rows_matches_perturb() {
+        let items = feed(200);
+        let rows: Vec<(String, Vec<Value>)> = items
+            .iter()
+            .map(|i| (i.stream.clone(), i.reading.to_values()))
+            .collect();
+        let out_items = perturb(items, 11, Duration::from_secs(1));
+        let out_rows = perturb_rows(rows, 11, Duration::from_secs(1));
+        for (item, (stream, values)) in out_items.iter().zip(&out_rows) {
+            assert_eq!(&item.stream, stream);
+            assert_eq!(&item.reading.to_values(), values);
+        }
+    }
+}

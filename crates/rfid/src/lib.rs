@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod disorder;
 pub mod epc;
 pub mod epc_pattern;
 pub mod reader;
@@ -23,6 +24,7 @@ pub mod scenario;
 
 /// One-stop imports for the RFID substrate.
 pub mod prelude {
+    pub use crate::disorder::{delay_for, observed_disorder, perturb, perturb_rows};
     pub use crate::epc::{register_epc_udfs, Epc};
     pub use crate::epc_pattern::{register_epc_match_udf, EpcPattern, FieldPattern};
     pub use crate::reader::{ReaderProfile, SimReader};

@@ -14,7 +14,9 @@ use eslev_dsms::engine::QueryStats;
 use std::fmt::Write as _;
 
 /// The engine behind the shell: one inline engine, or a shard router in
-/// front of N worker-thread engines.
+/// front of N worker-thread engines. One lives per shell, so the size
+/// skew between the variants costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum Backend {
     Single(Engine),
     Sharded(ShardedEngine),
@@ -412,6 +414,7 @@ impl Repl {
                     "SHARDS" => Some(self.show_shards()),
                     "SHARED" => Some(self.show_shared()),
                     "RECOVERY" => Some(self.show_recovery()),
+                    "REJECTED" => Some(self.show_rejected()),
                     _ => None,
                 }
             }
@@ -640,6 +643,46 @@ impl Repl {
         out
     }
 
+    /// Render `SHOW REJECTED`: the bounded dead-letter buffer — rows
+    /// rejected at ingest, tagged `malformed` (schema violation) or
+    /// `late` (behind the disorder slack). Sharded mode merges the
+    /// router's own rejections with every shard engine's buffer.
+    fn show_rejected(&self) -> String {
+        let letters: Vec<(Option<usize>, DeadLetter)> = match &self.backend {
+            Backend::Single(e) => e.dead_letters().map(|d| (None, d.clone())).collect(),
+            Backend::Sharded(se) => match se.dead_letters() {
+                Ok(ls) => ls,
+                Err(e) => return format!("error: {e}"),
+            },
+        };
+        if letters.is_empty() {
+            return "no rejected rows (buffer keeps the newest 256).\n".to_string();
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} rejected row(s), oldest first (buffer keeps the newest 256):",
+            letters.len()
+        );
+        for (shard, d) in &letters {
+            let origin = match shard {
+                None => "-".to_string(),
+                Some(i) => i.to_string(),
+            };
+            let row: Vec<String> = d.values.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "shard {:<3} stream {:<16} reason {:<9} [{}]  {}",
+                origin,
+                d.stream,
+                d.reason.to_string(),
+                row.join(", "),
+                d.error
+            );
+        }
+        out
+    }
+
     /// Render `CHECKPOINT`: snapshot every stateful operator (and, when
     /// sharded, truncate the replayed journal prefix).
     fn run_checkpoint(&mut self) -> String {
@@ -757,6 +800,23 @@ impl Repl {
                     }
                 },
                 _ => "usage: .materialize <stream> <seconds>".to_string(),
+            },
+            "tolerate" => match (args.first(), args.get(1).and_then(|s| s.parse::<f64>().ok())) {
+                (Some(stream), Some(secs)) if secs >= 0.0 => {
+                    let slack = Duration::from_micros((secs * 1_000_000.0) as u64);
+                    let res = match &mut self.backend {
+                        Backend::Single(engine) => engine.set_disorder_tolerance(stream, slack),
+                        Backend::Sharded(se) => se.set_disorder_tolerance(stream, slack),
+                    };
+                    match res {
+                        Ok(()) => format!(
+                            "`{stream}` now tolerates {secs} s of disorder; \
+                             late-beyond-slack rows land in SHOW REJECTED"
+                        ),
+                        Err(e) => format!("error: {e}"),
+                    }
+                }
+                _ => "usage: .tolerate <stream> <seconds>".to_string(),
             },
             "poll" => {
                 let idx = args.first().and_then(|s| s.parse::<usize>().ok());
@@ -1160,6 +1220,7 @@ const HELP: &str = r#"ESL-EV shell:
   SHOW STREAMS               per-stream push counts and stream time
   SHOW SHARDS                per-shard routing and progress (with --shards N)
   SHOW SHARED                shared subplan chains and subscribers (with --share)
+  SHOW REJECTED              dead-lettered rows (malformed / late-beyond-slack)
   EXPLAIN <query>            per-operator counters and sampled latencies
   EXPLAIN <SQL statement>    logical plan, applied rewrites, physical summary
   EXPLAIN ANALYZE <sql|name> optimized plan annotated with live runtime
@@ -1170,6 +1231,8 @@ const HELP: &str = r#"ESL-EV shell:
                              dedup | packing | clinic | door | qc | tracking | vitals
   .advance <seconds>         advance stream time (fires window expirations)
   .materialize <stream> <s>  keep the last <s> seconds queryable via ?SELECT
+  .tolerate <stream> <s>     reorder out-of-order arrivals up to <s> seconds;
+                             later rows go to SHOW REJECTED as late
   .poll [i]                  drain collected rows of query i (or list all)
   .stats                     per-query emitted/retained counters
   .metrics [prom|json]       full metrics snapshot (Prometheus text or JSON)
@@ -1424,6 +1487,107 @@ mod tests {
         let mut r = Repl::new();
         let out = r.line("SHOW SHARDS;");
         assert!(out.contains("--shards"), "{out}");
+    }
+
+    #[test]
+    fn show_rejected_lists_dead_letters_with_reasons() {
+        let mut r = Repl::new();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        let out = r.line("SHOW REJECTED;");
+        assert!(out.contains("no rejected rows"), "{out}");
+        if let Backend::Single(e) = &mut r.backend {
+            let _ = e.push("readings", vec![Value::Int(1)]);
+            e.set_disorder_tolerance("readings", Duration::from_millis(100))
+                .unwrap();
+            for ms in [1000u64, 2000] {
+                e.push(
+                    "readings",
+                    vec![
+                        Value::str("r"),
+                        Value::str("t"),
+                        Value::Ts(Timestamp::from_millis(ms)),
+                    ],
+                )
+                .unwrap();
+            }
+            e.push(
+                "readings",
+                vec![
+                    Value::str("r"),
+                    Value::str("too-late"),
+                    Value::Ts(Timestamp::from_millis(10)),
+                ],
+            )
+            .unwrap();
+        }
+        let out = r.line("SHOW REJECTED;");
+        assert!(out.contains("2 rejected"), "{out}");
+        assert!(out.contains("malformed"), "{out}");
+        assert!(out.contains("late"), "{out}");
+    }
+
+    #[test]
+    fn show_rejected_merges_router_and_shard_buffers() {
+        let mut r = Repl::with_shards(2).unwrap();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        if let Backend::Sharded(se) = &mut r.backend {
+            se.set_disorder_tolerance("readings", Duration::from_millis(100))
+                .unwrap();
+            for (ms, tag) in [(1000u64, "a"), (2000, "b")] {
+                se.push(
+                    "readings",
+                    vec![
+                        Value::str("r"),
+                        Value::str(tag),
+                        Value::Ts(Timestamp::from_millis(ms)),
+                    ],
+                )
+                .unwrap();
+            }
+            // Behind the released frontier (1000): rejected at the router.
+            se.push(
+                "readings",
+                vec![
+                    Value::str("r"),
+                    Value::str("too-late"),
+                    Value::Ts(Timestamp::from_millis(10)),
+                ],
+            )
+            .unwrap();
+            se.flush().unwrap();
+            assert_eq!(se.late_tuples(), 1);
+        }
+        let out = r.line("SHOW REJECTED;");
+        assert!(out.contains("1 rejected"), "{out}");
+        assert!(out.contains("late"), "{out}");
+        assert!(out.contains("shard -"), "{out}");
+    }
+
+    #[test]
+    fn tolerate_command_buffers_and_dead_letters_via_repl_surface() {
+        let mut r = Repl::new();
+        r.line("CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);");
+        r.line("SELECT tag_id FROM readings;");
+        assert!(r.line(".tolerate ghost 1").contains("error"));
+        assert!(r.line(".tolerate readings").contains("usage"));
+        let out = r.line(".tolerate readings 1");
+        assert!(out.contains("tolerates"), "{out}");
+        // Out-of-order CSV: 5.0 then 6.0 releases 5.0 (slack 1 s); the
+        // straggler at 1.0 is behind the released frontier → dead letter.
+        let dir = std::env::temp_dir().join("eslev-test-tolerate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disorder.csv");
+        std::fs::write(&path, "gate,tag-a,5.0\ngate,tag-b,6.0\ngate,tag-late,1.0\n").unwrap();
+        let out = r.line(&format!(".feed readings {}", path.display()));
+        assert!(out.contains("fed 3 rows"), "{out}");
+        let out = r.line("SHOW STREAMS");
+        assert!(out.contains("slack="), "{out}");
+        let out = r.line("SHOW REJECTED");
+        assert!(out.contains("late"), "{out}");
+        assert!(out.contains("tag-late"), "{out}");
+        // Only the in-order prefix reached the query; tag-b is buffered.
+        let out = r.line(".poll 0");
+        assert!(out.contains("tag-a") && !out.contains("tag-late"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! Out-of-order ingestion differential suite: the paper's E1 (dedup),
+//! E6 (pairing-mode `SEQ`, all four modes) and E10 (star sequence)
+//! workloads replayed through a seeded bounded-disorder perturbation
+//! ([`perturb_rows`]) and restored by the engine's reorder buffer.
+//!
+//! Assertions:
+//!
+//! * **Consistent level**: with reorder slack ≥ the perturbation bound,
+//!   output is byte-identical to the in-order run — same rows, same
+//!   timestamps, same order — on a single engine and through a
+//!   [`ShardedEngine`] at N ∈ {1, 2, 4, 8}, with zero late drops.
+//! * **Fast level**: speculative emission plus typed retractions
+//!   reconciles to exactly the in-order output, and disorder really
+//!   provokes retractions.
+//! * **Recovery**: killing the engine mid-disorder and restoring from a
+//!   v4 checkpoint (reorder buffer + dead letters included) produces
+//!   the same output as the uninterrupted run.
+//! * **Release order** (property): whatever the arrival order and
+//!   slack, the released rows are a `(ts, arrival)`-sorted permutation
+//!   of exactly the admitted (non-late) rows.
+
+use eslev::prelude::*;
+use eslev::rfid::scenario::{dedup, qc_line};
+use proptest::prelude::*;
+
+type Row = (Vec<Value>, Timestamp);
+
+/// Perturbation bound for every differential: 2 seconds of simulated
+/// delivery delay, restored with 2 seconds of reorder slack.
+fn max_delay() -> Duration {
+    Duration::from_secs(2)
+}
+
+fn key_rows(rows: Vec<Tuple>) -> Vec<Row> {
+    rows.into_iter()
+        .map(|t| (t.values().to_vec(), t.ts()))
+        .collect()
+}
+
+/// Apply retractions to a fast query's raw emission log: a retraction
+/// cancels the latest matching prior emission (same values, ts, seq).
+fn reconcile(tuples: Vec<Tuple>) -> (Vec<Row>, usize) {
+    let mut live: Vec<Tuple> = Vec::new();
+    let mut retractions = 0usize;
+    for t in tuples {
+        if t.is_retraction() {
+            retractions += 1;
+            let pos = live
+                .iter()
+                .rposition(|p| p.values() == t.values() && p.ts() == t.ts() && p.seq() == t.seq())
+                .expect("retraction matches a prior emission");
+            live.remove(pos);
+        } else {
+            live.push(t);
+        }
+    }
+    let rows = live
+        .into_iter()
+        .map(|t| (t.values().to_vec(), t.ts()))
+        .collect();
+    (rows, retractions)
+}
+
+/// In-order single-engine reference run.
+fn run_reference(ddl: &str, query: &str, feed: &[(String, Vec<Value>)]) -> Vec<Row> {
+    let mut engine = Engine::new();
+    execute_script(&mut engine, ddl).expect("ddl plans");
+    let q = execute(&mut engine, query).expect("query plans");
+    let out = q.collector().expect("collected").clone();
+    for (stream, values) in feed {
+        engine.push(stream, values.clone()).expect("feed");
+    }
+    key_rows(out.take())
+}
+
+fn disordered_engine(
+    ddl: &str,
+    query: &str,
+    streams: &[&str],
+    slack: Duration,
+) -> (Engine, Collector) {
+    let mut engine = Engine::new();
+    execute_script(&mut engine, ddl).expect("ddl plans");
+    for s in streams {
+        engine
+            .set_disorder_tolerance(s, slack)
+            .expect("tolerant stream");
+    }
+    let q = execute(&mut engine, query).expect("query plans");
+    let out = q.collector().expect("collected").clone();
+    (engine, out)
+}
+
+/// The disordered feed through a single engine with reorder slack.
+fn run_disordered_single(
+    ddl: &str,
+    query: &str,
+    streams: &[&str],
+    slack: Duration,
+    feed: &[(String, Vec<Value>)],
+) -> (Vec<Tuple>, u64) {
+    let (mut engine, out) = disordered_engine(ddl, query, streams, slack);
+    for (stream, values) in feed {
+        engine.push(stream, values.clone()).expect("feed");
+    }
+    engine.flush_disorder().expect("flush disorder");
+    (out.take(), engine.late_tuples())
+}
+
+/// The disordered feed through the shard router: order is restored at
+/// the router, so the shard engines replay an ordered feed.
+fn run_disordered_sharded(
+    shards: usize,
+    ddl: &str,
+    query: &str,
+    streams: &[&str],
+    slack: Duration,
+    feed: &[(String, Vec<Value>)],
+) -> (Vec<Tuple>, u64) {
+    let ddl = ddl.to_string();
+    let query = query.to_string();
+    let mut se = ShardedEngine::build(shards, 256, ShardSpec::new(), move |e| {
+        execute_script(e, &ddl)?;
+        let q = execute(e, &query)?;
+        Ok(vec![q.collector().expect("collected").clone()])
+    })
+    .expect("sharded build");
+    for s in streams {
+        se.set_disorder_tolerance(s, slack).expect("tolerant route");
+    }
+    for (stream, values) in feed {
+        se.push(stream, values.clone()).expect("route");
+    }
+    se.flush_disorder().expect("flush disorder");
+    se.flush().expect("flush");
+    let rows = se.take_output(0).expect("slot 0");
+    let late = se.late_tuples();
+    se.stop().expect("clean stop");
+    (rows, late)
+}
+
+/// The core assertion: a bounded shuffle restored with slack ≥ bound is
+/// invisible — consistent output byte-identical to the in-order run,
+/// zero late drops, single and sharded.
+fn assert_disorder_differential(
+    name: &str,
+    ddl: &str,
+    query: &str,
+    streams: &[&str],
+    feed: &[(String, Vec<Value>)],
+    seed: u64,
+) {
+    let want = run_reference(ddl, query, feed);
+    assert!(
+        !want.is_empty(),
+        "{name}: reference output must be non-trivial"
+    );
+    let shuffled = perturb_rows(feed.to_vec(), seed, max_delay());
+    assert_ne!(
+        shuffled, feed,
+        "{name}: the perturbation must actually reorder the feed"
+    );
+    let (got, late) = run_disordered_single(ddl, query, streams, max_delay(), &shuffled);
+    assert_eq!(late, 0, "{name}: slack == bound admits every tuple");
+    assert_eq!(
+        key_rows(got),
+        want,
+        "{name}: consistent output diverged from the in-order run"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let (got, late) =
+            run_disordered_sharded(shards, ddl, query, streams, max_delay(), &shuffled);
+        assert_eq!(late, 0, "{name}: router slack == bound admits every tuple");
+        assert_eq!(
+            key_rows(got),
+            want,
+            "{name}: sharded consistent output at N={shards} diverged"
+        );
+    }
+}
+
+// ------------------------------------------------------------------ E1
+
+const E1_DDL: &str = "
+    CREATE STREAM readings (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP);";
+
+const E1_QUERY: &str = "SELECT * FROM readings AS r1
+    WHERE NOT EXISTS
+      (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+       WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id)";
+
+fn e1_feed(seed: u64) -> Vec<(String, Vec<Value>)> {
+    let w = dedup::generate(&dedup::DedupConfig {
+        presences: 150,
+        duplicate_prob: 0.6,
+        seed,
+        ..dedup::DedupConfig::default()
+    });
+    w.readings
+        .iter()
+        .map(|r| ("readings".to_string(), r.to_values()))
+        .collect()
+}
+
+#[test]
+fn e1_dedup_consistent_survives_bounded_disorder() {
+    assert_disorder_differential("E1 dedup", E1_DDL, E1_QUERY, &["readings"], &e1_feed(1), 42);
+}
+
+// ------------------------------------------------------------------ E6
+
+const E6_DDL: &str = "
+    CREATE STREAM C1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C3 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM C4 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);";
+
+const E6_STREAMS: [&str; 4] = ["c1", "c2", "c3", "c4"];
+
+fn e6_feed(seed: u64) -> Vec<(String, Vec<Value>)> {
+    let w = qc_line::generate(&qc_line::QcConfig {
+        products: 80,
+        seed,
+        ..qc_line::QcConfig::default()
+    });
+    let feeds: Vec<(String, Vec<Reading>)> = w
+        .feeds
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (format!("c{}", i + 1), f.clone()))
+        .collect();
+    merge_feeds(feeds)
+        .into_iter()
+        .map(|item| (item.stream, item.reading.to_values()))
+        .collect()
+}
+
+fn e6_query(mode: &str) -> String {
+    format!(
+        "SELECT C1.tagid, C4.tagtime FROM C1, C2, C3, C4
+         WHERE SEQ(C1, C2, C3, C4) MODE {mode}
+         AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid"
+    )
+}
+
+#[test]
+fn e6_all_pairing_modes_consistent_survive_bounded_disorder() {
+    for mode in ["RECENT", "CHRONICLE", "UNRESTRICTED", "CONSECUTIVE"] {
+        assert_disorder_differential(
+            &format!("E6 {mode}"),
+            E6_DDL,
+            &e6_query(mode),
+            &E6_STREAMS,
+            &e6_feed(3),
+            7,
+        );
+    }
+}
+
+// ----------------------------------------------------------------- E10
+
+const E10_DDL: &str = "
+    CREATE STREAM R1 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);
+    CREATE STREAM R2 (readerid VARCHAR, tagid VARCHAR, tagtime TIMESTAMP);";
+
+const E10_QUERY: &str = "SELECT COUNT(R1*), R2.tagid FROM R1, R2
+    WHERE SEQ(R1*, R2) MODE CHRONICLE AND R1.tagid = R2.tagid";
+
+fn e10_feed(tags: usize, runs_per_tag: usize, run_len: usize) -> Vec<(String, Vec<Value>)> {
+    let mut feed = Vec::new();
+    let mut ts = 0u64;
+    for _run in 0..runs_per_tag {
+        for step in 0..=run_len {
+            for tag in 0..tags {
+                ts += 1;
+                let stream = if step < run_len { "r1" } else { "r2" };
+                feed.push((
+                    stream.to_string(),
+                    vec![
+                        Value::str("rd"),
+                        Value::str(format!("tag-{tag}")),
+                        Value::Ts(Timestamp::from_secs(ts)),
+                    ],
+                ));
+            }
+        }
+    }
+    feed
+}
+
+#[test]
+fn e10_star_sequence_consistent_survives_bounded_disorder() {
+    assert_disorder_differential(
+        "E10 star",
+        E10_DDL,
+        E10_QUERY,
+        &["r1", "r2"],
+        &e10_feed(7, 6, 3),
+        11,
+    );
+}
+
+// ------------------------------------------------------------------ fast
+
+/// Fast-level E1: speculative emissions arrive immediately and the
+/// out-of-order arrivals provoke retractions; reconciling the log
+/// reproduces the in-order output exactly.
+#[test]
+fn e1_fast_reconciles_to_in_order_output() {
+    let feed = e1_feed(5);
+    let want = run_reference(E1_DDL, E1_QUERY, &feed);
+    let fast_query = format!("{E1_QUERY} CONSISTENCY FAST");
+    let shuffled = perturb_rows(feed.clone(), 13, max_delay());
+    assert_ne!(shuffled, feed);
+    let (raw, late) =
+        run_disordered_single(E1_DDL, &fast_query, &["readings"], max_delay(), &shuffled);
+    assert_eq!(late, 0);
+    let (got, retractions) = reconcile(raw);
+    assert!(
+        retractions > 0,
+        "bounded disorder must provoke speculative retractions"
+    );
+    assert_eq!(
+        got, want,
+        "fast output failed to reconcile to the in-order run"
+    );
+}
+
+/// Fast-level E10 (stateful star sequence): same reconciliation
+/// guarantee for an aggregating sequence operator.
+#[test]
+fn e10_fast_reconciles_to_in_order_output() {
+    let feed = e10_feed(5, 4, 3);
+    let want = run_reference(E10_DDL, E10_QUERY, &feed);
+    let fast_query = format!("{E10_QUERY} CONSISTENCY FAST");
+    let shuffled = perturb_rows(feed.clone(), 29, max_delay());
+    assert_ne!(shuffled, feed);
+    let (raw, late) =
+        run_disordered_single(E10_DDL, &fast_query, &["r1", "r2"], max_delay(), &shuffled);
+    assert_eq!(late, 0);
+    let (got, retractions) = reconcile(raw);
+    assert!(
+        retractions > 0,
+        "disorder across R1/R2 must provoke retractions"
+    );
+    assert_eq!(
+        got, want,
+        "fast E10 failed to reconcile to the in-order run"
+    );
+}
+
+/// Through the shard router order is restored *before* the shards, so a
+/// fast query behind the router never observes disorder: its output is
+/// already in order and carries zero retractions.
+#[test]
+fn sharded_fast_sees_ordered_feed_and_never_retracts() {
+    let feed = e1_feed(9);
+    let want = run_reference(E1_DDL, E1_QUERY, &feed);
+    let fast_query = format!("{E1_QUERY} CONSISTENCY FAST");
+    let shuffled = perturb_rows(feed, 17, max_delay());
+    for shards in [1usize, 4] {
+        let (raw, late) = run_disordered_sharded(
+            shards,
+            E1_DDL,
+            &fast_query,
+            &["readings"],
+            max_delay(),
+            &shuffled,
+        );
+        assert_eq!(late, 0);
+        let (got, retractions) = reconcile(raw);
+        assert_eq!(
+            retractions, 0,
+            "router-level reorder means shard-local speculation is inert"
+        );
+        assert_eq!(got, want, "sharded fast output at N={shards} diverged");
+    }
+}
+
+// -------------------------------------------------------------- recovery
+
+/// Kill-and-recover mid-disorder: checkpoint v4 carries the reorder
+/// buffer and the dead-letter buffer, so resuming from the checkpoint
+/// and replaying the remainder equals the uninterrupted disordered run
+/// (which itself equals the in-order run).
+#[test]
+fn kill_and_recover_mid_disorder_equals_uninterrupted_run() {
+    let feed = e1_feed(21);
+    let want = run_reference(E1_DDL, E1_QUERY, &feed);
+    let mut shuffled = perturb_rows(feed, 31, max_delay());
+    let half = shuffled.len() / 2;
+    // Plant one late-beyond-slack straggler in the first half so the
+    // dead-letter buffer has state to carry across the checkpoint.
+    let anchor_ts = shuffled[..half]
+        .iter()
+        .filter_map(|(_, vs)| {
+            vs.iter().find_map(|v| match v {
+                Value::Ts(t) => Some(*t),
+                _ => None,
+            })
+        })
+        .max()
+        .expect("half feed has timestamps");
+    shuffled.insert(
+        half,
+        (
+            "readings".to_string(),
+            vec![
+                Value::str("straggler-reader"),
+                Value::str("straggler-tag"),
+                Value::Ts(Timestamp::from_micros(
+                    anchor_ts
+                        .as_micros()
+                        .saturating_sub(3 * max_delay().as_micros()),
+                )),
+            ],
+        ),
+    );
+    let half = half + 1;
+
+    // Uninterrupted disordered run.
+    let (unint, late) =
+        run_disordered_single(E1_DDL, E1_QUERY, &["readings"], max_delay(), &shuffled);
+    assert_eq!(late, 1, "exactly the planted straggler is late");
+    assert_eq!(key_rows(unint), want);
+
+    // Interrupted run: checkpoint after the first half (straggler
+    // included), restore into a fresh engine, replay the rest.
+    let (mut first, out1) = disordered_engine(E1_DDL, E1_QUERY, &["readings"], max_delay());
+    for (stream, values) in &shuffled[..half] {
+        first.push(stream, values.clone()).expect("feed");
+    }
+    assert_eq!(first.late_tuples(), 1);
+    let bytes = first.checkpoint().expect("checkpoint").to_bytes();
+    let ck = EngineCheckpoint::from_bytes(&bytes).expect("decode");
+    let (mut resumed, out2) = disordered_engine(E1_DDL, E1_QUERY, &["readings"], max_delay());
+    resumed.restore(&ck).expect("restore");
+    drop(first);
+    let carried: Vec<&DeadLetter> = resumed.dead_letters().collect();
+    assert_eq!(carried.len(), 1, "dead letter survives the checkpoint");
+    assert_eq!(carried[0].reason, RejectReason::Late);
+    for (stream, values) in &shuffled[half..] {
+        resumed.push(stream, values.clone()).expect("feed");
+    }
+    resumed.flush_disorder().expect("flush disorder");
+
+    let mut got = out1.take();
+    got.extend(out2.take());
+    assert_eq!(
+        key_rows(got),
+        want,
+        "recovered run diverged from the uninterrupted run"
+    );
+}
+
+// -------------------------------------------------------------- property
+
+proptest! {
+    /// Whatever the arrival order and slack, the rows a tolerant stream
+    /// releases are in nondecreasing timestamp order and form exactly
+    /// the multiset of admitted (non-dead-lettered) rows.
+    #[test]
+    fn release_order_is_sorted_permutation_of_admitted(
+        arrivals in proptest::collection::vec(0u64..10_000, 1..80),
+        slack_ms in 0u64..2_000,
+    ) {
+        let mut engine = Engine::new();
+        execute_script(&mut engine, E1_DDL).expect("ddl plans");
+        engine
+            .set_disorder_tolerance("readings", Duration::from_millis(slack_ms))
+            .expect("tolerant stream");
+        let q = execute(&mut engine, "SELECT * FROM readings").expect("plans");
+        let out = q.collector().expect("collected").clone();
+        for (i, ms) in arrivals.iter().enumerate() {
+            engine
+                .push(
+                    "readings",
+                    vec![
+                        Value::str("r"),
+                        Value::str(format!("t{i}")),
+                        Value::Ts(Timestamp::from_millis(*ms)),
+                    ],
+                )
+                .expect("late rows dead-letter, they do not error");
+        }
+        engine.flush_disorder().expect("flush");
+        let dead: Vec<String> = engine
+            .dead_letters()
+            .map(|d| d.values[1].as_str().expect("tag").to_string())
+            .collect();
+        prop_assert_eq!(dead.len() as u64, engine.late_tuples());
+        let released = out.take();
+        // Sorted by timestamp…
+        for w in released.windows(2) {
+            prop_assert!(w[0].ts() <= w[1].ts(), "release order regressed");
+        }
+        // …and a permutation of exactly the admitted rows.
+        let mut got: Vec<String> = released
+            .iter()
+            .map(|t| t.value(1).as_str().expect("tag").to_string())
+            .collect();
+        let mut admitted: Vec<String> = (0..arrivals.len())
+            .map(|i| format!("t{i}"))
+            .filter(|tag| !dead.contains(tag))
+            .collect();
+        got.sort();
+        admitted.sort();
+        prop_assert_eq!(got, admitted);
+    }
+}
