@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod count_alloc;
 pub mod experiments;
 pub mod table;
 

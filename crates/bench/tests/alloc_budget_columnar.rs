@@ -1,0 +1,72 @@
+//! Steady-state allocation budget for the E1 hot loop on the
+//! **columnar** batch path.
+//!
+//! Same protocol as `alloc_budget.rs` (which pins the row path): warm
+//! the dictionary and every map with the first half of the feed, then
+//! count allocations over the second half. The columnar path feeds in
+//! batch-64 `push_batch_to` chunks — rows convert to one `ColumnBatch`
+//! per chunk, the select/dedup kernels run over columns, and output
+//! rows materialize only for admitted tuples — so its per-tuple
+//! average must come in at or under the row path's budget (13/tuple);
+//! a columnar path that allocates *more* than row-at-a-time execution
+//! would defeat its purpose. Observed steady state at budget-setting
+//! time: ~2.0 allocs/tuple at batch 64 — roughly 4× under the row
+//! path's ~8.5 (kernel admission skips per-tuple key boxing, and the
+//! batch conversion interns whole columns instead of canonicalizing
+//! string values one at a time at ingest). The observed value is
+//! printed so harness runs can record it next to the row number.
+//!
+//! Separate file = separate test process: the allocation counter is
+//! process-global, so each measuring `#[test]` gets its own binary
+//! (see `eslev_bench::count_alloc`).
+
+use eslev_bench::count_alloc::{measure, CountingAlloc};
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Same ceiling as the row path: columnar must not allocate more.
+const BUDGET_ALLOCS_PER_TUPLE: f64 = 13.0;
+
+#[test]
+fn e1_columnar_steady_state_allocs_per_tuple_within_budget() {
+    let (mut engine, readings) = eslev_bench::e1_setup(0.5, 2_000);
+    engine.set_columnar(true);
+    // Materialize the feed into batch-64 chunks up front: `to_values`
+    // allocates row vectors and strings, which is feed-generation
+    // cost, not engine cost.
+    let rows: Vec<Vec<eslev_dsms::value::Value>> = readings.iter().map(|r| r.to_values()).collect();
+    let total = rows.len();
+    let chunks: Vec<Vec<Vec<eslev_dsms::value::Value>>> =
+        rows.chunks(64).map(|c| c.to_vec()).collect();
+    let half = chunks.len() / 2;
+    let mut measured = 0u64;
+    let mut it = chunks.into_iter();
+
+    // Warm-up: first half fills the dedup map, the EXISTS window, the
+    // interner dictionary, and the batch conversion scratch.
+    for chunk in it.by_ref().take(half) {
+        engine.push_batch_to("readings", chunk).expect("feed");
+    }
+
+    let ((), allocs) = measure(|| {
+        for chunk in it {
+            measured += chunk.len() as u64;
+            engine.push_batch_to("readings", chunk).expect("feed");
+        }
+    });
+    let allocs = allocs.expect("counting allocator is installed in this binary");
+
+    let per_tuple = allocs as f64 / measured as f64;
+    eprintln!(
+        "E1 columnar steady state (batch 64): {per_tuple:.2} allocs/tuple \
+         ({allocs}/{measured}, feed {total} rows)"
+    );
+    assert!(measured > 1_000, "workload too small to be steady state");
+    assert!(
+        per_tuple <= BUDGET_ALLOCS_PER_TUPLE,
+        "E1 columnar steady state allocated {per_tuple:.2} times per tuple \
+         ({allocs} allocations over {measured} tuples), budget is \
+         {BUDGET_ALLOCS_PER_TUPLE}"
+    );
+}

@@ -1,0 +1,848 @@
+//! Columnar (SoA) batches over interned symbols.
+//!
+//! The row representation ([`Tuple`]) is an `Arc<[Value]>` per row:
+//! every operator touch pays enum dispatch and refcount traffic per
+//! value. The paper's hot loops — select, project, dedup key
+//! extraction — are all per-column work over narrow RFID rows, so a
+//! [`ColumnBatch`] stores a batch as typed column vectors
+//! (`Vec<i64>` / `Vec<f64>` / `Vec<Sym>` / `Vec<bool>` /
+//! `Vec<Timestamp>`) plus a validity bitmap per column, with the tuple
+//! metadata (`ts`, `seq`, `sign`, `revision`) as columns of their own.
+//!
+//! String columns hold dense [`Sym`] ids from the engine's
+//! [`StrInterner`]; conversion back to rows resolves each column
+//! through the dictionary once (one lock per column, not per value).
+//! Columns whose values do not all share one primitive type — or
+//! strings without a bound interner — fall back to a `Mixed` column of
+//! plain [`Value`]s, so every row batch has a columnar form and the
+//! round trip `&[Tuple]` → `ColumnBatch` → `Vec<Tuple>` is lossless
+//! (the property test battery pins this over every `Value` variant).
+//!
+//! The batch is the carrier of the columnar execution path
+//! ([`crate::ops::Operator::process_columns`]); the row path stays the
+//! byte-identical differential oracle.
+
+use crate::error::Result;
+use crate::intern::{InternerRef, Sym};
+use crate::time::Timestamp;
+use crate::tuple::{Sign, Tuple};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Typed storage of one column. Null rows keep a placeholder in the
+/// typed vectors; the validity bitmap is authoritative.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Interned strings (symbol ids in the batch's dictionary).
+    Str(Vec<Sym>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Timestamps.
+    Ts(Vec<Timestamp>),
+    /// Escape hatch: heterogeneous values (or strings without an
+    /// interner), stored row-wise. Nulls are stored as `Value::Null`
+    /// *and* cleared in the validity bitmap.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Ts(v) => v.len(),
+            ColumnData::Mixed(v) => v.len(),
+        }
+    }
+}
+
+/// One column: typed data plus a validity bitmap (`None` = all rows
+/// valid; bit `i` set = row `i` non-null).
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// The typed values (placeholders at null rows).
+    pub data: ColumnData,
+    validity: Option<Vec<u64>>,
+}
+
+impl Column {
+    /// Whether row `i` is non-null.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        match &self.validity {
+            None => true,
+            Some(bits) => bits[i >> 6] & (1u64 << (i & 63)) != 0,
+        }
+    }
+
+    /// Whether the column has no null rows at all.
+    pub fn all_valid(&self) -> bool {
+        self.validity.is_none()
+    }
+
+    /// The row value as a freshly built [`Value`]. String columns
+    /// resolve through `strings` (the column's pre-resolved
+    /// dictionary slice) — see [`ColumnBatch::extend_tuples`].
+    fn value_at(&self, i: usize, strings: Option<&[Arc<str>]>) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(_) => Value::Str(
+                strings.expect("string column resolved before materialization")[i].clone(),
+            ),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Ts(v) => Value::Ts(v[i]),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+}
+
+/// Bitmap builder used while constructing or filtering columns.
+struct ValidityBuilder {
+    bits: Vec<u64>,
+    any_null: bool,
+}
+
+impl ValidityBuilder {
+    fn new(n: usize) -> ValidityBuilder {
+        ValidityBuilder {
+            bits: vec![u64::MAX; n.div_ceil(64)],
+            any_null: false,
+        }
+    }
+
+    fn clear(&mut self, i: usize) {
+        self.bits[i >> 6] &= !(1u64 << (i & 63));
+        self.any_null = true;
+    }
+
+    fn finish(self) -> Option<Vec<u64>> {
+        self.any_null.then_some(self.bits)
+    }
+}
+
+/// The row-form origin of a batch whose rows are an untransformed
+/// subset of some source rows: the shared source plus a selection
+/// (`None` = identity). Pass-through kernels (select, dedup) preserve
+/// this through [`ColumnBatch::filter`], letting materialization clone
+/// the original tuples instead of rebuilding them cell by cell —
+/// value-changing kernels (project) drop it.
+#[derive(Debug, Clone)]
+struct RowSource {
+    rows: Arc<Vec<Tuple>>,
+    /// Index into `rows` for each batch row; `None` means row `i` of
+    /// the batch is `rows[i]`.
+    sel: Option<Vec<u32>>,
+}
+
+/// A batch of tuples in structure-of-arrays layout: one [`Column`] per
+/// schema column, plus `ts`/`seq`/`sign`/`revision` columns carrying
+/// the tuple metadata.
+#[derive(Debug, Clone)]
+pub struct ColumnBatch {
+    len: usize,
+    columns: Vec<Column>,
+    ts: Vec<Timestamp>,
+    seq: Vec<u64>,
+    sign: Vec<Sign>,
+    revision: Vec<u64>,
+    interner: Option<InternerRef>,
+    source: Option<RowSource>,
+}
+
+impl ColumnBatch {
+    /// Build a columnar batch from a row batch. Returns `None` when the
+    /// rows do not share one arity (a ragged batch has no columnar
+    /// form — the engine keeps such batches on the row path).
+    ///
+    /// With an `interner`, string columns intern to dense [`Sym`] ids
+    /// (one dictionary lock per column); without one, any column
+    /// containing a string falls back to `Mixed`.
+    pub fn from_tuples(tuples: &[Tuple], interner: Option<&InternerRef>) -> Option<ColumnBatch> {
+        let arity = tuples.first().map_or(0, Tuple::arity);
+        if tuples.iter().any(|t| t.arity() != arity) {
+            return None;
+        }
+        let n = tuples.len();
+        // One fused row-major pass when the first row fixes every
+        // column's type (the overwhelmingly common case); the two-pass
+        // per-column scan remains as the general path for leading
+        // nulls, mixed-type columns, and empty batches.
+        let columns = match Self::build_columns_fused(tuples, arity, interner) {
+            Some(cols) => cols,
+            None => (0..arity)
+                .map(|j| Self::build_column(tuples, j, n, interner))
+                .collect(),
+        };
+        Some(ColumnBatch {
+            len: n,
+            columns,
+            ts: tuples.iter().map(Tuple::ts).collect(),
+            seq: tuples.iter().map(Tuple::seq).collect(),
+            sign: tuples.iter().map(Tuple::sign).collect(),
+            revision: tuples.iter().map(Tuple::revision).collect(),
+            interner: interner.cloned(),
+            source: None,
+        })
+    }
+
+    /// [`ColumnBatch::from_tuples`] over a shared row batch: the batch
+    /// additionally remembers `rows` as its row-form source, so if it
+    /// only ever passes through selection kernels, materialization
+    /// clones the original tuples instead of rebuilding them from the
+    /// columns (the engine's hot path for select/dedup chains).
+    pub fn from_shared_tuples(
+        rows: &Arc<Vec<Tuple>>,
+        interner: Option<&InternerRef>,
+    ) -> Option<ColumnBatch> {
+        let mut batch = Self::from_tuples(rows, interner)?;
+        batch.source = Some(RowSource {
+            rows: Arc::clone(rows),
+            sel: None,
+        });
+        Some(batch)
+    }
+
+    /// Fused conversion fast path: take each column's type from the
+    /// first row and fill every column (plus validity) in one row-major
+    /// pass over the tuples — one pointer chase per row instead of one
+    /// per row *per column*. Returns `None` whenever the first row
+    /// can't fix the types (empty batch, a leading null, a string
+    /// column without an interner) or a later row disagrees; the caller
+    /// then rebuilds via the general per-column path.
+    fn build_columns_fused(
+        tuples: &[Tuple],
+        arity: usize,
+        interner: Option<&InternerRef>,
+    ) -> Option<Vec<Column>> {
+        enum FastData<'a> {
+            Int(Vec<i64>),
+            Float(Vec<f64>),
+            Bool(Vec<bool>),
+            Ts(Vec<Timestamp>),
+            // Strings are collected as refs and interned in one
+            // batch-level dictionary lock after the pass.
+            Str(Vec<Option<&'a Arc<str>>>),
+        }
+        let n = tuples.len();
+        let first = tuples.first()?;
+        let mut data: Vec<FastData<'_>> = Vec::with_capacity(arity);
+        let mut validity: Vec<ValidityBuilder> = Vec::with_capacity(arity);
+        for j in 0..arity {
+            data.push(match first.value(j) {
+                Value::Int(_) => FastData::Int(Vec::with_capacity(n)),
+                Value::Float(_) => FastData::Float(Vec::with_capacity(n)),
+                Value::Bool(_) => FastData::Bool(Vec::with_capacity(n)),
+                Value::Ts(_) => FastData::Ts(Vec::with_capacity(n)),
+                Value::Str(_) => {
+                    interner?;
+                    FastData::Str(Vec::with_capacity(n))
+                }
+                Value::Null => return None,
+            });
+            validity.push(ValidityBuilder::new(n));
+        }
+        for (i, t) in tuples.iter().enumerate() {
+            // One slice borrow per row: every cell comes off `values()`
+            // without a per-cell bounds check.
+            for ((j, d), val) in data.iter_mut().enumerate().zip(t.values()) {
+                match (d, val) {
+                    (FastData::Int(v), Value::Int(x)) => v.push(*x),
+                    (FastData::Float(v), Value::Float(x)) => v.push(*x),
+                    (FastData::Bool(v), Value::Bool(x)) => v.push(*x),
+                    (FastData::Ts(v), Value::Ts(x)) => v.push(*x),
+                    (FastData::Str(v), Value::Str(s)) => v.push(Some(s)),
+                    (FastData::Int(v), Value::Null) => {
+                        v.push(0);
+                        validity[j].clear(i);
+                    }
+                    (FastData::Float(v), Value::Null) => {
+                        v.push(0.0);
+                        validity[j].clear(i);
+                    }
+                    (FastData::Bool(v), Value::Null) => {
+                        v.push(false);
+                        validity[j].clear(i);
+                    }
+                    (FastData::Ts(v), Value::Null) => {
+                        v.push(Timestamp::ZERO);
+                        validity[j].clear(i);
+                    }
+                    (FastData::Str(v), Value::Null) => {
+                        v.push(None);
+                        validity[j].clear(i);
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        Some(
+            data.into_iter()
+                .zip(validity)
+                .map(|(d, validity)| {
+                    let data = match d {
+                        FastData::Int(v) => ColumnData::Int(v),
+                        FastData::Float(v) => ColumnData::Float(v),
+                        FastData::Bool(v) => ColumnData::Bool(v),
+                        FastData::Ts(v) => ColumnData::Ts(v),
+                        FastData::Str(cells) => {
+                            let int = interner.expect("checked above");
+                            let mut syms = Vec::with_capacity(cells.len());
+                            if cells.iter().all(Option::is_some) {
+                                // No nulls (the common case): intern
+                                // straight into the column, one pass.
+                                int.sym_of_column(cells.iter().copied().flatten(), &mut syms);
+                            } else {
+                                let mut compact = Vec::with_capacity(cells.len());
+                                int.sym_of_column(cells.iter().filter_map(|c| *c), &mut compact);
+                                let mut next = compact.into_iter();
+                                syms.extend(cells.iter().map(|c| match c {
+                                    Some(_) => next.next().expect("one sym per string"),
+                                    None => Sym(0),
+                                }));
+                            }
+                            ColumnData::Str(syms)
+                        }
+                    };
+                    Column {
+                        data,
+                        validity: validity.finish(),
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Column `j` of `tuples`: first pass picks the type from the
+    /// non-null values (any disagreement → `Mixed`), second pass fills
+    /// the typed vector.
+    fn build_column(
+        tuples: &[Tuple],
+        j: usize,
+        n: usize,
+        interner: Option<&InternerRef>,
+    ) -> Column {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Kind {
+            Int,
+            Float,
+            Str,
+            Bool,
+            Ts,
+        }
+        let mut kind: Option<Kind> = None;
+        let mut mixed = false;
+        for t in tuples {
+            let k = match t.value(j) {
+                Value::Null => continue,
+                Value::Int(_) => Kind::Int,
+                Value::Float(_) => Kind::Float,
+                Value::Str(_) => {
+                    if interner.is_none() {
+                        mixed = true;
+                        break;
+                    }
+                    Kind::Str
+                }
+                Value::Bool(_) => Kind::Bool,
+                Value::Ts(_) => Kind::Ts,
+            };
+            match kind {
+                None => kind = Some(k),
+                Some(have) if have != k => {
+                    mixed = true;
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        if mixed {
+            let mut validity = ValidityBuilder::new(n);
+            let vals = tuples
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let v = t.value(j);
+                    if v.is_null() {
+                        validity.clear(i);
+                    }
+                    v.clone()
+                })
+                .collect();
+            return Column {
+                data: ColumnData::Mixed(vals),
+                validity: validity.finish(),
+            };
+        }
+        let mut validity = ValidityBuilder::new(n);
+        let data = match kind {
+            // All-null (or empty) column: typed as Int with every row
+            // invalid — materialization only reads the bitmap.
+            None => {
+                for i in 0..n {
+                    validity.clear(i);
+                }
+                ColumnData::Int(vec![0; n])
+            }
+            Some(Kind::Int) => {
+                ColumnData::Int(Self::fill(tuples, j, &mut validity, 0i64, |v| match v {
+                    Value::Int(x) => Some(*x),
+                    _ => None,
+                }))
+            }
+            Some(Kind::Float) => {
+                ColumnData::Float(Self::fill(tuples, j, &mut validity, 0.0f64, |v| match v {
+                    Value::Float(x) => Some(*x),
+                    _ => None,
+                }))
+            }
+            Some(Kind::Bool) => {
+                ColumnData::Bool(Self::fill(tuples, j, &mut validity, false, |v| match v {
+                    Value::Bool(x) => Some(*x),
+                    _ => None,
+                }))
+            }
+            Some(Kind::Ts) => ColumnData::Ts(Self::fill(
+                tuples,
+                j,
+                &mut validity,
+                Timestamp::ZERO,
+                |v| match v {
+                    Value::Ts(x) => Some(*x),
+                    _ => None,
+                },
+            )),
+            Some(Kind::Str) => {
+                // One dictionary lock for the whole column.
+                let int = interner.expect("Str kind implies interner");
+                let mut syms = Vec::with_capacity(n);
+                int.sym_of_column(
+                    tuples.iter().filter_map(|t| match t.value(j) {
+                        Value::Str(s) => Some(s),
+                        _ => None,
+                    }),
+                    &mut syms,
+                );
+                let mut col = Vec::with_capacity(n);
+                let mut next = syms.iter().copied();
+                for (i, t) in tuples.iter().enumerate() {
+                    match t.value(j) {
+                        Value::Str(_) => col.push(next.next().expect("one sym per string")),
+                        _ => {
+                            validity.clear(i);
+                            col.push(Sym(0));
+                        }
+                    }
+                }
+                ColumnData::Str(col)
+            }
+        };
+        Column {
+            data,
+            validity: validity.finish(),
+        }
+    }
+
+    fn fill<T: Copy>(
+        tuples: &[Tuple],
+        j: usize,
+        validity: &mut ValidityBuilder,
+        placeholder: T,
+        get: impl Fn(&Value) -> Option<T>,
+    ) -> Vec<T> {
+        tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match get(t.value(j)) {
+                Some(x) => x,
+                None => {
+                    validity.clear(i);
+                    placeholder
+                }
+            })
+            .collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of schema columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column `j`.
+    pub fn column(&self, j: usize) -> &Column {
+        &self.columns[j]
+    }
+
+    /// The event-timestamp column.
+    pub fn ts(&self) -> &[Timestamp] {
+        &self.ts
+    }
+
+    /// The sequence-number column.
+    pub fn seq(&self) -> &[u64] {
+        &self.seq
+    }
+
+    /// The sign column.
+    pub fn sign(&self) -> &[Sign] {
+        &self.sign
+    }
+
+    /// The revision column.
+    pub fn revision(&self) -> &[u64] {
+        &self.revision
+    }
+
+    /// The interner the batch's string columns index into, if any.
+    pub fn interner(&self) -> Option<&InternerRef> {
+        self.interner.as_ref()
+    }
+
+    /// Materialize the batch back into row tuples, appending to `out`.
+    /// String columns resolve through the dictionary once per column;
+    /// the resolved `Arc`s are the canonical ones, so the rows come
+    /// back already pointer-canonicalized.
+    pub fn extend_tuples(&self, out: &mut Vec<Tuple>) -> Result<()> {
+        // Pass-through fast path: rows that survived only selection
+        // kernels are clones of their source tuples — same cost as the
+        // row path's `t.clone()`, no per-cell rebuild, no dictionary
+        // resolution.
+        if let Some(src) = &self.source {
+            match &src.sel {
+                None => out.extend(src.rows.iter().cloned()),
+                Some(sel) => {
+                    out.reserve(sel.len());
+                    out.extend(sel.iter().map(|&i| src.rows[i as usize].clone()));
+                }
+            }
+            return Ok(());
+        }
+        let mut resolved: Vec<Option<Vec<Arc<str>>>> = Vec::with_capacity(self.columns.len());
+        for c in &self.columns {
+            resolved.push(match (&c.data, &self.interner) {
+                (ColumnData::Str(syms), Some(int)) => {
+                    let mut strings = Vec::new();
+                    int.resolve_column(syms, &mut strings)?;
+                    Some(strings)
+                }
+                _ => None,
+            });
+        }
+        out.reserve(self.len);
+        for i in 0..self.len {
+            let values: Vec<Value> = self
+                .columns
+                .iter()
+                .zip(&resolved)
+                .map(|(c, strings)| c.value_at(i, strings.as_deref()))
+                .collect();
+            out.push(Tuple::with_sign(
+                values,
+                self.ts[i],
+                self.seq[i],
+                self.sign[i],
+                self.revision[i],
+            ));
+        }
+        Ok(())
+    }
+
+    /// Materialize only the rows where `keep[i]`, appending to `out` —
+    /// the terminal form of a selection kernel. With a row-form source
+    /// this is a clone per kept row and nothing else; no intermediate
+    /// filtered batch is ever built.
+    pub fn extend_tuples_selected(&self, keep: &[bool], out: &mut Vec<Tuple>) -> Result<()> {
+        debug_assert_eq!(keep.len(), self.len);
+        if let Some(src) = &self.source {
+            match &src.sel {
+                None => out.extend(
+                    src.rows
+                        .iter()
+                        .zip(keep)
+                        .filter(|&(_, k)| *k)
+                        .map(|(t, _)| t.clone()),
+                ),
+                Some(sel) => out.extend(
+                    sel.iter()
+                        .zip(keep)
+                        .filter(|&(_, k)| *k)
+                        .map(|(&i, _)| src.rows[i as usize].clone()),
+                ),
+            }
+            return Ok(());
+        }
+        self.filter(keep).extend_tuples(out)
+    }
+
+    /// Materialize into a fresh row vector.
+    pub fn to_tuples(&self) -> Result<Vec<Tuple>> {
+        let mut out = Vec::with_capacity(self.len);
+        self.extend_tuples(&mut out)?;
+        Ok(out)
+    }
+
+    /// A new batch keeping exactly the rows where `keep[i]` — the
+    /// selection-bitmap primitive the columnar select/dedup kernels
+    /// produce.
+    pub fn filter(&self, keep: &[bool]) -> ColumnBatch {
+        debug_assert_eq!(keep.len(), self.len);
+        let n = keep.iter().filter(|k| **k).count();
+        let survivors: Vec<usize> = (0..self.len).filter(|&i| keep[i]).collect();
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let mut validity = ValidityBuilder::new(n);
+                for (o, &i) in survivors.iter().enumerate() {
+                    if !c.is_valid(i) {
+                        validity.clear(o);
+                    }
+                }
+                let data = match &c.data {
+                    ColumnData::Int(v) => {
+                        ColumnData::Int(survivors.iter().map(|&i| v[i]).collect())
+                    }
+                    ColumnData::Float(v) => {
+                        ColumnData::Float(survivors.iter().map(|&i| v[i]).collect())
+                    }
+                    ColumnData::Str(v) => {
+                        ColumnData::Str(survivors.iter().map(|&i| v[i]).collect())
+                    }
+                    ColumnData::Bool(v) => {
+                        ColumnData::Bool(survivors.iter().map(|&i| v[i]).collect())
+                    }
+                    ColumnData::Ts(v) => ColumnData::Ts(survivors.iter().map(|&i| v[i]).collect()),
+                    ColumnData::Mixed(v) => {
+                        ColumnData::Mixed(survivors.iter().map(|&i| v[i].clone()).collect())
+                    }
+                };
+                Column {
+                    data,
+                    validity: validity.finish(),
+                }
+            })
+            .collect();
+        ColumnBatch {
+            len: n,
+            columns,
+            ts: survivors.iter().map(|&i| self.ts[i]).collect(),
+            seq: survivors.iter().map(|&i| self.seq[i]).collect(),
+            sign: survivors.iter().map(|&i| self.sign[i]).collect(),
+            revision: survivors.iter().map(|&i| self.revision[i]).collect(),
+            interner: self.interner.clone(),
+            // Filtering is pure selection: compose it onto the source
+            // mapping so materialization keeps the clone fast path.
+            source: self.source.as_ref().map(|src| RowSource {
+                rows: Arc::clone(&src.rows),
+                sel: Some(match &src.sel {
+                    None => survivors.iter().map(|&i| i as u32).collect(),
+                    Some(sel) => survivors.iter().map(|&i| sel[i]).collect(),
+                }),
+            }),
+        }
+    }
+
+    /// A new batch with the given schema columns (the project kernel's
+    /// output constructor): metadata columns are copied, signs reset to
+    /// `Insert` and revisions to 0 — exactly what the row project's
+    /// `Tuple::new` does.
+    pub fn with_projected_columns(&self, columns: Vec<Column>) -> ColumnBatch {
+        debug_assert!(columns.iter().all(|c| c.data.len() == self.len));
+        ColumnBatch {
+            len: self.len,
+            columns,
+            ts: self.ts.clone(),
+            seq: self.seq.clone(),
+            sign: vec![Sign::Insert; self.len],
+            revision: vec![0; self.len],
+            interner: self.interner.clone(),
+            // Projection changes the row's values (and resets sign /
+            // revision): the output is no longer any source row.
+            source: None,
+        }
+    }
+
+    /// A constant column of `v` repeated `len` times (the project
+    /// kernel's literal column). String literals intern through the
+    /// batch's dictionary; returns `None` when that is impossible
+    /// (string literal, no interner).
+    pub fn lit_column(&self, v: &Value) -> Option<Column> {
+        let n = self.len;
+        let data = match v {
+            Value::Null => {
+                let mut validity = ValidityBuilder::new(n);
+                for i in 0..n {
+                    validity.clear(i);
+                }
+                return Some(Column {
+                    data: ColumnData::Int(vec![0; n]),
+                    validity: validity.finish(),
+                });
+            }
+            Value::Int(x) => ColumnData::Int(vec![*x; n]),
+            Value::Float(x) => ColumnData::Float(vec![*x; n]),
+            Value::Bool(x) => ColumnData::Bool(vec![*x; n]),
+            Value::Ts(x) => ColumnData::Ts(vec![*x; n]),
+            Value::Str(s) => {
+                let sym = self.interner.as_ref()?.sym_of(s);
+                ColumnData::Str(vec![sym; n])
+            }
+        };
+        Some(Column {
+            data,
+            validity: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::StrInterner;
+
+    fn interner() -> InternerRef {
+        Arc::new(StrInterner::new())
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn round_trips_typed_columns() {
+        let int = interner();
+        let rows = vec![
+            Tuple::new(
+                vec![Value::str("r1"), Value::Int(7), Value::Ts(ts(1))],
+                ts(1),
+                0,
+            ),
+            Tuple::new(
+                vec![Value::str("r2"), Value::Int(9), Value::Ts(ts(2))],
+                ts(2),
+                1,
+            ),
+        ];
+        let cb = ColumnBatch::from_tuples(&rows, Some(&int)).unwrap();
+        assert_eq!(cb.len(), 2);
+        assert_eq!(cb.arity(), 3);
+        assert!(matches!(cb.column(0).data, ColumnData::Str(_)));
+        assert!(matches!(cb.column(1).data, ColumnData::Int(_)));
+        assert!(matches!(cb.column(2).data, ColumnData::Ts(_)));
+        assert_eq!(cb.to_tuples().unwrap(), rows);
+    }
+
+    #[test]
+    fn nulls_round_trip_via_validity() {
+        let int = interner();
+        let rows = vec![
+            Tuple::new(vec![Value::Null, Value::Int(1)], ts(1), 0),
+            Tuple::new(vec![Value::str("x"), Value::Null], ts(2), 1),
+        ];
+        let cb = ColumnBatch::from_tuples(&rows, Some(&int)).unwrap();
+        assert!(!cb.column(0).is_valid(0));
+        assert!(cb.column(0).is_valid(1));
+        assert!(!cb.column(1).is_valid(1));
+        assert_eq!(cb.to_tuples().unwrap(), rows);
+    }
+
+    #[test]
+    fn heterogeneous_column_falls_back_to_mixed() {
+        let int = interner();
+        let rows = vec![
+            Tuple::new(vec![Value::Int(1)], ts(1), 0),
+            Tuple::new(vec![Value::Float(2.5)], ts(2), 1),
+        ];
+        let cb = ColumnBatch::from_tuples(&rows, Some(&int)).unwrap();
+        assert!(matches!(cb.column(0).data, ColumnData::Mixed(_)));
+        assert_eq!(cb.to_tuples().unwrap(), rows);
+    }
+
+    #[test]
+    fn strings_without_interner_fall_back_to_mixed() {
+        let rows = vec![Tuple::new(vec![Value::str("a")], ts(1), 0)];
+        let cb = ColumnBatch::from_tuples(&rows, None).unwrap();
+        assert!(matches!(cb.column(0).data, ColumnData::Mixed(_)));
+        assert_eq!(cb.to_tuples().unwrap(), rows);
+    }
+
+    #[test]
+    fn signs_and_revisions_survive() {
+        let int = interner();
+        let t = Tuple::new(vec![Value::Int(4)], ts(3), 7);
+        let rows = vec![t.retraction_of(2), t.at_revision(3)];
+        let cb = ColumnBatch::from_tuples(&rows, Some(&int)).unwrap();
+        assert_eq!(cb.sign()[0], Sign::Retract);
+        assert_eq!(cb.revision(), &[2, 3]);
+        assert_eq!(cb.to_tuples().unwrap(), rows);
+    }
+
+    #[test]
+    fn ragged_batches_have_no_columnar_form() {
+        let rows = vec![
+            Tuple::new(vec![Value::Int(1)], ts(1), 0),
+            Tuple::new(vec![Value::Int(1), Value::Int(2)], ts(2), 1),
+        ];
+        assert!(ColumnBatch::from_tuples(&rows, None).is_none());
+    }
+
+    #[test]
+    fn filter_keeps_selected_rows_and_validity() {
+        let int = interner();
+        let rows = vec![
+            Tuple::new(vec![Value::str("a"), Value::Null], ts(1), 0),
+            Tuple::new(vec![Value::str("b"), Value::Int(2)], ts(2), 1),
+            Tuple::new(vec![Value::Null, Value::Int(3)], ts(3), 2),
+        ];
+        let cb = ColumnBatch::from_tuples(&rows, Some(&int)).unwrap();
+        let filtered = cb.filter(&[true, false, true]);
+        assert_eq!(filtered.len(), 2);
+        assert_eq!(
+            filtered.to_tuples().unwrap(),
+            vec![rows[0].clone(), rows[2].clone()]
+        );
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let cb = ColumnBatch::from_tuples(&[], None).unwrap();
+        assert!(cb.is_empty());
+        assert_eq!(cb.arity(), 0);
+        assert!(cb.to_tuples().unwrap().is_empty());
+    }
+
+    #[test]
+    fn lit_column_interns_string_literals() {
+        let int = interner();
+        let rows = vec![
+            Tuple::new(vec![Value::Int(1)], ts(1), 0),
+            Tuple::new(vec![Value::Int(2)], ts(2), 1),
+        ];
+        let cb = ColumnBatch::from_tuples(&rows, Some(&int)).unwrap();
+        let col = cb.lit_column(&Value::str("tag")).unwrap();
+        assert!(matches!(col.data, ColumnData::Str(_)));
+        let projected = cb.with_projected_columns(vec![col]);
+        let out = projected.to_tuples().unwrap();
+        assert_eq!(out[0].values(), &[Value::str("tag")]);
+        assert_eq!(out[1].ts(), ts(2));
+    }
+}

@@ -19,6 +19,7 @@
 //! even when no tuple arrives.
 
 use crate::agg::AggregateRegistry;
+use crate::batch::ColumnBatch;
 use crate::ckpt::{EngineCheckpoint, StateNode};
 use crate::error::{DsmsError, Result};
 use crate::expr::FunctionRegistry;
@@ -306,6 +307,9 @@ pub struct Engine {
     interner: InternerRef,
     /// Key codec handed to operators at registration.
     codec: KeyCodec,
+    /// Whether the batch path hands columnar batches to capable
+    /// operators (effective only under the interned representation).
+    columnar: bool,
     /// Shared instrument registry (cloneable; see [`Engine::registry`]).
     obs: Registry,
     /// Punctuations delivered via [`Engine::advance_to`].
@@ -374,6 +378,7 @@ impl Engine {
             representation,
             interner,
             codec,
+            columnar: false,
             obs,
             punctuations,
             rejected_tuples,
@@ -411,6 +416,28 @@ impl Engine {
     /// The engine's row representation.
     pub fn representation(&self) -> Representation {
         self.representation
+    }
+
+    /// Opt the batch path into columnar (SoA) execution: batches to
+    /// columnar-capable operators are converted to [`ColumnBatch`]es
+    /// once per batch and run through their kernels. Only effective
+    /// under the interned representation — the seed representation has
+    /// no symbol columns and silently stays on the row path.
+    pub fn set_columnar(&mut self, on: bool) {
+        self.columnar = on;
+    }
+
+    /// Whether columnar execution is *effective*: requested via
+    /// [`Engine::set_columnar`] and running the interned representation.
+    pub fn columnar(&self) -> bool {
+        self.columnar && self.representation == Representation::Interned
+    }
+
+    /// The key codec operators are bound with at registration — the
+    /// planner uses it to bind freshly lowered plans when rendering
+    /// EXPLAIN output.
+    pub fn key_codec(&self) -> &KeyCodec {
+        &self.codec
     }
 
     /// Dictionary size: `(entries, content bytes)` of the engine's
@@ -1010,7 +1037,13 @@ impl Engine {
                     return Err(e);
                 }
             };
-            if self.representation == Representation::Interned {
+            // With the columnar path on, interning moves from ingest to
+            // batch conversion: `sym_of_column` interns each string
+            // column under one dictionary lock per column instead of one
+            // per value here. Row-path operators stay correct on
+            // un-canonicalized strings (their key codecs fall back to
+            // content lookups), they just lose the pointer fast path.
+            if self.representation == Representation::Interned && !self.columnar {
                 for &c in &entry.str_cols {
                     self.interner.canonicalize(&mut values[c]);
                 }
@@ -1079,7 +1112,9 @@ impl Engine {
                 return Err(e);
             }
         };
-        if self.representation == Representation::Interned {
+        // See `ingest_group`: in columnar mode interning happens at
+        // batch conversion, not ingest.
+        if self.representation == Representation::Interned && !self.columnar {
             for &c in &entry.str_cols {
                 self.interner.canonicalize(&mut values[c]);
             }
@@ -1353,6 +1388,17 @@ impl Engine {
         // cap the cascade (counted in tuples) generously and report.
         let mut guard: u64 = 0;
         while let Some((stream, batch, mode)) = work.pop_front() {
+            // Only the columnar path shares the batch (so a conversion
+            // can remember it as its row-form source); the Arc wrap
+            // costs an allocation per batch, which row-only engines —
+            // including the differential oracle — must not pay.
+            let columnar_on = self.columnar && self.representation == Representation::Interned;
+            let (shared, plain): (Option<Arc<Vec<Tuple>>>, Vec<Tuple>) = if columnar_on {
+                (Some(Arc::new(batch)), Vec::new())
+            } else {
+                (None, batch)
+            };
+            let batch: &[Tuple] = shared.as_deref().map_or(&plain, Vec::as_slice);
             guard += batch.len() as u64;
             if guard > 10_000_000 {
                 return Err(DsmsError::plan(
@@ -1366,7 +1412,7 @@ impl Engine {
             if mode != Deliver::FastOnly {
                 if let Some(mats) = self.materialized.get(&stream) {
                     for m in mats {
-                        for t in &batch {
+                        for t in batch.iter() {
                             m.push(t.clone());
                         }
                     }
@@ -1377,10 +1423,24 @@ impl Engine {
             };
             // One subscription-list clone per batch, not per tuple.
             let subs: Vec<(usize, usize)> = subs.clone();
+            // Columnar form of this batch, built lazily at the first
+            // capable subscriber and shared by the rest. `Some(None)`
+            // means conversion was tried and declined (ragged batch).
+            let mut cols: Option<Option<ColumnBatch>> = None;
             for (idx, port) in subs {
                 if !self.queries[idx].active || !mode.targets(self.queries[idx].consistency) {
                     continue;
                 }
+                let use_cols = columnar_on && self.queries[idx].op.columnar_capable();
+                if use_cols && cols.is_none() {
+                    let rows = shared.as_ref().expect("columnar_on implies a shared batch");
+                    cols = Some(ColumnBatch::from_shared_tuples(rows, Some(&self.interner)));
+                }
+                let cb = if use_cols {
+                    cols.as_ref().and_then(|c| c.as_ref())
+                } else {
+                    None
+                };
                 let mut outs = Vec::new();
                 {
                     let q = &mut self.queries[idx];
@@ -1392,7 +1452,10 @@ impl Engine {
                     let sampled = before & WALL_SAMPLE_MASK == 0
                         || (before >> 6) != ((before + batch.len() as u64) >> 6);
                     let started = sampled.then(std::time::Instant::now);
-                    q.op.process_batch(port, &batch, &mut outs)?;
+                    match cb {
+                        Some(cb) => q.op.process_columns(port, cb, &mut outs)?,
+                        None => q.op.process_batch(port, batch, &mut outs)?,
+                    }
                     if let Some(s) = started {
                         let elapsed = s.elapsed();
                         q.wall.record_duration(elapsed);

@@ -171,6 +171,28 @@ impl Expr {
         Expr::bin(BinOp::Eq, a, b)
     }
 
+    /// Canonicalize every string literal in the expression tree through
+    /// `interner`, in place. Operators call this when a codec is bound so
+    /// literal outputs (and literal comparisons) carry canonical `Arc`s —
+    /// downstream symbol lookups then hit the pointer fast path instead
+    /// of hashing string bytes per row.
+    pub fn canonicalize_lits(&mut self, interner: &crate::intern::StrInterner) {
+        match self {
+            Expr::Lit(v) => interner.canonicalize(v),
+            Expr::Bin(_, a, b) => {
+                a.canonicalize_lits(interner);
+                b.canonicalize_lits(interner);
+            }
+            Expr::Not(e) | Expr::IsNull(e) | Expr::Like(e, _) => e.canonicalize_lits(interner),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.canonicalize_lits(interner);
+                }
+            }
+            Expr::Col { .. } | Expr::Dur(_) => {}
+        }
+    }
+
     /// Shorthand: conjunction.
     pub fn and(a: Expr, b: Expr) -> Expr {
         Expr::bin(BinOp::And, a, b)

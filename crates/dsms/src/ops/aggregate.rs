@@ -140,9 +140,25 @@ impl WindowAggregate {
         }
     }
 
-    fn emit_group(key: &[Value], g: &GroupState, ts: Timestamp, seq: u64) -> Tuple {
+    fn emit_group(
+        codec: &KeyCodec,
+        key: &[Value],
+        g: &GroupState,
+        ts: Timestamp,
+        seq: u64,
+    ) -> Tuple {
         let mut vals: Vec<Value> = key.to_vec();
         vals.extend(g.accs.iter().map(|a| a.terminate()));
+        // Key values are already canonical (decoded through the codec or
+        // evaluated from canonical inputs); accumulator outputs can be
+        // freshly built strings (MIN/MAX over a string column), so they
+        // route through the interner to stay canonical mid-chain.
+        // `canonicalize` is a no-op match for non-string values.
+        if let Some(int) = codec.interner() {
+            for v in &mut vals[key.len()..] {
+                int.canonicalize(v);
+            }
+        }
         Tuple::new(vals, ts, seq)
     }
 }
@@ -183,7 +199,7 @@ impl Operator for WindowAggregate {
             Self::slide(w, &self.specs, g, t.ts());
         }
         if self.emission == Emission::PerArrival {
-            out.push(Self::emit_group(&key, g, t.ts(), t.seq()));
+            out.push(Self::emit_group(&self.codec, &key, g, t.ts(), t.seq()));
         }
         Ok(())
     }
@@ -206,7 +222,7 @@ impl Operator for WindowAggregate {
                     Self::slide(w, specs, g, ts);
                 }
                 let g = &self.groups[&key];
-                out.push(Self::emit_group(&vals, g, ts, 0));
+                out.push(Self::emit_group(&self.codec, &vals, g, ts, 0));
             }
             if self.window.is_none() {
                 // Periodic reports over unbounded state restart each period

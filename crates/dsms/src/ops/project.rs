@@ -1,21 +1,65 @@
 //! π — column projection / computation.
 
-use super::Operator;
+use super::{OpReport, Operator};
+use crate::batch::ColumnBatch;
 use crate::error::Result;
 use crate::expr::Expr;
+use crate::intern::InternerRef;
+use crate::key::KeyCodec;
 use crate::tuple::Tuple;
+use crate::value::Value;
 
 /// Computes one output column per expression; the output tuple inherits
 /// the input's event time and sequence number (a projection does not move
 /// a reading in time).
+///
+/// With an interned engine, derived string outputs stay canonical:
+/// string literals canonicalize once when the codec is bound, and
+/// computed expressions (UDF calls, concatenations) canonicalize their
+/// string results as they are produced — downstream stateful operators
+/// then resolve them by pointer instead of hashing bytes per probe.
+/// Plain column references are pass-through (already canonical on an
+/// interned engine) and pay nothing.
 pub struct Project {
     exprs: Vec<Expr>,
+    /// Per-expression: can it build a string the input didn't carry?
+    /// (Column references and literals cannot after bind-time
+    /// canonicalization.)
+    computes_fresh: Vec<bool>,
+    interner: Option<InternerRef>,
 }
 
 impl Project {
     /// Project onto `exprs`, each evaluated with the tuple as relation 0.
     pub fn new(exprs: Vec<Expr>) -> Project {
-        Project { exprs }
+        let computes_fresh = exprs
+            .iter()
+            .map(|e| !matches!(e, Expr::Col { .. } | Expr::Lit(_) | Expr::Dur(_)))
+            .collect();
+        Project {
+            exprs,
+            computes_fresh,
+            interner: None,
+        }
+    }
+
+    #[inline]
+    fn canonicalize_outputs(&self, vals: &mut [Value]) {
+        if let Some(int) = &self.interner {
+            for (v, fresh) in vals.iter_mut().zip(&self.computes_fresh) {
+                if *fresh {
+                    int.canonicalize(v);
+                }
+            }
+        }
+    }
+
+    /// Whether every output is a plain column copy or a literal — the
+    /// shapes the columnar kernel handles without evaluating a row.
+    fn kernel_shape(&self) -> bool {
+        self.exprs
+            .iter()
+            .all(|e| matches!(e, Expr::Col { rel: 0, .. } | Expr::Lit(_) | Expr::Dur(_)))
     }
 }
 
@@ -25,6 +69,7 @@ impl Operator for Project {
         for e in &self.exprs {
             vals.push(e.eval(&[t])?);
         }
+        self.canonicalize_outputs(&mut vals);
         out.push(Tuple::new(vals, t.ts(), t.seq()));
         Ok(())
     }
@@ -36,9 +81,44 @@ impl Operator for Project {
             for e in &self.exprs {
                 vals.push(e.eval(&[t])?);
             }
+            self.canonicalize_outputs(&mut vals);
             out.push(Tuple::new(vals, t.ts(), t.seq()));
         }
         Ok(())
+    }
+
+    fn columnar_capable(&self) -> bool {
+        self.kernel_shape()
+    }
+
+    fn columns_to_columns(
+        &mut self,
+        _port: usize,
+        cols: &ColumnBatch,
+    ) -> Result<Option<ColumnBatch>> {
+        let mut out_cols = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            match e {
+                // A column copy is a clone of the column vectors — no
+                // per-row work at all.
+                Expr::Col { rel: 0, col } if *col < cols.arity() => {
+                    out_cols.push(cols.column(*col).clone())
+                }
+                Expr::Lit(v) => match cols.lit_column(v) {
+                    Some(c) => out_cols.push(c),
+                    // String literal, no dictionary: row path.
+                    None => return Ok(None),
+                },
+                Expr::Dur(d) => match cols.lit_column(&Value::Int(d.as_micros() as i64)) {
+                    Some(c) => out_cols.push(c),
+                    None => return Ok(None),
+                },
+                // Out-of-range columns error row-wise; computed
+                // expressions evaluate row-wise.
+                _ => return Ok(None),
+            }
+        }
+        Ok(Some(cols.with_projected_columns(out_cols)))
     }
 
     // Projection is stateless; a punctuation changes nothing.
@@ -49,14 +129,31 @@ impl Operator for Project {
     fn name(&self) -> &str {
         "project"
     }
+
+    fn bind_interner(&mut self, codec: &KeyCodec) {
+        self.interner = codec.interner().cloned();
+        if let Some(int) = &self.interner {
+            for e in &mut self.exprs {
+                e.canonicalize_lits(int);
+            }
+        }
+    }
+
+    fn report(&self) -> OpReport {
+        let mut r = OpReport::leaf(self.name(), self.retained());
+        r.columnar = Some(self.columnar_capable());
+        r
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::expr::BinOp;
+    use crate::intern::StrInterner;
     use crate::time::Timestamp;
     use crate::value::Value;
+    use std::sync::Arc;
 
     #[test]
     fn computes_columns_and_keeps_time() {
@@ -75,5 +172,66 @@ mod tests {
         assert_eq!(out[0].value(1), &Value::Int(42));
         assert_eq!(out[0].ts(), Timestamp::from_secs(9));
         assert_eq!(out[0].seq(), 77);
+    }
+
+    #[test]
+    fn kernel_matches_row_path() {
+        let interner: InternerRef = Arc::new(StrInterner::new());
+        let exprs = vec![Expr::col(1), Expr::col(0), Expr::lit("fixed")];
+        let tuples: Vec<Tuple> = (0..5)
+            .map(|i| {
+                Tuple::new(
+                    vec![Value::Int(i), Value::str(format!("tag{}", i % 2))],
+                    Timestamp::from_secs(i as u64),
+                    i as u64,
+                )
+            })
+            .collect();
+        let codec = KeyCodec::interned(interner.clone());
+        let mut row_p = Project::new(exprs.clone());
+        row_p.bind_interner(&codec);
+        let mut expect = Vec::new();
+        row_p.process_batch(0, &tuples, &mut expect).unwrap();
+        let mut col_p = Project::new(exprs);
+        col_p.bind_interner(&codec);
+        assert!(col_p.columnar_capable());
+        let cb = ColumnBatch::from_tuples(&tuples, Some(&interner)).unwrap();
+        let got = col_p
+            .columns_to_columns(0, &cb)
+            .unwrap()
+            .expect("kernel shape")
+            .to_tuples()
+            .unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn computed_string_outputs_are_canonical() {
+        let interner: InternerRef = Arc::new(StrInterner::new());
+        let concat: crate::expr::ScalarFn = Arc::new(|args: &[Value]| {
+            let mut s = String::new();
+            for a in args {
+                if let Value::Str(x) = a {
+                    s.push_str(x);
+                }
+            }
+            Ok(Value::str(s))
+        });
+        let mut p = Project::new(vec![Expr::Call {
+            name: "concat".to_string(),
+            func: concat,
+            args: vec![Expr::col(0), Expr::lit("-suffix")],
+        }]);
+        p.bind_interner(&KeyCodec::interned(interner.clone()));
+        let t = Tuple::new(vec![Value::str("tag")], Timestamp::ZERO, 0);
+        let mut out = Vec::new();
+        p.on_tuple(0, &t, &mut out).unwrap();
+        p.on_tuple(0, &t, &mut out).unwrap();
+        // Same content twice: one dictionary entry, shared canonical Arc.
+        match (out[0].value(0), out[1].value(0)) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            other => panic!("expected strings, got {other:?}"),
+        }
+        assert!(interner.lookup_sym("tag-suffix").is_some());
     }
 }

@@ -1,0 +1,156 @@
+//! Property tests for the columnar batch representation: converting a
+//! row batch to [`ColumnBatch`] and back must be lossless for every
+//! `Value` variant (including `Null` validity and non-finite floats),
+//! every sign/revision combination, and every ts/seq tie-break — the
+//! row path is the oracle the columnar path must round-trip against.
+
+use eslev_dsms::intern::{InternerRef, StrInterner};
+use eslev_dsms::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One cell: all variants, with floats drawn to include NaN and the
+/// infinities (NaN breaks `PartialEq`, so comparison is by bits).
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        prop_oneof![
+            (-1_000_000_000i64..1_000_000_000).prop_map(|i| i as f64 * 0.001),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+        ]
+        .prop_map(Value::Float),
+        "[a-z]{0,6}".prop_map(|s| Value::str(&s)),
+        any::<bool>().prop_map(Value::Bool),
+        (0u64..1 << 40).prop_map(|us| Value::Ts(Timestamp::from_micros(us))),
+    ]
+}
+
+/// A batch of rows sharing one arity, with clustered timestamps (so
+/// equal-ts/different-seq tie-breaks occur), mixed signs, and small
+/// revision numbers. Rows are generated at the maximum arity and
+/// truncated to a shared one (the vendored proptest has no
+/// `prop_flat_map` to thread the arity through).
+fn rows() -> impl Strategy<Value = Vec<Tuple>> {
+    (
+        0usize..5,
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(value(), 5),
+                0u64..8,                  // ts gap (0 ⇒ tie on ts, broken by seq)
+                (any::<bool>(), 0u64..3), // (retraction?, revision)
+            ),
+            0..40,
+        ),
+    )
+        .prop_map(|(arity, steps)| {
+            let mut ts = 0u64;
+            steps
+                .into_iter()
+                .enumerate()
+                .map(|(i, (mut vals, gap, (retract, rev)))| {
+                    vals.truncate(arity);
+                    ts += gap;
+                    let sign = if retract { Sign::Retract } else { Sign::Insert };
+                    Tuple::with_sign(vals, Timestamp::from_secs(ts), i as u64, sign, rev)
+                })
+                .collect()
+        })
+}
+
+/// Value equality that treats NaN as equal to itself (bit comparison).
+fn value_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+fn tuple_eq(a: &Tuple, b: &Tuple) -> bool {
+    a.arity() == b.arity()
+        && a.values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| value_eq(x, y))
+        && a.ts() == b.ts()
+        && a.seq() == b.seq()
+        && a.sign() == b.sign()
+        && a.revision() == b.revision()
+}
+
+fn assert_round_trip(rows: &[Tuple], interner: Option<&InternerRef>) -> Result<(), TestCaseError> {
+    let batch =
+        ColumnBatch::from_tuples(rows, interner).expect("uniform-arity rows always convert");
+    prop_assert_eq!(batch.len(), rows.len());
+    let back = batch.to_tuples().expect("round trip");
+    prop_assert_eq!(back.len(), rows.len());
+    for (orig, got) in rows.iter().zip(&back) {
+        prop_assert!(
+            tuple_eq(orig, got),
+            "round trip changed a tuple: {:?} -> {:?}",
+            orig,
+            got
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Interned round trip: strings become `Sym` columns and resolve
+    /// back to the same text; everything else is typed or `Mixed`.
+    #[test]
+    fn round_trip_with_interner_is_lossless(rows in rows()) {
+        let interner: InternerRef = Arc::new(StrInterner::new());
+        assert_round_trip(&rows, Some(&interner))?;
+    }
+
+    /// Without an interner, string-bearing columns fall back to the
+    /// `Mixed` representation — still lossless.
+    #[test]
+    fn round_trip_without_interner_is_lossless(rows in rows()) {
+        assert_round_trip(&rows, None)?;
+    }
+
+    /// `filter` keeps exactly the selected rows, in order, with their
+    /// metadata columns (ts/seq/sign/revision) intact.
+    #[test]
+    fn filter_matches_row_wise_filter(rows in rows(), seed in any::<u64>()) {
+        let interner: InternerRef = Arc::new(StrInterner::new());
+        let Some(batch) = ColumnBatch::from_tuples(&rows, Some(&interner)) else {
+            unreachable!("uniform-arity rows always convert");
+        };
+        let keep: Vec<bool> = (0..rows.len())
+            .map(|i| (seed >> (i % 64)) & 1 == 1)
+            .collect();
+        let filtered = batch.filter(&keep);
+        let back = filtered.to_tuples().expect("filtered round trip");
+        let want: Vec<&Tuple> = rows
+            .iter()
+            .zip(&keep)
+            .filter_map(|(t, k)| k.then_some(t))
+            .collect();
+        prop_assert_eq!(back.len(), want.len());
+        for (orig, got) in want.iter().zip(&back) {
+            prop_assert!(tuple_eq(orig, got));
+        }
+    }
+
+    /// Ragged arity is a conversion refusal, never a panic or a lossy
+    /// batch — the engine falls back to the row path.
+    #[test]
+    fn ragged_arity_declines(rows in rows(), extra in value()) {
+        if rows.is_empty() {
+            return Ok(()); // nothing to make ragged this case
+        }
+        let mut ragged = rows;
+        let mut vals = ragged[0].values().to_vec();
+        vals.push(extra);
+        let last = ragged.last().unwrap();
+        let (ts, seq) = (last.ts(), last.seq());
+        ragged.push(Tuple::new(vals, ts, seq + 1));
+        let interner: InternerRef = Arc::new(StrInterner::new());
+        prop_assert!(ColumnBatch::from_tuples(&ragged, Some(&interner)).is_none());
+    }
+}
